@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	coma "repro"
+)
+
+// interactiveSession drives COMA's interactive and iterative match
+// process (paper Section 3, Figure 2) on a terminal: each iteration
+// proposes candidates, the user accepts/rejects them or adjusts the
+// strategy, and the next iteration honours the feedback.
+//
+// Commands:
+//
+//	show              list current proposals (numbered)
+//	accept <n>        approve proposal n (pins similarity 1)
+//	reject <n>        declare proposal n a mismatch (pins 0)
+//	assert <p1> <p2>  approve an arbitrary pair by path
+//	threshold <t>     adjust the selection threshold
+//	run               execute the next iteration
+//	done              print the final mapping and exit
+func interactiveSession(s1, s2 *coma.Schema, opts []coma.Option, in io.Reader, out io.Writer) error {
+	sess, err := coma.NewSession(s1, s2, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Iterate()
+	if err != nil {
+		return err
+	}
+	strategy := coma.DefaultStrategy()
+	printProposals(out, res)
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "coma> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprint(out, "coma> ")
+			continue
+		}
+		switch fields[0] {
+		case "show":
+			printProposals(out, sess.Last())
+		case "accept", "reject":
+			if len(fields) != 2 {
+				fmt.Fprintf(out, "usage: %s <n>\n", fields[0])
+				break
+			}
+			idx, err := strconv.Atoi(fields[1])
+			corrs := sess.Last().Mapping.Correspondences()
+			if err != nil || idx < 1 || idx > len(corrs) {
+				fmt.Fprintf(out, "no proposal %q\n", fields[1])
+				break
+			}
+			c := corrs[idx-1]
+			if fields[0] == "accept" {
+				sess.Accept(c.From, c.To)
+			} else {
+				sess.Reject(c.From, c.To)
+			}
+			fmt.Fprintf(out, "%sed %s <-> %s\n", fields[0], c.From, c.To)
+		case "assert":
+			if len(fields) != 3 {
+				fmt.Fprintln(out, "usage: assert <path1> <path2>")
+				break
+			}
+			sess.Accept(fields[1], fields[2])
+			fmt.Fprintf(out, "asserted %s <-> %s\n", fields[1], fields[2])
+		case "threshold":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: threshold <t>")
+				break
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || t < 0 || t > 1 {
+				fmt.Fprintf(out, "bad threshold %q\n", fields[1])
+				break
+			}
+			strategy.Sel.Threshold = t
+			sess.SetStrategy(strategy)
+			fmt.Fprintf(out, "threshold set to %.2f (takes effect on next run)\n", t)
+		case "run":
+			res, err := sess.Iterate()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "iteration %d:\n", sess.Iterations())
+			printProposals(out, res)
+		case "done", "quit", "exit":
+			final := sess.Last()
+			fmt.Fprintf(out, "final mapping (%d correspondences, %d iterations):\n",
+				final.Mapping.Len(), sess.Iterations())
+			for _, c := range final.Mapping.Correspondences() {
+				fmt.Fprintf(out, "%-45s %-45s %.3f\n", c.From, c.To, c.Sim)
+			}
+			return nil
+		default:
+			fmt.Fprintln(out, "commands: show, accept <n>, reject <n>, assert <p1> <p2>, threshold <t>, run, done")
+		}
+		fmt.Fprint(out, "coma> ")
+	}
+	return sc.Err()
+}
+
+func printProposals(out io.Writer, res *coma.Result) {
+	for i, c := range res.Mapping.Correspondences() {
+		fmt.Fprintf(out, "%3d. %-42s <-> %-42s %.2f\n", i+1, c.From, c.To, c.Sim)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	coma "repro"
+)
+
+func interactiveFixtures(t *testing.T) (*coma.Schema, *coma.Schema) {
+	t.Helper()
+	s1, err := coma.LoadSQL("PO1", `CREATE TABLE ShipTo (shipToCity VARCHAR(200), shipToZip VARCHAR(20));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := coma.LoadXSD("PO2", []byte(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2"><xsd:sequence>
+  <xsd:element name="DeliverTo" type="Address"/>
+ </xsd:sequence></xsd:complexType>
+ <xsd:complexType name="Address"><xsd:sequence>
+  <xsd:element name="City" type="xsd:string"/>
+  <xsd:element name="Zip" type="xsd:decimal"/>
+ </xsd:sequence></xsd:complexType>
+</xsd:schema>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s1, s2
+}
+
+func TestInteractiveRejectAndRerun(t *testing.T) {
+	s1, s2 := interactiveFixtures(t)
+	script := strings.Join([]string{
+		"show",
+		"reject 1",
+		"run",
+		"done",
+	}, "\n")
+	var out bytes.Buffer
+	if err := interactiveSession(s1, s2, nil, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "rejected") {
+		t.Errorf("reject feedback missing:\n%s", text)
+	}
+	if !strings.Contains(text, "final mapping") {
+		t.Errorf("final output missing:\n%s", text)
+	}
+	if !strings.Contains(text, "iteration 2:") {
+		t.Errorf("second iteration missing:\n%s", text)
+	}
+}
+
+func TestInteractiveAssertAndThreshold(t *testing.T) {
+	s1, s2 := interactiveFixtures(t)
+	script := strings.Join([]string{
+		"assert ShipTo DeliverTo",
+		"threshold 0.9",
+		"run",
+		"done",
+	}, "\n")
+	var out bytes.Buffer
+	if err := interactiveSession(s1, s2, nil, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "asserted ShipTo <-> DeliverTo") {
+		t.Errorf("assert echo missing:\n%s", text)
+	}
+	// The asserted pair is pinned at 1.0 and survives the raised
+	// threshold.
+	if !strings.Contains(text, "ShipTo") || !strings.Contains(text, "1.000") {
+		t.Errorf("pinned pair missing from final mapping:\n%s", text)
+	}
+}
+
+func TestInteractiveBadCommands(t *testing.T) {
+	s1, s2 := interactiveFixtures(t)
+	script := strings.Join([]string{
+		"frobnicate",
+		"accept",
+		"accept 99",
+		"threshold nope",
+		"assert onlyone",
+		"done",
+	}, "\n")
+	var out bytes.Buffer
+	if err := interactiveSession(s1, s2, nil, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"commands:", "usage: accept", "no proposal", "bad threshold", "usage: assert"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestInteractiveEOFWithoutDone(t *testing.T) {
+	s1, s2 := interactiveFixtures(t)
+	var out bytes.Buffer
+	if err := interactiveSession(s1, s2, nil, strings.NewReader("show\n"), &out); err != nil {
+		t.Fatalf("EOF should end the session cleanly: %v", err)
+	}
+}

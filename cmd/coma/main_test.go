@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixtures(t *testing.T) (sqlPath, xsdPath, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	sqlPath = filepath.Join(dir, "po1.sql")
+	xsdPath = filepath.Join(dir, "po2.xsd")
+	sql := `CREATE TABLE ShipTo (poNo INT, shipToCity VARCHAR(200), shipToZip VARCHAR(20));`
+	xsd := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2"><xsd:sequence>
+  <xsd:element name="DeliverTo" type="Address"/>
+ </xsd:sequence></xsd:complexType>
+ <xsd:complexType name="Address"><xsd:sequence>
+  <xsd:element name="City" type="xsd:string"/>
+  <xsd:element name="Zip" type="xsd:decimal"/>
+ </xsd:sequence></xsd:complexType>
+</xsd:schema>`
+	if err := os.WriteFile(sqlPath, []byte(sql), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(xsdPath, []byte(xsd), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return sqlPath, xsdPath, dir
+}
+
+func TestRunTextAndFormats(t *testing.T) {
+	sqlPath, xsdPath, _ := writeFixtures(t)
+	for _, format := range []string{"text", "json", "csv", "dot"} {
+		if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
+			"", "", "", "", format, true); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
+		"", "", "", "", "bogus", true); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestRunStrategyFlags(t *testing.T) {
+	sqlPath, xsdPath, _ := writeFixtures(t)
+	if err := run(sqlPath, xsdPath, "NamePath,Leaves", "Min", "LargeSmall", 1, 0, 0.3,
+		"", "", "", "", "text", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sqlPath, xsdPath, "", "Bogus", "Both", 0, 0, 0,
+		"", "", "", "", "text", true); err == nil {
+		t.Error("unknown aggregation should fail")
+	}
+	if err := run(sqlPath, xsdPath, "", "Average", "Bogus", 0, 0, 0,
+		"", "", "", "", "text", true); err == nil {
+		t.Error("unknown direction should fail")
+	}
+	if err := run(sqlPath, xsdPath, "Bogus", "Average", "Both", 0, 0, 0,
+		"", "", "", "", "text", true); err == nil {
+		t.Error("unknown matcher should fail")
+	}
+}
+
+func TestRunRepositoryStoreAndReuse(t *testing.T) {
+	sqlPath, xsdPath, dir := writeFixtures(t)
+	repoPath := filepath.Join(dir, "cli.repo")
+	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
+		"", repoPath, "manual", "", "text", true); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse flag requires repo.
+	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
+		"", "", "", "manual", "text", true); err == nil {
+		t.Error("-reuse-tag without -repo should fail")
+	}
+	// Reuse against the stored mapping (trivially via itself: the
+	// Schema matcher skips the direct pair, so the result may be empty
+	// but the invocation must succeed).
+	if err := run(sqlPath, xsdPath, "NamePath", "Average", "Both", 0, 0.02, 0.5,
+		"", repoPath, "", "manual", "text", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDictionaryFile(t *testing.T) {
+	sqlPath, xsdPath, dir := writeFixtures(t)
+	dictPath := filepath.Join(dir, "extra.dict")
+	if err := os.WriteFile(dictPath, []byte("syn po order\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
+		dictPath, "", "", "", "text", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
+		filepath.Join(dir, "missing.dict"), "", "", "", "text", true); err == nil {
+		t.Error("missing dictionary file should fail")
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	dir := t.TempDir()
+	odd := filepath.Join(dir, "schema.txt")
+	if err := os.WriteFile(odd, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSchema(odd); err == nil {
+		t.Error("unknown extension should fail")
+	}
+	if _, err := loadSchema(filepath.Join(dir, "absent.sql")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,539 @@
+// Command comabench regenerates every table and figure of the COMA
+// paper's evaluation (Do & Rahm, VLDB 2002, Section 7) on the
+// synthetic workload, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	comabench -exp all            # everything (runs the full 12,312-series grid)
+//	comabench -exp fig11          # one artifact
+//	comabench -exp fig9 -quick    # reduced grid for a fast smoke run
+//
+// Experiments: table1 table2 table5 table6 fig8 fig9 fig10 fig11 fig12
+// fig13, the extensions instance, flooding and fragment, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/eval"
+	"repro/internal/flooding"
+	"repro/internal/importer"
+	"repro/internal/instance"
+	"repro/internal/match"
+	"repro/internal/reuse"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1 table2 table5 table6 fig8 fig9 fig10 fig11 fig12 fig13 instance flooding fragment all)")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel workers for the series grid")
+		quick   = flag.Bool("quick", false, "run a reduced strategy grid (for smoke tests)")
+	)
+	flag.Parse()
+	if err := run(*exp, *workers, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "comabench:", err)
+		os.Exit(1)
+	}
+}
+
+// gridRunner computes the series grid once and shares it between
+// figures.
+type gridRunner struct {
+	h       *eval.Harness
+	workers int
+	quick   bool
+	results []eval.SeriesResult
+}
+
+func (g *gridRunner) run() []eval.SeriesResult {
+	if g.results != nil {
+		return g.results
+	}
+	specs := eval.AllSeries()
+	if g.quick {
+		specs = quickSubset(specs)
+	}
+	fmt.Fprintf(os.Stderr, "# running %d series on %d tasks with %d workers...\n",
+		len(specs), len(g.h.Tasks), g.workers)
+	start := time.Now()
+	g.h.Precompute(g.workers)
+	fmt.Fprintf(os.Stderr, "# matcher execution done in %v\n", time.Since(start).Round(time.Millisecond))
+	g.results = g.h.RunAll(specs, g.workers, func(done int) {
+		fmt.Fprintf(os.Stderr, "# %d/%d series\n", done, len(specs))
+	})
+	fmt.Fprintf(os.Stderr, "# grid done in %v\n", time.Since(start).Round(time.Millisecond))
+	return g.results
+}
+
+// quickSubset thins the grid to roughly 1/12 of the series while
+// keeping every matcher set and strategy dimension represented.
+func quickSubset(specs []eval.SeriesSpec) []eval.SeriesSpec {
+	keep := map[string]bool{
+		"MaxN(1)":              true,
+		"Delta(0.02)":          true,
+		"Thr(0.5)":             true,
+		"Thr(0.8)":             true,
+		"Thr(0.5)+MaxN(1)":     true,
+		"Thr(0.5)+Delta(0.02)": true,
+	}
+	var out []eval.SeriesSpec
+	for _, s := range specs {
+		if keep[s.Strategy.Sel.String()] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func run(exp string, workers int, quick bool) error {
+	g := &gridRunner{h: eval.NewHarness(), workers: workers, quick: quick}
+	all := exp == "all"
+	ran := false
+	for _, e := range []struct {
+		id string
+		fn func(*gridRunner) error
+	}{
+		{"table1", expTable1},
+		{"table2", expTable2},
+		{"table5", expTable5},
+		{"fig8", expFig8},
+		{"table6", expTable6},
+		{"fig9", expFig9},
+		{"fig10", expFig10},
+		{"fig11", expFig11},
+		{"fig12", expFig12},
+		{"fig13", expFig13},
+		{"instance", expInstance},
+		{"flooding", expFlooding},
+		{"fragment", expFragment},
+		{"dict", expDict},
+	} {
+		if all || exp == e.id {
+			if err := e.fn(g); err != nil {
+				return err
+			}
+			ran = true
+			fmt.Println()
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// figure1Schemas loads the paper's running example.
+func figure1Schemas() (*schema.Schema, *schema.Schema, error) {
+	const ddl = `
+CREATE TABLE PO1.ShipTo (
+  poNo INT, custNo INT REFERENCES PO1.Customer,
+  shipToStreet VARCHAR(200), shipToCity VARCHAR(200), shipToZip VARCHAR(20),
+  PRIMARY KEY (poNo));
+CREATE TABLE PO1.Customer (
+  custNo INT, custName VARCHAR(200), custStreet VARCHAR(200),
+  custCity VARCHAR(200), custZip VARCHAR(20), PRIMARY KEY (custNo));`
+	const xsd = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2"><xsd:sequence>
+  <xsd:element name="DeliverTo" type="Address"/>
+  <xsd:element name="BillTo" type="Address"/>
+ </xsd:sequence></xsd:complexType>
+ <xsd:complexType name="Address"><xsd:sequence>
+  <xsd:element name="Street" type="xsd:string"/>
+  <xsd:element name="City" type="xsd:string"/>
+  <xsd:element name="Zip" type="xsd:decimal"/>
+ </xsd:sequence></xsd:complexType>
+</xsd:schema>`
+	s1, err := importer.ParseSQL("PO1", ddl)
+	if err != nil {
+		return nil, nil, err
+	}
+	s2, err := importer.ParseXSD("PO2", []byte(xsd))
+	if err != nil {
+		return nil, nil, err
+	}
+	return s1, s2, nil
+}
+
+var table1Pairs = [][2]string{
+	{"ShipTo.shipToCity", "DeliverTo.Address.City"},
+	{"ShipTo.shipToStreet", "DeliverTo.Address.City"},
+	{"Customer.custCity", "DeliverTo.Address.City"},
+}
+
+func expTable1(*gridRunner) error {
+	fmt.Println("== Table 1: similarity values computed for PO1 and PO2 (extract) ==")
+	s1, s2, err := figure1Schemas()
+	if err != nil {
+		return err
+	}
+	ctx := match.NewContext()
+	for _, m := range []match.Matcher{match.NewTypeName(), match.NewNamePath()} {
+		res := m.Match(ctx, s1, s2)
+		for _, p := range table1Pairs {
+			fmt.Printf("%-10s %-25s %-25s %.2f\n", m.Name(), p[0], p[1], res.GetKey(p[0], p[1]))
+		}
+	}
+	return nil
+}
+
+func expTable2(*gridRunner) error {
+	fmt.Println("== Table 2: similarity values combined with Average ==")
+	s1, s2, err := figure1Schemas()
+	if err != nil {
+		return err
+	}
+	ctx := match.NewContext()
+	tn := match.NewTypeName().Match(ctx, s1, s2)
+	np := match.NewNamePath().Match(ctx, s1, s2)
+	for _, p := range table1Pairs {
+		avg := (tn.GetKey(p[0], p[1]) + np.GetKey(p[0], p[1])) / 2
+		fmt.Printf("%-25s %-25s %.2f\n", p[0], p[1], avg)
+	}
+	return nil
+}
+
+func expTable5(*gridRunner) error {
+	fmt.Println("== Table 5: characteristics of test schemas ==")
+	fmt.Printf("%-4s %-8s %9s %12s %14s %13s\n", "#", "Schema", "Max depth", "Nodes/paths", "Inner n/p", "Leaf n/p")
+	for i, s := range workload.Schemas() {
+		st := schema.ComputeStats(s)
+		fmt.Printf("%-4d %-8s %9d %7d/%-4d %8d/%-5d %7d/%-5d\n",
+			i+1, st.Name, st.MaxDepth, st.Nodes, st.Paths,
+			st.InnerNodes, st.InnerPaths, st.LeafNodes, st.LeafPaths)
+	}
+	return nil
+}
+
+func expFig8(*gridRunner) error {
+	fmt.Println("== Figure 8: problem size in schema matching tasks ==")
+	fmt.Printf("%-8s %9s %14s %10s %12s\n", "Task", "#Matches", "#MatchedPaths", "#AllPaths", "SchemaSim")
+	for _, t := range workload.Tasks() {
+		matched := len(t.Gold.FromElements()) + len(t.Gold.ToElements())
+		total := len(t.S1.Paths()) + len(t.S2.Paths())
+		fmt.Printf("%-8s %9d %14d %10d %12.2f\n",
+			t.Name, t.Gold.Len(), matched, total, workload.SchemaSimilarity(t))
+	}
+	return nil
+}
+
+func expTable6(g *gridRunner) error {
+	fmt.Println("== Table 6: tested matchers and combination strategies ==")
+	fmt.Printf("no-reuse matcher sets: %d (5 single + 10 pairs + All)\n", len(eval.NoReuseMatcherSets()))
+	fmt.Printf("reuse matcher sets:    %d (SchemaM, SchemaA + pairs + All+Schema)\n", len(eval.ReuseMatcherSets()))
+	fmt.Printf("aggregations:          %d (Max, Average, Min)\n", len(eval.Aggregations()))
+	fmt.Printf("directions:            %d (LargeSmall, SmallLarge, Both)\n", len(eval.Directions()))
+	fmt.Printf("selections:            %d\n", len(eval.Selections()))
+	fmt.Printf("combined similarity:   %d (Average, Dice; reuse fixed to Average)\n", len(eval.CombSims()))
+	specs := eval.AllSeries()
+	var noReuse int
+	for _, s := range specs {
+		if !eval.IsReuseSet(s.Matchers) {
+			noReuse++
+		}
+	}
+	fmt.Printf("total series:          %d (%d no-reuse + %d reuse; paper: 12,312)\n",
+		len(specs), noReuse, len(specs)-noReuse)
+	return nil
+}
+
+func expFig9(g *gridRunner) error {
+	results := g.run()
+	var noReuse []eval.SeriesResult
+	for _, r := range results {
+		if !eval.IsReuseSet(r.Spec.Matchers) {
+			noReuse = append(noReuse, r)
+		}
+	}
+	hist := eval.Fig9Histogram(noReuse)
+	fmt.Printf("== Figure 9: distribution of %d no-reuse series over Overall ranges ==\n", hist.Total)
+	for i, name := range eval.OverallRanges {
+		fmt.Printf("%-8s %6d  %s\n", name, hist.Counts[i], strings.Repeat("#", hist.Counts[i]/25))
+	}
+	return nil
+}
+
+func expFig10(g *gridRunner) error {
+	results := g.run()
+	var noReuse []eval.SeriesResult
+	for _, r := range results {
+		if !eval.IsReuseSet(r.Spec.Matchers) {
+			noReuse = append(noReuse, r)
+		}
+	}
+	for _, dim := range []string{"aggregation", "direction", "selection"} {
+		b := eval.Fig10Breakdown(noReuse, dim)
+		fmt.Printf("== Figure 10 (%s): series count per Overall range ==\n", dim)
+		fmt.Printf("%-22s", "")
+		for _, rng := range eval.OverallRanges {
+			fmt.Printf("%8s", rng)
+		}
+		fmt.Println()
+		for _, v := range b.Values {
+			fmt.Printf("%-22s", v)
+			for i := range eval.OverallRanges {
+				fmt.Printf("%8d", b.Counts[v][i])
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func expFig11(g *gridRunner) error {
+	results := g.run()
+	fmt.Println("== Figure 11: quality of single matchers (best series each) ==")
+	fmt.Printf("%-10s %10s %8s %9s   %s\n", "Matcher", "Precision", "Recall", "Overall", "best strategy")
+	for _, nr := range eval.Fig11Singles(results) {
+		q := nr.Best.Avg
+		fmt.Printf("%-10s %10.2f %8.2f %9.2f   %s\n",
+			nr.Label, q.Precision, q.Recall, q.Overall, nr.Best.Spec.Strategy)
+	}
+	return nil
+}
+
+func expFig12(g *gridRunner) error {
+	results := g.run()
+	fmt.Println("== Figure 12: quality of best matcher combinations ==")
+	fmt.Printf("%-18s %10s %8s %9s   %s\n", "Combination", "Precision", "Recall", "Overall", "best strategy")
+	for _, nr := range eval.Fig12Combos(results) {
+		q := nr.Best.Avg
+		fmt.Printf("%-18s %10.2f %8.2f %9.2f   %s\n",
+			nr.Label, q.Precision, q.Recall, q.Overall, nr.Best.Spec.Strategy)
+	}
+	return nil
+}
+
+func expFig13(g *gridRunner) error {
+	results := g.run()
+	fmt.Println("== Figure 13: impact of schema characteristics on match quality ==")
+	fmt.Printf("%-8s %8s %10s %18s %20s\n", "Task", "#Paths", "SchemaSim", "Overall(NoReuse)", "Overall(ManualReuse)")
+	for _, row := range eval.Fig13Sensitivity(g.h, results) {
+		fmt.Printf("%-8s %8d %10.2f %18.2f %20.2f\n",
+			row.Task, row.AllPaths, row.SchemaSim, row.BestNoReuse, row.BestReuse)
+	}
+	wins := eval.StabilityCount(g.h, results, 0.10)
+	fmt.Printf("\nstability (tasks won within 10%% of the class maximum): All=%d All+SchemaM=%d\n",
+		wins["All"], wins["All+SchemaM"])
+	return nil
+}
+
+// expInstance evaluates the instance-level extension matcher (paper
+// future work, Section 7.5): alone and combined with the default
+// matcher set, on synthetic value samples shared across schemas.
+func expInstance(g *gridRunner) error {
+	fmt.Println("== Extension: instance-level matcher (paper future work) ==")
+	ctx := match.NewContext()
+	samples := make(map[string]*instance.Instances)
+	for _, s := range workload.Schemas() {
+		samples[s.Name] = instance.Generate(s, workload.ConceptKey, 25, 2002)
+	}
+	def := combine.Default()
+	var instQ, bothQ, allQ []eval.Quality
+	for _, t := range workload.Tasks() {
+		im := instance.NewMatcher(samples[t.S1.Name], samples[t.S2.Name])
+		run := func(ms []match.Matcher) eval.Quality {
+			cube, err := core.ExecuteMatchers(ctx, t.S1, t.S2, ms)
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.CombineCube(cube, t.S1, t.S2, def, nil)
+			if err != nil {
+				panic(err)
+			}
+			return eval.Evaluate(res.Mapping, t.Gold)
+		}
+		all := core.DefaultConfig().Matchers
+		instQ = append(instQ, run([]match.Matcher{im}))
+		bothQ = append(bothQ, run(append(append([]match.Matcher(nil), all...), im)))
+		allQ = append(allQ, run(all))
+	}
+	report := func(label string, qs []eval.Quality) {
+		a := eval.Average(qs)
+		fmt.Printf("%-14s %s\n", label, eval.FormatQuality(a))
+	}
+	report("Instance", instQ)
+	report("All", allQ)
+	report("All+Instance", bothQ)
+	return nil
+}
+
+// expFlooding evaluates the Similarity Flooding baseline (the paper's
+// cited comparator [13]) with its stable-marriage selection, against
+// the default COMA operation.
+func expFlooding(g *gridRunner) error {
+	fmt.Println("== Extension: Similarity Flooding baseline + stable marriage ==")
+	ctx := match.NewContext()
+	def := combine.Default()
+	var sfQ, sfSMQ, comaQ []eval.Quality
+	for _, t := range workload.Tasks() {
+		f := flooding.New()
+		m := f.Match(ctx, t.S1, t.S2)
+		// COMA-style selection on the flooding matrix.
+		pred := combine.Select(m, def.Dir, def.Sel)
+		sfQ = append(sfQ, eval.Evaluate(pred, t.Gold))
+		// Stable-marriage selection (paper Section 7.5 future work).
+		sm := flooding.StableMarriage(m, 0.3)
+		sfSMQ = append(sfSMQ, eval.Evaluate(sm, t.Gold))
+		// Default COMA for reference.
+		cube, err := core.ExecuteMatchers(ctx, t.S1, t.S2, core.DefaultConfig().Matchers)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.CombineCube(cube, t.S1, t.S2, def, nil)
+		if err != nil {
+			panic(err)
+		}
+		comaQ = append(comaQ, eval.Evaluate(res.Mapping, t.Gold))
+	}
+	report := func(label string, qs []eval.Quality) {
+		fmt.Printf("%-26s %s\n", label, eval.FormatQuality(eval.Average(qs)))
+	}
+	report("Flooding+DefaultSelect", sfQ)
+	report("Flooding+StableMarriage", sfSMQ)
+	report("COMA All (default)", comaQ)
+	return nil
+}
+
+// expFragment demonstrates the two reuse granularities of Section 5.
+// Schema-level reuse needs a chain of stored mappings through an
+// intermediate schema; fragment-level reuse instead transfers confirmed
+// correspondences of recurring schema fragments (a standard Address /
+// Contact component vocabulary) to a brand-new schema pair for which no
+// mapping chain exists.
+func expFragment(g *gridRunner) error {
+	fmt.Println("== Extension: Fragment vs Schema reuse granularity ==")
+	// Four org schemas built from two shared component vocabularies:
+	// A and C embed the "Address/Contact" flavour, B and D the
+	// "Anschrift/Person" flavour. The repository holds one confirmed
+	// mapping A<->B; the new task is C<->D.
+	build := func(name, top string, addrNames, contactNames [3]string, addrTag, contactTag string) *schema.Schema {
+		s := schema.New(name)
+		party := schema.NewNode(top)
+		addr := schema.NewNode(addrTag)
+		for _, n := range addrNames {
+			addr.AddChild(&schema.Node{Name: n, TypeName: "xsd:string"})
+		}
+		contact := schema.NewNode(contactTag)
+		for _, n := range contactNames {
+			contact.AddChild(&schema.Node{Name: n, TypeName: "xsd:string"})
+		}
+		party.AddChild(addr)
+		party.AddChild(contact)
+		s.Root.AddChild(party)
+		return s
+	}
+	left := [3]string{"street", "city", "zip"}
+	right := [3]string{"strasse", "ort", "plz"}
+	lc := [3]string{"name", "phone", "email"}
+	rc := [3]string{"personName", "telefon", "mail"}
+	// OrgA/OrgB exist only through their stored mapping below; the new
+	// task matches OrgC against OrgD.
+	sc := build("OrgC", "Vendor", left, lc, "Address", "Contact")
+	sd := build("OrgD", "Lieferant", right, rc, "Anschrift", "Person")
+
+	// Confirmed mapping A<->B (as a domain expert would store it).
+	confirmed := simcube.NewMapping("OrgA", "OrgB")
+	for i := range left {
+		confirmed.Add("Buyer.Address."+left[i], "Kunde.Anschrift."+right[i], 1)
+	}
+	for i := range lc {
+		confirmed.Add("Buyer.Contact."+lc[i], "Kunde.Person."+rc[i], 1)
+	}
+	store := &reuse.MemStore{}
+	store.Put(confirmed)
+
+	// Gold for the new task C<->D mirrors the component structure.
+	gold := simcube.NewMapping("OrgC", "OrgD")
+	for i := range left {
+		gold.Add("Vendor.Address."+left[i], "Lieferant.Anschrift."+right[i], 1)
+	}
+	for i := range lc {
+		gold.Add("Vendor.Contact."+lc[i], "Lieferant.Person."+rc[i], 1)
+	}
+
+	ctx := match.NewContext()
+	def := combine.Default()
+	run := func(ms ...match.Matcher) eval.Quality {
+		cube, err := core.ExecuteMatchers(ctx, sc, sd, ms)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.CombineCube(cube, sc, sd, def, nil)
+		if err != nil {
+			panic(err)
+		}
+		return eval.Evaluate(res.Mapping, gold)
+	}
+	report := func(label string, q eval.Quality) {
+		fmt.Printf("%-18s %s\n", label, eval.FormatQuality(q))
+	}
+	// Schema-level reuse finds nothing: no stored mapping touches OrgC
+	// or OrgD, so no MatchCompose chain exists.
+	report("SchemaM", run(reuse.NewSchemaMatcher("SchemaM", store)))
+	// Fragment-level reuse transfers the confirmed component
+	// correspondences by fragment suffix.
+	report("FragmentM", run(reuse.NewFragmentMatcher("FragmentM", store)))
+	// The cross-language leaves are invisible to the name matchers.
+	report("All (no reuse)", run(core.DefaultConfig().Matchers...))
+	return nil
+}
+
+// expDict isolates the contribution of the auxiliary information
+// sources (Section 4.1): the default operation with the full synonym/
+// abbreviation dictionary, without any dictionary, and with the
+// taxonomy matcher added to the Name matcher's constituents.
+func expDict(g *gridRunner) error {
+	fmt.Println("== Ablation: auxiliary information (dictionary, taxonomy) ==")
+	def := combine.Default()
+	run := func(ctx *match.Context, ms []match.Matcher) eval.Quality {
+		var qs []eval.Quality
+		for _, t := range workload.Tasks() {
+			cube, err := core.ExecuteMatchers(ctx, t.S1, t.S2, ms)
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.CombineCube(cube, t.S1, t.S2, def, nil)
+			if err != nil {
+				panic(err)
+			}
+			qs = append(qs, eval.Evaluate(res.Mapping, t.Gold))
+		}
+		return eval.Average(qs)
+	}
+	report := func(label string, q eval.Quality) {
+		fmt.Printf("%-24s %s\n", label, eval.FormatQuality(q))
+	}
+	report("All + full dictionary", run(match.NewContext(), core.DefaultConfig().Matchers))
+	// No auxiliary name information at all.
+	bare := &match.Context{Types: dict.DefaultTypeTable()}
+	report("All, no dictionary", run(bare, core.DefaultConfig().Matchers))
+	// Taxonomy as an extra constituent of Name (and hence NamePath).
+	tokenStrategy := combine.Strategy{
+		Agg:  combine.AggSpec{Kind: combine.Max},
+		Dir:  combine.Both,
+		Sel:  combine.Selection{MaxN: 1},
+		Comb: combine.CombAverage,
+	}
+	taxName := match.NewCustomName("Name", tokenStrategy,
+		match.Trigram(), match.Synonym(), match.Taxonomy())
+	withTax := []match.Matcher{
+		taxName,
+		match.NewNamePath(),
+		match.NewTypeName(),
+		match.NewChildren(),
+		match.NewLeaves(),
+	}
+	report("All + taxonomy in Name", run(match.NewContext(), withTax))
+	return nil
+}

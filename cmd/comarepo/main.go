@@ -1,0 +1,92 @@
+// Command comarepo inspects and maintains a COMA repository file.
+//
+// Usage:
+//
+//	comarepo -repo coma.repo stats
+//	comarepo -repo coma.repo schemas
+//	comarepo -repo coma.repo show -schema PO1
+//	comarepo -repo coma.repo mappings -tag manual
+//	comarepo -repo coma.repo dump -tag manual -from PO1 -to PO2
+//	comarepo -repo coma.repo compact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	coma "repro"
+)
+
+func main() {
+	var (
+		repoPath = flag.String("repo", "coma.repo", "repository file")
+		schemaN  = flag.String("schema", "", "schema name for 'show'")
+		tag      = flag.String("tag", "manual", "mapping tag for 'mappings'/'dump'")
+		from     = flag.String("from", "", "mapping source schema for 'dump'")
+		to       = flag.String("to", "", "mapping target schema for 'dump'")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: comarepo [flags] stats|schemas|show|mappings|dump|compact")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *repoPath, *schemaN, *tag, *from, *to); err != nil {
+		fmt.Fprintln(os.Stderr, "comarepo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd, repoPath, schemaName, tag, from, to string) error {
+	repo, err := coma.OpenRepository(repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+
+	switch cmd {
+	case "stats":
+		st := repo.Stats()
+		fmt.Printf("schemas:  %d\nmappings: %d\ncubes:    %d\nlog size: %d bytes\n",
+			st.Schemas, st.Mappings, st.Cubes, st.LogBytes)
+	case "schemas":
+		for _, n := range repo.SchemaNames() {
+			s, _ := repo.GetSchema(n)
+			fmt.Printf("%-20s %4d paths\n", n, len(s.Paths()))
+		}
+	case "show":
+		if schemaName == "" {
+			return fmt.Errorf("show requires -schema")
+		}
+		s, ok := repo.GetSchema(schemaName)
+		if !ok {
+			return fmt.Errorf("schema %q not found", schemaName)
+		}
+		fmt.Print(s)
+	case "mappings":
+		store := repo.MappingStore(tag)
+		for _, m := range store.AllMappings() {
+			fmt.Printf("%-12s %-12s %4d correspondences\n", m.FromSchema, m.ToSchema, m.Len())
+		}
+	case "dump":
+		if from == "" || to == "" {
+			return fmt.Errorf("dump requires -from and -to")
+		}
+		m, ok := repo.GetMapping(tag, from, to)
+		if !ok {
+			return fmt.Errorf("no mapping %s<->%s under tag %q", from, to, tag)
+		}
+		for _, c := range m.Correspondences() {
+			fmt.Printf("%-45s %-45s %.3f\n", c.From, c.To, c.Sim)
+		}
+	case "compact":
+		before := repo.Stats().LogBytes
+		if err := repo.Compact(); err != nil {
+			return err
+		}
+		fmt.Printf("compacted: %d -> %d bytes\n", before, repo.Stats().LogBytes)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	coma "repro"
+)
+
+func seedRepo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.repo")
+	repo, err := coma.OpenRepository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	s, err := coma.LoadSQL("PO1", "CREATE TABLE T (a INT, b VARCHAR(10));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutSchema(s); err != nil {
+		t.Fatal(err)
+	}
+	m := &coma.Mapping{FromSchema: "PO1", ToSchema: "PO2"}
+	m.Add("T.a", "X.y", 0.8)
+	if err := repo.PutMapping("manual", m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCommands(t *testing.T) {
+	path := seedRepo(t)
+	for _, cmd := range []string{"stats", "schemas", "mappings", "compact"} {
+		if err := run(cmd, path, "", "manual", "", ""); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+	if err := run("show", path, "PO1", "manual", "", ""); err != nil {
+		t.Errorf("show: %v", err)
+	}
+	if err := run("dump", path, "", "manual", "PO1", "PO2"); err != nil {
+		t.Errorf("dump: %v", err)
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	path := seedRepo(t)
+	if err := run("bogus", path, "", "", "", ""); err == nil {
+		t.Error("unknown command should fail")
+	}
+	if err := run("show", path, "", "", "", ""); err == nil {
+		t.Error("show without -schema should fail")
+	}
+	if err := run("show", path, "Missing", "", "", ""); err == nil {
+		t.Error("show of missing schema should fail")
+	}
+	if err := run("dump", path, "", "manual", "", ""); err == nil {
+		t.Error("dump without endpoints should fail")
+	}
+	if err := run("dump", path, "", "manual", "A", "B"); err == nil {
+		t.Error("dump of missing mapping should fail")
+	}
+}

@@ -1,0 +1,266 @@
+// Package coma is a from-scratch Go implementation of COMA, the
+// generic schema matching system of Do & Rahm (VLDB 2002): an
+// extensible library of simple, hybrid and reuse-oriented matchers, a
+// flexible framework for combining their results (aggregation,
+// direction, selection, combined similarity), a repository for
+// schemas, similarity cubes and match results, and the MatchCompose
+// operation for reusing previous match results.
+//
+// Quick start:
+//
+//	s1, _ := coma.LoadSQL("PO1", ddl)
+//	s2, _ := coma.LoadXSD("PO2", xsd)
+//	res, _ := coma.Match(s1, s2)
+//	for _, c := range res.Mapping.Correspondences() {
+//		fmt.Println(c)
+//	}
+//
+// Match runs the paper's default operation — the combination of all
+// five hybrid matchers under (Average, Both,
+// Threshold(0.5)+Delta(0.02)) — unless options select different
+// matchers or strategies.
+package coma
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/export"
+	"repro/internal/flooding"
+	"repro/internal/importer"
+	"repro/internal/instance"
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Re-exported core types. The internal packages remain the
+// implementation; these aliases are the public vocabulary.
+type (
+	// Schema is a rooted DAG of schema elements; see LoadSQL/LoadXSD.
+	Schema = schema.Schema
+	// Node is one schema element.
+	Node = schema.Node
+	// Path identifies an element by its containment chain.
+	Path = schema.Path
+	// Mapping is a match result: correspondences with similarities.
+	Mapping = simcube.Mapping
+	// Correspondence is one element correspondence of a mapping.
+	Correspondence = simcube.Correspondence
+	// Cube is the k×m×n similarity cube of a matcher execution phase.
+	Cube = simcube.Cube
+	// Matrix is an aggregated similarity matrix.
+	Matrix = simcube.Matrix
+	// Strategy is the combination strategy tuple
+	// (aggregation, direction, selection, combined similarity).
+	Strategy = combine.Strategy
+	// Selection is a match candidate selection criterion set.
+	Selection = combine.Selection
+	// Result is the outcome of a match operation.
+	Result = core.Result
+	// Matcher is a match algorithm over two schemas.
+	Matcher = match.Matcher
+	// Feedback records user-asserted matches and mismatches.
+	Feedback = match.Feedback
+	// Dictionary is the synonym/abbreviation auxiliary source.
+	Dictionary = dict.Dictionary
+)
+
+// Direction constants for Strategy.Dir.
+const (
+	Both       = combine.Both
+	LargeSmall = combine.LargeSmall
+	SmallLarge = combine.SmallLarge
+)
+
+// Aggregation constructors for Strategy.Agg.
+var (
+	Average = combine.AggSpec{Kind: combine.Average}
+	Max     = combine.AggSpec{Kind: combine.Max}
+	Min     = combine.AggSpec{Kind: combine.Min}
+)
+
+// Weighted returns a weighted aggregation with one weight per matcher.
+func Weighted(weights ...float64) combine.AggSpec {
+	return combine.AggSpec{Kind: combine.Weighted, Weights: weights}
+}
+
+// DefaultStrategy returns the evaluation's best default combination
+// strategy: (Average, Both, Threshold(0.5)+Delta(0.02), Average).
+func DefaultStrategy() Strategy { return combine.Default() }
+
+// LoadSQL imports a relational schema from CREATE TABLE statements.
+func LoadSQL(name, ddl string) (*Schema, error) { return importer.ParseSQL(name, ddl) }
+
+// LoadXSD imports an XML schema from an XSD document.
+func LoadXSD(name string, src []byte) (*Schema, error) { return importer.ParseXSD(name, src) }
+
+// LoadJSONSchema imports a JSON Schema document (properties become
+// containment children; $ref definitions become shared fragments).
+func LoadJSONSchema(name string, src []byte) (*Schema, error) {
+	return importer.ParseJSONSchema(name, src)
+}
+
+// LoadDTD imports a Document Type Definition (elements referenced from
+// several content models become shared fragments; attributes become
+// leaves).
+func LoadDTD(name string, src []byte) (*Schema, error) {
+	return importer.ParseDTD(name, src)
+}
+
+// Instances holds sample data values per schema element path, feeding
+// the instance-level matcher.
+type Instances = instance.Instances
+
+// NewInstances returns an empty sample set for the named schema.
+func NewInstances(schemaName string) *Instances { return instance.NewInstances(schemaName) }
+
+// NewInstanceMatcher returns the instance-level matcher: element
+// similarity from the statistical resemblance of the elements' value
+// samples (value patterns, character classes, lengths, numeric shares).
+// Use WithMatcherInstances to combine it with schema-level matchers.
+func NewInstanceMatcher(left, right *Instances) Matcher {
+	return instance.NewMatcher(left, right)
+}
+
+// Options configure a match operation.
+type Options struct {
+	matchers []Matcher
+	strategy Strategy
+	ctx      *match.Context
+	feedback *Feedback
+}
+
+// Option adjusts match options.
+type Option func(*Options) error
+
+// WithMatchers selects matchers by library name (e.g. "NamePath",
+// "Leaves", "Flooding").
+func WithMatchers(names ...string) Option {
+	return func(o *Options) error {
+		ms, err := Library().NewSet(names...)
+		if err != nil {
+			return err
+		}
+		o.matchers = ms
+		return nil
+	}
+}
+
+// WithMatcherInstances selects explicit matcher instances, e.g. a
+// repository-backed Schema reuse matcher.
+func WithMatcherInstances(ms ...Matcher) Option {
+	return func(o *Options) error {
+		if len(ms) == 0 {
+			return fmt.Errorf("coma: empty matcher list")
+		}
+		o.matchers = ms
+		return nil
+	}
+}
+
+// WithStrategy replaces the default combination strategy.
+func WithStrategy(s Strategy) Option {
+	return func(o *Options) error {
+		o.strategy = s
+		return nil
+	}
+}
+
+// WithDictionary replaces the default synonym/abbreviation dictionary.
+func WithDictionary(d *Dictionary) Option {
+	return func(o *Options) error {
+		o.ctx.Dict = d
+		return nil
+	}
+}
+
+// WithDictionaryFile loads additional dictionary entries (syn/hyp/abb
+// lines) into the context's dictionary.
+func WithDictionaryFile(r io.Reader) Option {
+	return func(o *Options) error {
+		return o.ctx.Dict.Load(r)
+	}
+}
+
+// WithFeedback supplies user feedback whose assertions are pinned into
+// the result.
+func WithFeedback(f *Feedback) Option {
+	return func(o *Options) error {
+		o.feedback = f
+		return nil
+	}
+}
+
+func buildOptions(opts []Option) (*Options, error) {
+	o := &Options{
+		strategy: combine.Default(),
+		ctx:      match.NewContext(),
+	}
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	if o.matchers == nil {
+		o.matchers = core.DefaultConfig().Matchers
+	}
+	return o, nil
+}
+
+// Match performs one automatic match operation on two schemas.
+func Match(s1, s2 *Schema, opts ...Option) (*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Match(o.ctx, s1, s2, core.Config{
+		Matchers: o.matchers,
+		Strategy: o.strategy,
+		Feedback: o.feedback,
+	})
+}
+
+// Session is an interactive match session carrying user feedback
+// across iterations.
+type Session = core.Session
+
+// NewSession prepares an interactive session; the same options as
+// Match apply.
+func NewSession(s1, s2 *Schema, opts ...Option) (*Session, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSession(o.ctx, s1, s2, core.Config{
+		Matchers: o.matchers,
+		Strategy: o.strategy,
+		Feedback: o.feedback,
+	}), nil
+}
+
+// Library returns the matcher library with every built-in matcher
+// registered, including the Similarity Flooding extension.
+func Library() *match.Library {
+	lib := match.NewLibrary()
+	lib.Register("Flooding", func() match.Matcher { return flooding.New() })
+	return lib
+}
+
+// Matchers lists the names available in the default library.
+func Matchers() []string { return Library().Names() }
+
+// WriteMappingJSON serializes a match result as indented JSON.
+func WriteMappingJSON(w io.Writer, m *Mapping) error { return export.MappingJSON(w, m) }
+
+// ReadMappingJSON parses a mapping written by WriteMappingJSON.
+func ReadMappingJSON(r io.Reader) (*Mapping, error) { return export.ReadMappingJSON(r) }
+
+// WriteMappingCSV serializes a match result as CSV (from,to,similarity).
+func WriteMappingCSV(w io.Writer, m *Mapping) error { return export.MappingCSV(w, m) }
+
+// WriteSchemaDOT renders a schema graph in Graphviz DOT format.
+func WriteSchemaDOT(w io.Writer, s *Schema) error { return export.SchemaDOT(w, s) }

@@ -1,0 +1,222 @@
+package coma_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	coma "repro"
+)
+
+const ddlPO1 = `
+CREATE TABLE PO1.ShipTo (
+  poNo INT,
+  custNo INT REFERENCES PO1.Customer,
+  shipToStreet VARCHAR(200),
+  shipToCity VARCHAR(200),
+  shipToZip VARCHAR(20),
+  PRIMARY KEY (poNo)
+);
+CREATE TABLE PO1.Customer (
+  custNo INT,
+  custName VARCHAR(200),
+  custStreet VARCHAR(200),
+  custCity VARCHAR(200),
+  custZip VARCHAR(20),
+  PRIMARY KEY (custNo)
+);`
+
+const xsdPO2 = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2">
+  <xsd:sequence>
+   <xsd:element name="DeliverTo" type="Address"/>
+   <xsd:element name="BillTo" type="Address"/>
+  </xsd:sequence>
+ </xsd:complexType>
+ <xsd:complexType name="Address">
+  <xsd:sequence>
+   <xsd:element name="Street" type="xsd:string"/>
+   <xsd:element name="City" type="xsd:string"/>
+   <xsd:element name="Zip" type="xsd:decimal"/>
+  </xsd:sequence>
+ </xsd:complexType>
+</xsd:schema>`
+
+func loadPair(t *testing.T) (*coma.Schema, *coma.Schema) {
+	t.Helper()
+	s1, err := coma.LoadSQL("PO1", ddlPO1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := coma.LoadXSD("PO2", []byte(xsdPO2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s1, s2
+}
+
+func TestMatchFigure1(t *testing.T) {
+	s1, s2 := loadPair(t)
+	res, err := coma.Match(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's running-example conclusion: shipToCity is the match
+	// candidate of DeliverTo.Address.City.
+	if !res.Mapping.Contains("ShipTo.shipToCity", "DeliverTo.Address.City") {
+		t.Errorf("expected shipToCity <-> DeliverTo.Address.City; got:\n%s", res.Mapping)
+	}
+	if !res.Mapping.Contains("Customer.custCity", "BillTo.Address.City") {
+		t.Errorf("expected custCity <-> BillTo.Address.City; got:\n%s", res.Mapping)
+	}
+}
+
+func TestMatchWithOptions(t *testing.T) {
+	s1, s2 := loadPair(t)
+	st := coma.DefaultStrategy()
+	st.Sel = coma.Selection{MaxN: 1}
+	st.Dir = coma.LargeSmall
+	res, err := coma.Match(s1, s2,
+		coma.WithMatchers("NamePath", "Leaves"),
+		coma.WithStrategy(st),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cube.Layers() != 2 {
+		t.Errorf("layers = %d, want 2", res.Cube.Layers())
+	}
+	if res.Mapping.Len() == 0 {
+		t.Error("empty mapping")
+	}
+	if _, err := coma.Match(s1, s2, coma.WithMatchers("Bogus")); err == nil {
+		t.Error("unknown matcher should fail")
+	}
+	if _, err := coma.Match(s1, s2, coma.WithMatcherInstances()); err == nil {
+		t.Error("empty instance list should fail")
+	}
+}
+
+func TestMatchWithCustomDictionary(t *testing.T) {
+	s1, s2 := loadPair(t)
+	extra := strings.NewReader("syn cust client\n")
+	res, err := coma.Match(s1, s2, coma.WithDictionaryFile(extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Len() == 0 {
+		t.Error("match with extended dictionary failed")
+	}
+}
+
+func TestSessionAPI(t *testing.T) {
+	s1, s2 := loadPair(t)
+	fb := &coma.Feedback{}
+	sess, err := coma.NewSession(s1, s2, coma.WithFeedback(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Reject("ShipTo.shipToCity", "DeliverTo.Address.City")
+	second, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Mapping.Contains("ShipTo.shipToCity", "DeliverTo.Address.City") {
+		t.Error("rejected pair still in result")
+	}
+	if first.Mapping.Len() == 0 {
+		t.Error("first iteration empty")
+	}
+}
+
+func TestRepositoryReuseRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coma.repo")
+	repo, err := coma.OpenRepository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	s1, s2 := loadPair(t)
+	if err := repo.PutSchema(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutSchema(s2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coma.Match(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutMapping(coma.TagManual, res.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutCube("PO1|PO2", res.Cube); err != nil {
+		t.Fatal(err)
+	}
+	// A third schema matched against PO2 can reuse PO1<->PO2 plus
+	// PO1<->PO3 through the Schema matcher.
+	s3, err := coma.LoadXSD("PO3", []byte(strings.ReplaceAll(xsdPO2, "PO2", "PO3")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res13, err := coma.Match(s1, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutMapping(coma.TagManual, res13.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	reuseRes, err := coma.Match(s2, s3,
+		coma.WithMatcherInstances(repo.SchemaMatcher(coma.TagManual)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuseRes.Mapping.Len() == 0 {
+		t.Error("Schema reuse matcher found nothing")
+	}
+	if !reuseRes.Mapping.Contains("DeliverTo.Address.City", "DeliverTo.Address.City") {
+		t.Errorf("expected composed City correspondence; got:\n%s", reuseRes.Mapping)
+	}
+}
+
+func TestMatchComposeAPI(t *testing.T) {
+	m1 := &coma.Mapping{FromSchema: "A", ToSchema: "B"}
+	m1.Add("x", "y", 0.8)
+	m2 := &coma.Mapping{FromSchema: "B", ToSchema: "C"}
+	m2.Add("y", "z", 0.6)
+	got := coma.MatchCompose(m1, m2)
+	if sim, ok := got.Get("x", "z"); !ok || sim != 0.7 {
+		t.Errorf("MatchCompose = %.2f, %v", sim, ok)
+	}
+}
+
+func TestLibraryListing(t *testing.T) {
+	names := coma.Matchers()
+	want := map[string]bool{"Name": false, "NamePath": false, "Flooding": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("library missing %s", n)
+		}
+	}
+}
+
+func TestSchemaSimilarityReported(t *testing.T) {
+	s1, s2 := loadPair(t)
+	res, err := coma.Match(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaSim <= 0 || res.SchemaSim > 1 {
+		t.Errorf("schema similarity = %.3f", res.SchemaSim)
+	}
+}

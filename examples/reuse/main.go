@@ -1,0 +1,88 @@
+// Reuse: the repository-backed Schema matcher (paper Section 5). Two
+// previously matched purchase-order schemas provide mappings that are
+// composed via MatchCompose to predict a mapping for a brand-new pair —
+// without executing any linguistic or structural matcher.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	coma "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "coma-reuse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	repo, err := coma.OpenRepository(filepath.Join(dir, "coma.repo"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	// Three schemas from the workload: CIDX (1), Excel (2), Noris (3).
+	schemas := workload.Schemas()
+	cidx, excel, noris := schemas[0], schemas[1], schemas[2]
+	for _, s := range []*coma.Schema{cidx, excel, noris} {
+		if err := repo.PutSchema(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Phase 1: match CIDX<->Excel and Excel<->Noris the ordinary way
+	// and store the (user-confirmed) results in the repository.
+	for _, pair := range [][2]*coma.Schema{{cidx, excel}, {excel, noris}} {
+		res, err := coma.Match(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := repo.PutMapping(coma.TagManual, res.Mapping); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stored %s <-> %s (%d correspondences)\n",
+			pair[0].Name, pair[1].Name, res.Mapping.Len())
+	}
+
+	// Phase 2: the new task CIDX<->Noris is answered purely from the
+	// repository: MatchCompose joins the stored mappings through Excel.
+	reuseOnly, err := coma.Match(cidx, noris,
+		coma.WithMatcherInstances(repo.SchemaMatcher(coma.TagManual)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreuse-only match CIDX <-> Noris: %d correspondences\n", reuseOnly.Mapping.Len())
+	for i, c := range reuseOnly.Mapping.Correspondences() {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", reuseOnly.Mapping.Len()-10)
+			break
+		}
+		fmt.Printf("  %-42s <-> %-40s %.2f\n", c.From, c.To, c.Sim)
+	}
+
+	// Compare against the gold standard and against the default
+	// (no-reuse) operation.
+	task, _ := workload.TaskByName("1<->3")
+	direct, err := coma.Match(cidx, noris)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquality vs gold standard (%d real matches):\n", task.Gold.Len())
+	report := func(label string, m *coma.Mapping) {
+		var hit int
+		for _, c := range m.Correspondences() {
+			if task.Gold.Contains(c.From, c.To) {
+				hit++
+			}
+		}
+		fmt.Printf("  %-12s proposed=%3d correct=%3d\n", label, m.Len(), hit)
+	}
+	report("reuse-only", reuseOnly.Mapping)
+	report("no-reuse", direct.Mapping)
+}

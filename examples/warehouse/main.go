@@ -1,0 +1,110 @@
+// Warehouse loading: the directional match scenario the paper's
+// introduction motivates — integrating a new relational source into a
+// data warehouse with a fixed global schema. Only match candidates for
+// the (smaller) warehouse schema are needed, so the LargeSmall
+// directional strategy applies: source elements are ranked and selected
+// with respect to each warehouse element, and unmatched source columns
+// are acceptable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coma "repro"
+)
+
+// sourceDDL is the operational source system: wide tables, terse
+// column names.
+const sourceDDL = `
+CREATE TABLE src.SalesOrder (
+  so_no        INT PRIMARY KEY,
+  so_date      DATE,
+  cust_no      INT REFERENCES src.Client,
+  ship_street  VARCHAR(120),
+  ship_city    VARCHAR(80),
+  ship_zip     VARCHAR(16),
+  carrier_code VARCHAR(8),
+  total_amt    DECIMAL(12,2),
+  tax_amt      DECIMAL(12,2),
+  discount_pct DECIMAL(5,2),
+  entered_by   VARCHAR(40)
+);
+CREATE TABLE src.Client (
+  cust_no    INT PRIMARY KEY,
+  cust_name  VARCHAR(120),
+  cust_city  VARCHAR(80),
+  cust_phone VARCHAR(32),
+  segment    VARCHAR(16)
+);
+CREATE TABLE src.OrderLine (
+  so_no     INT REFERENCES src.SalesOrder,
+  line_no   INT,
+  prod_code VARCHAR(24),
+  qty       DECIMAL(10,2),
+  unit_cost DECIMAL(12,4)
+);`
+
+// warehouseDDL is the dimensional target schema.
+const warehouseDDL = `
+CREATE TABLE dw.FactOrder (
+  orderNumber   INT PRIMARY KEY,
+  orderDate     DATE,
+  customerKey   INT REFERENCES dw.DimCustomer,
+  totalAmount   DECIMAL(14,2),
+  taxAmount     DECIMAL(14,2)
+);
+CREATE TABLE dw.DimCustomer (
+  customerKey   INT PRIMARY KEY,
+  customerName  VARCHAR(200),
+  customerCity  VARCHAR(100),
+  customerPhone VARCHAR(40)
+);
+CREATE TABLE dw.FactOrderLine (
+  orderNumber  INT,
+  lineNumber   INT,
+  productCode  VARCHAR(30),
+  quantity     DECIMAL(12,2),
+  unitPrice    DECIMAL(14,4)
+);`
+
+func main() {
+	source, err := coma.LoadSQL("source", sourceDDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warehouse, err := coma.LoadSQL("warehouse", warehouseDDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Directional match: find a source candidate for every warehouse
+	// element; the source's operational extras (carrier_code,
+	// entered_by, segment, ...) legitimately stay unmatched.
+	strategy := coma.DefaultStrategy()
+	strategy.Dir = coma.LargeSmall
+	strategy.Sel = coma.Selection{MaxN: 1, Threshold: 0.4}
+
+	res, err := coma.Match(source, warehouse, coma.WithStrategy(strategy))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("warehouse load mapping (%d of %d warehouse elements covered):\n",
+		len(res.Mapping.ToElements()), len(warehouse.Paths()))
+	for _, c := range res.Mapping.Correspondences() {
+		fmt.Printf("  %-28s := %-28s (%.2f)\n", c.To, c.From, c.Sim)
+	}
+
+	// Report the warehouse elements that still need a manual mapping.
+	covered := make(map[string]bool)
+	for _, e := range res.Mapping.ToElements() {
+		covered[e] = true
+	}
+	fmt.Println("\nunmapped warehouse elements (manual post-match effort):")
+	for _, p := range warehouse.Paths() {
+		if !covered[p.String()] {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package combine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simcube"
+)
+
+// benchMatrix builds a task-sized (110×75) similarity matrix with
+// realistic sparsity.
+func benchMatrix() *simcube.Matrix {
+	r := rand.New(rand.NewSource(1))
+	rows := make([]string, 110)
+	for i := range rows {
+		rows[i] = "r" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	cols := make([]string, 75)
+	for j := range cols {
+		cols[j] = "c" + string(rune('a'+j%26)) + string(rune('a'+j/26))
+	}
+	m := simcube.NewMatrix(rows, cols)
+	m.Fill(func(i, j int) float64 {
+		if r.Float64() < 0.8 {
+			return r.Float64() * 0.3 // mostly weak similarities
+		}
+		return r.Float64()
+	})
+	return m
+}
+
+func benchCube(layers int) *simcube.Cube {
+	m := benchMatrix()
+	cube := simcube.NewCube(m.RowKeys(), m.ColKeys())
+	for k := 0; k < layers; k++ {
+		layer := cube.NewLayer(string(rune('A' + k)))
+		layer.Fill(func(i, j int) float64 { return m.Get(i, j) })
+	}
+	return cube
+}
+
+func BenchmarkAggregateAverage5(b *testing.B) {
+	cube := benchCube(5)
+	spec := AggSpec{Kind: Average}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Apply(cube); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateWeighted5(b *testing.B) {
+	cube := benchCube(5)
+	spec := AggSpec{Kind: Weighted, Weights: []float64{1, 2, 3, 4, 5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Apply(cube); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectBothMaxN1(b *testing.B) {
+	m := benchMatrix()
+	sel := Selection{MaxN: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Select(m, Both, sel)
+	}
+}
+
+func BenchmarkSelectBothThresholdDelta(b *testing.B) {
+	m := benchMatrix()
+	sel := Selection{Threshold: 0.5, Delta: 0.02}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Select(m, Both, sel)
+	}
+}
+
+func BenchmarkCombinedSimilarity(b *testing.B) {
+	m := benchMatrix()
+	res := Select(m, Both, Selection{MaxN: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CombinedSimilarity(CombAverage, m.Rows(), m.Cols(), res)
+		_ = CombinedSimilarity(CombDice, m.Rows(), m.Cols(), res)
+	}
+}

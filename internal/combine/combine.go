@@ -1,0 +1,393 @@
+// Package combine implements COMA's framework for combining similarity
+// values (Do & Rahm, VLDB 2002, Section 6): aggregation of
+// matcher-specific results (Max, Min, Average, Weighted), direction and
+// selection of match candidates (LargeSmall, SmallLarge, Both; MaxN,
+// MaxDelta, Threshold and their combinations), and computation of a
+// combined similarity for element sets (Average, Dice).
+//
+// The same three-step scheme serves two purposes: deriving the complete
+// match result from independent matchers, and — inside hybrid matchers —
+// deriving element similarities from the similarities of element
+// components (name tokens, children, leaves).
+package combine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simcube"
+)
+
+// Aggregation identifies a strategy for folding the matcher-specific
+// similarity values of one element pair into a combined value.
+type Aggregation int
+
+const (
+	// Average returns the mean similarity over all matchers, treating
+	// them as equally important (special case of Weighted).
+	Average Aggregation = iota
+	// Max returns the maximal similarity of any matcher: optimistic,
+	// lets matchers maximally complement each other.
+	Max
+	// Min returns the lowest similarity of any matcher: pessimistic.
+	Min
+	// Weighted returns a weighted sum using per-matcher weights.
+	Weighted
+)
+
+// String returns the aggregation name as used in the paper.
+func (a Aggregation) String() string {
+	switch a {
+	case Average:
+		return "Average"
+	case Max:
+		return "Max"
+	case Min:
+		return "Min"
+	case Weighted:
+		return "Weighted"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// AggSpec is an aggregation strategy instance. Weights are only
+// consulted for Weighted and are matched positionally to cube layers;
+// they are normalized to sum 1 at application time.
+type AggSpec struct {
+	Kind    Aggregation
+	Weights []float64
+}
+
+// String renders the spec, including weights for Weighted.
+func (a AggSpec) String() string {
+	if a.Kind == Weighted && len(a.Weights) > 0 {
+		parts := make([]string, len(a.Weights))
+		for i, w := range a.Weights {
+			parts[i] = fmt.Sprintf("%.2g", w)
+		}
+		return "Weighted(" + strings.Join(parts, ",") + ")"
+	}
+	return a.Kind.String()
+}
+
+// Apply folds the cube into a single similarity matrix.
+func (a AggSpec) Apply(cube *simcube.Cube) (*simcube.Matrix, error) {
+	switch a.Kind {
+	case Max:
+		return cube.Aggregate(func(v []float64) float64 {
+			best := 0.0
+			for _, x := range v {
+				if x > best {
+					best = x
+				}
+			}
+			return best
+		}), nil
+	case Min:
+		return cube.Aggregate(func(v []float64) float64 {
+			worst := 1.0
+			for _, x := range v {
+				if x < worst {
+					worst = x
+				}
+			}
+			return worst
+		}), nil
+	case Average:
+		return cube.Aggregate(func(v []float64) float64 {
+			s := 0.0
+			for _, x := range v {
+				s += x
+			}
+			return s / float64(len(v))
+		}), nil
+	case Weighted:
+		if len(a.Weights) != cube.Layers() {
+			return nil, fmt.Errorf("combine: %d weights for %d matchers", len(a.Weights), cube.Layers())
+		}
+		total := 0.0
+		for _, w := range a.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("combine: negative weight %g", w)
+			}
+			total += w
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("combine: weights sum to zero")
+		}
+		norm := make([]float64, len(a.Weights))
+		for i, w := range a.Weights {
+			norm[i] = w / total
+		}
+		return cube.Aggregate(func(v []float64) float64 {
+			s := 0.0
+			for i, x := range v {
+				s += norm[i] * x
+			}
+			return s
+		}), nil
+	default:
+		return nil, fmt.Errorf("combine: unknown aggregation %v", a.Kind)
+	}
+}
+
+// Direction identifies the match direction strategy (paper Section 6.2).
+// The "larger" and "smaller" schema are determined by their element
+// (path) counts at selection time.
+type Direction int
+
+const (
+	// Both considers both directions; a pair is accepted only if it is
+	// selected in both (undirectional match).
+	Both Direction = iota
+	// LargeSmall ranks and selects elements of the larger schema with
+	// respect to each element of the smaller target schema.
+	LargeSmall
+	// SmallLarge ranks and selects elements of the smaller schema for
+	// each element of the larger schema.
+	SmallLarge
+)
+
+// String returns the direction name as used in the paper.
+func (d Direction) String() string {
+	switch d {
+	case Both:
+		return "Both"
+	case LargeSmall:
+		return "LargeSmall"
+	case SmallLarge:
+		return "SmallLarge"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Selection is a match candidate selection strategy: the conjunction of
+// up to three criteria applied to the ranked candidate list of one
+// element. Zero fields disable the respective criterion.
+//
+//   - MaxN keeps the n candidates with maximal similarity.
+//   - Delta keeps the maximal candidate plus all candidates whose
+//     similarity differs from the maximum by at most the given relative
+//     tolerance (MaxDelta with a relative d, as in the evaluation).
+//   - Threshold keeps candidates whose similarity exceeds t.
+//
+// Candidates with similarity 0 are never selected.
+type Selection struct {
+	MaxN      int
+	Delta     float64
+	Threshold float64
+}
+
+// String renders the selection in the paper's notation, e.g.
+// "Thr(0.5)+Delta(0.02)".
+func (s Selection) String() string {
+	var parts []string
+	if s.Threshold > 0 {
+		parts = append(parts, fmt.Sprintf("Thr(%.2g)", s.Threshold))
+	}
+	if s.MaxN > 0 {
+		parts = append(parts, fmt.Sprintf("MaxN(%d)", s.MaxN))
+	}
+	if s.Delta > 0 {
+		parts = append(parts, fmt.Sprintf("Delta(%.2g)", s.Delta))
+	}
+	if len(parts) == 0 {
+		return "All"
+	}
+	return strings.Join(parts, "+")
+}
+
+// candidate pairs an element index with its similarity.
+type candidate struct {
+	idx int
+	sim float64
+}
+
+// pick applies the selection to one element's candidates. sims[i] is
+// the similarity of candidate i; the returned indices are sorted by
+// descending similarity (ties by ascending index).
+func (s Selection) pick(sims []float64) []int {
+	cands := make([]candidate, 0, len(sims))
+	for i, v := range sims {
+		if v > 0 {
+			cands = append(cands, candidate{i, v})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].sim > cands[j].sim })
+	best := cands[0].sim
+	var out []int
+	for rank, c := range cands {
+		if s.MaxN > 0 && rank >= s.MaxN {
+			break
+		}
+		if s.Delta > 0 && c.sim < best*(1-s.Delta) {
+			break
+		}
+		if s.Threshold > 0 && c.sim <= s.Threshold {
+			if s.MaxN > 0 || s.Delta > 0 {
+				break // ranked order: nothing further can pass
+			}
+			continue
+		}
+		out = append(out, c.idx)
+	}
+	return out
+}
+
+// SelectRowwise determines, for every row element (S1), its match
+// candidates among the column elements (S2).
+func SelectRowwise(m *simcube.Matrix, sel Selection) *simcube.Mapping {
+	out := simcube.NewMapping("", "")
+	sims := make([]float64, m.Cols())
+	for i, rk := range m.RowKeys() {
+		for j := range sims {
+			sims[j] = m.Get(i, j)
+		}
+		for _, j := range sel.pick(sims) {
+			out.Add(rk, m.ColKeys()[j], m.Get(i, j))
+		}
+	}
+	return out
+}
+
+// SelectColwise determines, for every column element (S2), its match
+// candidates among the row elements (S1).
+func SelectColwise(m *simcube.Matrix, sel Selection) *simcube.Mapping {
+	out := simcube.NewMapping("", "")
+	sims := make([]float64, m.Rows())
+	for j, ck := range m.ColKeys() {
+		for i := range sims {
+			sims[i] = m.Get(i, j)
+		}
+		for _, i := range sel.pick(sims) {
+			out.Add(m.RowKeys()[i], ck, m.Get(i, j))
+		}
+	}
+	return out
+}
+
+// Select applies direction and selection to a similarity matrix (rows =
+// S1 elements, columns = S2 elements) and returns the match result.
+func Select(m *simcube.Matrix, dir Direction, sel Selection) *simcube.Mapping {
+	s1Larger := m.Rows() >= m.Cols()
+	switch dir {
+	case LargeSmall:
+		// Candidates from the larger schema for each element of the
+		// smaller target.
+		if s1Larger {
+			return SelectColwise(m, sel)
+		}
+		return SelectRowwise(m, sel)
+	case SmallLarge:
+		if s1Larger {
+			return SelectRowwise(m, sel)
+		}
+		return SelectColwise(m, sel)
+	case Both:
+		return SelectRowwise(m, sel).Intersect(SelectColwise(m, sel))
+	default:
+		return simcube.NewMapping("", "")
+	}
+}
+
+// CombSim identifies a strategy for computing a single combined
+// similarity from the match result over two element sets (step 3).
+type CombSim int
+
+const (
+	// CombAverage divides the summed similarity of all match candidates
+	// of both sets by the total number of set elements |S1|+|S2|.
+	CombAverage CombSim = iota
+	// CombDice returns the ratio of matched elements over the total
+	// number of set elements (Dice coefficient): more optimistic, the
+	// individual similarity values do not influence the result.
+	CombDice
+)
+
+// String returns the strategy name.
+func (c CombSim) String() string {
+	switch c {
+	case CombAverage:
+		return "Average"
+	case CombDice:
+		return "Dice"
+	default:
+		return fmt.Sprintf("CombSim(%d)", int(c))
+	}
+}
+
+// CombinedSimilarity folds a match result (selected with direction
+// Both) over sets of n1 S1 elements and n2 S2 elements into one
+// similarity value (paper Section 6.3, Figure 7). Each correspondence
+// contributes as a candidate of both sets.
+func CombinedSimilarity(c CombSim, n1, n2 int, result *simcube.Mapping) float64 {
+	if n1+n2 == 0 {
+		return 0
+	}
+	switch c {
+	case CombAverage:
+		sum := 0.0
+		for _, corr := range result.Correspondences() {
+			sum += 2 * corr.Sim
+		}
+		return clamp01(sum / float64(n1+n2))
+	case CombDice:
+		matched := len(result.FromElements()) + len(result.ToElements())
+		return clamp01(float64(matched) / float64(n1+n2))
+	default:
+		return 0
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Strategy is the full combination strategy tuple (paper Section 6.4):
+// one sub-strategy per combination step. Comb is only consulted where a
+// combined similarity is required (hybrid matchers, schema similarity).
+type Strategy struct {
+	Agg  AggSpec
+	Dir  Direction
+	Sel  Selection
+	Comb CombSim
+}
+
+// String renders the tuple like "(Average, Both, Thr(0.5)+Delta(0.02), Average)".
+func (s Strategy) String() string {
+	return fmt.Sprintf("(%s, %s, %s, %s)", s.Agg, s.Dir, s.Sel, s.Comb)
+}
+
+// Default returns the default combination strategy determined by the
+// paper's evaluation: (Average, Both, Threshold(0.5)+Delta(0.02)) with
+// Average for combined similarity.
+func Default() Strategy {
+	return Strategy{
+		Agg:  AggSpec{Kind: Average},
+		Dir:  Both,
+		Sel:  Selection{Threshold: 0.5, Delta: 0.02},
+		Comb: CombAverage,
+	}
+}
+
+// Combine aggregates a similarity cube and selects match candidates in
+// one call, returning the aggregated matrix and the match result.
+func Combine(cube *simcube.Cube, s Strategy) (*simcube.Matrix, *simcube.Mapping, error) {
+	m, err := s.Agg.Apply(cube)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, Select(m, s.Dir, s.Sel), nil
+}

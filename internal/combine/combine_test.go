@@ -1,0 +1,363 @@
+package combine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simcube"
+)
+
+func cube2x2(layers ...[4]float64) *simcube.Cube {
+	c := simcube.NewCube([]string{"r0", "r1"}, []string{"c0", "c1"})
+	for k, l := range layers {
+		m := c.NewLayer(string(rune('A' + k)))
+		m.Set(0, 0, l[0])
+		m.Set(0, 1, l[1])
+		m.Set(1, 0, l[2])
+		m.Set(1, 1, l[3])
+	}
+	return c
+}
+
+func TestAggregationStrategies(t *testing.T) {
+	c := cube2x2([4]float64{0.8, 0.2, 0.4, 1.0}, [4]float64{0.4, 0.6, 0.4, 0.0})
+	cases := []struct {
+		spec AggSpec
+		want [4]float64
+	}{
+		{AggSpec{Kind: Max}, [4]float64{0.8, 0.6, 0.4, 1.0}},
+		{AggSpec{Kind: Min}, [4]float64{0.4, 0.2, 0.4, 0.0}},
+		{AggSpec{Kind: Average}, [4]float64{0.6, 0.4, 0.4, 0.5}},
+		{AggSpec{Kind: Weighted, Weights: []float64{0.3, 0.7}}, [4]float64{0.52, 0.48, 0.4, 0.3}},
+	}
+	for _, cse := range cases {
+		m, err := cse.spec.Apply(c)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.spec, err)
+		}
+		got := [4]float64{m.Get(0, 0), m.Get(0, 1), m.Get(1, 0), m.Get(1, 1)}
+		for i := range got {
+			if math.Abs(got[i]-cse.want[i]) > 1e-9 {
+				t.Errorf("%s cell %d = %.3f, want %.3f", cse.spec, i, got[i], cse.want[i])
+			}
+		}
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	c := cube2x2([4]float64{1, 0, 0, 1})
+	if _, err := (AggSpec{Kind: Weighted, Weights: []float64{0.3, 0.7}}).Apply(c); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+	if _, err := (AggSpec{Kind: Weighted, Weights: []float64{-1}}).Apply(c); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := (AggSpec{Kind: Weighted, Weights: []float64{0}}).Apply(c); err == nil {
+		t.Error("zero weights should fail")
+	}
+	if _, err := (AggSpec{Kind: Aggregation(42)}).Apply(c); err == nil {
+		t.Error("unknown aggregation should fail")
+	}
+}
+
+func TestWeightedNormalization(t *testing.T) {
+	c := cube2x2([4]float64{1, 0, 0, 0}, [4]float64{0, 0, 0, 0})
+	// Weights 3 and 7 behave like 0.3/0.7.
+	m, err := (AggSpec{Kind: Weighted, Weights: []float64{3, 7}}).Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(0, 0); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("normalized weighted = %.3f, want 0.3", got)
+	}
+}
+
+// table2Matrix reproduces Table 2's aggregated column for
+// PO2.DeliverTo.Address.City against three PO1 elements.
+func table2Matrix() *simcube.Matrix {
+	rows := []string{"ShipTo.shipToCity", "Customer.custCity", "ShipTo.shipToStreet"}
+	m := simcube.NewMatrix(rows, []string{"DeliverTo.Address.City"})
+	m.Set(0, 0, 0.72) // average of 0.65 and 0.78 (rounded like Table 2)
+	m.Set(1, 0, 0.67)
+	m.Set(2, 0, 0.52)
+	return m
+}
+
+func TestSelectionMaxN(t *testing.T) {
+	m := table2Matrix()
+	got := SelectColwise(m, Selection{MaxN: 1})
+	if got.Len() != 1 || !got.Contains("ShipTo.shipToCity", "DeliverTo.Address.City") {
+		t.Fatalf("MaxN(1) selected %v", got.Correspondences())
+	}
+	got = SelectColwise(m, Selection{MaxN: 2})
+	if got.Len() != 2 || !got.Contains("Customer.custCity", "DeliverTo.Address.City") {
+		t.Fatalf("MaxN(2) selected %v", got.Correspondences())
+	}
+}
+
+func TestSelectionThreshold(t *testing.T) {
+	m := table2Matrix()
+	got := SelectColwise(m, Selection{Threshold: 0.6})
+	if got.Len() != 2 {
+		t.Fatalf("Thr(0.6) selected %d", got.Len())
+	}
+	// Threshold is strict (exceeding t).
+	got = SelectColwise(m, Selection{Threshold: 0.72})
+	if got.Len() != 0 {
+		t.Fatalf("Thr(0.72) should exclude the 0.72 candidate, got %d", got.Len())
+	}
+}
+
+func TestSelectionDelta(t *testing.T) {
+	m := table2Matrix()
+	// 0.67 is within 10% of 0.72 (0.72*0.9 = 0.648), 0.52 is not.
+	got := SelectColwise(m, Selection{Delta: 0.1})
+	if got.Len() != 2 {
+		t.Fatalf("Delta(0.1) selected %d", got.Len())
+	}
+	got = SelectColwise(m, Selection{Delta: 0.02})
+	if got.Len() != 1 {
+		t.Fatalf("Delta(0.02) selected %d", got.Len())
+	}
+}
+
+func TestSelectionConjunction(t *testing.T) {
+	m := table2Matrix()
+	got := SelectColwise(m, Selection{Threshold: 0.7, MaxN: 2})
+	if got.Len() != 1 {
+		t.Fatalf("Thr(0.7)+MaxN(2) selected %d", got.Len())
+	}
+	// High threshold kills everything despite MaxN.
+	got = SelectColwise(m, Selection{Threshold: 0.9, MaxN: 1})
+	if got.Len() != 0 {
+		t.Fatal("Thr(0.9)+MaxN(1) should be empty")
+	}
+}
+
+func TestSelectionIgnoresZeroSims(t *testing.T) {
+	m := simcube.NewMatrix([]string{"a", "b"}, []string{"x"})
+	// All-zero column: MaxN(1) must not invent a candidate.
+	got := SelectColwise(m, Selection{MaxN: 1})
+	if got.Len() != 0 {
+		t.Fatalf("zero sims selected %v", got.Correspondences())
+	}
+}
+
+func TestSelectRowwise(t *testing.T) {
+	m := simcube.NewMatrix([]string{"a"}, []string{"x", "y"})
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.8)
+	got := SelectRowwise(m, Selection{MaxN: 1})
+	if got.Len() != 1 || !got.Contains("a", "x") {
+		t.Fatalf("rowwise selected %v", got.Correspondences())
+	}
+}
+
+func TestDirectionBoth(t *testing.T) {
+	// a prefers x; x prefers b — Both must reject (a,x) and accept
+	// nothing for x except via mutual agreement.
+	m := simcube.NewMatrix([]string{"a", "b"}, []string{"x", "y"})
+	m.Set(0, 0, 0.8) // a-x
+	m.Set(1, 0, 0.9) // b-x (x's best)
+	m.Set(0, 1, 0.7) // a-y (y's best, a's second)
+	m.Set(1, 1, 0.1)
+	both := Select(m, Both, Selection{MaxN: 1})
+	if !both.Contains("b", "x") {
+		t.Error("mutual best (b,x) missing")
+	}
+	if both.Contains("a", "x") {
+		t.Error("(a,x) selected although x prefers b")
+	}
+	// a's best is x, so (a,y) fails the rowwise direction too.
+	if both.Contains("a", "y") {
+		t.Error("(a,y) selected although a prefers x")
+	}
+}
+
+func TestDirectionLargeSmall(t *testing.T) {
+	// 3 rows (S1, larger) x 1 col (S2, smaller): LargeSmall selects S1
+	// candidates per S2 element.
+	m := table2Matrix()
+	ls := Select(m, LargeSmall, Selection{MaxN: 1})
+	if ls.Len() != 1 || !ls.Contains("ShipTo.shipToCity", "DeliverTo.Address.City") {
+		t.Fatalf("LargeSmall = %v", ls.Correspondences())
+	}
+	// SmallLarge selects an S2 candidate per S1 element: every S1
+	// element gets the single S2 element.
+	sl := Select(m, SmallLarge, Selection{MaxN: 1})
+	if sl.Len() != 3 {
+		t.Fatalf("SmallLarge = %d pairs, want 3", sl.Len())
+	}
+}
+
+func TestDirectionSizeDetection(t *testing.T) {
+	// When S2 (cols) is larger, LargeSmall must rank S2 per S1 element.
+	m := simcube.NewMatrix([]string{"a"}, []string{"x", "y", "z"})
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.8)
+	m.Set(0, 2, 0.7)
+	ls := Select(m, LargeSmall, Selection{MaxN: 1})
+	if ls.Len() != 1 || !ls.Contains("a", "x") {
+		t.Fatalf("LargeSmall with larger S2 = %v", ls.Correspondences())
+	}
+	sl := Select(m, SmallLarge, Selection{MaxN: 1})
+	if sl.Len() != 3 {
+		t.Fatalf("SmallLarge with larger S2 = %d, want 3", sl.Len())
+	}
+}
+
+// TestCombinedSimilarityFigure7 reproduces the worked example of
+// Figure 7: |S1|=4, |S2|=3, three matched pairs with sims 1.0, 0.8, 0.8.
+func TestCombinedSimilarityFigure7(t *testing.T) {
+	res := simcube.NewMapping("S1", "S2")
+	res.Add("s13", "s21", 1.0)
+	res.Add("s12", "s22", 0.8)
+	res.Add("s11", "s23", 0.8)
+	avg := CombinedSimilarity(CombAverage, 4, 3, res)
+	if math.Abs(avg-0.742857) > 1e-3 {
+		t.Errorf("Average = %.4f, want 0.74", avg)
+	}
+	dice := CombinedSimilarity(CombDice, 4, 3, res)
+	if math.Abs(dice-0.857142) > 1e-3 {
+		t.Errorf("Dice = %.4f, want 0.86", dice)
+	}
+	if dice <= avg {
+		t.Error("Dice should be more optimistic than Average")
+	}
+}
+
+func TestCombinedSimilarityManualEquality(t *testing.T) {
+	// "With all element similarities set to 1.0, both strategies will
+	// return the same schema similarity."
+	res := simcube.NewMapping("S1", "S2")
+	res.Add("a", "x", 1)
+	res.Add("b", "y", 1)
+	avg := CombinedSimilarity(CombAverage, 3, 3, res)
+	dice := CombinedSimilarity(CombDice, 3, 3, res)
+	if math.Abs(avg-dice) > 1e-12 {
+		t.Errorf("Average %.3f != Dice %.3f for all-1.0 sims", avg, dice)
+	}
+}
+
+func TestCombinedSimilarityEdge(t *testing.T) {
+	if CombinedSimilarity(CombAverage, 0, 0, simcube.NewMapping("a", "b")) != 0 {
+		t.Error("empty sets should give 0")
+	}
+	if CombinedSimilarity(CombSim(9), 1, 1, simcube.NewMapping("a", "b")) != 0 {
+		t.Error("unknown strategy should give 0")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	c := cube2x2([4]float64{0.9, 0.1, 0.1, 0.8}, [4]float64{0.7, 0.1, 0.2, 0.6})
+	matrix, result, err := Combine(c, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Get(0, 0) != 0.8 {
+		t.Errorf("aggregated (0,0) = %.2f", matrix.Get(0, 0))
+	}
+	if result.Len() != 2 || !result.Contains("r0", "c0") || !result.Contains("r1", "c1") {
+		t.Fatalf("Combine result = %v", result.Correspondences())
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	s := Default()
+	if s.String() != "(Average, Both, Thr(0.5)+Delta(0.02), Average)" {
+		t.Errorf("Default().String() = %s", s)
+	}
+	if (Selection{}).String() != "All" {
+		t.Error("empty selection should render as All")
+	}
+	if (Selection{MaxN: 2, Threshold: 0.5}).String() != "Thr(0.5)+MaxN(2)" {
+		t.Errorf("selection string = %s", Selection{MaxN: 2, Threshold: 0.5})
+	}
+	if Direction(9).String() == "" || Aggregation(9).String() == "" || CombSim(9).String() == "" {
+		t.Error("unknown enum strings should be non-empty")
+	}
+	if LargeSmall.String() != "LargeSmall" || SmallLarge.String() != "SmallLarge" || Both.String() != "Both" {
+		t.Error("direction names wrong")
+	}
+}
+
+func TestPropertySelectionSubsetAndRanked(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		rk := make([]string, rows)
+		for i := range rk {
+			rk[i] = string(rune('a' + i))
+		}
+		ck := make([]string, cols)
+		for j := range ck {
+			ck[j] = string(rune('p' + j))
+		}
+		m := simcube.NewMatrix(rk, ck)
+		m.Fill(func(i, j int) float64 { return math.Floor(r.Float64()*100) / 100 })
+		sel := Selection{
+			MaxN:      r.Intn(3),
+			Delta:     float64(r.Intn(10)) / 100,
+			Threshold: float64(r.Intn(10)) / 10,
+		}
+		// Both is a subset of each direction.
+		rw := SelectRowwise(m, sel)
+		cw := SelectColwise(m, sel)
+		both := Select(m, Both, sel)
+		for _, c := range both.Correspondences() {
+			if !rw.Contains(c.From, c.To) || !cw.Contains(c.From, c.To) {
+				return false
+			}
+			// Every selected sim respects the threshold.
+			if sel.Threshold > 0 && c.Sim <= sel.Threshold {
+				return false
+			}
+			if c.Sim <= 0 {
+				return false
+			}
+		}
+		// MaxN bound per element.
+		if sel.MaxN > 0 {
+			for _, k := range rk {
+				if len(rw.ByFrom(k)) > sel.MaxN {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAggregationBounds(t *testing.T) {
+	// Min <= Average <= Max cell-wise, all within [0,1].
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		layers := make([][4]float64, 1+r.Intn(4))
+		for i := range layers {
+			for j := 0; j < 4; j++ {
+				layers[i][j] = r.Float64()
+			}
+		}
+		c := cube2x2(layers...)
+		mx, _ := AggSpec{Kind: Max}.Apply(c)
+		mn, _ := AggSpec{Kind: Min}.Apply(c)
+		av, _ := AggSpec{Kind: Average}.Apply(c)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				lo, hi, mid := mn.Get(i, j), mx.Get(i, j), av.Get(i, j)
+				if lo > mid+1e-12 || mid > hi+1e-12 || lo < 0 || hi > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

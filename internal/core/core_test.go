@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+func TestMatchDefaultConfig(t *testing.T) {
+	ctx := match.NewContext()
+	task := workload.Tasks()[0]
+	res, err := Match(ctx, task.S1, task.S2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cube.Layers() != 5 {
+		t.Errorf("cube layers = %d, want 5", res.Cube.Layers())
+	}
+	if res.Mapping.Len() == 0 {
+		t.Fatal("empty mapping")
+	}
+	if res.Mapping.FromSchema != task.S1.Name || res.Mapping.ToSchema != task.S2.Name {
+		t.Error("mapping schema names not set")
+	}
+	if res.SchemaSim <= 0 || res.SchemaSim > 1 {
+		t.Errorf("schema similarity = %.3f", res.SchemaSim)
+	}
+	// Deterministic output: correspondences sorted.
+	cs := res.Mapping.Correspondences()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].From > cs[i].From {
+			t.Fatal("mapping not sorted")
+		}
+	}
+}
+
+func TestMatchValidation(t *testing.T) {
+	ctx := match.NewContext()
+	task := workload.Tasks()[0]
+	if _, err := Match(ctx, task.S1, task.S2, Config{}); err == nil {
+		t.Error("empty matcher set should fail")
+	}
+}
+
+func TestExecuteMatchersShape(t *testing.T) {
+	ctx := match.NewContext()
+	task := workload.Tasks()[0]
+	cube, err := ExecuteMatchers(ctx, task.S1, task.S2, []match.Matcher{match.NewName()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.RowKeys()) != len(task.S1.Paths()) || len(cube.ColKeys()) != len(task.S2.Paths()) {
+		t.Error("cube keys do not cover all paths")
+	}
+}
+
+func TestSessionFeedbackIterations(t *testing.T) {
+	ctx := match.NewContext()
+	task := workload.Tasks()[0]
+	sess := NewSession(ctx, task.S1, task.S2, DefaultConfig())
+	if sess.Last() != nil || sess.Iterations() != 0 {
+		t.Fatal("fresh session should be empty")
+	}
+	first, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reject one proposed correspondence and assert an arbitrary match;
+	// the next iteration must honour both.
+	var victim [2]string
+	for _, c := range first.Mapping.Correspondences() {
+		victim = [2]string{c.From, c.To}
+		break
+	}
+	sess.Reject(victim[0], victim[1])
+	sess.Accept("PO.Routing.routeCode", "Warehouse.whCode")
+	second, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Mapping.Contains(victim[0], victim[1]) {
+		t.Errorf("rejected pair %v still proposed", victim)
+	}
+	if !second.Mapping.Contains("PO.Routing.routeCode", "Warehouse.whCode") {
+		t.Error("accepted pair not proposed")
+	}
+	if sess.Iterations() != 2 || sess.Last() != second {
+		t.Error("iteration bookkeeping wrong")
+	}
+	if sess.Feedback().Len() != 2 {
+		t.Error("feedback not accumulated")
+	}
+}
+
+func TestSessionStrategyChange(t *testing.T) {
+	ctx := match.NewContext()
+	task := workload.Tasks()[0]
+	sess := NewSession(ctx, task.S1, task.S2, DefaultConfig())
+	loose := combine.Default()
+	loose.Sel = combine.Selection{Threshold: 0.3}
+	sess.SetStrategy(loose)
+	res1, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := combine.Default()
+	strict.Sel = combine.Selection{Threshold: 0.8}
+	sess.SetStrategy(strict)
+	res2, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Mapping.Len() >= res1.Mapping.Len() {
+		t.Errorf("stricter threshold should shrink result: %d -> %d",
+			res1.Mapping.Len(), res2.Mapping.Len())
+	}
+	sess.SetMatchers([]match.Matcher{match.NewNamePath()})
+	res3, err := sess.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Cube.Layers() != 1 {
+		t.Error("SetMatchers not applied")
+	}
+}
+
+func TestCombineCubeFeedbackPinning(t *testing.T) {
+	ctx := match.NewContext()
+	task := workload.Tasks()[0]
+	cube, err := ExecuteMatchers(ctx, task.S1, task.S2, DefaultConfig().Matchers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := match.NewFeedback()
+	fb.Accept("PO.Acknowledgement.ackDate", "Warehouse.pickDate")
+	res, err := CombineCube(cube, task.S1, task.S2, combine.Default(), fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Matrix.GetKey("PO.Acknowledgement.ackDate", "Warehouse.pickDate"); got != 1 {
+		t.Errorf("pinned similarity = %.2f, want 1", got)
+	}
+}

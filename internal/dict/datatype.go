@@ -1,0 +1,168 @@
+package dict
+
+import "strings"
+
+// GenericType is one of COMA's predefined generic data types to which
+// the concrete data types of schema elements are mapped in order to
+// determine their similarity (paper Section 4.1, DataType matcher).
+type GenericType int
+
+const (
+	// GenUnknown marks types outside the mapping table.
+	GenUnknown GenericType = iota
+	// GenString covers character types (VARCHAR, CHAR, xsd:string, ...).
+	GenString
+	// GenInteger covers whole-number types.
+	GenInteger
+	// GenDecimal covers fixed/floating point numeric types.
+	GenDecimal
+	// GenDate covers date/time types.
+	GenDate
+	// GenBoolean covers truth-value types.
+	GenBoolean
+	// GenBinary covers raw byte types.
+	GenBinary
+	// GenComplex marks inner elements without a simple type.
+	GenComplex
+	genTypeCount
+)
+
+// String returns the generic type name.
+func (g GenericType) String() string {
+	switch g {
+	case GenString:
+		return "string"
+	case GenInteger:
+		return "integer"
+	case GenDecimal:
+		return "decimal"
+	case GenDate:
+		return "date"
+	case GenBoolean:
+		return "boolean"
+	case GenBinary:
+		return "binary"
+	case GenComplex:
+		return "complex"
+	default:
+		return "unknown"
+	}
+}
+
+// TypeTable is the data type compatibility table: it maps concrete type
+// names onto generic types and records the degree of compatibility
+// between every pair of generic types. The zero value is unusable;
+// construct with DefaultTypeTable or NewTypeTable.
+type TypeTable struct {
+	compat [genTypeCount][genTypeCount]float64
+	names  map[string]GenericType
+}
+
+// NewTypeTable returns a table with identity compatibility only
+// (each generic type fully compatible with itself) and the built-in
+// concrete-name mapping.
+func NewTypeTable() *TypeTable {
+	t := &TypeTable{names: builtinTypeNames()}
+	for g := GenericType(0); g < genTypeCount; g++ {
+		t.compat[g][g] = 1
+	}
+	t.compat[GenUnknown][GenUnknown] = 0.5 // two unknowns: noncommittal
+	return t
+}
+
+// SetCompat records a symmetric compatibility degree in [0,1] between
+// two generic types.
+func (t *TypeTable) SetCompat(a, b GenericType, sim float64) {
+	if sim < 0 {
+		sim = 0
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	t.compat[a][b] = sim
+	t.compat[b][a] = sim
+}
+
+// MapName registers a concrete type name (case-insensitive, parameters
+// like "(200)" stripped by Generic) as the given generic type.
+func (t *TypeTable) MapName(name string, g GenericType) {
+	t.names[strings.ToLower(name)] = g
+}
+
+// Generic maps a concrete declared type (e.g. "VARCHAR(200)",
+// "xsd:decimal") to its generic type. Unparameterized lookup is
+// attempted first, then the name with any "(...)" parameter stripped,
+// then without a namespace prefix. An empty name maps to GenComplex
+// (inner element).
+func (t *TypeTable) Generic(name string) GenericType {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return GenComplex
+	}
+	if g, ok := t.names[name]; ok {
+		return g
+	}
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		if g, ok := t.names[strings.TrimSpace(name[:i])]; ok {
+			return g
+		}
+	}
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return t.Generic(name[i+1:])
+	}
+	return GenUnknown
+}
+
+// Compat returns the compatibility degree between two concrete type
+// names after mapping both to generic types.
+func (t *TypeTable) Compat(a, b string) float64 {
+	return t.compat[t.Generic(a)][t.Generic(b)]
+}
+
+func builtinTypeNames() map[string]GenericType {
+	m := map[string]GenericType{}
+	for _, n := range []string{"varchar", "char", "character", "text", "string", "nvarchar", "clob", "token", "normalizedstring", "anyuri", "id", "idref", "nmtoken"} {
+		m[n] = GenString
+	}
+	for _, n := range []string{"int", "integer", "smallint", "bigint", "tinyint", "serial", "long", "short", "byte", "unsignedint", "unsignedlong", "positiveinteger", "nonnegativeinteger", "negativeinteger", "nonpositiveinteger"} {
+		m[n] = GenInteger
+	}
+	for _, n := range []string{"decimal", "numeric", "float", "double", "real", "money"} {
+		m[n] = GenDecimal
+	}
+	for _, n := range []string{"date", "time", "datetime", "timestamp", "gyear", "gmonth", "gday", "gyearmonth", "duration"} {
+		m[n] = GenDate
+	}
+	for _, n := range []string{"bool", "boolean", "bit"} {
+		m[n] = GenBoolean
+	}
+	for _, n := range []string{"blob", "binary", "varbinary", "base64binary", "hexbinary", "bytea"} {
+		m[n] = GenBinary
+	}
+	return m
+}
+
+// DefaultTypeTable returns the compatibility table used throughout the
+// evaluation: full self-compatibility, high integer↔decimal
+// compatibility, moderate string↔anything-textual compatibility, and low
+// compatibility elsewhere. The exact degrees follow the spirit of the
+// paper's "synonym table specifying the degree of compatibility between
+// a set of predefined generic data types".
+func DefaultTypeTable() *TypeTable {
+	t := NewTypeTable()
+	t.SetCompat(GenInteger, GenDecimal, 0.8)
+	t.SetCompat(GenString, GenInteger, 0.4)
+	t.SetCompat(GenString, GenDecimal, 0.4)
+	t.SetCompat(GenString, GenDate, 0.4)
+	t.SetCompat(GenString, GenBoolean, 0.2)
+	t.SetCompat(GenString, GenBinary, 0.2)
+	t.SetCompat(GenInteger, GenDate, 0.2)
+	t.SetCompat(GenInteger, GenBoolean, 0.3)
+	t.SetCompat(GenDecimal, GenDate, 0.1)
+	t.SetCompat(GenComplex, GenComplex, 1)
+	// Unknown types get benefit of the doubt against anything simple.
+	for g := GenString; g <= GenBinary; g++ {
+		t.SetCompat(GenUnknown, g, 0.3)
+	}
+	return t
+}

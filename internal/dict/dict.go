@@ -1,0 +1,273 @@
+// Package dict implements COMA's auxiliary information sources
+// (Do & Rahm, VLDB 2002, Sections 4.1 and 7.1): a synonym dictionary
+// with relationship-specific similarity values, an abbreviation/acronym
+// expansion table, and the generic data type compatibility table used by
+// the DataType matcher.
+package dict
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Relationship classifies a terminological relationship between two
+// terms; each relationship carries a fixed similarity (paper: 1.0 for a
+// synonymy, 0.8 for a hypernymy relationship).
+type Relationship int
+
+const (
+	// Synonym terms are interchangeable (similarity 1.0).
+	Synonym Relationship = iota
+	// Hypernym relates a broader term to a narrower one (similarity 0.8).
+	Hypernym
+)
+
+// Similarity returns the fixed similarity for the relationship.
+func (r Relationship) Similarity() float64 {
+	switch r {
+	case Synonym:
+		return 1.0
+	case Hypernym:
+		return 0.8
+	default:
+		return 0
+	}
+}
+
+// Dictionary holds terminological relationships between lower-case
+// terms, plus abbreviation expansions. The zero value is an empty,
+// usable dictionary.
+type Dictionary struct {
+	// rel maps term → term → best relationship similarity.
+	rel map[string]map[string]float64
+	// abbrev maps a lower-case abbreviation to its expansion tokens.
+	abbrev map[string][]string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		rel:    make(map[string]map[string]float64),
+		abbrev: make(map[string][]string),
+	}
+}
+
+func (d *Dictionary) ensure() {
+	if d.rel == nil {
+		d.rel = make(map[string]map[string]float64)
+	}
+	if d.abbrev == nil {
+		d.abbrev = make(map[string][]string)
+	}
+}
+
+// AddSynonym records a symmetric synonym pair.
+func (d *Dictionary) AddSynonym(a, b string) { d.addRel(a, b, Synonym.Similarity(), true) }
+
+// AddHypernym records that broader is a hypernym of narrower. The
+// relationship contributes the hypernym similarity in both lookup
+// directions, matching COMA's use of a single similarity per pair.
+func (d *Dictionary) AddHypernym(broader, narrower string) {
+	d.addRel(broader, narrower, Hypernym.Similarity(), true)
+}
+
+func (d *Dictionary) addRel(a, b string, sim float64, symmetric bool) {
+	d.ensure()
+	a, b = strings.ToLower(strings.TrimSpace(a)), strings.ToLower(strings.TrimSpace(b))
+	if a == "" || b == "" {
+		return
+	}
+	put := func(x, y string) {
+		m := d.rel[x]
+		if m == nil {
+			m = make(map[string]float64)
+			d.rel[x] = m
+		}
+		if sim > m[y] {
+			m[y] = sim
+		}
+	}
+	put(a, b)
+	if symmetric {
+		put(b, a)
+	}
+}
+
+// AddAbbreviation records that abbr expands to the given tokens, e.g.
+// PO → {purchase, order}, No → {number}.
+func (d *Dictionary) AddAbbreviation(abbr string, expansion ...string) {
+	d.ensure()
+	abbr = strings.ToLower(strings.TrimSpace(abbr))
+	if abbr == "" || len(expansion) == 0 {
+		return
+	}
+	toks := make([]string, 0, len(expansion))
+	for _, e := range expansion {
+		e = strings.ToLower(strings.TrimSpace(e))
+		if e != "" {
+			toks = append(toks, e)
+		}
+	}
+	d.abbrev[abbr] = toks
+}
+
+// Expand returns the expansion tokens for a lower-case token, or nil.
+// Its signature matches strutil.TokenSet's expander parameter.
+func (d *Dictionary) Expand(tok string) []string {
+	if d == nil || d.abbrev == nil {
+		return nil
+	}
+	return d.abbrev[strings.ToLower(tok)]
+}
+
+// Lookup returns the terminological similarity between two terms: 1 for
+// equal terms, the relationship similarity when a relationship is
+// recorded, else 0.
+func (d *Dictionary) Lookup(a, b string) float64 {
+	a, b = strings.ToLower(strings.TrimSpace(a)), strings.ToLower(strings.TrimSpace(b))
+	if a == "" || b == "" {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	if d == nil || d.rel == nil {
+		return 0
+	}
+	if m := d.rel[a]; m != nil {
+		return m[b]
+	}
+	return 0
+}
+
+// Terms returns all terms with at least one recorded relationship,
+// sorted; used by tests and the CLI's dictionary dump.
+func (d *Dictionary) Terms() []string {
+	if d == nil {
+		return nil
+	}
+	out := make([]string, 0, len(d.rel))
+	for t := range d.rel {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load reads dictionary entries from r, one per line:
+//
+//	syn ship deliver        # synonym pair
+//	hyp vehicle car         # hypernym: broader narrower
+//	abb po purchase order   # abbreviation + expansion tokens
+//
+// Blank lines and lines starting with '#' are ignored. Trailing '#'
+// comments are stripped.
+func (d *Dictionary) Load(r io.Reader) error {
+	d.ensure()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToLower(fields[0]) {
+		case "syn":
+			if len(fields) != 3 {
+				return fmt.Errorf("dict line %d: syn needs exactly 2 terms", lineNo)
+			}
+			d.AddSynonym(fields[1], fields[2])
+		case "hyp":
+			if len(fields) != 3 {
+				return fmt.Errorf("dict line %d: hyp needs exactly 2 terms", lineNo)
+			}
+			d.AddHypernym(fields[1], fields[2])
+		case "abb":
+			if len(fields) < 3 {
+				return fmt.Errorf("dict line %d: abb needs an abbreviation and 1+ expansion tokens", lineNo)
+			}
+			d.AddAbbreviation(fields[1], fields[2:]...)
+		default:
+			return fmt.Errorf("dict line %d: unknown entry kind %q", lineNo, fields[0])
+		}
+	}
+	return sc.Err()
+}
+
+// Default returns the dictionary the paper's evaluation used: trivial
+// abbreviations (No, Num, PO, Qty, ...) plus the domain-specific synonym
+// pairs it names, (ship, deliver) and (bill, invoice), extended with the
+// purchase-order vocabulary the workload schemas draw on.
+func Default() *Dictionary {
+	d := NewDictionary()
+	// "some trivial abbreviations, such as, No, Num" (Sec. 7.1)
+	d.AddAbbreviation("no", "number")
+	d.AddAbbreviation("num", "number")
+	d.AddAbbreviation("nr", "number")
+	d.AddAbbreviation("po", "purchase", "order")
+	d.AddAbbreviation("qty", "quantity")
+	d.AddAbbreviation("amt", "amount")
+	d.AddAbbreviation("addr", "address")
+	d.AddAbbreviation("tel", "telephone")
+	d.AddAbbreviation("cust", "customer")
+	d.AddAbbreviation("desc", "description")
+	d.AddAbbreviation("uom", "unit", "of", "measure")
+	d.AddAbbreviation("id", "identifier")
+	d.AddAbbreviation("frt", "freight")
+	d.AddAbbreviation("tot", "total")
+	d.AddAbbreviation("curr", "currency")
+	d.AddAbbreviation("prod", "product")
+	d.AddAbbreviation("doc", "document")
+	d.AddAbbreviation("ref", "reference")
+	d.AddAbbreviation("wh", "warehouse")
+	d.AddAbbreviation("disc", "discount")
+	d.AddAbbreviation("pct", "percent")
+	// Inflected context words normalize to their stem so that path
+	// tokens discriminate contexts sharply (ShippingParty vs ship).
+	d.AddAbbreviation("shipping", "ship")
+	d.AddAbbreviation("shipment", "ship")
+	d.AddAbbreviation("invoicing", "invoice")
+	d.AddAbbreviation("billing", "bill")
+	d.AddAbbreviation("delivery", "deliver")
+	// "domain-specific synonyms, such as (ship, deliver), (bill, invoice)"
+	d.AddSynonym("ship", "deliver")
+	d.AddSynonym("bill", "invoice")
+	d.AddSynonym("city", "town")
+	d.AddSynonym("zip", "postcode")
+	d.AddSynonym("zip", "postal")
+	d.AddSynonym("street", "road")
+	d.AddSynonym("phone", "telephone")
+	d.AddSynonym("customer", "buyer")
+	d.AddSynonym("supplier", "vendor")
+	d.AddSynonym("supplier", "seller")
+	d.AddSynonym("item", "line")
+	d.AddSynonym("item", "article")
+	d.AddSynonym("product", "article")
+	d.AddSynonym("price", "cost")
+	d.AddSynonym("quantity", "count")
+	d.AddSynonym("date", "day")
+	d.AddSynonym("total", "sum")
+	d.AddSynonym("net", "sub")
+	d.AddSynonym("gross", "grand")
+	d.AddSynonym("freight", "shipping")
+	d.AddSynonym("amount", "total")
+	d.AddSynonym("amount", "cost")
+	d.AddSynonym("code", "number")
+	d.AddSynonym("part", "product")
+	d.AddSynonym("order", "document")
+	d.AddSynonym("contact", "person")
+	d.AddSynonym("company", "organization")
+	d.AddSynonym("name", "title")
+	d.AddHypernym("address", "street")
+	d.AddHypernym("party", "customer")
+	d.AddHypernym("party", "supplier")
+	return d
+}

@@ -1,0 +1,203 @@
+package dict
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookup(t *testing.T) {
+	d := NewDictionary()
+	d.AddSynonym("ship", "deliver")
+	d.AddHypernym("address", "street")
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"ship", "deliver", 1},
+		{"deliver", "ship", 1}, // symmetric
+		{"Ship", "DELIVER", 1}, // case-insensitive
+		{"address", "street", 0.8},
+		{"street", "address", 0.8},
+		{"ship", "ship", 1},   // identity without an entry
+		{"ship", "street", 0}, // unrelated
+		{"", "ship", 0},
+	}
+	for _, c := range cases {
+		if got := d.Lookup(c.a, c.b); got != c.want {
+			t.Errorf("Lookup(%q,%q) = %.2f, want %.2f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLookupStrongerRelationshipWins(t *testing.T) {
+	d := NewDictionary()
+	d.AddHypernym("item", "article")
+	d.AddSynonym("item", "article")
+	if got := d.Lookup("item", "article"); got != 1 {
+		t.Errorf("synonym should override hypernym, got %.2f", got)
+	}
+	// Adding the weaker relationship afterwards must not downgrade.
+	d.AddHypernym("item", "article")
+	if got := d.Lookup("item", "article"); got != 1 {
+		t.Errorf("weaker relationship downgraded similarity to %.2f", got)
+	}
+}
+
+func TestNilAndZeroValueDictionary(t *testing.T) {
+	var d *Dictionary
+	if d.Lookup("a", "b") != 0 || d.Expand("a") != nil || d.Terms() != nil {
+		t.Error("nil dictionary should behave as empty")
+	}
+	var zero Dictionary
+	zero.AddSynonym("a", "b")
+	if zero.Lookup("a", "b") != 1 {
+		t.Error("zero-value dictionary should be usable after Add")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	d := Default()
+	exp := d.Expand("po")
+	if len(exp) != 2 || exp[0] != "purchase" || exp[1] != "order" {
+		t.Errorf("Expand(po) = %v", exp)
+	}
+	if d.Expand("nonexistent") != nil {
+		t.Error("unknown abbreviation should expand to nil")
+	}
+	if d.Expand("PO") == nil {
+		t.Error("Expand should be case-insensitive")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	src := `
+# comment line
+syn ship deliver
+hyp vehicle car   # trailing comment
+abb po purchase order
+
+`
+	d := NewDictionary()
+	if err := d.Load(strings.NewReader(src)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d.Lookup("ship", "deliver") != 1 {
+		t.Error("syn entry not loaded")
+	}
+	if d.Lookup("vehicle", "car") != 0.8 {
+		t.Error("hyp entry not loaded")
+	}
+	if len(d.Expand("po")) != 2 {
+		t.Error("abb entry not loaded")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"syn onlyone",
+		"hyp a b c",
+		"abb soloabbr",
+		"frob a b",
+	}
+	for _, src := range cases {
+		d := NewDictionary()
+		if err := d.Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) should fail", src)
+		}
+	}
+}
+
+func TestDefaultDictionaryPaperPairs(t *testing.T) {
+	d := Default()
+	// The pairs the paper explicitly names.
+	if d.Lookup("ship", "deliver") != 1 {
+		t.Error("(ship, deliver) missing")
+	}
+	if d.Lookup("bill", "invoice") != 1 {
+		t.Error("(bill, invoice) missing")
+	}
+	if len(d.Expand("no")) == 0 || len(d.Expand("num")) == 0 {
+		t.Error("trivial abbreviations No/Num missing")
+	}
+	if len(d.Terms()) == 0 {
+		t.Error("Terms should list dictionary entries")
+	}
+}
+
+func TestGenericTypeMapping(t *testing.T) {
+	tt := DefaultTypeTable()
+	cases := []struct {
+		name string
+		want GenericType
+	}{
+		{"VARCHAR(200)", GenString},
+		{"varchar", GenString},
+		{"INT", GenInteger},
+		{"xsd:decimal", GenDecimal},
+		{"xsd:string", GenString},
+		{"DATE", GenDate},
+		{"timestamp", GenDate},
+		{"BOOLEAN", GenBoolean},
+		{"blob", GenBinary},
+		{"", GenComplex},
+		{"frobnicate", GenUnknown},
+	}
+	for _, c := range cases {
+		if got := tt.Generic(c.name); got != c.want {
+			t.Errorf("Generic(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompat(t *testing.T) {
+	tt := DefaultTypeTable()
+	if got := tt.Compat("VARCHAR(200)", "xsd:string"); got != 1 {
+		t.Errorf("string/string = %.2f, want 1", got)
+	}
+	if got := tt.Compat("INT", "xsd:decimal"); got != 0.8 {
+		t.Errorf("int/decimal = %.2f, want 0.8", got)
+	}
+	if got := tt.Compat("INT", "DATE"); got != 0.2 {
+		t.Errorf("int/date = %.2f, want 0.2", got)
+	}
+	// Symmetry.
+	if tt.Compat("INT", "VARCHAR(1)") != tt.Compat("VARCHAR(1)", "INT") {
+		t.Error("Compat not symmetric")
+	}
+	// Inner elements are mutually compatible.
+	if got := tt.Compat("", ""); got != 1 {
+		t.Errorf("complex/complex = %.2f, want 1", got)
+	}
+}
+
+func TestSetCompatClamping(t *testing.T) {
+	tt := NewTypeTable()
+	tt.SetCompat(GenString, GenDate, 1.5)
+	if got := tt.Compat("varchar", "date"); got != 1 {
+		t.Errorf("clamped high = %.2f", got)
+	}
+	tt.SetCompat(GenString, GenDate, -0.5)
+	if got := tt.Compat("varchar", "date"); got != 0 {
+		t.Errorf("clamped low = %.2f", got)
+	}
+}
+
+func TestMapName(t *testing.T) {
+	tt := NewTypeTable()
+	tt.MapName("uuid", GenString)
+	if tt.Generic("UUID") != GenString {
+		t.Error("MapName lookup failed")
+	}
+	if tt.Generic("uuid(16)") != GenString {
+		t.Error("parameterized custom type lookup failed")
+	}
+}
+
+func TestRelationshipSimilarity(t *testing.T) {
+	if Synonym.Similarity() != 1.0 || Hypernym.Similarity() != 0.8 {
+		t.Error("relationship similarities differ from the paper's values")
+	}
+	if Relationship(99).Similarity() != 0 {
+		t.Error("unknown relationship should be 0")
+	}
+}

@@ -1,0 +1,167 @@
+package dict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Taxonomy is a concept hierarchy (an is-a tree) supporting semantic
+// distance similarity in the style of Rada et al. [17 in the paper]:
+// the similarity of two terms decreases with the length of the path
+// connecting them through the hierarchy. It generalizes the flat
+// synonym/hypernym pairs of Dictionary to whole concept trees —
+// the "large-scale dictionaries and standard ontologies" the paper's
+// conclusion wants to reuse.
+type Taxonomy struct {
+	parent map[string]string
+	terms  map[string]bool
+	// decay is the per-edge similarity factor (default 0.8, matching
+	// the dictionary's hypernym similarity for one step).
+	decay float64
+}
+
+// NewTaxonomy returns an empty taxonomy with the default per-edge
+// decay 0.8.
+func NewTaxonomy() *Taxonomy {
+	return &Taxonomy{
+		parent: make(map[string]string),
+		terms:  make(map[string]bool),
+		decay:  0.8,
+	}
+}
+
+// SetDecay adjusts the per-edge similarity factor (clamped to (0,1]).
+func (t *Taxonomy) SetDecay(d float64) {
+	if d <= 0 {
+		d = 0.01
+	}
+	if d > 1 {
+		d = 1
+	}
+	t.decay = d
+}
+
+// AddIsA records that child is a kind of parent. Both terms are
+// normalized to lower case. Re-parenting a term or introducing a cycle
+// is an error.
+func (t *Taxonomy) AddIsA(child, parent string) error {
+	child = strings.ToLower(strings.TrimSpace(child))
+	parent = strings.ToLower(strings.TrimSpace(parent))
+	if child == "" || parent == "" {
+		return fmt.Errorf("dict: empty taxonomy term")
+	}
+	if child == parent {
+		return fmt.Errorf("dict: %q cannot be its own parent", child)
+	}
+	if existing, ok := t.parent[child]; ok && existing != parent {
+		return fmt.Errorf("dict: %q already has parent %q", child, existing)
+	}
+	// Cycle check: walk up from the proposed parent.
+	for cur := parent; cur != ""; cur = t.parent[cur] {
+		if cur == child {
+			return fmt.Errorf("dict: is-a cycle through %q", child)
+		}
+	}
+	t.parent[child] = parent
+	t.terms[child] = true
+	t.terms[parent] = true
+	return nil
+}
+
+// Contains reports whether the term occurs in the taxonomy.
+func (t *Taxonomy) Contains(term string) bool {
+	return t.terms[strings.ToLower(strings.TrimSpace(term))]
+}
+
+// ancestors returns the chain from term up to the root, term first.
+func (t *Taxonomy) ancestors(term string) []string {
+	var out []string
+	for cur := term; cur != ""; cur = t.parent[cur] {
+		out = append(out, cur)
+		if len(out) > len(t.parent)+1 {
+			break // defensive: malformed state
+		}
+	}
+	return out
+}
+
+// Sim computes the semantic-distance similarity between two terms:
+// decay^(number of is-a edges on the shortest path connecting them
+// through their lowest common ancestor). Identical terms score 1;
+// terms without a common ancestor (or unknown terms) score 0.
+func (t *Taxonomy) Sim(a, b string) float64 {
+	a = strings.ToLower(strings.TrimSpace(a))
+	b = strings.ToLower(strings.TrimSpace(b))
+	if a == "" || b == "" {
+		return 0
+	}
+	if a == b {
+		if t.terms[a] {
+			return 1
+		}
+		return 1 // identical strings are identical concepts regardless
+	}
+	if !t.terms[a] || !t.terms[b] {
+		return 0
+	}
+	upA := t.ancestors(a)
+	depthA := make(map[string]int, len(upA))
+	for i, term := range upA {
+		depthA[term] = i
+	}
+	for j, term := range t.ancestors(b) {
+		if i, ok := depthA[term]; ok {
+			dist := i + j
+			sim := 1.0
+			for k := 0; k < dist; k++ {
+				sim *= t.decay
+			}
+			return sim
+		}
+	}
+	return 0
+}
+
+// Load reads taxonomy entries from newline-separated "child parent"
+// pairs, '#' comments allowed.
+func (t *Taxonomy) Load(src string) error {
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("dict: taxonomy line %d: want 'child parent'", lineNo+1)
+		}
+		if err := t.AddIsA(fields[0], fields[1]); err != nil {
+			return fmt.Errorf("dict: taxonomy line %d: %w", lineNo+1, err)
+		}
+	}
+	return nil
+}
+
+// DefaultTaxonomy returns a small purchase-order concept hierarchy used
+// by the Taxonomy matcher's tests and examples.
+func DefaultTaxonomy() *Taxonomy {
+	t := NewTaxonomy()
+	pairs := [][2]string{
+		{"street", "address"}, {"city", "address"}, {"zip", "address"},
+		{"country", "address"}, {"region", "address"},
+		{"phone", "contact"}, {"fax", "contact"}, {"email", "contact"},
+		{"address", "location"}, {"contact", "party"},
+		{"customer", "party"}, {"supplier", "party"}, {"buyer", "party"},
+		{"vendor", "supplier"},
+		{"price", "amount"}, {"cost", "amount"}, {"total", "amount"},
+		{"tax", "amount"}, {"discount", "amount"},
+		{"quantity", "measure"}, {"weight", "measure"}, {"unit", "measure"},
+	}
+	for _, p := range pairs {
+		if err := t.AddIsA(p[0], p[1]); err != nil {
+			panic(err) // static data
+		}
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package dict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaxonomySim(t *testing.T) {
+	tax := NewTaxonomy()
+	mustAdd := func(c, p string) {
+		t.Helper()
+		if err := tax.AddIsA(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("street", "address")
+	mustAdd("city", "address")
+	mustAdd("address", "location")
+	mustAdd("venue", "location")
+
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"street", "street", 1},
+		{"street", "address", 0.8},      // one edge
+		{"street", "city", 0.64},        // two edges via address
+		{"street", "location", 0.64},    // two edges up
+		{"street", "venue", 0.8 * 0.64}, // three edges
+		{"street", "unknown", 0},        // unknown term
+		{"", "street", 0},               // empty
+		{"STREET", "City", 0.64},        // case-insensitive
+	}
+	for _, c := range cases {
+		if got := tax.Sim(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Sim(%q,%q) = %.4f, want %.4f", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry.
+	if tax.Sim("street", "venue") != tax.Sim("venue", "street") {
+		t.Error("Sim not symmetric")
+	}
+}
+
+func TestTaxonomyValidation(t *testing.T) {
+	tax := NewTaxonomy()
+	if err := tax.AddIsA("a", "a"); err == nil {
+		t.Error("self-parent should fail")
+	}
+	if err := tax.AddIsA("", "x"); err == nil {
+		t.Error("empty term should fail")
+	}
+	if err := tax.AddIsA("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.AddIsA("a", "c"); err == nil {
+		t.Error("re-parenting should fail")
+	}
+	if err := tax.AddIsA("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.AddIsA("c", "a"); err == nil {
+		t.Error("cycle should fail")
+	}
+}
+
+func TestTaxonomyDecay(t *testing.T) {
+	tax := NewTaxonomy()
+	tax.AddIsA("x", "y")
+	tax.SetDecay(0.5)
+	if got := tax.Sim("x", "y"); got != 0.5 {
+		t.Errorf("decayed sim = %.2f", got)
+	}
+	tax.SetDecay(-1)
+	if got := tax.Sim("x", "y"); got <= 0 || got > 0.011 {
+		t.Errorf("clamped decay sim = %.4f", got)
+	}
+	tax.SetDecay(5)
+	if got := tax.Sim("x", "y"); got != 1 {
+		t.Errorf("clamped-high decay sim = %.2f", got)
+	}
+}
+
+func TestTaxonomyLoad(t *testing.T) {
+	tax := NewTaxonomy()
+	src := `
+# comment
+street address
+city address   # trailing
+address location
+`
+	if err := tax.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tax.Sim("street", "city")-0.64) > 1e-12 {
+		t.Error("loaded taxonomy wrong")
+	}
+	if err := tax.Load("toomany words here"); err == nil {
+		t.Error("malformed line should fail")
+	}
+	if err := tax.Load("a a"); err == nil {
+		t.Error("invalid pair should surface")
+	}
+}
+
+func TestDefaultTaxonomy(t *testing.T) {
+	tax := DefaultTaxonomy()
+	if !tax.Contains("street") || !tax.Contains("party") {
+		t.Error("default taxonomy incomplete")
+	}
+	// Siblings under address.
+	if got := tax.Sim("street", "zip"); math.Abs(got-0.64) > 1e-12 {
+		t.Errorf("street/zip = %.3f", got)
+	}
+	// vendor is-a supplier is-a party.
+	if got := tax.Sim("vendor", "customer"); got <= 0 {
+		t.Error("vendor/customer should relate through party")
+	}
+}

@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/simcube"
+)
+
+func TestEvaluate(t *testing.T) {
+	gold := simcube.NewMapping("A", "B")
+	gold.Add("a", "x", 1)
+	gold.Add("b", "y", 1)
+	gold.Add("c", "z", 1)
+	gold.Add("d", "w", 1)
+
+	pred := simcube.NewMapping("A", "B")
+	pred.Add("a", "x", 0.9) // true positive
+	pred.Add("b", "y", 0.8) // true positive
+	pred.Add("b", "z", 0.7) // false positive
+
+	q := Evaluate(pred, gold)
+	if q.TruePos != 2 || q.FalsePos != 1 || q.FalseNeg != 2 {
+		t.Fatalf("I/F/M = %d/%d/%d", q.TruePos, q.FalsePos, q.FalseNeg)
+	}
+	if math.Abs(q.Precision-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %.3f", q.Precision)
+	}
+	if q.Recall != 0.5 {
+		t.Errorf("Recall = %.3f", q.Recall)
+	}
+	// Overall = (I - F)/R = (2-1)/4 = 0.25 = Recall*(2 - 1/Precision).
+	if math.Abs(q.Overall-0.25) > 1e-12 {
+		t.Errorf("Overall = %.3f", q.Overall)
+	}
+	want := q.Recall * (2 - 1/q.Precision)
+	if math.Abs(q.Overall-want) > 1e-12 {
+		t.Errorf("Overall identity violated: %.4f vs %.4f", q.Overall, want)
+	}
+}
+
+func TestEvaluateNegativeOverall(t *testing.T) {
+	// Precision < 0.5 → Overall < 0 (post-match effort exceeds gain).
+	gold := simcube.NewMapping("A", "B")
+	gold.Add("a", "x", 1)
+	pred := simcube.NewMapping("A", "B")
+	pred.Add("a", "x", 1)
+	pred.Add("a", "y", 1)
+	pred.Add("a", "z", 1)
+	q := Evaluate(pred, gold)
+	if q.Overall >= 0 {
+		t.Errorf("Overall = %.3f, want negative", q.Overall)
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	gold := simcube.NewMapping("A", "B")
+	gold.Add("a", "x", 1)
+	q := Evaluate(gold.Clone(), gold)
+	if q.Precision != 1 || q.Recall != 1 || q.Overall != 1 {
+		t.Errorf("perfect match: %+v", q)
+	}
+}
+
+func TestEvaluateEmptyPrediction(t *testing.T) {
+	gold := simcube.NewMapping("A", "B")
+	gold.Add("a", "x", 1)
+	q := Evaluate(simcube.NewMapping("A", "B"), gold)
+	if q.Precision != 0 || q.Recall != 0 || q.Overall != 0 {
+		t.Errorf("empty prediction: %+v", q)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	qs := []Quality{
+		{Precision: 1, Recall: 0.5, Overall: 0.5},
+		{Precision: 0.5, Recall: 1, Overall: 0},
+	}
+	avg := Average(qs)
+	if avg.Precision != 0.75 || avg.Recall != 0.75 || avg.Overall != 0.25 {
+		t.Errorf("Average = %+v", avg)
+	}
+	if (Average(nil) != Quality{}) {
+		t.Error("Average(nil) should be zero")
+	}
+}
+
+func TestGridCounts(t *testing.T) {
+	if got := len(Selections()); got != 36 {
+		t.Errorf("selections = %d, want 36", got)
+	}
+	if got := len(NoReuseMatcherSets()); got != 16 {
+		t.Errorf("no-reuse sets = %d, want 16", got)
+	}
+	if got := len(ReuseMatcherSets()); got != 14 {
+		t.Errorf("reuse sets = %d, want 14", got)
+	}
+	series := AllSeries()
+	// The paper's accounting: 8,208 no-reuse + 4,104 reuse = 12,312.
+	var noReuse, reuseN int
+	for _, s := range series {
+		if IsReuseSet(s.Matchers) {
+			reuseN++
+		} else {
+			noReuse++
+		}
+	}
+	if noReuse != 8208 {
+		t.Errorf("no-reuse series = %d, want 8208", noReuse)
+	}
+	if reuseN != 4104 {
+		t.Errorf("reuse series = %d, want 4104", reuseN)
+	}
+	if len(series) != 12312 {
+		t.Errorf("total series = %d, want 12312", len(series))
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	if got := SetLabel([]string{"Name", "NamePath", "TypeName", "Children", "Leaves"}); got != "All" {
+		t.Errorf("All label = %s", got)
+	}
+	if got := SetLabel([]string{"Name", "NamePath", "TypeName", "Children", "Leaves", "SchemaM"}); got != "All+SchemaM" {
+		t.Errorf("All+SchemaM label = %s", got)
+	}
+	if got := SetLabel([]string{"NamePath", "Leaves"}); got != "NamePath+Leaves" {
+		t.Errorf("pair label = %s", got)
+	}
+}
+
+func TestRangeIndex(t *testing.T) {
+	cases := []struct {
+		overall float64
+		want    int
+	}{
+		{-88, 0}, {-0.001, 0}, {0, 1}, {0.05, 1}, {0.1, 2}, {0.75, 8}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := RangeIndex(c.overall); got != c.want {
+			t.Errorf("RangeIndex(%.3f) = %d, want %d", c.overall, got, c.want)
+		}
+	}
+}
+
+func TestHarnessDefaultSeries(t *testing.T) {
+	h := NewHarness()
+	// The default match operation (All, default strategy) must produce
+	// solid quality: the headline no-reuse result of the paper.
+	res := h.RunSeries(SeriesSpec{Matchers: AllCombo, Strategy: combine.Default()})
+	t.Logf("All + default: %s", FormatQuality(res.Avg))
+	if res.Avg.Overall < 0.4 {
+		t.Errorf("All/default avg Overall = %.3f, want >= 0.4", res.Avg.Overall)
+	}
+	if res.Avg.Precision < 0.6 {
+		t.Errorf("All/default avg Precision = %.3f, want >= 0.6", res.Avg.Precision)
+	}
+}
+
+func TestHarnessSingleVsCombined(t *testing.T) {
+	h := NewHarness()
+	def := combine.Default()
+	all := h.RunSeries(SeriesSpec{Matchers: AllCombo, Strategy: def})
+	name := h.RunSeries(SeriesSpec{Matchers: []string{"Name"}, Strategy: def})
+	if all.Avg.Overall <= name.Avg.Overall {
+		t.Errorf("All (%.3f) should beat single Name (%.3f)", all.Avg.Overall, name.Avg.Overall)
+	}
+}
+
+func TestHarnessReuseBeatsNoReuse(t *testing.T) {
+	h := NewHarness()
+	def := combine.Default()
+	schemaM := h.RunSeries(SeriesSpec{Matchers: []string{"SchemaM"}, Strategy: def})
+	namePath := h.RunSeries(SeriesSpec{Matchers: []string{"NamePath"}, Strategy: def})
+	t.Logf("SchemaM: %s | NamePath: %s", FormatQuality(schemaM.Avg), FormatQuality(namePath.Avg))
+	if schemaM.Avg.Overall <= namePath.Avg.Overall {
+		t.Errorf("SchemaM (%.3f) should beat NamePath (%.3f)", schemaM.Avg.Overall, namePath.Avg.Overall)
+	}
+	allM := h.RunSeries(SeriesSpec{
+		Matchers: append(append([]string(nil), AllCombo...), "SchemaM"),
+		Strategy: def,
+	})
+	all := h.RunSeries(SeriesSpec{Matchers: AllCombo, Strategy: def})
+	t.Logf("All+SchemaM: %s | All: %s", FormatQuality(allM.Avg), FormatQuality(all.Avg))
+	if allM.Avg.Overall <= all.Avg.Overall {
+		t.Errorf("All+SchemaM (%.3f) should beat All (%.3f)", allM.Avg.Overall, all.Avg.Overall)
+	}
+}
+
+func TestHarnessCaching(t *testing.T) {
+	h := NewHarness()
+	spec := SeriesSpec{Matchers: []string{"TypeName"}, Strategy: combine.Default()}
+	a := h.RunSeries(spec)
+	b := h.RunSeries(spec)
+	if a.Avg != b.Avg {
+		t.Error("cached rerun differs")
+	}
+}
+
+func TestFig9AndFig10Shapes(t *testing.T) {
+	h := NewHarness()
+	// A small but representative sub-grid for shape checks.
+	var specs []SeriesSpec
+	for _, set := range [][]string{{"NamePath"}, {"NamePath", "Leaves"}, AllCombo} {
+		for _, agg := range Aggregations() {
+			if len(set) == 1 && agg.Kind != combine.Average {
+				continue
+			}
+			for _, dir := range Directions() {
+				for _, sel := range []combine.Selection{
+					{MaxN: 1}, {Threshold: 0.5, Delta: 0.02}, {Threshold: 0.3},
+				} {
+					specs = append(specs, SeriesSpec{Matchers: set, Strategy: combine.Strategy{
+						Agg: agg, Dir: dir, Sel: sel, Comb: combine.CombAverage,
+					}})
+				}
+			}
+		}
+	}
+	results := h.RunAll(specs, 4, nil)
+	hist := Fig9Histogram(results)
+	if hist.Total != len(specs) {
+		t.Errorf("histogram total = %d, want %d", hist.Total, len(specs))
+	}
+	sum := 0
+	for _, c := range hist.Counts {
+		sum += c
+	}
+	if sum != hist.Total {
+		t.Error("histogram counts do not sum to total")
+	}
+	bd := Fig10Breakdown(results, "direction")
+	if len(bd.Values) != 3 {
+		t.Errorf("direction breakdown values = %v", bd.Values)
+	}
+	bdA := Fig10Breakdown(results, "aggregation")
+	for _, v := range bdA.Values {
+		// Aggregation breakdown must exclude the single-matcher series.
+		total := 0
+		for _, c := range bdA.Counts[v] {
+			total += c
+		}
+		if total != 18 { // 2 combo sets × 3 dir × 3 sel
+			t.Errorf("aggregation %s series = %d, want 18", v, total)
+		}
+	}
+}
+
+func TestFlipPair(t *testing.T) {
+	if flipPair("Name+NamePath") != "NamePath+Name" {
+		t.Error("flipPair broken")
+	}
+	if flipPair("All") != "All" {
+		t.Error("flipPair on non-pair should be identity")
+	}
+}

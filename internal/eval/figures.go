@@ -1,0 +1,297 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// OverallRanges are the histogram buckets of Figure 9: one bucket for
+// all series with negative average Overall ("Min-0.0"), then tenth-wide
+// buckets up to 1.0.
+var OverallRanges = []string{
+	"Min-0.0", "0.0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4",
+	"0.4-0.5", "0.5-0.6", "0.6-0.7", "0.7-0.8", "0.8-0.9", "0.9-1.0",
+}
+
+// RangeIndex buckets an average Overall value.
+func RangeIndex(overall float64) int {
+	if overall < 0 {
+		return 0
+	}
+	i := 1 + int(math.Floor(overall*10))
+	if i >= len(OverallRanges) {
+		i = len(OverallRanges) - 1
+	}
+	return i
+}
+
+// Histogram counts series per Overall range (Figure 9).
+type Histogram struct {
+	Counts []int
+	Total  int
+}
+
+// Fig9Histogram builds the distribution of series over Overall ranges.
+func Fig9Histogram(results []SeriesResult) Histogram {
+	h := Histogram{Counts: make([]int, len(OverallRanges))}
+	for _, r := range results {
+		h.Counts[RangeIndex(r.Avg.Overall)]++
+		h.Total++
+	}
+	return h
+}
+
+// Breakdown is one Figure 10 panel: per strategy value, the number of
+// series falling into each Overall range.
+type Breakdown struct {
+	Dimension string
+	Values    []string
+	Counts    map[string][]int // value → per-range counts
+	PerValue  int              // series per value (equal by construction)
+}
+
+// Fig10Breakdown groups series by one strategy dimension: "aggregation"
+// (matcher combinations only — aggregation is irrelevant for singles),
+// "direction" (all series), or "selection" (the best variant of each
+// selection family, mirroring Figure 10c).
+func Fig10Breakdown(results []SeriesResult, dimension string) Breakdown {
+	b := Breakdown{Dimension: dimension, Counts: make(map[string][]int)}
+	add := func(value string, overall float64) {
+		if _, ok := b.Counts[value]; !ok {
+			b.Values = append(b.Values, value)
+			b.Counts[value] = make([]int, len(OverallRanges))
+		}
+		b.Counts[value][RangeIndex(overall)]++
+	}
+	bestSelections := map[string]bool{
+		"Thr(0.8)":             true,
+		"MaxN(1)":              true,
+		"Thr(0.5)+MaxN(1)":     true,
+		"Delta(0.02)":          true,
+		"Thr(0.5)+Delta(0.02)": true,
+	}
+	for _, r := range results {
+		switch dimension {
+		case "aggregation":
+			if len(r.Spec.Matchers) < 2 {
+				continue
+			}
+			add(r.Spec.Strategy.Agg.String(), r.Avg.Overall)
+		case "direction":
+			add(r.Spec.Strategy.Dir.String(), r.Avg.Overall)
+		case "selection":
+			sel := r.Spec.Strategy.Sel.String()
+			if bestSelections[sel] {
+				add(sel, r.Avg.Overall)
+			}
+		}
+	}
+	for _, v := range b.Values {
+		n := 0
+		for _, c := range b.Counts[v] {
+			n += c
+		}
+		b.PerValue = n
+	}
+	return b
+}
+
+// NamedResult labels a series result for the figure tables.
+type NamedResult struct {
+	Label string
+	Best  SeriesResult
+}
+
+// BestBySet returns, per matcher-set label, the series with the highest
+// average Overall (the paper's "best series" analysis).
+func BestBySet(results []SeriesResult) map[string]SeriesResult {
+	best := make(map[string]SeriesResult)
+	for _, r := range results {
+		label := SetLabel(r.Spec.Matchers)
+		if cur, ok := best[label]; !ok || r.Avg.Overall > cur.Avg.Overall {
+			best[label] = r
+		}
+	}
+	return best
+}
+
+// Fig11Singles returns the quality of the single matchers — the five
+// hybrids plus SchemaM and SchemaA — each at its best series, sorted by
+// ascending average Overall like Figure 11.
+func Fig11Singles(results []SeriesResult) []NamedResult {
+	best := BestBySet(results)
+	var out []NamedResult
+	for _, name := range append(HybridMatchers(), "SchemaM", "SchemaA") {
+		if r, ok := best[name]; ok {
+			out = append(out, NamedResult{Label: name, Best: r})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Best.Avg.Overall < out[j].Best.Avg.Overall
+	})
+	return out
+}
+
+// Fig12Labels are the matcher combinations reported in Figure 12.
+var Fig12Labels = []string{
+	"All+SchemaM",
+	"SchemaM+NamePath", "SchemaM+Name", "SchemaM+TypeName", "SchemaM+Leaves", "SchemaM+Children",
+	"All",
+	"NamePath+Leaves", "NamePath+TypeName", "NamePath+Children", "Name+NamePath",
+}
+
+// Fig12Combos returns the best series of the Figure 12 combinations,
+// sorted by descending average Overall.
+func Fig12Combos(results []SeriesResult) []NamedResult {
+	best := BestBySet(results)
+	// Set labels are produced in registration order (e.g. the grid
+	// builds "SchemaM+NamePath" and "Name+NamePath"); accept either
+	// orientation of a pair label.
+	find := func(label string) (SeriesResult, bool) {
+		if r, ok := best[label]; ok {
+			return r, true
+		}
+		// Try the flipped pair.
+		for l, r := range best {
+			if flipPair(l) == label {
+				return r, true
+			}
+		}
+		return SeriesResult{}, false
+	}
+	var out []NamedResult
+	for _, label := range Fig12Labels {
+		if r, ok := find(label); ok {
+			out = append(out, NamedResult{Label: label, Best: r})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Best.Avg.Overall > out[j].Best.Avg.Overall
+	})
+	return out
+}
+
+func flipPair(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == '+' {
+			return label[i+1:] + "+" + label[:i]
+		}
+	}
+	return label
+}
+
+// SensitivityRow is one Figure 13 task entry.
+type SensitivityRow struct {
+	Task          string
+	AllPaths      int
+	SchemaSim     float64
+	BestNoReuse   float64
+	BestReuse     float64 // best over series involving SchemaM (manual reuse)
+	NoReuseSeries SeriesSpec
+	ReuseSeries   SeriesSpec
+}
+
+// Fig13Sensitivity computes, per task, the best Overall achieved by any
+// no-reuse and any manual-reuse strategy, together with the task's size
+// and schema similarity, ordered by ascending problem size (Figure 13).
+func Fig13Sensitivity(h *Harness, results []SeriesResult) []SensitivityRow {
+	rows := make([]SensitivityRow, len(h.Tasks))
+	for i, t := range h.Tasks {
+		rows[i] = SensitivityRow{
+			Task:      t.Name,
+			AllPaths:  len(t.S1.Paths()) + len(t.S2.Paths()),
+			SchemaSim: workload.SchemaSimilarity(t),
+		}
+		rows[i].BestNoReuse = math.Inf(-1)
+		rows[i].BestReuse = math.Inf(-1)
+	}
+	taskIdx := make(map[string]int, len(h.Tasks))
+	for i, t := range h.Tasks {
+		taskIdx[t.Name] = i
+	}
+	for _, r := range results {
+		reuse := false
+		manual := false
+		for _, m := range r.Spec.Matchers {
+			if m == "SchemaM" {
+				manual = true
+			}
+			if m == "SchemaM" || m == "SchemaA" {
+				reuse = true
+			}
+		}
+		for ti, q := range r.PerTask {
+			row := &rows[ti]
+			if !reuse && q.Overall > row.BestNoReuse {
+				row.BestNoReuse = q.Overall
+				row.NoReuseSeries = r.Spec
+			}
+			if manual && q.Overall > row.BestReuse {
+				row.BestReuse = q.Overall
+				row.ReuseSeries = r.Spec
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].AllPaths < rows[j].AllPaths })
+	return rows
+}
+
+// StabilityCount counts, for reuse and no-reuse series separately, how
+// often each matcher set attains the per-task maximum Overall within a
+// 10% margin (Section 7.4's stability analysis).
+func StabilityCount(h *Harness, results []SeriesResult, margin float64) map[string]int {
+	// Best Overall per (task, reuse-class) over all series.
+	type key struct {
+		task  int
+		reuse bool
+	}
+	best := make(map[key]float64)
+	for _, r := range results {
+		isReuse := IsReuseSet(r.Spec.Matchers)
+		for ti, q := range r.PerTask {
+			k := key{ti, isReuse}
+			if q.Overall > best[k] {
+				best[k] = q.Overall
+			}
+		}
+	}
+	// A set "wins" a task when its best series reaches the task
+	// maximum within margin.
+	bestPerSetTask := make(map[string]map[int]float64)
+	for _, r := range results {
+		label := SetLabel(r.Spec.Matchers)
+		m := bestPerSetTask[label]
+		if m == nil {
+			m = make(map[int]float64)
+			bestPerSetTask[label] = m
+		}
+		for ti, q := range r.PerTask {
+			if q.Overall > m[ti] {
+				m[ti] = q.Overall
+			}
+		}
+	}
+	wins := make(map[string]int)
+	for label, m := range bestPerSetTask {
+		isReuse := IsReuseSet([]string{label}) || containsSchema(label)
+		for ti, o := range m {
+			if o >= best[key{ti, isReuse}]*(1-margin) {
+				wins[label]++
+			}
+		}
+	}
+	return wins
+}
+
+func containsSchema(label string) bool {
+	return strings.Contains(label, "SchemaM") || strings.Contains(label, "SchemaA")
+}
+
+// FormatQuality renders P/R/O like the figures' data labels.
+func FormatQuality(q Quality) string {
+	return fmt.Sprintf("P=%.2f R=%.2f O=%.2f", q.Precision, q.Recall, q.Overall)
+}

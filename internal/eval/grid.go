@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/combine"
+)
+
+// The Table 6 grid: every relevant matcher and combination strategy.
+// The Weighted aggregation is excluded (the paper makes no assumption
+// about matcher importance); Dice applies to no-reuse series only.
+
+// Aggregations returns the tested aggregation strategies.
+func Aggregations() []combine.AggSpec {
+	return []combine.AggSpec{
+		{Kind: combine.Max},
+		{Kind: combine.Average},
+		{Kind: combine.Min},
+	}
+}
+
+// Directions returns the tested direction strategies.
+func Directions() []combine.Direction {
+	return []combine.Direction{combine.LargeSmall, combine.SmallLarge, combine.Both}
+}
+
+// Selections returns the 36 tested selection strategies: MaxN(1–4),
+// Delta(0.01–0.1), Threshold(0.3–1.0), Threshold(0.5)+MaxN(1–4) and
+// Threshold(0.5)+Delta(0.01–0.1).
+func Selections() []combine.Selection {
+	var out []combine.Selection
+	for n := 1; n <= 4; n++ {
+		out = append(out, combine.Selection{MaxN: n})
+	}
+	for i := 1; i <= 10; i++ {
+		out = append(out, combine.Selection{Delta: float64(i) / 100})
+	}
+	for i := 3; i <= 10; i++ {
+		out = append(out, combine.Selection{Threshold: float64(i) / 10})
+	}
+	for n := 1; n <= 4; n++ {
+		out = append(out, combine.Selection{Threshold: 0.5, MaxN: n})
+	}
+	for i := 1; i <= 10; i++ {
+		out = append(out, combine.Selection{Threshold: 0.5, Delta: float64(i) / 100})
+	}
+	return out
+}
+
+// CombSims returns the tested strategies for computing combined
+// similarity inside the hybrid matchers.
+func CombSims() []combine.CombSim {
+	return []combine.CombSim{combine.CombAverage, combine.CombDice}
+}
+
+// HybridMatchers lists the five single hybrid matchers of the
+// evaluation.
+func HybridMatchers() []string {
+	return []string{"Name", "NamePath", "TypeName", "Children", "Leaves"}
+}
+
+// AllCombo is the combination of all five hybrid matchers.
+var AllCombo = []string{"Name", "NamePath", "TypeName", "Children", "Leaves"}
+
+// NoReuseMatcherSets returns the 16 no-reuse matcher sets: the 5 single
+// hybrid matchers, their 10 pair-wise combinations, and All.
+func NoReuseMatcherSets() [][]string {
+	hy := HybridMatchers()
+	var out [][]string
+	for _, m := range hy {
+		out = append(out, []string{m})
+	}
+	for i := 0; i < len(hy); i++ {
+		for j := i + 1; j < len(hy); j++ {
+			out = append(out, []string{hy[i], hy[j]})
+		}
+	}
+	out = append(out, append([]string(nil), AllCombo...))
+	return out
+}
+
+// ReuseMatcherSets returns the 14 reuse matcher sets: SchemaM and
+// SchemaA alone, their pair-wise combinations with the 5 hybrid
+// matchers, and All+SchemaM / All+SchemaA.
+func ReuseMatcherSets() [][]string {
+	var out [][]string
+	for _, s := range []string{"SchemaM", "SchemaA"} {
+		out = append(out, []string{s})
+	}
+	for _, s := range []string{"SchemaM", "SchemaA"} {
+		for _, m := range HybridMatchers() {
+			out = append(out, []string{s, m})
+		}
+	}
+	out = append(out, append(append([]string(nil), AllCombo...), "SchemaM"))
+	out = append(out, append(append([]string(nil), AllCombo...), "SchemaA"))
+	return out
+}
+
+// IsReuseSet reports whether a matcher set involves a reuse matcher.
+func IsReuseSet(set []string) bool {
+	for _, m := range set {
+		if m == "SchemaM" || m == "SchemaA" {
+			return true
+		}
+	}
+	return false
+}
+
+// SetLabel renders a matcher set like the paper's figures
+// ("All+SchemaM", "NamePath+Leaves").
+func SetLabel(set []string) string {
+	isAll := len(set) >= len(AllCombo)
+	if isAll {
+		for i, m := range AllCombo {
+			if i >= len(set) || set[i] != m {
+				isAll = false
+				break
+			}
+		}
+	}
+	if isAll {
+		rest := set[len(AllCombo):]
+		if len(rest) == 0 {
+			return "All"
+		}
+		return "All+" + strings.Join(rest, "+")
+	}
+	return strings.Join(set, "+")
+}
+
+// SeriesSpec identifies one evaluation series: a matcher set plus a
+// full combination strategy.
+type SeriesSpec struct {
+	Matchers []string
+	Strategy combine.Strategy
+}
+
+// String renders the series for reports.
+func (s SeriesSpec) String() string {
+	return fmt.Sprintf("%s %s", SetLabel(s.Matchers), s.Strategy)
+}
+
+// AllSeries enumerates the complete Table 6 grid: 8,208 no-reuse series
+// (single matchers with one aggregation — it is irrelevant for a single
+// layer — and both CombSim variants; combinations with all three
+// aggregations) plus 4,104 reuse series (CombSim fixed to Average;
+// single reuse matchers with one aggregation), 12,312 in total.
+func AllSeries() []SeriesSpec {
+	var out []SeriesSpec
+	aggs := Aggregations()
+	dirs := Directions()
+	sels := Selections()
+
+	addNoReuse := func(set []string) {
+		setAggs := aggs
+		if len(set) == 1 {
+			setAggs = aggs[1:2] // Average placeholder; single layer
+		}
+		for _, comb := range CombSims() {
+			for _, agg := range setAggs {
+				for _, dir := range dirs {
+					for _, sel := range sels {
+						out = append(out, SeriesSpec{
+							Matchers: set,
+							Strategy: combine.Strategy{Agg: agg, Dir: dir, Sel: sel, Comb: comb},
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, set := range NoReuseMatcherSets() {
+		addNoReuse(set)
+	}
+
+	addReuse := func(set []string) {
+		setAggs := aggs
+		if len(set) == 1 {
+			setAggs = aggs[1:2]
+		}
+		for _, agg := range setAggs {
+			for _, dir := range dirs {
+				for _, sel := range sels {
+					out = append(out, SeriesSpec{
+						Matchers: set,
+						Strategy: combine.Strategy{Agg: agg, Dir: dir, Sel: sel, Comb: combine.CombAverage},
+					})
+				}
+			}
+		}
+	}
+	for _, set := range ReuseMatcherSets() {
+		addReuse(set)
+	}
+	return out
+}

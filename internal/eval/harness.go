@@ -1,0 +1,276 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/reuse"
+	"repro/internal/simcube"
+	"repro/internal/workload"
+)
+
+// Harness executes evaluation series over the ten match tasks. Matcher
+// results (cube layers) and aggregated matrices are cached so that the
+// exhaustive strategy grid reuses each expensive matcher execution —
+// the same role the similarity-cube repository plays in COMA itself.
+//
+// The harness is safe for concurrent use.
+type Harness struct {
+	Ctx   *match.Context
+	Tasks []workload.Task
+
+	mu       sync.Mutex
+	matrices map[string]*simcube.Matrix // task|matcher|comb
+	aggs     map[string]*simcube.Matrix // task|set|agg|comb
+
+	manual   *reuse.MemStore
+	autoOnce sync.Once
+	auto     *reuse.MemStore
+}
+
+// NewHarness prepares a harness over the standard workload with the
+// default matcher context. The manual-reuse store is seeded with the
+// gold mappings of all tasks (the paper stores the manually derived
+// match results in the repository).
+func NewHarness() *Harness {
+	h := &Harness{
+		Ctx:      match.NewContext(),
+		Tasks:    workload.Tasks(),
+		matrices: make(map[string]*simcube.Matrix),
+		aggs:     make(map[string]*simcube.Matrix),
+		manual:   &reuse.MemStore{},
+	}
+	for _, t := range h.Tasks {
+		h.manual.Put(t.Gold)
+	}
+	return h
+}
+
+// autoStore lazily derives the automatically matched mappings the
+// SchemaA variant reuses: the default match operation applied to every
+// task, stored alongside the manual results (paper Section 7.3).
+func (h *Harness) autoStore() *reuse.MemStore {
+	h.autoOnce.Do(func() {
+		h.auto = &reuse.MemStore{}
+		def := combine.Default()
+		for _, t := range h.Tasks {
+			cube := h.cubeFor(t, AllCombo, def.Comb)
+			res, err := core.CombineCube(cube, t.S1, t.S2, def, nil)
+			if err != nil {
+				panic(fmt.Sprintf("eval: default op on %s: %v", t.Name, err))
+			}
+			h.auto.Put(res.Mapping)
+		}
+	})
+	return h.auto
+}
+
+// newMatcher instantiates a matcher by evaluation name, configured for
+// the given combined-similarity strategy.
+func (h *Harness) newMatcher(name string, comb combine.CombSim) match.Matcher {
+	switch name {
+	case "Name":
+		m := match.NewName()
+		m.SetCombSim(comb)
+		return m
+	case "NamePath":
+		m := match.NewNamePath()
+		m.SetCombSim(comb)
+		return m
+	case "TypeName":
+		m := match.NewTypeName()
+		m.SetCombSim(comb)
+		return m
+	case "Children":
+		m := match.NewChildren()
+		m.SetCombSim(comb)
+		return m
+	case "Leaves":
+		m := match.NewLeaves()
+		m.SetCombSim(comb)
+		return m
+	case "SchemaM":
+		return reuse.NewSchemaMatcher("SchemaM", h.manual)
+	case "SchemaA":
+		return reuse.NewSchemaMatcher("SchemaA", h.autoStore())
+	default:
+		panic(fmt.Sprintf("eval: unknown matcher %q", name))
+	}
+}
+
+// isReuseMatcher reports whether the matcher's result is independent of
+// the CombSim setting (reuse matchers have no step-3 internals).
+func isReuseMatcher(name string) bool { return name == "SchemaM" || name == "SchemaA" }
+
+// MatcherMatrix returns (computing and caching on demand) the matcher's
+// similarity matrix for a task.
+func (h *Harness) MatcherMatrix(t workload.Task, name string, comb combine.CombSim) *simcube.Matrix {
+	key := t.Name + "|" + name
+	if !isReuseMatcher(name) {
+		key += "|" + comb.String()
+	}
+	h.mu.Lock()
+	m, ok := h.matrices[key]
+	h.mu.Unlock()
+	if ok {
+		return m
+	}
+	// Compute outside the lock; duplicate computation under contention
+	// is harmless (identical results).
+	matcher := h.newMatcher(name, comb)
+	m = matcher.Match(h.Ctx, t.S1, t.S2)
+	h.mu.Lock()
+	h.matrices[key] = m
+	h.mu.Unlock()
+	return m
+}
+
+// cubeFor assembles the similarity cube of a matcher set from cached
+// layers.
+func (h *Harness) cubeFor(t workload.Task, set []string, comb combine.CombSim) *simcube.Cube {
+	first := h.MatcherMatrix(t, set[0], comb)
+	cube := simcube.NewCube(first.RowKeys(), first.ColKeys())
+	if err := cube.AddLayer(set[0], first); err != nil {
+		panic(err)
+	}
+	for _, name := range set[1:] {
+		if err := cube.AddLayer(name, h.MatcherMatrix(t, name, comb)); err != nil {
+			panic(err)
+		}
+	}
+	return cube
+}
+
+// aggMatrix returns the aggregated matrix for (task, set, agg, comb),
+// cached.
+func (h *Harness) aggMatrix(t workload.Task, set []string, agg combine.AggSpec, comb combine.CombSim) *simcube.Matrix {
+	key := t.Name + "|" + SetLabel(set) + "|" + agg.String() + "|" + comb.String()
+	h.mu.Lock()
+	m, ok := h.aggs[key]
+	h.mu.Unlock()
+	if ok {
+		return m
+	}
+	cube := h.cubeFor(t, set, comb)
+	m, err := agg.Apply(cube)
+	if err != nil {
+		panic(fmt.Sprintf("eval: aggregate %s: %v", key, err))
+	}
+	h.mu.Lock()
+	h.aggs[key] = m
+	h.mu.Unlock()
+	return m
+}
+
+// SeriesResult is the outcome of one series: ten experiments and their
+// averages.
+type SeriesResult struct {
+	Spec    SeriesSpec
+	PerTask []Quality
+	Avg     Quality
+}
+
+// RunTask executes one experiment: the series' strategy on one task.
+func (h *Harness) RunTask(spec SeriesSpec, t workload.Task) Quality {
+	m := h.aggMatrix(t, spec.Matchers, spec.Strategy.Agg, spec.Strategy.Comb)
+	pred := combine.Select(m, spec.Strategy.Dir, spec.Strategy.Sel)
+	return Evaluate(pred, t.Gold)
+}
+
+// RunSeries executes one series over all tasks.
+func (h *Harness) RunSeries(spec SeriesSpec) SeriesResult {
+	res := SeriesResult{Spec: spec, PerTask: make([]Quality, len(h.Tasks))}
+	for i, t := range h.Tasks {
+		res.PerTask[i] = h.RunTask(spec, t)
+	}
+	res.Avg = Average(res.PerTask)
+	return res
+}
+
+// Precompute executes every matcher needed by the full grid, using up
+// to workers goroutines; subsequent series runs then only aggregate and
+// select. It returns the number of matcher matrices computed.
+func (h *Harness) Precompute(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		t    workload.Task
+		name string
+		comb combine.CombSim
+	}
+	var jobs []job
+	for _, t := range h.Tasks {
+		for _, name := range HybridMatchers() {
+			for _, comb := range CombSims() {
+				jobs = append(jobs, job{t, name, comb})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				h.MatcherMatrix(j.t, j.name, j.comb)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	// Reuse matrices depend on the auto store, which itself needs the
+	// hybrid layers above; compute serially afterwards.
+	n := len(jobs)
+	for _, t := range h.Tasks {
+		for _, name := range []string{"SchemaM", "SchemaA"} {
+			h.MatcherMatrix(t, name, combine.CombAverage)
+			n++
+		}
+	}
+	return n
+}
+
+// RunAll executes a list of series, optionally in parallel, reporting
+// progress through report (may be nil); it is called with the number of
+// completed series at coarse intervals.
+func (h *Harness) RunAll(specs []SeriesSpec, workers int, report func(done int)) []SeriesResult {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]SeriesResult, len(specs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	var done int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = h.RunSeries(specs[i])
+				if report != nil {
+					mu.Lock()
+					done++
+					if done%500 == 0 {
+						report(int(done))
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

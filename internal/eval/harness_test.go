@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/combine"
+)
+
+func TestPrecomputeCoversGrid(t *testing.T) {
+	h := NewHarness()
+	n := h.Precompute(4)
+	// 10 tasks × 5 hybrids × 2 combs + 10 × 2 reuse matchers.
+	want := 10*5*2 + 10*2
+	if n != want {
+		t.Errorf("Precompute = %d matrices, want %d", n, want)
+	}
+	// After precompute a series runs without recomputation and the
+	// result matches a fresh harness.
+	spec := SeriesSpec{Matchers: []string{"NamePath"}, Strategy: combine.Default()}
+	warm := h.RunSeries(spec)
+	cold := NewHarness().RunSeries(spec)
+	if warm.Avg != cold.Avg {
+		t.Errorf("warm %v != cold %v", warm.Avg, cold.Avg)
+	}
+}
+
+func TestRunAllParallelDeterminism(t *testing.T) {
+	h := NewHarness()
+	var specs []SeriesSpec
+	for _, sel := range []combine.Selection{{MaxN: 1}, {Threshold: 0.5}, {Delta: 0.05}} {
+		for _, dir := range Directions() {
+			specs = append(specs, SeriesSpec{
+				Matchers: []string{"TypeName"},
+				Strategy: combine.Strategy{Agg: combine.AggSpec{Kind: combine.Average}, Dir: dir, Sel: sel},
+			})
+		}
+	}
+	serial := h.RunAll(specs, 1, nil)
+	parallel := h.RunAll(specs, 8, nil)
+	for i := range specs {
+		if serial[i].Avg != parallel[i].Avg {
+			t.Errorf("series %d: serial %v != parallel %v", i, serial[i].Avg, parallel[i].Avg)
+		}
+	}
+}
+
+func TestRunAllProgressReporting(t *testing.T) {
+	h := NewHarness()
+	specs := make([]SeriesSpec, 600)
+	for i := range specs {
+		specs[i] = SeriesSpec{Matchers: []string{"Name"}, Strategy: combine.Default()}
+	}
+	var calls int
+	h.RunAll(specs, 4, func(done int) { calls++ })
+	if calls == 0 {
+		t.Error("progress callback never invoked")
+	}
+}
+
+func TestSchemaAStoreBuiltOnce(t *testing.T) {
+	h := NewHarness()
+	a := h.autoStore()
+	b := h.autoStore()
+	if a != b {
+		t.Error("autoStore should be built once")
+	}
+	// Auto store holds one mapping per task.
+	if got := len(a.AllMappings()); got != len(h.Tasks) {
+		t.Errorf("auto mappings = %d, want %d", got, len(h.Tasks))
+	}
+}
+
+func TestStabilityCount(t *testing.T) {
+	h := NewHarness()
+	specs := []SeriesSpec{
+		{Matchers: AllCombo, Strategy: combine.Default()},
+		{Matchers: []string{"NamePath"}, Strategy: combine.Default()},
+		{Matchers: []string{"SchemaM"}, Strategy: combine.Default()},
+	}
+	results := h.RunAll(specs, 2, nil)
+	wins := StabilityCount(h, results, 0.1)
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total == 0 {
+		t.Error("no stability wins counted")
+	}
+	// Every set can win at most all tasks per class.
+	for label, w := range wins {
+		if w > len(h.Tasks) {
+			t.Errorf("%s wins %d > #tasks", label, w)
+		}
+	}
+}
+
+func TestFig11AndFig12OnSubGrid(t *testing.T) {
+	h := NewHarness()
+	var specs []SeriesSpec
+	sets := [][]string{
+		{"NamePath"}, {"Name"}, {"TypeName"}, {"Children"}, {"Leaves"},
+		{"SchemaM"}, {"SchemaA"},
+		{"NamePath", "Leaves"}, AllCombo,
+		append(append([]string(nil), AllCombo...), "SchemaM"),
+	}
+	for _, set := range sets {
+		specs = append(specs, SeriesSpec{Matchers: set, Strategy: combine.Default()})
+	}
+	results := h.RunAll(specs, 4, nil)
+	singles := Fig11Singles(results)
+	if len(singles) != 7 {
+		t.Fatalf("Fig11 singles = %d, want 7", len(singles))
+	}
+	// Sorted ascending by Overall.
+	for i := 1; i < len(singles); i++ {
+		if singles[i-1].Best.Avg.Overall > singles[i].Best.Avg.Overall {
+			t.Error("Fig11 not sorted ascending")
+		}
+	}
+	combos := Fig12Combos(results)
+	if len(combos) < 3 {
+		t.Fatalf("Fig12 combos = %d", len(combos))
+	}
+	for i := 1; i < len(combos); i++ {
+		if combos[i-1].Best.Avg.Overall < combos[i].Best.Avg.Overall {
+			t.Error("Fig12 not sorted descending")
+		}
+	}
+	rows := Fig13Sensitivity(h, results)
+	if len(rows) != 10 {
+		t.Fatalf("Fig13 rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].AllPaths > rows[i].AllPaths {
+			t.Error("Fig13 not sorted by problem size")
+		}
+	}
+	for _, r := range rows {
+		if r.BestReuse < r.BestNoReuse {
+			t.Errorf("task %s: manual reuse %.2f below no-reuse %.2f", r.Task, r.BestReuse, r.BestNoReuse)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package eval implements COMA's evaluation framework (Do & Rahm, VLDB
+// 2002, Section 7): the match quality measures Precision, Recall and
+// Overall, the exhaustive series grid of Table 6 (12,312 series over
+// the ten match tasks), and the data behind every evaluation figure.
+package eval
+
+import (
+	"repro/internal/simcube"
+)
+
+// Quality holds the match quality measures of one experiment: the
+// automatic result P is compared against the real matches R, giving
+// the true positives I (correctly identified), false positives F = P\I
+// (wrongly proposed) and false negatives M = R\I (missed).
+type Quality struct {
+	TruePos  int // |I|
+	FalsePos int // |F|
+	FalseNeg int // |M|
+
+	// Precision = |I| / |P| estimates the reliability of the match
+	// predictions.
+	Precision float64
+	// Recall = |I| / |R| specifies the share of real matches found.
+	Recall float64
+	// Overall = Recall · (2 − 1/Precision) combines both, accounting
+	// for the post-match effort of removing false and adding missed
+	// matches. It turns negative when Precision < 0.5 — the automatic
+	// match is then worse than useless.
+	Overall float64
+}
+
+// Evaluate compares a predicted mapping against the gold standard.
+func Evaluate(pred, gold *simcube.Mapping) Quality {
+	var q Quality
+	for _, c := range pred.Correspondences() {
+		if gold.Contains(c.From, c.To) {
+			q.TruePos++
+		} else {
+			q.FalsePos++
+		}
+	}
+	q.FalseNeg = gold.Len() - q.TruePos
+	if p := q.TruePos + q.FalsePos; p > 0 {
+		q.Precision = float64(q.TruePos) / float64(p)
+	}
+	if r := gold.Len(); r > 0 {
+		q.Recall = float64(q.TruePos) / float64(r)
+		q.Overall = float64(q.TruePos-q.FalsePos) / float64(r)
+	}
+	return q
+}
+
+// Average folds per-task qualities into the per-series averages the
+// paper reports (average Precision, average Recall, average Overall).
+func Average(qs []Quality) Quality {
+	if len(qs) == 0 {
+		return Quality{}
+	}
+	var avg Quality
+	for _, q := range qs {
+		avg.TruePos += q.TruePos
+		avg.FalsePos += q.FalsePos
+		avg.FalseNeg += q.FalseNeg
+		avg.Precision += q.Precision
+		avg.Recall += q.Recall
+		avg.Overall += q.Overall
+	}
+	n := float64(len(qs))
+	avg.Precision /= n
+	avg.Recall /= n
+	avg.Overall /= n
+	return avg
+}

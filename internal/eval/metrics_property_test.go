@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simcube"
+)
+
+// randomMapping builds a mapping over small element universes.
+func randomMapping(r *rand.Rand, n int) *simcube.Mapping {
+	m := simcube.NewMapping("A", "B")
+	for i := 0; i < n; i++ {
+		m.Add("a"+strconv.Itoa(r.Intn(12)), "b"+strconv.Itoa(r.Intn(12)), r.Float64())
+	}
+	return m
+}
+
+// TestPropertyMetricsInvariants checks the identities of the quality
+// measures on random prediction/gold pairs:
+//   - Precision, Recall in [0,1]
+//   - Overall = Recall · (2 − 1/Precision) when Precision > 0
+//   - Overall <= Recall <= 1
+//   - I + F = |P|, I + M = |R|
+func TestPropertyMetricsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pred := randomMapping(r, r.Intn(20))
+		gold := randomMapping(r, 1+r.Intn(20))
+		q := Evaluate(pred, gold)
+		if q.Precision < 0 || q.Precision > 1 || q.Recall < 0 || q.Recall > 1 {
+			return false
+		}
+		if q.TruePos+q.FalsePos != pred.Len() {
+			return false
+		}
+		if q.TruePos+q.FalseNeg != gold.Len() {
+			return false
+		}
+		if q.Overall > q.Recall+1e-12 {
+			return false
+		}
+		if q.Precision > 0 {
+			want := q.Recall * (2 - 1/q.Precision)
+			if math.Abs(q.Overall-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPerfectPredictionIsOptimal verifies that predicting
+// exactly the gold standard maximizes all three measures.
+func TestPropertyPerfectPredictionIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gold := randomMapping(r, 1+r.Intn(20))
+		q := Evaluate(gold.Clone(), gold)
+		return q.Precision == 1 && q.Recall == 1 && q.Overall == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package export serializes match results and schemas for downstream
+// tools: mappings as JSON or CSV (the interchange formats data
+// integration pipelines consume) and schema graphs as Graphviz DOT for
+// visual inspection of shared fragments and referential links.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// jsonMapping is the stable JSON shape of a match result.
+type jsonMapping struct {
+	FromSchema      string     `json:"fromSchema"`
+	ToSchema        string     `json:"toSchema"`
+	Correspondences []jsonCorr `json:"correspondences"`
+}
+
+type jsonCorr struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Sim  float64 `json:"sim"`
+}
+
+// MappingJSON writes a mapping as an indented JSON document.
+func MappingJSON(w io.Writer, m *simcube.Mapping) error {
+	out := jsonMapping{
+		FromSchema:      m.FromSchema,
+		ToSchema:        m.ToSchema,
+		Correspondences: make([]jsonCorr, 0, m.Len()),
+	}
+	for _, c := range m.Correspondences() {
+		out.Correspondences = append(out.Correspondences, jsonCorr{From: c.From, To: c.To, Sim: c.Sim})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadMappingJSON parses a mapping previously written by MappingJSON.
+func ReadMappingJSON(r io.Reader) (*simcube.Mapping, error) {
+	var in jsonMapping
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	m := simcube.NewMapping(in.FromSchema, in.ToSchema)
+	for _, c := range in.Correspondences {
+		m.Add(c.From, c.To, c.Sim)
+	}
+	return m, nil
+}
+
+// MappingCSV writes a mapping as CSV with a header row.
+func MappingCSV(w io.Writer, m *simcube.Mapping) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"from", "to", "similarity"}); err != nil {
+		return err
+	}
+	for _, c := range m.Correspondences() {
+		if err := cw.Write([]string{c.From, c.To, strconv.FormatFloat(c.Sim, 'f', 4, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMappingCSV parses a mapping written by MappingCSV. The schema
+// names are not part of the CSV; the caller supplies them.
+func ReadMappingCSV(r io.Reader, from, to string) (*simcube.Mapping, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("export: csv header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "from" {
+		return nil, fmt.Errorf("export: unexpected csv header %v", header)
+	}
+	m := simcube.NewMapping(from, to)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return m, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("export: csv: %w", err)
+		}
+		sim, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: similarity %q: %w", rec[2], err)
+		}
+		m.Add(rec[0], rec[1], sim)
+	}
+}
+
+// SchemaDOT writes a schema graph in Graphviz DOT format: containment
+// links solid, referential links dashed, leaves with their types.
+// Shared fragments appear once with multiple incoming edges — exactly
+// the property the DAG representation adds over trees.
+func SchemaDOT(w io.Writer, s *schema.Schema) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", s.Name)
+	id := make(map[*schema.Node]int)
+	var order []*schema.Node
+	var collect func(n *schema.Node)
+	collect = func(n *schema.Node) {
+		if _, ok := id[n]; ok {
+			return
+		}
+		id[n] = len(order)
+		order = append(order, n)
+		for _, c := range n.Children() {
+			collect(c)
+		}
+	}
+	collect(s.Root)
+	for _, n := range order {
+		label := dotEscape(n.Name)
+		if n.TypeName != "" {
+			label += `\n` + dotEscape(n.TypeName)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", id[n], label)
+	}
+	for _, n := range order {
+		for _, c := range n.Children() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id[n], id[c])
+		}
+		for _, ref := range n.Refs() {
+			if ri, ok := id[ref]; ok {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", id[n], ri)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dotEscape escapes quotes and backslashes for DOT string literals.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,123 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/importer"
+	"repro/internal/simcube"
+)
+
+func sampleMapping() *simcube.Mapping {
+	m := simcube.NewMapping("PO1", "PO2")
+	m.Add("ShipTo.shipToCity", "DeliverTo.Address.City", 0.78)
+	m.Add("Customer.custZip", "BillTo.Address.Zip", 0.66)
+	return m
+}
+
+func TestMappingJSONRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MappingJSON(&buf, sampleMapping()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"fromSchema": "PO1"`) {
+		t.Errorf("JSON missing schema name:\n%s", buf.String())
+	}
+	back, err := ReadMappingJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.FromSchema != "PO1" {
+		t.Fatalf("roundtrip: %v", back)
+	}
+	if sim, ok := back.Get("ShipTo.shipToCity", "DeliverTo.Address.City"); !ok || sim != 0.78 {
+		t.Error("similarity lost in JSON roundtrip")
+	}
+}
+
+func TestReadMappingJSONErrors(t *testing.T) {
+	if _, err := ReadMappingJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage JSON should fail")
+	}
+}
+
+func TestMappingCSVRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MappingCSV(&buf, sampleMapping()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "from,to,similarity" {
+		t.Fatalf("csv shape:\n%s", buf.String())
+	}
+	back, err := ReadMappingCSV(&buf, "PO1", "PO2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("roundtrip len = %d", back.Len())
+	}
+	if sim, _ := back.Get("Customer.custZip", "BillTo.Address.Zip"); sim != 0.66 {
+		t.Error("similarity lost in CSV roundtrip")
+	}
+}
+
+func TestReadMappingCSVErrors(t *testing.T) {
+	if _, err := ReadMappingCSV(strings.NewReader(""), "A", "B"); err == nil {
+		t.Error("empty CSV should fail")
+	}
+	if _, err := ReadMappingCSV(strings.NewReader("x,y,z\n1,2,3"), "A", "B"); err == nil {
+		t.Error("wrong header should fail")
+	}
+	if _, err := ReadMappingCSV(strings.NewReader("from,to,similarity\na,b,notanumber"), "A", "B"); err == nil {
+		t.Error("non-numeric similarity should fail")
+	}
+}
+
+func TestSchemaDOT(t *testing.T) {
+	const xsd = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2"><xsd:sequence>
+  <xsd:element name="DeliverTo" type="Address"/>
+  <xsd:element name="BillTo" type="Address"/>
+ </xsd:sequence></xsd:complexType>
+ <xsd:complexType name="Address"><xsd:sequence>
+  <xsd:element name="City" type="xsd:string"/>
+ </xsd:sequence></xsd:complexType>
+</xsd:schema>`
+	s, err := importer.ParseXSD("PO2", []byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SchemaDOT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, `digraph "PO2"`) {
+		t.Errorf("DOT header:\n%s", dot)
+	}
+	// The shared Address node appears once but has two incoming edges:
+	// count label occurrences vs edges into its node id.
+	if strings.Count(dot, `label="Address"`) != 1 {
+		t.Errorf("shared node duplicated:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="City\nxsd:string"`) {
+		t.Errorf("typed leaf label missing:\n%s", dot)
+	}
+}
+
+func TestSchemaDOTRefs(t *testing.T) {
+	ddl := `CREATE TABLE A (x INT REFERENCES B); CREATE TABLE B (y INT);`
+	s, err := importer.ParseSQL("db", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SchemaDOT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "style=dashed") {
+		t.Error("referential link not rendered dashed")
+	}
+}

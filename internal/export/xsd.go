@@ -1,0 +1,140 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// SchemaXSD writes a schema graph as an XML Schema document that
+// importer.ParseXSD reads back to an equivalent graph (same paths,
+// same shared fragments). Inner nodes become named complex types —
+// shared fragments are emitted once and referenced from every use
+// site — and leaves become typed elements. Leaf types already carrying
+// an XSD namespace prefix are kept; other types map onto xsd builtins
+// via their lower-cased local name.
+func SchemaXSD(w io.Writer, s *schema.Schema) error {
+	var b strings.Builder
+	b.WriteString(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">` + "\n")
+
+	// Assign a type name to every inner node. Shared nodes keep their
+	// element name as type name; collisions get numeric suffixes.
+	typeName := make(map[*schema.Node]string)
+	used := make(map[string]bool)
+	var assign func(n *schema.Node)
+	assign = func(n *schema.Node) {
+		if _, done := typeName[n]; done || n.IsLeaf() {
+			return
+		}
+		base := sanitizeTypeName(n.Name) + "Type"
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s%d", base, i)
+		}
+		used[name] = true
+		typeName[n] = name
+		for _, c := range n.Children() {
+			assign(c)
+		}
+	}
+	for _, c := range s.Root.Children() {
+		assign(c)
+	}
+
+	// Emit the root type first (content of the schema), then one
+	// complexType per distinct inner node.
+	writeElement := func(b *strings.Builder, n *schema.Node, indent string) {
+		if n.IsLeaf() {
+			fmt.Fprintf(b, "%s<xsd:element name=\"%s\" type=\"%s\"/>\n",
+				indent, xmlEscape(n.Name), xmlEscape(leafType(n.TypeName)))
+			return
+		}
+		fmt.Fprintf(b, "%s<xsd:element name=\"%s\" type=\"%s\"/>\n",
+			indent, xmlEscape(n.Name), typeName[n])
+	}
+
+	rootType := sanitizeTypeName(s.Name) + "Root"
+	for used[rootType] {
+		rootType += "X"
+	}
+	fmt.Fprintf(&b, "  <xsd:complexType name=\"%s\">\n    <xsd:sequence>\n", rootType)
+	for _, c := range s.Root.Children() {
+		writeElement(&b, c, "      ")
+	}
+	b.WriteString("    </xsd:sequence>\n  </xsd:complexType>\n")
+
+	emitted := make(map[*schema.Node]bool)
+	var emit func(n *schema.Node)
+	emit = func(n *schema.Node) {
+		if n.IsLeaf() || emitted[n] {
+			return
+		}
+		emitted[n] = true
+		fmt.Fprintf(&b, "  <xsd:complexType name=\"%s\">\n    <xsd:sequence>\n", typeName[n])
+		for _, c := range n.Children() {
+			writeElement(&b, c, "      ")
+		}
+		b.WriteString("    </xsd:sequence>\n  </xsd:complexType>\n")
+		for _, c := range n.Children() {
+			emit(c)
+		}
+	}
+	for _, c := range s.Root.Children() {
+		emit(c)
+	}
+	b.WriteString("</xsd:schema>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// leafType maps a stored type name onto an XSD type reference.
+func leafType(t string) string {
+	if t == "" {
+		return "xsd:string"
+	}
+	if strings.Contains(t, ":") {
+		return t
+	}
+	lower := strings.ToLower(t)
+	if i := strings.IndexByte(lower, '('); i >= 0 {
+		lower = lower[:i]
+	}
+	switch lower {
+	case "int", "integer", "smallint", "bigint", "serial":
+		return "xsd:integer"
+	case "decimal", "numeric", "float", "double", "real", "money", "number":
+		return "xsd:decimal"
+	case "date", "datetime", "timestamp":
+		return "xsd:date"
+	case "bool", "boolean", "bit":
+		return "xsd:boolean"
+	default:
+		return "xsd:string"
+	}
+}
+
+// sanitizeTypeName strips characters that are invalid in XML names.
+func sanitizeTypeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_':
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "T"
+	}
+	out := b.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "T" + out
+	}
+	return out
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,117 @@
+package export
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/importer"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// pathsOf renders a schema's paths, stripping the element-name noise
+// the XSD roundtrip necessarily introduces: re-import inserts the
+// generated type-name level under every inner element. For equivalence
+// we compare leaf multisets per top-level context instead.
+func leafNamesByTop(s *schema.Schema) map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for _, p := range s.Paths() {
+		if !p.Leaf().IsLeaf() {
+			continue
+		}
+		top := p.Names()[0]
+		m := out[top]
+		if m == nil {
+			m = make(map[string]int)
+			out[top] = m
+		}
+		m[p.Name()]++
+	}
+	return out
+}
+
+func TestSchemaXSDRoundtrip(t *testing.T) {
+	for _, orig := range workload.Schemas() {
+		var buf bytes.Buffer
+		if err := SchemaXSD(&buf, orig); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		back, err := importer.ParseXSD(orig.Name, buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: reimport: %v\n%s", orig.Name, err, buf.String())
+		}
+		want := leafNamesByTop(orig)
+		got := leafNamesByTop(back)
+		if len(got) != len(want) {
+			t.Fatalf("%s: top-level contexts %d != %d", orig.Name, len(got), len(want))
+		}
+		for top, leaves := range want {
+			gl := got[top]
+			if gl == nil {
+				t.Errorf("%s: context %s lost", orig.Name, top)
+				continue
+			}
+			for leaf, n := range leaves {
+				if gl[leaf] != n {
+					t.Errorf("%s: %s.%s count %d != %d", orig.Name, top, leaf, gl[leaf], n)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemaXSDSharedFragmentsPreserved(t *testing.T) {
+	// Apertum's shared Address must come back as a shared fragment:
+	// re-imported node count well below path count.
+	orig := workload.Schemas()[4]
+	var buf bytes.Buffer
+	if err := SchemaXSD(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := importer.ParseXSD("Apertum", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := schema.ComputeStats(back)
+	if st.Paths <= st.Nodes {
+		t.Errorf("sharing lost: %d paths vs %d nodes", st.Paths, st.Nodes)
+	}
+}
+
+func TestSchemaXSDTypeMapping(t *testing.T) {
+	ddl := `CREATE TABLE T (a INT, b DECIMAL(10,2), c DATE, d VARCHAR(10), e BOOLEAN);`
+	s, err := importer.ParseSQL("db", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SchemaXSD(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`name="a" type="xsd:integer"`,
+		`name="b" type="xsd:decimal"`,
+		`name="c" type="xsd:date"`,
+		`name="d" type="xsd:string"`,
+		`name="e" type="xsd:boolean"`,
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("missing %s in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeTypeName(t *testing.T) {
+	cases := map[string]string{
+		"Order Lines": "OrderLines",
+		"1st":         "T1st",
+		"???":         "T",
+		"ok_name":     "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeTypeName(in); got != want {
+			t.Errorf("sanitizeTypeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package flooding implements a Similarity Flooding matcher (Melnik,
+// Garcia-Molina & Rahm, ICDE 2002) over COMA's schema graphs. The
+// paper cites SF as the comparator whose accuracy metric (Overall) the
+// COMA evaluation adopts, and names its stable-marriage selection as
+// future work; this package provides SF as an additional library
+// matcher and ablation baseline.
+//
+// The algorithm builds a pairwise connectivity graph over element
+// pairs: the map pair (a, b) is connected to (a', b') when a' is a
+// child of a and b' is a child of b (and symmetrically for parents).
+// Initial similarities come from a string matcher on element names;
+// each iteration propagates a fraction of every pair's similarity to
+// its neighbours, followed by normalization, until a fixpoint.
+package flooding
+
+import (
+	"math"
+
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+	"repro/internal/strutil"
+)
+
+// Matcher is a Similarity Flooding matcher. Construct with New.
+type Matcher struct {
+	// Iterations bounds the fixpoint computation (default 32).
+	Iterations int
+	// Epsilon is the convergence threshold on the residual vector
+	// (default 1e-3).
+	Epsilon float64
+	// Damping weights the propagated increment against the initial
+	// similarity (default 0.8, high propagation).
+	Damping float64
+	// Init computes initial similarities between element names; the
+	// default is trigram similarity.
+	Init func(a, b string) float64
+}
+
+// New returns a flooding matcher with default parameters.
+func New() *Matcher {
+	return &Matcher{
+		Iterations: 32,
+		Epsilon:    1e-3,
+		Damping:    0.8,
+		Init:       func(a, b string) float64 { return strutil.NGramSim(a, b, 3) },
+	}
+}
+
+// Name implements match.Matcher.
+func (f *Matcher) Name() string { return "Flooding" }
+
+// pairEdge connects two pair-graph node indices with a weight.
+type pairEdge struct {
+	from, to int
+	w        float64
+}
+
+// Match implements match.Matcher: fixpoint similarity propagation over
+// the pairwise connectivity graph of the two schemas' paths.
+func (f *Matcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	p1, p2 := s1.Paths(), s2.Paths()
+	rows, cols := match.Keys(s1), match.Keys(s2)
+	n1, n2 := len(p1), len(p2)
+	if n1 == 0 || n2 == 0 {
+		return simcube.NewMatrix(rows, cols)
+	}
+	idx := func(i, j int) int { return i*n2 + j }
+
+	// Initial similarities σ0.
+	sigma0 := make([]float64, n1*n2)
+	for i := range p1 {
+		for j := range p2 {
+			sigma0[idx(i, j)] = f.Init(p1[i].Name(), p2[j].Name())
+		}
+	}
+
+	// Parent links: paths are chains, so the parent of a path is its
+	// prefix; locate prefix indices.
+	parent1 := pathParents(p1)
+	parent2 := pathParents(p2)
+
+	// Build propagation edges: child-pair → parent-pair and
+	// parent-pair → child-pair, with coefficients 1/#siblings.
+	var edges []pairEdge
+	childCount1 := make([]int, n1)
+	childCount2 := make([]int, n2)
+	for _, pi := range parent1 {
+		if pi >= 0 {
+			childCount1[pi]++
+		}
+	}
+	for _, pj := range parent2 {
+		if pj >= 0 {
+			childCount2[pj]++
+		}
+	}
+	for i := range p1 {
+		pi := parent1[i]
+		if pi < 0 {
+			continue
+		}
+		for j := range p2 {
+			pj := parent2[j]
+			if pj < 0 {
+				continue
+			}
+			// Weight splits the propagated similarity among the
+			// child-pair combinations (SF's 1/products coefficient).
+			wDown := 1.0 / float64(childCount1[pi]*childCount2[pj])
+			edges = append(edges, pairEdge{from: idx(pi, pj), to: idx(i, j), w: wDown})
+			edges = append(edges, pairEdge{from: idx(i, j), to: idx(pi, pj), w: 1})
+		}
+	}
+
+	// Fixpoint iteration: σ(k+1) = normalize(σ0 + damping·flow).
+	sigma := make([]float64, len(sigma0))
+	copy(sigma, sigma0)
+	next := make([]float64, len(sigma0))
+	for iter := 0; iter < f.Iterations; iter++ {
+		copy(next, sigma0)
+		for _, e := range edges {
+			next[e.to] += f.Damping * sigma[e.from] * e.w
+		}
+		// Normalize by the maximal value.
+		maxVal := 0.0
+		for _, v := range next {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if maxVal > 0 {
+			for k := range next {
+				next[k] /= maxVal
+			}
+		}
+		// Convergence on the residual.
+		delta := 0.0
+		for k := range next {
+			d := next[k] - sigma[k]
+			delta += d * d
+		}
+		sigma, next = next, sigma
+		if math.Sqrt(delta) < f.Epsilon {
+			break
+		}
+	}
+
+	out := simcube.NewMatrix(rows, cols)
+	for i := 0; i < n1; i++ {
+		for j := 0; j < n2; j++ {
+			out.Set(i, j, sigma[idx(i, j)])
+		}
+	}
+	return out
+}
+
+// pathParents maps each path index to the index of its parent path, or
+// -1 for top-level paths. Paths() enumerates parents before children,
+// so a linear scan with a map of seen prefixes suffices.
+func pathParents(paths []schema.Path) []int {
+	byKey := make(map[string]int, len(paths))
+	for i, p := range paths {
+		byKey[p.String()] = i
+	}
+	out := make([]int, len(paths))
+	for i, p := range paths {
+		out[i] = -1
+		if parent, ok := p.Parent(); ok {
+			if pi, found := byKey[parent.String()]; found {
+				out[i] = pi
+			}
+		}
+	}
+	return out
+}
+
+// StableMarriage selects 1:1 match candidates from a similarity matrix
+// using the Gale–Shapley algorithm, the selection strategy the COMA
+// paper names as future work (Section 7.5). Rows propose to columns in
+// descending similarity order; columns accept their best proposal.
+// Pairs with similarity <= minSim never match.
+func StableMarriage(m *simcube.Matrix, minSim float64) *simcube.Mapping {
+	nr, nc := m.Rows(), m.Cols()
+	out := simcube.NewMapping("", "")
+	if nr == 0 || nc == 0 {
+		return out
+	}
+	// Preference lists for rows: column indices by descending sim.
+	prefs := make([][]int, nr)
+	for i := 0; i < nr; i++ {
+		cand := make([]int, 0, nc)
+		for j := 0; j < nc; j++ {
+			if m.Get(i, j) > minSim {
+				cand = append(cand, j)
+			}
+		}
+		// Insertion sort by descending similarity, ties by index for
+		// determinism.
+		for a := 1; a < len(cand); a++ {
+			for b := a; b > 0 && m.Get(i, cand[b]) > m.Get(i, cand[b-1]); b-- {
+				cand[b], cand[b-1] = cand[b-1], cand[b]
+			}
+		}
+		prefs[i] = cand
+	}
+	nextProposal := make([]int, nr)
+	engagedTo := make([]int, nc) // column → row, -1 free
+	for j := range engagedTo {
+		engagedTo[j] = -1
+	}
+	free := make([]int, 0, nr)
+	for i := nr - 1; i >= 0; i-- {
+		free = append(free, i)
+	}
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		for nextProposal[i] < len(prefs[i]) {
+			j := prefs[i][nextProposal[i]]
+			nextProposal[i]++
+			cur := engagedTo[j]
+			if cur < 0 {
+				engagedTo[j] = i
+				break
+			}
+			if m.Get(i, j) > m.Get(cur, j) {
+				engagedTo[j] = i
+				free = append(free, cur)
+				break
+			}
+		}
+	}
+	for j, i := range engagedTo {
+		if i >= 0 {
+			out.Add(m.RowKeys()[i], m.ColKeys()[j], m.Get(i, j))
+		}
+	}
+	return out
+}

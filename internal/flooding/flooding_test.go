@@ -1,0 +1,140 @@
+package flooding
+
+import (
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+	"repro/internal/workload"
+)
+
+func miniSchema(name string, blocks map[string][]string) *schema.Schema {
+	s := schema.New(name)
+	for top, leaves := range blocks {
+		n := schema.NewNode(top)
+		for _, l := range leaves {
+			n.AddChild(&schema.Node{Name: l, TypeName: "xsd:string"})
+		}
+		s.Root.AddChild(n)
+	}
+	s.SortChildren()
+	return s
+}
+
+func TestFloodingPropagatesStructure(t *testing.T) {
+	// "Addr" blocks with one identically-named leaf: propagation must
+	// raise the sibling leaf pair above its zero string similarity.
+	s1 := miniSchema("A", map[string][]string{"Addr": {"city", "qqq"}})
+	s2 := miniSchema("B", map[string][]string{"Addr": {"city", "zzz"}})
+	m := New().Match(match.NewContext(), s1, s2)
+	if got := m.GetKey("Addr.city", "Addr.city"); got < 0.5 {
+		t.Errorf("identical leaf pair = %.3f, want high", got)
+	}
+	// qqq/zzz share no trigram, but their parents match: flooding
+	// must give them nonzero similarity.
+	if got := m.GetKey("Addr.qqq", "Addr.zzz"); got <= 0 {
+		t.Errorf("structural propagation failed: %.3f", got)
+	}
+}
+
+func TestFloodingConvergesAndBounded(t *testing.T) {
+	tasks := workload.Tasks()
+	f := New()
+	m := f.Match(match.NewContext(), tasks[0].S1, tasks[0].S2)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			v := m.Get(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("similarity out of bounds: %.3f", v)
+			}
+		}
+	}
+}
+
+func TestFloodingDeterministic(t *testing.T) {
+	s1 := miniSchema("A", map[string][]string{"Addr": {"city", "zip"}, "Contact": {"name"}})
+	s2 := miniSchema("B", map[string][]string{"Address": {"town", "zip"}, "Person": {"name"}})
+	a := New().Match(match.NewContext(), s1, s2)
+	b := New().Match(match.NewContext(), s1, s2)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.Get(i, j) != b.Get(i, j) {
+				t.Fatalf("nondeterministic at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestFloodingEmptySchemas(t *testing.T) {
+	s1 := schema.New("Empty1")
+	s2 := schema.New("Empty2")
+	m := New().Match(match.NewContext(), s1, s2)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Error("empty schemas should yield empty matrix")
+	}
+}
+
+func TestFloodingAsLibraryMatcher(t *testing.T) {
+	lib := match.NewLibrary()
+	lib.Register("Flooding", func() match.Matcher { return New() })
+	m, err := lib.New("Flooding")
+	if err != nil || m.Name() != "Flooding" {
+		t.Fatalf("library registration failed: %v", err)
+	}
+}
+
+func TestStableMarriage(t *testing.T) {
+	// a prefers x (0.9); b prefers x too (0.8) but x prefers a;
+	// b settles for y.
+	m := simcube.NewMatrix([]string{"a", "b"}, []string{"x", "y"})
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.2)
+	m.Set(1, 0, 0.8)
+	m.Set(1, 1, 0.6)
+	res := StableMarriage(m, 0)
+	if !res.Contains("a", "x") || !res.Contains("b", "y") {
+		t.Fatalf("stable marriage = %v", res.Correspondences())
+	}
+	if res.Len() != 2 {
+		t.Fatalf("len = %d", res.Len())
+	}
+}
+
+func TestStableMarriageMinSim(t *testing.T) {
+	m := simcube.NewMatrix([]string{"a"}, []string{"x"})
+	m.Set(0, 0, 0.3)
+	if got := StableMarriage(m, 0.5); got.Len() != 0 {
+		t.Error("below-threshold pair should not match")
+	}
+	if got := StableMarriage(m, 0.1); got.Len() != 1 {
+		t.Error("above-threshold pair should match")
+	}
+}
+
+func TestStableMarriageOneToOne(t *testing.T) {
+	// Stable marriage guarantees 1:1: no column matched twice.
+	tasks := workload.Tasks()
+	f := New()
+	m := f.Match(match.NewContext(), tasks[0].S1, tasks[0].S2)
+	res := StableMarriage(m, 0.3)
+	seenFrom := make(map[string]bool)
+	seenTo := make(map[string]bool)
+	for _, c := range res.Correspondences() {
+		if seenFrom[c.From] || seenTo[c.To] {
+			t.Fatalf("duplicate endpoint in %s", c)
+		}
+		seenFrom[c.From] = true
+		seenTo[c.To] = true
+	}
+	if res.Len() == 0 {
+		t.Error("expected some matches on the workload task")
+	}
+}
+
+func TestStableMarriageEmpty(t *testing.T) {
+	m := simcube.NewMatrix(nil, nil)
+	if got := StableMarriage(m, 0); got.Len() != 0 {
+		t.Error("empty matrix should yield empty mapping")
+	}
+}

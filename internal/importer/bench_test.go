@@ -1,0 +1,32 @@
+package importer
+
+import "testing"
+
+func BenchmarkParseSQL(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSQL("PO1", figure1DDL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseXSD(b *testing.B) {
+	src := []byte(figure1XSD)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseXSD("PO2", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseJSONSchema(b *testing.B) {
+	src := []byte(poJSONSchema)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseJSONSchema("po", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

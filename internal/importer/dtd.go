@@ -1,0 +1,210 @@
+package importer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// ParseDTD imports a Document Type Definition, the schema formalism
+// most XML message formats of the paper's era used. Supported
+// declarations:
+//
+//	<!ELEMENT name (child1, child2*, child3?)>  content model (sequence/choice)
+//	<!ELEMENT name (#PCDATA)>                   text leaf
+//	<!ELEMENT name EMPTY>                       empty leaf
+//	<!ELEMENT name ANY>                         leaf of unknown content
+//	<!ATTLIST name attr CDATA #REQUIRED ...>    attributes become leaves
+//
+// Element references are resolved by name; an element referenced from
+// several content models becomes a shared fragment (one node, multiple
+// paths). Elements never referenced become root children. Occurrence
+// indicators (?, *, +) and choice separators (|) are accepted and
+// ignored for graph construction. Parameter entities are not supported.
+func ParseDTD(name string, src []byte) (*schema.Schema, error) {
+	decls, attrs, err := scanDTD(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("dtd: no ELEMENT declarations")
+	}
+	b := &dtdBuilder{
+		decls:    decls,
+		attrs:    attrs,
+		nodes:    make(map[string]*schema.Node),
+		building: make(map[string]bool),
+	}
+	referenced := make(map[string]bool)
+	for _, d := range decls {
+		for _, c := range d.children {
+			if c != d.name {
+				referenced[c] = true
+			}
+		}
+	}
+	out := schema.New(name)
+	var roots []*dtdDecl
+	for _, d := range decls {
+		if !referenced[d.name] {
+			roots = append(roots, d)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].order < roots[j].order })
+	for _, d := range roots {
+		n, err := b.node(d.name)
+		if err != nil {
+			return nil, err
+		}
+		out.Root.AddChild(n)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("dtd: every element is referenced; no document root")
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// dtdDecl is one parsed ELEMENT declaration.
+type dtdDecl struct {
+	name     string
+	children []string // referenced element names, in order
+	pcdata   bool
+	order    int // declaration order, for deterministic roots
+}
+
+// scanDTD extracts ELEMENT and ATTLIST declarations.
+func scanDTD(src string) (map[string]*dtdDecl, map[string][]string, error) {
+	decls := make(map[string]*dtdDecl)
+	attrs := make(map[string][]string)
+	order := 0
+	rest := src
+	for {
+		start := strings.Index(rest, "<!")
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(rest[start:], '>')
+		if end < 0 {
+			return nil, nil, fmt.Errorf("dtd: unterminated declaration near %q", clip(rest[start:]))
+		}
+		decl := rest[start+2 : start+end]
+		rest = rest[start+end+1:]
+		order++
+		switch {
+		case strings.HasPrefix(decl, "ELEMENT"):
+			d, err := parseElementDecl(decl)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, dup := decls[d.name]; dup {
+				return nil, nil, fmt.Errorf("dtd: duplicate ELEMENT %q", d.name)
+			}
+			d.order = order
+			decls[d.name] = d
+		case strings.HasPrefix(decl, "ATTLIST"):
+			fields := strings.Fields(decl)
+			if len(fields) < 2 {
+				return nil, nil, fmt.Errorf("dtd: malformed ATTLIST %q", clip(decl))
+			}
+			elem := fields[1]
+			// Attribute declarations come in triples: name type default.
+			for i := 2; i+1 < len(fields); i += 3 {
+				attrs[elem] = append(attrs[elem], fields[i])
+			}
+		case strings.HasPrefix(decl, "--") || strings.HasPrefix(decl, "ENTITY") || strings.HasPrefix(decl, "NOTATION"):
+			// Comments and unsupported declarations: skip.
+		}
+	}
+	return decls, attrs, nil
+}
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
+
+func parseElementDecl(decl string) (*dtdDecl, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(decl, "ELEMENT"))
+	sp := strings.IndexFunc(body, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' })
+	if sp < 0 {
+		return nil, fmt.Errorf("dtd: ELEMENT without content model: %q", clip(decl))
+	}
+	d := &dtdDecl{name: body[:sp]}
+	model := strings.TrimSpace(body[sp:])
+	switch {
+	case strings.EqualFold(model, "EMPTY"), strings.EqualFold(model, "ANY"):
+		return d, nil
+	}
+	if !strings.HasPrefix(model, "(") {
+		return nil, fmt.Errorf("dtd: element %q: unsupported content model %q", d.name, clip(model))
+	}
+	inner := strings.Trim(model, "()*+? \t\n\r")
+	for _, part := range strings.FieldsFunc(inner, func(r rune) bool {
+		return r == ',' || r == '|' || r == '(' || r == ')'
+	}) {
+		part = strings.Trim(strings.TrimSpace(part), "*+?")
+		if part == "" {
+			continue
+		}
+		if part == "#PCDATA" {
+			d.pcdata = true
+			continue
+		}
+		d.children = append(d.children, part)
+	}
+	return d, nil
+}
+
+type dtdBuilder struct {
+	decls    map[string]*dtdDecl
+	attrs    map[string][]string
+	nodes    map[string]*schema.Node
+	building map[string]bool
+}
+
+func (b *dtdBuilder) node(name string) (*schema.Node, error) {
+	if n, ok := b.nodes[name]; ok {
+		return n, nil
+	}
+	if b.building[name] {
+		// Recursive content model: break the cycle with a leaf.
+		return &schema.Node{Name: name, TypeName: name, Kind: schema.ElemComplex}, nil
+	}
+	b.building[name] = true
+	defer delete(b.building, name)
+	d := b.decls[name]
+	n := schema.NewNode(name)
+	if d == nil {
+		// Referenced but undeclared: permissive leaf.
+		n.TypeName = "#PCDATA"
+		n.Kind = schema.ElemSimple
+		return n, nil
+	}
+	for _, attr := range b.attrs[name] {
+		n.AddChild(&schema.Node{Name: attr, TypeName: "CDATA", Kind: schema.ElemSimple})
+	}
+	for _, c := range d.children {
+		child, err := b.node(c)
+		if err != nil {
+			return nil, err
+		}
+		n.AddChild(child)
+	}
+	if n.IsLeaf() {
+		n.Kind = schema.ElemSimple
+		if d.pcdata {
+			n.TypeName = "#PCDATA"
+		}
+	} else {
+		n.Kind = schema.ElemComplex
+	}
+	b.nodes[name] = n
+	return n, nil
+}

@@ -1,0 +1,138 @@
+package importer
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+const poDTD = `
+<!-- purchase order message -->
+<!ELEMENT PurchaseOrder (Header, ShipTo, BillTo, Items)>
+<!ELEMENT Header (poNumber, poDate?)>
+<!ELEMENT poNumber (#PCDATA)>
+<!ELEMENT poDate (#PCDATA)>
+<!ELEMENT ShipTo (Address)>
+<!ELEMENT BillTo (Address)>
+<!ELEMENT Address (street, city, zip)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+<!ELEMENT Items (Item+)>
+<!ELEMENT Item (sku, qty)>
+<!ATTLIST Item lineNo CDATA #REQUIRED currency CDATA #IMPLIED>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT qty (#PCDATA)>
+`
+
+func TestParseDTD(t *testing.T) {
+	s, err := ParseDTD("po", []byte(poDTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"PurchaseOrder.Header.poNumber",
+		"PurchaseOrder.ShipTo.Address.city",
+		"PurchaseOrder.BillTo.Address.city",
+		"PurchaseOrder.Items.Item.sku",
+		"PurchaseOrder.Items.Item.lineNo", // attribute
+	} {
+		if _, ok := s.FindPath(want); !ok {
+			t.Errorf("missing path %s\n%s", want, s.String())
+		}
+	}
+	// Address is a shared fragment.
+	st := schema.ComputeStats(s)
+	if st.Paths <= st.Nodes {
+		t.Errorf("sharing lost: %d paths vs %d nodes", st.Paths, st.Nodes)
+	}
+	city, _ := s.FindPath("PurchaseOrder.ShipTo.Address.city")
+	if city.Leaf().TypeName != "#PCDATA" {
+		t.Errorf("city type = %q", city.Leaf().TypeName)
+	}
+	attr, _ := s.FindPath("PurchaseOrder.Items.Item.lineNo")
+	if attr.Leaf().TypeName != "CDATA" {
+		t.Errorf("attribute type = %q", attr.Leaf().TypeName)
+	}
+}
+
+func TestParseDTDContentModels(t *testing.T) {
+	src := `
+<!ELEMENT root (a | b)*>
+<!ELEMENT a EMPTY>
+<!ELEMENT b ANY>
+`
+	s, err := ParseDTD("m", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FindPath("root.a"); !ok {
+		t.Errorf("choice member a lost:\n%s", s.String())
+	}
+	if _, ok := s.FindPath("root.b"); !ok {
+		t.Errorf("choice member b lost:\n%s", s.String())
+	}
+}
+
+func TestParseDTDRecursive(t *testing.T) {
+	src := `
+<!ELEMENT part (name, part?)>
+<!ELEMENT name (#PCDATA)>
+`
+	s, err := ParseDTD("rec", []byte(src))
+	if err != nil {
+		t.Fatalf("recursive content model should degrade gracefully: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+}
+
+func TestParseDTDUndeclaredReference(t *testing.T) {
+	src := `<!ELEMENT root (mystery)>`
+	s, err := ParseDTD("u", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.FindPath("root.mystery")
+	if !ok || !p.Leaf().IsLeaf() {
+		t.Error("undeclared reference should become a permissive leaf")
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"<!ELEMENT a (b)> <!ELEMENT b (a)>",     // all referenced... a references b, b references a: both referenced → no root
+		"<!ELEMENT unterminated",                // unterminated declaration
+		"<!ELEMENT x>",                          // missing content model
+		"<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>", // duplicate
+		"<!ELEMENT a foo>",                      // unsupported model
+	}
+	for _, src := range cases {
+		if _, err := ParseDTD("x", []byte(src)); err == nil {
+			t.Errorf("ParseDTD(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDTDMatchableAgainstXSD(t *testing.T) {
+	// Cross-format: the DTD message against the Figure 1 XSD imports
+	// cleanly and produces distinct path keys.
+	d, err := ParseDTD("po", []byte(poDTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ParseXSD("PO2", []byte(figure1XSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range d.Paths() {
+		if seen[p.String()] {
+			t.Fatalf("duplicate key %s", p)
+		}
+		seen[p.String()] = true
+	}
+	_ = x
+}

@@ -1,0 +1,121 @@
+package importer
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fuzz targets assert robustness invariants: the importers must
+// never panic, and every successfully imported schema must pass
+// Validate. Under plain `go test` the seed corpus runs as regression
+// cases; `go test -fuzz=FuzzParseSQL` explores further.
+
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		figure1DDL,
+		"CREATE TABLE t (a INT)",
+		"CREATE TABLE t (a INT, b VARCHAR(10) NOT NULL, PRIMARY KEY (a));",
+		"CREATE TABLE a (x INT REFERENCES b (y)); CREATE TABLE b (y INT);",
+		"-- only a comment",
+		"CREATE TABLE \"q t\" (`c 1` INT);",
+		"CREATE INDEX i ON t (a); CREATE TABLE t (a INT);",
+		"CREATE TABLE t (a DECIMAL(10,2) DEFAULT 0 UNIQUE AUTO_INCREMENT);",
+		"CREATE TABLE t (a INT, UNIQUE (a), CHECK (a > 0), CONSTRAINT c FOREIGN KEY (a) REFERENCES t2);",
+		"((((",
+		"CREATE TABLE",
+		"CREATE TABLE t (",
+		"'unterminated",
+		"/* unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSQL("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("imported invalid schema from %q: %v", src, err)
+		}
+	})
+}
+
+func FuzzParseXSD(f *testing.F) {
+	seeds := []string{
+		figure1XSD,
+		`<schema xmlns="http://www.w3.org/2001/XMLSchema"><element name="a" type="string"/></schema>`,
+		`<schema><complexType name="A"><sequence><element name="x" type="A"/></sequence></complexType></schema>`,
+		`<schema><complexType name="A"/><complexType name="B"/></schema>`,
+		`<not-xsd/>`,
+		`garbage`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseXSD("fuzz", []byte(src))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("imported invalid schema from %q: %v", src, err)
+		}
+	})
+}
+
+func FuzzParseDTD(f *testing.F) {
+	seeds := []string{
+		poDTD,
+		"<!ELEMENT a EMPTY>",
+		"<!ELEMENT a (b, c?)> <!ELEMENT b (#PCDATA)> <!ELEMENT c ANY>",
+		"<!ELEMENT part (name, part?)> <!ELEMENT name (#PCDATA)>",
+		"<!ATTLIST a x CDATA #REQUIRED> <!ELEMENT a EMPTY>",
+		"<!-- just a comment -->",
+		"<!ELEMENT",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseDTD("fuzz", []byte(src))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("imported invalid schema from %q: %v", src, err)
+		}
+	})
+}
+
+func FuzzParseJSONSchema(f *testing.F) {
+	seeds := []string{
+		poJSONSchema,
+		`{"type":"object","properties":{"a":{"type":"string"}}}`,
+		`{"type":"object","properties":{"p":{"$ref":"#/definitions/X"}},"definitions":{"X":{"type":"object","properties":{"q":{"$ref":"#/definitions/X"}}}}}`,
+		`{"properties":{"arr":{"type":"array","items":{"type":"integer"}}}}`,
+		`{}`,
+		`[]`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseJSONSchema("fuzz", []byte(src))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("imported invalid schema from %q: %v", src, err)
+		}
+		// Path keys must be non-empty and enumerable.
+		for _, p := range s.Paths() {
+			if strings.TrimSpace(p.String()) == "" {
+				t.Fatalf("empty path key from %q", src)
+			}
+		}
+	})
+}

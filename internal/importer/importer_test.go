@@ -1,0 +1,346 @@
+package importer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// figure1DDL is the exact relational schema of the paper's Figure 1a.
+const figure1DDL = `
+CREATE TABLE PO1.ShipTo (
+  poNo INT,
+  custNo INT REFERENCES PO1.Customer,
+  shipToStreet VARCHAR(200),
+  shipToCity VARCHAR(200),
+  shipToZip VARCHAR(20),
+  PRIMARY KEY (poNo)
+);
+CREATE TABLE PO1.Customer (
+  custNo INT,
+  custName VARCHAR(200),
+  custStreet VARCHAR(200),
+  custCity VARCHAR(200),
+  custZip VARCHAR(20),
+  PRIMARY KEY (custNo)
+);`
+
+// figure1XSD is the XML schema of Figure 1a.
+const figure1XSD = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2">
+  <xsd:sequence>
+   <xsd:element name="DeliverTo" type="Address"/>
+   <xsd:element name="BillTo" type="Address"/>
+  </xsd:sequence>
+ </xsd:complexType>
+ <xsd:complexType name="Address">
+  <xsd:sequence>
+   <xsd:element name="Street" type="xsd:string"/>
+   <xsd:element name="City" type="xsd:string"/>
+   <xsd:element name="Zip" type="xsd:decimal"/>
+  </xsd:sequence>
+ </xsd:complexType>
+</xsd:schema>`
+
+func TestParseSQLFigure1(t *testing.T) {
+	s, err := ParseSQL("PO1", figure1DDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "PO1" {
+		t.Errorf("name = %s", s.Name)
+	}
+	st := schema.ComputeStats(s)
+	// 2 tables + 10 columns.
+	if st.Nodes != 12 || st.Paths != 12 {
+		t.Errorf("nodes/paths = %d/%d, want 12/12", st.Nodes, st.Paths)
+	}
+	p, ok := s.FindPath("ShipTo.shipToCity")
+	if !ok {
+		t.Fatal("ShipTo.shipToCity missing")
+	}
+	if p.Leaf().TypeName != "VARCHAR(200)" {
+		t.Errorf("type = %s", p.Leaf().TypeName)
+	}
+	// Primary key annotation from the table-level constraint.
+	poNo, _ := s.FindPath("ShipTo.poNo")
+	if poNo.Leaf().Annotation("primaryKey") != "true" {
+		t.Error("PRIMARY KEY (poNo) not annotated")
+	}
+	// Inline REFERENCES resolved to a referential link.
+	custNo, _ := s.FindPath("ShipTo.custNo")
+	refs := custNo.Leaf().Refs()
+	if len(refs) != 1 || refs[0].Name != "Customer" {
+		t.Errorf("custNo refs = %v", refs)
+	}
+	if custNo.Leaf().Annotation("references") != "Customer" {
+		t.Error("references annotation missing")
+	}
+}
+
+func TestParseSQLTableLevelFK(t *testing.T) {
+	src := `
+CREATE TABLE Orders (
+  id INT PRIMARY KEY,
+  cust INT NOT NULL,
+  FOREIGN KEY (cust) REFERENCES Customers (cid)
+);
+CREATE TABLE Customers ( cid INT PRIMARY KEY, name VARCHAR(100) );`
+	s, err := ParseSQL("shop", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust, _ := s.FindPath("Orders.cust")
+	if len(cust.Leaf().Refs()) != 1 || cust.Leaf().Refs()[0].Name != "Customers" {
+		t.Error("table-level FK not resolved")
+	}
+	if cust.Leaf().Annotation("notNull") != "true" {
+		t.Error("NOT NULL not annotated")
+	}
+	id, _ := s.FindPath("Orders.id")
+	if id.Leaf().Annotation("primaryKey") != "true" {
+		t.Error("inline PRIMARY KEY not annotated")
+	}
+}
+
+func TestParseSQLSkipsIrrelevantConstructs(t *testing.T) {
+	src := `
+-- a comment
+CREATE INDEX foo ON bar (baz);
+/* block
+   comment */
+CREATE TABLE T (
+  a INT DEFAULT 0,
+  b DECIMAL(10,2) UNIQUE,
+  c VARCHAR(5) AUTO_INCREMENT,
+  UNIQUE (a, b),
+  CHECK (a > 0)
+);`
+	s, err := ParseSQL("db", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := schema.ComputeStats(s)
+	if st.Nodes != 4 {
+		t.Errorf("nodes = %d, want 4 (table + 3 columns)", st.Nodes)
+	}
+	b, _ := s.FindPath("T.b")
+	if b.Leaf().TypeName != "DECIMAL(10,2)" {
+		t.Errorf("parameterized type = %s", b.Leaf().TypeName)
+	}
+}
+
+func TestParseSQLQuotedIdentifiers(t *testing.T) {
+	s, err := ParseSQL("q", "CREATE TABLE \"Order Lines\" ( `line no` INT, 'desc' VARCHAR(10) );")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FindPath("Order Lines.line no"); !ok {
+		t.Errorf("quoted identifiers lost: %v", s.String())
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	cases := []string{
+		"CREATE TABLE",           // missing name
+		"CREATE TABLE T ( )",     // empty column list
+		"CREATE TABLE T ( a INT", // unterminated
+		"CREATE TABLE T ( a )",   // column without type
+		"TABLE T (a INT);",       // missing CREATE
+		"CREATE TABLE T (a INT); CREATE TABLE T (b INT);", // duplicate table
+		"CREATE TABLE T ( a INT, PRIMARY KEY () );",       // empty key list
+		"/* unterminated",
+		"CREATE TABLE T ( a VARCHAR('unterminated );",
+	}
+	for _, src := range cases {
+		if _, err := ParseSQL("x", src); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseXSDFigure1(t *testing.T) {
+	s, err := ParseXSD("PO2", []byte(figure1XSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := schema.ComputeStats(s)
+	// Figure 1b: 6 distinct nodes, 10 paths (Address shared).
+	if st.Nodes != 6 || st.Paths != 10 {
+		t.Fatalf("nodes/paths = %d/%d, want 6/10\n%s", st.Nodes, st.Paths, s.String())
+	}
+	for _, want := range []string{
+		"DeliverTo", "BillTo",
+		"DeliverTo.Address.City", "BillTo.Address.City",
+		"DeliverTo.Address.Zip", "BillTo.Address.Zip",
+	} {
+		if _, ok := s.FindPath(want); !ok {
+			t.Errorf("missing path %s", want)
+		}
+	}
+	city, _ := s.FindPath("DeliverTo.Address.City")
+	if city.Leaf().TypeName != "xsd:string" {
+		t.Errorf("City type = %s", city.Leaf().TypeName)
+	}
+	// Address is one shared node.
+	var addrCount int
+	for _, n := range s.Nodes() {
+		if n.Name == "Address" {
+			addrCount++
+		}
+	}
+	if addrCount != 1 {
+		t.Errorf("Address nodes = %d, want 1 (shared)", addrCount)
+	}
+}
+
+func TestParseXSDGlobalElements(t *testing.T) {
+	src := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <element name="order">
+  <complexType>
+   <sequence>
+    <element name="id" type="integer"/>
+    <element name="item" type="Item"/>
+   </sequence>
+  </complexType>
+ </element>
+ <complexType name="Item">
+  <sequence>
+   <element name="sku" type="string"/>
+  </sequence>
+  <attribute name="qty" type="integer"/>
+ </complexType>
+</schema>`
+	s, err := ParseXSD("orders", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"order", "order.id", "order.item.Item.sku", "order.item.Item.qty"} {
+		if _, ok := s.FindPath(want); !ok {
+			t.Errorf("missing path %s\n%s", want, s.String())
+		}
+	}
+}
+
+func TestParseXSDChoiceAndAll(t *testing.T) {
+	src := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <complexType name="Root">
+  <choice>
+   <element name="a" type="string"/>
+   <element name="b" type="string"/>
+  </choice>
+ </complexType>
+</schema>`
+	s, err := ParseXSD("c", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FindPath("a"); !ok {
+		t.Errorf("choice content lost:\n%s", s.String())
+	}
+}
+
+func TestParseXSDMultipleRootTypes(t *testing.T) {
+	src := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <complexType name="A"><sequence><element name="x" type="string"/></sequence></complexType>
+ <complexType name="B"><sequence><element name="y" type="string"/></sequence></complexType>
+</schema>`
+	s, err := ParseXSD("multi", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FindPath("A.x"); !ok {
+		t.Errorf("root type A lost:\n%s", s.String())
+	}
+	if _, ok := s.FindPath("B.y"); !ok {
+		t.Errorf("root type B lost:\n%s", s.String())
+	}
+}
+
+func TestParseXSDRecursiveType(t *testing.T) {
+	src := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <complexType name="Part">
+  <sequence>
+   <element name="name" type="string"/>
+   <element name="sub" type="Part"/>
+  </sequence>
+ </complexType>
+</schema>`
+	s, err := ParseXSD("rec", []byte(src))
+	if err != nil {
+		t.Fatalf("recursive type should degrade gracefully: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("recursive import produced invalid graph: %v", err)
+	}
+}
+
+func TestParseXSDErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all <<<`,
+		`<schema xmlns="http://www.w3.org/2001/XMLSchema"></schema>`,                                                                 // no content
+		`<schema xmlns="http://www.w3.org/2001/XMLSchema"><complexType/></schema>`,                                                   // unnamed top type
+		`<schema xmlns="http://www.w3.org/2001/XMLSchema"><element name="a" type="Missing2"/><complexType name="Missing"/></schema>`, // dangling... type ref is simple, fine
+	}
+	for i, src := range cases[:3] {
+		if _, err := ParseXSD("x", []byte(src)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Duplicate type names.
+	dup := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <complexType name="A"/><complexType name="A"/></schema>`
+	if _, err := ParseXSD("x", []byte(dup)); err == nil {
+		t.Error("duplicate complexType should fail")
+	}
+}
+
+func TestParseXSDUnknownTypeRefIsLeaf(t *testing.T) {
+	// A type attribute that names no local complexType is treated as a
+	// simple type (external or builtin).
+	src := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <element name="a" type="ext:Whatever"/>
+</schema>`
+	s, err := ParseXSD("x", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.FindPath("a")
+	if !ok || !p.Leaf().IsLeaf() {
+		t.Error("unknown type ref should become a leaf")
+	}
+	if p.Leaf().TypeName != "ext:Whatever" {
+		t.Errorf("type = %s", p.Leaf().TypeName)
+	}
+}
+
+func TestRoundTripThroughMatchKeys(t *testing.T) {
+	// The two Figure 1 imports must be directly matchable: stable,
+	// distinct path keys.
+	s1, err := ParseSQL("PO1", figure1DDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseXSD("PO2", []byte(figure1XSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range s1.Paths() {
+		if seen[p.String()] {
+			t.Errorf("duplicate PO1 key %s", p)
+		}
+		seen[p.String()] = true
+	}
+	seen = make(map[string]bool)
+	for _, p := range s2.Paths() {
+		if seen[p.String()] {
+			t.Errorf("duplicate PO2 key %s", p)
+		}
+		seen[p.String()] = true
+	}
+	if strings.Count(s2.String(), "Address") != 2 {
+		t.Error("shared fragment rendering changed")
+	}
+}

@@ -1,0 +1,182 @@
+package importer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// ParseJSONSchema imports a JSON Schema document — the "additional
+// schema types" direction of the paper's future work. Object properties
+// become containment children, primitive types become typed leaves, and
+// $ref references to definitions become shared fragments (one node,
+// multiple paths), exactly like XSD type references.
+//
+// Supported keywords: type, properties, items, definitions, $defs,
+// $ref (local "#/definitions/..." and "#/$defs/..." only), title.
+// Property order follows the source document where possible; since
+// encoding/json does not preserve object order, properties are sorted
+// by name for deterministic output.
+func ParseJSONSchema(name string, src []byte) (*schema.Schema, error) {
+	var doc jsonNode
+	if err := json.Unmarshal(src, &doc); err != nil {
+		return nil, fmt.Errorf("jsonschema: %w", err)
+	}
+	b := &jsonBuilder{
+		defs:     map[string]*jsonNode{},
+		nodes:    map[string]*schema.Node{},
+		building: map[string]bool{},
+	}
+	for _, defs := range []map[string]jsonNode{doc.Definitions, doc.Defs} {
+		for defName := range defs {
+			def := defs[defName]
+			if _, dup := b.defs[defName]; dup {
+				return nil, fmt.Errorf("jsonschema: duplicate definition %q", defName)
+			}
+			b.defs[defName] = &def
+		}
+	}
+	out := schema.New(name)
+	children, err := b.children(&doc)
+	if err != nil {
+		return nil, err
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("jsonschema: schema %q has no object properties", name)
+	}
+	for _, c := range children {
+		out.Root.AddChild(c)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// jsonNode is the subset of JSON Schema this importer understands.
+type jsonNode struct {
+	Type        string              `json:"type"`
+	Title       string              `json:"title"`
+	Ref         string              `json:"$ref"`
+	Properties  map[string]jsonNode `json:"properties"`
+	Items       *jsonNode           `json:"items"`
+	Definitions map[string]jsonNode `json:"definitions"`
+	Defs        map[string]jsonNode `json:"$defs"`
+}
+
+type jsonBuilder struct {
+	defs     map[string]*jsonNode
+	nodes    map[string]*schema.Node // shared definition nodes
+	building map[string]bool
+}
+
+// refName extracts the definition name from a local $ref.
+func refName(ref string) (string, bool) {
+	for _, prefix := range []string{"#/definitions/", "#/$defs/"} {
+		if strings.HasPrefix(ref, prefix) {
+			return ref[len(prefix):], true
+		}
+	}
+	return "", false
+}
+
+// children builds the child nodes for an object node's properties, in
+// name order.
+func (b *jsonBuilder) children(n *jsonNode) ([]*schema.Node, error) {
+	names := make([]string, 0, len(n.Properties))
+	for p := range n.Properties {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	out := make([]*schema.Node, 0, len(names))
+	for _, p := range names {
+		prop := n.Properties[p]
+		node, err := b.propertyNode(p, &prop)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, node)
+	}
+	return out, nil
+}
+
+func (b *jsonBuilder) propertyNode(name string, n *jsonNode) (*schema.Node, error) {
+	node := schema.NewNode(name)
+	switch {
+	case n.Ref != "":
+		def, ok := refName(n.Ref)
+		if !ok {
+			return nil, fmt.Errorf("jsonschema: unsupported $ref %q (only local definitions)", n.Ref)
+		}
+		shared, err := b.defNode(def)
+		if err != nil {
+			return nil, err
+		}
+		node.Kind = schema.ElemComplex
+		node.AddChild(shared)
+	case n.Type == "object" || len(n.Properties) > 0:
+		node.Kind = schema.ElemComplex
+		kids, err := b.children(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kids {
+			node.AddChild(k)
+		}
+	case n.Type == "array":
+		node.Kind = schema.ElemComplex
+		if n.Items != nil {
+			item, err := b.propertyNode(itemName(name), n.Items)
+			if err != nil {
+				return nil, err
+			}
+			node.AddChild(item)
+		}
+	default:
+		node.Kind = schema.ElemSimple
+		node.TypeName = n.Type
+		if node.TypeName == "" {
+			node.TypeName = "string"
+		}
+	}
+	return node, nil
+}
+
+// defNode returns the shared node for a named definition.
+func (b *jsonBuilder) defNode(name string) (*schema.Node, error) {
+	if n, ok := b.nodes[name]; ok {
+		return n, nil
+	}
+	def, ok := b.defs[name]
+	if !ok {
+		return nil, fmt.Errorf("jsonschema: unresolved $ref to %q", name)
+	}
+	if b.building[name] {
+		// Recursive definition: break with a typed leaf.
+		return &schema.Node{Name: name, TypeName: name, Kind: schema.ElemComplex}, nil
+	}
+	b.building[name] = true
+	defer delete(b.building, name)
+	node, err := b.propertyNode(name, def)
+	if err != nil {
+		return nil, err
+	}
+	b.nodes[name] = node
+	return node, nil
+}
+
+// itemName derives a singular element name for array items: "items" of
+// property "lines" becomes "line".
+func itemName(plural string) string {
+	switch {
+	case strings.HasSuffix(plural, "ies"):
+		return plural[:len(plural)-3] + "y"
+	case strings.HasSuffix(plural, "s") && len(plural) > 1:
+		return plural[:len(plural)-1]
+	default:
+		return plural + "Item"
+	}
+}

@@ -1,0 +1,174 @@
+package importer
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+const poJSONSchema = `{
+  "title": "PurchaseOrder",
+  "type": "object",
+  "properties": {
+    "orderNumber": {"type": "string"},
+    "orderDate":   {"type": "string"},
+    "shipTo":      {"$ref": "#/definitions/Address"},
+    "billTo":      {"$ref": "#/definitions/Address"},
+    "lines": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "properties": {
+          "sku":      {"type": "string"},
+          "quantity": {"type": "integer"},
+          "price":    {"type": "number"}
+        }
+      }
+    }
+  },
+  "definitions": {
+    "Address": {
+      "type": "object",
+      "properties": {
+        "street": {"type": "string"},
+        "city":   {"type": "string"},
+        "zip":    {"type": "string"}
+      }
+    }
+  }
+}`
+
+func TestParseJSONSchema(t *testing.T) {
+	s, err := ParseJSONSchema("po", []byte(poJSONSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"orderNumber",
+		"shipTo.Address.city",
+		"billTo.Address.city",
+		"lines.line.quantity",
+	} {
+		if _, ok := s.FindPath(want); !ok {
+			t.Errorf("missing path %s\n%s", want, s.String())
+		}
+	}
+	// Address is a shared fragment: one node, two contexts.
+	addrCount := 0
+	for _, n := range s.Nodes() {
+		if n.Name == "Address" {
+			addrCount++
+		}
+	}
+	if addrCount != 1 {
+		t.Errorf("Address nodes = %d, want 1 (shared)", addrCount)
+	}
+	qty, _ := s.FindPath("lines.line.quantity")
+	if qty.Leaf().TypeName != "integer" {
+		t.Errorf("quantity type = %s", qty.Leaf().TypeName)
+	}
+	st := schema.ComputeStats(s)
+	if st.Paths <= st.Nodes {
+		t.Error("shared Address should make paths > nodes")
+	}
+}
+
+func TestParseJSONSchemaDefs(t *testing.T) {
+	src := `{
+	  "type": "object",
+	  "properties": {"contact": {"$ref": "#/$defs/Contact"}},
+	  "$defs": {"Contact": {"type": "object", "properties": {"email": {"type": "string"}}}}
+	}`
+	s, err := ParseJSONSchema("d", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FindPath("contact.Contact.email"); !ok {
+		t.Errorf("missing $defs path:\n%s", s.String())
+	}
+}
+
+func TestParseJSONSchemaRecursive(t *testing.T) {
+	src := `{
+	  "type": "object",
+	  "properties": {"part": {"$ref": "#/definitions/Part"}},
+	  "definitions": {
+	    "Part": {
+	      "type": "object",
+	      "properties": {
+	        "name": {"type": "string"},
+	        "sub":  {"$ref": "#/definitions/Part"}
+	      }
+	    }
+	  }
+	}`
+	s, err := ParseJSONSchema("rec", []byte(src))
+	if err != nil {
+		t.Fatalf("recursive definition should degrade gracefully: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+}
+
+func TestParseJSONSchemaErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"type":"object","properties":{}}`, // no content
+		`{"type":"object","properties":{"a":{"$ref":"#/definitions/Missing"}}}`, // dangling ref
+		`{"type":"object","properties":{"a":{"$ref":"http://x/y"}}}`,            // remote ref
+	}
+	for _, src := range cases {
+		if _, err := ParseJSONSchema("x", []byte(src)); err == nil {
+			t.Errorf("ParseJSONSchema(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseJSONSchemaUntypedProperty(t *testing.T) {
+	src := `{"type":"object","properties":{"anything": {}}}`
+	s, err := ParseJSONSchema("u", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.FindPath("anything")
+	if !ok || p.Leaf().TypeName != "string" {
+		t.Error("untyped property should default to string leaf")
+	}
+}
+
+func TestItemName(t *testing.T) {
+	cases := map[string]string{
+		"lines":      "line",
+		"categories": "category",
+		"x":          "xItem",
+	}
+	for in, want := range cases {
+		if got := itemName(in); got != want {
+			t.Errorf("itemName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJSONSchemaMatchableAgainstXSD(t *testing.T) {
+	// Cross-format matching: the JSON PO against the Figure 1 XSD.
+	js, err := ParseJSONSchema("po", []byte(poJSONSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := ParseXSD("PO2", []byte(figure1XSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Name == "" || xs.Name == "" {
+		t.Fatal("names lost")
+	}
+	// Just shape: both importable and traversable with unique keys.
+	seen := map[string]bool{}
+	for _, p := range js.Paths() {
+		if seen[p.String()] {
+			t.Fatalf("duplicate key %s", p)
+		}
+		seen[p.String()] = true
+	}
+}

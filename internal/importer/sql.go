@@ -1,0 +1,418 @@
+// Package importer converts external schema sources into COMA's
+// internal graph representation (Do & Rahm, VLDB 2002, Section 3,
+// Figure 1): relational schemas from SQL DDL and XML schemas from XSD.
+package importer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/schema"
+)
+
+// ParseSQL imports a relational schema from a sequence of CREATE TABLE
+// statements. Tables become top-level graph nodes containing their
+// columns as leaves; primary keys are annotated and foreign keys
+// (inline REFERENCES and table-level FOREIGN KEY constraints) become
+// referential links from the column node to the referenced table node.
+//
+// The schema takes the given name; schema-qualified table names
+// ("PO1.ShipTo") are accepted and the qualifier dropped.
+func ParseSQL(name, src string) (*schema.Schema, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, out: schema.New(name)}
+	p.tables = make(map[string]*schema.Node)
+	p.columns = make(map[string]map[string]*schema.Node)
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	p.resolveFKs()
+	if err := p.out.Validate(); err != nil {
+		return nil, err
+	}
+	return p.out, nil
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type sqlToken struct {
+	text string // upper-cased for keywords/identifiers comparison via eq
+	raw  string
+	punc bool
+	line int
+}
+
+func lexSQL(src string) ([]sqlToken, error) {
+	var toks []sqlToken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql line %d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '.':
+			toks = append(toks, sqlToken{text: string(c), raw: string(c), punc: true, line: line})
+			i++
+		case c == '\'' || c == '"' || c == '`':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j == len(src) {
+				return nil, fmt.Errorf("sql line %d: unterminated quoted token", line)
+			}
+			raw := src[i+1 : j]
+			toks = append(toks, sqlToken{text: strings.ToUpper(raw), raw: raw, line: line})
+			i = j + 1
+		case isIdentByte(c) || c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			raw := src[i:j]
+			toks = append(toks, sqlToken{text: strings.ToUpper(raw), raw: raw, line: line})
+			i = j
+		default:
+			// Operators and other punctuation irrelevant to DDL shape.
+			toks = append(toks, sqlToken{text: string(c), raw: string(c), punc: true, line: line})
+			i++
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+}
+
+// --- parser ----------------------------------------------------------------
+
+type pendingFK struct {
+	fromTable, fromCol string
+	toTable, toCol     string
+	line               int
+}
+
+type sqlParser struct {
+	toks    []sqlToken
+	pos     int
+	out     *schema.Schema
+	tables  map[string]*schema.Node
+	columns map[string]map[string]*schema.Node
+	fks     []pendingFK
+}
+
+func (p *sqlParser) peek() sqlToken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return sqlToken{}
+}
+
+func (p *sqlParser) next() sqlToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *sqlParser) accept(text string) bool {
+	if p.peek().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.peek()
+		return fmt.Errorf("sql line %d: expected %q, got %q", t.line, text, t.raw)
+	}
+	return nil
+}
+
+func (p *sqlParser) parse() error {
+	for p.pos < len(p.toks) {
+		if p.accept(";") {
+			continue
+		}
+		if err := p.expect("CREATE"); err != nil {
+			return err
+		}
+		if !p.accept("TABLE") {
+			// Skip other CREATE statements (INDEX, VIEW, ...) to the
+			// terminating semicolon.
+			for p.pos < len(p.toks) && !p.accept(";") {
+				p.pos++
+			}
+			continue
+		}
+		if err := p.parseTable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// qualifiedName reads ident (DOT ident)* and returns the last segment.
+func (p *sqlParser) qualifiedName() (string, error) {
+	t := p.next()
+	if t.punc || t.raw == "" {
+		return "", fmt.Errorf("sql line %d: expected identifier, got %q", t.line, t.raw)
+	}
+	name := t.raw
+	for p.accept(".") {
+		t = p.next()
+		if t.punc || t.raw == "" {
+			return "", fmt.Errorf("sql line %d: expected identifier after '.'", t.line)
+		}
+		name = t.raw
+	}
+	return name, nil
+}
+
+func (p *sqlParser) parseTable() error {
+	p.accept("IF") // IF NOT EXISTS
+	p.accept("NOT")
+	p.accept("EXISTS")
+	tname, err := p.qualifiedName()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.tables[tname]; dup {
+		return fmt.Errorf("sql: duplicate table %q", tname)
+	}
+	table := schema.NewNode(tname)
+	table.Kind = schema.ElemTable
+	p.tables[tname] = table
+	p.columns[tname] = make(map[string]*schema.Node)
+	p.out.Root.AddChild(table)
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		if err := p.parseTableEntry(tname, table); err != nil {
+			return err
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	p.accept(";")
+	return nil
+}
+
+// parseTableEntry parses one column definition or table constraint.
+func (p *sqlParser) parseTableEntry(tname string, table *schema.Node) error {
+	t := p.peek()
+	switch t.text {
+	case "PRIMARY":
+		p.next()
+		if err := p.expect("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parenNameList()
+		if err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if col := p.columns[tname][strings.ToUpper(c)]; col != nil {
+				col.SetAnnotation("primaryKey", "true")
+			}
+		}
+		return nil
+	case "FOREIGN":
+		p.next()
+		if err := p.expect("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parenNameList()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("REFERENCES"); err != nil {
+			return err
+		}
+		target, err := p.qualifiedName()
+		if err != nil {
+			return err
+		}
+		var tcols []string
+		if p.peek().text == "(" {
+			tcols, err = p.parenNameList()
+			if err != nil {
+				return err
+			}
+		}
+		for i, c := range cols {
+			fk := pendingFK{fromTable: tname, fromCol: c, toTable: target, line: t.line}
+			if i < len(tcols) {
+				fk.toCol = tcols[i]
+			}
+			p.fks = append(p.fks, fk)
+		}
+		return nil
+	case "UNIQUE", "CHECK", "CONSTRAINT":
+		// Table-level constraints without graph impact: skip to the
+		// matching comma/paren at this nesting level.
+		p.skipEntry()
+		return nil
+	}
+	return p.parseColumn(tname, table)
+}
+
+func (p *sqlParser) parseColumn(tname string, table *schema.Node) error {
+	colTok := p.next()
+	if colTok.punc || colTok.raw == "" {
+		return fmt.Errorf("sql line %d: expected column name, got %q", colTok.line, colTok.raw)
+	}
+	typeTok := p.next()
+	if typeTok.punc || typeTok.raw == "" {
+		return fmt.Errorf("sql line %d: column %q lacks a type", typeTok.line, colTok.raw)
+	}
+	typeName := typeTok.raw
+	if p.accept("(") {
+		var params []string
+		for p.peek().text != ")" && p.pos < len(p.toks) {
+			params = append(params, p.next().raw)
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		typeName += "(" + strings.Join(params, "") + ")"
+	}
+	col := &schema.Node{Name: colTok.raw, TypeName: typeName, Kind: schema.ElemColumn}
+	table.AddChild(col)
+	p.columns[tname][strings.ToUpper(colTok.raw)] = col
+	// Column constraints.
+	for {
+		switch p.peek().text {
+		case "PRIMARY":
+			p.next()
+			if err := p.expect("KEY"); err != nil {
+				return err
+			}
+			col.SetAnnotation("primaryKey", "true")
+		case "NOT":
+			p.next()
+			if err := p.expect("NULL"); err != nil {
+				return err
+			}
+			col.SetAnnotation("notNull", "true")
+		case "NULL", "UNIQUE":
+			p.next()
+		case "DEFAULT":
+			p.next()
+			p.next() // literal
+		case "REFERENCES":
+			line := p.next().line
+			target, err := p.qualifiedName()
+			if err != nil {
+				return err
+			}
+			fk := pendingFK{fromTable: tname, fromCol: colTok.raw, toTable: target, line: line}
+			if p.peek().text == "(" {
+				cols, err := p.parenNameList()
+				if err != nil {
+					return err
+				}
+				if len(cols) > 0 {
+					fk.toCol = cols[0]
+				}
+			}
+			p.fks = append(p.fks, fk)
+		case ",", ")":
+			return nil
+		case "":
+			return fmt.Errorf("sql line %d: unterminated column definition for %q", colTok.line, colTok.raw)
+		default:
+			// Unknown column attribute (e.g. AUTO_INCREMENT): skip.
+			p.next()
+		}
+	}
+}
+
+// parenNameList parses "( ident [, ident]* )".
+func (p *sqlParser) parenNameList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t := p.next()
+		if t.punc {
+			return nil, fmt.Errorf("sql line %d: expected name in list, got %q", t.line, t.raw)
+		}
+		out = append(out, t.raw)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// skipEntry advances past one parenthesis-balanced table entry.
+func (p *sqlParser) skipEntry() {
+	depth := 0
+	for p.pos < len(p.toks) {
+		switch p.peek().text {
+		case "(":
+			depth++
+		case ")":
+			if depth == 0 {
+				return
+			}
+			depth--
+		case ",":
+			if depth == 0 {
+				return
+			}
+		}
+		p.pos++
+	}
+}
+
+// resolveFKs turns pending foreign keys into referential links. Links
+// to unknown tables are ignored (cross-schema references).
+func (p *sqlParser) resolveFKs() {
+	for _, fk := range p.fks {
+		target, ok := p.tables[fk.toTable]
+		if !ok {
+			continue
+		}
+		col := p.columns[fk.fromTable][strings.ToUpper(fk.fromCol)]
+		if col == nil {
+			continue
+		}
+		col.AddRef(target)
+		col.SetAnnotation("references", fk.toTable)
+	}
+}

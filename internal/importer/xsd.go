@@ -1,0 +1,265 @@
+package importer
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// ParseXSD imports an XML schema. Complex types become inner nodes;
+// elements typed with a named complex type reference that type's node
+// as a shared fragment (one node, multiple paths), exactly like the
+// Address type of the paper's Figure 1. Elements and attributes with
+// simple types become leaves carrying their declared type.
+//
+// Root determination: global xsd:element declarations become root
+// children. If the schema declares none, the complex types that are not
+// referenced by any other type form the schema content; a single such
+// type contributes its children directly to the root (Figure 1b shows
+// PO2's sequence elements directly under the PO2 root), several become
+// root children themselves.
+func ParseXSD(name string, src []byte) (*schema.Schema, error) {
+	var doc xsdSchema
+	if err := xml.Unmarshal(src, &doc); err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	b := &xsdBuilder{
+		types:    make(map[string]*xsdComplexType),
+		nodes:    make(map[string]*schema.Node),
+		building: make(map[string]bool),
+	}
+	for i := range doc.ComplexTypes {
+		ct := &doc.ComplexTypes[i]
+		if ct.Name == "" {
+			return nil, fmt.Errorf("xsd: top-level complexType without name")
+		}
+		if _, dup := b.types[ct.Name]; dup {
+			return nil, fmt.Errorf("xsd: duplicate complexType %q", ct.Name)
+		}
+		b.types[ct.Name] = ct
+	}
+
+	out := schema.New(name)
+	if len(doc.Elements) > 0 {
+		for i := range doc.Elements {
+			n, err := b.elementNode(&doc.Elements[i])
+			if err != nil {
+				return nil, err
+			}
+			out.Root.AddChild(n)
+		}
+	} else {
+		roots := b.unreferencedTypes(doc.ComplexTypes)
+		if len(roots) == 0 {
+			return nil, fmt.Errorf("xsd: schema %q has no global elements and no root complexType", name)
+		}
+		if len(roots) == 1 {
+			// The single root type is the schema content.
+			children, err := b.typeChildren(roots[0])
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range children {
+				out.Root.AddChild(c)
+			}
+		} else {
+			for _, ct := range roots {
+				n, err := b.typeNode(ct.Name)
+				if err != nil {
+					return nil, err
+				}
+				out.Root.AddChild(n)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- XML document shape ------------------------------------------------------
+
+type xsdSchema struct {
+	XMLName      xml.Name         `xml:"schema"`
+	Elements     []xsdElement     `xml:"element"`
+	ComplexTypes []xsdComplexType `xml:"complexType"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Ref         string          `xml:"ref,attr"`
+	Type        string          `xml:"type,attr"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+}
+
+type xsdComplexType struct {
+	Name       string         `xml:"name,attr"`
+	Sequence   *xsdParticle   `xml:"sequence"`
+	All        *xsdParticle   `xml:"all"`
+	Choice     *xsdParticle   `xml:"choice"`
+	Attributes []xsdAttribute `xml:"attribute"`
+}
+
+type xsdParticle struct {
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdAttribute struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// --- builder -----------------------------------------------------------------
+
+type xsdBuilder struct {
+	types    map[string]*xsdComplexType
+	nodes    map[string]*schema.Node // complexType name → shared node
+	building map[string]bool         // cycle guard
+}
+
+// localName strips a namespace prefix like "xsd:".
+func localName(s string) string {
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// isComplexRef reports whether a type attribute names a user-defined
+// complex type of this document.
+func (b *xsdBuilder) isComplexRef(typ string) bool {
+	_, ok := b.types[localName(typ)]
+	return ok
+}
+
+// elementNode builds the node for one element declaration.
+func (b *xsdBuilder) elementNode(e *xsdElement) (*schema.Node, error) {
+	name := e.Name
+	if name == "" && e.Ref != "" {
+		name = localName(e.Ref)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("xsd: element without name or ref")
+	}
+	n := schema.NewNode(name)
+	switch {
+	case e.ComplexType != nil:
+		n.Kind = schema.ElemComplex
+		children, err := b.typeChildren(e.ComplexType)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range children {
+			n.AddChild(c)
+		}
+	case e.Type != "" && b.isComplexRef(e.Type):
+		n.Kind = schema.ElemComplex
+		typeNode, err := b.typeNode(localName(e.Type))
+		if err != nil {
+			return nil, err
+		}
+		// Shared fragment: the type's node is a child of every element
+		// that uses it (Figure 1b: DeliverTo → Address ← BillTo).
+		n.AddChild(typeNode)
+	default:
+		n.Kind = schema.ElemSimple
+		n.TypeName = e.Type
+	}
+	return n, nil
+}
+
+// typeNode returns the shared node for a named complex type, building
+// it on first use.
+func (b *xsdBuilder) typeNode(name string) (*schema.Node, error) {
+	if n, ok := b.nodes[name]; ok {
+		return n, nil
+	}
+	ct, ok := b.types[name]
+	if !ok {
+		return nil, fmt.Errorf("xsd: unknown complexType %q", name)
+	}
+	if b.building[name] {
+		// Recursive type: break the cycle with a leaf reference.
+		return &schema.Node{Name: name, TypeName: name, Kind: schema.ElemComplex}, nil
+	}
+	b.building[name] = true
+	defer delete(b.building, name)
+	n := schema.NewNode(name)
+	n.Kind = schema.ElemComplex
+	children, err := b.typeChildren(ct)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range children {
+		n.AddChild(c)
+	}
+	b.nodes[name] = n
+	return n, nil
+}
+
+// typeChildren builds the child nodes of a complex type's content model
+// (sequence/all/choice elements, then attributes).
+func (b *xsdBuilder) typeChildren(ct *xsdComplexType) ([]*schema.Node, error) {
+	var out []*schema.Node
+	for _, particle := range []*xsdParticle{ct.Sequence, ct.All, ct.Choice} {
+		if particle == nil {
+			continue
+		}
+		for i := range particle.Elements {
+			n, err := b.elementNode(&particle.Elements[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+	}
+	for _, a := range ct.Attributes {
+		if a.Name == "" {
+			continue
+		}
+		out = append(out, &schema.Node{Name: a.Name, TypeName: a.Type, Kind: schema.ElemSimple})
+	}
+	return out, nil
+}
+
+// unreferencedTypes returns the complex types not referenced by any
+// element of any other type, in declaration order.
+func (b *xsdBuilder) unreferencedTypes(all []xsdComplexType) []*xsdComplexType {
+	referenced := make(map[string]bool)
+	var scan func(ct *xsdComplexType, self string)
+	var scanElem func(e *xsdElement, self string)
+	scanElem = func(e *xsdElement, self string) {
+		if e.Type != "" {
+			ln := localName(e.Type)
+			if ln != self && b.isComplexRef(e.Type) {
+				referenced[ln] = true
+			}
+		}
+		if e.ComplexType != nil {
+			scan(e.ComplexType, self)
+		}
+	}
+	scan = func(ct *xsdComplexType, self string) {
+		for _, particle := range []*xsdParticle{ct.Sequence, ct.All, ct.Choice} {
+			if particle == nil {
+				continue
+			}
+			for i := range particle.Elements {
+				scanElem(&particle.Elements[i], self)
+			}
+		}
+	}
+	for i := range all {
+		scan(&all[i], all[i].Name)
+	}
+	var out []*xsdComplexType
+	for i := range all {
+		if !referenced[all[i].Name] {
+			out = append(out, &all[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package instance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Generate produces a deterministic synthetic value sample for every
+// leaf path of a schema: n values per element, drawn from value pools
+// selected by the element's concept (via conceptOf; empty concepts fall
+// back to the element's name). Two schemas generated with the same seed
+// produce samples drawn from the same distributions for semantically
+// equal elements — standing in for the shared real-world instance data
+// the paper's instance-level future work presumes.
+func Generate(s *schema.Schema, conceptOf func(schema.Path) string, n int, seed int64) *Instances {
+	out := NewInstances(s.Name)
+	for _, p := range s.Paths() {
+		if !p.Leaf().IsLeaf() {
+			continue
+		}
+		concept := ""
+		if conceptOf != nil {
+			concept = conceptOf(p)
+		}
+		if concept == "" {
+			concept = strings.ToLower(p.Name())
+		}
+		// Per-element RNG: deterministic, independent of enumeration
+		// order, shared across schemas via the concept.
+		rng := rand.New(rand.NewSource(seed ^ int64(hash(concept))))
+		vals := make([]string, n)
+		gen := generatorFor(concept)
+		for i := range vals {
+			vals[i] = gen(rng)
+		}
+		out.Add(p.String(), vals...)
+	}
+	return out
+}
+
+func hash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+type generator func(*rand.Rand) string
+
+// generatorFor picks a value generator from the concept's relative part
+// (the suffix after ':', or the whole string).
+func generatorFor(concept string) generator {
+	rel := concept
+	if i := strings.LastIndexByte(concept, ':'); i >= 0 {
+		rel = concept[i+1:]
+	}
+	switch rel {
+	case "city":
+		return pick(cities)
+	case "street", "street2":
+		return genStreet
+	case "zip":
+		return genZip
+	case "country":
+		return pick(countries)
+	case "name", "carrier":
+		return genPersonOrCompany
+	case "phone", "fax":
+		return genPhone
+	case "email":
+		return genEmail
+	case "date", "duedate", "ackdate", "pickdate", "scheddate", "reqdate", "confirm", "expiry":
+		return genDate
+	case "no", "id", "account":
+		return genIdentifier
+	case "qty", "schedqty":
+		return genSmallNumber
+	case "price", "total", "sub", "tax", "shipping", "grand", "amount", "deposit", "discamt":
+		return genMoney
+	case "currency":
+		return pick(currencies)
+	case "uom":
+		return pick(uoms)
+	case "desc", "remark", "product":
+		return genWords
+	case "status":
+		return pick(statuses)
+	default:
+		return genWords
+	}
+}
+
+func pick(pool []string) generator {
+	return func(r *rand.Rand) string { return pool[r.Intn(len(pool))] }
+}
+
+var (
+	cities     = []string{"Leipzig", "Hong Kong", "Dresden", "Berlin", "Madison", "Seattle", "Redmond", "Palo Alto", "Stanford", "Austin"}
+	countries  = []string{"DE", "US", "HK", "FR", "GB", "NL", "IT", "ES"}
+	currencies = []string{"EUR", "USD", "HKD", "GBP"}
+	uoms       = []string{"EA", "BOX", "KG", "L", "PAL", "M"}
+	statuses   = []string{"OPEN", "CONFIRMED", "SHIPPED", "CLOSED", "CANCELLED"}
+	firstNames = []string{"Hong", "Erhard", "Sergey", "Phil", "Anhai", "Jayant", "Rachel", "Tova"}
+	lastNames  = []string{"Do", "Rahm", "Melnik", "Bernstein", "Doan", "Madhavan", "Pottinger", "Milo"}
+	streets    = []string{"Augustusplatz", "Main St", "Ritterstr", "Market Ave", "University Dr", "Harbour Rd"}
+	words      = []string{"widget", "flange", "gasket", "bracket", "valve", "coupler", "sensor", "bearing", "spindle", "manifold"}
+)
+
+func genStreet(r *rand.Rand) string {
+	return fmt.Sprintf("%s %d", streets[r.Intn(len(streets))], 1+r.Intn(200))
+}
+
+func genZip(r *rand.Rand) string {
+	return fmt.Sprintf("%05d", r.Intn(100000))
+}
+
+func genPersonOrCompany(r *rand.Rand) string {
+	return firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+}
+
+func genPhone(r *rand.Rand) string {
+	return fmt.Sprintf("+%d %d %07d", 1+r.Intn(98), 100+r.Intn(900), r.Intn(10000000))
+}
+
+func genEmail(r *rand.Rand) string {
+	return fmt.Sprintf("%s.%s@example.com",
+		strings.ToLower(firstNames[r.Intn(len(firstNames))]),
+		strings.ToLower(lastNames[r.Intn(len(lastNames))]))
+}
+
+func genDate(r *rand.Rand) string {
+	return fmt.Sprintf("%04d-%02d-%02d", 1998+r.Intn(6), 1+r.Intn(12), 1+r.Intn(28))
+}
+
+func genIdentifier(r *rand.Rand) string {
+	return fmt.Sprintf("%06d", r.Intn(1000000))
+}
+
+func genSmallNumber(r *rand.Rand) string {
+	return fmt.Sprintf("%d", 1+r.Intn(500))
+}
+
+func genMoney(r *rand.Rand) string {
+	return fmt.Sprintf("%d.%02d", r.Intn(10000), r.Intn(100))
+}
+
+func genWords(r *rand.Rand) string {
+	n := 1 + r.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[r.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}

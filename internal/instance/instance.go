@@ -1,0 +1,315 @@
+// Package instance implements an instance-level matcher, the first
+// future-work item of the COMA paper ("we see potential for improvement
+// by adding further matchers, e.g. those exploiting instance-level
+// data", Section 7.5). Following the constraint-based instance matchers
+// the paper surveys (SemInt, LSD), element similarity derives from
+// statistical features of sample data values rather than from schema
+// information: value lengths, numeric shares, character class
+// distributions, and recognizable value patterns (dates, e-mail
+// addresses, phone numbers, postal codes, money amounts).
+//
+// Unlike the machine-learning systems, no training phase is needed: two
+// elements are similar when their value samples look alike, which keeps
+// the matcher composable with the rest of the library.
+package instance
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Instances holds sample data values per schema element path.
+type Instances struct {
+	// SchemaName identifies the schema the samples belong to.
+	SchemaName string
+	values     map[string][]string
+}
+
+// NewInstances returns an empty sample set for the named schema.
+func NewInstances(schemaName string) *Instances {
+	return &Instances{SchemaName: schemaName, values: make(map[string][]string)}
+}
+
+// Add appends sample values for an element path.
+func (in *Instances) Add(path string, values ...string) {
+	in.values[path] = append(in.values[path], values...)
+}
+
+// Values returns the recorded samples for a path. Do not modify.
+func (in *Instances) Values(path string) []string { return in.values[path] }
+
+// Len returns the number of element paths with samples.
+func (in *Instances) Len() int { return len(in.values) }
+
+// features summarizes a value sample for constraint-based comparison.
+type features struct {
+	count         int
+	numericShare  float64
+	meanLen       float64
+	stdLen        float64
+	meanNum       float64 // mean of numeric values (log-compressed)
+	distinctShare float64
+	classHist     [4]float64 // letters, digits, punctuation/symbols, spaces
+	patternHist   [6]float64 // date, email, phone, zip, money, plain
+}
+
+// pattern indices.
+const (
+	patDate = iota
+	patEmail
+	patPhone
+	patZip
+	patMoney
+	patPlain
+)
+
+func extract(values []string) features {
+	var f features
+	f.count = len(values)
+	if f.count == 0 {
+		return f
+	}
+	distinct := make(map[string]bool, len(values))
+	var lens []float64
+	var numericCount int
+	var numSum float64
+	var classTotal float64
+	for _, v := range values {
+		distinct[v] = true
+		lens = append(lens, float64(len(v)))
+		if n, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+			numericCount++
+			// Log-compress magnitudes so that prices and quantities
+			// differ but do not dominate.
+			numSum += math.Log1p(math.Abs(n))
+		}
+		for _, r := range v {
+			classTotal++
+			switch {
+			case unicode.IsLetter(r):
+				f.classHist[0]++
+			case unicode.IsDigit(r):
+				f.classHist[1]++
+			case unicode.IsSpace(r):
+				f.classHist[3]++
+			default:
+				f.classHist[2]++
+			}
+		}
+		f.patternHist[classify(v)]++
+	}
+	f.numericShare = float64(numericCount) / float64(f.count)
+	f.distinctShare = float64(len(distinct)) / float64(f.count)
+	mean, std := meanStd(lens)
+	f.meanLen, f.stdLen = mean, std
+	if numericCount > 0 {
+		f.meanNum = numSum / float64(numericCount)
+	}
+	if classTotal > 0 {
+		for i := range f.classHist {
+			f.classHist[i] /= classTotal
+		}
+	}
+	for i := range f.patternHist {
+		f.patternHist[i] /= float64(f.count)
+	}
+	return f
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// classify assigns a value to a coarse pattern class.
+func classify(v string) int {
+	v = strings.TrimSpace(v)
+	switch {
+	case looksLikeDate(v):
+		return patDate
+	case looksLikeEmail(v):
+		return patEmail
+	case looksLikePhone(v):
+		return patPhone
+	case looksLikeZip(v):
+		return patZip
+	case looksLikeMoney(v):
+		return patMoney
+	default:
+		return patPlain
+	}
+}
+
+func looksLikeDate(v string) bool {
+	// 2002-08-20, 20.08.2002, 08/20/2002
+	if len(v) < 8 || len(v) > 10 {
+		return false
+	}
+	seps := 0
+	digits := 0
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '-' || r == '.' || r == '/':
+			seps++
+		default:
+			return false
+		}
+	}
+	return seps == 2 && digits >= 6
+}
+
+func looksLikeEmail(v string) bool {
+	at := strings.IndexByte(v, '@')
+	return at > 0 && strings.IndexByte(v[at:], '.') > 0 && !strings.ContainsAny(v, " \t")
+}
+
+func looksLikePhone(v string) bool {
+	if len(v) < 7 {
+		return false
+	}
+	digits := 0
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '+' || r == '-' || r == ' ' || r == '(' || r == ')' || r == '/':
+		default:
+			return false
+		}
+	}
+	return digits >= 6
+}
+
+func looksLikeZip(v string) bool {
+	if len(v) < 4 || len(v) > 8 {
+		return false
+	}
+	digits := 0
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '-' || r == ' ' || unicode.IsUpper(r):
+		default:
+			return false
+		}
+	}
+	return digits >= 4
+}
+
+func looksLikeMoney(v string) bool {
+	if v == "" {
+		return false
+	}
+	if v[0] == '$' || strings.HasPrefix(v, "EUR") || strings.HasPrefix(v, "USD") {
+		return true
+	}
+	// 1234.56 with exactly two decimals.
+	dot := strings.LastIndexByte(v, '.')
+	if dot < 0 || len(v)-dot-1 != 2 {
+		return false
+	}
+	for _, r := range v {
+		if (r < '0' || r > '9') && r != '.' && r != ',' {
+			return false
+		}
+	}
+	return true
+}
+
+// similarity compares two feature vectors in [0,1].
+func similarity(a, b features) float64 {
+	if a.count == 0 || b.count == 0 {
+		return 0
+	}
+	// Pattern histogram overlap is the strongest signal.
+	patternSim := 0.0
+	for i := range a.patternHist {
+		patternSim += math.Min(a.patternHist[i], b.patternHist[i])
+	}
+	classSim := 0.0
+	for i := range a.classHist {
+		classSim += math.Min(a.classHist[i], b.classHist[i])
+	}
+	lenSim := ratioSim(a.meanLen, b.meanLen)
+	numShareSim := 1 - math.Abs(a.numericShare-b.numericShare)
+	numMagSim := ratioSim(a.meanNum, b.meanNum)
+	distinctSim := 1 - math.Abs(a.distinctShare-b.distinctShare)
+	return 0.35*patternSim + 0.2*classSim + 0.15*lenSim +
+		0.15*numShareSim + 0.1*numMagSim + 0.05*distinctSim
+}
+
+// ratioSim compares two non-negative magnitudes as min/max.
+func ratioSim(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 1
+	}
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	if hi == 0 {
+		return 1
+	}
+	return lo / hi
+}
+
+// Matcher is the instance-level matcher: element similarity from the
+// statistical resemblance of the elements' value samples. Elements
+// without samples (inner elements, empty columns) score 0 against
+// everything, so the matcher complements rather than replaces the
+// schema-level matchers.
+type Matcher struct {
+	left  *Instances
+	right *Instances
+}
+
+// NewMatcher builds an instance matcher over two sample sets; left must
+// belong to the match operation's first schema, right to the second.
+func NewMatcher(left, right *Instances) *Matcher {
+	return &Matcher{left: left, right: right}
+}
+
+// Name implements match.Matcher.
+func (m *Matcher) Name() string { return "Instance" }
+
+// Match implements match.Matcher.
+func (m *Matcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	rows, cols := match.Keys(s1), match.Keys(s2)
+	out := simcube.NewMatrix(rows, cols)
+	leftF := make([]features, len(rows))
+	for i, k := range rows {
+		leftF[i] = extract(m.left.Values(k))
+	}
+	rightF := make([]features, len(cols))
+	for j, k := range cols {
+		rightF[j] = extract(m.right.Values(k))
+	}
+	for i := range rows {
+		if leftF[i].count == 0 {
+			continue
+		}
+		for j := range cols {
+			if rightF[j].count == 0 {
+				continue
+			}
+			out.Set(i, j, similarity(leftF[i], rightF[j]))
+		}
+	}
+	return out
+}

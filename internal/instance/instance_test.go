@@ -1,0 +1,166 @@
+package instance
+
+import (
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+func TestFeatureExtraction(t *testing.T) {
+	f := extract([]string{"12.50", "8.99", "123.00"})
+	if f.numericShare != 1 {
+		t.Errorf("numericShare = %.2f", f.numericShare)
+	}
+	if f.patternHist[patMoney] != 1 {
+		t.Errorf("money pattern share = %.2f", f.patternHist[patMoney])
+	}
+	f = extract([]string{"hong@uni-leipzig.de", "rahm@uni-leipzig.de"})
+	if f.patternHist[patEmail] != 1 {
+		t.Errorf("email pattern share = %.2f", f.patternHist[patEmail])
+	}
+	f = extract(nil)
+	if f.count != 0 {
+		t.Error("empty sample should have zero count")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		v    string
+		want int
+	}{
+		{"2002-08-20", patDate},
+		{"20.08.2002", patDate},
+		{"hong@informatik.uni-leipzig.de", patEmail},
+		{"+49 341 1234567", patPhone},
+		{"04109", patZip},
+		{"1234.56", patMoney},
+		{"$99", patMoney},
+		{"purchase order", patPlain},
+	}
+	for _, c := range cases {
+		if got := classify(c.v); got != c.want {
+			t.Errorf("classify(%q) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSimilaritySelf(t *testing.T) {
+	a := extract([]string{"12.50", "8.99", "1.00", "55.10"})
+	if got := similarity(a, a); got < 0.95 {
+		t.Errorf("self similarity = %.3f, want ~1", got)
+	}
+	b := extract([]string{"hong@x.de", "erhard@y.de", "phil@z.com"})
+	cross := similarity(a, b)
+	if cross >= similarity(a, a) {
+		t.Errorf("money vs email %.3f should be below self %.3f", cross, similarity(a, a))
+	}
+	if similarity(a, features{}) != 0 {
+		t.Error("empty sample should have 0 similarity")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := workload.Schemas()[0]
+	a := Generate(s, workload.ConceptKey, 20, 42)
+	b := Generate(s, workload.ConceptKey, 20, 42)
+	p := s.Paths()[2].String()
+	av, bv := a.Values(p), b.Values(p)
+	if len(av) != 20 || len(bv) != 20 {
+		t.Fatalf("sample sizes %d/%d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("nondeterministic generation at %d: %q vs %q", i, av[i], bv[i])
+		}
+	}
+	// Inner paths carry no samples.
+	for _, path := range s.Paths() {
+		if !path.Leaf().IsLeaf() && len(a.Values(path.String())) > 0 {
+			t.Errorf("inner path %s has samples", path)
+		}
+	}
+}
+
+func TestGenerateSharedDistributions(t *testing.T) {
+	// Equal concepts across schemas draw from the same pools: city
+	// values of schema 1 and schema 2 overlap heavily.
+	ss := workload.Schemas()
+	a := Generate(ss[0], workload.ConceptKey, 50, 7)
+	b := Generate(ss[1], workload.ConceptKey, 50, 7)
+	av := a.Values("PO.ShipTo.shipToCity")
+	bv := b.Values("DeliverTo.Addr.city")
+	if len(av) == 0 || len(bv) == 0 {
+		t.Fatal("missing samples")
+	}
+	seen := make(map[string]bool)
+	for _, v := range av {
+		seen[v] = true
+	}
+	overlap := 0
+	for _, v := range bv {
+		if seen[v] {
+			overlap++
+		}
+	}
+	if overlap < len(bv)/2 {
+		t.Errorf("city value overlap = %d/%d, want majority", overlap, len(bv))
+	}
+}
+
+func TestInstanceMatcherFindsTypedMatches(t *testing.T) {
+	ss := workload.Schemas()
+	s1, s2 := ss[0], ss[1]
+	left := Generate(s1, workload.ConceptKey, 30, 99)
+	right := Generate(s2, workload.ConceptKey, 30, 99)
+	m := NewMatcher(left, right)
+	if m.Name() != "Instance" {
+		t.Error("Name wrong")
+	}
+	res := m.Match(match.NewContext(), s1, s2)
+	// Same-kind elements score high...
+	zipZip := res.GetKey("PO.ShipTo.shipToZip", "DeliverTo.Addr.zip")
+	dateDate := res.GetKey("PO.POHeader.poDate", "Header.poDate")
+	// ...cross-kind elements low.
+	zipEmail := res.GetKey("PO.ShipTo.shipToZip", "DeliverTo.Contact.email")
+	dateCity := res.GetKey("PO.POHeader.poDate", "DeliverTo.Addr.city")
+	if zipZip <= zipEmail {
+		t.Errorf("zip/zip %.3f <= zip/email %.3f", zipZip, zipEmail)
+	}
+	if dateDate <= dateCity {
+		t.Errorf("date/date %.3f <= date/city %.3f", dateDate, dateCity)
+	}
+	if zipZip < 0.7 || dateDate < 0.7 {
+		t.Errorf("same-kind similarities too low: %.3f / %.3f", zipZip, dateDate)
+	}
+	// Inner elements (no samples) score 0.
+	if res.GetKey("PO.ShipTo", "DeliverTo") != 0 {
+		t.Error("inner elements should have no instance similarity")
+	}
+}
+
+func TestInstanceMatcherComposesWithLibrary(t *testing.T) {
+	// The instance matcher participates in a cube like any other
+	// matcher (the composability the paper's design enables).
+	ss := workload.Schemas()
+	s1, s2 := ss[0], ss[1]
+	left := Generate(s1, workload.ConceptKey, 20, 5)
+	right := Generate(s2, workload.ConceptKey, 20, 5)
+	lib := match.NewLibrary()
+	lib.Register("Instance", func() match.Matcher { return NewMatcher(left, right) })
+	m, err := lib.New("Instance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Match(match.NewContext(), s1, s2)
+	if res.Rows() != len(s1.Paths()) || res.Cols() != len(s2.Paths()) {
+		t.Error("matrix shape wrong")
+	}
+}
+
+func TestRatioSim(t *testing.T) {
+	if ratioSim(0, 0) != 1 || ratioSim(2, 4) != 0.5 || ratioSim(4, 2) != 0.5 {
+		t.Error("ratioSim wrong")
+	}
+}

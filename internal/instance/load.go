@@ -1,0 +1,136 @@
+package instance
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// LoadXML extracts instance values for a schema's elements from a
+// sample XML document: every text node and attribute is recorded under
+// the schema path its element chain corresponds to. Document element
+// chains are matched against schema paths by local names, skipping over
+// intermediate type nodes that XSD imports introduce (DeliverTo/Address
+// in the graph vs <DeliverTo> directly containing <Street> in
+// documents) and ignoring unknown elements.
+func LoadXML(into *Instances, s *schema.Schema, doc io.Reader) error {
+	// Index schema paths by their name chains for flexible lookup.
+	type target struct{ path string }
+	bySig := make(map[string][]target)
+	for _, p := range s.Paths() {
+		names := p.Names()
+		sigs := signatures(names)
+		for _, sig := range sigs {
+			bySig[sig] = append(bySig[sig], target{path: p.String()})
+		}
+	}
+
+	dec := xml.NewDecoder(doc)
+	var stack []string
+	record := func(text string) {
+		text = strings.TrimSpace(text)
+		if text == "" || len(stack) == 0 {
+			return
+		}
+		// Longest-suffix match of the document chain against schema
+		// signatures.
+		for start := 0; start < len(stack); start++ {
+			sig := strings.Join(stack[start:], "/")
+			if ts, ok := bySig[sig]; ok {
+				for _, t := range ts {
+					into.Add(t.path, text)
+				}
+				return
+			}
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("instance: xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			stack = append(stack, t.Name.Local)
+			for _, a := range t.Attr {
+				stack = append(stack, a.Name.Local)
+				record(a.Value)
+				stack = stack[:len(stack)-1]
+			}
+		case xml.EndElement:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			record(string(t))
+		}
+	}
+	return nil
+}
+
+// signatures returns the name-chain lookup keys for a schema path: the
+// full chain plus variants with each single intermediate dropped, so
+// that <DeliverTo><Street> matches DeliverTo.Address.Street.
+func signatures(names []string) []string {
+	full := strings.Join(names, "/")
+	out := []string{full}
+	for drop := 1; drop < len(names)-1; drop++ {
+		variant := make([]string, 0, len(names)-1)
+		variant = append(variant, names[:drop]...)
+		variant = append(variant, names[drop+1:]...)
+		out = append(out, strings.Join(variant, "/"))
+	}
+	return out
+}
+
+// LoadCSV extracts instance values for one relational table from CSV
+// rows whose header names the table's columns. Values land under
+// "<table>.<column>" paths; header columns without a schema counterpart
+// are ignored.
+func LoadCSV(into *Instances, s *schema.Schema, table string, src io.Reader) error {
+	var tableNode *schema.Node
+	for _, n := range s.Root.Children() {
+		if n.Name == table {
+			tableNode = n
+			break
+		}
+	}
+	if tableNode == nil {
+		return fmt.Errorf("instance: table %q not in schema %s", table, s.Name)
+	}
+	known := make(map[string]string) // lower-case column → path
+	for _, c := range tableNode.Children() {
+		known[strings.ToLower(c.Name)] = table + "." + c.Name
+	}
+	r := csv.NewReader(src)
+	r.TrimLeadingSpace = true
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("instance: csv header: %w", err)
+	}
+	paths := make([]string, len(header))
+	for i, h := range header {
+		paths[i] = known[strings.ToLower(strings.TrimSpace(h))]
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("instance: csv: %w", err)
+		}
+		for i, v := range rec {
+			if i < len(paths) && paths[i] != "" && strings.TrimSpace(v) != "" {
+				into.Add(paths[i], v)
+			}
+		}
+	}
+}

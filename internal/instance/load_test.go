@@ -1,0 +1,149 @@
+package instance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/importer"
+	"repro/internal/schema"
+)
+
+const loadXSD = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2"><xsd:sequence>
+  <xsd:element name="DeliverTo" type="Address"/>
+  <xsd:element name="BillTo" type="Address"/>
+ </xsd:sequence></xsd:complexType>
+ <xsd:complexType name="Address"><xsd:sequence>
+  <xsd:element name="Street" type="xsd:string"/>
+  <xsd:element name="City" type="xsd:string"/>
+  <xsd:element name="Zip" type="xsd:decimal"/>
+ </xsd:sequence></xsd:complexType>
+</xsd:schema>`
+
+const sampleDoc = `<PO2>
+  <DeliverTo>
+    <Street>Augustusplatz 10</Street>
+    <City>Leipzig</City>
+    <Zip>04109</Zip>
+  </DeliverTo>
+  <BillTo>
+    <Street>Harbour Rd 1</Street>
+    <City>Hong Kong</City>
+    <Zip>99907</Zip>
+  </BillTo>
+</PO2>`
+
+func TestLoadXML(t *testing.T) {
+	s, err := importer.ParseXSD("PO2", []byte(loadXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstances("PO2")
+	if err := LoadXML(in, s, strings.NewReader(sampleDoc)); err != nil {
+		t.Fatal(err)
+	}
+	// The document skips the Address type level; values still land on
+	// the typed paths.
+	got := in.Values("DeliverTo.Address.City")
+	if len(got) != 1 || got[0] != "Leipzig" {
+		t.Errorf("DeliverTo city = %v", got)
+	}
+	got = in.Values("BillTo.Address.Zip")
+	if len(got) != 1 || got[0] != "99907" {
+		t.Errorf("BillTo zip = %v", got)
+	}
+	// No cross-talk between contexts.
+	if v := in.Values("DeliverTo.Address.Zip"); len(v) != 1 || v[0] != "04109" {
+		t.Errorf("DeliverTo zip = %v", v)
+	}
+}
+
+func TestLoadXMLAttributesAndUnknowns(t *testing.T) {
+	s := schema.New("S")
+	order := schema.NewNode("order")
+	order.AddChild(&schema.Node{Name: "id", TypeName: "xsd:string"})
+	s.Root.AddChild(order)
+	in := NewInstances("S")
+	doc := `<order id="A-17"><junk>ignored</junk></order>`
+	if err := LoadXML(in, s, strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if v := in.Values("order.id"); len(v) != 1 || v[0] != "A-17" {
+		t.Errorf("attribute value = %v", v)
+	}
+}
+
+func TestLoadXMLMalformed(t *testing.T) {
+	s := schema.New("S")
+	s.Root.AddChild(schema.NewNode("a"))
+	in := NewInstances("S")
+	if err := LoadXML(in, s, strings.NewReader("<a><b></a>")); err == nil {
+		t.Error("malformed XML should fail")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	ddl := `CREATE TABLE Customer (custNo INT, custName VARCHAR(100), custCity VARCHAR(80));`
+	s, err := importer.ParseSQL("crm", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstances("crm")
+	csvData := `custNo,custName,custCity,extraColumn
+1,Hong Do,Leipzig,x
+2,Erhard Rahm,Leipzig,y
+3,,Dresden,z`
+	if err := LoadCSV(in, s, "Customer", strings.NewReader(csvData)); err != nil {
+		t.Fatal(err)
+	}
+	if v := in.Values("Customer.custName"); len(v) != 2 {
+		t.Errorf("custName values = %v (empty cells skipped)", v)
+	}
+	if v := in.Values("Customer.custCity"); len(v) != 3 || v[2] != "Dresden" {
+		t.Errorf("custCity values = %v", v)
+	}
+	// Unknown header columns are ignored entirely.
+	if in.Len() != 3 {
+		t.Errorf("paths with values = %d, want 3", in.Len())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	s, _ := importer.ParseSQL("crm", "CREATE TABLE T (a INT);")
+	in := NewInstances("crm")
+	if err := LoadCSV(in, s, "Missing", strings.NewReader("a\n1")); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := LoadCSV(in, s, "T", strings.NewReader("")); err == nil {
+		t.Error("empty CSV should fail")
+	}
+}
+
+func TestLoadedInstancesDriveMatcher(t *testing.T) {
+	// End-to-end: values loaded from documents feed the matcher.
+	s2, err := importer.ParseXSD("PO2", []byte(loadXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := NewInstances("PO2")
+	if err := LoadXML(in2, s2, strings.NewReader(sampleDoc)); err != nil {
+		t.Fatal(err)
+	}
+	ddl := `CREATE TABLE ShipTo (shipCity VARCHAR(80), shipZip VARCHAR(10));`
+	s1, err := importer.ParseSQL("PO1", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := NewInstances("PO1")
+	csvData := "shipCity,shipZip\nLeipzig,04109\nDresden,01067\nBerlin,10115\nHamburg,20095"
+	if err := LoadCSV(in1, s1, "ShipTo", strings.NewReader(csvData)); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(in1, in2)
+	res := m.Match(nil, s1, s2)
+	zip := res.GetKey("ShipTo.shipZip", "DeliverTo.Address.Zip")
+	cityVsZip := res.GetKey("ShipTo.shipCity", "DeliverTo.Address.Zip")
+	if zip <= cityVsZip {
+		t.Errorf("zip/zip %.3f <= city/zip %.3f", zip, cityVsZip)
+	}
+}

@@ -1,0 +1,84 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The workload's largest task (4<->5) exercises matcher cost at the
+// paper's upper problem size.
+
+func BenchmarkNameMatcher(b *testing.B) {
+	t := workload.Tasks()[9]
+	ctx := NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewName().Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkNameMatcherCached(b *testing.B) {
+	t := workload.Tasks()[9]
+	ctx := NewContext()
+	nm := NewName()
+	_ = nm.Match(ctx, t.S1, t.S2) // warm the name-pair cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nm.Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkNamePathMatcher(b *testing.B) {
+	t := workload.Tasks()[9]
+	ctx := NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewNamePath().Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkTypeNameMatcher(b *testing.B) {
+	t := workload.Tasks()[9]
+	ctx := NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewTypeName().Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkChildrenMatcher(b *testing.B) {
+	t := workload.Tasks()[9]
+	ctx := NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewChildren().Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkLeavesMatcher(b *testing.B) {
+	t := workload.Tasks()[9]
+	ctx := NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewLeaves().Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkSimpleMatchers(b *testing.B) {
+	t := workload.Tasks()[0]
+	ctx := NewContext()
+	for _, m := range []Matcher{Affix(), Trigram(), EditDistance(), Soundex(), Synonym(), DataTypeMatcher{}} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.Match(ctx, t.S1, t.S2)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package match
+
+import (
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Feedback is the UserFeedback matcher (paper Section 3): it captures
+// match and mismatch information provided by the user, including
+// corrected match results from a previous match iteration. Approved
+// matches are assigned the maximal similarity (1), rejected ones the
+// minimal (0); the engine additionally pins these values so that they
+// remain unaffected by the other matchers.
+//
+// Feedback is keyed by path strings and is safe for concurrent use.
+// The zero value is an empty, usable store.
+type Feedback struct {
+	mu       sync.RWMutex
+	accepted map[[2]string]bool
+	rejected map[[2]string]bool
+}
+
+// NewFeedback returns an empty feedback store.
+func NewFeedback() *Feedback { return &Feedback{} }
+
+// ensure initializes the maps; callers must hold the write lock.
+func (f *Feedback) ensure() {
+	if f.accepted == nil {
+		f.accepted = make(map[[2]string]bool)
+	}
+	if f.rejected == nil {
+		f.rejected = make(map[[2]string]bool)
+	}
+}
+
+// Accept records a user-approved correspondence between an S1 and an S2
+// path. A previous rejection of the pair is cleared.
+func (f *Feedback) Accept(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ensure()
+	key := [2]string{from, to}
+	f.accepted[key] = true
+	delete(f.rejected, key)
+}
+
+// Reject records a user-declared mismatch. A previous acceptance of the
+// pair is cleared.
+func (f *Feedback) Reject(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ensure()
+	key := [2]string{from, to}
+	f.rejected[key] = true
+	delete(f.accepted, key)
+}
+
+// Clear removes any assertion for the pair.
+func (f *Feedback) Clear(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]string{from, to}
+	delete(f.accepted, key)
+	delete(f.rejected, key)
+}
+
+// Accepted reports whether the pair was approved.
+func (f *Feedback) Accepted(from, to string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.accepted[[2]string{from, to}]
+}
+
+// Rejected reports whether the pair was declared a mismatch.
+func (f *Feedback) Rejected(from, to string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.rejected[[2]string{from, to}]
+}
+
+// Len returns the number of recorded assertions.
+func (f *Feedback) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.accepted) + len(f.rejected)
+}
+
+// Name implements Matcher.
+func (f *Feedback) Name() string { return "UserFeedback" }
+
+// Match implements Matcher: accepted pairs score 1, rejected pairs 0,
+// and — so that the matcher stays neutral where the user said nothing —
+// unasserted pairs score 0 as well. The engine distinguishes "no
+// assertion" from "rejected" via Pin.
+func (f *Feedback) Match(_ *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+		if f.Accepted(p1.String(), p2.String()) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Pin overwrites the cells of an aggregated similarity matrix with the
+// user-asserted values, ensuring approved matches keep similarity 1 and
+// rejected ones similarity 0 regardless of the other matchers.
+func (f *Feedback) Pin(m *simcube.Matrix) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for key := range f.accepted {
+		i, j := m.RowIndex(key[0]), m.ColIndex(key[1])
+		if i >= 0 && j >= 0 {
+			m.Set(i, j, 1)
+		}
+	}
+	for key := range f.rejected {
+		i, j := m.RowIndex(key[0]), m.ColIndex(key[1])
+		if i >= 0 && j >= 0 {
+			m.Set(i, j, 0)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Library is COMA's extensible matcher library: a registry from which
+// match strategies pick the matchers to execute. New matchers can be
+// registered and used in combination with the existing ones.
+type Library struct {
+	factories map[string]func() Matcher
+}
+
+// NewLibrary returns a library pre-populated with all matchers the
+// paper implements (Table 3) except the reuse-oriented Schema matcher,
+// which needs a repository and is provided by package reuse.
+func NewLibrary() *Library {
+	l := &Library{factories: make(map[string]func() Matcher)}
+	// Simple matchers.
+	l.Register("Affix", func() Matcher { return Affix() })
+	l.Register("Digram", func() Matcher { return NGram(2) })
+	l.Register("Trigram", func() Matcher { return Trigram() })
+	l.Register("EditDistance", func() Matcher { return EditDistance() })
+	l.Register("Soundex", func() Matcher { return Soundex() })
+	l.Register("Synonym", func() Matcher { return Synonym() })
+	l.Register("Taxonomy", func() Matcher { return Taxonomy() })
+	l.Register("DataType", func() Matcher { return DataTypeMatcher{} })
+	// Hybrid matchers.
+	l.Register("Name", func() Matcher { return NewName() })
+	l.Register("NamePath", func() Matcher { return NewNamePath() })
+	l.Register("TypeName", func() Matcher { return NewTypeName() })
+	l.Register("Children", func() Matcher { return NewChildren() })
+	l.Register("Leaves", func() Matcher { return NewLeaves() })
+	return l
+}
+
+// Register adds (or replaces) a matcher factory under the given name.
+func (l *Library) Register(name string, factory func() Matcher) {
+	l.factories[name] = factory
+}
+
+// New instantiates the named matcher.
+func (l *Library) New(name string) (Matcher, error) {
+	f, ok := l.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("match: unknown matcher %q (have %v)", name, l.Names())
+	}
+	return f(), nil
+}
+
+// NewSet instantiates several matchers by name.
+func (l *Library) NewSet(names ...string) ([]Matcher, error) {
+	out := make([]Matcher, 0, len(names))
+	for _, n := range names {
+		m, err := l.New(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Names lists the registered matcher names, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.factories))
+	for n := range l.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HybridNames returns the five hybrid matchers evaluated in Section 7.
+func HybridNames() []string {
+	return []string{"Name", "NamePath", "TypeName", "Children", "Leaves"}
+}

@@ -1,0 +1,117 @@
+// Package match implements COMA's extensible matcher library
+// (Do & Rahm, VLDB 2002, Section 4, Table 3): the simple matchers
+// Affix, n-gram, EditDistance, Soundex, Synonym, DataType and
+// UserFeedback; the hybrid element-level matchers Name and TypeName;
+// and the hybrid structural matchers NamePath, Children and Leaves.
+//
+// Every matcher computes an intermediate match result: a similarity
+// value between 0 and 1 for each combination of S1 and S2 schema
+// elements, where elements are identified by their paths. Executing k
+// matchers yields the k × m × n similarity cube processed by package
+// combine.
+package match
+
+import (
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Context carries the auxiliary information sources shared by matcher
+// executions: the synonym/abbreviation dictionary, the data type
+// compatibility table, and an optional concept taxonomy. A nil field
+// disables the respective source.
+type Context struct {
+	Dict     *dict.Dictionary
+	Types    *dict.TypeTable
+	Taxonomy *dict.Taxonomy
+}
+
+// NewContext returns a context with the default dictionary, type
+// compatibility table and purchase-order taxonomy used by the paper's
+// evaluation and its extensions.
+func NewContext() *Context {
+	return &Context{
+		Dict:     dict.Default(),
+		Types:    dict.DefaultTypeTable(),
+		Taxonomy: dict.DefaultTaxonomy(),
+	}
+}
+
+// expand adapts the context's dictionary to strutil.TokenSet.
+func (c *Context) expand(tok string) []string {
+	if c == nil || c.Dict == nil {
+		return nil
+	}
+	return c.Dict.Expand(tok)
+}
+
+// typeTable returns the context's type table, defaulting when unset.
+var fallbackTypes = dict.DefaultTypeTable()
+
+func (c *Context) typeTable() *dict.TypeTable {
+	if c == nil || c.Types == nil {
+		return fallbackTypes
+	}
+	return c.Types
+}
+
+// Matcher is a match algorithm: it determines a similarity matrix over
+// the paths of two schemas. Implementations must be safe for concurrent
+// use.
+type Matcher interface {
+	// Name identifies the matcher in cubes, configs and reports.
+	Name() string
+	// Match computes the similarity matrix whose rows are s1's paths
+	// and whose columns are s2's paths, in Schema.Paths order.
+	Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix
+}
+
+// Keys returns the matrix keys for a schema: its path strings in
+// enumeration order. All matchers and the engine use this ordering.
+func Keys(s *schema.Schema) []string {
+	paths := s.Paths()
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// matchPaths fills a path × path matrix from a pairwise similarity
+// function.
+func matchPaths(s1, s2 *schema.Schema, sim func(p1, p2 schema.Path) float64) *simcube.Matrix {
+	p1, p2 := s1.Paths(), s2.Paths()
+	m := simcube.NewMatrix(Keys(s1), Keys(s2))
+	for i := range p1 {
+		for j := range p2 {
+			m.Set(i, j, sim(p1[i], p2[j]))
+		}
+	}
+	return m
+}
+
+// pairCache memoizes a symmetric-keyed string-pair similarity. It is
+// safe for concurrent use.
+type pairCache struct {
+	mu sync.Mutex
+	m  map[[2]string]float64
+}
+
+func (c *pairCache) get(a, b string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[[2]string{a, b}]
+	return v, ok
+}
+
+func (c *pairCache) put(a, b string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[[2]string]float64)
+	}
+	c.m[[2]string{a, b}] = v
+}

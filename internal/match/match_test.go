@@ -1,0 +1,386 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/schema"
+)
+
+// figure1PO1 builds the relational schema PO1 of the paper's Figure 1.
+func figure1PO1() *schema.Schema {
+	s := schema.New("PO1")
+	ship := schema.NewNode("ShipTo")
+	ship.Kind = schema.ElemTable
+	for _, c := range []struct{ name, typ string }{
+		{"poNo", "INT"}, {"custNo", "INT"},
+		{"shipToStreet", "VARCHAR(200)"}, {"shipToCity", "VARCHAR(200)"}, {"shipToZip", "VARCHAR(20)"},
+	} {
+		ship.AddChild(&schema.Node{Name: c.name, TypeName: c.typ, Kind: schema.ElemColumn})
+	}
+	cust := schema.NewNode("Customer")
+	cust.Kind = schema.ElemTable
+	for _, c := range []struct{ name, typ string }{
+		{"custNo", "INT"}, {"custName", "VARCHAR(200)"},
+		{"custStreet", "VARCHAR(200)"}, {"custCity", "VARCHAR(200)"}, {"custZip", "VARCHAR(20)"},
+	} {
+		cust.AddChild(&schema.Node{Name: c.name, TypeName: c.typ, Kind: schema.ElemColumn})
+	}
+	s.Root.AddChild(ship)
+	s.Root.AddChild(cust)
+	return s
+}
+
+// figure1PO2 builds the XML schema PO2 of Figure 1 with the shared
+// Address fragment.
+func figure1PO2() *schema.Schema {
+	s := schema.New("PO2")
+	deliver := schema.NewNode("DeliverTo")
+	bill := schema.NewNode("BillTo")
+	addr := schema.NewNode("Address")
+	addr.AddChild(&schema.Node{Name: "Street", TypeName: "xsd:string", Kind: schema.ElemSimple})
+	addr.AddChild(&schema.Node{Name: "City", TypeName: "xsd:string", Kind: schema.ElemSimple})
+	addr.AddChild(&schema.Node{Name: "Zip", TypeName: "xsd:decimal", Kind: schema.ElemSimple})
+	deliver.AddChild(addr)
+	bill.AddChild(addr)
+	s.Root.AddChild(deliver)
+	s.Root.AddChild(bill)
+	return s
+}
+
+func TestSimpleMatchersOnNames(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	for _, m := range []Matcher{Affix(), NGram(2), Trigram(), EditDistance(), Soundex()} {
+		res := m.Match(ctx, s1, s2)
+		if res.Rows() != 12 || res.Cols() != 10 {
+			t.Fatalf("%s: dims %dx%d, want 12x10", m.Name(), res.Rows(), res.Cols())
+		}
+		// shipToCity vs City must beat shipToCity vs Zip for string matchers.
+		city := res.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City")
+		zip := res.GetKey("ShipTo.shipToCity", "DeliverTo.Address.Zip")
+		if m.Name() != "Soundex" && city <= zip {
+			t.Errorf("%s: city/city %.3f <= city/zip %.3f", m.Name(), city, zip)
+		}
+	}
+}
+
+func TestSynonymMatcher(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	m := Synonym().Match(ctx, s1, s2)
+	// Whole-name lookups: only exact dictionary terms fire.
+	if got := m.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City"); got != 0 {
+		t.Errorf("Synonym on non-dictionary names = %.2f, want 0", got)
+	}
+	// Nil-dictionary context is safe.
+	empty := Synonym().Match(&Context{}, s1, s2)
+	if empty.GetKey("ShipTo", "DeliverTo") != 0 {
+		t.Error("nil dictionary should yield 0")
+	}
+}
+
+func TestDataTypeMatcher(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	m := DataTypeMatcher{}.Match(ctx, s1, s2)
+	// VARCHAR vs xsd:string: fully compatible.
+	if got := m.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City"); got != 1 {
+		t.Errorf("varchar/string = %.2f, want 1", got)
+	}
+	// INT vs xsd:decimal: 0.8 per default table.
+	if got := m.GetKey("ShipTo.poNo", "DeliverTo.Address.Zip"); got != 0.8 {
+		t.Errorf("int/decimal = %.2f, want 0.8", got)
+	}
+	// Inner elements: complex vs complex = 1.
+	if got := m.GetKey("ShipTo", "DeliverTo"); got != 1 {
+		t.Errorf("complex/complex = %.2f, want 1", got)
+	}
+}
+
+func TestNameMatcherTokensAndSynonyms(t *testing.T) {
+	ctx := NewContext()
+	nm := NewName()
+	// Ship vs Deliver: trigram fails, synonym fires; both names
+	// tokenize into two tokens with one mutual best pair each.
+	sim := nm.NameSim(ctx, "ShipTo", "DeliverTo")
+	if sim != 1 {
+		t.Errorf("ShipTo/DeliverTo = %.3f, want 1 (ship=deliver, to=to)", sim)
+	}
+	// Abbreviation expansion: PONo → purchase order number.
+	sim = nm.NameSim(ctx, "PONo", "PurchaseOrderNumber")
+	if sim != 1 {
+		t.Errorf("PONo/PurchaseOrderNumber = %.3f, want 1", sim)
+	}
+	// Partial token overlap: shipToCity vs City → city matches, the
+	// stopword "to" is eliminated, ship stays unmatched: 2·1/(2+1).
+	sim = nm.NameSim(ctx, "shipToCity", "City")
+	if sim < 0.6 || sim > 0.7 {
+		t.Errorf("shipToCity/City = %.3f, want 2/3", sim)
+	}
+	if nm.NameSim(ctx, "", "City") != 0 {
+		t.Error("empty name should have similarity 0")
+	}
+}
+
+func TestNameMatcherCacheStability(t *testing.T) {
+	ctx := NewContext()
+	nm := NewName()
+	a := nm.NameSim(ctx, "BillTo", "InvoiceTo")
+	b := nm.NameSim(ctx, "BillTo", "InvoiceTo")
+	if a != b {
+		t.Errorf("cache returned different value: %.3f vs %.3f", a, b)
+	}
+	if a != 1 {
+		t.Errorf("BillTo/InvoiceTo = %.3f, want 1 (bill=invoice)", a)
+	}
+}
+
+func TestNamePathContexts(t *testing.T) {
+	ctx := NewContext()
+	s1 := schema.New("A")
+	shipTo := schema.NewNode("ShipTo")
+	shipTo.AddChild(&schema.Node{Name: "Street", TypeName: "xsd:string"})
+	billTo := schema.NewNode("BillTo")
+	billTo.AddChild(&schema.Node{Name: "Street", TypeName: "xsd:string"})
+	s1.Root.AddChild(shipTo)
+	s1.Root.AddChild(billTo)
+
+	s2 := schema.New("B")
+	deliver := schema.NewNode("DeliverTo")
+	deliver.AddChild(&schema.Node{Name: "Street", TypeName: "xsd:string"})
+	s2.Root.AddChild(deliver)
+
+	name := NewName().Match(ctx, s1, s2)
+	namePath := NewNamePath().Match(ctx, s1, s2)
+	// Name cannot distinguish the two Street contexts.
+	if name.GetKey("ShipTo.Street", "DeliverTo.Street") != name.GetKey("BillTo.Street", "DeliverTo.Street") {
+		t.Error("Name should be context-insensitive")
+	}
+	// NamePath prefers the ship context (ship=deliver synonym).
+	shipSim := namePath.GetKey("ShipTo.Street", "DeliverTo.Street")
+	billSim := namePath.GetKey("BillTo.Street", "DeliverTo.Street")
+	if shipSim <= billSim {
+		t.Errorf("NamePath ship %.3f <= bill %.3f", shipSim, billSim)
+	}
+}
+
+func TestNamePathFindsCrossLevelMatches(t *testing.T) {
+	// Paper: PurchaseOrder.ShipTo.Street vs PurchaseOrder.shipToStreet.
+	ctx := NewContext()
+	s1 := schema.New("A")
+	po := schema.NewNode("PurchaseOrder")
+	ship := schema.NewNode("ShipTo")
+	ship.AddChild(&schema.Node{Name: "Street", TypeName: "xsd:string"})
+	po.AddChild(ship)
+	s1.Root.AddChild(po)
+
+	s2 := schema.New("B")
+	po2 := schema.NewNode("PurchaseOrder")
+	po2.AddChild(&schema.Node{Name: "shipToStreet", TypeName: "xsd:string"})
+	s2.Root.AddChild(po2)
+
+	np := NewNamePath().Match(ctx, s1, s2)
+	if got := np.GetKey("PurchaseOrder.ShipTo.Street", "PurchaseOrder.shipToStreet"); got != 1 {
+		t.Errorf("cross-level NamePath = %.3f, want 1 (identical token sets)", got)
+	}
+}
+
+func TestTypeNameWeights(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	tn := NewTypeName().Match(ctx, s1, s2)
+	// custName vs City: weak name sim, same type. The type share keeps
+	// it above pure-name but below a true match.
+	cityCity := tn.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City")
+	if cityCity < 0.5 {
+		t.Errorf("shipToCity/City TypeName = %.3f, want >= 0.5", cityCity)
+	}
+	// Type mismatch penalizes: custZip(VARCHAR) vs Zip(decimal) scores
+	// lower than custCity(VARCHAR) vs City(string) despite equal name sim.
+	zip := tn.GetKey("Customer.custZip", "DeliverTo.Address.Zip")
+	city := tn.GetKey("Customer.custCity", "DeliverTo.Address.City")
+	if zip >= city {
+		t.Errorf("type weight not applied: zip %.3f >= city %.3f", zip, city)
+	}
+	// Custom weights: all weight on type.
+	typeOnly := NewWeightedTypeName(1, 0)
+	m := typeOnly.Match(ctx, s1, s2)
+	if got := m.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City"); got != 1 {
+		t.Errorf("type-only TypeName = %.3f, want 1", got)
+	}
+	if NewWeightedTypeName(0, 0).PairSim(ctx, s1.Paths()[0], s2.Paths()[0]) != 0 {
+		t.Error("zero weights should yield 0")
+	}
+}
+
+func TestChildrenVsLeavesStructuralConflict(t *testing.T) {
+	// The paper's key structural contrast (Section 4.2): the matching
+	// elements of ShipTo's children are children of Address, not of
+	// DeliverTo. Children therefore only finds ShipTo~Address, while
+	// Leaves also identifies ShipTo~DeliverTo.
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+
+	children := NewChildren().Match(ctx, s1, s2)
+	leaves := NewLeaves().Match(ctx, s1, s2)
+
+	chShipAddr := children.GetKey("ShipTo", "DeliverTo.Address")
+	chShipDeliver := children.GetKey("ShipTo", "DeliverTo")
+	if chShipAddr <= chShipDeliver {
+		t.Errorf("Children: ShipTo/Address %.3f <= ShipTo/DeliverTo %.3f", chShipAddr, chShipDeliver)
+	}
+	if chShipAddr <= 0.2 {
+		t.Errorf("Children: ShipTo/Address = %.3f, want substantial", chShipAddr)
+	}
+
+	lvShipDeliver := leaves.GetKey("ShipTo", "DeliverTo")
+	if lvShipDeliver <= chShipDeliver {
+		t.Errorf("Leaves should beat Children on ShipTo/DeliverTo: %.3f <= %.3f", lvShipDeliver, chShipDeliver)
+	}
+	if lvShipDeliver <= 0.2 {
+		t.Errorf("Leaves: ShipTo/DeliverTo = %.3f, want substantial", lvShipDeliver)
+	}
+}
+
+func TestChildrenLeafPairsUseLeafMatcher(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	children := NewChildren().Match(ctx, s1, s2)
+	tn := NewTypeName().Match(ctx, s1, s2)
+	a := children.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City")
+	b := tn.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City")
+	if a != b {
+		t.Errorf("leaf pair: Children %.3f != TypeName %.3f", a, b)
+	}
+	// Mixed inner/leaf pairs are 0.
+	if got := children.GetKey("ShipTo", "DeliverTo.Address.City"); got != 0 {
+		t.Errorf("inner/leaf = %.3f, want 0", got)
+	}
+}
+
+func TestLeavesOnLeafPairs(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	leaves := NewLeaves().Match(ctx, s1, s2)
+	tn := NewTypeName().Match(ctx, s1, s2)
+	// For two leaves, the leaf-set similarity degenerates to the plain
+	// leaf similarity.
+	a := leaves.GetKey("Customer.custCity", "BillTo.Address.City")
+	b := tn.GetKey("Customer.custCity", "BillTo.Address.City")
+	if a != b {
+		t.Errorf("leaf pair: Leaves %.3f != TypeName %.3f", a, b)
+	}
+}
+
+func TestFeedback(t *testing.T) {
+	fb := NewFeedback()
+	fb.Accept("a", "x")
+	fb.Reject("b", "y")
+	if !fb.Accepted("a", "x") || !fb.Rejected("b", "y") || fb.Len() != 2 {
+		t.Fatal("assertions not recorded")
+	}
+	// Flipping an assertion replaces it.
+	fb.Reject("a", "x")
+	if fb.Accepted("a", "x") || !fb.Rejected("a", "x") {
+		t.Error("Reject should clear Accept")
+	}
+	fb.Accept("a", "x")
+	if fb.Rejected("a", "x") {
+		t.Error("Accept should clear Reject")
+	}
+	fb.Clear("a", "x")
+	if fb.Accepted("a", "x") || fb.Rejected("a", "x") || fb.Len() != 1 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestFeedbackMatchAndPin(t *testing.T) {
+	ctx := NewContext()
+	s1, s2 := figure1PO1(), figure1PO2()
+	fb := NewFeedback()
+	fb.Accept("ShipTo.poNo", "DeliverTo.Address.Zip")
+	fb.Reject("ShipTo.shipToCity", "DeliverTo.Address.City")
+	m := fb.Match(ctx, s1, s2)
+	if m.GetKey("ShipTo.poNo", "DeliverTo.Address.Zip") != 1 {
+		t.Error("accepted pair should score 1")
+	}
+	if m.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City") != 0 {
+		t.Error("rejected pair should score 0")
+	}
+	// Pin overrides an aggregated matrix.
+	agg := NewTypeName().Match(ctx, s1, s2)
+	fb.Pin(agg)
+	if agg.GetKey("ShipTo.poNo", "DeliverTo.Address.Zip") != 1 {
+		t.Error("Pin should set accepted pair to 1")
+	}
+	if agg.GetKey("ShipTo.shipToCity", "DeliverTo.Address.City") != 0 {
+		t.Error("Pin should set rejected pair to 0")
+	}
+	// Pins for unknown paths are ignored.
+	fb.Accept("nope", "nope")
+	fb.Pin(agg)
+}
+
+func TestLibrary(t *testing.T) {
+	lib := NewLibrary()
+	for _, name := range lib.Names() {
+		m, err := lib.New(name)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("matcher %q reports name %q", name, m.Name())
+		}
+	}
+	if _, err := lib.New("Bogus"); err == nil {
+		t.Error("unknown matcher should fail")
+	}
+	set, err := lib.NewSet(HybridNames()...)
+	if err != nil || len(set) != 5 {
+		t.Fatalf("NewSet hybrids: %v, %d", err, len(set))
+	}
+	if _, err := lib.NewSet("Name", "Bogus"); err == nil {
+		t.Error("NewSet with unknown matcher should fail")
+	}
+	// Extensibility.
+	lib.Register("Constant", func() Matcher {
+		return NewSimple("Constant", func(*Context, string, string) float64 { return 0.5 })
+	})
+	if _, err := lib.New("Constant"); err != nil {
+		t.Errorf("custom matcher: %v", err)
+	}
+}
+
+func TestCustomNameMatcher(t *testing.T) {
+	ctx := NewContext()
+	// An Average-aggregating name matcher with three constituents.
+	strategy := combine.Strategy{
+		Agg:  combine.AggSpec{Kind: combine.Average},
+		Dir:  combine.Both,
+		Sel:  combine.Selection{MaxN: 1},
+		Comb: combine.CombAverage,
+	}
+	nm := NewCustomName("NameAvg", strategy, Trigram(), Synonym(), Affix())
+	if nm.Name() != "NameAvg" {
+		t.Error("custom name lost")
+	}
+	sim := nm.NameSim(ctx, "ShipTo", "ShipTo")
+	if sim != 1 {
+		t.Errorf("identical names under custom matcher = %.3f", sim)
+	}
+	// Average aggregation dilutes the synonym hit that Max keeps.
+	maxSim := NewName().NameSim(ctx, "Ship", "Deliver")
+	avgSim := nm.NameSim(ctx, "Ship", "Deliver")
+	if avgSim >= maxSim {
+		t.Errorf("Average %.3f >= Max %.3f for Ship/Deliver", avgSim, maxSim)
+	}
+}
+
+func TestKeysOrdering(t *testing.T) {
+	s := figure1PO2()
+	keys := Keys(s)
+	if len(keys) != 10 || keys[0] != "DeliverTo" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}

@@ -1,0 +1,127 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+	"repro/internal/strutil"
+)
+
+// StringSim computes a similarity in [0,1] between two strings given a
+// matcher context. It is the primitive shared by the simple matchers:
+// applied to element names at the element level, and to name tokens
+// inside the hybrid Name matcher.
+type StringSim func(ctx *Context, a, b string) float64
+
+// Simple is a simple matcher (paper Section 4.1): it assesses element
+// similarity from a single criterion — here, applying a string
+// similarity to the terminal element names of two paths.
+type Simple struct {
+	name string
+	sim  StringSim
+}
+
+// NewSimple wraps a string similarity as a matcher.
+func NewSimple(name string, sim StringSim) *Simple {
+	return &Simple{name: name, sim: sim}
+}
+
+// Name implements Matcher.
+func (s *Simple) Name() string { return s.name }
+
+// Match implements Matcher: the similarity of two elements is the
+// string similarity of their names.
+func (s *Simple) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+		return s.sim(ctx, p1.Name(), p2.Name())
+	})
+}
+
+// Sim exposes the underlying string similarity for use on name tokens.
+func (s *Simple) Sim(ctx *Context, a, b string) float64 { return s.sim(ctx, a, b) }
+
+// Affix returns the Affix matcher: common prefixes and suffixes of the
+// name strings.
+func Affix() *Simple {
+	return NewSimple("Affix", func(_ *Context, a, b string) float64 {
+		return strutil.AffixSim(a, b)
+	})
+}
+
+// NGram returns an n-gram matcher: names compared by their sets of
+// n-character sequences. NGram(2) is Digram, NGram(3) is Trigram.
+func NGram(n int) *Simple {
+	name := fmt.Sprintf("%d-gram", n)
+	switch n {
+	case 2:
+		name = "Digram"
+	case 3:
+		name = "Trigram"
+	}
+	return NewSimple(name, func(_ *Context, a, b string) float64 {
+		return strutil.NGramSim(a, b, n)
+	})
+}
+
+// Trigram returns the 3-gram matcher, the default string matcher inside
+// the hybrid Name matcher.
+func Trigram() *Simple { return NGram(3) }
+
+// EditDistance returns the Levenshtein-based matcher.
+func EditDistance() *Simple {
+	return NewSimple("EditDistance", func(_ *Context, a, b string) float64 {
+		return strutil.EditDistanceSim(a, b)
+	})
+}
+
+// Soundex returns the phonetic matcher based on soundex codes.
+func Soundex() *Simple {
+	return NewSimple("Soundex", func(_ *Context, a, b string) float64 {
+		return strutil.SoundexSim(a, b)
+	})
+}
+
+// Synonym returns the semantic matcher: similarity between element
+// names from the terminological relationships of the context's
+// dictionary, with relationship-specific similarity values (1.0 for
+// synonymy, 0.8 for hypernymy).
+func Synonym() *Simple {
+	return NewSimple("Synonym", func(ctx *Context, a, b string) float64 {
+		if ctx == nil || ctx.Dict == nil {
+			return 0
+		}
+		return ctx.Dict.Lookup(a, b)
+	})
+}
+
+// Taxonomy returns the taxonomy matcher, an extension of Synonym in the
+// semantic-distance style of Rada et al.: the similarity of two terms
+// decays with the length of the is-a path connecting them in the
+// context's concept hierarchy. It is primarily useful as an additional
+// constituent of the hybrid Name matcher.
+func Taxonomy() *Simple {
+	return NewSimple("Taxonomy", func(ctx *Context, a, b string) float64 {
+		if ctx == nil || ctx.Taxonomy == nil {
+			return 0
+		}
+		return ctx.Taxonomy.Sim(a, b)
+	})
+}
+
+// DataTypeMatcher is the DataType matcher: unlike the other simple
+// matchers it compares declared data types rather than names. Types are
+// mapped to predefined generic types whose degree of compatibility
+// comes from the context's compatibility table.
+type DataTypeMatcher struct{}
+
+// Name implements Matcher.
+func (DataTypeMatcher) Name() string { return "DataType" }
+
+// Match implements Matcher over the terminal nodes' declared types.
+func (DataTypeMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	tt := ctx.typeTable()
+	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+		return tt.Compat(p1.Leaf().TypeName, p2.Leaf().TypeName)
+	})
+}

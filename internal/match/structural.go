@@ -1,0 +1,178 @@
+package match
+
+import (
+	"repro/internal/combine"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// leafMatcher abstracts the leaf-level matcher the structural matchers
+// are combined with; TypeName is the default (Table 4).
+type leafMatcher interface {
+	Matcher
+	PairSim(ctx *Context, p1, p2 schema.Path) float64
+	SetCombSim(c combine.CombSim)
+}
+
+// combineSets folds a pairwise similarity over two path sets into one
+// value using the (Both, Max1, comb) sub-strategy of Table 4: build
+// the similarity matrix, select mutual best candidates, combine over
+// |S1|+|S2|.
+func combineSets(comb combine.CombSim, set1, set2 []schema.Path, sim func(i, j int) float64) float64 {
+	if len(set1) == 0 || len(set2) == 0 {
+		return 0
+	}
+	k1 := make([]string, len(set1))
+	for i, p := range set1 {
+		k1[i] = p.String()
+	}
+	k2 := make([]string, len(set2))
+	for j, p := range set2 {
+		k2[j] = p.String()
+	}
+	m := simcube.NewMatrix(k1, k2)
+	for i := range set1 {
+		for j := range set2 {
+			m.Set(i, j, sim(i, j))
+		}
+	}
+	res := combine.Select(m, combine.Both, combine.Selection{MaxN: 1})
+	return combine.CombinedSimilarity(comb, len(set1), len(set2), res)
+}
+
+// ChildrenMatcher is the hybrid structural Children matcher (paper
+// Section 4.2): the similarity between two inner elements derives from
+// the combined similarity of their child elements, recursively; leaf
+// similarities come from the leaf-level matcher (TypeName by default).
+//
+// Children is sensitive to structural conflicts: in Figure 1 it finds a
+// correspondence between ShipTo and Address but not between ShipTo and
+// DeliverTo, because the matching elements are grandchildren, not
+// children, of DeliverTo.
+type ChildrenMatcher struct {
+	leaf leafMatcher
+	comb combine.CombSim
+}
+
+// NewChildren returns the Children matcher with TypeName as its
+// leaf-level matcher.
+func NewChildren() *ChildrenMatcher {
+	return &ChildrenMatcher{leaf: NewTypeName(), comb: combine.CombAverage}
+}
+
+// Name implements Matcher.
+func (cm *ChildrenMatcher) Name() string { return "Children" }
+
+// SetCombSim switches the combined-similarity strategy of the child-set
+// combination and of the embedded leaf matcher.
+func (cm *ChildrenMatcher) SetCombSim(c combine.CombSim) {
+	cm.comb = c
+	cm.leaf.SetCombSim(c)
+}
+
+// Match implements Matcher. Leaf element pairs receive the leaf
+// matcher's similarity; inner element pairs the recursive child-set
+// similarity; mixed pairs similarity 0.
+func (cm *ChildrenMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	p1, p2 := s1.Paths(), s2.Paths()
+	out := simcube.NewMatrix(Keys(s1), Keys(s2))
+	memo := make(map[[2]string]float64)
+	var pairSim func(a, b schema.Path) float64
+	pairSim = func(a, b schema.Path) float64 {
+		key := [2]string{a.String(), b.String()}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		// Mark in-progress to terminate on (impossible in a DAG, but
+		// cheap insurance) self-recursion; a DAG's path recursion always
+		// descends so 0 is never read back in practice.
+		memo[key] = 0
+		var v float64
+		aLeaf, bLeaf := a.Leaf().IsLeaf(), b.Leaf().IsLeaf()
+		switch {
+		case aLeaf && bLeaf:
+			v = cm.leaf.PairSim(ctx, a, b)
+		case !aLeaf && !bLeaf:
+			c1, c2 := a.ChildPaths(), b.ChildPaths()
+			v = combineSets(cm.comb, c1, c2, func(i, j int) float64 {
+				return pairSim(c1[i], c2[j])
+			})
+		}
+		memo[key] = v
+		return v
+	}
+	for i := range p1 {
+		for j := range p2 {
+			out.Set(i, j, pairSim(p1[i], p2[j]))
+		}
+	}
+	return out
+}
+
+// LeavesMatcher is the hybrid structural Leaves matcher (paper Section
+// 4.2): the similarity of two elements derives from the combined
+// similarity of the leaf elements reachable from them, ignoring
+// intermediate structure. This yields more stable similarity under
+// structural conflicts: in Figure 1 it identifies the correspondence
+// between ShipTo and DeliverTo although the matching leaves sit one
+// level deeper in PO2.
+type LeavesMatcher struct {
+	leaf leafMatcher
+	comb combine.CombSim
+}
+
+// NewLeaves returns the Leaves matcher with TypeName as its leaf-level
+// matcher.
+func NewLeaves() *LeavesMatcher {
+	return &LeavesMatcher{leaf: NewTypeName(), comb: combine.CombAverage}
+}
+
+// Name implements Matcher.
+func (lm *LeavesMatcher) Name() string { return "Leaves" }
+
+// SetCombSim switches the combined-similarity strategy of the leaf-set
+// combination and of the embedded leaf matcher.
+func (lm *LeavesMatcher) SetCombSim(c combine.CombSim) {
+	lm.comb = c
+	lm.leaf.SetCombSim(c)
+}
+
+// Match implements Matcher. For every element pair the leaf sets under
+// both elements are compared with the leaf matcher and combined with
+// (Both, Max1, Average); for a leaf element the leaf set is the element
+// itself, so leaf pairs degenerate to the plain leaf similarity.
+func (lm *LeavesMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	p1, p2 := s1.Paths(), s2.Paths()
+
+	// The leaf sets of different inner elements overlap heavily, so
+	// compute every needed leaf-pair similarity once.
+	leafSets1 := make([][]schema.Path, len(p1))
+	for i, p := range p1 {
+		leafSets1[i] = p.LeafPaths()
+	}
+	leafSets2 := make([][]schema.Path, len(p2))
+	for j, p := range p2 {
+		leafSets2[j] = p.LeafPaths()
+	}
+	var cache pairCache
+	leafSim := func(a, b schema.Path) float64 {
+		ka, kb := a.String(), b.String()
+		if v, ok := cache.get(ka, kb); ok {
+			return v
+		}
+		v := lm.leaf.PairSim(ctx, a, b)
+		cache.put(ka, kb, v)
+		return v
+	}
+
+	out := simcube.NewMatrix(Keys(s1), Keys(s2))
+	for i := range p1 {
+		for j := range p2 {
+			l1, l2 := leafSets1[i], leafSets2[j]
+			out.Set(i, j, combineSets(lm.comb, l1, l2, func(a, b int) float64 {
+				return leafSim(l1[a], l2[b])
+			}))
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package match
+
+import (
+	"repro/internal/combine"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// TypeNameMatcher is the hybrid TypeName matcher (paper Section 4.2):
+// it matches elements on a combination of their name and data type
+// similarity. Following Table 4 it combines the DataType and Name
+// matchers with the Weighted aggregation strategy using default weights
+// 0.3 (data type) and 0.7 (name); steps 2 and 3 of the combination
+// scheme are not needed because a single similarity per element pair
+// results directly.
+//
+// The weight split permits matching attributes with similar names but
+// different data types, while among several candidates with about the
+// same name similarity those with higher data type compatibility are
+// preferred.
+type TypeNameMatcher struct {
+	name       *NameMatcher
+	typeWeight float64
+	nameWeight float64
+}
+
+// NewTypeName returns the TypeName matcher with Table 4 defaults.
+func NewTypeName() *TypeNameMatcher {
+	return &TypeNameMatcher{name: NewName(), typeWeight: 0.3, nameWeight: 0.7}
+}
+
+// NewWeightedTypeName returns a TypeName matcher with explicit weights
+// (normalized at use); used by the ablation benchmarks.
+func NewWeightedTypeName(typeWeight, nameWeight float64) *TypeNameMatcher {
+	return &TypeNameMatcher{name: NewName(), typeWeight: typeWeight, nameWeight: nameWeight}
+}
+
+// Name implements Matcher.
+func (tn *TypeNameMatcher) Name() string { return "TypeName" }
+
+// SetCombSim forwards the combined-similarity strategy to the embedded
+// Name matcher (TypeName itself has no step 3).
+func (tn *TypeNameMatcher) SetCombSim(c combine.CombSim) { tn.name.SetCombSim(c) }
+
+// Match implements Matcher.
+func (tn *TypeNameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+		return tn.PairSim(ctx, p1, p2)
+	})
+}
+
+// PairSim computes the weighted type/name similarity for one element
+// pair; exposed for use as the leaf matcher of Children and Leaves.
+func (tn *TypeNameMatcher) PairSim(ctx *Context, p1, p2 schema.Path) float64 {
+	total := tn.typeWeight + tn.nameWeight
+	if total == 0 {
+		return 0
+	}
+	typeSim := ctx.typeTable().Compat(p1.Leaf().TypeName, p2.Leaf().TypeName)
+	nameSim := tn.name.NameSim(ctx, p1.Name(), p2.Name())
+	return (tn.typeWeight*typeSim + tn.nameWeight*nameSim) / total
+}

@@ -1,0 +1,146 @@
+package repository
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+func benchSchema() *schema.Schema {
+	s := schema.New("bench")
+	for t := 0; t < 8; t++ {
+		table := schema.NewNode("Table" + string(rune('A'+t)))
+		for c := 0; c < 12; c++ {
+			table.AddChild(&schema.Node{
+				Name:     "col" + string(rune('a'+c)),
+				TypeName: "VARCHAR(100)",
+				Kind:     schema.ElemColumn,
+			})
+		}
+		s.Root.AddChild(table)
+	}
+	return s
+}
+
+func benchMapping() *simcube.Mapping {
+	m := simcube.NewMapping("A", "B")
+	for i := 0; i < 100; i++ {
+		m.Add("a"+string(rune('a'+i%26))+string(rune('a'+i/26)),
+			"b"+string(rune('a'+i%26))+string(rune('a'+i/26)), float64(i%100)/100)
+	}
+	return m
+}
+
+func BenchmarkPutSchema(b *testing.B) {
+	r, err := Open(filepath.Join(b.TempDir(), "bench.repo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	s := benchSchema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.PutSchema(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutMapping(b *testing.B) {
+	r, err := Open(filepath.Join(b.TempDir(), "bench.repo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	m := benchMapping()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.PutMapping("manual", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutCube(b *testing.B) {
+	r, err := Open(filepath.Join(b.TempDir(), "bench.repo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	rows := make([]string, 110)
+	for i := range rows {
+		rows[i] = "r" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	cols := make([]string, 75)
+	for j := range cols {
+		cols[j] = "c" + string(rune('a'+j%26)) + string(rune('a'+j/26))
+	}
+	cube := simcube.NewCube(rows, cols)
+	for k := 0; k < 5; k++ {
+		cube.NewLayer(string(rune('A' + k))).Fill(func(i, j int) float64 {
+			return float64((i+j)%100) / 100
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.PutCube("A|B", cube); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.repo")
+	r, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchSchema()
+	m := benchMapping()
+	for i := 0; i < 50; i++ {
+		if err := r.PutSchema(s); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.PutMapping("manual", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r2, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2.Close()
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		path := filepath.Join(b.TempDir(), "bench.repo")
+		r, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := benchSchema()
+		for j := 0; j < 50; j++ {
+			if err := r.PutSchema(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := r.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		r.Close()
+	}
+}

@@ -1,0 +1,97 @@
+package repository
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/simcube"
+)
+
+// TestConcurrentAccess hammers the repository from several goroutines:
+// writers storing schemas and mappings, readers listing and fetching.
+// Run with -race to verify the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	r, err := Open(filepath.Join(t.TempDir(), "conc.repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const writers = 4
+	const readers = 4
+	const perWriter = 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s := sampleSchema(fmt.Sprintf("S%d_%d", w, i))
+				if err := r.PutSchema(s); err != nil {
+					t.Errorf("PutSchema: %v", err)
+					return
+				}
+				m := simcube.NewMapping(s.Name, "target")
+				m.Add("a", "b", 0.5)
+				if err := r.PutMapping("auto", m); err != nil {
+					t.Errorf("PutMapping: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.SchemaNames()
+				_ = r.Stats()
+				_, _ = r.GetMapping("auto", "S0_0", "target")
+				_ = r.MappingStore("auto").AllMappings()
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	if st.Schemas != writers*perWriter {
+		t.Errorf("schemas = %d, want %d", st.Schemas, writers*perWriter)
+	}
+	if st.Mappings != writers*perWriter {
+		t.Errorf("mappings = %d, want %d", st.Mappings, writers*perWriter)
+	}
+}
+
+// TestConcurrentCompact verifies that compaction can run concurrently
+// with readers.
+func TestConcurrentCompact(t *testing.T) {
+	r, err := Open(filepath.Join(t.TempDir(), "cc.repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 20; i++ {
+		if err := r.PutSchema(sampleSchema("A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_, _ = r.GetSchema("A")
+			_ = r.SchemaNames()
+		}
+	}()
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, ok := r.GetSchema("A"); !ok {
+		t.Error("schema lost around compaction")
+	}
+}

@@ -1,0 +1,297 @@
+package repository
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// The repository serializes values with a compact, self-describing
+// binary encoding: uvarint-prefixed strings, uvarint counts, and IEEE
+// float64 bits in little-endian order.
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("repository: corrupt uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("repository: string length %d exceeds buffer at offset %d", n, d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("repository: truncated float64 at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// encodeSchema serializes a schema DAG. Shared nodes are preserved via
+// node indices.
+func encodeSchema(s *schema.Schema) []byte {
+	nodes := []*schema.Node{s.Root}
+	idx := map[*schema.Node]int{s.Root: 0}
+	var collect func(n *schema.Node)
+	collect = func(n *schema.Node) {
+		for _, c := range n.Children() {
+			if _, ok := idx[c]; !ok {
+				idx[c] = len(nodes)
+				nodes = append(nodes, c)
+				collect(c)
+			}
+		}
+	}
+	collect(s.Root)
+	// Referential links may point outside the containment closure; only
+	// in-closure targets are persisted.
+	var e encoder
+	e.str(s.Name)
+	e.uvarint(uint64(len(nodes)))
+	for _, n := range nodes {
+		e.str(n.Name)
+		e.str(n.TypeName)
+		e.uvarint(uint64(n.Kind))
+		keys := make([]string, 0, len(n.Annotations))
+		for k := range n.Annotations {
+			keys = append(keys, k)
+		}
+		// Deterministic output: sort annotation keys.
+		sortStrings(keys)
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.str(k)
+			e.str(n.Annotations[k])
+		}
+	}
+	for _, n := range nodes {
+		e.uvarint(uint64(len(n.Children())))
+		for _, c := range n.Children() {
+			e.uvarint(uint64(idx[c]))
+		}
+		inRefs := make([]int, 0, len(n.Refs()))
+		for _, r := range n.Refs() {
+			if i, ok := idx[r]; ok {
+				inRefs = append(inRefs, i)
+			}
+		}
+		e.uvarint(uint64(len(inRefs)))
+		for _, i := range inRefs {
+			e.uvarint(uint64(i))
+		}
+	}
+	return e.buf
+}
+
+func decodeSchema(buf []byte) (*schema.Schema, error) {
+	d := decoder{buf: buf}
+	name := d.str()
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n < 1 || n > 1<<24 {
+		return nil, fmt.Errorf("repository: implausible node count %d", n)
+	}
+	nodes := make([]*schema.Node, n)
+	for i := range nodes {
+		nodes[i] = &schema.Node{}
+		nodes[i].Name = d.str()
+		nodes[i].TypeName = d.str()
+		nodes[i].Kind = schema.Kind(d.uvarint())
+		annots := int(d.uvarint())
+		for a := 0; a < annots && d.err == nil; a++ {
+			k := d.str()
+			v := d.str()
+			nodes[i].SetAnnotation(k, v)
+		}
+	}
+	for i := range nodes {
+		kids := int(d.uvarint())
+		for k := 0; k < kids && d.err == nil; k++ {
+			ci := int(d.uvarint())
+			if ci < 0 || ci >= n {
+				return nil, fmt.Errorf("repository: child index %d out of range", ci)
+			}
+			nodes[i].AddChild(nodes[ci])
+		}
+		refs := int(d.uvarint())
+		for r := 0; r < refs && d.err == nil; r++ {
+			ri := int(d.uvarint())
+			if ri < 0 || ri >= n {
+				return nil, fmt.Errorf("repository: ref index %d out of range", ri)
+			}
+			nodes[i].AddRef(nodes[ri])
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	s := &schema.Schema{Name: name, Root: nodes[0]}
+	return s, nil
+}
+
+// encodeMapping serializes a tagged mapping.
+func encodeMapping(tag string, m *simcube.Mapping) []byte {
+	var e encoder
+	e.str(tag)
+	e.str(m.FromSchema)
+	e.str(m.ToSchema)
+	corrs := m.Correspondences()
+	e.uvarint(uint64(len(corrs)))
+	for _, c := range corrs {
+		e.str(c.From)
+		e.str(c.To)
+		e.f64(c.Sim)
+	}
+	return e.buf
+}
+
+func decodeMapping(buf []byte) (tag string, m *simcube.Mapping, err error) {
+	d := decoder{buf: buf}
+	tag = d.str()
+	from := d.str()
+	to := d.str()
+	n := int(d.uvarint())
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	m = simcube.NewMapping(from, to)
+	for i := 0; i < n; i++ {
+		f := d.str()
+		t := d.str()
+		sim := d.f64()
+		if d.err != nil {
+			return "", nil, d.err
+		}
+		m.Add(f, t, sim)
+	}
+	return tag, m, nil
+}
+
+// encodeCube serializes a similarity cube.
+func encodeCube(key string, c *simcube.Cube) []byte {
+	var e encoder
+	e.str(key)
+	rows, cols := c.RowKeys(), c.ColKeys()
+	e.uvarint(uint64(len(rows)))
+	for _, k := range rows {
+		e.str(k)
+	}
+	e.uvarint(uint64(len(cols)))
+	for _, k := range cols {
+		e.str(k)
+	}
+	e.uvarint(uint64(c.Layers()))
+	for li, name := range c.Matchers() {
+		e.str(name)
+		layer := c.LayerAt(li)
+		for i := 0; i < len(rows); i++ {
+			for j := 0; j < len(cols); j++ {
+				e.f64(layer.Get(i, j))
+			}
+		}
+	}
+	return e.buf
+}
+
+func decodeCube(buf []byte) (key string, c *simcube.Cube, err error) {
+	d := decoder{buf: buf}
+	key = d.str()
+	nr := int(d.uvarint())
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if nr < 0 || nr > 1<<24 {
+		return "", nil, fmt.Errorf("repository: implausible row count %d", nr)
+	}
+	rows := make([]string, nr)
+	for i := range rows {
+		rows[i] = d.str()
+	}
+	nc := int(d.uvarint())
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if nc < 0 || nc > 1<<24 {
+		return "", nil, fmt.Errorf("repository: implausible column count %d", nc)
+	}
+	cols := make([]string, nc)
+	for j := range cols {
+		cols[j] = d.str()
+	}
+	layers := int(d.uvarint())
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	c = simcube.NewCube(rows, cols)
+	for l := 0; l < layers; l++ {
+		name := d.str()
+		layer := c.NewLayer(name)
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				layer.Set(i, j, d.f64())
+			}
+		}
+		if d.err != nil {
+			return "", nil, d.err
+		}
+	}
+	return key, c, nil
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

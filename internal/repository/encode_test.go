@@ -1,0 +1,112 @@
+package repository
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+func TestDecodeSchemaCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,               // empty
+		{0xFF},            // truncated uvarint
+		{0x02, 'a'},       // string length beyond buffer
+		{0x01, 'x', 0x00}, /* name "x", node count 0 */
+	}
+	for i, buf := range cases {
+		if _, err := decodeSchema(buf); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Out-of-range child index.
+	var e encoder
+	e.str("s")
+	e.uvarint(1) // one node
+	e.str("root")
+	e.str("")
+	e.uvarint(0) // kind
+	e.uvarint(0) // annotations
+	e.uvarint(1) // one child
+	e.uvarint(9) // index out of range
+	if _, err := decodeSchema(e.buf); err == nil {
+		t.Error("out-of-range child index should fail")
+	}
+}
+
+func TestDecodeMappingCorrupt(t *testing.T) {
+	if _, _, err := decodeMapping(nil); err == nil {
+		t.Error("empty mapping payload should fail")
+	}
+	var e encoder
+	e.str("tag")
+	e.str("A")
+	e.str("B")
+	e.uvarint(2) // two correspondences, but none encoded
+	if _, _, err := decodeMapping(e.buf); err == nil {
+		t.Error("truncated correspondences should fail")
+	}
+}
+
+func TestDecodeCubeCorrupt(t *testing.T) {
+	if _, _, err := decodeCube(nil); err == nil {
+		t.Error("empty cube payload should fail")
+	}
+	var e encoder
+	e.str("key")
+	e.uvarint(1)
+	e.str("r")
+	e.uvarint(1)
+	e.str("c")
+	e.uvarint(1)   // one layer
+	e.str("Layer") // but no float data follows
+	if _, _, err := decodeCube(e.buf); err == nil {
+		t.Error("truncated layer data should fail")
+	}
+}
+
+func TestEncodeDecodeAnnotationsSorted(t *testing.T) {
+	s := schema.New("anno")
+	n := schema.NewNode("x")
+	n.SetAnnotation("zeta", "1")
+	n.SetAnnotation("alpha", "2")
+	n.SetAnnotation("mid", "3")
+	s.Root.AddChild(n)
+	a := encodeSchema(s)
+	b := encodeSchema(s)
+	if string(a) != string(b) {
+		t.Error("encoding is not deterministic across runs")
+	}
+	back, err := decodeSchema(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Root.Children()[0]
+	for k, want := range map[string]string{"zeta": "1", "alpha": "2", "mid": "3"} {
+		if got.Annotation(k) != want {
+			t.Errorf("annotation %s = %q", k, got.Annotation(k))
+		}
+	}
+}
+
+func TestMappingSimilaritiesExactRoundtrip(t *testing.T) {
+	m := simcube.NewMapping("A", "B")
+	m.Add("x", "y", 0.123456789)
+	m.Add("p", "q", 1.0)
+	tag, back, err := decodeMapping(encodeMapping("t", m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "t" {
+		t.Errorf("tag = %q", tag)
+	}
+	if sim, _ := back.Get("x", "y"); sim != 0.123456789 {
+		t.Errorf("float fidelity lost: %v", sim)
+	}
+}
+
+func TestOpenOnDirectoryFails(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("opening a directory should fail")
+	}
+}

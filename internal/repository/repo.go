@@ -1,0 +1,494 @@
+// Package repository implements COMA's repository substrate (Do & Rahm,
+// VLDB 2002, Sections 3 and 5.2): the store for imported schemas,
+// intermediate similarity cubes of individual matchers, and complete
+// (possibly user-confirmed) match results kept for later reuse. The
+// paper backs this with an external DBMS; this package provides an
+// embedded, stdlib-only equivalent exercising the same code paths.
+//
+// Storage layout: a single append-only record log. Every record is
+//
+//	[4-byte little-endian payload length][1-byte kind][payload][4-byte CRC32]
+//
+// where the CRC covers kind+payload. Writes are append-only; updates
+// supersede earlier records for the same key and deletes append
+// tombstones. Open replays the log into in-memory indexes, truncating a
+// torn tail write (crash recovery). Compact rewrites the log with only
+// live records.
+package repository
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Record kinds.
+const (
+	kindSchema byte = iota + 1
+	kindSchemaDel
+	kindMapping
+	kindMappingDel
+	kindCube
+	kindCubeDel
+)
+
+var fileMagic = []byte("COMA.repo\x001\n")
+
+// Repo is the embedded repository. It is safe for concurrent use.
+type Repo struct {
+	mu   sync.RWMutex
+	path string
+	f    *os.File
+
+	schemas  map[string]*schema.Schema
+	mappings map[string]*taggedMapping // key: tag|from|to
+	cubes    map[string]*simcube.Cube
+}
+
+type taggedMapping struct {
+	tag string
+	m   *simcube.Mapping
+}
+
+// Open opens (creating if needed) the repository log at path and
+// replays it. A torn final record — e.g. after a crash mid-write — is
+// discarded by truncating the file to the last intact record.
+func Open(path string) (*Repo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("repository: open %s: %w", path, err)
+	}
+	r := &Repo{
+		path:     path,
+		f:        f,
+		schemas:  make(map[string]*schema.Schema),
+		mappings: make(map[string]*taggedMapping),
+		cubes:    make(map[string]*simcube.Cube),
+	}
+	if err := r.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// replay loads the log into memory and positions the write offset.
+func (r *Repo) replay() error {
+	info, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		_, err := r.f.Write(fileMagic)
+		return err
+	}
+	head := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r.f, head); err != nil || string(head) != string(fileMagic) {
+		return fmt.Errorf("repository: %s is not a repository file", r.path)
+	}
+	offset := int64(len(fileMagic))
+	hdr := make([]byte, 5)
+	for {
+		if _, err := io.ReadFull(r.f, hdr); err != nil {
+			break // clean EOF or torn header: stop
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr)
+		if payloadLen > 1<<30 {
+			break // corrupt length
+		}
+		kind := hdr[4]
+		body := make([]byte, int(payloadLen)+4)
+		if _, err := io.ReadFull(r.f, body); err != nil {
+			break // torn record
+		}
+		payload := body[:payloadLen]
+		want := binary.LittleEndian.Uint32(body[payloadLen:])
+		crc := crc32.NewIEEE()
+		crc.Write([]byte{kind})
+		crc.Write(payload)
+		if crc.Sum32() != want {
+			break // corrupt record
+		}
+		if err := r.apply(kind, payload); err != nil {
+			return err
+		}
+		offset += int64(5) + int64(payloadLen) + 4
+	}
+	// Truncate any torn tail and position for appends.
+	if err := r.f.Truncate(offset); err != nil {
+		return err
+	}
+	_, err = r.f.Seek(offset, io.SeekStart)
+	return err
+}
+
+// apply folds one log record into the in-memory state.
+func (r *Repo) apply(kind byte, payload []byte) error {
+	switch kind {
+	case kindSchema:
+		s, err := decodeSchema(payload)
+		if err != nil {
+			return err
+		}
+		r.schemas[s.Name] = s
+	case kindSchemaDel:
+		d := decoder{buf: payload}
+		name := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		delete(r.schemas, name)
+	case kindMapping:
+		tag, m, err := decodeMapping(payload)
+		if err != nil {
+			return err
+		}
+		r.mappings[mappingKey(tag, m.FromSchema, m.ToSchema)] = &taggedMapping{tag: tag, m: m}
+	case kindMappingDel:
+		d := decoder{buf: payload}
+		key := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		delete(r.mappings, key)
+	case kindCube:
+		key, c, err := decodeCube(payload)
+		if err != nil {
+			return err
+		}
+		r.cubes[key] = c
+	case kindCubeDel:
+		d := decoder{buf: payload}
+		key := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		delete(r.cubes, key)
+	default:
+		return fmt.Errorf("repository: unknown record kind %d", kind)
+	}
+	return nil
+}
+
+// appendRecord writes one record and syncs the log.
+func (r *Repo) appendRecord(kind byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = kind
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{kind})
+	crc.Write(payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := r.f.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := r.f.Write(payload); err != nil {
+		return err
+	}
+	if _, err := r.f.Write(tail[:]); err != nil {
+		return err
+	}
+	return r.f.Sync()
+}
+
+func mappingKey(tag, from, to string) string { return tag + "|" + from + "|" + to }
+
+// Close releases the underlying file.
+func (r *Repo) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// PutSchema stores (or replaces) a schema by name.
+func (r *Repo) PutSchema(s *schema.Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.appendRecord(kindSchema, encodeSchema(s)); err != nil {
+		return err
+	}
+	r.schemas[s.Name] = s
+	return nil
+}
+
+// GetSchema returns the stored schema with the given name.
+func (r *Repo) GetSchema(name string) (*schema.Schema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemas[name]
+	return s, ok
+}
+
+// DeleteSchema removes a schema. Deleting a missing schema is a no-op.
+func (r *Repo) DeleteSchema(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.schemas[name]; !ok {
+		return nil
+	}
+	var e encoder
+	e.str(name)
+	if err := r.appendRecord(kindSchemaDel, e.buf); err != nil {
+		return err
+	}
+	delete(r.schemas, name)
+	return nil
+}
+
+// SchemaNames lists stored schema names, sorted.
+func (r *Repo) SchemaNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.schemas))
+	for n := range r.schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PutMapping stores a match result under a tag (e.g. "manual" for
+// user-confirmed results, "auto" for automatically derived ones). One
+// mapping is kept per (tag, from, to).
+func (r *Repo) PutMapping(tag string, m *simcube.Mapping) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.appendRecord(kindMapping, encodeMapping(tag, m)); err != nil {
+		return err
+	}
+	r.mappings[mappingKey(tag, m.FromSchema, m.ToSchema)] = &taggedMapping{tag: tag, m: m}
+	return nil
+}
+
+// GetMapping returns the mapping stored under (tag, from, to), trying
+// the inverted orientation as well.
+func (r *Repo) GetMapping(tag, from, to string) (*simcube.Mapping, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if tm, ok := r.mappings[mappingKey(tag, from, to)]; ok {
+		return tm.m, true
+	}
+	if tm, ok := r.mappings[mappingKey(tag, to, from)]; ok {
+		return tm.m.Invert(), true
+	}
+	return nil, false
+}
+
+// DeleteMapping removes the mapping stored under (tag, from, to).
+func (r *Repo) DeleteMapping(tag, from, to string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := mappingKey(tag, from, to)
+	if _, ok := r.mappings[key]; !ok {
+		return nil
+	}
+	var e encoder
+	e.str(key)
+	if err := r.appendRecord(kindMappingDel, e.buf); err != nil {
+		return err
+	}
+	delete(r.mappings, key)
+	return nil
+}
+
+// MappingStore returns a reuse-compatible view of the mappings stored
+// under the given tag. The view reads live repository state.
+func (r *Repo) MappingStore(tag string) *TagStore { return &TagStore{repo: r, tag: tag} }
+
+// PutCube stores the similarity cube computed for a match task under an
+// arbitrary key (conventionally "S1|S2").
+func (r *Repo) PutCube(key string, c *simcube.Cube) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.appendRecord(kindCube, encodeCube(key, c)); err != nil {
+		return err
+	}
+	r.cubes[key] = c
+	return nil
+}
+
+// GetCube returns the cube stored under key.
+func (r *Repo) GetCube(key string) (*simcube.Cube, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.cubes[key]
+	return c, ok
+}
+
+// DeleteCube removes the cube stored under key.
+func (r *Repo) DeleteCube(key string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.cubes[key]; !ok {
+		return nil
+	}
+	var e encoder
+	e.str(key)
+	if err := r.appendRecord(kindCubeDel, e.buf); err != nil {
+		return err
+	}
+	delete(r.cubes, key)
+	return nil
+}
+
+// Stats summarizes repository contents and log size.
+type Stats struct {
+	Schemas  int
+	Mappings int
+	Cubes    int
+	LogBytes int64
+}
+
+// Stats returns current repository statistics.
+func (r *Repo) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := Stats{Schemas: len(r.schemas), Mappings: len(r.mappings), Cubes: len(r.cubes)}
+	if info, err := r.f.Stat(); err == nil {
+		st.LogBytes = info.Size()
+	}
+	return st
+}
+
+// Compact rewrites the log keeping only live records, atomically
+// replacing the old file.
+func (r *Repo) Compact() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tmpPath := r.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath) // no-op after successful rename
+	old := r.f
+	r.f = tmp
+	writeAll := func() error {
+		if _, err := tmp.Write(fileMagic); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(r.schemas))
+		for n := range r.schemas {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := r.appendRecord(kindSchema, encodeSchema(r.schemas[n])); err != nil {
+				return err
+			}
+		}
+		keys := make([]string, 0, len(r.mappings))
+		for k := range r.mappings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			tm := r.mappings[k]
+			if err := r.appendRecord(kindMapping, encodeMapping(tm.tag, tm.m)); err != nil {
+				return err
+			}
+		}
+		ckeys := make([]string, 0, len(r.cubes))
+		for k := range r.cubes {
+			ckeys = append(ckeys, k)
+		}
+		sort.Strings(ckeys)
+		for _, k := range ckeys {
+			if err := r.appendRecord(kindCube, encodeCube(k, r.cubes[k])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeAll(); err != nil {
+		r.f = old
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmpPath, r.path); err != nil {
+		r.f = old
+		tmp.Close()
+		return err
+	}
+	old.Close()
+	return nil
+}
+
+// TagStore adapts one tag's mappings to the reuse.Store interface.
+type TagStore struct {
+	repo *Repo
+	tag  string
+}
+
+// SchemaNames implements reuse.Store.
+func (t *TagStore) SchemaNames() []string {
+	t.repo.mu.RLock()
+	defer t.repo.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, tm := range t.repo.mappings {
+		if tm.tag != t.tag {
+			continue
+		}
+		seen[tm.m.FromSchema] = true
+		seen[tm.m.ToSchema] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MappingsBetween implements reuse.Store.
+func (t *TagStore) MappingsBetween(from, to string) []*simcube.Mapping {
+	t.repo.mu.RLock()
+	defer t.repo.mu.RUnlock()
+	var out []*simcube.Mapping
+	for _, tm := range t.repo.mappings {
+		if tm.tag != t.tag {
+			continue
+		}
+		switch {
+		case tm.m.FromSchema == from && tm.m.ToSchema == to:
+			out = append(out, tm.m)
+		case tm.m.FromSchema == to && tm.m.ToSchema == from:
+			out = append(out, tm.m.Invert())
+		}
+	}
+	return out
+}
+
+// AllMappings implements reuse.Store.
+func (t *TagStore) AllMappings() []*simcube.Mapping {
+	t.repo.mu.RLock()
+	defer t.repo.mu.RUnlock()
+	var out []*simcube.Mapping
+	keys := make([]string, 0, len(t.repo.mappings))
+	for k, tm := range t.repo.mappings {
+		if tm.tag == t.tag {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, t.repo.mappings[k].m)
+	}
+	return out
+}

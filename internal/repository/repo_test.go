@@ -1,0 +1,385 @@
+package repository
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+func tempRepo(t *testing.T) (*Repo, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "coma.repo")
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, path
+}
+
+func sampleSchema(name string) *schema.Schema {
+	s := schema.New(name)
+	ship := schema.NewNode("ShipTo")
+	addr := schema.NewNode("Address")
+	addr.AddChild(&schema.Node{Name: "City", TypeName: "xsd:string", Kind: schema.ElemSimple})
+	addr.AddChild(&schema.Node{Name: "Zip", TypeName: "xsd:decimal"})
+	ship.AddChild(addr)
+	bill := schema.NewNode("BillTo")
+	bill.AddChild(addr) // shared fragment
+	s.Root.AddChild(ship)
+	s.Root.AddChild(bill)
+	ship.AddRef(bill)
+	ship.SetAnnotation("primaryKey", "poNo")
+	return s
+}
+
+func TestSchemaRoundtrip(t *testing.T) {
+	r, path := tempRepo(t)
+	s := sampleSchema("PO")
+	if err := r.PutSchema(s); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen from disk and compare structure.
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, ok := r2.GetSchema("PO")
+	if !ok {
+		t.Fatal("schema not found after reopen")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded schema invalid: %v", err)
+	}
+	wantPaths := make([]string, 0)
+	for _, p := range s.Paths() {
+		wantPaths = append(wantPaths, p.String())
+	}
+	gotPaths := make([]string, 0)
+	for _, p := range got.Paths() {
+		gotPaths = append(gotPaths, p.String())
+	}
+	if len(gotPaths) != len(wantPaths) {
+		t.Fatalf("paths = %v, want %v", gotPaths, wantPaths)
+	}
+	for i := range wantPaths {
+		if gotPaths[i] != wantPaths[i] {
+			t.Errorf("path[%d] = %s, want %s", i, gotPaths[i], wantPaths[i])
+		}
+	}
+	// Shared fragment preserved: Address node identical under both parents.
+	if len(got.Nodes()) != len(s.Nodes()) {
+		t.Errorf("nodes = %d, want %d (sharing lost?)", len(got.Nodes()), len(s.Nodes()))
+	}
+	// Annotations and refs survive.
+	ship := got.Root.Children()[0]
+	if ship.Annotation("primaryKey") != "poNo" {
+		t.Error("annotation lost")
+	}
+	if len(ship.Refs()) != 1 || ship.Refs()[0].Name != "BillTo" {
+		t.Error("referential link lost")
+	}
+}
+
+func TestSchemaDeleteAndNames(t *testing.T) {
+	r, _ := tempRepo(t)
+	r.PutSchema(sampleSchema("A"))
+	r.PutSchema(sampleSchema("B"))
+	names := r.SchemaNames()
+	if len(names) != 2 || names[0] != "A" {
+		t.Fatalf("SchemaNames = %v", names)
+	}
+	if err := r.DeleteSchema("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.GetSchema("A"); ok {
+		t.Error("deleted schema still present")
+	}
+	if err := r.DeleteSchema("A"); err != nil {
+		t.Error("double delete should be a no-op")
+	}
+}
+
+func TestInvalidSchemaRejected(t *testing.T) {
+	r, _ := tempRepo(t)
+	bad := schema.New("bad")
+	a := schema.NewNode("A")
+	a.AddChild(a) // self-cycle
+	bad.Root.AddChild(a)
+	if err := r.PutSchema(bad); err == nil {
+		t.Error("cyclic schema should be rejected")
+	}
+}
+
+func TestMappingRoundtrip(t *testing.T) {
+	r, path := tempRepo(t)
+	m := simcube.NewMapping("PO1", "PO2")
+	m.Add("ShipTo.City", "DeliverTo.Town", 0.85)
+	m.Add("BillTo.Zip", "InvoiceTo.Postcode", 1)
+	if err := r.PutMapping("manual", m); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, ok := r2.GetMapping("manual", "PO1", "PO2")
+	if !ok || got.Len() != 2 {
+		t.Fatalf("mapping lost: %v, %v", got, ok)
+	}
+	if sim, _ := got.Get("ShipTo.City", "DeliverTo.Town"); sim != 0.85 {
+		t.Error("similarity lost")
+	}
+	// Reverse orientation inverts.
+	inv, ok := r2.GetMapping("manual", "PO2", "PO1")
+	if !ok || !inv.Contains("DeliverTo.Town", "ShipTo.City") {
+		t.Error("inverted lookup failed")
+	}
+	// Unknown tag misses.
+	if _, ok := r2.GetMapping("auto", "PO1", "PO2"); ok {
+		t.Error("tag isolation violated")
+	}
+}
+
+func TestMappingOverwriteAndDelete(t *testing.T) {
+	r, _ := tempRepo(t)
+	m1 := simcube.NewMapping("A", "B")
+	m1.Add("x", "y", 0.5)
+	r.PutMapping("auto", m1)
+	m2 := simcube.NewMapping("A", "B")
+	m2.Add("x", "y", 0.9)
+	r.PutMapping("auto", m2)
+	got, _ := r.GetMapping("auto", "A", "B")
+	if sim, _ := got.Get("x", "y"); sim != 0.9 {
+		t.Error("overwrite failed")
+	}
+	if err := r.DeleteMapping("auto", "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.GetMapping("auto", "A", "B"); ok {
+		t.Error("delete failed")
+	}
+	if err := r.DeleteMapping("auto", "A", "B"); err != nil {
+		t.Error("double delete should be a no-op")
+	}
+}
+
+func TestCubeRoundtrip(t *testing.T) {
+	r, path := tempRepo(t)
+	c := simcube.NewCube([]string{"a", "b"}, []string{"x"})
+	l := c.NewLayer("Name")
+	l.Set(0, 0, 0.25)
+	l.Set(1, 0, 0.75)
+	c.NewLayer("TypeName").Set(1, 0, 0.5)
+	if err := r.PutCube("S1|S2", c); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, ok := r2.GetCube("S1|S2")
+	if !ok || got.Layers() != 2 {
+		t.Fatalf("cube lost: %v", ok)
+	}
+	if got.Layer("Name").Get(1, 0) != 0.75 {
+		t.Error("layer data lost")
+	}
+	if got.Layer("TypeName").Get(1, 0) != 0.5 {
+		t.Error("second layer lost")
+	}
+	if err := r2.DeleteCube("S1|S2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.GetCube("S1|S2"); ok {
+		t.Error("cube delete failed")
+	}
+	if err := r2.DeleteCube("S1|S2"); err != nil {
+		t.Error("double cube delete should be a no-op")
+	}
+}
+
+func TestCrashRecoveryTruncatesTornTail(t *testing.T) {
+	r, path := tempRepo(t)
+	r.PutSchema(sampleSchema("A"))
+	m := simcube.NewMapping("A", "B")
+	m.Add("x", "y", 1)
+	r.PutMapping("manual", m)
+	r.Close()
+
+	// Simulate a torn final write: chop off the last 3 bytes.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer r2.Close()
+	// Schema record is intact; the torn mapping record is dropped.
+	if _, ok := r2.GetSchema("A"); !ok {
+		t.Error("intact record lost during recovery")
+	}
+	if _, ok := r2.GetMapping("manual", "A", "B"); ok {
+		t.Error("torn record should be discarded")
+	}
+	// The repo is writable again after recovery.
+	if err := r2.PutMapping("manual", m); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	r, path := tempRepo(t)
+	r.PutSchema(sampleSchema("A"))
+	r.PutSchema(sampleSchema("B"))
+	r.Close()
+
+	// Flip a byte in the middle of the log: CRC check must stop replay
+	// at the corrupted record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(fileMagic)+20] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	defer r2.Close()
+	if _, ok := r2.GetSchema("A"); ok {
+		t.Error("corrupted record should not be applied")
+	}
+}
+
+func TestNotARepositoryFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("hello world, definitely not a repo"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("foreign file should be rejected")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	r, path := tempRepo(t)
+	// Generate dead records: overwrites and deletes.
+	for i := 0; i < 10; i++ {
+		r.PutSchema(sampleSchema("A"))
+	}
+	r.PutSchema(sampleSchema("B"))
+	r.DeleteSchema("B")
+	m := simcube.NewMapping("A", "B")
+	m.Add("x", "y", 1)
+	r.PutMapping("manual", m)
+	c := simcube.NewCube([]string{"a"}, []string{"x"})
+	c.NewLayer("Name").Set(0, 0, 0.5)
+	r.PutCube("A|B", c)
+
+	before := r.Stats().LogBytes
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats().LogBytes
+	if after >= before {
+		t.Errorf("compaction did not shrink log: %d -> %d", before, after)
+	}
+	// Live data survives compaction and a reopen.
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, ok := r2.GetSchema("A"); !ok {
+		t.Error("schema lost in compaction")
+	}
+	if _, ok := r2.GetSchema("B"); ok {
+		t.Error("deleted schema resurrected")
+	}
+	if _, ok := r2.GetMapping("manual", "A", "B"); !ok {
+		t.Error("mapping lost in compaction")
+	}
+	if _, ok := r2.GetCube("A|B"); !ok {
+		t.Error("cube lost in compaction")
+	}
+}
+
+func TestWritesAfterCompact(t *testing.T) {
+	r, path := tempRepo(t)
+	r.PutSchema(sampleSchema("A"))
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutSchema(sampleSchema("C")); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, ok := r2.GetSchema("C"); !ok {
+		t.Error("post-compaction write lost")
+	}
+}
+
+func TestTagStore(t *testing.T) {
+	r, _ := tempRepo(t)
+	m1 := simcube.NewMapping("S1", "S2")
+	m1.Add("a", "b", 1)
+	r.PutMapping("manual", m1)
+	m2 := simcube.NewMapping("S2", "S3")
+	m2.Add("b", "c", 1)
+	r.PutMapping("manual", m2)
+	m3 := simcube.NewMapping("S1", "S3")
+	m3.Add("a", "c", 0.4)
+	r.PutMapping("auto", m3)
+
+	ts := r.MappingStore("manual")
+	names := ts.SchemaNames()
+	if len(names) != 3 {
+		t.Fatalf("SchemaNames = %v", names)
+	}
+	if got := ts.MappingsBetween("S2", "S1"); len(got) != 1 || !got[0].Contains("b", "a") {
+		t.Error("inverted tag-store lookup failed")
+	}
+	if got := ts.AllMappings(); len(got) != 2 {
+		t.Errorf("AllMappings = %d, want 2 (tag isolation)", len(got))
+	}
+	auto := r.MappingStore("auto")
+	if got := auto.AllMappings(); len(got) != 1 {
+		t.Errorf("auto AllMappings = %d", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	r, _ := tempRepo(t)
+	st := r.Stats()
+	if st.Schemas != 0 || st.Mappings != 0 || st.Cubes != 0 {
+		t.Error("fresh repo should be empty")
+	}
+	r.PutSchema(sampleSchema("A"))
+	st = r.Stats()
+	if st.Schemas != 1 || st.LogBytes <= int64(len(fileMagic)) {
+		t.Errorf("Stats = %+v", st)
+	}
+}

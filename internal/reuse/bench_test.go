@@ -1,0 +1,72 @@
+package reuse
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/simcube"
+	"repro/internal/workload"
+)
+
+// benchStore holds gold mappings for all workload tasks (the SchemaM
+// configuration).
+func benchStore() *MemStore {
+	var s MemStore
+	for _, t := range workload.Tasks() {
+		s.Put(t.Gold)
+	}
+	return &s
+}
+
+func BenchmarkMatchCompose(b *testing.B) {
+	tasks := workload.Tasks()
+	m1 := tasks[0].Gold // 1<->2
+	m2 := tasks[4].Gold // 2<->3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatchCompose(m1, m2, ComposeAverage)
+	}
+}
+
+func BenchmarkSchemaMatcher(b *testing.B) {
+	store := benchStore()
+	t := workload.Tasks()[9] // largest task
+	sm := NewSchemaMatcher("SchemaM", store)
+	ctx := match.NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sm.Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkFragmentMatcher(b *testing.B) {
+	store := benchStore()
+	t := workload.Tasks()[9]
+	fm := NewFragmentMatcher("Fragment", store)
+	ctx := match.NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fm.Match(ctx, t.S1, t.S2)
+	}
+}
+
+func BenchmarkMatchComposeFanOut(b *testing.B) {
+	// Worst-case m:n join: every element relates to every intermediate.
+	m1 := simcube.NewMapping("A", "B")
+	m2 := simcube.NewMapping("B", "C")
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			m1.Add(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", j), 0.8)
+			m2.Add(fmt.Sprintf("b%d", j), fmt.Sprintf("c%d", i), 0.8)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatchCompose(m1, m2, ComposeAverage)
+	}
+}

@@ -1,0 +1,87 @@
+// Package reuse implements COMA's reuse-oriented matching (Do & Rahm,
+// VLDB 2002, Section 5): the MatchCompose operation deriving a new
+// match result from existing ones transitively sharing a schema, the
+// Schema matcher reusing match results at the level of entire schemas,
+// and a Fragment matcher transferring correspondences of shared schema
+// fragments.
+package reuse
+
+import (
+	"repro/internal/simcube"
+)
+
+// ComposeSim folds the two similarity values along a transitive
+// composition step into one. The paper rejects multiplication (rapidly
+// degrading values: 0.5·0.7 = 0.35 for contactFirstName↔Name↔firstName)
+// in favour of the aggregation alternatives; Average is the default,
+// yielding 0.6 in that example.
+type ComposeSim int
+
+const (
+	// ComposeAverage averages the two similarities (default).
+	ComposeAverage ComposeSim = iota
+	// ComposeMin takes the pessimistic minimum.
+	ComposeMin
+	// ComposeProduct multiplies, for comparison with the rejected
+	// information-retrieval practice.
+	ComposeProduct
+)
+
+func (c ComposeSim) apply(a, b float64) float64 {
+	switch c {
+	case ComposeAverage:
+		return (a + b) / 2
+	case ComposeMin:
+		if a < b {
+			return a
+		}
+		return b
+	case ComposeProduct:
+		return a * b
+	default:
+		return 0
+	}
+}
+
+// String returns the strategy name.
+func (c ComposeSim) String() string {
+	switch c {
+	case ComposeAverage:
+		return "Average"
+	case ComposeMin:
+		return "Min"
+	case ComposeProduct:
+		return "Product"
+	default:
+		return "Unknown"
+	}
+}
+
+// MatchCompose derives a new match result match: S1↔S3 from match1:
+// S1↔S2 and match2: S2↔S3 sharing schema S2, assuming a transitive
+// nature of the similarity relation. In the relational representation
+// (paper Figure 3c) this is the natural join of the two input tables on
+// the shared schema's elements; similarities combine via sim.
+//
+// When several join paths produce the same (S1, S3) pair, the maximal
+// composed similarity is kept. Elements of S1 or S3 without a match
+// counterpart in S2 are necessarily missed, and m:n join fan-out may
+// return undesirable correspondences (paper Figure 4); combining
+// multiple MatchCompose results compensates both effects.
+func MatchCompose(match1, match2 *simcube.Mapping, sim ComposeSim) *simcube.Mapping {
+	out := simcube.NewMapping(match1.FromSchema, match2.ToSchema)
+	// Index match2 by its S2-side element for the join.
+	byFrom := make(map[string][]simcube.Correspondence)
+	for _, c := range match2.Correspondences() {
+		byFrom[c.From] = append(byFrom[c.From], c)
+	}
+	for _, c1 := range match1.Correspondences() {
+		for _, c2 := range byFrom[c1.To] {
+			v := sim.apply(c1.Sim, c2.Sim)
+			if prev, ok := out.Get(c1.From, c2.To); !ok || v > prev {
+				out.Add(c1.From, c2.To, v)
+			}
+		}
+	}
+	return out
+}

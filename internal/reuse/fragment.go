@@ -1,0 +1,107 @@
+package reuse
+
+import (
+	"strings"
+
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// FragmentMatcher is the reuse-oriented Fragment matcher (paper Section
+// 5): where the Schema matcher reuses match results for entire schemas,
+// Fragment operates on schema fragments. Schemas from the same
+// application domain usually contain many similar fragments (Address,
+// Contact, Item, ...), so confirmed correspondences for one fragment
+// can be transferred to structurally identical occurrences in other
+// schemas.
+//
+// The transfer rule: a stored correspondence (px ↔ py, sim) applies to
+// a pair (p1, p2) of the current match task when p1 shares a fragment
+// suffix (at least minSuffix trailing path segments) with px and p2
+// shares one with py. Transferred similarities are damped by a factor
+// per missing full-path agreement, reflecting the weaker evidence of a
+// fragment-level reuse.
+type FragmentMatcher struct {
+	name  string
+	store Store
+	// minSuffix is the minimal number of trailing segments that must
+	// agree for a fragment transfer (default 2, e.g. "Address.City").
+	minSuffix int
+	// damping scales similarities transferred via fragments rather than
+	// identical full paths (default 0.9).
+	damping float64
+}
+
+// NewFragmentMatcher returns a Fragment matcher reading from store with
+// the default suffix length 2 and damping 0.9.
+func NewFragmentMatcher(name string, store Store) *FragmentMatcher {
+	return &FragmentMatcher{name: name, store: store, minSuffix: 2, damping: 0.9}
+}
+
+// Name implements match.Matcher.
+func (fm *FragmentMatcher) Name() string { return fm.name }
+
+// suffixKey returns the last n segments of a dotted path, or "" when
+// the path is shorter than n segments.
+func suffixKey(path string, n int) string {
+	parts := strings.Split(path, ".")
+	if len(parts) < n {
+		return ""
+	}
+	return strings.Join(parts[len(parts)-n:], ".")
+}
+
+// Match implements match.Matcher: correspondences of every stored
+// mapping not involving s1 or s2 directly are transferred by fragment
+// suffix. The maximal transferred similarity per pair wins.
+func (fm *FragmentMatcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	rows, cols := match.Keys(s1), match.Keys(s2)
+	out := simcube.NewMatrix(rows, cols)
+
+	// Fragment index for the current task's paths.
+	rowsBySuffix := make(map[string][]int)
+	for i, k := range rows {
+		if sk := suffixKey(k, fm.minSuffix); sk != "" {
+			rowsBySuffix[sk] = append(rowsBySuffix[sk], i)
+		}
+	}
+	colsBySuffix := make(map[string][]int)
+	for j, k := range cols {
+		if sk := suffixKey(k, fm.minSuffix); sk != "" {
+			colsBySuffix[sk] = append(colsBySuffix[sk], j)
+		}
+	}
+
+	apply := func(from, to string, sim float64) {
+		sf, st := suffixKey(from, fm.minSuffix), suffixKey(to, fm.minSuffix)
+		if sf == "" || st == "" {
+			return
+		}
+		for _, i := range rowsBySuffix[sf] {
+			for _, j := range colsBySuffix[st] {
+				v := sim * fm.damping
+				if rows[i] == from && cols[j] == to {
+					v = sim // exact path agreement: full evidence
+				}
+				if v > out.Get(i, j) {
+					out.Set(i, j, v)
+				}
+			}
+		}
+	}
+
+	for _, m := range fm.store.AllMappings() {
+		// Skip mappings of the task itself: reuse must predict from
+		// other tasks' results.
+		if (m.FromSchema == s1.Name && m.ToSchema == s2.Name) ||
+			(m.FromSchema == s2.Name && m.ToSchema == s1.Name) {
+			continue
+		}
+		for _, c := range m.Correspondences() {
+			apply(c.From, c.To, c.Sim)
+			apply(c.To, c.From, c.Sim)
+		}
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package reuse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// figure3Mappings builds match1: PO1↔PO2 and match2: PO2↔PO3 from the
+// paper's Figure 3.
+func figure3Mappings() (*simcube.Mapping, *simcube.Mapping) {
+	m1 := simcube.NewMapping("PO1", "PO2")
+	m1.Add("Contact.Name", "Contact.name", 1.0)
+	m1.Add("Contact.Email", "Contact.e-mail", 1.0)
+	m2 := simcube.NewMapping("PO2", "PO3")
+	m2.Add("Contact.name", "Contact.firstName", 0.6)
+	m2.Add("Contact.name", "Contact.lastName", 0.6)
+	m2.Add("Contact.e-mail", "Contact.email", 1.0)
+	return m1, m2
+}
+
+func TestMatchComposeFigure3(t *testing.T) {
+	m1, m2 := figure3Mappings()
+	got := MatchCompose(m1, m2, ComposeAverage)
+	if got.FromSchema != "PO1" || got.ToSchema != "PO3" {
+		t.Fatalf("schemas = %s, %s", got.FromSchema, got.ToSchema)
+	}
+	// Figure 3b: Name↔firstName 0.8, Name↔lastName 0.8, Email↔email 1.0.
+	if sim, ok := got.Get("Contact.Name", "Contact.firstName"); !ok || math.Abs(sim-0.8) > 1e-12 {
+		t.Errorf("Name/firstName = %.2f, %v", sim, ok)
+	}
+	if sim, ok := got.Get("Contact.Name", "Contact.lastName"); !ok || math.Abs(sim-0.8) > 1e-12 {
+		t.Errorf("Name/lastName = %.2f, %v", sim, ok)
+	}
+	if sim, ok := got.Get("Contact.Email", "Contact.email"); !ok || sim != 1.0 {
+		t.Errorf("Email/email = %.2f, %v", sim, ok)
+	}
+	// company has no PO2 counterpart: missed (paper's stated limitation).
+	if got.Contains("Contact.company", "Contact.company") {
+		t.Error("company should be missed by composition")
+	}
+	if got.Len() != 3 {
+		t.Errorf("Len = %d, want 3", got.Len())
+	}
+}
+
+func TestComposeSimStrategies(t *testing.T) {
+	// The paper's contactFirstName ←0.5→ Name ←0.7→ firstName example.
+	m1 := simcube.NewMapping("A", "B")
+	m1.Add("contactFirstName", "Name", 0.5)
+	m2 := simcube.NewMapping("B", "C")
+	m2.Add("Name", "firstName", 0.7)
+
+	avg := MatchCompose(m1, m2, ComposeAverage)
+	if sim, _ := avg.Get("contactFirstName", "firstName"); math.Abs(sim-0.6) > 1e-12 {
+		t.Errorf("Average = %.2f, want 0.6", sim)
+	}
+	prod := MatchCompose(m1, m2, ComposeProduct)
+	if sim, _ := prod.Get("contactFirstName", "firstName"); math.Abs(sim-0.35) > 1e-12 {
+		t.Errorf("Product = %.2f, want 0.35 (the rejected multiply)", sim)
+	}
+	mn := MatchCompose(m1, m2, ComposeMin)
+	if sim, _ := mn.Get("contactFirstName", "firstName"); sim != 0.5 {
+		t.Errorf("Min = %.2f, want 0.5", sim)
+	}
+	if ComposeAverage.String() != "Average" || ComposeMin.String() != "Min" || ComposeProduct.String() != "Product" {
+		t.Error("ComposeSim names wrong")
+	}
+}
+
+func TestMatchComposeFanOut(t *testing.T) {
+	// Figure 4: composition returns all possible matches, m:n fan-out.
+	m1 := simcube.NewMapping("PO1", "PO2")
+	m1.Add("ShipTo.Contact", "Contact", 1)
+	m1.Add("BillTo.Contact", "Contact", 1)
+	m2 := simcube.NewMapping("PO2", "PO3")
+	m2.Add("Contact", "DeliverTo.Contact", 1)
+	m2.Add("Contact", "InvoiceTo.Contact", 1)
+	got := MatchCompose(m1, m2, ComposeAverage)
+	if got.Len() != 4 {
+		t.Errorf("fan-out Len = %d, want 4 (all combinations)", got.Len())
+	}
+}
+
+func TestMatchComposeKeepsBestJoinPath(t *testing.T) {
+	m1 := simcube.NewMapping("A", "B")
+	m1.Add("x", "b1", 0.4)
+	m1.Add("x", "b2", 1.0)
+	m2 := simcube.NewMapping("B", "C")
+	m2.Add("b1", "y", 0.4)
+	m2.Add("b2", "y", 1.0)
+	got := MatchCompose(m1, m2, ComposeAverage)
+	if sim, _ := got.Get("x", "y"); sim != 1.0 {
+		t.Errorf("best join path = %.2f, want 1.0", sim)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	var s MemStore
+	m := simcube.NewMapping("A", "B")
+	m.Add("x", "y", 1)
+	s.Put(m)
+	if s.Len() != 1 || len(s.AllMappings()) != 1 {
+		t.Fatal("Put/Len broken")
+	}
+	names := s.SchemaNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("SchemaNames = %v", names)
+	}
+	// Forward direction.
+	fwd := s.MappingsBetween("A", "B")
+	if len(fwd) != 1 || !fwd[0].Contains("x", "y") {
+		t.Fatal("forward lookup failed")
+	}
+	// Reverse lookup inverts.
+	rev := s.MappingsBetween("B", "A")
+	if len(rev) != 1 || !rev[0].Contains("y", "x") {
+		t.Fatal("reverse lookup should invert")
+	}
+	if got := s.MappingsBetween("A", "Z"); len(got) != 0 {
+		t.Fatal("unrelated lookup should be empty")
+	}
+}
+
+func twoNodeSchema(name string, elems ...string) *schema.Schema {
+	s := schema.New(name)
+	parent := schema.NewNode("Contact")
+	for _, e := range elems {
+		parent.AddChild(&schema.Node{Name: e, TypeName: "xsd:string"})
+	}
+	s.Root.AddChild(parent)
+	return s
+}
+
+func TestSchemaMatcher(t *testing.T) {
+	// PO1↔PO2 and PO2↔PO3 stored; match PO1 against PO3.
+	var store MemStore
+	m1, m2 := figure3Mappings()
+	store.Put(m1)
+	store.Put(m2)
+
+	s1 := twoNodeSchema("PO1", "Name", "Email", "company")
+	s3 := twoNodeSchema("PO3", "firstName", "lastName", "email", "company")
+
+	sm := NewSchemaMatcher("Schema", &store)
+	comps := sm.Compositions("PO1", "PO3")
+	if len(comps) != 1 {
+		t.Fatalf("Compositions = %d, want 1", len(comps))
+	}
+	ctx := match.NewContext()
+	res := sm.Match(ctx, s1, s3)
+	if got := res.GetKey("Contact.Email", "Contact.email"); got != 1 {
+		t.Errorf("Email/email = %.2f, want 1", got)
+	}
+	if got := res.GetKey("Contact.Name", "Contact.firstName"); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Name/firstName = %.2f, want 0.8", got)
+	}
+	if got := res.GetKey("Contact.company", "Contact.company"); got != 0 {
+		t.Errorf("company transfer = %.2f, want 0 (missed)", got)
+	}
+}
+
+func TestSchemaMatcherMultipleIntermediates(t *testing.T) {
+	var store MemStore
+	// Two intermediates, only one of which knows about pair (a, z).
+	viaB1 := simcube.NewMapping("S1", "B")
+	viaB1.Add("Contact.a", "Contact.b", 1)
+	viaB2 := simcube.NewMapping("B", "S2")
+	viaB2.Add("Contact.b", "Contact.z", 1)
+	store.Put(viaB1)
+	store.Put(viaB2)
+	viaC1 := simcube.NewMapping("S1", "C")
+	viaC1.Add("Contact.a", "Contact.c", 1)
+	viaC2 := simcube.NewMapping("C", "S2")
+	// C's mapping misses the counterpart for Contact.c entirely.
+	viaC2.Add("Contact.other", "Contact.w", 1)
+	store.Put(viaC1)
+	store.Put(viaC2)
+
+	s1 := twoNodeSchema("S1", "a", "other")
+	s2 := twoNodeSchema("S2", "z", "w")
+	sm := NewSchemaMatcher("Schema", &store)
+	if got := len(sm.Compositions("S1", "S2")); got != 2 {
+		t.Fatalf("Compositions = %d, want 2", got)
+	}
+	res := sm.Match(match.NewContext(), s1, s2)
+	// Average over two layers: one contributes 1.0, the other 0.
+	if got := res.GetKey("Contact.a", "Contact.z"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("averaged reuse = %.2f, want 0.5", got)
+	}
+	// Min aggregation zeroes it out.
+	sm.SetAggregation(combine.AggSpec{Kind: combine.Min})
+	res = sm.Match(match.NewContext(), s1, s2)
+	if got := res.GetKey("Contact.a", "Contact.z"); got != 0 {
+		t.Errorf("Min-aggregated reuse = %.2f, want 0", got)
+	}
+}
+
+func TestSchemaMatcherNoIntermediates(t *testing.T) {
+	var store MemStore
+	// Only a direct S1↔S2 mapping: Schema must not consult it.
+	direct := simcube.NewMapping("S1", "S2")
+	direct.Add("Contact.a", "Contact.z", 1)
+	store.Put(direct)
+	s1 := twoNodeSchema("S1", "a")
+	s2 := twoNodeSchema("S2", "z")
+	sm := NewSchemaMatcher("Schema", &store)
+	res := sm.Match(match.NewContext(), s1, s2)
+	if got := res.GetKey("Contact.a", "Contact.z"); got != 0 {
+		t.Errorf("direct mapping leaked into reuse: %.2f", got)
+	}
+	if sm.Name() != "Schema" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestSchemaMatcherComposeOverride(t *testing.T) {
+	var store MemStore
+	m1 := simcube.NewMapping("S1", "B")
+	m1.Add("Contact.a", "Contact.b", 0.5)
+	m2 := simcube.NewMapping("B", "S2")
+	m2.Add("Contact.b", "Contact.z", 0.7)
+	store.Put(m1)
+	store.Put(m2)
+	s1 := twoNodeSchema("S1", "a")
+	s2 := twoNodeSchema("S2", "z")
+	sm := NewSchemaMatcher("Schema", &store)
+	sm.SetCompose(ComposeProduct)
+	res := sm.Match(match.NewContext(), s1, s2)
+	if got := res.GetKey("Contact.a", "Contact.z"); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("product compose = %.2f, want 0.35", got)
+	}
+}
+
+func TestFragmentMatcher(t *testing.T) {
+	var store MemStore
+	// A confirmed mapping from an unrelated task with an Address
+	// fragment correspondence.
+	prior := simcube.NewMapping("X", "Y")
+	prior.Add("Vendor.Address.City", "Seller.Address.Town", 1.0)
+	store.Put(prior)
+
+	// S1/S2 both contain Address fragments with the same suffixes.
+	build := func(name, top string, leaf string) *schema.Schema {
+		s := schema.New(name)
+		t1 := schema.NewNode(top)
+		addr := schema.NewNode("Address")
+		addr.AddChild(&schema.Node{Name: leaf, TypeName: "xsd:string"})
+		t1.AddChild(addr)
+		s.Root.AddChild(t1)
+		return s
+	}
+	s1 := build("S1", "Buyer", "City")
+	s2 := build("S2", "Customer", "Town")
+
+	fm := NewFragmentMatcher("Fragment", &store)
+	if fm.Name() != "Fragment" {
+		t.Error("Name wrong")
+	}
+	res := fm.Match(match.NewContext(), s1, s2)
+	got := res.GetKey("Buyer.Address.City", "Customer.Address.Town")
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("fragment transfer = %.2f, want 0.9 (damped)", got)
+	}
+	// Unrelated suffixes get nothing.
+	if res.GetKey("Buyer.Address", "Customer.Address.Town") != 0 {
+		t.Error("non-matching suffix should not transfer")
+	}
+}
+
+func TestFragmentMatcherSkipsOwnTask(t *testing.T) {
+	var store MemStore
+	direct := simcube.NewMapping("S1", "S2")
+	direct.Add("Buyer.Address.City", "Customer.Address.Town", 1.0)
+	store.Put(direct)
+	s1 := schema.New("S1")
+	a := schema.NewNode("Buyer")
+	addr := schema.NewNode("Address")
+	addr.AddChild(&schema.Node{Name: "City"})
+	a.AddChild(addr)
+	s1.Root.AddChild(a)
+	s2 := schema.New("S2")
+	b := schema.NewNode("Customer")
+	addr2 := schema.NewNode("Address")
+	addr2.AddChild(&schema.Node{Name: "Town"})
+	b.AddChild(addr2)
+	s2.Root.AddChild(b)
+
+	fm := NewFragmentMatcher("Fragment", &store)
+	res := fm.Match(match.NewContext(), s1, s2)
+	if res.GetKey("Buyer.Address.City", "Customer.Address.Town") != 0 {
+		t.Error("own task's mapping must be excluded from reuse")
+	}
+}
+
+func TestFragmentExactPathUndamped(t *testing.T) {
+	var store MemStore
+	prior := simcube.NewMapping("X", "Y")
+	prior.Add("Buyer.Address.City", "Customer.Address.Town", 1.0)
+	store.Put(prior)
+	s1 := schema.New("S1")
+	a := schema.NewNode("Buyer")
+	addr := schema.NewNode("Address")
+	addr.AddChild(&schema.Node{Name: "City"})
+	a.AddChild(addr)
+	s1.Root.AddChild(a)
+	s2 := schema.New("S2")
+	b := schema.NewNode("Customer")
+	addr2 := schema.NewNode("Address")
+	addr2.AddChild(&schema.Node{Name: "Town"})
+	b.AddChild(addr2)
+	s2.Root.AddChild(b)
+	fm := NewFragmentMatcher("Fragment", &store)
+	res := fm.Match(match.NewContext(), s1, s2)
+	if got := res.GetKey("Buyer.Address.City", "Customer.Address.Town"); got != 1 {
+		t.Errorf("exact path transfer = %.2f, want 1 (undamped)", got)
+	}
+}
+
+func TestSuffixKey(t *testing.T) {
+	if suffixKey("a.b.c", 2) != "b.c" {
+		t.Error("suffixKey(a.b.c, 2)")
+	}
+	if suffixKey("a", 2) != "" {
+		t.Error("short path should have no suffix key")
+	}
+	if suffixKey("a.b", 2) != "a.b" {
+		t.Error("exact length suffix")
+	}
+}

@@ -1,0 +1,92 @@
+package reuse
+
+import (
+	"repro/internal/combine"
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// SchemaMatcher is the reuse-oriented Schema matcher (paper Section
+// 5.2): given two schemas S1 and S2, it identifies every schema S for
+// which the repository holds a pair of match results relating S with
+// both S1 and S2 (in any order), applies MatchCompose to each such pair
+// to produce an S1↔S2 match result, and combines the multiple results
+// by aggregation into the similarity matrix stored in the cube.
+type SchemaMatcher struct {
+	name    string
+	store   Store
+	compose ComposeSim
+	agg     combine.AggSpec
+}
+
+// NewSchemaMatcher returns a Schema matcher reading from store,
+// composing with Average and aggregating multiple composition results
+// with Average. The display name distinguishes variants such as
+// "SchemaM" (reusing manually confirmed results) and "SchemaA"
+// (reusing automatically derived results); the variants differ only in
+// which mappings their store holds.
+func NewSchemaMatcher(name string, store Store) *SchemaMatcher {
+	return &SchemaMatcher{
+		name:    name,
+		store:   store,
+		compose: ComposeAverage,
+		agg:     combine.AggSpec{Kind: combine.Average},
+	}
+}
+
+// SetCompose overrides the transitive similarity combination.
+func (sm *SchemaMatcher) SetCompose(c ComposeSim) { sm.compose = c }
+
+// SetAggregation overrides the aggregation of multiple MatchCompose
+// results.
+func (sm *SchemaMatcher) SetAggregation(a combine.AggSpec) { sm.agg = a }
+
+// Name implements match.Matcher.
+func (sm *SchemaMatcher) Name() string { return sm.name }
+
+// Compositions returns the MatchCompose results for every usable pair
+// of stored mappings relating s1 and s2 through an intermediate schema.
+func (sm *SchemaMatcher) Compositions(s1Name, s2Name string) []*simcube.Mapping {
+	var out []*simcube.Mapping
+	for _, mid := range sm.store.SchemaNames() {
+		if mid == s1Name || mid == s2Name {
+			continue
+		}
+		left := sm.store.MappingsBetween(s1Name, mid)
+		right := sm.store.MappingsBetween(mid, s2Name)
+		for _, m1 := range left {
+			for _, m2 := range right {
+				out = append(out, MatchCompose(m1, m2, sm.compose))
+			}
+		}
+	}
+	return out
+}
+
+// Match implements match.Matcher: the aggregated MatchCompose results
+// over all intermediate schemas. Directly stored S1↔S2 results are
+// deliberately not consulted — the matcher predicts matches from
+// *other* tasks' results, which is what the evaluation measures.
+func (sm *SchemaMatcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	rows, cols := match.Keys(s1), match.Keys(s2)
+	comps := sm.Compositions(s1.Name, s2.Name)
+	if len(comps) == 0 {
+		return simcube.NewMatrix(rows, cols)
+	}
+	cube := simcube.NewCube(rows, cols)
+	for i, comp := range comps {
+		layer := cube.NewLayer(sm.name + "#" + string(rune('0'+i%10)))
+		for _, c := range comp.Correspondences() {
+			i1, j1 := layer.RowIndex(c.From), layer.ColIndex(c.To)
+			if i1 >= 0 && j1 >= 0 {
+				layer.Set(i1, j1, c.Sim)
+			}
+		}
+	}
+	m, err := sm.agg.Apply(cube)
+	if err != nil {
+		return simcube.NewMatrix(rows, cols)
+	}
+	return m
+}

@@ -1,0 +1,67 @@
+package reuse
+
+import (
+	"sort"
+
+	"repro/internal/simcube"
+)
+
+// Store provides access to the previously obtained match results
+// maintained in the repository. Implementations must return mappings
+// normalized to the requested direction.
+type Store interface {
+	// SchemaNames lists all schema names that appear in stored
+	// mappings, sorted.
+	SchemaNames() []string
+	// MappingsBetween returns the stored mappings between the two named
+	// schemas, inverted if necessary so that FromSchema == from. The
+	// result is empty when none exist.
+	MappingsBetween(from, to string) []*simcube.Mapping
+	// AllMappings returns every stored mapping.
+	AllMappings() []*simcube.Mapping
+}
+
+// MemStore is an in-memory Store, used directly in tests and embedded
+// by the repository-backed store. The zero value is empty and usable.
+type MemStore struct {
+	mappings []*simcube.Mapping
+}
+
+// Put stores a mapping. Mappings accumulate; the Schema matcher
+// considers every stored pair of results.
+func (s *MemStore) Put(m *simcube.Mapping) { s.mappings = append(s.mappings, m) }
+
+// SchemaNames implements Store.
+func (s *MemStore) SchemaNames() []string {
+	seen := make(map[string]bool)
+	for _, m := range s.mappings {
+		seen[m.FromSchema] = true
+		seen[m.ToSchema] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MappingsBetween implements Store.
+func (s *MemStore) MappingsBetween(from, to string) []*simcube.Mapping {
+	var out []*simcube.Mapping
+	for _, m := range s.mappings {
+		switch {
+		case m.FromSchema == from && m.ToSchema == to:
+			out = append(out, m)
+		case m.FromSchema == to && m.ToSchema == from:
+			out = append(out, m.Invert())
+		}
+	}
+	return out
+}
+
+// AllMappings implements Store.
+func (s *MemStore) AllMappings() []*simcube.Mapping { return s.mappings }
+
+// Len returns the number of stored mappings.
+func (s *MemStore) Len() int { return len(s.mappings) }

@@ -1,0 +1,146 @@
+package schema
+
+import "strings"
+
+// Path identifies a schema element by its containment chain from the
+// root: the match unit of COMA. Two paths over the same terminal node
+// are distinct elements when the node is a shared fragment.
+type Path struct {
+	nodes []*Node
+}
+
+// PathOf builds a path from an explicit node chain. It is intended for
+// tests and importers; Schema.Paths is the normal producer.
+func PathOf(nodes ...*Node) Path { return Path{nodes: nodes} }
+
+// Nodes returns the node chain, outermost first. The returned slice must
+// not be modified.
+func (p Path) Nodes() []*Node { return p.nodes }
+
+// Len returns the number of nodes on the path (its depth).
+func (p Path) Len() int { return len(p.nodes) }
+
+// Leaf returns the terminal node of the path (which need not be a leaf
+// of the schema graph; the name mirrors the path ending).
+func (p Path) Leaf() *Node {
+	if len(p.nodes) == 0 {
+		return nil
+	}
+	return p.nodes[len(p.nodes)-1]
+}
+
+// Parent returns the path shortened by its terminal node, and false when
+// p has no parent (top-level element).
+func (p Path) Parent() (Path, bool) {
+	if len(p.nodes) <= 1 {
+		return Path{}, false
+	}
+	return Path{nodes: p.nodes[:len(p.nodes)-1]}, true
+}
+
+// Name returns the terminal element's name.
+func (p Path) Name() string {
+	if n := p.Leaf(); n != nil {
+		return n.Name
+	}
+	return ""
+}
+
+// String renders the path in dotted form, e.g.
+// "ShipTo.shipToCity". The schema root is not part of the path.
+func (p Path) String() string {
+	parts := make([]string, len(p.nodes))
+	for i, n := range p.nodes {
+		parts[i] = n.Name
+	}
+	return strings.Join(parts, ".")
+}
+
+// LongName concatenates all element names along the path into a single
+// string without separators; the NamePath matcher tokenizes this (paper
+// Section 4.2).
+func (p Path) LongName() string {
+	var b strings.Builder
+	for _, n := range p.nodes {
+		b.WriteString(n.Name)
+	}
+	return b.String()
+}
+
+// Names returns the element names along the path, outermost first.
+func (p Path) Names() []string {
+	out := make([]string, len(p.nodes))
+	for i, n := range p.nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// Equal reports whether two paths traverse the same node chain.
+func (p Path) Equal(q Path) bool {
+	if len(p.nodes) != len(q.nodes) {
+		return false
+	}
+	for i := range p.nodes {
+		if p.nodes[i] != q.nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is a (proper or equal) leading sub-chain
+// of p.
+func (p Path) HasPrefix(q Path) bool {
+	if len(q.nodes) > len(p.nodes) {
+		return false
+	}
+	for i := range q.nodes {
+		if p.nodes[i] != q.nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Extend returns p with one more node appended.
+func (p Path) Extend(n *Node) Path {
+	nodes := make([]*Node, len(p.nodes)+1)
+	copy(nodes, p.nodes)
+	nodes[len(p.nodes)] = n
+	return Path{nodes: nodes}
+}
+
+// ChildPaths returns one path per containment child of the terminal
+// node, in declaration order.
+func (p Path) ChildPaths() []Path {
+	leaf := p.Leaf()
+	if leaf == nil {
+		return nil
+	}
+	out := make([]Path, 0, len(leaf.Children()))
+	for _, c := range leaf.Children() {
+		out = append(out, p.Extend(c))
+	}
+	return out
+}
+
+// LeafPaths returns the paths extending p down to every leaf reachable
+// from its terminal node (the element set used by the Leaves matcher).
+// If the terminal node is itself a leaf, the result is {p}.
+func (p Path) LeafPaths() []Path {
+	var out []Path
+	var walk func(cur Path)
+	walk = func(cur Path) {
+		leaf := cur.Leaf()
+		if leaf.IsLeaf() {
+			out = append(out, cur)
+			return
+		}
+		for _, c := range leaf.Children() {
+			walk(cur.Extend(c))
+		}
+	}
+	walk(p)
+	return out
+}

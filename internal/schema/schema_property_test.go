@@ -1,0 +1,94 @@
+package schema
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random schema DAG: a forest with occasional shared
+// fragments, always valid by construction.
+func randomDAG(r *rand.Rand) *Schema {
+	s := New("rand")
+	levels := [][]*Node{}
+	depth := 2 + r.Intn(4)
+	for d := 0; d < depth; d++ {
+		width := 1 + r.Intn(5)
+		level := make([]*Node, width)
+		for i := range level {
+			level[i] = NewNode("n" + strconv.Itoa(d) + "_" + strconv.Itoa(i))
+			if d == depth-1 {
+				level[i].TypeName = "xsd:string"
+			}
+		}
+		levels = append(levels, level)
+	}
+	for _, n := range levels[0] {
+		s.Root.AddChild(n)
+	}
+	// Each node of level d gets 1..3 distinct children from level d+1;
+	// children may be shared between parents (DAG).
+	for d := 0; d+1 < depth; d++ {
+		for _, parent := range levels[d] {
+			k := 1 + r.Intn(3)
+			seen := map[int]bool{}
+			for c := 0; c < k; c++ {
+				idx := r.Intn(len(levels[d+1]))
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				parent.AddChild(levels[d+1][idx])
+			}
+		}
+	}
+	return s
+}
+
+// TestPropertyPathInvariants validates structural invariants over
+// random DAGs:
+//   - Validate passes (construction is acyclic)
+//   - every path's parent chain is itself an enumerated path
+//   - path keys are unique
+//   - leaf + inner path counts partition the total
+//   - LeafPaths of every path stays within the enumeration
+func TestPropertyPathInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomDAG(r)
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		paths := s.Paths()
+		byKey := make(map[string]bool, len(paths))
+		for _, p := range paths {
+			if byKey[p.String()] {
+				return false // duplicate key
+			}
+			byKey[p.String()] = true
+		}
+		for _, p := range paths {
+			if parent, ok := p.Parent(); ok && !byKey[parent.String()] {
+				return false // orphan
+			}
+			for _, lp := range p.LeafPaths() {
+				if !byKey[lp.String()] {
+					return false
+				}
+				if !lp.HasPrefix(p) {
+					return false
+				}
+			}
+		}
+		if len(s.LeafPaths())+len(s.InnerPaths()) != len(paths) {
+			return false
+		}
+		// Stats agree with direct enumeration.
+		st := ComputeStats(s)
+		return st.Paths == len(paths) && st.Nodes == len(s.Nodes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

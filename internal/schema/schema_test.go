@@ -1,0 +1,245 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPO2 constructs the running example XML schema of Figure 1:
+// PO2 with DeliverTo/BillTo sharing an Address fragment.
+func buildPO2() *Schema {
+	s := New("PO2")
+	deliver := NewNode("DeliverTo")
+	bill := NewNode("BillTo")
+	addr := NewNode("Address")
+	street := &Node{Name: "Street", TypeName: "xsd:string"}
+	city := &Node{Name: "City", TypeName: "xsd:string"}
+	zip := &Node{Name: "Zip", TypeName: "xsd:decimal"}
+	addr.AddChild(street)
+	addr.AddChild(city)
+	addr.AddChild(zip)
+	deliver.AddChild(addr)
+	bill.AddChild(addr)
+	s.Root.AddChild(deliver)
+	s.Root.AddChild(bill)
+	return s
+}
+
+func buildPO1() *Schema {
+	s := New("PO1")
+	ship := NewNode("ShipTo")
+	for _, c := range []struct{ name, typ string }{
+		{"poNo", "INT"}, {"custNo", "INT"},
+		{"shipToStreet", "VARCHAR(200)"}, {"shipToCity", "VARCHAR(200)"}, {"shipToZip", "VARCHAR(20)"},
+	} {
+		ship.AddChild(&Node{Name: c.name, TypeName: c.typ, Kind: ElemColumn})
+	}
+	cust := NewNode("Customer")
+	for _, c := range []struct{ name, typ string }{
+		{"custNo", "INT"}, {"custName", "VARCHAR(200)"},
+		{"custStreet", "VARCHAR(200)"}, {"custCity", "VARCHAR(200)"}, {"custZip", "VARCHAR(20)"},
+	} {
+		cust.AddChild(&Node{Name: c.name, TypeName: c.typ, Kind: ElemColumn})
+	}
+	s.Root.AddChild(ship)
+	s.Root.AddChild(cust)
+	return s
+}
+
+func TestPathsSharedFragment(t *testing.T) {
+	s := buildPO2()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	paths := s.Paths()
+	// 2 top-level + 2 Address occurrences + 2*3 leaves = 10 paths.
+	if len(paths) != 10 {
+		t.Fatalf("got %d paths, want 10", len(paths))
+	}
+	// The shared Address node produces City under both contexts.
+	want := map[string]bool{
+		"DeliverTo.Address.City": false,
+		"BillTo.Address.City":    false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p.String()]; ok {
+			want[p.String()] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing path %s", k)
+		}
+	}
+	// Distinct nodes: DeliverTo, BillTo, Address, Street, City, Zip = 6.
+	if n := len(s.Nodes()); n != 6 {
+		t.Errorf("got %d nodes, want 6", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := buildPO2()
+	st := ComputeStats(s)
+	if st.Nodes != 6 || st.Paths != 10 {
+		t.Errorf("nodes/paths = %d/%d, want 6/10", st.Nodes, st.Paths)
+	}
+	if st.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", st.MaxDepth)
+	}
+	if st.InnerNodes != 3 || st.LeafNodes != 3 {
+		t.Errorf("inner/leaf nodes = %d/%d, want 3/3", st.InnerNodes, st.LeafNodes)
+	}
+	if st.InnerPaths != 4 || st.LeafPaths != 6 {
+		t.Errorf("inner/leaf paths = %d/%d, want 4/6", st.InnerPaths, st.LeafPaths)
+	}
+}
+
+func TestPathAccessors(t *testing.T) {
+	s := buildPO2()
+	p, ok := s.FindPath("DeliverTo.Address.City")
+	if !ok {
+		t.Fatal("FindPath failed")
+	}
+	if p.Name() != "City" || p.Len() != 3 {
+		t.Errorf("Name/Len = %s/%d", p.Name(), p.Len())
+	}
+	if p.LongName() != "DeliverToAddressCity" {
+		t.Errorf("LongName = %s", p.LongName())
+	}
+	parent, ok := p.Parent()
+	if !ok || parent.String() != "DeliverTo.Address" {
+		t.Errorf("Parent = %s, %v", parent, ok)
+	}
+	if !p.HasPrefix(parent) {
+		t.Error("HasPrefix(parent) = false")
+	}
+	top, _ := s.FindPath("DeliverTo")
+	if _, ok := top.Parent(); ok {
+		t.Error("top-level path should have no parent")
+	}
+	if got := strings.Join(p.Names(), "/"); got != "DeliverTo/Address/City" {
+		t.Errorf("Names = %s", got)
+	}
+}
+
+func TestChildAndLeafPaths(t *testing.T) {
+	s := buildPO2()
+	deliver, _ := s.FindPath("DeliverTo")
+	kids := deliver.ChildPaths()
+	if len(kids) != 1 || kids[0].String() != "DeliverTo.Address" {
+		t.Fatalf("ChildPaths = %v", kids)
+	}
+	leaves := deliver.LeafPaths()
+	if len(leaves) != 3 {
+		t.Fatalf("got %d leaf paths, want 3", len(leaves))
+	}
+	if leaves[1].String() != "DeliverTo.Address.City" {
+		t.Errorf("leaves[1] = %s", leaves[1])
+	}
+	// A leaf path's LeafPaths is itself.
+	city := leaves[1]
+	self := city.LeafPaths()
+	if len(self) != 1 || !self[0].Equal(city) {
+		t.Errorf("LeafPaths of leaf = %v", self)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	s := New("bad")
+	a := NewNode("A")
+	b := NewNode("B")
+	a.AddChild(b)
+	b.AddChild(a)
+	s.Root.AddChild(a)
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestValidateDuplicateChild(t *testing.T) {
+	s := New("dup")
+	a := NewNode("A")
+	b := NewNode("B")
+	a.AddChild(b)
+	a.AddChild(b)
+	s.Root.AddChild(a)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("expected duplicate-child error, got %v", err)
+	}
+}
+
+func TestValidateUnnamed(t *testing.T) {
+	s := New("anon")
+	s.Root.AddChild(&Node{})
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected unnamed-node error")
+	}
+}
+
+func TestInvalidateRecomputesPaths(t *testing.T) {
+	s := buildPO1()
+	if len(s.Paths()) != 12 {
+		t.Fatalf("PO1 paths = %d, want 12", len(s.Paths()))
+	}
+	extra := &Node{Name: "orderDate", TypeName: "DATE"}
+	s.Root.Children()[0].AddChild(extra)
+	if len(s.Paths()) != 12 {
+		t.Fatal("cache should still be in effect")
+	}
+	s.Invalidate()
+	if len(s.Paths()) != 13 {
+		t.Fatalf("after Invalidate paths = %d, want 13", len(s.Paths()))
+	}
+}
+
+func TestAnnotationsAndRefs(t *testing.T) {
+	s := buildPO1()
+	ship := s.Root.Children()[0]
+	cust := s.Root.Children()[1]
+	ship.Children()[1].AddRef(cust) // custNo references Customer
+	if got := ship.Children()[1].Refs(); len(got) != 1 || got[0] != cust {
+		t.Fatalf("Refs = %v", got)
+	}
+	n := ship.Children()[0]
+	if n.Annotation("primaryKey") != "" {
+		t.Error("unset annotation should be empty")
+	}
+	n.SetAnnotation("primaryKey", "true")
+	if n.Annotation("primaryKey") != "true" {
+		t.Error("annotation roundtrip failed")
+	}
+}
+
+func TestParentsTracking(t *testing.T) {
+	s := buildPO2()
+	var addr *Node
+	for _, n := range s.Nodes() {
+		if n.Name == "Address" {
+			addr = n
+		}
+	}
+	if addr == nil || len(addr.Parents()) != 2 {
+		t.Fatalf("Address parents = %v", addr.Parents())
+	}
+}
+
+func TestSortChildren(t *testing.T) {
+	s := buildPO1()
+	s.SortChildren()
+	top := s.Root.Children()
+	if top[0].Name != "Customer" || top[1].Name != "ShipTo" {
+		t.Errorf("top-level order = %s, %s", top[0].Name, top[1].Name)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := buildPO2()
+	out := s.String()
+	if !strings.Contains(out, "City : xsd:string") {
+		t.Errorf("String() missing typed leaf:\n%s", out)
+	}
+	// Shared fragment rendered under both parents.
+	if strings.Count(out, "Address") != 2 {
+		t.Errorf("expected Address twice:\n%s", out)
+	}
+}

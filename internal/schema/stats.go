@@ -1,0 +1,40 @@
+package schema
+
+// Stats summarizes the structural characteristics the paper reports for
+// its test schemas (Table 5): depth, node and path counts, split into
+// inner and leaf elements.
+type Stats struct {
+	Name       string
+	MaxDepth   int
+	Nodes      int
+	Paths      int
+	InnerNodes int
+	InnerPaths int
+	LeafNodes  int
+	LeafPaths  int
+}
+
+// ComputeStats derives the Table 5 characteristics for s.
+func ComputeStats(s *Schema) Stats {
+	st := Stats{Name: s.Name}
+	for _, n := range s.Nodes() {
+		st.Nodes++
+		if n.IsLeaf() {
+			st.LeafNodes++
+		} else {
+			st.InnerNodes++
+		}
+	}
+	for _, p := range s.Paths() {
+		st.Paths++
+		if p.Len() > st.MaxDepth {
+			st.MaxDepth = p.Len()
+		}
+		if p.Leaf().IsLeaf() {
+			st.LeafPaths++
+		} else {
+			st.InnerPaths++
+		}
+	}
+	return st
+}

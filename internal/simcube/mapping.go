@@ -1,0 +1,189 @@
+package simcube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Correspondence is one mapping element: a 1:1 correspondence between an
+// element (path) of each schema together with the plausibility of their
+// correspondence, a similarity between 0 and 1.
+type Correspondence struct {
+	From string  // S1 element path
+	To   string  // S2 element path
+	Sim  float64 // plausibility in [0,1]
+}
+
+// String renders the correspondence like the paper's tables.
+func (c Correspondence) String() string {
+	return fmt.Sprintf("%s <-> %s (%.2f)", c.From, c.To, c.Sim)
+}
+
+// Mapping is a match result: a set of correspondences between two
+// schemas, the relational representation used by MatchCompose (paper
+// Figure 3c). The zero value is an empty mapping; set the schema names
+// before storing it in the repository.
+type Mapping struct {
+	FromSchema string
+	ToSchema   string
+	corrs      []Correspondence
+	index      map[[2]string]int
+}
+
+// NewMapping returns an empty mapping between the named schemas.
+func NewMapping(from, to string) *Mapping {
+	return &Mapping{FromSchema: from, ToSchema: to}
+}
+
+// Add records a correspondence. A second Add for the same (From, To)
+// pair overwrites the similarity (last write wins).
+func (m *Mapping) Add(from, to string, sim float64) {
+	if m.index == nil {
+		m.index = make(map[[2]string]int)
+	}
+	key := [2]string{from, to}
+	if i, ok := m.index[key]; ok {
+		m.corrs[i].Sim = sim
+		return
+	}
+	m.index[key] = len(m.corrs)
+	m.corrs = append(m.corrs, Correspondence{From: from, To: to, Sim: sim})
+}
+
+// Get returns the similarity recorded for (from, to) and whether the
+// pair is present.
+func (m *Mapping) Get(from, to string) (float64, bool) {
+	if m == nil || m.index == nil {
+		return 0, false
+	}
+	if i, ok := m.index[[2]string{from, to}]; ok {
+		return m.corrs[i].Sim, true
+	}
+	return 0, false
+}
+
+// Contains reports whether the pair is present.
+func (m *Mapping) Contains(from, to string) bool {
+	_, ok := m.Get(from, to)
+	return ok
+}
+
+// Len returns the number of correspondences.
+func (m *Mapping) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.corrs)
+}
+
+// Correspondences returns the correspondences in insertion order. Do
+// not modify the returned slice.
+func (m *Mapping) Correspondences() []Correspondence {
+	if m == nil {
+		return nil
+	}
+	return m.corrs
+}
+
+// ByFrom returns all correspondences with the given S1 element.
+func (m *Mapping) ByFrom(from string) []Correspondence {
+	var out []Correspondence
+	for _, c := range m.corrs {
+		if c.From == from {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByTo returns all correspondences with the given S2 element.
+func (m *Mapping) ByTo(to string) []Correspondence {
+	var out []Correspondence
+	for _, c := range m.corrs {
+		if c.To == to {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FromElements returns the distinct matched S1 elements.
+func (m *Mapping) FromElements() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range m.corrs {
+		if !seen[c.From] {
+			seen[c.From] = true
+			out = append(out, c.From)
+		}
+	}
+	return out
+}
+
+// ToElements returns the distinct matched S2 elements.
+func (m *Mapping) ToElements() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range m.corrs {
+		if !seen[c.To] {
+			seen[c.To] = true
+			out = append(out, c.To)
+		}
+	}
+	return out
+}
+
+// Invert returns the mapping with match direction reversed.
+func (m *Mapping) Invert() *Mapping {
+	inv := NewMapping(m.ToSchema, m.FromSchema)
+	for _, c := range m.corrs {
+		inv.Add(c.To, c.From, c.Sim)
+	}
+	return inv
+}
+
+// Clone returns a deep copy.
+func (m *Mapping) Clone() *Mapping {
+	c := NewMapping(m.FromSchema, m.ToSchema)
+	for _, corr := range m.corrs {
+		c.Add(corr.From, corr.To, corr.Sim)
+	}
+	return c
+}
+
+// Sort orders correspondences by (From, To); useful for deterministic
+// output.
+func (m *Mapping) Sort() {
+	sort.Slice(m.corrs, func(i, j int) bool {
+		if m.corrs[i].From != m.corrs[j].From {
+			return m.corrs[i].From < m.corrs[j].From
+		}
+		return m.corrs[i].To < m.corrs[j].To
+	})
+	for i, c := range m.corrs {
+		m.index[[2]string{c.From, c.To}] = i
+	}
+}
+
+// Intersect returns the correspondences present in both mappings
+// (similarities taken from m), the "Both" direction semantics.
+func (m *Mapping) Intersect(other *Mapping) *Mapping {
+	out := NewMapping(m.FromSchema, m.ToSchema)
+	for _, c := range m.corrs {
+		if other.Contains(c.From, c.To) {
+			out.Add(c.From, c.To, c.Sim)
+		}
+	}
+	return out
+}
+
+// String renders the mapping one correspondence per line.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s <-> %s (%d correspondences)\n", m.FromSchema, m.ToSchema, m.Len())
+	for _, c := range m.corrs {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}

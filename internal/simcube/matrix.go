@@ -1,0 +1,211 @@
+// Package simcube implements COMA's central intermediate data
+// structures (Do & Rahm, VLDB 2002, Sections 3 and 6): the k × m × n
+// similarity cube produced by executing k matchers over m S1 elements
+// and n S2 elements, the m × n similarity matrix obtained by
+// aggregation, and the match result (mapping) produced by selection.
+package simcube
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is an m × n similarity matrix over two ordered element-key
+// sets. Keys are path strings; values are similarities in [0, 1].
+type Matrix struct {
+	rowKeys []string
+	colKeys []string
+	rowIdx  map[string]int
+	colIdx  map[string]int
+	data    []float64 // row-major
+}
+
+// NewMatrix returns a zero-filled matrix over the given key sets. The
+// key slices are captured, not copied; callers must not mutate them.
+func NewMatrix(rowKeys, colKeys []string) *Matrix {
+	m := &Matrix{
+		rowKeys: rowKeys,
+		colKeys: colKeys,
+		rowIdx:  make(map[string]int, len(rowKeys)),
+		colIdx:  make(map[string]int, len(colKeys)),
+		data:    make([]float64, len(rowKeys)*len(colKeys)),
+	}
+	for i, k := range rowKeys {
+		m.rowIdx[k] = i
+	}
+	for j, k := range colKeys {
+		m.colIdx[k] = j
+	}
+	return m
+}
+
+// Rows returns the number of rows (S1 elements).
+func (m *Matrix) Rows() int { return len(m.rowKeys) }
+
+// Cols returns the number of columns (S2 elements).
+func (m *Matrix) Cols() int { return len(m.colKeys) }
+
+// RowKeys returns the ordered row keys. Do not modify.
+func (m *Matrix) RowKeys() []string { return m.rowKeys }
+
+// ColKeys returns the ordered column keys. Do not modify.
+func (m *Matrix) ColKeys() []string { return m.colKeys }
+
+// Get returns the similarity at (i, j).
+func (m *Matrix) Get(i, j int) float64 { return m.data[i*len(m.colKeys)+j] }
+
+// Set stores a similarity at (i, j), clamped to [0, 1]. NaN is stored
+// as 0.
+func (m *Matrix) Set(i, j int, v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	m.data[i*len(m.colKeys)+j] = v
+}
+
+// RowIndex returns the index of a row key, or -1.
+func (m *Matrix) RowIndex(key string) int {
+	if i, ok := m.rowIdx[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColIndex returns the index of a column key, or -1.
+func (m *Matrix) ColIndex(key string) int {
+	if j, ok := m.colIdx[key]; ok {
+		return j
+	}
+	return -1
+}
+
+// GetKey returns the similarity for a key pair; missing keys yield 0.
+func (m *Matrix) GetKey(row, col string) float64 {
+	i, j := m.RowIndex(row), m.ColIndex(col)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return m.Get(i, j)
+}
+
+// SetKey stores a similarity for a key pair; missing keys are an error.
+func (m *Matrix) SetKey(row, col string, v float64) error {
+	i, j := m.RowIndex(row), m.ColIndex(col)
+	if i < 0 {
+		return fmt.Errorf("simcube: unknown row key %q", row)
+	}
+	if j < 0 {
+		return fmt.Errorf("simcube: unknown column key %q", col)
+	}
+	m.Set(i, j, v)
+	return nil
+}
+
+// Fill sets every cell from f(i, j).
+func (m *Matrix) Fill(f func(i, j int) float64) {
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, f(i, j))
+		}
+	}
+}
+
+// Transpose returns a new matrix with rows and columns exchanged.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.colKeys, m.rowKeys)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			t.Set(j, i, m.Get(i, j))
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy of the matrix sharing key slices.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rowKeys, m.colKeys)
+	copy(c.data, m.data)
+	return c
+}
+
+// Cube is the k × m × n similarity cube: one layer (Matrix) per matcher
+// over shared element-key sets. It is the unit stored in the repository
+// between the matcher execution and combination phases.
+type Cube struct {
+	rowKeys []string
+	colKeys []string
+	names   []string
+	layers  []*Matrix
+}
+
+// NewCube returns an empty cube over the given key sets.
+func NewCube(rowKeys, colKeys []string) *Cube {
+	return &Cube{rowKeys: rowKeys, colKeys: colKeys}
+}
+
+// RowKeys returns the ordered S1 element keys. Do not modify.
+func (c *Cube) RowKeys() []string { return c.rowKeys }
+
+// ColKeys returns the ordered S2 element keys. Do not modify.
+func (c *Cube) ColKeys() []string { return c.colKeys }
+
+// Matchers returns the layer names in insertion order. Do not modify.
+func (c *Cube) Matchers() []string { return c.names }
+
+// Layers returns the number of matcher layers.
+func (c *Cube) Layers() int { return len(c.layers) }
+
+// AddLayer appends a matcher's result matrix. The matrix must be over
+// the cube's key sets.
+func (c *Cube) AddLayer(matcher string, m *Matrix) error {
+	if m.Rows() != len(c.rowKeys) || m.Cols() != len(c.colKeys) {
+		return fmt.Errorf("simcube: layer %q is %dx%d, cube is %dx%d",
+			matcher, m.Rows(), m.Cols(), len(c.rowKeys), len(c.colKeys))
+	}
+	c.names = append(c.names, matcher)
+	c.layers = append(c.layers, m)
+	return nil
+}
+
+// NewLayer allocates, registers and returns a fresh zero layer.
+func (c *Cube) NewLayer(matcher string) *Matrix {
+	m := NewMatrix(c.rowKeys, c.colKeys)
+	c.names = append(c.names, matcher)
+	c.layers = append(c.layers, m)
+	return m
+}
+
+// Layer returns the layer with the given matcher name, or nil.
+func (c *Cube) Layer(matcher string) *Matrix {
+	for i, n := range c.names {
+		if n == matcher {
+			return c.layers[i]
+		}
+	}
+	return nil
+}
+
+// LayerAt returns the i-th layer.
+func (c *Cube) LayerAt(i int) *Matrix { return c.layers[i] }
+
+// Aggregate folds all layers into a single matrix cell-by-cell using f,
+// which receives the per-matcher similarity values for one element pair
+// (reused buffer; f must not retain it).
+func (c *Cube) Aggregate(f func(vals []float64) float64) *Matrix {
+	out := NewMatrix(c.rowKeys, c.colKeys)
+	if len(c.layers) == 0 {
+		return out
+	}
+	vals := make([]float64, len(c.layers))
+	for i := range c.rowKeys {
+		for j := range c.colKeys {
+			for k, l := range c.layers {
+				vals[k] = l.Get(i, j)
+			}
+			out.Set(i, j, f(vals))
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package simcube
+
+// Set operations on mappings, used by interactive workflows (diffing
+// two proposals, merging a reviewer's additions) and by the evaluation.
+
+// Union returns all correspondences of m and other; for pairs present
+// in both, the maximal similarity wins.
+func (m *Mapping) Union(other *Mapping) *Mapping {
+	out := NewMapping(m.FromSchema, m.ToSchema)
+	for _, c := range m.Correspondences() {
+		out.Add(c.From, c.To, c.Sim)
+	}
+	for _, c := range other.Correspondences() {
+		if prev, ok := out.Get(c.From, c.To); !ok || c.Sim > prev {
+			out.Add(c.From, c.To, c.Sim)
+		}
+	}
+	return out
+}
+
+// Diff returns the correspondences of m that are absent from other
+// (similarities from m).
+func (m *Mapping) Diff(other *Mapping) *Mapping {
+	out := NewMapping(m.FromSchema, m.ToSchema)
+	for _, c := range m.Correspondences() {
+		if !other.Contains(c.From, c.To) {
+			out.Add(c.From, c.To, c.Sim)
+		}
+	}
+	return out
+}
+
+// Filter returns the correspondences satisfying keep.
+func (m *Mapping) Filter(keep func(Correspondence) bool) *Mapping {
+	out := NewMapping(m.FromSchema, m.ToSchema)
+	for _, c := range m.Correspondences() {
+		if keep(c) {
+			out.Add(c.From, c.To, c.Sim)
+		}
+	}
+	return out
+}
+
+// AboveThreshold returns the correspondences with similarity strictly
+// above t.
+func (m *Mapping) AboveThreshold(t float64) *Mapping {
+	return m.Filter(func(c Correspondence) bool { return c.Sim > t })
+}

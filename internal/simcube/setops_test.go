@@ -1,0 +1,78 @@
+package simcube
+
+import "testing"
+
+func pair(a, b string, sim float64) func(*Mapping) {
+	return func(m *Mapping) { m.Add(a, b, sim) }
+}
+
+func build(adds ...func(*Mapping)) *Mapping {
+	m := NewMapping("A", "B")
+	for _, f := range adds {
+		f(m)
+	}
+	return m
+}
+
+func TestUnion(t *testing.T) {
+	a := build(pair("x", "1", 0.5), pair("y", "2", 0.9))
+	b := build(pair("x", "1", 0.7), pair("z", "3", 0.4))
+	u := a.Union(b)
+	if u.Len() != 3 {
+		t.Fatalf("union len = %d", u.Len())
+	}
+	if sim, _ := u.Get("x", "1"); sim != 0.7 {
+		t.Errorf("union should keep max sim, got %.2f", sim)
+	}
+	if !u.Contains("z", "3") || !u.Contains("y", "2") {
+		t.Error("union lost members")
+	}
+	// Union must not mutate the receivers.
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Error("union mutated inputs")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := build(pair("x", "1", 0.5), pair("y", "2", 0.9))
+	b := build(pair("x", "1", 0.7))
+	d := a.Diff(b)
+	if d.Len() != 1 || !d.Contains("y", "2") {
+		t.Fatalf("diff = %v", d.Correspondences())
+	}
+	// Diff against empty is identity.
+	if a.Diff(NewMapping("A", "B")).Len() != a.Len() {
+		t.Error("diff against empty should be identity")
+	}
+}
+
+func TestFilterAndThreshold(t *testing.T) {
+	a := build(pair("x", "1", 0.5), pair("y", "2", 0.9), pair("z", "3", 0.3))
+	high := a.AboveThreshold(0.4)
+	if high.Len() != 2 || high.Contains("z", "3") {
+		t.Fatalf("threshold filter = %v", high.Correspondences())
+	}
+	// Strict inequality.
+	if a.AboveThreshold(0.9).Len() != 0 {
+		t.Error("threshold should be strict")
+	}
+	from := a.Filter(func(c Correspondence) bool { return c.From == "x" })
+	if from.Len() != 1 || !from.Contains("x", "1") {
+		t.Error("predicate filter wrong")
+	}
+}
+
+func TestSetOpsRoundtrip(t *testing.T) {
+	// (a ∖ b) ∪ (a ∩ b) == a (as a set of pairs).
+	a := build(pair("x", "1", 0.5), pair("y", "2", 0.9), pair("z", "3", 0.3))
+	b := build(pair("y", "2", 0.8), pair("q", "7", 0.6))
+	recon := a.Diff(b).Union(a.Intersect(b))
+	if recon.Len() != a.Len() {
+		t.Fatalf("reconstruction len = %d, want %d", recon.Len(), a.Len())
+	}
+	for _, c := range a.Correspondences() {
+		if !recon.Contains(c.From, c.To) {
+			t.Errorf("pair %s lost", c)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package simcube
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func keys(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + string(rune('a'+i))
+	}
+	return out
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(keys("r", 3), keys("c", 2))
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 1, 0.5)
+	if m.Get(1, 1) != 0.5 {
+		t.Error("Set/Get roundtrip failed")
+	}
+	if m.GetKey("rb", "cb") != 0.5 {
+		t.Error("GetKey failed")
+	}
+	if err := m.SetKey("ra", "ca", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(0, 0) != 0.25 {
+		t.Error("SetKey failed")
+	}
+	if err := m.SetKey("zz", "ca", 1); err == nil {
+		t.Error("SetKey with unknown row should fail")
+	}
+	if err := m.SetKey("ra", "zz", 1); err == nil {
+		t.Error("SetKey with unknown col should fail")
+	}
+	if m.GetKey("zz", "ca") != 0 {
+		t.Error("GetKey with unknown key should be 0")
+	}
+	if m.RowIndex("rc") != 2 || m.ColIndex("zz") != -1 {
+		t.Error("index lookups wrong")
+	}
+}
+
+func TestMatrixClamping(t *testing.T) {
+	m := NewMatrix(keys("r", 1), keys("c", 1))
+	m.Set(0, 0, 1.5)
+	if m.Get(0, 0) != 1 {
+		t.Error("values should clamp to 1")
+	}
+	m.Set(0, 0, -0.5)
+	if m.Get(0, 0) != 0 {
+		t.Error("values should clamp to 0")
+	}
+	m.Set(0, 0, math.NaN())
+	if m.Get(0, 0) != 0 {
+		t.Error("NaN should store as 0")
+	}
+}
+
+func TestMatrixTransposeClone(t *testing.T) {
+	m := NewMatrix(keys("r", 2), keys("c", 3))
+	m.Fill(func(i, j int) float64 { return float64(i*3+j) / 10 })
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims = %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.Get(i, j) != tr.Get(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 0.99)
+	if m.Get(0, 0) == 0.99 {
+		t.Error("Clone should not share data")
+	}
+}
+
+func TestCube(t *testing.T) {
+	c := NewCube(keys("r", 2), keys("c", 2))
+	l1 := c.NewLayer("TypeName")
+	l1.Set(0, 0, 0.8)
+	l2 := NewMatrix(c.RowKeys(), c.ColKeys())
+	l2.Set(0, 0, 0.4)
+	if err := c.AddLayer("NamePath", l2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Layers() != 2 {
+		t.Fatalf("Layers = %d", c.Layers())
+	}
+	if c.Layer("TypeName") != l1 || c.Layer("missing") != nil {
+		t.Error("Layer lookup wrong")
+	}
+	if c.LayerAt(1) != l2 {
+		t.Error("LayerAt wrong")
+	}
+	avg := c.Aggregate(func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	})
+	if got := avg.Get(0, 0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("aggregate = %.3f, want 0.6", got)
+	}
+	// Wrong-shaped layer rejected.
+	bad := NewMatrix(keys("r", 3), keys("c", 2))
+	if err := c.AddLayer("bad", bad); err == nil {
+		t.Error("mis-shaped layer should be rejected")
+	}
+	// Empty cube aggregates to zeros.
+	empty := NewCube(keys("r", 1), keys("c", 1))
+	z := empty.Aggregate(func(v []float64) float64 { return 1 })
+	if z.Get(0, 0) != 0 {
+		t.Error("empty cube should aggregate to zero matrix")
+	}
+}
+
+func TestMappingBasics(t *testing.T) {
+	m := NewMapping("PO1", "PO2")
+	m.Add("ShipTo.shipToCity", "DeliverTo.Address.City", 0.72)
+	m.Add("Customer.custCity", "DeliverTo.Address.City", 0.67)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if sim, ok := m.Get("ShipTo.shipToCity", "DeliverTo.Address.City"); !ok || sim != 0.72 {
+		t.Errorf("Get = %.2f, %v", sim, ok)
+	}
+	// Overwrite.
+	m.Add("ShipTo.shipToCity", "DeliverTo.Address.City", 0.9)
+	if sim, _ := m.Get("ShipTo.shipToCity", "DeliverTo.Address.City"); sim != 0.9 {
+		t.Error("Add should overwrite")
+	}
+	if m.Len() != 2 {
+		t.Error("overwrite must not grow the mapping")
+	}
+	if len(m.ByTo("DeliverTo.Address.City")) != 2 {
+		t.Error("ByTo wrong")
+	}
+	if len(m.ByFrom("Customer.custCity")) != 1 {
+		t.Error("ByFrom wrong")
+	}
+	if got := m.FromElements(); len(got) != 2 {
+		t.Errorf("FromElements = %v", got)
+	}
+	if got := m.ToElements(); len(got) != 1 {
+		t.Errorf("ToElements = %v", got)
+	}
+	if !strings.Contains(m.String(), "PO1 <-> PO2") {
+		t.Error("String missing header")
+	}
+}
+
+func TestMappingNil(t *testing.T) {
+	var m *Mapping
+	if m.Len() != 0 || m.Correspondences() != nil || m.Contains("a", "b") {
+		t.Error("nil mapping should behave as empty")
+	}
+}
+
+func TestMappingInvert(t *testing.T) {
+	m := NewMapping("A", "B")
+	m.Add("x", "y", 0.5)
+	inv := m.Invert()
+	if inv.FromSchema != "B" || inv.ToSchema != "A" {
+		t.Error("Invert schema names")
+	}
+	if sim, ok := inv.Get("y", "x"); !ok || sim != 0.5 {
+		t.Error("Invert correspondence")
+	}
+}
+
+func TestMappingIntersect(t *testing.T) {
+	a := NewMapping("A", "B")
+	a.Add("x", "y", 0.8)
+	a.Add("p", "q", 0.6)
+	b := NewMapping("A", "B")
+	b.Add("x", "y", 0.7)
+	got := a.Intersect(b)
+	if got.Len() != 1 {
+		t.Fatalf("intersect len = %d", got.Len())
+	}
+	if sim, _ := got.Get("x", "y"); sim != 0.8 {
+		t.Error("intersect should keep receiver's similarity")
+	}
+}
+
+func TestMappingSort(t *testing.T) {
+	m := NewMapping("A", "B")
+	m.Add("b", "x", 0.1)
+	m.Add("a", "y", 0.2)
+	m.Add("a", "x", 0.3)
+	m.Sort()
+	cs := m.Correspondences()
+	if cs[0].From != "a" || cs[0].To != "x" || cs[2].From != "b" {
+		t.Errorf("sorted order wrong: %v", cs)
+	}
+	// Index still consistent after sort.
+	if sim, ok := m.Get("a", "y"); !ok || sim != 0.2 {
+		t.Error("index broken after Sort")
+	}
+}
+
+func TestMappingClone(t *testing.T) {
+	m := NewMapping("A", "B")
+	m.Add("x", "y", 0.5)
+	c := m.Clone()
+	c.Add("x", "y", 0.9)
+	if sim, _ := m.Get("x", "y"); sim != 0.5 {
+		t.Error("Clone should not share state")
+	}
+}
+
+func TestPropertyMatrixStoreLoad(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewMatrix(keys("r", rows), keys("c", cols))
+		want := make(map[[2]int]float64)
+		for k := 0; k < 20; k++ {
+			i, j := r.Intn(rows), r.Intn(cols)
+			v := r.Float64()
+			m.Set(i, j, v)
+			want[[2]int{i, j}] = v
+		}
+		for k, v := range want {
+			if m.Get(k[0], k[1]) != v {
+				return false
+			}
+		}
+		// Transpose twice is identity.
+		tt := m.Transpose().Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if tt.Get(i, j) != m.Get(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMappingInvertInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMapping("A", "B")
+		for k := 0; k < r.Intn(20); k++ {
+			m.Add(keys("f", 8)[r.Intn(8)], keys("t", 8)[r.Intn(8)], r.Float64())
+		}
+		back := m.Invert().Invert()
+		if back.Len() != m.Len() {
+			return false
+		}
+		for _, c := range m.Correspondences() {
+			if sim, ok := back.Get(c.From, c.To); !ok || sim != c.Sim {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

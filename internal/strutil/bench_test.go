@@ -1,0 +1,62 @@
+package strutil
+
+import "testing"
+
+var benchPairs = [][2]string{
+	{"shipToCity", "City"},
+	{"PurchaseOrderNumber", "PONo"},
+	{"contactFirstName", "firstName"},
+	{"DeliverTo", "ShipTo"},
+	{"articleDescription", "prodDesc"},
+}
+
+func BenchmarkAffixSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			_ = AffixSim(p[0], p[1])
+		}
+	}
+}
+
+func BenchmarkTrigramSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			_ = NGramSim(p[0], p[1], 3)
+		}
+	}
+}
+
+func BenchmarkEditDistanceSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			_ = EditDistanceSim(p[0], p[1])
+		}
+	}
+}
+
+func BenchmarkSoundexSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			_ = SoundexSim(p[0], p[1])
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Tokenize("PurchaseOrderShipToContactTelephoneNumber2")
+	}
+}
+
+func BenchmarkTokenSet(b *testing.B) {
+	expand := func(tok string) []string {
+		if tok == "po" {
+			return []string{"purchase", "order"}
+		}
+		return nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TokenSet("POShipToContactPhone", expand)
+	}
+}

@@ -1,0 +1,246 @@
+// Package strutil provides the approximate string matching primitives
+// underlying COMA's simple matchers (Do & Rahm, VLDB 2002, Section 4.1):
+// common-affix similarity, n-gram set similarity, Levenshtein edit
+// distance, Soundex phonetic codes, and the name pre-processing
+// (tokenization, abbreviation expansion) used by the hybrid Name matcher.
+//
+// All similarity functions are case-insensitive and return values in
+// [0, 1], where 1 means identical under the respective criterion.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// normalize lower-cases s and drops characters that carry no name
+// information (separators and punctuation).
+func normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
+}
+
+// AffixSim compares two names by their common prefix and suffix: the
+// Affix matcher. The similarity is the length of the longest common
+// prefix plus the longest common suffix (counted over disjoint regions),
+// normalized by the average string length.
+func AffixSim(a, b string) float64 {
+	a, b = normalize(a), normalize(b)
+	if a == b {
+		if a == "" {
+			return 0
+		}
+		return 1
+	}
+	if a == "" || b == "" {
+		return 0
+	}
+	pre := commonPrefixLen(a, b)
+	// Suffix may not overlap the prefix region of either string.
+	maxSuf := min(len(a), len(b)) - pre
+	suf := commonSuffixLen(a, b)
+	if suf > maxSuf {
+		suf = maxSuf
+	}
+	avg := float64(len(a)+len(b)) / 2
+	return float64(pre+suf) / avg
+}
+
+func commonPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+func commonSuffixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[len(a)-1-n] == b[len(b)-1-n] {
+		n++
+	}
+	return n
+}
+
+// NGrams returns the multiset of n-grams of s after normalization, using
+// padding so that short strings still produce grams. For n <= 0 or an
+// empty string the result is nil.
+func NGrams(s string, n int) []string {
+	s = normalize(s)
+	if n <= 0 || s == "" {
+		return nil
+	}
+	if len(s) < n {
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)-n+1)
+	for i := 0; i+n <= len(s); i++ {
+		out = append(out, s[i:i+n])
+	}
+	return out
+}
+
+// NGramSim computes the Dice coefficient over the n-gram multisets of a
+// and b: 2·|common| / (|grams(a)| + |grams(b)|). Digram similarity is
+// NGramSim(a, b, 2), trigram similarity NGramSim(a, b, 3).
+func NGramSim(a, b string, n int) float64 {
+	ga, gb := NGrams(a, n), NGrams(b, n)
+	if len(ga) == 0 || len(gb) == 0 {
+		if normalize(a) == normalize(b) && normalize(a) != "" {
+			return 1
+		}
+		return 0
+	}
+	count := make(map[string]int, len(ga))
+	for _, g := range ga {
+		count[g]++
+	}
+	common := 0
+	for _, g := range gb {
+		if count[g] > 0 {
+			count[g]--
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb))
+}
+
+// EditDistance returns the Levenshtein distance between the normalized
+// forms of a and b.
+func EditDistance(a, b string) int {
+	a, b = normalize(a), normalize(b)
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// EditDistanceSim converts the Levenshtein metric into a similarity:
+// 1 − distance / max(len(a), len(b)) over normalized forms.
+func EditDistanceSim(a, b string) float64 {
+	na, nb := normalize(a), normalize(b)
+	if na == nb {
+		if na == "" {
+			return 0
+		}
+		return 1
+	}
+	longest := len(na)
+	if len(nb) > longest {
+		longest = len(nb)
+	}
+	if longest == 0 {
+		return 0
+	}
+	return 1 - float64(EditDistance(na, nb))/float64(longest)
+}
+
+// Soundex returns the classic 4-character Soundex code of s ("" for
+// strings without a leading letter).
+func Soundex(s string) string {
+	s = normalize(s)
+	// Skip leading non-letters.
+	start := 0
+	for start < len(s) && (s[start] < 'a' || s[start] > 'z') {
+		start++
+	}
+	if start == len(s) {
+		return ""
+	}
+	s = s[start:]
+	code := []byte{s[0] - 'a' + 'A'}
+	lastDigit := soundexDigit(s[0])
+	for i := 1; i < len(s) && len(code) < 4; i++ {
+		c := s[i]
+		if c < 'a' || c > 'z' {
+			continue
+		}
+		d := soundexDigit(c)
+		switch {
+		case d == 0:
+			// Vowels and h/w/y reset only for vowels: classic rule is
+			// that h and w do not separate identical codes; vowels do.
+			if c != 'h' && c != 'w' {
+				lastDigit = 0
+			}
+		case d != lastDigit:
+			code = append(code, '0'+d)
+			lastDigit = d
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	default:
+		return 0
+	}
+}
+
+// SoundexSim compares names phonetically: 1 when the Soundex codes are
+// identical, otherwise the fraction of leading code positions agreeing.
+func SoundexSim(a, b string) float64 {
+	ca, cb := Soundex(a), Soundex(b)
+	if ca == "" || cb == "" {
+		return 0
+	}
+	if ca == cb {
+		return 1
+	}
+	n := 0
+	for n < len(ca) && n < len(cb) && ca[n] == cb[n] {
+		n++
+	}
+	return float64(n) / 4
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

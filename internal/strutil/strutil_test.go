@@ -1,0 +1,265 @@
+package strutil
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffixSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"shipToCity", "shipToCity", 1, 1},
+		{"shipToCity", "ShipToCity", 1, 1}, // case-insensitive
+		{"shipTo", "shipFrom", 0.3, 0.9},
+		{"custCity", "City", 0.5, 1},
+		{"abc", "xyz", 0, 0},
+		{"", "", 0, 0},
+		{"a", "", 0, 0},
+	}
+	for _, c := range cases {
+		got := AffixSim(c.a, c.b)
+		if got < c.min || got > c.max {
+			t.Errorf("AffixSim(%q,%q) = %.3f, want in [%.2f,%.2f]", c.a, c.b, got, c.min, c.max)
+		}
+	}
+}
+
+func TestAffixSimNoOverlap(t *testing.T) {
+	// "aaa" vs "aa": prefix 2, suffix must not double-count.
+	if got := AffixSim("aaa", "aa"); got > 1 {
+		t.Errorf("AffixSim overlap: %.3f > 1", got)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("City", 3)
+	want := []string{"cit", "ity"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+	if g := NGrams("ab", 3); !reflect.DeepEqual(g, []string{"ab"}) {
+		t.Errorf("short string grams = %v", g)
+	}
+	if NGrams("", 3) != nil || NGrams("abc", 0) != nil {
+		t.Error("degenerate NGrams should be nil")
+	}
+}
+
+func TestNGramSim(t *testing.T) {
+	if got := NGramSim("shipToCity", "shipToCity", 3); got != 1 {
+		t.Errorf("identical trigram sim = %.3f", got)
+	}
+	// Paper's motivating example: string matchers find no similarity
+	// for Ship vs Deliver.
+	if got := NGramSim("Ship", "Deliver", 3); got > 0.1 {
+		t.Errorf("Ship/Deliver trigram sim = %.3f, want ~0", got)
+	}
+	if got := NGramSim("shipToStreet", "Street", 3); got < 0.4 {
+		t.Errorf("shipToStreet/Street trigram sim = %.3f, want > 0.4", got)
+	}
+	if got := NGramSim("ab", "ab", 3); got != 1 {
+		t.Errorf("short identical = %.3f", got)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"Same", "same", 0}, // normalization
+		{"ship_to", "shipto", 0},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSim(t *testing.T) {
+	if got := EditDistanceSim("custCity", "custCity"); got != 1 {
+		t.Errorf("identical = %.3f", got)
+	}
+	if got := EditDistanceSim("", ""); got != 0 {
+		t.Errorf("empty = %.3f", got)
+	}
+	if a, b := EditDistanceSim("custCity", "custZip"), EditDistanceSim("custCity", "orderDate"); a <= b {
+		t.Errorf("expected custZip closer to custCity than orderDate (%.3f vs %.3f)", a, b)
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // h/w rule
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", ""},
+		{"123", ""},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexSim(t *testing.T) {
+	if got := SoundexSim("Robert", "Rupert"); got != 1 {
+		t.Errorf("Robert/Rupert = %.3f, want 1", got)
+	}
+	if got := SoundexSim("Robert", "Zebra"); got != 0 {
+		t.Errorf("Robert/Zebra = %.3f, want 0 (different first letter)", got)
+	}
+	if got := SoundexSim("", "x"); got != 0 {
+		t.Errorf("empty = %.3f", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"POShipTo", []string{"PO", "Ship", "To"}},
+		{"shipToCity", []string{"ship", "To", "City"}},
+		{"ship_to_city", []string{"ship", "to", "city"}},
+		{"Address2", []string{"Address", "2"}},
+		{"HTTPServer", []string{"HTTP", "Server"}},
+		{"custNo", []string{"cust", "No"}},
+		{"", nil},
+		{"--", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	expand := func(tok string) []string {
+		if tok == "po" {
+			return []string{"purchase", "order"}
+		}
+		return nil
+	}
+	// The stopword "to" is eliminated.
+	got := TokenSet("POShipTo", expand)
+	want := []string{"purchase", "order", "ship"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenSet = %v, want %v", got, want)
+	}
+	// Duplicates removed.
+	got = TokenSet("shipShip", nil)
+	if !reflect.DeepEqual(got, []string{"ship"}) {
+		t.Errorf("dedup TokenSet = %v", got)
+	}
+	// Nil expander passes tokens through (minus stopwords).
+	got = TokenSet("BillTo", nil)
+	if !reflect.DeepEqual(got, []string{"bill"}) {
+		t.Errorf("TokenSet nil expander = %v", got)
+	}
+	// All-stopword names keep their tokens rather than becoming empty.
+	got = TokenSet("To", nil)
+	if !reflect.DeepEqual(got, []string{"to"}) {
+		t.Errorf("all-stopword TokenSet = %v", got)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// alpha generates a random short ASCII identifier-like string.
+func alpha(r *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_0123456789"
+	n := r.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(letters[r.Intn(len(letters))])
+	}
+	return b.String()
+}
+
+func TestPropertySimilarityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := alpha(r), alpha(r)
+		for _, sim := range []float64{
+			AffixSim(a, b), NGramSim(a, b, 2), NGramSim(a, b, 3),
+			EditDistanceSim(a, b), SoundexSim(a, b),
+		} {
+			if sim < 0 || sim > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySimilaritySymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := alpha(r), alpha(r)
+		return AffixSim(a, b) == AffixSim(b, a) &&
+			NGramSim(a, b, 3) == NGramSim(b, a, 3) &&
+			EditDistance(a, b) == EditDistance(b, a) &&
+			SoundexSim(a, b) == SoundexSim(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEditDistanceTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := alpha(r), alpha(r), alpha(r)
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := alpha(r)
+		if normalize(a) == "" {
+			return true // all-separator strings are legitimately 0
+		}
+		return AffixSim(a, a) == 1 && NGramSim(a, a, 3) == 1 && EditDistanceSim(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTokenizeLossless(t *testing.T) {
+	// Concatenated tokens reproduce the letters/digits of the input.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := alpha(r)
+		joined := strings.ToLower(strings.Join(Tokenize(a), ""))
+		return joined == normalize(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

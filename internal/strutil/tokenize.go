@@ -1,0 +1,115 @@
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits an element name into its component tokens, the
+// pre-processing step of the hybrid Name matcher (paper Section 4.2):
+// POShipTo → {PO, Ship, To}. It splits on case transitions
+// (camelCase, PascalCase, trailing acronyms such as "PONo" → PO, No),
+// on digit/letter boundaries, and on punctuation.
+func Tokenize(name string) []string {
+	var tokens []string
+	runes := []rune(name)
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			tokens = append(tokens, string(cur))
+			cur = nil
+		}
+	}
+	class := func(r rune) int {
+		switch {
+		case unicode.IsUpper(r):
+			return 0
+		case unicode.IsLower(r):
+			return 1
+		case unicode.IsDigit(r):
+			return 2
+		default:
+			return 3 // separator
+		}
+	}
+	for i, r := range runes {
+		c := class(r)
+		if c == 3 {
+			flush()
+			continue
+		}
+		if len(cur) > 0 {
+			prev := class(cur[len(cur)-1])
+			switch {
+			case prev == c:
+				// "HTTPServer": split before the last upper of an
+				// acronym when a lower follows.
+				if c == 0 && i+1 < len(runes) && class(runes[i+1]) == 1 {
+					flush()
+				}
+			case prev == 0 && c == 1:
+				// Upper followed by lower continues the same word.
+			default:
+				flush()
+			}
+		}
+		cur = append(cur, r)
+	}
+	flush()
+	return tokens
+}
+
+// stopwords are function words eliminated during name pre-processing:
+// they carry no discriminating meaning ("ShipTo" and "Ship" name the
+// same concept) and would otherwise penalize token-set similarities of
+// prefixed names.
+var stopwords = map[string]bool{
+	"to": true, "of": true, "the": true, "for": true,
+	"a": true, "an": true, "and": true,
+}
+
+// TokenSet tokenizes name and expands abbreviations/acronyms through
+// expand, returning the final lower-case token set in order of first
+// appearance (duplicates and stopwords removed; if every token is a
+// stopword the unfiltered set is kept). expand maps a lower-case token
+// to its expansion tokens and may be nil.
+func TokenSet(name string, expand func(string) []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var dropped []string
+	add := func(tok string) {
+		tok = strings.ToLower(tok)
+		if tok == "" || seen[tok] {
+			return
+		}
+		if stopwords[tok] {
+			dropped = append(dropped, tok)
+			return
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	for _, tok := range Tokenize(name) {
+		lower := strings.ToLower(tok)
+		if expand != nil {
+			if exp := expand(lower); len(exp) > 0 {
+				for _, e := range exp {
+					add(e)
+				}
+				continue
+			}
+		}
+		add(lower)
+	}
+	if len(out) == 0 {
+		// All-stopword names ("To", "Of") keep their tokens: an empty
+		// set would make the element unmatchable.
+		for _, tok := range dropped {
+			if !seen[tok] {
+				seen[tok] = true
+				out = append(out, tok)
+			}
+		}
+	}
+	return out
+}

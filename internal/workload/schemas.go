@@ -1,0 +1,428 @@
+package workload
+
+import "repro/internal/schema"
+
+// The five purchase-order schemas. Concept contexts: order, shipto,
+// billto, supplier, customer, item, total, pay, transport; the contact
+// sub-context appends ("+contact"). Relative concepts include: no,
+// date, status, currency, remark, reference, type (order); party, name,
+// id, street, street2, city, zip, country, region, addr (parties);
+// contact, name, phone, fax, email (contacts); items, line, no,
+// product, desc, qty, uom, price, total, tax (items); totals, sub, tax,
+// shipping, grand (totals); payment, terms, method, duedate (payment).
+
+// str/dec/intg/date abbreviate the XSD simple types used below.
+const (
+	str  = "xsd:string"
+	dec  = "xsd:decimal"
+	intg = "xsd:integer"
+	date = "xsd:date"
+)
+
+// buildCIDX is schema 1: flat camelCase names with po/shipTo/billTo
+// prefixes, no shared fragments, contacts flattened into the party
+// blocks (the "ship" and "bill" sides of the synonym families).
+func buildCIDX() *schema.Schema {
+	return Build("CIDX", []E{
+		{N: "PO", Kids: []E{
+			{N: "POHeader", X: "order", C: "order", Kids: []E{
+				{N: "poNumber", T: str, C: "no"},
+				{N: "poDate", T: date, C: "date"},
+				{N: "poStatus", T: str, C: "status"},
+				{N: "currency", T: str, C: "currency"},
+				{N: "contractRef", T: str, C: "reference"},
+				// Pair-exclusive concepts (shared with exactly one
+				// other schema): reuse cannot find them through an
+				// intermediate, only direct matchers can.
+				{N: "deptCode", T: str, C: "dept"},
+				{N: "salesRep", T: str, C: "salesrep"},
+				{N: "confirmDate", T: date, C: "confirm"},
+				{N: "priorityCode", T: str, C: "priority"},
+			}},
+			{N: "ShipTo", X: "shipto", C: "party", Kids: []E{
+				{N: "shipToName", T: str, C: "name"},
+				{N: "shipToStreet", T: str, C: "street"},
+				{N: "shipToCity", T: str, C: "city"},
+				{N: "shipToZip", T: str, C: "zip"},
+				{N: "shipToCountry", T: str, C: "country"},
+				{N: "shipToContactName", T: str, C: "name", X: "+contact"},
+				{N: "shipToContactPhone", T: str, C: "phone", X: "+contact"},
+				{N: "shipToContactEmail", T: str, C: "email", X: "+contact"},
+			}},
+			{N: "BillTo", X: "billto", C: "party", Kids: []E{
+				{N: "billToName", T: str, C: "name"},
+				{N: "billToStreet", T: str, C: "street"},
+				{N: "billToCity", T: str, C: "city"},
+				{N: "billToZip", T: str, C: "zip"},
+				{N: "billToCountry", T: str, C: "country"},
+				{N: "billToContactName", T: str, C: "name", X: "+contact"},
+				{N: "billToContactPhone", T: str, C: "phone", X: "+contact"},
+			}},
+			{N: "Supplier", X: "supplier", C: "party", Kids: []E{
+				{N: "supplierName", T: str, C: "name"},
+				{N: "supplierID", T: str, C: "id"},
+				{N: "supplierStreet", T: str, C: "street"},
+				{N: "supplierCity", T: str, C: "city"},
+				{N: "supplierZip", T: str, C: "zip"},
+			}},
+			{N: "Items", X: "item", C: "items", Kids: []E{
+				{N: "Item", C: "line", Kids: []E{
+					{N: "itemNo", T: intg, C: "no"},
+					{N: "partNumber", T: str, C: "product"},
+					{N: "itemDesc", T: str, C: "desc"},
+					{N: "qty", T: dec, C: "qty"},
+					{N: "unitOfMeasure", T: str, C: "uom"},
+					{N: "unitPrice", T: dec, C: "price"},
+					{N: "lineTotal", T: dec, C: "total"},
+				}},
+			}},
+			{N: "OrderTotal", X: "total", C: "totals", Kids: []E{
+				{N: "subTotal", T: dec, C: "sub"},
+				{N: "taxAmount", T: dec, C: "tax"},
+				{N: "freightAmount", T: dec, C: "shipping"},
+				{N: "totalAmount", T: dec, C: "grand"},
+			}},
+			// CIDX-specific EDI acknowledgement and routing blocks: no
+			// counterparts in the other schemas.
+			{N: "Acknowledgement", X: "ack", C: "ackblock", Kids: []E{
+				{N: "ackDate", T: date, C: "ackdate"},
+				{N: "ackStatus", T: str, C: "ackstatus"},
+				{N: "ackBy", T: str, C: "ackby"},
+				{N: "ackComment", T: str, C: "ackcomment"},
+			}},
+			{N: "Routing", X: "routing", C: "routeblock", Kids: []E{
+				{N: "routeCode", T: str, C: "routecode"},
+				{N: "carrierService", T: str, C: "service"},
+				{N: "fobPoint", T: str, C: "fob"},
+			}},
+		}},
+	})
+}
+
+// buildExcel is schema 2: abbreviated names (poNum, curr, amt, frt),
+// the deliver/invoice synonym family, and Addr/Contact fragments shared
+// across the parties (source of its path/node discrepancy).
+func buildExcel() *schema.Schema {
+	// Excel folds both street lines into one element, a genuine 1:n
+	// correspondence against schemas with separate street/street2.
+	addr := E{N: "Addr", C: "addr", Share: "addr", Kids: []E{
+		{N: "street", T: str, C: "street,street2"},
+		{N: "city", T: str, C: "city"},
+		{N: "zip", T: str, C: "zip"},
+		{N: "country", T: str, C: "country"},
+	}}
+	contact := E{N: "Contact", C: "contact", X: "+contact", Share: "contact", Kids: []E{
+		{N: "name", T: str, C: "name"},
+		{N: "phone", T: str, C: "phone"},
+		{N: "email", T: str, C: "email"},
+	}}
+	return Build("Excel", []E{
+		{N: "Header", X: "order", C: "order", Kids: []E{
+			{N: "poNum", T: str, C: "no"},
+			{N: "poDate", T: date, C: "date"},
+			{N: "curr", T: str, C: "currency"},
+			{N: "note", T: str, C: "remark"},
+			{N: "deptNum", T: str, C: "dept"},
+			{N: "expiryDate", T: date, C: "expiry"},
+			{N: "channelCode", T: str, C: "channel"},
+		}},
+		{N: "DeliverTo", X: "shipto", C: "party", Kids: []E{addr, contact}},
+		{N: "InvoiceTo", X: "billto", C: "party", Kids: []E{addr, contact}},
+		{N: "Vendor", X: "supplier", C: "party", Kids: []E{
+			{N: "vendorNo", T: str, C: "id"},
+			{N: "vendorName", T: str, C: "name"},
+			contact,
+		}},
+		{N: "LineItems", X: "item", C: "items", Kids: []E{
+			{N: "Line", C: "line", Kids: []E{
+				{N: "lineNo", T: intg, C: "no"},
+				{N: "prodCode", T: str, C: "product"},
+				{N: "prodDesc", T: str, C: "desc"},
+				{N: "qty", T: dec, C: "qty"},
+				{N: "uom", T: str, C: "uom"},
+				{N: "unitCost", T: dec, C: "price"},
+				{N: "amt", T: dec, C: "total"},
+			}},
+		}},
+		{N: "Summary", X: "total", C: "totals", Kids: []E{
+			{N: "subTot", T: dec, C: "sub"},
+			{N: "taxAmt", T: dec, C: "tax"},
+			{N: "frtAmt", T: dec, C: "shipping"},
+			{N: "totAmt", T: dec, C: "grand"},
+			{N: "depositAmt", T: dec, C: "deposit"},
+		}},
+		// Excel-specific warehouse fulfilment and discount blocks.
+		{N: "Warehouse", X: "warehouse", C: "whblock", Kids: []E{
+			{N: "whCode", T: str, C: "whcode"},
+			{N: "whName", T: str, C: "whname"},
+			{N: "binLocation", T: str, C: "bin"},
+			{N: "pickDate", T: date, C: "pickdate"},
+		}},
+		{N: "Discounts", X: "discount", C: "discblock", Kids: []E{
+			{N: "discCode", T: str, C: "disccode"},
+			{N: "discPct", T: dec, C: "discpct"},
+			{N: "discAmt", T: dec, C: "discamt"},
+		}},
+	})
+}
+
+// buildNoris is schema 3: the delivery/invoice synonym family with
+// town/postcode vocabulary, a seller party, and shared address/contact
+// fragments across three parties.
+func buildNoris() *schema.Schema {
+	addr := E{N: "DeliveryAddress", C: "addr", Share: "naddr", Kids: []E{
+		{N: "road", T: str, C: "street"},
+		{N: "roadExtra", T: str, C: "street2"},
+		{N: "town", T: str, C: "city"},
+		{N: "postcode", T: str, C: "zip"},
+		{N: "country", T: str, C: "country"},
+		{N: "region", T: str, C: "region"},
+	}}
+	// Noris splits the contact name into first/last: each half really
+	// matches the other schemas' single name element (paper Figure 3).
+	contact := E{N: "ContactPerson", C: "contact", X: "+contact", Share: "ncontact", Kids: []E{
+		{N: "firstName", T: str, C: "name"},
+		{N: "lastName", T: str, C: "name"},
+		{N: "telephone", T: str, C: "phone"},
+		{N: "fax", T: str, C: "fax"},
+		{N: "email", T: str, C: "email"},
+	}}
+	return Build("Noris", []E{
+		{N: "OrderInfo", X: "order", C: "order", Kids: []E{
+			{N: "orderNumber", T: str, C: "no"},
+			{N: "orderDate", T: date, C: "date"},
+			{N: "orderStatus", T: str, C: "status"},
+			{N: "currencyCode", T: str, C: "currency"},
+			{N: "orderType", T: str, C: "type"},
+			{N: "orderRemark", T: str, C: "remark"},
+			{N: "salesRepresentative", T: str, C: "salesrep"},
+			{N: "expiry", T: date, C: "expiry"},
+			{N: "projectCode", T: str, C: "project"},
+		}},
+		{N: "Delivery", X: "shipto", C: "party", Kids: []E{addr, contact}},
+		{N: "Invoice", X: "billto", C: "party", Kids: []E{addr, contact}},
+		{N: "Seller", X: "supplier", C: "party", Kids: []E{
+			{N: "sellerNumber", T: str, C: "id"},
+			{N: "sellerName", T: str, C: "name"},
+			addr,
+		}},
+		{N: "Articles", X: "item", C: "items", Kids: []E{
+			{N: "Article", C: "line", Kids: []E{
+				{N: "articleNumber", T: intg, C: "no"},
+				{N: "articleCode", T: str, C: "product"},
+				{N: "articleDescription", T: str, C: "desc"},
+				{N: "quantity", T: dec, C: "qty"},
+				{N: "unit", T: str, C: "uom"},
+				{N: "cost", T: dec, C: "price"},
+				{N: "articleTotal", T: dec, C: "total"},
+				{N: "taxRate", T: dec, C: "tax"},
+			}},
+		}},
+		{N: "Totals", X: "total", C: "totals", Kids: []E{
+			{N: "netAmount", T: dec, C: "sub"},
+			{N: "taxAmount", T: dec, C: "tax"},
+			{N: "deliveryCharge", T: dec, C: "shipping"},
+			{N: "grossAmount", T: dec, C: "grand"},
+		}},
+		{N: "Payment", X: "pay", C: "payment", Kids: []E{
+			{N: "paymentTerms", T: str, C: "terms"},
+			{N: "paymentMethod", T: str, C: "method"},
+			{N: "dueDate", T: date, C: "duedate"},
+		}},
+		// Noris-specific banking and legal blocks.
+		{N: "BankDetails", X: "bank", C: "bankblock", Kids: []E{
+			{N: "bankName", T: str, C: "bankname"},
+			{N: "accountNumber", T: str, C: "account"},
+			{N: "sortCode", T: str, C: "sortcode"},
+			{N: "iban", T: str, C: "iban"},
+		}},
+		{N: "LegalTerms", X: "legal", C: "legalblock", Kids: []E{
+			{N: "jurisdiction", T: str, C: "jurisdiction"},
+			{N: "retentionClause", T: str, C: "retention"},
+			{N: "penaltyRate", T: dec, C: "penalty"},
+		}},
+	})
+}
+
+// buildParagon is schema 4: the deepest schema (six levels), verbose
+// full-word names, party/detail wrapper levels, and no shared
+// fragments — every party spells out its own address and contact.
+func buildParagon() *schema.Schema {
+	postal := func() E {
+		return E{N: "PostalAddress", C: "addr", Kids: []E{
+			{N: "StreetName", T: str, C: "street"},
+			{N: "CityName", T: str, C: "city"},
+			{N: "PostalCode", T: str, C: "zip"},
+			{N: "CountryCode", T: str, C: "country"},
+		}}
+	}
+	person := func() E {
+		return E{N: "ContactPerson", C: "contact", X: "+contact", Kids: []E{
+			{N: "PersonName", T: str, C: "name"},
+			{N: "TelephoneNumber", T: str, C: "phone"},
+			{N: "ElectronicMail", T: str, C: "email"},
+		}}
+	}
+	return Build("Paragon", []E{
+		{N: "PurchaseOrder", Kids: []E{
+			{N: "OrderHeader", X: "order", C: "order", Kids: []E{
+				{N: "OrderNumber", T: str, C: "no"},
+				{N: "OrderIssueDate", T: date, C: "date"},
+				{N: "OrderStatus", T: str, C: "status"},
+				{N: "CurrencyCode", T: str, C: "currency"},
+				{N: "ContractReference", T: str, C: "reference"},
+				{N: "RevisionNumber", T: str, C: "revision"},
+				{N: "ConfirmationDate", T: date, C: "confirm"},
+				{N: "ProjectCode", T: str, C: "project"},
+			}},
+			{N: "Parties", Kids: []E{
+				{N: "ShippingParty", X: "shipto", C: "party", Kids: []E{
+					{N: "PartyName", T: str, C: "name"},
+					postal(),
+					person(),
+				}},
+				{N: "InvoicingParty", X: "billto", C: "party", Kids: []E{
+					{N: "PartyName", T: str, C: "name"},
+					postal(),
+					person(),
+				}},
+				{N: "SupplierParty", X: "supplier", C: "party", Kids: []E{
+					{N: "PartyName", T: str, C: "name"},
+					{N: "PartyIdentifier", T: str, C: "id"},
+					postal(),
+				}},
+				// Paragon-specific freight forwarder: a unique party
+				// context the other schemas lack.
+				{N: "FreightForwarderParty", X: "forwarder", C: "party", Kids: []E{
+					{N: "PartyName", T: str, C: "name"},
+					postal(),
+				}},
+			}},
+			{N: "OrderDetail", Kids: []E{
+				{N: "ItemList", X: "item", C: "items", Kids: []E{
+					{N: "ItemDetail", C: "line", Kids: []E{
+						{N: "LineNumber", T: intg, C: "no"},
+						{N: "ProductIdentifier", T: str, C: "product"},
+						{N: "ProductDescription", T: str, C: "desc"},
+						{N: "OrderedQuantity", T: dec, C: "qty"},
+						{N: "UnitOfMeasure", T: str, C: "uom"},
+						{N: "RequestedDate", T: date, C: "reqdate"},
+						{N: "Pricing", Kids: []E{
+							{N: "UnitPrice", T: dec, C: "price"},
+							{N: "LineItemTotal", T: dec, C: "total"},
+							{N: "TaxRate", T: dec, C: "tax"},
+						}},
+					}},
+				}},
+			}},
+			{N: "OrderSummary", X: "total", C: "totals", Kids: []E{
+				{N: "SubtotalAmount", T: dec, C: "sub"},
+				{N: "TaxTotalAmount", T: dec, C: "tax"},
+				{N: "ShippingCharge", T: dec, C: "shipping"},
+				{N: "GrandTotalAmount", T: dec, C: "grand"},
+				{N: "DepositAmount", T: dec, C: "deposit"},
+			}},
+			// Paragon-specific delivery scheduling and quality blocks
+			// in place of a payment section.
+			{N: "DeliverySchedule", X: "sched", C: "schedblock", Kids: []E{
+				{N: "ScheduledDate", T: date, C: "scheddate"},
+				{N: "ScheduledQuantity", T: dec, C: "schedqty"},
+				{N: "ShipmentWindow", T: str, C: "window"},
+			}},
+			{N: "QualityRequirements", X: "quality", C: "qualblock", Kids: []E{
+				{N: "InspectionLevel", T: str, C: "inspection"},
+				{N: "CertificateRequired", T: str, C: "certificate"},
+				{N: "ToleranceRate", T: dec, C: "tolerance"},
+			}},
+		}},
+	})
+}
+
+// buildApertum is schema 5: the largest schema with the heaviest
+// fragment sharing — Address and Contact are used by four partners, the
+// transport block, and the per-item delivery address, producing far
+// more paths than nodes.
+func buildApertum() *schema.Schema {
+	addr := E{N: "Address", C: "addr", Share: "aaddr", Kids: []E{
+		{N: "street", T: str, C: "street"},
+		{N: "additionalStreet", T: str, C: "street2"},
+		{N: "city", T: str, C: "city"},
+		{N: "zipCode", T: str, C: "zip"},
+		{N: "countryCode", T: str, C: "country"},
+		{N: "region", T: str, C: "region"},
+		{N: "locality", T: str},
+	}}
+	contact := E{N: "Contact", C: "contact", X: "+contact", Share: "acontact", Kids: []E{
+		{N: "contactName", T: str, C: "name"},
+		{N: "phoneNumber", T: str, C: "phone"},
+		{N: "faxNumber", T: str, C: "fax"},
+		{N: "emailAddress", T: str, C: "email"},
+		{N: "jobTitle", T: str},
+	}}
+	partner := func(name, ctx string, extra ...E) E {
+		kids := []E{
+			{N: "partnerName", T: str, C: "name"},
+			{N: "partnerID", T: str, C: "id"},
+			addr,
+			contact,
+		}
+		kids = append(kids, extra...)
+		return E{N: name, X: ctx, C: "party", Kids: kids}
+	}
+	return Build("Apertum", []E{
+		{N: "Document", X: "order", C: "order", Kids: []E{
+			{N: "docNumber", T: str, C: "no"},
+			{N: "docDate", T: date, C: "date"},
+			{N: "docStatus", T: str, C: "status"},
+			{N: "docType", T: str, C: "type"},
+			{N: "currency", T: str, C: "currency"},
+			{N: "remark", T: str, C: "remark"},
+			{N: "priority", T: str, C: "priority"},
+			{N: "salesChannel", T: str, C: "channel"},
+			{N: "revisionNumber", T: str, C: "revision"},
+		}},
+		{N: "Partners", Kids: []E{
+			partner("ShipToPartner", "shipto"),
+			partner("BillToPartner", "billto"),
+			partner("VendorPartner", "supplier"),
+			partner("CustomerPartner", "customer"),
+		}},
+		{N: "ItemList", X: "item", C: "items", Kids: []E{
+			{N: "Item", C: "line", Kids: []E{
+				{N: "itemNumber", T: intg, C: "no"},
+				{N: "productCode", T: str, C: "product"},
+				{N: "productName", T: str, C: "desc"},
+				{N: "quantity", T: dec, C: "qty"},
+				{N: "unit", T: str, C: "uom"},
+				{N: "price", T: dec, C: "price"},
+				{N: "itemTotal", T: dec, C: "total"},
+				{N: "taxRate", T: dec, C: "tax"},
+				{N: "requestedDate", T: date, C: "reqdate"},
+				{N: "shippingMark", T: str, C: "shipmark"},
+			}},
+		}},
+		{N: "Totals", X: "total", C: "totals", Kids: []E{
+			{N: "netTotal", T: dec, C: "sub"},
+			{N: "taxTotal", T: dec, C: "tax"},
+			{N: "shippingCost", T: dec, C: "shipping"},
+			{N: "grandTotal", T: dec, C: "grand"},
+		}},
+		{N: "Payment", X: "pay", C: "payment", Kids: []E{
+			{N: "terms", T: str, C: "terms"},
+			{N: "method", T: str, C: "method"},
+			{N: "dueDate", T: date, C: "duedate"},
+		}},
+		{N: "Transport", X: "transport", C: "transport", Kids: []E{
+			{N: "carrier", T: str, C: "carrier"},
+			{N: "transportMode", T: str, C: "mode"},
+			{N: "trackingId", T: str, C: "tracking"},
+			{N: "incoterm", T: str, C: "incoterm"},
+			{N: "portOfLoading", T: str, C: "port"},
+		}},
+		{N: "Customs", X: "customs", C: "customsblock", Kids: []E{
+			{N: "hsCode", T: str, C: "hscode"},
+			{N: "originCountry", T: str, C: "origin"},
+			{N: "dutyRate", T: dec, C: "duty"},
+		}},
+	})
+}

@@ -1,0 +1,232 @@
+// Package workload provides the evaluation workload of the paper
+// (Do & Rahm, VLDB 2002, Section 7.1): five purchase-order XML schemas
+// and the manually determined real matches for the ten pairwise match
+// tasks.
+//
+// The original schemas (CIDX, Excel, Noris, Paragon, Apertum from
+// www.biztalk.org) are no longer available; the schemas here are
+// synthetic stand-ins generated from a shared purchase-order concept
+// ontology. Every element carries a concept annotation; the gold
+// standard for a task is derived from the ontology: two paths really
+// match iff their concept keys agree. Each schema draws its own concept
+// subset, naming convention (abbreviations, camelCase, the ship/deliver
+// and bill/invoice synonym families) and structure (flat vs nested,
+// shared Address/Contact fragments), preserving the heterogeneity
+// properties the paper's evaluation exercises.
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Annotation keys for concept bookkeeping.
+const (
+	// annoConcept is the element's relative concept ("city", "party");
+	// empty for purely structural filler.
+	annoConcept = "c"
+	// annoContext sets ("shipto") or appends ("+contact") the concept
+	// context along a path.
+	annoContext = "ctx"
+)
+
+// E is a declarative element spec used to build the workload schemas.
+type E struct {
+	N     string // element name in this schema's convention
+	T     string // declared simple type; "" for inner elements
+	C     string // relative concept; "" = no gold participation
+	X     string // context: "name" sets, "+name" appends
+	Share string // shared-fragment key: same key = same node
+	Kids  []E
+}
+
+// builder constructs a schema from element specs, honouring shared
+// fragments.
+type builder struct {
+	shared map[string]*schema.Node
+}
+
+func (b *builder) node(e E) *schema.Node {
+	if e.Share != "" {
+		if n, ok := b.shared[e.Share]; ok {
+			return n
+		}
+	}
+	n := schema.NewNode(e.N)
+	n.TypeName = e.T
+	if e.T == "" {
+		n.Kind = schema.ElemComplex
+	} else {
+		n.Kind = schema.ElemSimple
+	}
+	if e.C != "" {
+		n.SetAnnotation(annoConcept, e.C)
+	}
+	if e.X != "" {
+		n.SetAnnotation(annoContext, e.X)
+	}
+	for _, k := range e.Kids {
+		n.AddChild(b.node(k))
+	}
+	if e.Share != "" {
+		b.shared[e.Share] = n
+	}
+	return n
+}
+
+// Build constructs a schema from specs. It panics on an invalid graph;
+// the workload definitions are static and covered by tests.
+func Build(name string, elems []E) *schema.Schema {
+	s := schema.New(name)
+	b := &builder{shared: make(map[string]*schema.Node)}
+	for _, e := range elems {
+		s.Root.AddChild(b.node(e))
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: schema %s: %v", name, err))
+	}
+	return s
+}
+
+// ConceptKeys derives the canonical concepts of a path: the innermost
+// context along the path joined with each of the terminal element's
+// relative concepts. Elements with a single concept yield one key;
+// elements covering several concepts (a combined street line, a name
+// split into first/last) list them comma-separated and yield one key
+// per concept — the source of the workload's genuine m:n gold matches.
+// Paths whose terminal element carries no concept return nil.
+func ConceptKeys(p schema.Path) []string {
+	ctx := ""
+	var leafC string
+	for _, n := range p.Nodes() {
+		if x := n.Annotation(annoContext); x != "" {
+			if strings.HasPrefix(x, "+") {
+				if ctx != "" {
+					ctx = ctx + "." + x[1:]
+				} else {
+					ctx = x[1:]
+				}
+			} else {
+				ctx = x
+			}
+		}
+		leafC = n.Annotation(annoConcept)
+	}
+	if leafC == "" {
+		return nil
+	}
+	parts := strings.Split(leafC, ",")
+	out := make([]string, len(parts))
+	for i, c := range parts {
+		out[i] = ctx + ":" + c
+	}
+	return out
+}
+
+// ConceptKey returns the first concept key of a path, or "".
+func ConceptKey(p schema.Path) string {
+	if ks := ConceptKeys(p); len(ks) > 0 {
+		return ks[0]
+	}
+	return ""
+}
+
+// GoldMapping derives the real matches R for a task: all path pairs
+// with intersecting, non-empty concept key sets, at similarity 1.0
+// (the paper sets all element similarities of manually derived results
+// to 1.0).
+func GoldMapping(s1, s2 *schema.Schema) *simcube.Mapping {
+	m := simcube.NewMapping(s1.Name, s2.Name)
+	byKey := make(map[string][]string)
+	for _, p := range s2.Paths() {
+		for _, k := range ConceptKeys(p) {
+			byKey[k] = append(byKey[k], p.String())
+		}
+	}
+	for _, p := range s1.Paths() {
+		for _, k := range ConceptKeys(p) {
+			for _, to := range byKey[k] {
+				m.Add(p.String(), to, 1.0)
+			}
+		}
+	}
+	return m
+}
+
+// Task is one match task of the evaluation: a schema pair with its
+// gold standard.
+type Task struct {
+	// Name is the paper's task label, e.g. "1<->3".
+	Name   string
+	I, J   int // 1-based schema indices
+	S1, S2 *schema.Schema
+	Gold   *simcube.Mapping
+}
+
+var (
+	once    sync.Once
+	schemas []*schema.Schema
+	tasks   []Task
+)
+
+// Schemas returns the five test schemas, index 0..4 corresponding to
+// the paper's schemas 1..5.
+func Schemas() []*schema.Schema {
+	once.Do(initWorkload)
+	return schemas
+}
+
+// Tasks returns the ten pairwise match tasks with gold standards, in
+// the paper's order 1<->2, 1<->3, ..., 4<->5.
+func Tasks() []Task {
+	once.Do(initWorkload)
+	return tasks
+}
+
+// TaskByName returns the task with the given label ("2<->4").
+func TaskByName(name string) (Task, bool) {
+	for _, t := range Tasks() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+func initWorkload() {
+	schemas = []*schema.Schema{
+		buildCIDX(),    // 1
+		buildExcel(),   // 2
+		buildNoris(),   // 3
+		buildParagon(), // 4
+		buildApertum(), // 5
+	}
+	for i := 0; i < len(schemas); i++ {
+		for j := i + 1; j < len(schemas); j++ {
+			tasks = append(tasks, Task{
+				Name: fmt.Sprintf("%d<->%d", i+1, j+1),
+				I:    i + 1,
+				J:    j + 1,
+				S1:   schemas[i],
+				S2:   schemas[j],
+				Gold: GoldMapping(schemas[i], schemas[j]),
+			})
+		}
+	}
+}
+
+// SchemaSimilarity computes the Dice schema similarity the paper
+// reports in Figure 8: the ratio between matched paths and all paths of
+// a task.
+func SchemaSimilarity(t Task) float64 {
+	matched := len(t.Gold.FromElements()) + len(t.Gold.ToElements())
+	total := len(t.S1.Paths()) + len(t.S2.Paths())
+	if total == 0 {
+		return 0
+	}
+	return float64(matched) / float64(total)
+}

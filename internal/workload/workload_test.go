@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestSchemasValid(t *testing.T) {
+	ss := Schemas()
+	if len(ss) != 5 {
+		t.Fatalf("schemas = %d", len(ss))
+	}
+	names := []string{"CIDX", "Excel", "Noris", "Paragon", "Apertum"}
+	for i, s := range ss {
+		if s.Name != names[i] {
+			t.Errorf("schema %d = %s, want %s", i, s.Name, names[i])
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("schema %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+// TestSchemaSizes checks the Table 5 shape: sizes in the paper's
+// ballpark, increasing path counts from schema 1 to 5, shared fragments
+// making #paths > #nodes where intended, and the depth spread.
+func TestSchemaSizes(t *testing.T) {
+	ss := Schemas()
+	var stats []schema.Stats
+	for _, s := range ss {
+		st := schema.ComputeStats(s)
+		stats = append(stats, st)
+		t.Logf("%-8s depth=%d nodes=%d paths=%d inner=%d/%d leaf=%d/%d",
+			st.Name, st.MaxDepth, st.Nodes, st.Paths,
+			st.InnerNodes, st.InnerPaths, st.LeafNodes, st.LeafPaths)
+	}
+	// Schema 1: no sharing → paths == nodes.
+	if stats[0].Paths != stats[0].Nodes {
+		t.Errorf("CIDX should have no shared fragments: %d paths vs %d nodes", stats[0].Paths, stats[0].Nodes)
+	}
+	// Schemas 2, 3, 5 use shared fragments → more paths than nodes.
+	for _, i := range []int{1, 2, 4} {
+		if stats[i].Paths <= stats[i].Nodes {
+			t.Errorf("%s should have shared fragments: %d paths vs %d nodes", stats[i].Name, stats[i].Paths, stats[i].Nodes)
+		}
+	}
+	// Apertum is the largest task by far (paper: 145 paths).
+	if stats[4].Paths < 100 {
+		t.Errorf("Apertum paths = %d, want >= 100", stats[4].Paths)
+	}
+	// Paragon is the deepest (paper: depth 6).
+	if stats[3].MaxDepth < 5 {
+		t.Errorf("Paragon depth = %d, want >= 5", stats[3].MaxDepth)
+	}
+	// Overall size band of Table 5.
+	for _, st := range stats {
+		if st.Nodes < 30 || st.Nodes > 90 {
+			t.Errorf("%s nodes = %d outside Table 5 band [30,90]", st.Name, st.Nodes)
+		}
+	}
+}
+
+func TestConceptKey(t *testing.T) {
+	s := Schemas()[0] // CIDX
+	cases := []struct{ path, want string }{
+		{"PO.ShipTo.shipToCity", "shipto:city"},
+		{"PO.ShipTo.shipToContactPhone", "shipto.contact:phone"},
+		{"PO.BillTo.billToCity", "billto:city"},
+		{"PO.Items.Item.qty", "item:qty"},
+		{"PO.ShipTo", "shipto:party"},
+		{"PO", ""}, // structural filler
+	}
+	for _, c := range cases {
+		p, ok := s.FindPath(c.path)
+		if !ok {
+			t.Fatalf("path %s missing", c.path)
+		}
+		if got := ConceptKey(p); got != c.want {
+			t.Errorf("ConceptKey(%s) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestConceptKeySharedFragmentContexts(t *testing.T) {
+	s := Schemas()[1] // Excel with shared Addr
+	d, ok := s.FindPath("DeliverTo.Addr.city")
+	if !ok {
+		t.Fatalf("DeliverTo.Addr.city missing:\n%s", s.String())
+	}
+	i, ok := s.FindPath("InvoiceTo.Addr.city")
+	if !ok {
+		t.Fatal("InvoiceTo.Addr.city missing")
+	}
+	if ConceptKey(d) != "shipto:city" || ConceptKey(i) != "billto:city" {
+		t.Errorf("shared fragment contexts: %q / %q", ConceptKey(d), ConceptKey(i))
+	}
+}
+
+func TestGoldMappingBasics(t *testing.T) {
+	tasks := Tasks()
+	if len(tasks) != 10 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	// Task 1<->2: the cross-synonym matches must be present.
+	task := tasks[0]
+	if task.Name != "1<->2" {
+		t.Fatalf("task order wrong: %s", task.Name)
+	}
+	mustContain := [][2]string{
+		{"PO.ShipTo.shipToCity", "DeliverTo.Addr.city"},
+		{"PO.BillTo.billToCity", "InvoiceTo.Addr.city"},
+		{"PO.ShipTo", "DeliverTo"},
+		{"PO.Items.Item.qty", "LineItems.Line.qty"},
+		{"PO.OrderTotal.totalAmount", "Summary.totAmt"},
+		{"PO.Supplier.supplierID", "Vendor.vendorNo"},
+	}
+	for _, pair := range mustContain {
+		if !task.Gold.Contains(pair[0], pair[1]) {
+			t.Errorf("gold 1<->2 missing %s <-> %s", pair[0], pair[1])
+		}
+	}
+	// Cross-context pairs must NOT be gold.
+	if task.Gold.Contains("PO.ShipTo.shipToCity", "InvoiceTo.Addr.city") {
+		t.Error("gold must distinguish shipto from billto contexts")
+	}
+	// All gold sims are 1.0 (manual results).
+	for _, c := range task.Gold.Correspondences() {
+		if c.Sim != 1.0 {
+			t.Errorf("gold sim %.2f != 1.0 for %s", c.Sim, c)
+		}
+	}
+}
+
+func TestGoldSymmetry(t *testing.T) {
+	// GoldMapping(s2, s1) is the inverse of GoldMapping(s1, s2).
+	ss := Schemas()
+	fwd := GoldMapping(ss[0], ss[2])
+	rev := GoldMapping(ss[2], ss[0])
+	if fwd.Len() != rev.Len() {
+		t.Fatalf("asymmetric gold: %d vs %d", fwd.Len(), rev.Len())
+	}
+	for _, c := range fwd.Correspondences() {
+		if !rev.Contains(c.To, c.From) {
+			t.Errorf("gold not symmetric for %s", c)
+		}
+	}
+}
+
+func TestProblemSizesFigure8(t *testing.T) {
+	// Figure 8 shape: schema similarity mostly around 0.5, sinking for
+	// the largest tasks; #matches grows with task size.
+	for _, task := range Tasks() {
+		sim := SchemaSimilarity(task)
+		t.Logf("%s: #matches=%d #paths=%d+%d sim=%.2f",
+			task.Name, task.Gold.Len(), len(task.S1.Paths()), len(task.S2.Paths()), sim)
+		if sim < 0.25 || sim > 0.95 {
+			t.Errorf("task %s similarity %.2f outside plausible Figure 8 band", task.Name, sim)
+		}
+		if task.Gold.Len() < 20 {
+			t.Errorf("task %s has only %d gold matches", task.Name, task.Gold.Len())
+		}
+	}
+}
+
+func TestTaskByName(t *testing.T) {
+	task, ok := TaskByName("2<->4")
+	if !ok || task.I != 2 || task.J != 4 {
+		t.Fatalf("TaskByName: %v %v", task, ok)
+	}
+	if _, ok := TaskByName("9<->9"); ok {
+		t.Error("bogus task name should miss")
+	}
+}
+
+func TestDuplicateConceptKeysOnlyWhereIntended(t *testing.T) {
+	// Within one schema, a concept key identifies at most one path —
+	// except for the documented m:n families: Noris splits contact
+	// names into first/last, so each contact context duplicates its
+	// ":name" key.
+	for _, s := range Schemas() {
+		seen := make(map[string]string)
+		for _, p := range s.Paths() {
+			for _, k := range ConceptKeys(p) {
+				prev, dup := seen[k]
+				if !dup {
+					seen[k] = p.String()
+					continue
+				}
+				if s.Name == "Noris" && strings.HasSuffix(k, ".contact:name") {
+					continue // intended split-name duplication
+				}
+				t.Errorf("%s: concept %q on both %s and %s", s.Name, k, prev, p)
+			}
+		}
+	}
+}
+
+func TestGoldManyToMany(t *testing.T) {
+	// Task 2<->3: Excel's combined street line matches both Noris
+	// street elements; Noris' split names both match Excel's single
+	// contact name.
+	task, ok := TaskByName("2<->3")
+	if !ok {
+		t.Fatal("task missing")
+	}
+	if !task.Gold.Contains("DeliverTo.Addr.street", "Delivery.DeliveryAddress.road") ||
+		!task.Gold.Contains("DeliverTo.Addr.street", "Delivery.DeliveryAddress.roadExtra") {
+		t.Error("1:n street-line gold matches missing")
+	}
+	if !task.Gold.Contains("DeliverTo.Contact.name", "Delivery.ContactPerson.firstName") ||
+		!task.Gold.Contains("DeliverTo.Contact.name", "Delivery.ContactPerson.lastName") {
+		t.Error("1:n split-name gold matches missing")
+	}
+}

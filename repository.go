@@ -1,0 +1,51 @@
+package coma
+
+import (
+	"repro/internal/repository"
+	"repro/internal/reuse"
+)
+
+// Repository is the persistent store for schemas, similarity cubes and
+// match results, backing the reuse-oriented matchers. It wraps the
+// embedded log-structured engine in internal/repository.
+type Repository struct {
+	*repository.Repo
+}
+
+// Mapping tags conventionally used by the evaluation.
+const (
+	// TagManual marks manually confirmed match results.
+	TagManual = "manual"
+	// TagAuto marks automatically derived match results.
+	TagAuto = "auto"
+)
+
+// OpenRepository opens (creating if necessary) a repository file.
+func OpenRepository(path string) (*Repository, error) {
+	r, err := repository.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{Repo: r}, nil
+}
+
+// SchemaMatcher returns a reuse-oriented Schema matcher reading the
+// mappings stored under tag: given schemas S1 and S2 it composes every
+// stored pair of mappings S1↔S and S↔S2 via MatchCompose and
+// aggregates the compositions.
+func (r *Repository) SchemaMatcher(tag string) Matcher {
+	return reuse.NewSchemaMatcher("Schema", r.MappingStore(tag))
+}
+
+// FragmentMatcher returns a reuse-oriented Fragment matcher
+// transferring correspondences of shared schema fragments from the
+// mappings stored under tag.
+func (r *Repository) FragmentMatcher(tag string) Matcher {
+	return reuse.NewFragmentMatcher("Fragment", r.MappingStore(tag))
+}
+
+// MatchCompose composes two match results sharing a schema into a new
+// match result, averaging similarities along the transitive step.
+func MatchCompose(m1, m2 *Mapping) *Mapping {
+	return reuse.MatchCompose(m1, m2, reuse.ComposeAverage)
+}

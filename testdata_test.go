@@ -1,0 +1,38 @@
+package coma_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	coma "repro"
+)
+
+// TestShippedSchemaFiles guards the XSD exports of the workload schemas
+// under testdata/schemas: they must import cleanly and be matchable
+// with the default operation (they double as CLI demo inputs).
+func TestShippedSchemaFiles(t *testing.T) {
+	names := []string{"cidx", "excel", "noris", "paragon", "apertum"}
+	schemas := make([]*coma.Schema, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join("testdata", "schemas", n+".xsd"))
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		s, err := coma.LoadXSD(n, data)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if len(s.Paths()) < 40 {
+			t.Errorf("%s: only %d paths", n, len(s.Paths()))
+		}
+		schemas = append(schemas, s)
+	}
+	res, err := coma.Match(schemas[0], schemas[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Len() < 20 {
+		t.Errorf("cidx<->excel from files: only %d correspondences", res.Mapping.Len())
+	}
+}
