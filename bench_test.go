@@ -205,15 +205,51 @@ func BenchmarkFig13Sensitivity(b *testing.B) {
 }
 
 // BenchmarkDefaultMatch measures the full default match operation
-// end-to-end (matcher execution + combination) on task 1<->2.
+// end-to-end (matcher execution + combination) on task 1<->2, across
+// worker counts of the parallel engine.
 func BenchmarkDefaultMatch(b *testing.B) {
 	task := workload.Tasks()[0]
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coma.Match(task.S1, task.S2, coma.WithWorkers(w.workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNameSim measures one uncached hybrid name similarity: the
+// unit cost the per-schema profile precomputation amortizes. A fresh
+// matcher per iteration keeps both the pair cache and the profile
+// cache cold.
+func BenchmarkNameSim(b *testing.B) {
+	ctx := match.NewContext()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := coma.Match(task.S1, task.S2); err != nil {
-			b.Fatal(err)
-		}
+		nm := match.NewName()
+		_ = nm.NameSim(ctx, "POShipToCustomer", "DeliverToAddress")
+	}
+}
+
+// BenchmarkNameSimProfiled measures the same similarity with warm
+// profile cache but cold pair cache: the steady-state per-pair cost
+// inside a matrix fill.
+func BenchmarkNameSimProfiled(b *testing.B) {
+	ctx := match.NewContext()
+	nm := match.NewName()
+	_ = nm.NameSim(ctx, "POShipToCustomer", "DeliverToAddress")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nm.SetCombSim(combine.CombAverage) // drops the pair cache, keeps profiles
+		_ = nm.NameSim(ctx, "POShipToCustomer", "DeliverToAddress")
 	}
 }
 

@@ -40,6 +40,7 @@ func main() {
 		storeTag    = flag.String("store-tag", "", "store the resulting mapping in the repository under this tag")
 		reuseTag    = flag.String("reuse-tag", "", "add a repository-backed Schema reuse matcher over this tag")
 		format      = flag.String("format", "text", "output format: text, json, csv, dot (dot prints schema 1's graph)")
+		workers     = flag.Int("workers", 0, "parallel workers for matcher execution (0 = all CPUs, 1 = sequential)")
 		quiet       = flag.Bool("q", false, "print only the correspondences")
 		list        = flag.Bool("list", false, "list available matchers and exit")
 		interactive = flag.Bool("i", false, "interactive mode: review proposals, accept/reject, iterate")
@@ -61,7 +62,7 @@ func main() {
 		return
 	}
 	if err := run(flag.Arg(0), flag.Arg(1), *matchers, *agg, *dir, *maxN, *delta, *thr,
-		*dictFile, *repoPath, *storeTag, *reuseTag, *format, *quiet); err != nil {
+		*dictFile, *repoPath, *storeTag, *reuseTag, *format, *quiet, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "coma:", err)
 		os.Exit(1)
 	}
@@ -102,7 +103,7 @@ func loadSchema(path string) (*coma.Schema, error) {
 }
 
 func run(p1, p2, matchers, agg, dir string, maxN int, delta, thr float64,
-	dictFile, repoPath, storeTag, reuseTag, format string, quiet bool) error {
+	dictFile, repoPath, storeTag, reuseTag, format string, quiet bool, workers int) error {
 	s1, err := loadSchema(p1)
 	if err != nil {
 		return err
@@ -135,7 +136,7 @@ func run(p1, p2, matchers, agg, dir string, maxN int, delta, thr float64,
 	}
 	strategy.Sel = coma.Selection{MaxN: maxN, Delta: delta, Threshold: thr}
 
-	opts := []coma.Option{coma.WithStrategy(strategy)}
+	opts := []coma.Option{coma.WithStrategy(strategy), coma.WithWorkers(workers)}
 	if dictFile != "" {
 		f, err := os.Open(dictFile)
 		if err != nil {

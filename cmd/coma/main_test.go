@@ -34,12 +34,12 @@ func TestRunTextAndFormats(t *testing.T) {
 	sqlPath, xsdPath, _ := writeFixtures(t)
 	for _, format := range []string{"text", "json", "csv", "dot"} {
 		if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
-			"", "", "", "", format, true); err != nil {
+			"", "", "", "", format, true, 0); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 	}
 	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
-		"", "", "", "", "bogus", true); err == nil {
+		"", "", "", "", "bogus", true, 0); err == nil {
 		t.Error("unknown format should fail")
 	}
 }
@@ -47,19 +47,19 @@ func TestRunTextAndFormats(t *testing.T) {
 func TestRunStrategyFlags(t *testing.T) {
 	sqlPath, xsdPath, _ := writeFixtures(t)
 	if err := run(sqlPath, xsdPath, "NamePath,Leaves", "Min", "LargeSmall", 1, 0, 0.3,
-		"", "", "", "", "text", true); err != nil {
+		"", "", "", "", "text", true, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := run(sqlPath, xsdPath, "", "Bogus", "Both", 0, 0, 0,
-		"", "", "", "", "text", true); err == nil {
+		"", "", "", "", "text", true, 0); err == nil {
 		t.Error("unknown aggregation should fail")
 	}
 	if err := run(sqlPath, xsdPath, "", "Average", "Bogus", 0, 0, 0,
-		"", "", "", "", "text", true); err == nil {
+		"", "", "", "", "text", true, 0); err == nil {
 		t.Error("unknown direction should fail")
 	}
 	if err := run(sqlPath, xsdPath, "Bogus", "Average", "Both", 0, 0, 0,
-		"", "", "", "", "text", true); err == nil {
+		"", "", "", "", "text", true, 0); err == nil {
 		t.Error("unknown matcher should fail")
 	}
 }
@@ -68,19 +68,19 @@ func TestRunRepositoryStoreAndReuse(t *testing.T) {
 	sqlPath, xsdPath, dir := writeFixtures(t)
 	repoPath := filepath.Join(dir, "cli.repo")
 	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
-		"", repoPath, "manual", "", "text", true); err != nil {
+		"", repoPath, "manual", "", "text", true, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Reuse flag requires repo.
 	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
-		"", "", "", "manual", "text", true); err == nil {
+		"", "", "", "manual", "text", true, 0); err == nil {
 		t.Error("-reuse-tag without -repo should fail")
 	}
 	// Reuse against the stored mapping (trivially via itself: the
 	// Schema matcher skips the direct pair, so the result may be empty
 	// but the invocation must succeed).
 	if err := run(sqlPath, xsdPath, "NamePath", "Average", "Both", 0, 0.02, 0.5,
-		"", repoPath, "", "manual", "text", true); err != nil {
+		"", repoPath, "", "manual", "text", true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -92,11 +92,11 @@ func TestRunDictionaryFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
-		dictPath, "", "", "", "text", true); err != nil {
+		dictPath, "", "", "", "text", true, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := run(sqlPath, xsdPath, "", "Average", "Both", 0, 0.02, 0.5,
-		filepath.Join(dir, "missing.dict"), "", "", "", "text", true); err == nil {
+		filepath.Join(dir, "missing.dict"), "", "", "", "text", true, 0); err == nil {
 		t.Error("missing dictionary file should fail")
 	}
 }

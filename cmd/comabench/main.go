@@ -36,11 +36,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1 table2 table5 table6 fig8 fig9 fig10 fig11 fig12 fig13 instance flooding fragment all)")
+		exp     = flag.String("exp", "all", "experiment id (table1 table2 table5 table6 fig8 fig9 fig10 fig11 fig12 fig13 instance flooding fragment all; perf runs standalone, is not part of all, and ignores -workers/-quick)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel workers for the series grid")
 		quick   = flag.Bool("quick", false, "run a reduced strategy grid (for smoke tests)")
+		perfOut = flag.String("perf-out", "", "write the perf experiment's JSON report to this file (default stdout)")
 	)
 	flag.Parse()
+	if *exp == "perf" {
+		if err := expPerf(*perfOut); err != nil {
+			fmt.Fprintln(os.Stderr, "comabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *workers, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "comabench:", err)
 		os.Exit(1)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	coma "repro"
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+// perfReport is the JSON artifact of the perf experiment: one
+// measurement per engine hot path, dumped per PR (BENCH_pr<N>.json) to
+// track the performance trajectory of the match engine.
+type perfReport struct {
+	Experiment string        `json:"experiment"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Benchmarks []perfMeasure `json:"benchmarks"`
+}
+
+type perfMeasure struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// expPerf measures the matcher-engine hot paths (the targets of the
+// parallel match engine work): the default five-matcher Match operation
+// sequential vs. parallel, the individual hybrid matchers on the
+// largest workload task, and a single NameSim evaluation.
+func expPerf(outPath string) error {
+	big := workload.Tasks()[9] // 4<->5, the largest problem size
+	small := workload.Tasks()[0]
+	report := perfReport{
+		Experiment: "perf",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Benchmarks = append(report.Benchmarks, perfMeasure{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "# %-28s %12.0f ns/op %10d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	add("DefaultMatch/sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coma.Match(small.S1, small.S2, coma.WithWorkers(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("DefaultMatch/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coma.Match(small.S1, small.S2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, m := range []struct {
+		name  string
+		build func() match.Matcher
+	}{
+		{"Name", func() match.Matcher { return match.NewName() }},
+		{"NamePath", func() match.Matcher { return match.NewNamePath() }},
+		{"TypeName", func() match.Matcher { return match.NewTypeName() }},
+		{"Children", func() match.Matcher { return match.NewChildren() }},
+		{"Leaves", func() match.Matcher { return match.NewLeaves() }},
+	} {
+		ctx := match.NewContext()
+		add("Matcher/"+m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = m.build().Match(ctx, big.S1, big.S2)
+			}
+		})
+	}
+	add("NameSim/single", func(b *testing.B) {
+		ctx := match.NewContext()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nm := match.NewName()
+			_ = nm.NameSim(ctx, "POShipToCustomer", "DeliverToAddress")
+		}
+	})
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}

@@ -19,6 +19,12 @@
 // five hybrid matchers under (Average, Both,
 // Threshold(0.5)+Delta(0.02)) — unless options select different
 // matchers or strategies.
+//
+// Matcher execution is parallel by default: the k independent matchers
+// run concurrently and each fills its similarity matrix row-parallel.
+// WithWorkers bounds that parallelism (0 = runtime.NumCPU(), 1 = fully
+// sequential); the result is bit-identical for every worker count,
+// only the wall-clock time changes.
 package coma
 
 import (
@@ -132,6 +138,7 @@ type Options struct {
 	strategy Strategy
 	ctx      *match.Context
 	feedback *Feedback
+	workers  int
 }
 
 // Option adjusts match options.
@@ -195,6 +202,21 @@ func WithFeedback(f *Feedback) Option {
 	}
 }
 
+// WithWorkers bounds the parallelism of the matcher execution phase:
+// matchers run concurrently and each fills its matrix row-parallel
+// using up to n workers. 0 (the default) means runtime.NumCPU(); 1
+// forces fully sequential execution. Results are bit-identical for
+// every worker count.
+func WithWorkers(n int) Option {
+	return func(o *Options) error {
+		if n < 0 {
+			return fmt.Errorf("coma: negative worker count %d", n)
+		}
+		o.workers = n
+		return nil
+	}
+}
+
 func buildOptions(opts []Option) (*Options, error) {
 	o := &Options{
 		strategy: combine.Default(),
@@ -221,6 +243,7 @@ func Match(s1, s2 *Schema, opts ...Option) (*Result, error) {
 		Matchers: o.matchers,
 		Strategy: o.strategy,
 		Feedback: o.feedback,
+		Workers:  o.workers,
 	})
 }
 
@@ -239,6 +262,7 @@ func NewSession(s1, s2 *Schema, opts ...Option) (*Session, error) {
 		Matchers: o.matchers,
 		Strategy: o.strategy,
 		Feedback: o.feedback,
+		Workers:  o.workers,
 	}), nil
 }
 

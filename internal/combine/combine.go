@@ -74,9 +74,22 @@ func (a AggSpec) String() string {
 
 // Apply folds the cube into a single similarity matrix.
 func (a AggSpec) Apply(cube *simcube.Cube) (*simcube.Matrix, error) {
+	fold, err := a.Func(cube.Layers())
+	if err != nil {
+		return nil, err
+	}
+	return cube.Aggregate(fold), nil
+}
+
+// Func returns the per-cell fold of the aggregation over the given
+// number of matcher layers: the function receives the layers'
+// similarity values for one element pair and returns the aggregated
+// value. Exposing the fold lets hybrid matchers aggregate tiny
+// per-pair token grids without materializing a cube.
+func (a AggSpec) Func(layers int) (func(vals []float64) float64, error) {
 	switch a.Kind {
 	case Max:
-		return cube.Aggregate(func(v []float64) float64 {
+		return func(v []float64) float64 {
 			best := 0.0
 			for _, x := range v {
 				if x > best {
@@ -84,9 +97,9 @@ func (a AggSpec) Apply(cube *simcube.Cube) (*simcube.Matrix, error) {
 				}
 			}
 			return best
-		}), nil
+		}, nil
 	case Min:
-		return cube.Aggregate(func(v []float64) float64 {
+		return func(v []float64) float64 {
 			worst := 1.0
 			for _, x := range v {
 				if x < worst {
@@ -94,18 +107,18 @@ func (a AggSpec) Apply(cube *simcube.Cube) (*simcube.Matrix, error) {
 				}
 			}
 			return worst
-		}), nil
+		}, nil
 	case Average:
-		return cube.Aggregate(func(v []float64) float64 {
+		return func(v []float64) float64 {
 			s := 0.0
 			for _, x := range v {
 				s += x
 			}
 			return s / float64(len(v))
-		}), nil
+		}, nil
 	case Weighted:
-		if len(a.Weights) != cube.Layers() {
-			return nil, fmt.Errorf("combine: %d weights for %d matchers", len(a.Weights), cube.Layers())
+		if len(a.Weights) != layers {
+			return nil, fmt.Errorf("combine: %d weights for %d matchers", len(a.Weights), layers)
 		}
 		total := 0.0
 		for _, w := range a.Weights {
@@ -121,13 +134,13 @@ func (a AggSpec) Apply(cube *simcube.Cube) (*simcube.Matrix, error) {
 		for i, w := range a.Weights {
 			norm[i] = w / total
 		}
-		return cube.Aggregate(func(v []float64) float64 {
+		return func(v []float64) float64 {
 			s := 0.0
 			for i, x := range v {
 				s += norm[i] * x
 			}
 			return s
-		}), nil
+		}, nil
 	default:
 		return nil, fmt.Errorf("combine: unknown aggregation %v", a.Kind)
 	}
@@ -340,6 +353,71 @@ func CombinedSimilarity(c CombSim, n1, n2 int, result *simcube.Mapping) float64 
 	case CombDice:
 		matched := len(result.FromElements()) + len(result.ToElements())
 		return clamp01(float64(matched) / float64(n1+n2))
+	default:
+		return 0
+	}
+}
+
+// MutualBestSimilarity computes the combined similarity of two element
+// sets under the (Both, MaxN(1), comb) sub-strategy without
+// materializing a matrix or mapping: it evaluates sim exactly once per
+// pair (values normalized like Matrix.Set), selects the mutual best
+// candidates, and folds them with CombinedSimilarity's arithmetic. It
+// is the allocation-free fast path of the hybrid matchers' inner
+// combination step and produces bit-identical results to
+//
+//	Select(matrix, Both, Selection{MaxN: 1})
+//
+// followed by CombinedSimilarity(comb, rows, cols, mapping).
+func MutualBestSimilarity(comb CombSim, rows, cols int, sim func(i, j int) float64) float64 {
+	if rows == 0 || cols == 0 {
+		return 0
+	}
+	// Only the per-row and per-column best candidates matter, so the
+	// working set is O(rows+cols), not the full grid (two allocations:
+	// the row and column halves share one index and one value slice).
+	best := make([]int, rows+cols)
+	bestVal := make([]float64, rows+cols)
+	rowBest, colBest := best[:rows], best[rows:]
+	rowBestVal, colBestVal := bestVal[:rows], bestVal[rows:]
+	for j := range colBest {
+		colBest[j] = -1
+	}
+	for i := 0; i < rows; i++ {
+		rowBest[i] = -1
+		for j := 0; j < cols; j++ {
+			v := simcube.Clamp(sim(i, j))
+			// Strictly-greater comparisons keep the lowest index among
+			// ties, matching the stable descending sort of Selection.
+			if v > 0 {
+				if rowBest[i] < 0 || v > rowBestVal[i] {
+					rowBest[i], rowBestVal[i] = j, v
+				}
+				if colBest[j] < 0 || v > colBestVal[j] {
+					colBest[j], colBestVal[j] = i, v
+				}
+			}
+		}
+	}
+	// Mutual best pairs in row order — the iteration order of
+	// Intersect over the rowwise selection.
+	switch comb {
+	case CombAverage:
+		sum := 0.0
+		for i, j := range rowBest {
+			if j >= 0 && colBest[j] == i {
+				sum += 2 * rowBestVal[i]
+			}
+		}
+		return clamp01(sum / float64(rows+cols))
+	case CombDice:
+		pairs := 0
+		for i, j := range rowBest {
+			if j >= 0 && colBest[j] == i {
+				pairs++
+			}
+		}
+		return clamp01(float64(2*pairs) / float64(rows+cols))
 	default:
 		return 0
 	}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/combine"
 	"repro/internal/match"
@@ -32,6 +33,13 @@ type Config struct {
 	// Feedback, when set, pins user-asserted (mis)matches in the
 	// aggregated matrix before selection (the UserFeedback matcher).
 	Feedback *match.Feedback
+	// Workers bounds the parallelism of the matcher execution phase:
+	// the k independent matchers run concurrently (one goroutine per
+	// matcher) and each matcher fills its matrix row-parallel. 0 means
+	// runtime.NumCPU(); 1 forces fully sequential execution. Every
+	// similarity is a pure function of its inputs, so the result is
+	// bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's default match operation: the
@@ -66,13 +74,45 @@ type Result struct {
 
 // ExecuteMatchers runs the matcher execution phase: every matcher
 // produces one layer of the similarity cube over the schemas' paths.
+// The k matchers are independent (paper Section 3), so they execute
+// concurrently — one goroutine per matcher — unless the context's
+// worker bound is 1. Layer order always follows the matchers slice,
+// and results are bit-identical to sequential execution.
 func ExecuteMatchers(ctx *match.Context, s1, s2 *schema.Schema, matchers []match.Matcher) (*simcube.Cube, error) {
 	if len(matchers) == 0 {
 		return nil, fmt.Errorf("core: no matchers configured")
 	}
+	// Warm the schemas' lazily cached path enumerations before any
+	// concurrent access.
+	s1.Paths()
+	s2.Paths()
 	cube := simcube.NewCube(match.Keys(s1), match.Keys(s2))
-	for _, m := range matchers {
-		if err := cube.AddLayer(m.Name(), m.Match(ctx, s1, s2)); err != nil {
+	layers := make([]*simcube.Matrix, len(matchers))
+	if ctx != nil && ctx.Workers == 1 || len(matchers) == 1 {
+		for i, m := range matchers {
+			layers[i] = m.Match(ctx, s1, s2)
+		}
+	} else {
+		// One goroutine per matcher, all drawing on a single shared
+		// worker budget: a running matcher occupies one slot and its
+		// row-parallel fill claims extra slots only while the budget
+		// allows, so total parallelism stays bounded by the worker
+		// count rather than multiplying per matcher.
+		bctx := ctx.WithWorkerBudget()
+		var wg sync.WaitGroup
+		wg.Add(len(matchers))
+		for i, m := range matchers {
+			go func() {
+				defer wg.Done()
+				bctx.AcquireWorker()
+				defer bctx.ReleaseWorker()
+				layers[i] = m.Match(bctx, s1, s2)
+			}()
+		}
+		wg.Wait()
+	}
+	for i, m := range matchers {
+		if err := cube.AddLayer(m.Name(), layers[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -99,13 +139,18 @@ func CombineCube(cube *simcube.Cube, s1, s2 *schema.Schema, strategy combine.Str
 	return &Result{Cube: cube, Matrix: matrix, Mapping: mapping, SchemaSim: schemaSim}, nil
 }
 
-// Match performs one automatic match iteration on two schemas.
+// Match performs one automatic match iteration on two schemas. A
+// non-zero cfg.Workers overrides the context's worker bound for this
+// iteration.
 func Match(ctx *match.Context, s1, s2 *schema.Schema, cfg Config) (*Result, error) {
 	if err := s1.Validate(); err != nil {
 		return nil, fmt.Errorf("core: schema %s: %w", s1.Name, err)
 	}
 	if err := s2.Validate(); err != nil {
 		return nil, fmt.Errorf("core: schema %s: %w", s2.Name, err)
+	}
+	if cfg.Workers != 0 {
+		ctx = ctx.WithWorkers(cfg.Workers)
 	}
 	cube, err := ExecuteMatchers(ctx, s1, s2, cfg.Matchers)
 	if err != nil {

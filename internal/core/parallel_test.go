@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+// TestExecuteMatchersParallelMatchesSequential is the engine-level
+// golden test: running the default five matchers concurrently (and
+// with row-parallel fills) yields a cube bit-identical to the fully
+// sequential execution, layer names and order included.
+func TestExecuteMatchersParallelMatchesSequential(t *testing.T) {
+	task := workload.Tasks()[0]
+	seqCube, err := ExecuteMatchers(match.NewContext().WithWorkers(1),
+		task.S1, task.S2, DefaultConfig().Matchers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCube, err := ExecuteMatchers(match.NewContext().WithWorkers(4),
+		task.S1, task.S2, DefaultConfig().Matchers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqCube.Layers() != parCube.Layers() {
+		t.Fatalf("layers %d vs %d", seqCube.Layers(), parCube.Layers())
+	}
+	for l := 0; l < seqCube.Layers(); l++ {
+		if seqCube.Matchers()[l] != parCube.Matchers()[l] {
+			t.Fatalf("layer %d: name %q vs %q", l, seqCube.Matchers()[l], parCube.Matchers()[l])
+		}
+		sm, pm := seqCube.LayerAt(l), parCube.LayerAt(l)
+		for i := 0; i < sm.Rows(); i++ {
+			for j := 0; j < sm.Cols(); j++ {
+				if sm.Get(i, j) != pm.Get(i, j) {
+					t.Fatalf("layer %q cell (%d,%d): %v sequential, %v parallel",
+						seqCube.Matchers()[l], i, j, sm.Get(i, j), pm.Get(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestMatchWorkersIdenticalResults runs the full match operation across
+// worker counts and checks mapping, matrix and schema similarity are
+// identical.
+func TestMatchWorkersIdenticalResults(t *testing.T) {
+	task := workload.Tasks()[1]
+	ctx := match.NewContext()
+	base, err := Match(ctx, task.S1, task.S2, Config{
+		Matchers: DefaultConfig().Matchers,
+		Strategy: DefaultConfig().Strategy,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		res, err := Match(ctx, task.S1, task.S2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SchemaSim != base.SchemaSim {
+			t.Errorf("workers=%d: schema sim %v, sequential %v", workers, res.SchemaSim, base.SchemaSim)
+		}
+		bc, rc := base.Mapping.Correspondences(), res.Mapping.Correspondences()
+		if len(bc) != len(rc) {
+			t.Fatalf("workers=%d: %d correspondences, sequential %d", workers, len(rc), len(bc))
+		}
+		for i := range bc {
+			if bc[i] != rc[i] {
+				t.Errorf("workers=%d: correspondence %d = %v, sequential %v", workers, i, rc[i], bc[i])
+			}
+		}
+		for i := 0; i < base.Matrix.Rows(); i++ {
+			for j := 0; j < base.Matrix.Cols(); j++ {
+				if base.Matrix.Get(i, j) != res.Matrix.Get(i, j) {
+					t.Fatalf("workers=%d: matrix cell (%d,%d) differs", workers, i, j)
+				}
+			}
+		}
+	}
+}

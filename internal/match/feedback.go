@@ -94,8 +94,8 @@ func (f *Feedback) Name() string { return "UserFeedback" }
 // and — so that the matcher stays neutral where the user said nothing —
 // unasserted pairs score 0 as well. The engine distinguishes "no
 // assertion" from "rejected" via Pin.
-func (f *Feedback) Match(_ *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+func (f *Feedback) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	return matchPaths(ctx, s1, s2, func(p1, p2 schema.Path) float64 {
 		if f.Accepted(p1.String(), p2.String()) {
 			return 1
 		}

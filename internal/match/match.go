@@ -9,14 +9,23 @@
 // elements, where elements are identified by their paths. Executing k
 // matchers yields the k × m × n similarity cube processed by package
 // combine.
+//
+// The element pairs of a matrix are independent, so matchers fill
+// their matrices row-parallel; Context.Workers bounds the per-matcher
+// parallelism. All similarity values are pure functions of their
+// inputs, so the worker count never changes a result — only how fast
+// it arrives.
 package match
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/schema"
 	"repro/internal/simcube"
+	"repro/internal/strutil"
 )
 
 // Context carries the auxiliary information sources shared by matcher
@@ -27,6 +36,16 @@ type Context struct {
 	Dict     *dict.Dictionary
 	Types    *dict.TypeTable
 	Taxonomy *dict.Taxonomy
+	// Workers bounds the parallelism of matrix fills inside a single
+	// matcher execution. 0 means runtime.NumCPU(); 1 forces a
+	// sequential fill. The auxiliary sources must not be mutated while
+	// a match runs.
+	Workers int
+	// sem, when set (WithWorkerBudget), is a budget shared by every
+	// matcher executing under this context: row-fill helpers take
+	// extra workers only while slots remain, so concurrent matchers
+	// cannot multiply the bound.
+	sem chan struct{}
 }
 
 // NewContext returns a context with the default dictionary, type
@@ -38,6 +57,69 @@ func NewContext() *Context {
 		Types:    dict.DefaultTypeTable(),
 		Taxonomy: dict.DefaultTaxonomy(),
 	}
+}
+
+// WithWorkers returns a shallow copy of the context with the worker
+// bound replaced (0 restores the NumCPU default).
+func (c *Context) WithWorkers(n int) *Context {
+	out := &Context{}
+	if c != nil {
+		*out = *c
+	}
+	out.Workers = n
+	return out
+}
+
+// WithWorkerBudget returns a copy of the context that enforces its
+// worker bound as a total across every matcher executed under it: each
+// running matcher occupies one budget slot (AcquireWorker), and
+// row-parallel fills claim extra slots opportunistically. Without a
+// budget, each matcher parallelizes up to the bound on its own.
+func (c *Context) WithWorkerBudget() *Context {
+	n := 0
+	if c != nil {
+		n = c.Workers
+	}
+	out := c.WithWorkers(n)
+	out.sem = make(chan struct{}, out.workers())
+	return out
+}
+
+// AcquireWorker takes one slot of the shared worker budget, blocking
+// until one is free; a no-op without a budget.
+func (c *Context) AcquireWorker() {
+	if c != nil && c.sem != nil {
+		c.sem <- struct{}{}
+	}
+}
+
+// ReleaseWorker returns a slot taken by AcquireWorker or tryAcquire.
+func (c *Context) ReleaseWorker() {
+	if c != nil && c.sem != nil {
+		<-c.sem
+	}
+}
+
+// tryAcquire claims a budget slot without blocking; always true when
+// no budget is installed.
+func (c *Context) tryAcquire() bool {
+	if c == nil || c.sem == nil {
+		return true
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// workers resolves the effective worker count.
+func (c *Context) workers() int {
+	if c == nil || c.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return c.Workers
 }
 
 // expand adapts the context's dictionary to strutil.TokenSet.
@@ -80,38 +162,149 @@ func Keys(s *schema.Schema) []string {
 	return out
 }
 
+// parallelRows invokes fn for every row in [0, n), distributing rows
+// across the calling goroutine plus up to workers-1 extra goroutines
+// (fewer when the context's shared worker budget is exhausted). Rows
+// are claimed from a shared counter so uneven rows (cache hits vs.
+// misses) balance out. With one worker the loop runs inline.
+func parallelRows(ctx *Context, n int, fn func(i int)) {
+	extra := ctx.workers() - 1
+	if extra > n-1 {
+		extra = n - 1
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	if extra <= 0 {
+		work()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < extra; w++ {
+		if !ctx.tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ctx.ReleaseWorker()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
 // matchPaths fills a path × path matrix from a pairwise similarity
-// function.
-func matchPaths(s1, s2 *schema.Schema, sim func(p1, p2 schema.Path) float64) *simcube.Matrix {
+// function, row-parallel up to the context's worker bound. sim must be
+// a pure function of its inputs (plus read-only context state).
+func matchPaths(ctx *Context, s1, s2 *schema.Schema, sim func(p1, p2 schema.Path) float64) *simcube.Matrix {
 	p1, p2 := s1.Paths(), s2.Paths()
 	m := simcube.NewMatrix(Keys(s1), Keys(s2))
-	for i := range p1 {
+	parallelRows(ctx, len(p1), func(i int) {
 		for j := range p2 {
 			m.Set(i, j, sim(p1[i], p2[j]))
 		}
-	}
+	})
 	return m
 }
 
-// pairCache memoizes a symmetric-keyed string-pair similarity. It is
-// safe for concurrent use.
+// cacheShards spreads cache entries over independently locked shards so
+// row-parallel fills don't serialize on a single mutex. 32 shards keep
+// contention negligible for any plausible worker count.
+const cacheShards = 32
+
+// fnvPair hashes a string pair (FNV-1a with a separator) to a shard.
+func fnvPair(a, b string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(a); i++ {
+		h = (h ^ uint32(a[i])) * 16777619
+	}
+	h = (h ^ 0xff) * 16777619
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * 16777619
+	}
+	return h % cacheShards
+}
+
+// pairCache memoizes a string-pair similarity. It is sharded and safe
+// for concurrent use; the zero value is an empty cache.
 type pairCache struct {
-	mu sync.Mutex
-	m  map[[2]string]float64
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[[2]string]float64
+	}
 }
 
 func (c *pairCache) get(a, b string) (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.m[[2]string{a, b}]
+	s := &c.shards[fnvPair(a, b)]
+	s.mu.Lock()
+	v, ok := s.m[[2]string{a, b}]
+	s.mu.Unlock()
 	return v, ok
 }
 
 func (c *pairCache) put(a, b string, v float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[[2]string]float64)
+	s := &c.shards[fnvPair(a, b)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[[2]string]float64)
 	}
-	c.m[[2]string{a, b}] = v
+	s.m[[2]string{a, b}] = v
+	s.mu.Unlock()
+}
+
+// reset drops all entries (strategy changes invalidate cached values).
+func (c *pairCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}
+
+// profileCache memoizes name analysis (NameProfile) per distinct name.
+// Sharded like pairCache; the zero value is an empty cache. A racing
+// double build of the same name is harmless: profiles are deterministic
+// and either winner is equivalent.
+type profileCache struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[string]*strutil.NameProfile
+	}
+}
+
+func (c *profileCache) get(name string) (*strutil.NameProfile, bool) {
+	s := &c.shards[fnvPair(name, "")]
+	s.mu.Lock()
+	p, ok := s.m[name]
+	s.mu.Unlock()
+	return p, ok
+}
+
+func (c *profileCache) put(name string, p *strutil.NameProfile) {
+	s := &c.shards[fnvPair(name, "")]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]*strutil.NameProfile)
+	}
+	s.m[name] = p
+	s.mu.Unlock()
+}
+
+func (c *profileCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
 }

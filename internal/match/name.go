@@ -1,6 +1,7 @@
 package match
 
 import (
+	"slices"
 	"strings"
 
 	"repro/internal/combine"
@@ -20,32 +21,33 @@ import (
 // In NamePath mode the matcher operates on hierarchical names: the
 // concatenation of all element names on the path, providing additional
 // tokens and distinguishing different contexts of a shared element.
+//
+// Execution is two-phase: Match first analyzes every distinct name
+// into a strutil.NameProfile (tokenization, expansion, gram
+// extraction, Soundex — O(m+n) preparation instead of O(m·n)), then
+// fills the matrix pairwise from the profiles, row-parallel up to the
+// context's worker bound.
 type NameMatcher struct {
 	matcherName string
 	tokenSims   []*Simple
 	strategy    combine.Strategy
 	longName    bool
+	gramNs      []int
 	cache       pairCache
+	profiles    profileCache
 }
 
 // NewName returns the Name matcher with its Table 4 defaults:
 // constituent matchers {Trigram, Synonym} combined with
 // (Max, Both+Max1, Average).
 func NewName() *NameMatcher {
-	return &NameMatcher{
-		matcherName: "Name",
-		tokenSims:   []*Simple{Trigram(), Synonym()},
-		strategy:    defaultTokenStrategy(),
-	}
+	return newNameMatcher("Name", defaultTokenStrategy(), []*Simple{Trigram(), Synonym()}, false)
 }
 
 // NewNamePath returns the NamePath matcher: Name applied to the long
 // name built by concatenating all names of the elements in a path.
 func NewNamePath() *NameMatcher {
-	nm := NewName()
-	nm.matcherName = "NamePath"
-	nm.longName = true
-	return nm
+	return newNameMatcher("NamePath", defaultTokenStrategy(), []*Simple{Trigram(), Synonym()}, true)
 }
 
 // NewCustomName builds a Name-style matcher from explicit constituent
@@ -53,7 +55,22 @@ func NewNamePath() *NameMatcher {
 // hybrid matchers "can be configured easily by combining existing
 // matchers using the provided combination strategies".
 func NewCustomName(name string, strategy combine.Strategy, tokenSims ...*Simple) *NameMatcher {
-	return &NameMatcher{matcherName: name, tokenSims: tokenSims, strategy: strategy}
+	return newNameMatcher(name, strategy, tokenSims, false)
+}
+
+func newNameMatcher(name string, strategy combine.Strategy, tokenSims []*Simple, longName bool) *NameMatcher {
+	nm := &NameMatcher{
+		matcherName: name,
+		tokenSims:   tokenSims,
+		strategy:    strategy,
+		longName:    longName,
+	}
+	for _, tm := range tokenSims {
+		if n := tm.GramN(); n > 0 && !slices.Contains(nm.gramNs, n) {
+			nm.gramNs = append(nm.gramNs, n)
+		}
+	}
+	return nm
 }
 
 func defaultTokenStrategy() combine.Strategy {
@@ -70,23 +87,53 @@ func (nm *NameMatcher) Name() string { return nm.matcherName }
 
 // SetCombSim switches the strategy for computing the combined token-set
 // similarity (step 3) between Average and Dice; the evaluation compares
-// both (paper Section 7.2). The name cache is dropped.
+// both (paper Section 7.2). Cached name similarities are dropped.
 func (nm *NameMatcher) SetCombSim(c combine.CombSim) {
 	nm.strategy.Comb = c
-	nm.cache = pairCache{}
+	nm.cache.reset()
 }
 
-// Match implements Matcher.
+// pathName derives the name the matcher compares for one path.
+func (nm *NameMatcher) pathName(p schema.Path) string {
+	if nm.longName {
+		// Join with a separator so that tokenization respects the
+		// element boundaries of the hierarchical name
+		// (PurchaseOrder + shipToStreet must not fuse Order/ship).
+		return strings.Join(p.Names(), ".")
+	}
+	return p.Name()
+}
+
+// profile returns the analyzed form of a name, building and caching it
+// on first use.
+func (nm *NameMatcher) profile(ctx *Context, name string) *strutil.NameProfile {
+	if p, ok := nm.profiles.get(name); ok {
+		return p
+	}
+	p := strutil.NewNameProfile(name, ctx.expand, nm.gramNs...)
+	nm.profiles.put(name, p)
+	return p
+}
+
+// Match implements Matcher with the two-phase flow: analyze all names
+// up front, then fill the matrix row-parallel from the profiles.
 func (nm *NameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
-		if nm.longName {
-			// Join with a separator so that tokenization respects the
-			// element boundaries of the hierarchical name
-			// (PurchaseOrder + shipToStreet must not fuse Order/ship).
-			return nm.NameSim(ctx, strings.Join(p1.Names(), "."), strings.Join(p2.Names(), "."))
+	p1, p2 := s1.Paths(), s2.Paths()
+	prof1 := make([]*strutil.NameProfile, len(p1))
+	for i, p := range p1 {
+		prof1[i] = nm.profile(ctx, nm.pathName(p))
+	}
+	prof2 := make([]*strutil.NameProfile, len(p2))
+	for j, p := range p2 {
+		prof2[j] = nm.profile(ctx, nm.pathName(p))
+	}
+	m := simcube.NewMatrix(Keys(s1), Keys(s2))
+	parallelRows(ctx, len(p1), func(i int) {
+		for j := range p2 {
+			m.Set(i, j, nm.profileSim(ctx, prof1[i], prof2[j]))
 		}
-		return nm.NameSim(ctx, p1.Name(), p2.Name())
 	})
+	return m
 }
 
 // NameSim computes the similarity of two names: tokenize and expand
@@ -97,35 +144,53 @@ func (nm *NameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matri
 // detects the synonymy), select directional token correspondences
 // (Both, Max1) and fold them into a single value (Average).
 func (nm *NameMatcher) NameSim(ctx *Context, a, b string) float64 {
-	if v, ok := nm.cache.get(a, b); ok {
+	return nm.profileSim(ctx, nm.profile(ctx, a), nm.profile(ctx, b))
+}
+
+// profileSim is NameSim over analyzed names, memoized on the name pair.
+func (nm *NameMatcher) profileSim(ctx *Context, a, b *strutil.NameProfile) float64 {
+	if v, ok := nm.cache.get(a.Name, b.Name); ok {
 		return v
 	}
-	t1 := strutil.TokenSet(a, ctx.expand)
-	t2 := strutil.TokenSet(b, ctx.expand)
-	v := nm.tokenSetSim(ctx, t1, t2)
-	nm.cache.put(a, b, v)
+	v := nm.tokenSetSim(ctx, a, b)
+	nm.cache.put(a.Name, b.Name, v)
 	return v
 }
 
-func (nm *NameMatcher) tokenSetSim(ctx *Context, t1, t2 []string) float64 {
+// tokenSetSim runs the three combination steps on the token grid of two
+// analyzed names. The default sub-strategy (Both, Max1) takes the
+// mutual-best fast path, which evaluates the grid without materializing
+// a cube, matrix or mapping; other strategies fall back to the generic
+// matrix pipeline.
+func (nm *NameMatcher) tokenSetSim(ctx *Context, a, b *strutil.NameProfile) float64 {
+	t1, t2 := a.Profiles, b.Profiles
 	if len(t1) == 0 || len(t2) == 0 {
 		return 0
 	}
-	cube := simcube.NewCube(t1, t2)
-	for _, tm := range nm.tokenSims {
-		layer := cube.NewLayer(tm.Name())
-		for i, x := range t1 {
-			for j, y := range t2 {
-				layer.Set(i, j, tm.Sim(ctx, x, y))
-			}
-		}
-	}
-	matrix, err := nm.strategy.Agg.Apply(cube)
+	fold, err := nm.strategy.Agg.Func(len(nm.tokenSims))
 	if err != nil {
 		// Constituent configuration errors surface as zero similarity;
 		// the library constructors never produce such configurations.
 		return 0
 	}
-	res := combine.Select(matrix, nm.strategy.Dir, nm.strategy.Sel)
+	vals := make([]float64, len(nm.tokenSims))
+	cell := func(i, j int) float64 {
+		for k, tm := range nm.tokenSims {
+			// Normalize constituent values exactly like a cube layer
+			// stores them.
+			vals[k] = simcube.Clamp(tm.SimProfile(ctx, t1[i], t2[j]))
+		}
+		return fold(vals)
+	}
+	if nm.strategy.Dir == combine.Both && nm.strategy.Sel == (combine.Selection{MaxN: 1}) {
+		return combine.MutualBestSimilarity(nm.strategy.Comb, len(t1), len(t2), cell)
+	}
+	m := simcube.NewMatrix(a.Tokens, b.Tokens)
+	for i := range t1 {
+		for j := range t2 {
+			m.Set(i, j, cell(i, j))
+		}
+	}
+	res := combine.Select(m, nm.strategy.Dir, nm.strategy.Sel)
 	return combine.CombinedSimilarity(nm.strategy.Comb, len(t1), len(t2), res)
 }

@@ -1,0 +1,148 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/simcube"
+	"repro/internal/strutil"
+	"repro/internal/workload"
+)
+
+// matricesIdentical compares two matrices for bit-identical contents.
+func matricesIdentical(t *testing.T, name string, a, b *simcube.Matrix) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.Get(i, j) != b.Get(i, j) {
+				t.Fatalf("%s: cell (%d,%d) = %v sequential, %v parallel",
+					name, i, j, a.Get(i, j), b.Get(i, j))
+			}
+		}
+	}
+}
+
+// TestRowParallelFillIdentical is the golden guarantee of the parallel
+// engine: every matcher produces a bit-identical matrix whether its
+// rows are filled by one worker or many.
+func TestRowParallelFillIdentical(t *testing.T) {
+	task := workload.Tasks()[0]
+	builders := map[string]func() Matcher{
+		"Name":     func() Matcher { return NewName() },
+		"NamePath": func() Matcher { return NewNamePath() },
+		"TypeName": func() Matcher { return NewTypeName() },
+		"Children": func() Matcher { return NewChildren() },
+		"Leaves":   func() Matcher { return NewLeaves() },
+		"Affix":    func() Matcher { return Affix() },
+		"Trigram":  func() Matcher { return Trigram() },
+		"DataType": func() Matcher { return DataTypeMatcher{} },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			seqCtx := NewContext().WithWorkers(1)
+			parCtx := NewContext().WithWorkers(4)
+			// Fresh matcher instances per run: caches must not leak
+			// values across the compared executions.
+			seq := build().Match(seqCtx, task.S1, task.S2)
+			par := build().Match(parCtx, task.S1, task.S2)
+			matricesIdentical(t, name, seq, par)
+		})
+	}
+}
+
+// TestParallelRowsCoversAllRows checks the work distribution primitive:
+// every row index is visited exactly once for any worker count.
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			parallelRows(&Context{Workers: workers}, n, func(i int) { counts[i]++ })
+		}()
+		<-done
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: row %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestTokenSetSimFastPathMatchesGenericPipeline verifies the
+// mutual-best fast path against the original cube→aggregate→select→
+// combine pipeline, computed explicitly from the public combine API.
+func TestTokenSetSimFastPathMatchesGenericPipeline(t *testing.T) {
+	ctx := NewContext()
+	nm := NewName()
+	names := []string{
+		"PurchaseOrder", "POShipTo", "shipToStreet", "Order", "Cust",
+		"CustomerName", "deliverTo", "Address", "Street", "zipCode",
+		"unitPrice", "qty", "Contact", "PONo", "", "To",
+	}
+	strategy := defaultTokenStrategy()
+	for _, a := range names {
+		for _, b := range names {
+			got := nm.NameSim(ctx, a, b)
+
+			// Reference: the pre-optimization pipeline over token sets.
+			t1 := strutil.TokenSet(a, ctx.expand)
+			t2 := strutil.TokenSet(b, ctx.expand)
+			var want float64
+			if len(t1) > 0 && len(t2) > 0 {
+				cube := simcube.NewCube(t1, t2)
+				for _, tm := range []*Simple{Trigram(), Synonym()} {
+					layer := cube.NewLayer(tm.Name())
+					for i, x := range t1 {
+						for j, y := range t2 {
+							layer.Set(i, j, tm.Sim(ctx, x, y))
+						}
+					}
+				}
+				matrix, err := strategy.Agg.Apply(cube)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := combine.Select(matrix, strategy.Dir, strategy.Sel)
+				want = combine.CombinedSimilarity(strategy.Comb, len(t1), len(t2), res)
+			}
+			if got != want {
+				t.Errorf("NameSim(%q, %q) = %v, generic pipeline %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMutualBestSimilarityMatchesSelect cross-checks the combine fast
+// path against Select+CombinedSimilarity on a grid with ties, zeros and
+// asymmetric bests.
+func TestMutualBestSimilarityMatchesSelect(t *testing.T) {
+	rows := []string{"r0", "r1", "r2", "r3"}
+	cols := []string{"c0", "c1", "c2"}
+	grid := [][]float64{
+		{0.9, 0.9, 0}, // tie: lowest index wins
+		{0.2, 0.8, 0.8},
+		{0, 0, 0}, // no candidates
+		{0.2, 0.1, 0.7},
+	}
+	m := simcube.NewMatrix(rows, cols)
+	for i := range grid {
+		for j := range grid[i] {
+			m.Set(i, j, grid[i][j])
+		}
+	}
+	for _, comb := range []combine.CombSim{combine.CombAverage, combine.CombDice} {
+		res := combine.Select(m, combine.Both, combine.Selection{MaxN: 1})
+		want := combine.CombinedSimilarity(comb, len(rows), len(cols), res)
+		got := combine.MutualBestSimilarity(comb, len(rows), len(cols), func(i, j int) float64 {
+			return grid[i][j]
+		})
+		if got != want {
+			t.Errorf("%v: MutualBestSimilarity = %v, Select pipeline = %v", comb, got, want)
+		}
+	}
+}

@@ -14,12 +14,22 @@ import (
 // inside the hybrid Name matcher.
 type StringSim func(ctx *Context, a, b string) float64
 
+// ProfileSim computes a similarity in [0,1] between two precomputed
+// token profiles. It is the analyze-then-compare form of StringSim:
+// the per-token preparation (normalization, gram extraction, Soundex)
+// happens once per token instead of once per pair.
+type ProfileSim func(ctx *Context, a, b *strutil.TokenProfile) float64
+
 // Simple is a simple matcher (paper Section 4.1): it assesses element
 // similarity from a single criterion — here, applying a string
 // similarity to the terminal element names of two paths.
 type Simple struct {
 	name string
 	sim  StringSim
+	// psim, when set, is the profile-based equivalent of sim; gramN is
+	// the n-gram width it consumes (0 when none).
+	psim  ProfileSim
+	gramN int
 }
 
 // NewSimple wraps a string similarity as a matcher.
@@ -33,7 +43,7 @@ func (s *Simple) Name() string { return s.name }
 // Match implements Matcher: the similarity of two elements is the
 // string similarity of their names.
 func (s *Simple) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+	return matchPaths(ctx, s1, s2, func(p1, p2 schema.Path) float64 {
 		return s.sim(ctx, p1.Name(), p2.Name())
 	})
 }
@@ -41,12 +51,31 @@ func (s *Simple) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 // Sim exposes the underlying string similarity for use on name tokens.
 func (s *Simple) Sim(ctx *Context, a, b string) float64 { return s.sim(ctx, a, b) }
 
+// SimProfile computes the similarity from precomputed profiles when the
+// matcher supports it, falling back to the string similarity on the
+// profiles' tokens.
+func (s *Simple) SimProfile(ctx *Context, a, b *strutil.TokenProfile) float64 {
+	if s.psim != nil {
+		return s.psim(ctx, a, b)
+	}
+	return s.sim(ctx, a.Token, b.Token)
+}
+
+// GramN returns the n-gram width the matcher consumes from profiles
+// (0 for non-gram matchers); NameProfile builders precompute exactly
+// these widths.
+func (s *Simple) GramN() int { return s.gramN }
+
 // Affix returns the Affix matcher: common prefixes and suffixes of the
 // name strings.
 func Affix() *Simple {
-	return NewSimple("Affix", func(_ *Context, a, b string) float64 {
+	s := NewSimple("Affix", func(_ *Context, a, b string) float64 {
 		return strutil.AffixSim(a, b)
 	})
+	s.psim = func(_ *Context, a, b *strutil.TokenProfile) float64 {
+		return strutil.AffixSimProfile(a, b)
+	}
+	return s
 }
 
 // NGram returns an n-gram matcher: names compared by their sets of
@@ -59,9 +88,14 @@ func NGram(n int) *Simple {
 	case 3:
 		name = "Trigram"
 	}
-	return NewSimple(name, func(_ *Context, a, b string) float64 {
+	s := NewSimple(name, func(_ *Context, a, b string) float64 {
 		return strutil.NGramSim(a, b, n)
 	})
+	s.psim = func(_ *Context, a, b *strutil.TokenProfile) float64 {
+		return strutil.NGramSimProfile(a, b, n)
+	}
+	s.gramN = n
+	return s
 }
 
 // Trigram returns the 3-gram matcher, the default string matcher inside
@@ -70,16 +104,24 @@ func Trigram() *Simple { return NGram(3) }
 
 // EditDistance returns the Levenshtein-based matcher.
 func EditDistance() *Simple {
-	return NewSimple("EditDistance", func(_ *Context, a, b string) float64 {
+	s := NewSimple("EditDistance", func(_ *Context, a, b string) float64 {
 		return strutil.EditDistanceSim(a, b)
 	})
+	s.psim = func(_ *Context, a, b *strutil.TokenProfile) float64 {
+		return strutil.EditDistanceSimProfile(a, b)
+	}
+	return s
 }
 
 // Soundex returns the phonetic matcher based on soundex codes.
 func Soundex() *Simple {
-	return NewSimple("Soundex", func(_ *Context, a, b string) float64 {
+	s := NewSimple("Soundex", func(_ *Context, a, b string) float64 {
 		return strutil.SoundexSim(a, b)
 	})
+	s.psim = func(_ *Context, a, b *strutil.TokenProfile) float64 {
+		return strutil.SoundexSimProfile(a, b)
+	}
+	return s
 }
 
 // Synonym returns the semantic matcher: similarity between element
@@ -121,7 +163,7 @@ func (DataTypeMatcher) Name() string { return "DataType" }
 // Match implements Matcher over the terminal nodes' declared types.
 func (DataTypeMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	tt := ctx.typeTable()
-	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+	return matchPaths(ctx, s1, s2, func(p1, p2 schema.Path) float64 {
 		return tt.Compat(p1.Leaf().TypeName, p2.Leaf().TypeName)
 	})
 }

@@ -14,30 +14,15 @@ type leafMatcher interface {
 	SetCombSim(c combine.CombSim)
 }
 
-// combineSets folds a pairwise similarity over two path sets into one
-// value using the (Both, Max1, comb) sub-strategy of Table 4: build
-// the similarity matrix, select mutual best candidates, combine over
-// |S1|+|S2|.
-func combineSets(comb combine.CombSim, set1, set2 []schema.Path, sim func(i, j int) float64) float64 {
-	if len(set1) == 0 || len(set2) == 0 {
+// combineSets folds a pairwise similarity over two element sets into
+// one value using the (Both, Max1, comb) sub-strategy of Table 4:
+// select mutual best candidates, combine over |S1|+|S2|. The fold runs
+// matrix- and mapping-free (see combine.MutualBestSimilarity).
+func combineSets(comb combine.CombSim, n1, n2 int, sim func(i, j int) float64) float64 {
+	if n1 == 0 || n2 == 0 {
 		return 0
 	}
-	k1 := make([]string, len(set1))
-	for i, p := range set1 {
-		k1[i] = p.String()
-	}
-	k2 := make([]string, len(set2))
-	for j, p := range set2 {
-		k2[j] = p.String()
-	}
-	m := simcube.NewMatrix(k1, k2)
-	for i := range set1 {
-		for j := range set2 {
-			m.Set(i, j, sim(i, j))
-		}
-	}
-	res := combine.Select(m, combine.Both, combine.Selection{MaxN: 1})
-	return combine.CombinedSimilarity(comb, len(set1), len(set2), res)
+	return combine.MutualBestSimilarity(comb, n1, n2, sim)
 }
 
 // ChildrenMatcher is the hybrid structural Children matcher (paper
@@ -70,40 +55,65 @@ func (cm *ChildrenMatcher) SetCombSim(c combine.CombSim) {
 	cm.leaf.SetCombSim(c)
 }
 
+// childIndexes resolves, for every path, the matrix indices of its
+// containment children. Paths enumerate in preorder, so a child's index
+// is always greater than its parent's — the recurrence evaluates
+// bottom-up by iterating indices in reverse.
+func childIndexes(paths []schema.Path, keys []string) [][]int {
+	idx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	out := make([][]int, len(paths))
+	for i, p := range paths {
+		children := p.ChildPaths()
+		if len(children) == 0 {
+			continue
+		}
+		ci := make([]int, 0, len(children))
+		for _, c := range children {
+			if j, ok := idx[c.String()]; ok {
+				ci = append(ci, j)
+			}
+		}
+		out[i] = ci
+	}
+	return out
+}
+
 // Match implements Matcher. Leaf element pairs receive the leaf
 // matcher's similarity; inner element pairs the recursive child-set
-// similarity; mixed pairs similarity 0.
+// similarity; mixed pairs similarity 0. The recurrence is evaluated
+// bottom-up over the preorder path enumeration (children precede their
+// parents in reverse order), replacing the memoized recursion and its
+// per-pair path-string keys with direct matrix reads.
 func (cm *ChildrenMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	p1, p2 := s1.Paths(), s2.Paths()
-	out := simcube.NewMatrix(Keys(s1), Keys(s2))
-	memo := make(map[[2]string]float64)
-	var pairSim func(a, b schema.Path) float64
-	pairSim = func(a, b schema.Path) float64 {
-		key := [2]string{a.String(), b.String()}
-		if v, ok := memo[key]; ok {
-			return v
-		}
-		// Mark in-progress to terminate on (impossible in a DAG, but
-		// cheap insurance) self-recursion; a DAG's path recursion always
-		// descends so 0 is never read back in practice.
-		memo[key] = 0
-		var v float64
-		aLeaf, bLeaf := a.Leaf().IsLeaf(), b.Leaf().IsLeaf()
-		switch {
-		case aLeaf && bLeaf:
-			v = cm.leaf.PairSim(ctx, a, b)
-		case !aLeaf && !bLeaf:
-			c1, c2 := a.ChildPaths(), b.ChildPaths()
-			v = combineSets(cm.comb, c1, c2, func(i, j int) float64 {
-				return pairSim(c1[i], c2[j])
-			})
-		}
-		memo[key] = v
-		return v
+	k1, k2 := Keys(s1), Keys(s2)
+	out := simcube.NewMatrix(k1, k2)
+	child1 := childIndexes(p1, k1)
+	child2 := childIndexes(p2, k2)
+	leaf1 := make([]bool, len(p1))
+	for i, p := range p1 {
+		leaf1[i] = p.Leaf().IsLeaf()
 	}
-	for i := range p1 {
-		for j := range p2 {
-			out.Set(i, j, pairSim(p1[i], p2[j]))
+	leaf2 := make([]bool, len(p2))
+	for j, p := range p2 {
+		leaf2[j] = p.Leaf().IsLeaf()
+	}
+	for i := len(p1) - 1; i >= 0; i-- {
+		for j := len(p2) - 1; j >= 0; j-- {
+			var v float64
+			switch {
+			case leaf1[i] && leaf2[j]:
+				v = cm.leaf.PairSim(ctx, p1[i], p2[j])
+			case !leaf1[i] && !leaf2[j]:
+				c1, c2 := child1[i], child2[j]
+				v = combineSets(cm.comb, len(c1), len(c2), func(a, b int) float64 {
+					return out.Get(c1[a], c2[b])
+				})
+			}
+			out.Set(i, j, v)
 		}
 	}
 	return out
@@ -137,42 +147,60 @@ func (lm *LeavesMatcher) SetCombSim(c combine.CombSim) {
 	lm.leaf.SetCombSim(c)
 }
 
+// denseLeafSets assigns every distinct leaf path a dense index and
+// resolves each element's leaf set to those indices.
+func denseLeafSets(paths []schema.Path) (leaves []schema.Path, sets [][]int) {
+	idx := make(map[string]int)
+	sets = make([][]int, len(paths))
+	for i, p := range paths {
+		lp := p.LeafPaths()
+		set := make([]int, len(lp))
+		for k, l := range lp {
+			key := l.String()
+			j, ok := idx[key]
+			if !ok {
+				j = len(leaves)
+				idx[key] = j
+				leaves = append(leaves, l)
+			}
+			set[k] = j
+		}
+		sets[i] = set
+	}
+	return leaves, sets
+}
+
 // Match implements Matcher. For every element pair the leaf sets under
 // both elements are compared with the leaf matcher and combined with
 // (Both, Max1, Average); for a leaf element the leaf set is the element
 // itself, so leaf pairs degenerate to the plain leaf similarity.
+//
+// The leaf sets of different inner elements overlap heavily, so the
+// two-phase flow precomputes every distinct leaf-pair similarity once
+// into a dense grid (row-parallel), then combines per element pair
+// against that grid — no locks or cache lookups in the combine loop.
 func (lm *LeavesMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	p1, p2 := s1.Paths(), s2.Paths()
+	leaves1, sets1 := denseLeafSets(p1)
+	leaves2, sets2 := denseLeafSets(p2)
 
-	// The leaf sets of different inner elements overlap heavily, so
-	// compute every needed leaf-pair similarity once.
-	leafSets1 := make([][]schema.Path, len(p1))
-	for i, p := range p1 {
-		leafSets1[i] = p.LeafPaths()
-	}
-	leafSets2 := make([][]schema.Path, len(p2))
-	for j, p := range p2 {
-		leafSets2[j] = p.LeafPaths()
-	}
-	var cache pairCache
-	leafSim := func(a, b schema.Path) float64 {
-		ka, kb := a.String(), b.String()
-		if v, ok := cache.get(ka, kb); ok {
-			return v
+	nl2 := len(leaves2)
+	leafSims := make([]float64, len(leaves1)*nl2)
+	parallelRows(ctx, len(leaves1), func(a int) {
+		for b, l2 := range leaves2 {
+			leafSims[a*nl2+b] = lm.leaf.PairSim(ctx, leaves1[a], l2)
 		}
-		v := lm.leaf.PairSim(ctx, a, b)
-		cache.put(ka, kb, v)
-		return v
-	}
+	})
 
 	out := simcube.NewMatrix(Keys(s1), Keys(s2))
-	for i := range p1 {
+	parallelRows(ctx, len(p1), func(i int) {
+		l1 := sets1[i]
 		for j := range p2 {
-			l1, l2 := leafSets1[i], leafSets2[j]
-			out.Set(i, j, combineSets(lm.comb, l1, l2, func(a, b int) float64 {
-				return leafSim(l1[a], l2[b])
+			l2 := sets2[j]
+			out.Set(i, j, combineSets(lm.comb, len(l1), len(l2), func(a, b int) float64 {
+				return leafSims[l1[a]*nl2+l2[b]]
 			}))
 		}
-	}
+	})
 	return out
 }

@@ -44,7 +44,7 @@ func (tn *TypeNameMatcher) SetCombSim(c combine.CombSim) { tn.name.SetCombSim(c)
 
 // Match implements Matcher.
 func (tn *TypeNameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	return matchPaths(s1, s2, func(p1, p2 schema.Path) float64 {
+	return matchPaths(ctx, s1, s2, func(p1, p2 schema.Path) float64 {
 		return tn.PairSim(ctx, p1, p2)
 	})
 }

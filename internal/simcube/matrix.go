@@ -8,6 +8,7 @@ package simcube
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Matrix is an m × n similarity matrix over two ordered element-key
@@ -15,6 +16,11 @@ import (
 type Matrix struct {
 	rowKeys []string
 	colKeys []string
+	// Key→index maps are built lazily on the first keyed access: the
+	// hybrid matchers allocate a matrix per token grid / element pair
+	// and only ever address it by index, so eager map construction
+	// would dominate the inner loop.
+	idxOnce sync.Once
 	rowIdx  map[string]int
 	colIdx  map[string]int
 	data    []float64 // row-major
@@ -23,20 +29,25 @@ type Matrix struct {
 // NewMatrix returns a zero-filled matrix over the given key sets. The
 // key slices are captured, not copied; callers must not mutate them.
 func NewMatrix(rowKeys, colKeys []string) *Matrix {
-	m := &Matrix{
+	return &Matrix{
 		rowKeys: rowKeys,
 		colKeys: colKeys,
-		rowIdx:  make(map[string]int, len(rowKeys)),
-		colIdx:  make(map[string]int, len(colKeys)),
 		data:    make([]float64, len(rowKeys)*len(colKeys)),
 	}
-	for i, k := range rowKeys {
-		m.rowIdx[k] = i
-	}
-	for j, k := range colKeys {
-		m.colIdx[k] = j
-	}
-	return m
+}
+
+// ensureIdx builds the key→index maps; safe for concurrent use.
+func (m *Matrix) ensureIdx() {
+	m.idxOnce.Do(func() {
+		m.rowIdx = make(map[string]int, len(m.rowKeys))
+		for i, k := range m.rowKeys {
+			m.rowIdx[k] = i
+		}
+		m.colIdx = make(map[string]int, len(m.colKeys))
+		for j, k := range m.colKeys {
+			m.colIdx[k] = j
+		}
+	})
 }
 
 // Rows returns the number of rows (S1 elements).
@@ -57,16 +68,26 @@ func (m *Matrix) Get(i, j int) float64 { return m.data[i*len(m.colKeys)+j] }
 // Set stores a similarity at (i, j), clamped to [0, 1]. NaN is stored
 // as 0.
 func (m *Matrix) Set(i, j int, v float64) {
+	m.data[i*len(m.colKeys)+j] = Clamp(v)
+}
+
+// Clamp is the storage normalization of Set: values clamped to [0, 1],
+// NaN stored as 0. Exported so that matrix-free fast paths (token
+// grids, mutual-best folds) normalize exactly like a materialized
+// matrix would.
+func Clamp(v float64) float64 {
 	if math.IsNaN(v) || v < 0 {
-		v = 0
-	} else if v > 1 {
-		v = 1
+		return 0
 	}
-	m.data[i*len(m.colKeys)+j] = v
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // RowIndex returns the index of a row key, or -1.
 func (m *Matrix) RowIndex(key string) int {
+	m.ensureIdx()
 	if i, ok := m.rowIdx[key]; ok {
 		return i
 	}
@@ -75,6 +96,7 @@ func (m *Matrix) RowIndex(key string) int {
 
 // ColIndex returns the index of a column key, or -1.
 func (m *Matrix) ColIndex(key string) int {
+	m.ensureIdx()
 	if j, ok := m.colIdx[key]; ok {
 		return j
 	}
@@ -192,20 +214,20 @@ func (c *Cube) LayerAt(i int) *Matrix { return c.layers[i] }
 
 // Aggregate folds all layers into a single matrix cell-by-cell using f,
 // which receives the per-matcher similarity values for one element pair
-// (reused buffer; f must not retain it).
+// (reused buffer; f must not retain it). The fold runs directly over
+// the layers' flat row-major storage: one linear pass, no per-cell
+// index arithmetic.
 func (c *Cube) Aggregate(f func(vals []float64) float64) *Matrix {
 	out := NewMatrix(c.rowKeys, c.colKeys)
 	if len(c.layers) == 0 {
 		return out
 	}
 	vals := make([]float64, len(c.layers))
-	for i := range c.rowKeys {
-		for j := range c.colKeys {
-			for k, l := range c.layers {
-				vals[k] = l.Get(i, j)
-			}
-			out.Set(i, j, f(vals))
+	for p := range out.data {
+		for k, l := range c.layers {
+			vals[k] = l.data[p]
 		}
+		out.data[p] = Clamp(f(vals))
 	}
 	return out
 }

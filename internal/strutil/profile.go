@@ -1,0 +1,124 @@
+package strutil
+
+import "sort"
+
+// TokenProfile precomputes, for one name token, every artifact the
+// simple string similarities consume: the normalized form, sorted
+// n-gram multisets for the profiled gram widths, and the Soundex code.
+// Profiling a token once turns the per-pair cost of the simple
+// similarities from "re-derive both sides" into a plain comparison,
+// which is what makes the two-phase (analyze once, compare pairwise)
+// match flow worthwhile.
+type TokenProfile struct {
+	// Token is the lower-case token as produced by TokenSet; semantic
+	// similarities (Synonym, Taxonomy) look it up verbatim.
+	Token string
+	// Norm is the normalized form (lower-case letters and digits only).
+	Norm string
+	// Code is the Soundex code of the token ("" without a leading
+	// letter).
+	Code string
+
+	gramNs []int
+	grams  [][]string // sorted n-gram multisets, parallel to gramNs
+}
+
+// NewTokenProfile analyzes one token, precomputing grams for the given
+// widths (other widths are computed on demand by Grams).
+func NewTokenProfile(tok string, gramNs ...int) *TokenProfile {
+	p := &TokenProfile{Token: tok, Norm: normalize(tok)}
+	p.Code = soundexNorm(p.Norm)
+	if len(gramNs) > 0 {
+		p.gramNs = gramNs
+		p.grams = make([][]string, len(gramNs))
+		for i, n := range gramNs {
+			p.grams[i] = sortedGrams(p.Norm, n)
+		}
+	}
+	return p
+}
+
+// Grams returns the sorted n-gram multiset of the token's normalized
+// form, precomputed when n was profiled.
+func (p *TokenProfile) Grams(n int) []string {
+	for i, gn := range p.gramNs {
+		if gn == n {
+			return p.grams[i]
+		}
+	}
+	return sortedGrams(p.Norm, n)
+}
+
+// sortedGrams is NGrams over an already-normalized string, sorted so
+// that multiset intersections run by linear merge instead of a map.
+func sortedGrams(norm string, n int) []string {
+	out := gramsNorm(norm, n)
+	sort.Strings(out)
+	return out
+}
+
+// sortedCommon counts the multiset intersection of two sorted slices.
+func sortedCommon(a, b []string) int {
+	common, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return common
+}
+
+// AffixSimProfile is AffixSim over precomputed profiles.
+func AffixSimProfile(a, b *TokenProfile) float64 { return affixSimNorm(a.Norm, b.Norm) }
+
+// NGramSimProfile is NGramSim over precomputed profiles.
+func NGramSimProfile(a, b *TokenProfile, n int) float64 {
+	ga, gb := a.Grams(n), b.Grams(n)
+	if len(ga) == 0 || len(gb) == 0 {
+		if a.Norm == b.Norm && a.Norm != "" {
+			return 1
+		}
+		return 0
+	}
+	return 2 * float64(sortedCommon(ga, gb)) / float64(len(ga)+len(gb))
+}
+
+// EditDistanceSimProfile is EditDistanceSim over precomputed profiles.
+func EditDistanceSimProfile(a, b *TokenProfile) float64 {
+	return editDistanceSimNorm(a.Norm, b.Norm)
+}
+
+// SoundexSimProfile is SoundexSim over precomputed profiles.
+func SoundexSimProfile(a, b *TokenProfile) float64 { return soundexSimCodes(a.Code, b.Code) }
+
+// NameProfile is the analyzed form of one element name: the expanded
+// token set of TokenSet plus one TokenProfile per token. Building one
+// profile per schema element up front reduces the name pre-processing
+// cost of a match from O(m·n) re-tokenizations to O(m+n).
+type NameProfile struct {
+	// Name is the original element name.
+	Name string
+	// Tokens is the final token set (TokenSet order); it doubles as the
+	// key set of per-pair token similarity grids.
+	Tokens []string
+	// Profiles holds the per-token analysis, parallel to Tokens.
+	Profiles []*TokenProfile
+}
+
+// NewNameProfile tokenizes and expands name (see TokenSet) and profiles
+// every resulting token for the given gram widths.
+func NewNameProfile(name string, expand func(string) []string, gramNs ...int) *NameProfile {
+	tokens := TokenSet(name, expand)
+	p := &NameProfile{Name: name, Tokens: tokens, Profiles: make([]*TokenProfile, len(tokens))}
+	for i, tok := range tokens {
+		p.Profiles[i] = NewTokenProfile(tok, gramNs...)
+	}
+	return p
+}

@@ -1,0 +1,103 @@
+package strutil
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// profileCorpus mixes the shapes the matchers see: camel case, acronyms,
+// digits, separators, very short and empty names, and unicode.
+var profileCorpus = []string{
+	"PurchaseOrder", "POShipTo", "shipToStreet", "Order", "order",
+	"Cust", "C", "", "HTTPServer", "deliver_to", "Address2", "Straße",
+	"a", "an", "zip", "code", "PONo", "unit-price", "qty",
+}
+
+// TestProfiledSimsMatchStringAPIs pins the contract that the profiled
+// similarities are exact drop-ins for the string-pair APIs: same inputs,
+// bit-identical outputs.
+func TestProfiledSimsMatchStringAPIs(t *testing.T) {
+	for _, a := range profileCorpus {
+		for _, b := range profileCorpus {
+			pa, pb := NewTokenProfile(a, 2, 3), NewTokenProfile(b, 2, 3)
+			if got, want := AffixSimProfile(pa, pb), AffixSim(a, b); got != want {
+				t.Errorf("AffixSimProfile(%q, %q) = %v, string API %v", a, b, got, want)
+			}
+			for _, n := range []int{1, 2, 3, 4} {
+				if got, want := NGramSimProfile(pa, pb, n), NGramSim(a, b, n); got != want {
+					t.Errorf("NGramSimProfile(%q, %q, %d) = %v, string API %v", a, b, n, got, want)
+				}
+			}
+			if got, want := EditDistanceSimProfile(pa, pb), EditDistanceSim(a, b); got != want {
+				t.Errorf("EditDistanceSimProfile(%q, %q) = %v, string API %v", a, b, got, want)
+			}
+			if got, want := SoundexSimProfile(pa, pb), SoundexSim(a, b); got != want {
+				t.Errorf("SoundexSimProfile(%q, %q) = %v, string API %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestNGramsShortString pins the len(s) < n edge case: the whole
+// normalized string becomes the single gram — there is no padding.
+func TestNGramsShortString(t *testing.T) {
+	if got := NGrams("po", 3); !reflect.DeepEqual(got, []string{"po"}) {
+		t.Errorf("NGrams(po, 3) = %v, want [po]", got)
+	}
+	if got := NGrams("P.O", 4); !reflect.DeepEqual(got, []string{"po"}) {
+		t.Errorf("NGrams(P.O, 4) = %v, want [po]", got)
+	}
+	if got := NGrams("", 3); got != nil {
+		t.Errorf("NGrams(empty, 3) = %v, want nil", got)
+	}
+	if got := NGrams("abc", 0); got != nil {
+		t.Errorf("NGrams(abc, 0) = %v, want nil", got)
+	}
+	// Two distinct short strings share no grams and are dissimilar even
+	// though one prefixes the other.
+	if got := NGramSim("po", "pos", 4); got != 0 {
+		t.Errorf("NGramSim(po, pos, 4) = %v, want 0", got)
+	}
+	if got := NGramSim("po", "P-O", 4); got != 1 {
+		t.Errorf("NGramSim(po, P-O, 4) = %v, want 1", got)
+	}
+}
+
+// TestTokenProfileGrams checks that profiled gram widths are served
+// precomputed and unprofiled widths fall back to on-the-fly derivation,
+// both matching the NGrams multiset.
+func TestTokenProfileGrams(t *testing.T) {
+	p := NewTokenProfile("PurchaseOrder", 3)
+	for _, n := range []int{2, 3} {
+		want := NGrams("PurchaseOrder", n)
+		sort.Strings(want)
+		if got := p.Grams(n); !reflect.DeepEqual(got, want) {
+			t.Errorf("Grams(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestNameProfileTokens checks the profile carries TokenSet's expanded
+// token set verbatim.
+func TestNameProfileTokens(t *testing.T) {
+	expand := func(tok string) []string {
+		if tok == "po" {
+			return []string{"purchase", "order"}
+		}
+		return nil
+	}
+	p := NewNameProfile("POShipTo", expand, 3)
+	want := TokenSet("POShipTo", expand)
+	if !reflect.DeepEqual(p.Tokens, want) {
+		t.Errorf("Tokens = %v, want %v", p.Tokens, want)
+	}
+	if len(p.Profiles) != len(p.Tokens) {
+		t.Fatalf("got %d profiles for %d tokens", len(p.Profiles), len(p.Tokens))
+	}
+	for i, tok := range p.Tokens {
+		if p.Profiles[i].Token != tok {
+			t.Errorf("profile %d is for %q, want %q", i, p.Profiles[i].Token, tok)
+		}
+	}
+}

@@ -31,7 +31,11 @@ func normalize(s string) string {
 // prefix plus the longest common suffix (counted over disjoint regions),
 // normalized by the average string length.
 func AffixSim(a, b string) float64 {
-	a, b = normalize(a), normalize(b)
+	return affixSimNorm(normalize(a), normalize(b))
+}
+
+// affixSimNorm is AffixSim over already-normalized strings.
+func affixSimNorm(a, b string) float64 {
 	if a == b {
 		if a == "" {
 			return 0
@@ -68,11 +72,18 @@ func commonSuffixLen(a, b string) int {
 	return n
 }
 
-// NGrams returns the multiset of n-grams of s after normalization, using
-// padding so that short strings still produce grams. For n <= 0 or an
-// empty string the result is nil.
+// NGrams returns the multiset of n-grams of s after normalization, in
+// sliding-window order. Strings shorter than n are not padded: they
+// contribute their whole normalized form as a single gram, so short
+// names compare non-trivially against longer names' grams only on
+// exact equality. For n <= 0 or an empty string the result is nil.
 func NGrams(s string, n int) []string {
-	s = normalize(s)
+	return gramsNorm(normalize(s), n)
+}
+
+// gramsNorm is NGrams over an already-normalized string; the single
+// source of gram extraction shared with the sorted profile variant.
+func gramsNorm(s string, n int) []string {
 	if n <= 0 || s == "" {
 		return nil
 	}
@@ -90,31 +101,25 @@ func NGrams(s string, n int) []string {
 // and b: 2·|common| / (|grams(a)| + |grams(b)|). Digram similarity is
 // NGramSim(a, b, 2), trigram similarity NGramSim(a, b, 3).
 func NGramSim(a, b string, n int) float64 {
-	ga, gb := NGrams(a, n), NGrams(b, n)
+	na, nb := normalize(a), normalize(b)
+	ga, gb := sortedGrams(na, n), sortedGrams(nb, n)
 	if len(ga) == 0 || len(gb) == 0 {
-		if normalize(a) == normalize(b) && normalize(a) != "" {
+		if na == nb && na != "" {
 			return 1
 		}
 		return 0
 	}
-	count := make(map[string]int, len(ga))
-	for _, g := range ga {
-		count[g]++
-	}
-	common := 0
-	for _, g := range gb {
-		if count[g] > 0 {
-			count[g]--
-			common++
-		}
-	}
-	return 2 * float64(common) / float64(len(ga)+len(gb))
+	return 2 * float64(sortedCommon(ga, gb)) / float64(len(ga)+len(gb))
 }
 
 // EditDistance returns the Levenshtein distance between the normalized
 // forms of a and b.
 func EditDistance(a, b string) int {
-	a, b = normalize(a), normalize(b)
+	return editDistanceNorm(normalize(a), normalize(b))
+}
+
+// editDistanceNorm is EditDistance over already-normalized strings.
+func editDistanceNorm(a, b string) int {
 	if a == b {
 		return 0
 	}
@@ -146,7 +151,12 @@ func EditDistance(a, b string) int {
 // EditDistanceSim converts the Levenshtein metric into a similarity:
 // 1 − distance / max(len(a), len(b)) over normalized forms.
 func EditDistanceSim(a, b string) float64 {
-	na, nb := normalize(a), normalize(b)
+	return editDistanceSimNorm(normalize(a), normalize(b))
+}
+
+// editDistanceSimNorm is EditDistanceSim over already-normalized
+// strings.
+func editDistanceSimNorm(na, nb string) float64 {
 	if na == nb {
 		if na == "" {
 			return 0
@@ -160,13 +170,17 @@ func EditDistanceSim(a, b string) float64 {
 	if longest == 0 {
 		return 0
 	}
-	return 1 - float64(EditDistance(na, nb))/float64(longest)
+	return 1 - float64(editDistanceNorm(na, nb))/float64(longest)
 }
 
 // Soundex returns the classic 4-character Soundex code of s ("" for
 // strings without a leading letter).
 func Soundex(s string) string {
-	s = normalize(s)
+	return soundexNorm(normalize(s))
+}
+
+// soundexNorm is Soundex over an already-normalized string.
+func soundexNorm(s string) string {
 	// Skip leading non-letters.
 	start := 0
 	for start < len(s) && (s[start] < 'a' || s[start] > 'z') {
@@ -224,7 +238,11 @@ func soundexDigit(c byte) byte {
 // SoundexSim compares names phonetically: 1 when the Soundex codes are
 // identical, otherwise the fraction of leading code positions agreeing.
 func SoundexSim(a, b string) float64 {
-	ca, cb := Soundex(a), Soundex(b)
+	return soundexSimCodes(Soundex(a), Soundex(b))
+}
+
+// soundexSimCodes is SoundexSim over precomputed Soundex codes.
+func soundexSimCodes(ca, cb string) float64 {
 	if ca == "" || cb == "" {
 		return 0
 	}
