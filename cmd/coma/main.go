@@ -181,7 +181,13 @@ func run(p1, p2, matchers, agg, dir string, maxN int, delta, thr float64,
 		opts = append(opts, coma.WithMatchers(names...))
 	}
 
-	res, err := coma.Match(s1, s2, opts...)
+	// One engine per invocation: both schemas are analyzed once and the
+	// analyses shared by every matcher of the operation.
+	engine, err := coma.NewEngine(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := engine.Match(s1, s2)
 	if err != nil {
 		return err
 	}

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
@@ -36,14 +35,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1 table2 table5 table6 fig8 fig9 fig10 fig11 fig12 fig13 instance flooding fragment all; perf runs standalone, is not part of all, and ignores -workers/-quick)")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel workers for the series grid")
-		quick   = flag.Bool("quick", false, "run a reduced strategy grid (for smoke tests)")
-		perfOut = flag.String("perf-out", "", "write the perf experiment's JSON report to this file (default stdout)")
+		exp      = flag.String("exp", "all", "experiment id (table1 table2 table5 table6 fig8 fig9 fig10 fig11 fig12 fig13 instance flooding fragment all; perf runs standalone, is not part of all, and ignores -workers/-quick)")
+		workers  = flag.Int("workers", 0, "parallel workers for the series grid (<= 0 = all CPUs)")
+		quick    = flag.Bool("quick", false, "run a reduced strategy grid (for smoke tests)")
+		perfOut  = flag.String("perf-out", "", "write the perf experiment's JSON report to this file (default stdout)")
+		check    = flag.String("check", "", "perf only: compare against this committed BENCH_pr<N>.json (or bare report) and fail on regressions")
+		checkTol = flag.Float64("check-tol", 0.25, "perf only: relative ns/op regression tolerated by -check")
 	)
 	flag.Parse()
 	if *exp == "perf" {
-		if err := expPerf(*perfOut); err != nil {
+		if err := expPerf(*perfOut, *check, *checkTol); err != nil {
 			fmt.Fprintln(os.Stderr, "comabench:", err)
 			os.Exit(1)
 		}

@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	coma "repro"
+	"repro/internal/analysis"
+	"repro/internal/combine"
 	"repro/internal/match"
+	"repro/internal/reuse"
 	"repro/internal/workload"
 )
 
@@ -29,11 +33,16 @@ type perfMeasure struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// expPerf measures the matcher-engine hot paths (the targets of the
-// parallel match engine work): the default five-matcher Match operation
-// sequential vs. parallel, the individual hybrid matchers on the
-// largest workload task, and a single NameSim evaluation.
-func expPerf(outPath string) error {
+// expPerf measures the matcher-engine hot paths: the default
+// five-matcher Match operation sequential vs. parallel vs. through a
+// reusable Engine (amortized schema analysis), the individual hybrid
+// matchers on the largest workload task, the schema analysis pass
+// itself, a dictionary/taxonomy-heavy Name variant, and a single
+// NameSim evaluation. With a non-empty checkPath the current numbers
+// are additionally compared against the committed snapshot and an
+// error is returned when any shared benchmark regressed by more than
+// tol (the CI regression gate).
+func expPerf(outPath, checkPath string, tol float64) error {
 	big := workload.Tasks()[9] // 4<->5, the largest problem size
 	small := workload.Tasks()[0]
 	report := perfReport{
@@ -69,6 +78,67 @@ func expPerf(outPath string) error {
 			}
 		}
 	})
+	// The repeated-match scenario of the paper's reuse workload: the
+	// same pair matched again and again. The fresh variant re-analyzes
+	// both schemas per op (package-level Match); the engine variant
+	// hits its analysis cache after the first op.
+	add("RepeatedMatch/fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coma.Match(big.S1, big.S2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("RepeatedMatch/engine", func(b *testing.B) {
+		engine, err := coma.NewEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Match(big.S1, big.S2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("Analyze/schema", func(b *testing.B) {
+		ctx := match.NewContext()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = analysis.NewIndex(big.S1, ctx.Sources())
+		}
+	})
+	// The paper's repository-reuse scenario: the Schema reuse matcher
+	// predicts a match purely by composing stored mappings, so the
+	// match itself is join-work — per-op schema analysis dominates.
+	// The fresh variant re-analyzes both schemas every op; the engine
+	// amortizes analysis across the burst.
+	store := &reuse.MemStore{}
+	for _, t := range workload.Tasks() {
+		store.Put(t.Gold)
+	}
+	sm := reuse.NewSchemaMatcher("SchemaM", store)
+	add("RepeatedReuse/fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coma.Match(big.S1, big.S2, coma.WithMatcherInstances(sm)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("RepeatedReuse/engine", func(b *testing.B) {
+		engine, err := coma.NewEngine(coma.WithMatcherInstances(sm))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Match(big.S1, big.S2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	for _, m := range []struct {
 		name  string
 		build func() match.Matcher
@@ -87,6 +157,23 @@ func expPerf(outPath string) error {
 			}
 		})
 	}
+	// Dictionary/taxonomy-heavy: every token pair consults the synonym
+	// hit-sets and the is-a chains.
+	add("Matcher/NameTaxonomy", func(b *testing.B) {
+		ctx := match.NewContext()
+		strategy := combine.Strategy{
+			Agg:  combine.AggSpec{Kind: combine.Max},
+			Dir:  combine.Both,
+			Sel:  combine.Selection{MaxN: 1},
+			Comb: combine.CombAverage,
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := match.NewCustomName("NameTax", strategy,
+				match.Trigram(), match.Synonym(), match.Taxonomy())
+			_ = m.Match(ctx, big.S1, big.S2)
+		}
+	})
 	add("NameSim/single", func(b *testing.B) {
 		ctx := match.NewContext()
 		b.ReportAllocs()
@@ -102,8 +189,107 @@ func expPerf(outPath string) error {
 	}
 	out = append(out, '\n')
 	if outPath == "" {
-		_, err = os.Stdout.Write(out)
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, out, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, out, 0o644)
+	if checkPath != "" {
+		return checkRegressions(report, checkPath, tol)
+	}
+	return nil
+}
+
+// benchSnapshot is the shape of a committed benchmark file: either a
+// bare perfReport or a BENCH_pr<N>.json trajectory entry whose "after"
+// block holds the snapshot to gate against.
+type benchSnapshot struct {
+	Benchmarks []perfMeasure `json:"benchmarks"`
+	After      *perfReport   `json:"after"`
+}
+
+// checkRegressions compares the current report against the snapshot at
+// path and errors when any benchmark present in both regressed by more
+// than tol (relative ns/op). Benchmarks unique to either side are
+// ignored, so snapshots age gracefully across PRs.
+//
+// Ratios are normalized by their median before the tolerance applies:
+// a machine uniformly faster or slower than the snapshot machine (CI
+// shared runners vs. the dev box) shifts every ratio by the same
+// factor, which the median absorbs, while a genuine hot-path
+// regression shows as that benchmark's ratio exceeding the rest.
+// Uniform whole-engine regressions are therefore caught by re-running
+// the check on the machine that recorded the snapshot, not in CI.
+func checkRegressions(cur perfReport, path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perf check: %w", err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("perf check: %s: %w", path, err)
+	}
+	base := snap.Benchmarks
+	if snap.After != nil {
+		base = snap.After.Benchmarks
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("perf check: %s holds no benchmarks", path)
+	}
+	baseline := make(map[string]float64, len(base))
+	for _, b := range base {
+		baseline[b.Name] = b.NsPerOp
+	}
+	type comparison struct {
+		name     string
+		ns, want float64
+		ratio    float64
+	}
+	var comps []comparison
+	for _, b := range cur.Benchmarks {
+		want, ok := baseline[b.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		comps = append(comps, comparison{b.Name, b.NsPerOp, want, b.NsPerOp / want})
+	}
+	if len(comps) == 0 {
+		return fmt.Errorf("perf check: no benchmark shared with %s", path)
+	}
+	ratios := make([]float64, len(comps))
+	for i, c := range comps {
+		ratios[i] = c.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if median <= 0 {
+		median = 1
+	}
+	var regressions []string
+	for _, c := range comps {
+		rel := c.ratio / median
+		status := "ok"
+		if rel > 1+tol {
+			status = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs %.0f ns/op baseline (%.2fx raw, %.2fx machine-normalized)",
+				c.name, c.ns, c.want, c.ratio, rel))
+		}
+		fmt.Fprintf(os.Stderr, "# check %-28s %.2fx of baseline (%.2fx normalized) [%s]\n",
+			c.name, c.ratio, rel, status)
+	}
+	fmt.Fprintf(os.Stderr, "# check machine factor (median ratio): %.2fx\n", median)
+	if len(regressions) > 0 {
+		msg := "perf check: timing regressed beyond " + fmt.Sprintf("%.0f%%", tol*100)
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Fprintf(os.Stderr, "# check passed: %d benchmarks within %.0f%% of %s\n", len(comps), tol*100, path)
+	return nil
 }

@@ -25,6 +25,14 @@
 // WithWorkers bounds that parallelism (0 = runtime.NumCPU(), 1 = fully
 // sequential); the result is bit-identical for every worker count,
 // only the wall-clock time changes.
+//
+// Matching is two-phase: each schema is analyzed once into a shared
+// per-schema index (path enumerations, tokenized and expanded name
+// profiles, dictionary hit-sets, generic type classes) that all
+// matchers read. An Engine caches these analyses across Match calls,
+// so matching one schema against many others — the paper's reuse
+// scenario — pays its analysis exactly once; see NewEngine and
+// Engine.Analyze.
 package coma
 
 import (
@@ -233,17 +241,67 @@ func buildOptions(opts []Option) (*Options, error) {
 	return o, nil
 }
 
-// Match performs one automatic match operation on two schemas.
+// Match performs one automatic match operation on two schemas. Every
+// call analyzes the schemas afresh; use an Engine (or a Session) to
+// amortize schema analysis across repeated matches.
 func Match(s1, s2 *Schema, opts ...Option) (*Result, error) {
+	e, err := NewEngine(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Match(s1, s2)
+}
+
+// Engine is a reusable match engine: it carries the matcher context
+// (auxiliary sources, strategy, worker bound) and a per-schema
+// analysis cache across Match calls. A schema matched repeatedly —
+// the paper's reuse scenario, where an incoming schema is compared
+// against every schema of a repository — is analyzed exactly once,
+// instead of once per Match as with the package-level function.
+//
+// An Engine is safe for concurrent use as long as its options are not
+// mutated after construction (the matchers hold no per-match state and
+// the analysis cache is synchronized); concurrent Match calls on the
+// same schemas share one analysis.
+type Engine struct {
+	o *Options
+}
+
+// NewEngine builds a reusable engine from the same options Match
+// accepts.
+func NewEngine(opts ...Option) (*Engine, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return core.Match(o.ctx, s1, s2, core.Config{
-		Matchers: o.matchers,
-		Strategy: o.strategy,
-		Feedback: o.feedback,
-		Workers:  o.workers,
+	return &Engine{o: o}, nil
+}
+
+// Analyze precomputes the engine's analysis index for a schema (path
+// enumerations, name profiles, dictionary hit-sets, type classes) so
+// that subsequent Match calls find it cached. Matching without calling
+// Analyze is fine — the first Match analyzes on demand; Analyze exists
+// to front-load the cost, e.g. when schemas are imported ahead of a
+// matching burst. Call Invalidate after structurally modifying a
+// schema.
+func (e *Engine) Analyze(s *Schema) { e.o.ctx.Index(s) }
+
+// Invalidate drops the engine's cached analysis of a schema (or of
+// all schemas when s is nil).
+func (e *Engine) Invalidate(s *Schema) {
+	if a := e.o.ctx.Analyzer; a != nil {
+		a.Invalidate(s)
+	}
+}
+
+// Match performs one automatic match operation with the engine's
+// configuration, reusing cached schema analyses.
+func (e *Engine) Match(s1, s2 *Schema) (*Result, error) {
+	return core.Match(e.o.ctx, s1, s2, core.Config{
+		Matchers: e.o.matchers,
+		Strategy: e.o.strategy,
+		Feedback: e.o.feedback,
+		Workers:  e.o.workers,
 	})
 }
 

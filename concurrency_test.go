@@ -62,3 +62,65 @@ func TestConcurrentMatch(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentEngineSharedIndex shares ONE engine — and therefore
+// one cached SchemaIndex per schema — across many concurrent Match
+// calls. Run with -race it proves the analysis layer (index build,
+// analyzer cache, annotated profiles) is safe to share, and it checks
+// every result equals the sequential baseline.
+func TestConcurrentEngineSharedIndex(t *testing.T) {
+	s1, err := coma.LoadSQL("PO1", ddlPO1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := coma.LoadXSD("PO2", []byte(xsdPO2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := coma.Match(s1, s2, coma.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine, err := coma.NewEngine(coma.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Analyze(s1) // front-load one side; the other builds on demand
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	results := make([]*coma.Result, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			res, err := engine.Match(s1, s2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results[g] = res
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g, res := range results {
+		if res.SchemaSim != base.SchemaSim {
+			t.Errorf("goroutine %d: schema sim %v, sequential %v", g, res.SchemaSim, base.SchemaSim)
+		}
+		bc, rc := base.Mapping.Correspondences(), res.Mapping.Correspondences()
+		if len(bc) != len(rc) {
+			t.Fatalf("goroutine %d: %d correspondences, sequential %d", g, len(rc), len(bc))
+		}
+		for i := range bc {
+			if bc[i] != rc[i] {
+				t.Errorf("goroutine %d: correspondence %d = %v, sequential %v", g, i, rc[i], bc[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package coma_test
+
+import (
+	"strings"
+	"testing"
+
+	coma "repro"
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+	"repro/internal/workload"
+)
+
+// The golden guarantee of the shared analysis layer: every matcher
+// produces a bit-identical matrix whether it reads the precomputed
+// SchemaIndex (profiles, dictionary hit-sets, type classes, leaf
+// enumerations) or re-derives everything per element pair through the
+// public per-pair primitives (NameSim, PairSim, dict lookups). The
+// reference implementations below mirror the seed engine's per-pair
+// evaluation with no index involvement.
+
+// refNameMatrix evaluates the Name/NamePath matcher per pair via
+// NameSim, which tokenizes and expands from scratch on every call.
+func refNameMatrix(ctx *match.Context, s1, s2 *coma.Schema, long bool) *simcube.Matrix {
+	nm := match.NewName()
+	if long {
+		nm = match.NewNamePath()
+	}
+	name := func(p schema.Path) string {
+		if long {
+			return strings.Join(p.Names(), ".")
+		}
+		return p.Name()
+	}
+	p1, p2 := s1.Paths(), s2.Paths()
+	out := simcube.NewMatrix(match.Keys(s1), match.Keys(s2))
+	for i := range p1 {
+		for j := range p2 {
+			out.Set(i, j, nm.NameSim(ctx, name(p1[i]), name(p2[j])))
+		}
+	}
+	return out
+}
+
+// refTypeNameMatrix evaluates TypeName per pair via PairSim (weighted
+// type/name formula over the raw declared types).
+func refTypeNameMatrix(ctx *match.Context, s1, s2 *coma.Schema) *simcube.Matrix {
+	tn := match.NewTypeName()
+	p1, p2 := s1.Paths(), s2.Paths()
+	out := simcube.NewMatrix(match.Keys(s1), match.Keys(s2))
+	for i := range p1 {
+		for j := range p2 {
+			out.Set(i, j, tn.PairSim(ctx, p1[i], p2[j]))
+		}
+	}
+	return out
+}
+
+func refCombineSets(n1, n2 int, sim func(i, j int) float64) float64 {
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	return combine.MutualBestSimilarity(combine.CombAverage, n1, n2, sim)
+}
+
+// refChildrenMatrix evaluates Children bottom-up from per-pair leaf
+// similarities and string-keyed child resolution, like the seed.
+func refChildrenMatrix(ctx *match.Context, s1, s2 *coma.Schema) *simcube.Matrix {
+	tn := match.NewTypeName()
+	p1, p2 := s1.Paths(), s2.Paths()
+	k1, k2 := match.Keys(s1), match.Keys(s2)
+	childIdx := func(paths []schema.Path, keys []string) [][]int {
+		byKey := make(map[string]int, len(keys))
+		for i, k := range keys {
+			byKey[k] = i
+		}
+		out := make([][]int, len(paths))
+		for i, p := range paths {
+			for _, c := range p.ChildPaths() {
+				if j, ok := byKey[c.String()]; ok {
+					out[i] = append(out[i], j)
+				}
+			}
+		}
+		return out
+	}
+	child1, child2 := childIdx(p1, k1), childIdx(p2, k2)
+	out := simcube.NewMatrix(k1, k2)
+	for i := len(p1) - 1; i >= 0; i-- {
+		for j := len(p2) - 1; j >= 0; j-- {
+			var v float64
+			switch {
+			case p1[i].Leaf().IsLeaf() && p2[j].Leaf().IsLeaf():
+				v = tn.PairSim(ctx, p1[i], p2[j])
+			case !p1[i].Leaf().IsLeaf() && !p2[j].Leaf().IsLeaf():
+				c1, c2 := child1[i], child2[j]
+				v = refCombineSets(len(c1), len(c2), func(a, b int) float64 {
+					return out.Get(c1[a], c2[b])
+				})
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// refLeavesMatrix evaluates Leaves from per-pair leaf similarities
+// over Path.LeafPaths sets, like the seed.
+func refLeavesMatrix(ctx *match.Context, s1, s2 *coma.Schema) *simcube.Matrix {
+	tn := match.NewTypeName()
+	p1, p2 := s1.Paths(), s2.Paths()
+	out := simcube.NewMatrix(match.Keys(s1), match.Keys(s2))
+	for i := range p1 {
+		l1 := p1[i].LeafPaths()
+		for j := range p2 {
+			l2 := p2[j].LeafPaths()
+			out.Set(i, j, refCombineSets(len(l1), len(l2), func(a, b int) float64 {
+				return tn.PairSim(ctx, l1[a], l2[b])
+			}))
+		}
+	}
+	return out
+}
+
+func diffMatrices(t *testing.T, name string, got, want *simcube.Matrix) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < got.Rows(); i++ {
+		for j := 0; j < got.Cols(); j++ {
+			if got.Get(i, j) != want.Get(i, j) {
+				t.Fatalf("%s: cell (%s, %s) = %v with index, %v without",
+					name, got.RowKeys()[i], got.ColKeys()[j], got.Get(i, j), want.Get(i, j))
+			}
+		}
+	}
+}
+
+// TestMatcherGoldenIndexVsDirect compares every hybrid matcher's
+// index-driven matrix against the per-pair reference, bit for bit.
+func TestMatcherGoldenIndexVsDirect(t *testing.T) {
+	task := workload.Tasks()[0]
+	refs := map[string]func(*match.Context, *coma.Schema, *coma.Schema) *simcube.Matrix{
+		"Name": func(ctx *match.Context, a, b *coma.Schema) *simcube.Matrix {
+			return refNameMatrix(ctx, a, b, false)
+		},
+		"NamePath": func(ctx *match.Context, a, b *coma.Schema) *simcube.Matrix {
+			return refNameMatrix(ctx, a, b, true)
+		},
+		"TypeName": refTypeNameMatrix,
+		"Children": refChildrenMatrix,
+		"Leaves":   refLeavesMatrix,
+	}
+	builders := map[string]func() match.Matcher{
+		"Name":     func() match.Matcher { return match.NewName() },
+		"NamePath": func() match.Matcher { return match.NewNamePath() },
+		"TypeName": func() match.Matcher { return match.NewTypeName() },
+		"Children": func() match.Matcher { return match.NewChildren() },
+		"Leaves":   func() match.Matcher { return match.NewLeaves() },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			ctx := match.NewContext()
+			got := build().Match(ctx, task.S1, task.S2)
+			want := refs[name](match.NewContext(), task.S1, task.S2)
+			diffMatrices(t, name, got, want)
+		})
+	}
+}
+
+// TestMappingGoldenIndexVsDirect is the mapping-level golden: the
+// default five-matcher operation through the indexed engine yields
+// exactly the mapping obtained by combining the per-pair reference
+// matrices with the same strategy.
+func TestMappingGoldenIndexVsDirect(t *testing.T) {
+	task := workload.Tasks()[0]
+	res, err := coma.Match(task.S1, task.S2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := match.NewContext()
+	cube := simcube.NewCube(match.Keys(task.S1), match.Keys(task.S2))
+	for _, layer := range []struct {
+		name string
+		m    *simcube.Matrix
+	}{
+		{"Name", refNameMatrix(ctx, task.S1, task.S2, false)},
+		{"NamePath", refNameMatrix(ctx, task.S1, task.S2, true)},
+		{"TypeName", refTypeNameMatrix(ctx, task.S1, task.S2)},
+		{"Children", refChildrenMatrix(ctx, task.S1, task.S2)},
+		{"Leaves", refLeavesMatrix(ctx, task.S1, task.S2)},
+	} {
+		if err := cube.AddLayer(layer.name, layer.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := core.CombineCube(cube, task.S1, task.S2, combine.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diffMatrices(t, "aggregated", res.Matrix, want.Matrix)
+	if res.SchemaSim != want.SchemaSim {
+		t.Errorf("schema sim %v with index, %v without", res.SchemaSim, want.SchemaSim)
+	}
+	gc, wc := res.Mapping.Correspondences(), want.Mapping.Correspondences()
+	if len(gc) != len(wc) {
+		t.Fatalf("%d correspondences with index, %d without", len(gc), len(wc))
+	}
+	for i := range gc {
+		if gc[i] != wc[i] {
+			t.Errorf("correspondence %d: %v with index, %v without", i, gc[i], wc[i])
+		}
+	}
+}

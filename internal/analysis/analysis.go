@@ -1,0 +1,387 @@
+// Package analysis implements the shared per-schema analysis layer of
+// the match engine: everything about one schema that every matcher
+// used to re-derive per pair of schemas is computed exactly once per
+// schema and shared by all consumers (the hybrid matchers, the
+// instance and flooding matchers, the reuse matchers, and the
+// evaluation harness).
+//
+// COMA's match operation (Do & Rahm, VLDB 2002, Section 3) executes k
+// independent matchers over the same pair of schemas, and the reuse
+// scenario of Section 5 matches the same repository schema against
+// many incoming schemas. Both workloads repeat the same per-schema
+// work — path enumeration, name tokenization and expansion, n-gram
+// and Soundex extraction, dictionary and taxonomy lookups, data type
+// classification — once per matcher execution. A SchemaIndex hoists
+// all of it into a single analysis pass, in the "pre-analyze once,
+// combine flexibly" discipline of rewriting-based query answering
+// systems that amortize schema reasoning across queries.
+//
+// # Lifecycle
+//
+// A SchemaIndex is built once per (schema, sources) pair — by
+// NewIndex directly, or through an Analyzer that caches one index per
+// schema — and is immutable afterwards: it may be shared freely
+// between goroutines and across repeated Match calls. The index
+// captures the schema's path enumeration and the auxiliary sources
+// (dictionary, taxonomy, type table) at build time, together with the
+// sources' mutation versions; structurally modifying the schema
+// (followed by schema.Invalidate), swapping a source instance, or
+// mutating a source in place (a new synonym, a remapped type name)
+// all make Valid report false, and Analyzer.Index transparently
+// rebuilds. Hand-held indexes must be rebuilt by their owner. None of
+// this may happen while a match is running.
+//
+// Every precomputed artifact mirrors a direct computation bit for
+// bit: profile-based n-gram/Soundex/edit similarities equal their
+// string counterparts, dictionary hit-set intersections equal
+// dict.Dictionary.Lookup, taxonomy chain intersections equal
+// dict.Taxonomy.Sim, and generic type classes equal
+// dict.TypeTable.Generic. Matchers therefore produce bit-identical
+// matrices with and without an index; only the time to produce them
+// changes.
+package analysis
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/strutil"
+)
+
+// profiledGramNs are the n-gram widths precomputed for every name
+// profile in an index: the widths of the library's Digram and Trigram
+// matchers. Matchers needing other widths build their own profiles.
+var profiledGramNs = []int{2, 3}
+
+// ProfiledGramNs reports whether every width in ns is precomputed by
+// the index's name profiles.
+func ProfiledGramNs(ns []int) bool {
+	for _, n := range ns {
+		if n != 2 && n != 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sources identifies the auxiliary information sources an index is
+// built against. The struct is comparable: two Sources are the same
+// iff they reference the same dictionary, type table and taxonomy
+// instances, which is how caches decide whether an index is still
+// valid for a context. Nil fields disable the respective source.
+type Sources struct {
+	Dict     *dict.Dictionary
+	Types    *dict.TypeTable
+	Taxonomy *dict.Taxonomy
+}
+
+// defaultTypes classifies declared types when Sources.Types is nil,
+// matching the match package's fallback table (the instances differ,
+// the classifications do not).
+var defaultTypes = dict.DefaultTypeTable()
+
+func (src Sources) types() *dict.TypeTable {
+	if src.Types == nil {
+		return defaultTypes
+	}
+	return src.Types
+}
+
+func (src Sources) expand(tok string) []string {
+	if src.Dict == nil {
+		return nil
+	}
+	return src.Dict.Expand(tok)
+}
+
+// SchemaIndex is the analysis of one schema: dense path and element
+// enumerations plus every per-element artifact the matchers consume.
+// Build with NewIndex or Analyzer.Index; immutable afterwards (all
+// exported slices are shared — do not modify).
+type SchemaIndex struct {
+	// Schema is the analyzed schema.
+	Schema *schema.Schema
+	// Src records the auxiliary sources the index was built against.
+	Src Sources
+
+	// Paths is the schema's path enumeration (Schema.Paths order,
+	// preorder); every other per-path slice is parallel to it.
+	Paths []schema.Path
+	// Keys holds the dotted string form of every path: the matrix keys
+	// of all matchers.
+	Keys []string
+	// Parent maps each path to the index of its parent path, or -1 for
+	// top-level paths.
+	Parent []int
+	// Children maps each path to the indices of its containment child
+	// paths, in declaration order.
+	Children [][]int
+	// IsLeaf marks paths whose terminal node has no children.
+	IsLeaf []bool
+	// Leaves enumerates the leaf paths densely: Leaves[d] is the path
+	// index of the d-th leaf in preorder.
+	Leaves []int
+	// LeafLo/LeafHi bound each path's leaf set: the leaves reachable
+	// from path i are exactly Leaves[LeafLo[i]:LeafHi[i]], in the
+	// DFS order of Path.LeafPaths. (Preorder makes every subtree's
+	// leaf set a contiguous run of dense leaf ids.)
+	LeafLo []int
+	LeafHi []int
+	// Generic classifies each path's declared type against the
+	// sources' type table.
+	Generic []dict.GenericType
+
+	// NameID maps each path to its dense distinct-element-name id;
+	// Names[NameID[i]] is the analyzed profile of Paths[i].Name().
+	// Matchers fill one distinct-name similarity grid and project it
+	// onto the path matrix instead of re-scoring duplicate names.
+	NameID []int
+	// Names holds one annotated NameProfile per distinct element name,
+	// in order of first appearance.
+	Names []*strutil.NameProfile
+	// RawNames holds one TokenProfile of the raw (untokenized) element
+	// name per distinct name, parallel to Names; the flooding
+	// matcher's trigram initialization consumes it.
+	RawNames []*strutil.TokenProfile
+	// LongNameID / LongNames are the hierarchical-name counterparts of
+	// NameID / Names: profiles of the dot-joined path names consumed
+	// by the NamePath matcher.
+	LongNameID []int
+	LongNames  []*strutil.NameProfile
+
+	keyIdx map[string]int
+	// Source mutation counters captured at build time; Valid compares
+	// them so in-place mutation of a dictionary/taxonomy/type table
+	// (new synonyms, remapped type names) invalidates the index even
+	// though the pointers still match.
+	dictVersion, taxVersion, typesVersion int64
+}
+
+// NewIndex analyzes a schema against the given sources. The schema's
+// path enumeration is captured as-is; see the package comment for the
+// lifecycle contract.
+func NewIndex(s *schema.Schema, src Sources) *SchemaIndex {
+	paths := s.Paths()
+	n := len(paths)
+	x := &SchemaIndex{
+		Schema:     s,
+		Src:        src,
+		Paths:      paths,
+		Keys:       make([]string, n),
+		Parent:     make([]int, n),
+		Children:   make([][]int, n),
+		IsLeaf:     make([]bool, n),
+		LeafLo:     make([]int, n+1),
+		LeafHi:     make([]int, n),
+		Generic:    make([]dict.GenericType, n),
+		NameID:     make([]int, n),
+		LongNameID: make([]int, n),
+		keyIdx:     make(map[string]int, n),
+	}
+
+	types := src.types()
+	x.dictVersion = src.Dict.Version()
+	x.taxVersion = src.Taxonomy.Version()
+	x.typesVersion = src.Types.Version()
+	var dictIdx *dict.Index
+	if src.Dict != nil {
+		// Analyze caches its snapshot per dictionary version, so
+		// indexing many schemas against one dictionary interns it once.
+		dictIdx = src.Dict.Analyze()
+	}
+	var taxIdx *dict.TaxIndex
+	if src.Taxonomy != nil {
+		taxIdx = src.Taxonomy.Analyze()
+	}
+	annotate := func(tp *strutil.TokenProfile) {
+		if dictIdx != nil {
+			tp.DictSrc = src.Dict
+			tp.DictID = dictIdx.TermID(tp.Token)
+			tp.DictRel = dictIdx.Relations(tp.DictID)
+		}
+		if taxIdx != nil {
+			tp.TaxSrc = src.Taxonomy
+			tp.TaxChain = taxIdx.Chain(tp.Token)
+		}
+	}
+
+	nameIDs := make(map[string]int)
+	longIDs := make(map[string]int)
+	// stack[d] is the path index of the current ancestor at depth d+1.
+	var stack []int
+	for i, p := range paths {
+		key := p.String()
+		x.Keys[i] = key
+		x.keyIdx[key] = i
+		leaf := p.Leaf()
+		x.IsLeaf[i] = leaf.IsLeaf()
+		x.Generic[i] = types.Generic(leaf.TypeName)
+
+		d := p.Len()
+		x.Parent[i] = -1
+		if d >= 2 {
+			x.Parent[i] = stack[d-2]
+			x.Children[stack[d-2]] = append(x.Children[stack[d-2]], i)
+		}
+		if d > len(stack) {
+			stack = append(stack, i)
+		} else {
+			stack[d-1] = i
+		}
+
+		x.LeafLo[i] = len(x.Leaves)
+		if x.IsLeaf[i] {
+			x.Leaves = append(x.Leaves, i)
+		}
+
+		name := leaf.Name
+		id, ok := nameIDs[name]
+		if !ok {
+			id = len(x.Names)
+			nameIDs[name] = id
+			np := strutil.NewNameProfile(name, src.expand, profiledGramNs...)
+			np.Annotate(annotate)
+			x.Names = append(x.Names, np)
+			x.RawNames = append(x.RawNames, strutil.NewTokenProfile(name, profiledGramNs...))
+		}
+		x.NameID[i] = id
+
+		long := strings.Join(p.Names(), ".")
+		lid, ok := longIDs[long]
+		if !ok {
+			lid = len(x.LongNames)
+			longIDs[long] = lid
+			lp := strutil.NewNameProfile(long, src.expand, profiledGramNs...)
+			lp.Annotate(annotate)
+			x.LongNames = append(x.LongNames, lp)
+		}
+		x.LongNameID[i] = lid
+	}
+	x.LeafLo[n] = len(x.Leaves)
+
+	// LeafHi[i] = LeafLo[end of i's subtree]. Preorder: the subtree of
+	// path i is the contiguous run of paths deeper than i that follows
+	// it; scanning backwards, a stack of open subtrees resolves every
+	// end index in one pass. Equivalently: walk forward and close all
+	// subtrees deeper-or-equal whenever depth drops.
+	var open []int // path indices whose subtree is still open
+	for i, p := range paths {
+		d := p.Len()
+		for len(open) >= d {
+			j := open[len(open)-1]
+			open = open[:len(open)-1]
+			x.LeafHi[j] = x.LeafLo[i]
+		}
+		open = append(open, i)
+	}
+	for _, j := range open {
+		x.LeafHi[j] = len(x.Leaves)
+	}
+	return x
+}
+
+// PathIndex returns the index of the path with the given dotted form,
+// or -1. With duplicate dotted forms (distinct nodes whose chains
+// render identically) the last occurrence wins, exactly like the
+// overwrite semantics of simcube.Matrix's lazily built key maps.
+func (x *SchemaIndex) PathIndex(key string) int {
+	if i, ok := x.keyIdx[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// NameProfile returns the analyzed element name of path i.
+func (x *SchemaIndex) NameProfile(i int) *strutil.NameProfile {
+	return x.Names[x.NameID[i]]
+}
+
+// LongNameProfile returns the analyzed hierarchical name of path i.
+func (x *SchemaIndex) LongNameProfile(i int) *strutil.NameProfile {
+	return x.LongNames[x.LongNameID[i]]
+}
+
+// LeafSet returns the dense leaf ids reachable from path i as the
+// half-open range [lo, hi) into Leaves, in Path.LeafPaths DFS order.
+func (x *SchemaIndex) LeafSet(i int) (lo, hi int) {
+	return x.LeafLo[i], x.LeafHi[i]
+}
+
+// Valid reports whether the index still describes the schema's
+// current path enumeration and was built against the given sources in
+// their current state (same instances, same mutation versions).
+func (x *SchemaIndex) Valid(s *schema.Schema, src Sources) bool {
+	if x == nil || x.Schema != s || x.Src != src {
+		return false
+	}
+	if x.dictVersion != src.Dict.Version() ||
+		x.taxVersion != src.Taxonomy.Version() ||
+		x.typesVersion != src.Types.Version() {
+		return false
+	}
+	ps := s.Paths()
+	if len(ps) != len(x.Paths) {
+		return false
+	}
+	return len(ps) == 0 || &ps[0] == &x.Paths[0]
+}
+
+// Analyzer caches one SchemaIndex per schema so that the analysis
+// cost is paid once per schema rather than once per match: across the
+// k matchers of one operation, across repeated Match calls on the
+// same schema (the repository/reuse scenario), and across the
+// evaluation harness's whole series grid. It is safe for concurrent
+// use; the zero value is not usable, construct with NewAnalyzer.
+type Analyzer struct {
+	mu      sync.Mutex
+	entries map[*schema.Schema]*analyzerEntry
+}
+
+// analyzerEntry serializes builds per schema: concurrent Index calls
+// on different schemas analyze in parallel, while calls on the same
+// schema block on one build (which also guards the schema's lazy path
+// enumeration against concurrent first use).
+type analyzerEntry struct {
+	mu  sync.Mutex
+	idx *SchemaIndex
+}
+
+// NewAnalyzer returns an empty analysis cache.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{entries: make(map[*schema.Schema]*analyzerEntry)}
+}
+
+// Index returns the cached index for the schema, building it on first
+// use. A cached index whose path enumeration went stale (the schema
+// was modified and re-enumerated) or whose sources differ or were
+// mutated is rebuilt transparently.
+func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
+	a.mu.Lock()
+	e := a.entries[s]
+	if e == nil {
+		e = &analyzerEntry{}
+		a.entries[s] = e
+	}
+	a.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.idx.Valid(s, src) {
+		e.idx = NewIndex(s, src)
+	}
+	return e.idx
+}
+
+// Invalidate drops the cached index of a schema (or all schemas when
+// s is nil); call it after structurally modifying a schema that may
+// be matched again.
+func (a *Analyzer) Invalidate(s *schema.Schema) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s == nil {
+		clear(a.entries)
+		return
+	}
+	delete(a.entries, s)
+}

@@ -74,19 +74,23 @@ type Result struct {
 
 // ExecuteMatchers runs the matcher execution phase: every matcher
 // produces one layer of the similarity cube over the schemas' paths.
-// The k matchers are independent (paper Section 3), so they execute
-// concurrently — one goroutine per matcher — unless the context's
-// worker bound is 1. Layer order always follows the matchers slice,
-// and results are bit-identical to sequential execution.
+// Both schemas are analyzed up front — through the context's analyzer
+// cache, so a schema matched repeatedly pays analysis once — and the
+// resulting indexes are installed on the context shared by all k
+// matchers. The matchers are independent (paper Section 3), so they
+// execute concurrently — one goroutine per matcher — unless the
+// context's worker bound is 1. Layer order always follows the matchers
+// slice, and results are bit-identical to sequential execution.
 func ExecuteMatchers(ctx *match.Context, s1, s2 *schema.Schema, matchers []match.Matcher) (*simcube.Cube, error) {
 	if len(matchers) == 0 {
 		return nil, fmt.Errorf("core: no matchers configured")
 	}
-	// Warm the schemas' lazily cached path enumerations before any
-	// concurrent access.
-	s1.Paths()
-	s2.Paths()
-	cube := simcube.NewCube(match.Keys(s1), match.Keys(s2))
+	// Analyze once, before any concurrent access: the indexes capture
+	// the schemas' lazily cached path enumerations and every derived
+	// per-element artifact.
+	idx1, idx2 := ctx.Index(s1), ctx.Index(s2)
+	ctx = ctx.WithIndexes(idx1, idx2)
+	cube := simcube.NewCube(idx1.Keys, idx2.Keys)
 	layers := make([]*simcube.Matrix, len(matchers))
 	if ctx != nil && ctx.Workers == 1 || len(matchers) == 1 {
 		for i, m := range matchers {

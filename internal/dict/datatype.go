@@ -56,6 +56,19 @@ func (g GenericType) String() string {
 type TypeTable struct {
 	compat [genTypeCount][genTypeCount]float64
 	names  map[string]GenericType
+	// version counts mutations (SetCompat, MapName) so caches of
+	// precomputed generic classifications can detect in-place
+	// modification.
+	version int64
+}
+
+// Version returns the mutation counter; it increases on every
+// SetCompat and MapName. A nil table is version 0 forever.
+func (t *TypeTable) Version() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.version
 }
 
 // NewTypeTable returns a table with identity compatibility only
@@ -81,12 +94,14 @@ func (t *TypeTable) SetCompat(a, b GenericType, sim float64) {
 	}
 	t.compat[a][b] = sim
 	t.compat[b][a] = sim
+	t.version++
 }
 
 // MapName registers a concrete type name (case-insensitive, parameters
 // like "(200)" stripped by Generic) as the given generic type.
 func (t *TypeTable) MapName(name string, g GenericType) {
 	t.names[strings.ToLower(name)] = g
+	t.version++
 }
 
 // Generic maps a concrete declared type (e.g. "VARCHAR(200)",
@@ -117,6 +132,13 @@ func (t *TypeTable) Generic(name string) GenericType {
 // names after mapping both to generic types.
 func (t *TypeTable) Compat(a, b string) float64 {
 	return t.compat[t.Generic(a)][t.Generic(b)]
+}
+
+// CompatGeneric returns the compatibility degree between two generic
+// types directly: the fast path for callers that classified their
+// concrete type names once up front (analysis.SchemaIndex).
+func (t *TypeTable) CompatGeneric(a, b GenericType) float64 {
+	return t.compat[a][b]
 }
 
 func builtinTypeNames() map[string]GenericType {

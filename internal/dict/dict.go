@@ -11,6 +11,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/strutil"
 )
 
 // Relationship classifies a terminological relationship between two
@@ -45,6 +48,19 @@ type Dictionary struct {
 	rel map[string]map[string]float64
 	// abbrev maps a lower-case abbreviation to its expansion tokens.
 	abbrev map[string][]string
+
+	// version counts mutations; precomputed artifacts (Index,
+	// analysis.SchemaIndex) capture it so caches can detect in-place
+	// mutation of a dictionary they snapshotted.
+	version int64
+
+	// snap caches the last Analyze result for the version it was built
+	// at, so analyzing many schemas against one dictionary snapshots
+	// it once. Guarded by snapMu (the only concurrently written state;
+	// the dictionary itself must not be mutated during concurrent use).
+	snapMu      sync.Mutex
+	snap        *Index
+	snapVersion int64
 }
 
 // NewDictionary returns an empty dictionary.
@@ -74,12 +90,23 @@ func (d *Dictionary) AddHypernym(broader, narrower string) {
 	d.addRel(broader, narrower, Hypernym.Similarity(), true)
 }
 
+// Version returns the mutation counter; it increases on every
+// AddSynonym/AddHypernym/AddAbbreviation/Load. A nil dictionary is
+// version 0 forever.
+func (d *Dictionary) Version() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.version
+}
+
 func (d *Dictionary) addRel(a, b string, sim float64, symmetric bool) {
 	d.ensure()
 	a, b = strings.ToLower(strings.TrimSpace(a)), strings.ToLower(strings.TrimSpace(b))
 	if a == "" || b == "" {
 		return
 	}
+	d.version++
 	put := func(x, y string) {
 		m := d.rel[x]
 		if m == nil {
@@ -104,6 +131,7 @@ func (d *Dictionary) AddAbbreviation(abbr string, expansion ...string) {
 	if abbr == "" || len(expansion) == 0 {
 		return
 	}
+	d.version++
 	toks := make([]string, 0, len(expansion))
 	for _, e := range expansion {
 		e = strings.ToLower(strings.TrimSpace(e))
@@ -155,6 +183,82 @@ func (d *Dictionary) Terms() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Index is an immutable snapshot of the dictionary's relationship
+// graph with dense interned term ids: the precomputed form of Lookup.
+// Each term's neighbours are materialized once as an id-sorted hit-set
+// so that a pairwise similarity becomes a binary search over small
+// slices instead of a two-level map walk per pair. Build with
+// Dictionary.Analyze; later dictionary mutations are not reflected.
+type Index struct {
+	source  *Dictionary
+	version int64
+	ids     map[string]int32
+	rel     [][]strutil.IDSim
+}
+
+// Analyze snapshots the dictionary's relationships into an Index. Term
+// ids are assigned over the sorted term list, so two snapshots of the
+// same (unmutated) dictionary agree on every id. The snapshot for the
+// current version is cached, so analyzing many schemas against one
+// dictionary builds it once; mutating the dictionary invalidates it.
+func (d *Dictionary) Analyze() *Index {
+	if d == nil {
+		return &Index{ids: make(map[string]int32)}
+	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	if d.snap != nil && d.snapVersion == d.version {
+		return d.snap
+	}
+	x := d.analyze()
+	d.snap, d.snapVersion = x, d.version
+	return x
+}
+
+func (d *Dictionary) analyze() *Index {
+	x := &Index{source: d, version: d.version, ids: make(map[string]int32)}
+	terms := d.Terms()
+	x.rel = make([][]strutil.IDSim, len(terms))
+	for i, t := range terms {
+		x.ids[t] = int32(i)
+	}
+	for i, t := range terms {
+		m := d.rel[t]
+		hits := make([]strutil.IDSim, 0, len(m))
+		for other, sim := range m {
+			if id, ok := x.ids[other]; ok {
+				hits = append(hits, strutil.IDSim{ID: id, Sim: sim})
+			}
+		}
+		sort.Slice(hits, func(a, b int) bool { return hits[a].ID < hits[b].ID })
+		x.rel[i] = hits
+	}
+	return x
+}
+
+// Source returns the dictionary the index was built from; consumers
+// compare it (by pointer) against their own dictionary before trusting
+// precomputed hit-sets.
+func (x *Index) Source() *Dictionary { return x.source }
+
+// TermID returns the interned id of a lower-case term, or -1 when the
+// term has no recorded relationship.
+func (x *Index) TermID(term string) int32 {
+	if id, ok := x.ids[term]; ok {
+		return id
+	}
+	return -1
+}
+
+// Relations returns the id-sorted hit-set of a term id. The returned
+// slice is shared; do not modify.
+func (x *Index) Relations(id int32) []strutil.IDSim {
+	if id < 0 || int(id) >= len(x.rel) {
+		return nil
+	}
+	return x.rel[id]
 }
 
 // Load reads dictionary entries from r, one per line:

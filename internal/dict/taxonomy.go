@@ -2,7 +2,9 @@ package dict
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // Taxonomy is a concept hierarchy (an is-a tree) supporting semantic
@@ -18,6 +20,16 @@ type Taxonomy struct {
 	// decay is the per-edge similarity factor (default 0.8, matching
 	// the dictionary's hypernym similarity for one step).
 	decay float64
+
+	// version counts mutations (AddIsA, SetDecay) so caches of
+	// precomputed chains can detect in-place modification.
+	version int64
+
+	// snap caches the last Analyze result per version; guarded by
+	// snapMu like Dictionary's snapshot.
+	snapMu      sync.Mutex
+	snap        *TaxIndex
+	snapVersion int64
 }
 
 // NewTaxonomy returns an empty taxonomy with the default per-edge
@@ -39,6 +51,16 @@ func (t *Taxonomy) SetDecay(d float64) {
 		d = 1
 	}
 	t.decay = d
+	t.version++
+}
+
+// Version returns the mutation counter; it increases on every AddIsA,
+// Load and SetDecay. A nil taxonomy is version 0 forever.
+func (t *Taxonomy) Version() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.version
 }
 
 // AddIsA records that child is a kind of parent. Both terms are
@@ -65,6 +87,7 @@ func (t *Taxonomy) AddIsA(child, parent string) error {
 	t.parent[child] = parent
 	t.terms[child] = true
 	t.terms[parent] = true
+	t.version++
 	return nil
 }
 
@@ -117,6 +140,107 @@ func (t *Taxonomy) Sim(a, b string) float64 {
 				sim *= t.decay
 			}
 			return sim
+		}
+	}
+	return 0
+}
+
+// Decay returns the per-edge similarity factor of Sim.
+func (t *Taxonomy) Decay() float64 { return t.decay }
+
+// TaxIndex is an immutable snapshot of the taxonomy's is-a chains with
+// dense interned concept ids: the precomputed form of Sim. Each term's
+// ancestor chain (term first, root last) is materialized once, so a
+// pairwise similarity becomes an intersection of two short id slices
+// instead of per-pair map walks. Build with Taxonomy.Analyze; later
+// taxonomy mutations are not reflected.
+type TaxIndex struct {
+	source  *Taxonomy
+	version int64
+	decay   float64
+	ids     map[string]int32
+	chains  [][]int32
+}
+
+// Analyze snapshots the taxonomy into a TaxIndex. Concept ids are
+// assigned over the sorted term list, so two snapshots of the same
+// (unmutated) taxonomy agree on every id. The snapshot for the current
+// version is cached; mutating the taxonomy invalidates it.
+func (t *Taxonomy) Analyze() *TaxIndex {
+	if t == nil {
+		return &TaxIndex{ids: make(map[string]int32)}
+	}
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if t.snap != nil && t.snapVersion == t.version {
+		return t.snap
+	}
+	x := t.analyze()
+	t.snap, t.snapVersion = x, t.version
+	return x
+}
+
+func (t *Taxonomy) analyze() *TaxIndex {
+	x := &TaxIndex{source: t, version: t.version, ids: make(map[string]int32)}
+	x.decay = t.decay
+	terms := make([]string, 0, len(t.terms))
+	for term := range t.terms {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	for i, term := range terms {
+		x.ids[term] = int32(i)
+	}
+	x.chains = make([][]int32, len(terms))
+	for i, term := range terms {
+		anc := t.ancestors(term)
+		chain := make([]int32, 0, len(anc))
+		for _, a := range anc {
+			if id, ok := x.ids[a]; ok {
+				chain = append(chain, id)
+			}
+		}
+		x.chains[i] = chain
+	}
+	return x
+}
+
+// Source returns the taxonomy the index was built from; consumers
+// compare it (by pointer) against their own taxonomy before trusting
+// precomputed chains.
+func (x *TaxIndex) Source() *Taxonomy { return x.source }
+
+// Decay returns the per-edge similarity factor captured at Analyze
+// time.
+func (x *TaxIndex) Decay() float64 { return x.decay }
+
+// Chain returns the is-a chain of a lower-case term as interned ids
+// (term first), or nil when the term is not a taxonomy concept. The
+// returned slice is shared; do not modify.
+func (x *TaxIndex) Chain(term string) []int32 {
+	id, ok := x.ids[term]
+	if !ok {
+		return nil
+	}
+	return x.chains[id]
+}
+
+// ChainSim computes the semantic-distance similarity of two is-a
+// chains exactly like Taxonomy.Sim computes it from term strings:
+// decay^(i+j) for the first common ancestor, walking the second chain
+// outward. Identical-term handling (similarity 1) is the caller's
+// job; nil chains (unknown terms) score 0.
+func ChainSim(decay float64, a, b []int32) float64 {
+	for j, idB := range b {
+		for i, idA := range a {
+			if idA == idB {
+				dist := i + j
+				sim := 1.0
+				for k := 0; k < dist; k++ {
+					sim *= decay
+				}
+				return sim
+			}
 		}
 	}
 	return 0

@@ -190,13 +190,18 @@ func (h *Harness) RunSeries(spec SeriesSpec) SeriesResult {
 	return res
 }
 
-// Precompute executes every matcher needed by the full grid, using up
-// to workers goroutines; subsequent series runs then only aggregate and
-// select. It returns the number of matcher matrices computed.
+// Precompute executes every matcher needed by the full grid;
+// subsequent series runs then only aggregate and select. It returns
+// the number of matcher matrices computed.
+//
+// The worker knob follows the engine-wide core.Config.Workers
+// semantics: workers <= 0 means runtime.NumCPU(), 1 forces sequential
+// execution. The fan-out itself runs on the match engine's shared
+// work-distribution primitive rather than a private goroutine pool,
+// and every matcher execution goes through the harness context's
+// analysis cache, so each workload schema is analyzed exactly once
+// across the whole grid.
 func (h *Harness) Precompute(workers int) int {
-	if workers < 1 {
-		workers = 1
-	}
 	type job struct {
 		t    workload.Task
 		name string
@@ -210,22 +215,10 @@ func (h *Harness) Precompute(workers int) int {
 			}
 		}
 	}
-	var wg sync.WaitGroup
-	ch := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				h.MatcherMatrix(j.t, j.name, j.comb)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	match.ParallelRows(h.Ctx.WithWorkers(match.ResolveWorkers(workers)), len(jobs), func(k int) {
+		j := jobs[k]
+		h.MatcherMatrix(j.t, j.name, j.comb)
+	})
 	// Reuse matrices depend on the auto store, which itself needs the
 	// hybrid layers above; compute serially afterwards.
 	n := len(jobs)
@@ -240,37 +233,23 @@ func (h *Harness) Precompute(workers int) int {
 
 // RunAll executes a list of series, optionally in parallel, reporting
 // progress through report (may be nil); it is called with the number of
-// completed series at coarse intervals.
+// completed series at coarse intervals. Like Precompute it delegates
+// the fan-out to the match engine's work-distribution primitive with
+// the core.Config.Workers semantics (workers <= 0 means NumCPU).
 func (h *Harness) RunAll(specs []SeriesSpec, workers int, report func(done int)) []SeriesResult {
-	if workers < 1 {
-		workers = 1
-	}
 	out := make([]SeriesResult, len(specs))
-	var wg sync.WaitGroup
-	idx := make(chan int)
 	var done int64
 	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = h.RunSeries(specs[i])
-				if report != nil {
-					mu.Lock()
-					done++
-					if done%500 == 0 {
-						report(int(done))
-					}
-					mu.Unlock()
-				}
+	match.ParallelRows(h.Ctx.WithWorkers(match.ResolveWorkers(workers)), len(specs), func(i int) {
+		out[i] = h.RunSeries(specs[i])
+		if report != nil {
+			mu.Lock()
+			done++
+			if done%500 == 0 {
+				report(int(done))
 			}
-		}()
-	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+			mu.Unlock()
+		}
+	})
 	return out
 }

@@ -141,3 +141,26 @@ func TestFig11AndFig12OnSubGrid(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkersDefaultSemantics pins the unified worker knob: workers
+// <= 0 means runtime.NumCPU() (the core.Config.Workers semantics),
+// not a silent clamp to sequential, and the results are identical to
+// an explicit worker count.
+func TestWorkersDefaultSemantics(t *testing.T) {
+	h := NewHarness()
+	if n := h.Precompute(0); n != 10*5*2+10*2 {
+		t.Errorf("Precompute(0) computed %d matrices", n)
+	}
+	specs := []SeriesSpec{
+		{Matchers: []string{"Name"}, Strategy: combine.Default()},
+		{Matchers: AllCombo, Strategy: combine.Default()},
+	}
+	def := h.RunAll(specs, 0, nil)
+	neg := h.RunAll(specs, -3, nil)
+	one := h.RunAll(specs, 1, nil)
+	for i := range specs {
+		if def[i].Avg != one[i].Avg || neg[i].Avg != one[i].Avg {
+			t.Errorf("series %d: workers<=0 results diverge from workers=1", i)
+		}
+	}
+}

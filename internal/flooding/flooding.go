@@ -32,8 +32,10 @@ type Matcher struct {
 	// Damping weights the propagated increment against the initial
 	// similarity (default 0.8, high propagation).
 	Damping float64
-	// Init computes initial similarities between element names; the
-	// default is trigram similarity.
+	// Init computes initial similarities between element names. Nil
+	// (the default) means trigram similarity, evaluated over the
+	// schema indexes' precomputed name profiles — one cell per
+	// distinct name pair; a custom Init is evaluated per path pair.
 	Init func(a, b string) float64
 }
 
@@ -43,7 +45,6 @@ func New() *Matcher {
 		Iterations: 32,
 		Epsilon:    1e-3,
 		Damping:    0.8,
-		Init:       func(a, b string) float64 { return strutil.NGramSim(a, b, 3) },
 	}
 }
 
@@ -57,28 +58,51 @@ type pairEdge struct {
 }
 
 // Match implements match.Matcher: fixpoint similarity propagation over
-// the pairwise connectivity graph of the two schemas' paths.
-func (f *Matcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	p1, p2 := s1.Paths(), s2.Paths()
-	rows, cols := match.Keys(s1), match.Keys(s2)
+// the pairwise connectivity graph of the two schemas' paths. The
+// initial-similarity fill is row-parallel under Context.Workers (the
+// fixpoint iteration itself is a cheap sequential sparse sweep); the
+// result is bit-identical for any worker count.
+func (f *Matcher) Match(ctx *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	p1, p2 := x1.Paths, x2.Paths
+	rows, cols := x1.Keys, x2.Keys
 	n1, n2 := len(p1), len(p2)
 	if n1 == 0 || n2 == 0 {
 		return simcube.NewMatrix(rows, cols)
 	}
 	idx := func(i, j int) int { return i*n2 + j }
 
-	// Initial similarities σ0.
+	// Initial similarities σ0: the default trigram similarity scores
+	// one distinct-name grid from the indexes' precomputed raw-name
+	// profiles and projects it; a custom Init runs per path pair.
 	sigma0 := make([]float64, n1*n2)
-	for i := range p1 {
-		for j := range p2 {
-			sigma0[idx(i, j)] = f.Init(p1[i].Name(), p2[j].Name())
-		}
+	if f.Init == nil {
+		nd2 := len(x2.RawNames)
+		grid := make([]float64, len(x1.RawNames)*nd2)
+		match.ParallelRows(ctx, len(x1.RawNames), func(a int) {
+			row := grid[a*nd2:]
+			for b, p := range x2.RawNames {
+				row[b] = strutil.NGramSimProfile(x1.RawNames[a], p, 3)
+			}
+		})
+		match.ParallelRows(ctx, n1, func(i int) {
+			row := grid[x1.NameID[i]*nd2:]
+			for j := 0; j < n2; j++ {
+				sigma0[idx(i, j)] = row[x2.NameID[j]]
+			}
+		})
+	} else {
+		match.ParallelRows(ctx, n1, func(i int) {
+			for j := range p2 {
+				sigma0[idx(i, j)] = f.Init(p1[i].Name(), p2[j].Name())
+			}
+		})
 	}
 
-	// Parent links: paths are chains, so the parent of a path is its
-	// prefix; locate prefix indices.
-	parent1 := pathParents(p1)
-	parent2 := pathParents(p2)
+	// Parent links come from the schema indexes: the parent of a path
+	// is its prefix.
+	parent1 := x1.Parent
+	parent2 := x2.Parent
 
 	// Build propagation edges: child-pair → parent-pair and
 	// parent-pair → child-pair, with coefficients 1/#siblings.
@@ -147,31 +171,11 @@ func (f *Matcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix
 	}
 
 	out := simcube.NewMatrix(rows, cols)
-	for i := 0; i < n1; i++ {
+	match.ParallelRows(ctx, n1, func(i int) {
 		for j := 0; j < n2; j++ {
 			out.Set(i, j, sigma[idx(i, j)])
 		}
-	}
-	return out
-}
-
-// pathParents maps each path index to the index of its parent path, or
-// -1 for top-level paths. Paths() enumerates parents before children,
-// so a linear scan with a map of seen prefixes suffices.
-func pathParents(paths []schema.Path) []int {
-	byKey := make(map[string]int, len(paths))
-	for i, p := range paths {
-		byKey[p.String()] = i
-	}
-	out := make([]int, len(paths))
-	for i, p := range paths {
-		out[i] = -1
-		if parent, ok := p.Parent(); ok {
-			if pi, found := byKey[parent.String()]; found {
-				out[i] = pi
-			}
-		}
-	}
+	})
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/schema"
 	"repro/internal/simcube"
+	"repro/internal/strutil"
 	"repro/internal/workload"
 )
 
@@ -136,5 +137,29 @@ func TestStableMarriageEmpty(t *testing.T) {
 	m := simcube.NewMatrix(nil, nil)
 	if got := StableMarriage(m, 0); got.Len() != 0 {
 		t.Error("empty matrix should yield empty mapping")
+	}
+}
+
+// TestFloodingParallelFillIdentical is the golden guarantee of the
+// worker knob: flooding produces a bit-identical matrix whether its
+// initial-similarity fill runs on one worker or many, and whether the
+// default init runs over precomputed profiles or a custom per-pair
+// function computing the same trigram similarity.
+func TestFloodingParallelFillIdentical(t *testing.T) {
+	task := workload.Tasks()[0]
+	seq := New().Match(match.NewContext().WithWorkers(1), task.S1, task.S2)
+	par := New().Match(match.NewContext().WithWorkers(8), task.S1, task.S2)
+	custom := New()
+	custom.Init = func(a, b string) float64 { return strutil.NGramSim(a, b, 3) }
+	perPair := custom.Match(match.NewContext().WithWorkers(4), task.S1, task.S2)
+	for i := 0; i < seq.Rows(); i++ {
+		for j := 0; j < seq.Cols(); j++ {
+			if seq.Get(i, j) != par.Get(i, j) {
+				t.Fatalf("cell (%d,%d) = %v sequential, %v parallel", i, j, seq.Get(i, j), par.Get(i, j))
+			}
+			if seq.Get(i, j) != perPair.Get(i, j) {
+				t.Fatalf("cell (%d,%d) = %v profile init, %v per-pair init", i, j, seq.Get(i, j), perPair.Get(i, j))
+			}
+		}
 	}
 }

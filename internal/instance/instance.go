@@ -288,21 +288,25 @@ func NewMatcher(left, right *Instances) *Matcher {
 // Name implements match.Matcher.
 func (m *Matcher) Name() string { return "Instance" }
 
-// Match implements match.Matcher.
-func (m *Matcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	rows, cols := match.Keys(s1), match.Keys(s2)
+// Match implements match.Matcher. Feature extraction and the matrix
+// fill are row-parallel under Context.Workers; every feature vector
+// and similarity is a pure function of the samples, so the result is
+// bit-identical for any worker count. Element keys come from the
+// schemas' shared analysis indexes.
+func (m *Matcher) Match(ctx *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	rows, cols := ctx.Index(s1).Keys, ctx.Index(s2).Keys
 	out := simcube.NewMatrix(rows, cols)
 	leftF := make([]features, len(rows))
-	for i, k := range rows {
-		leftF[i] = extract(m.left.Values(k))
-	}
+	match.ParallelRows(ctx, len(rows), func(i int) {
+		leftF[i] = extract(m.left.Values(rows[i]))
+	})
 	rightF := make([]features, len(cols))
-	for j, k := range cols {
-		rightF[j] = extract(m.right.Values(k))
-	}
-	for i := range rows {
+	match.ParallelRows(ctx, len(cols), func(j int) {
+		rightF[j] = extract(m.right.Values(cols[j]))
+	})
+	match.ParallelRows(ctx, len(rows), func(i int) {
 		if leftF[i].count == 0 {
-			continue
+			return
 		}
 		for j := range cols {
 			if rightF[j].count == 0 {
@@ -310,6 +314,6 @@ func (m *Matcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix
 			}
 			out.Set(i, j, similarity(leftF[i], rightF[j]))
 		}
-	}
+	})
 	return out
 }

@@ -164,3 +164,25 @@ func TestRatioSim(t *testing.T) {
 		t.Error("ratioSim wrong")
 	}
 }
+
+// TestInstanceParallelFillIdentical is the golden guarantee of the
+// worker knob: the instance matcher produces a bit-identical matrix
+// whether its rows are filled by one worker or many.
+func TestInstanceParallelFillIdentical(t *testing.T) {
+	task := workload.Tasks()[0]
+	left := Generate(task.S1, workload.ConceptKey, 25, 2002)
+	right := Generate(task.S2, workload.ConceptKey, 25, 2002)
+	m := NewMatcher(left, right)
+	seq := m.Match(match.NewContext().WithWorkers(1), task.S1, task.S2)
+	par := m.Match(match.NewContext().WithWorkers(8), task.S1, task.S2)
+	if seq.Rows() != par.Rows() || seq.Cols() != par.Cols() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", seq.Rows(), seq.Cols(), par.Rows(), par.Cols())
+	}
+	for i := 0; i < seq.Rows(); i++ {
+		for j := 0; j < seq.Cols(); j++ {
+			if seq.Get(i, j) != par.Get(i, j) {
+				t.Fatalf("cell (%d,%d) = %v sequential, %v parallel", i, j, seq.Get(i, j), par.Get(i, j))
+			}
+		}
+	}
+}

@@ -10,6 +10,13 @@
 // matchers yields the k × m × n similarity cube processed by package
 // combine.
 //
+// Matchers do not analyze schemas themselves: the per-schema facts
+// they consume (path enumerations, name profiles, dictionary
+// hit-sets, type classes) live in an analysis.SchemaIndex obtained
+// through Context.Index — built once per schema and shared by every
+// matcher, every repeated match on the same schema, and the
+// evaluation harness.
+//
 // The element pairs of a matrix are independent, so matchers fill
 // their matrices row-parallel; Context.Workers bounds the per-matcher
 // parallelism. All similarity values are pure functions of their
@@ -22,10 +29,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/dict"
 	"repro/internal/schema"
 	"repro/internal/simcube"
-	"repro/internal/strutil"
 )
 
 // Context carries the auxiliary information sources shared by matcher
@@ -41,6 +48,16 @@ type Context struct {
 	// sequential fill. The auxiliary sources must not be mutated while
 	// a match runs.
 	Workers int
+	// Analyzer caches one analysis.SchemaIndex per schema for this
+	// context's auxiliary sources; NewContext installs one, so
+	// repeated matches through the same context analyze each schema
+	// exactly once. A zero-value Context (nil Analyzer) builds a
+	// throwaway index per request instead.
+	Analyzer *analysis.Analyzer
+	// idx1, idx2 are the indexes of the current match's two schemas,
+	// installed by the engine (WithIndexes) so every matcher of one
+	// execution shares them without consulting the analyzer cache.
+	idx1, idx2 *analysis.SchemaIndex
 	// sem, when set (WithWorkerBudget), is a budget shared by every
 	// matcher executing under this context: row-fill helpers take
 	// extra workers only while slots remain, so concurrent matchers
@@ -50,17 +67,20 @@ type Context struct {
 
 // NewContext returns a context with the default dictionary, type
 // compatibility table and purchase-order taxonomy used by the paper's
-// evaluation and its extensions.
+// evaluation and its extensions, plus a fresh per-schema analysis
+// cache.
 func NewContext() *Context {
 	return &Context{
 		Dict:     dict.Default(),
 		Types:    dict.DefaultTypeTable(),
 		Taxonomy: dict.DefaultTaxonomy(),
+		Analyzer: analysis.NewAnalyzer(),
 	}
 }
 
 // WithWorkers returns a shallow copy of the context with the worker
-// bound replaced (0 restores the NumCPU default).
+// bound replaced (0 restores the NumCPU default). The analysis cache
+// and any installed indexes are shared with the original.
 func (c *Context) WithWorkers(n int) *Context {
 	out := &Context{}
 	if c != nil {
@@ -68,6 +88,49 @@ func (c *Context) WithWorkers(n int) *Context {
 	}
 	out.Workers = n
 	return out
+}
+
+// WithIndexes returns a shallow copy of the context with the current
+// match's two schema indexes installed; Index returns them without
+// consulting the analyzer cache. The engine calls this once per match
+// operation so all k matchers share the same analyses.
+func (c *Context) WithIndexes(i1, i2 *analysis.SchemaIndex) *Context {
+	out := &Context{}
+	if c != nil {
+		*out = *c
+	}
+	out.idx1, out.idx2 = i1, i2
+	return out
+}
+
+// Sources returns the analysis sources corresponding to the context's
+// auxiliary information.
+func (c *Context) Sources() analysis.Sources {
+	if c == nil {
+		return analysis.Sources{}
+	}
+	return analysis.Sources{Dict: c.Dict, Types: c.Types, Taxonomy: c.Taxonomy}
+}
+
+// Index returns the schema's analysis index: one of the installed
+// per-match indexes when it fits, else the analyzer cache's entry
+// (built on first use), else — on a zero-value context — a throwaway
+// index. The result is never nil and always matches the context's
+// current sources.
+func (c *Context) Index(s *schema.Schema) *analysis.SchemaIndex {
+	src := c.Sources()
+	if c != nil {
+		if c.idx1.Valid(s, src) {
+			return c.idx1
+		}
+		if c.idx2.Valid(s, src) {
+			return c.idx2
+		}
+		if c.Analyzer != nil {
+			return c.Analyzer.Index(s, src)
+		}
+	}
+	return analysis.NewIndex(s, src)
 }
 
 // WithWorkerBudget returns a copy of the context that enforces its
@@ -122,6 +185,17 @@ func (c *Context) workers() int {
 	return c.Workers
 }
 
+// ResolveWorkers maps a worker knob to its effective count with the
+// engine-wide semantics: n <= 0 means runtime.NumCPU(). Exported so
+// other layers (the eval harness, commands) resolve the knob exactly
+// like Context does.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
 // expand adapts the context's dictionary to strutil.TokenSet.
 func (c *Context) expand(tok string) []string {
 	if c == nil || c.Dict == nil {
@@ -162,12 +236,15 @@ func Keys(s *schema.Schema) []string {
 	return out
 }
 
-// parallelRows invokes fn for every row in [0, n), distributing rows
+// ParallelRows invokes fn for every row in [0, n), distributing rows
 // across the calling goroutine plus up to workers-1 extra goroutines
 // (fewer when the context's shared worker budget is exhausted). Rows
-// are claimed from a shared counter so uneven rows (cache hits vs.
-// misses) balance out. With one worker the loop runs inline.
-func parallelRows(ctx *Context, n int, fn func(i int)) {
+// are claimed from a shared counter so uneven rows balance out. With
+// one worker the loop runs inline. It is the single work-distribution
+// primitive of the engine: the matchers, the instance and flooding
+// extensions and the eval harness all draw their parallelism from it,
+// bounded by the one Workers knob.
+func ParallelRows(ctx *Context, n int, fn func(i int)) {
 	extra := ctx.workers() - 1
 	if extra > n-1 {
 		extra = n - 1
@@ -202,109 +279,20 @@ func parallelRows(ctx *Context, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// parallelRows is the package-internal spelling of ParallelRows.
+func parallelRows(ctx *Context, n int, fn func(i int)) { ParallelRows(ctx, n, fn) }
+
 // matchPaths fills a path × path matrix from a pairwise similarity
 // function, row-parallel up to the context's worker bound. sim must be
 // a pure function of its inputs (plus read-only context state).
 func matchPaths(ctx *Context, s1, s2 *schema.Schema, sim func(p1, p2 schema.Path) float64) *simcube.Matrix {
-	p1, p2 := s1.Paths(), s2.Paths()
-	m := simcube.NewMatrix(Keys(s1), Keys(s2))
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	p1, p2 := x1.Paths, x2.Paths
+	m := simcube.NewMatrix(x1.Keys, x2.Keys)
 	parallelRows(ctx, len(p1), func(i int) {
 		for j := range p2 {
 			m.Set(i, j, sim(p1[i], p2[j]))
 		}
 	})
 	return m
-}
-
-// cacheShards spreads cache entries over independently locked shards so
-// row-parallel fills don't serialize on a single mutex. 32 shards keep
-// contention negligible for any plausible worker count.
-const cacheShards = 32
-
-// fnvPair hashes a string pair (FNV-1a with a separator) to a shard.
-func fnvPair(a, b string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(a); i++ {
-		h = (h ^ uint32(a[i])) * 16777619
-	}
-	h = (h ^ 0xff) * 16777619
-	for i := 0; i < len(b); i++ {
-		h = (h ^ uint32(b[i])) * 16777619
-	}
-	return h % cacheShards
-}
-
-// pairCache memoizes a string-pair similarity. It is sharded and safe
-// for concurrent use; the zero value is an empty cache.
-type pairCache struct {
-	shards [cacheShards]struct {
-		mu sync.Mutex
-		m  map[[2]string]float64
-	}
-}
-
-func (c *pairCache) get(a, b string) (float64, bool) {
-	s := &c.shards[fnvPair(a, b)]
-	s.mu.Lock()
-	v, ok := s.m[[2]string{a, b}]
-	s.mu.Unlock()
-	return v, ok
-}
-
-func (c *pairCache) put(a, b string, v float64) {
-	s := &c.shards[fnvPair(a, b)]
-	s.mu.Lock()
-	if s.m == nil {
-		s.m = make(map[[2]string]float64)
-	}
-	s.m[[2]string{a, b}] = v
-	s.mu.Unlock()
-}
-
-// reset drops all entries (strategy changes invalidate cached values).
-func (c *pairCache) reset() {
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		s.m = nil
-		s.mu.Unlock()
-	}
-}
-
-// profileCache memoizes name analysis (NameProfile) per distinct name.
-// Sharded like pairCache; the zero value is an empty cache. A racing
-// double build of the same name is harmless: profiles are deterministic
-// and either winner is equivalent.
-type profileCache struct {
-	shards [cacheShards]struct {
-		mu sync.Mutex
-		m  map[string]*strutil.NameProfile
-	}
-}
-
-func (c *profileCache) get(name string) (*strutil.NameProfile, bool) {
-	s := &c.shards[fnvPair(name, "")]
-	s.mu.Lock()
-	p, ok := s.m[name]
-	s.mu.Unlock()
-	return p, ok
-}
-
-func (c *profileCache) put(name string, p *strutil.NameProfile) {
-	s := &c.shards[fnvPair(name, "")]
-	s.mu.Lock()
-	if s.m == nil {
-		s.m = make(map[string]*strutil.NameProfile)
-	}
-	s.m[name] = p
-	s.mu.Unlock()
-}
-
-func (c *profileCache) reset() {
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		s.m = nil
-		s.mu.Unlock()
-	}
 }

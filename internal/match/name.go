@@ -2,8 +2,8 @@ package match
 
 import (
 	"slices"
-	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/combine"
 	"repro/internal/schema"
 	"repro/internal/simcube"
@@ -22,19 +22,18 @@ import (
 // concatenation of all element names on the path, providing additional
 // tokens and distinguishing different contexts of a shared element.
 //
-// Execution is two-phase: Match first analyzes every distinct name
-// into a strutil.NameProfile (tokenization, expansion, gram
-// extraction, Soundex — O(m+n) preparation instead of O(m·n)), then
-// fills the matrix pairwise from the profiles, row-parallel up to the
-// context's worker bound.
+// The matcher holds no per-schema state of its own: name analysis
+// (tokenization, expansion, gram extraction, Soundex, dictionary
+// hit-sets) comes from the schemas' shared analysis.SchemaIndex. One
+// similarity grid over the distinct names of both schemas is filled
+// row-parallel and projected onto the path matrix, so duplicate
+// element names are scored once.
 type NameMatcher struct {
 	matcherName string
 	tokenSims   []*Simple
 	strategy    combine.Strategy
 	longName    bool
 	gramNs      []int
-	cache       pairCache
-	profiles    profileCache
 }
 
 // NewName returns the Name matcher with its Table 4 defaults:
@@ -87,50 +86,53 @@ func (nm *NameMatcher) Name() string { return nm.matcherName }
 
 // SetCombSim switches the strategy for computing the combined token-set
 // similarity (step 3) between Average and Dice; the evaluation compares
-// both (paper Section 7.2). Cached name similarities are dropped.
+// both (paper Section 7.2). Configure before matching; the matcher must
+// not be reconfigured while a Match runs.
 func (nm *NameMatcher) SetCombSim(c combine.CombSim) {
 	nm.strategy.Comb = c
-	nm.cache.reset()
 }
 
-// pathName derives the name the matcher compares for one path.
-func (nm *NameMatcher) pathName(p schema.Path) string {
+// profiles resolves the distinct-name profiles and the path → profile
+// projection the matcher compares for one schema: the index's element
+// names or hierarchical names. When the matcher's constituents need
+// gram widths the index does not precompute, equivalent profiles are
+// rebuilt locally with the right widths (the index still provides the
+// distinct-name dedup).
+func (nm *NameMatcher) profiles(ctx *Context, x *analysis.SchemaIndex) (dist []*strutil.NameProfile, id []int) {
 	if nm.longName {
-		// Join with a separator so that tokenization respects the
-		// element boundaries of the hierarchical name
-		// (PurchaseOrder + shipToStreet must not fuse Order/ship).
-		return strings.Join(p.Names(), ".")
+		dist, id = x.LongNames, x.LongNameID
+	} else {
+		dist, id = x.Names, x.NameID
 	}
-	return p.Name()
+	if analysis.ProfiledGramNs(nm.gramNs) {
+		return dist, id
+	}
+	rebuilt := make([]*strutil.NameProfile, len(dist))
+	for i, p := range dist {
+		rebuilt[i] = strutil.NewNameProfile(p.Name, ctx.expand, nm.gramNs...)
+	}
+	return rebuilt, id
 }
 
-// profile returns the analyzed form of a name, building and caching it
-// on first use.
-func (nm *NameMatcher) profile(ctx *Context, name string) *strutil.NameProfile {
-	if p, ok := nm.profiles.get(name); ok {
-		return p
-	}
-	p := strutil.NewNameProfile(name, ctx.expand, nm.gramNs...)
-	nm.profiles.put(name, p)
-	return p
-}
-
-// Match implements Matcher with the two-phase flow: analyze all names
-// up front, then fill the matrix row-parallel from the profiles.
+// Match implements Matcher: score the distinct-name grid row-parallel
+// from the schemas' shared indexes, then project it onto the path
+// matrix.
 func (nm *NameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	p1, p2 := s1.Paths(), s2.Paths()
-	prof1 := make([]*strutil.NameProfile, len(p1))
-	for i, p := range p1 {
-		prof1[i] = nm.profile(ctx, nm.pathName(p))
-	}
-	prof2 := make([]*strutil.NameProfile, len(p2))
-	for j, p := range p2 {
-		prof2[j] = nm.profile(ctx, nm.pathName(p))
-	}
-	m := simcube.NewMatrix(Keys(s1), Keys(s2))
-	parallelRows(ctx, len(p1), func(i int) {
-		for j := range p2 {
-			m.Set(i, j, nm.profileSim(ctx, prof1[i], prof2[j]))
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	d1, id1 := nm.profiles(ctx, x1)
+	d2, id2 := nm.profiles(ctx, x2)
+	n2 := len(d2)
+	grid := make([]float64, len(d1)*n2)
+	parallelRows(ctx, len(d1), func(a int) {
+		for b := 0; b < n2; b++ {
+			grid[a*n2+b] = nm.tokenSetSim(ctx, d1[a], d2[b])
+		}
+	})
+	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	parallelRows(ctx, len(id1), func(i int) {
+		row := grid[id1[i]*n2:]
+		for j := range id2 {
+			m.Set(i, j, row[id2[j]])
 		}
 	})
 	return m
@@ -142,19 +144,18 @@ func (nm *NameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matri
 // tokens are typically similar according to only some matchers — e.g.
 // Trigram finds no similarity for Ship and Deliver while Synonym
 // detects the synonymy), select directional token correspondences
-// (Both, Max1) and fold them into a single value (Average).
+// (Both, Max1) and fold them into a single value (Average). Ad-hoc
+// callers analyze per call; matrix fills go through the schema index
+// instead.
 func (nm *NameMatcher) NameSim(ctx *Context, a, b string) float64 {
-	return nm.profileSim(ctx, nm.profile(ctx, a), nm.profile(ctx, b))
+	pa := strutil.NewNameProfile(a, ctx.expand, nm.gramNs...)
+	pb := strutil.NewNameProfile(b, ctx.expand, nm.gramNs...)
+	return nm.tokenSetSim(ctx, pa, pb)
 }
 
-// profileSim is NameSim over analyzed names, memoized on the name pair.
-func (nm *NameMatcher) profileSim(ctx *Context, a, b *strutil.NameProfile) float64 {
-	if v, ok := nm.cache.get(a.Name, b.Name); ok {
-		return v
-	}
-	v := nm.tokenSetSim(ctx, a, b)
-	nm.cache.put(a.Name, b.Name, v)
-	return v
+// ProfileSim is NameSim over pre-analyzed names.
+func (nm *NameMatcher) ProfileSim(ctx *Context, a, b *strutil.NameProfile) float64 {
+	return nm.tokenSetSim(ctx, a, b)
 }
 
 // tokenSetSim runs the three combination steps on the token grid of two

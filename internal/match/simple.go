@@ -3,6 +3,7 @@ package match
 import (
 	"fmt"
 
+	"repro/internal/dict"
 	"repro/internal/schema"
 	"repro/internal/simcube"
 	"repro/internal/strutil"
@@ -127,28 +128,68 @@ func Soundex() *Simple {
 // Synonym returns the semantic matcher: similarity between element
 // names from the terminological relationships of the context's
 // dictionary, with relationship-specific similarity values (1.0 for
-// synonymy, 0.8 for hypernymy).
+// synonymy, 0.8 for hypernymy). Over index-annotated token profiles
+// the lookup intersects precomputed id hit-sets; unannotated profiles
+// (or ones annotated against a different dictionary) fall back to the
+// dictionary's map walk — the values are identical either way.
 func Synonym() *Simple {
-	return NewSimple("Synonym", func(ctx *Context, a, b string) float64 {
+	s := NewSimple("Synonym", func(ctx *Context, a, b string) float64 {
 		if ctx == nil || ctx.Dict == nil {
 			return 0
 		}
 		return ctx.Dict.Lookup(a, b)
 	})
+	s.psim = func(ctx *Context, a, b *strutil.TokenProfile) float64 {
+		if ctx == nil || ctx.Dict == nil {
+			return 0
+		}
+		if a.DictSrc != any(ctx.Dict) || b.DictSrc != any(ctx.Dict) {
+			return ctx.Dict.Lookup(a.Token, b.Token)
+		}
+		if a.Token == b.Token {
+			if a.Token == "" {
+				return 0
+			}
+			return 1
+		}
+		if a.DictID < 0 || b.DictID < 0 {
+			return 0
+		}
+		return strutil.LookupIDSim(a.DictRel, b.DictID)
+	}
+	return s
 }
 
 // Taxonomy returns the taxonomy matcher, an extension of Synonym in the
 // semantic-distance style of Rada et al.: the similarity of two terms
 // decays with the length of the is-a path connecting them in the
 // context's concept hierarchy. It is primarily useful as an additional
-// constituent of the hybrid Name matcher.
+// constituent of the hybrid Name matcher. Like Synonym, it intersects
+// precomputed is-a id chains when the profiles carry them and falls
+// back to the taxonomy's map walk otherwise.
 func Taxonomy() *Simple {
-	return NewSimple("Taxonomy", func(ctx *Context, a, b string) float64 {
+	s := NewSimple("Taxonomy", func(ctx *Context, a, b string) float64 {
 		if ctx == nil || ctx.Taxonomy == nil {
 			return 0
 		}
 		return ctx.Taxonomy.Sim(a, b)
 	})
+	s.psim = func(ctx *Context, a, b *strutil.TokenProfile) float64 {
+		if ctx == nil || ctx.Taxonomy == nil {
+			return 0
+		}
+		if a.TaxSrc != any(ctx.Taxonomy) || b.TaxSrc != any(ctx.Taxonomy) {
+			return ctx.Taxonomy.Sim(a.Token, b.Token)
+		}
+		if a.Token == b.Token {
+			if a.Token == "" {
+				return 0
+			}
+			return 1
+		}
+		return dict.ChainSim(ctx.Taxonomy.Decay(), a.TaxChain, b.TaxChain)
+	}
+	return s
 }
 
 // DataTypeMatcher is the DataType matcher: unlike the other simple
@@ -160,10 +201,17 @@ type DataTypeMatcher struct{}
 // Name implements Matcher.
 func (DataTypeMatcher) Name() string { return "DataType" }
 
-// Match implements Matcher over the terminal nodes' declared types.
+// Match implements Matcher over the terminal nodes' declared types,
+// reading the generic type classes precomputed by the schema index.
 func (DataTypeMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	tt := ctx.typeTable()
-	return matchPaths(ctx, s1, s2, func(p1, p2 schema.Path) float64 {
-		return tt.Compat(p1.Leaf().TypeName, p2.Leaf().TypeName)
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	parallelRows(ctx, len(x1.Generic), func(i int) {
+		g1 := x1.Generic[i]
+		for j, g2 := range x2.Generic {
+			m.Set(i, j, tt.CompatGeneric(g1, g2))
+		}
 	})
+	return m
 }

@@ -1,17 +1,21 @@
 package match
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/combine"
 	"repro/internal/schema"
 	"repro/internal/simcube"
 )
 
 // leafMatcher abstracts the leaf-level matcher the structural matchers
-// are combined with; TypeName is the default (Table 4).
+// are combined with; TypeName is the default (Table 4). The structural
+// matchers only ever fold over leaf-pair similarities, so they consume
+// one dense leaf×leaf grid (index-driven, row-parallel) rather than
+// querying pairs individually or filling the full path matrix.
 type leafMatcher interface {
 	Matcher
-	PairSim(ctx *Context, p1, p2 schema.Path) float64
 	SetCombSim(c combine.CombSim)
+	leafGrid(ctx *Context, x1, x2 *analysis.SchemaIndex) []float64
 }
 
 // combineSets folds a pairwise similarity over two element sets into
@@ -55,60 +59,28 @@ func (cm *ChildrenMatcher) SetCombSim(c combine.CombSim) {
 	cm.leaf.SetCombSim(c)
 }
 
-// childIndexes resolves, for every path, the matrix indices of its
-// containment children. Paths enumerate in preorder, so a child's index
-// is always greater than its parent's — the recurrence evaluates
-// bottom-up by iterating indices in reverse.
-func childIndexes(paths []schema.Path, keys []string) [][]int {
-	idx := make(map[string]int, len(keys))
-	for i, k := range keys {
-		idx[k] = i
-	}
-	out := make([][]int, len(paths))
-	for i, p := range paths {
-		children := p.ChildPaths()
-		if len(children) == 0 {
-			continue
-		}
-		ci := make([]int, 0, len(children))
-		for _, c := range children {
-			if j, ok := idx[c.String()]; ok {
-				ci = append(ci, j)
-			}
-		}
-		out[i] = ci
-	}
-	return out
-}
-
 // Match implements Matcher. Leaf element pairs receive the leaf
 // matcher's similarity; inner element pairs the recursive child-set
-// similarity; mixed pairs similarity 0. The recurrence is evaluated
-// bottom-up over the preorder path enumeration (children precede their
-// parents in reverse order), replacing the memoized recursion and its
-// per-pair path-string keys with direct matrix reads.
+// similarity; mixed pairs similarity 0. The leaf matcher fills one
+// dense leaf×leaf grid (index-driven, row-parallel); the recurrence
+// is then evaluated bottom-up over the indexes' children adjacency —
+// paths enumerate in preorder, so children precede their parents in
+// reverse order and the recurrence reads already-final matrix cells.
+// A leaf path's dense leaf id is LeafLo (its leaf set is itself).
 func (cm *ChildrenMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	p1, p2 := s1.Paths(), s2.Paths()
-	k1, k2 := Keys(s1), Keys(s2)
-	out := simcube.NewMatrix(k1, k2)
-	child1 := childIndexes(p1, k1)
-	child2 := childIndexes(p2, k2)
-	leaf1 := make([]bool, len(p1))
-	for i, p := range p1 {
-		leaf1[i] = p.Leaf().IsLeaf()
-	}
-	leaf2 := make([]bool, len(p2))
-	for j, p := range p2 {
-		leaf2[j] = p.Leaf().IsLeaf()
-	}
-	for i := len(p1) - 1; i >= 0; i-- {
-		for j := len(p2) - 1; j >= 0; j-- {
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	leafSims := cm.leaf.leafGrid(ctx, x1, x2)
+	nl2 := len(x2.Leaves)
+	out := simcube.NewMatrix(x1.Keys, x2.Keys)
+	n1, n2 := len(x1.Paths), len(x2.Paths)
+	for i := n1 - 1; i >= 0; i-- {
+		for j := n2 - 1; j >= 0; j-- {
 			var v float64
 			switch {
-			case leaf1[i] && leaf2[j]:
-				v = cm.leaf.PairSim(ctx, p1[i], p2[j])
-			case !leaf1[i] && !leaf2[j]:
-				c1, c2 := child1[i], child2[j]
+			case x1.IsLeaf[i] && x2.IsLeaf[j]:
+				v = leafSims[x1.LeafLo[i]*nl2+x2.LeafLo[j]]
+			case !x1.IsLeaf[i] && !x2.IsLeaf[j]:
+				c1, c2 := x1.Children[i], x2.Children[j]
 				v = combineSets(cm.comb, len(c1), len(c2), func(a, b int) float64 {
 					return out.Get(c1[a], c2[b])
 				})
@@ -147,58 +119,26 @@ func (lm *LeavesMatcher) SetCombSim(c combine.CombSim) {
 	lm.leaf.SetCombSim(c)
 }
 
-// denseLeafSets assigns every distinct leaf path a dense index and
-// resolves each element's leaf set to those indices.
-func denseLeafSets(paths []schema.Path) (leaves []schema.Path, sets [][]int) {
-	idx := make(map[string]int)
-	sets = make([][]int, len(paths))
-	for i, p := range paths {
-		lp := p.LeafPaths()
-		set := make([]int, len(lp))
-		for k, l := range lp {
-			key := l.String()
-			j, ok := idx[key]
-			if !ok {
-				j = len(leaves)
-				idx[key] = j
-				leaves = append(leaves, l)
-			}
-			set[k] = j
-		}
-		sets[i] = set
-	}
-	return leaves, sets
-}
-
 // Match implements Matcher. For every element pair the leaf sets under
 // both elements are compared with the leaf matcher and combined with
 // (Both, Max1, Average); for a leaf element the leaf set is the element
 // itself, so leaf pairs degenerate to the plain leaf similarity.
 //
-// The leaf sets of different inner elements overlap heavily, so the
-// two-phase flow precomputes every distinct leaf-pair similarity once
-// into a dense grid (row-parallel), then combines per element pair
-// against that grid — no locks or cache lookups in the combine loop.
+// The leaf matcher fills one dense leaf×leaf grid; the schema indexes
+// resolve every element's leaf set to a contiguous range of dense
+// leaf ids (preorder), so the combine loop reads the grid directly —
+// no per-pair set construction, locks or cache lookups.
 func (lm *LeavesMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	p1, p2 := s1.Paths(), s2.Paths()
-	leaves1, sets1 := denseLeafSets(p1)
-	leaves2, sets2 := denseLeafSets(p2)
-
-	nl2 := len(leaves2)
-	leafSims := make([]float64, len(leaves1)*nl2)
-	parallelRows(ctx, len(leaves1), func(a int) {
-		for b, l2 := range leaves2 {
-			leafSims[a*nl2+b] = lm.leaf.PairSim(ctx, leaves1[a], l2)
-		}
-	})
-
-	out := simcube.NewMatrix(Keys(s1), Keys(s2))
-	parallelRows(ctx, len(p1), func(i int) {
-		l1 := sets1[i]
-		for j := range p2 {
-			l2 := sets2[j]
-			out.Set(i, j, combineSets(lm.comb, len(l1), len(l2), func(a, b int) float64 {
-				return leafSims[l1[a]*nl2+l2[b]]
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	leafSims := lm.leaf.leafGrid(ctx, x1, x2)
+	nl2 := len(x2.Leaves)
+	out := simcube.NewMatrix(x1.Keys, x2.Keys)
+	parallelRows(ctx, len(x1.Paths), func(i int) {
+		lo1, hi1 := x1.LeafSet(i)
+		for j := range x2.Paths {
+			lo2, hi2 := x2.LeafSet(j)
+			out.Set(i, j, combineSets(lm.comb, hi1-lo1, hi2-lo2, func(a, b int) float64 {
+				return leafSims[(lo1+a)*nl2+(lo2+b)]
 			}))
 		}
 	})

@@ -1,9 +1,11 @@
 package match
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/combine"
 	"repro/internal/schema"
 	"repro/internal/simcube"
+	"repro/internal/strutil"
 )
 
 // TypeNameMatcher is the hybrid TypeName matcher (paper Section 4.2):
@@ -42,15 +44,101 @@ func (tn *TypeNameMatcher) Name() string { return "TypeName" }
 // Name matcher (TypeName itself has no step 3).
 func (tn *TypeNameMatcher) SetCombSim(c combine.CombSim) { tn.name.SetCombSim(c) }
 
-// Match implements Matcher.
+// Match implements Matcher: one distinct-name similarity grid from the
+// schemas' shared indexes plus the precomputed generic type classes,
+// folded per element pair with the Table 4 weights. The arithmetic per
+// cell is identical to PairSim, so the matrix is bit-identical to a
+// per-pair evaluation.
 func (tn *TypeNameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	return matchPaths(ctx, s1, s2, func(p1, p2 schema.Path) float64 {
-		return tn.PairSim(ctx, p1, p2)
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	total := tn.typeWeight + tn.nameWeight
+	if total == 0 {
+		return m
+	}
+	d1, id1 := tn.name.profiles(ctx, x1)
+	d2, id2 := tn.name.profiles(ctx, x2)
+	n2 := len(d2)
+	grid := make([]float64, len(d1)*n2)
+	parallelRows(ctx, len(d1), func(a int) {
+		for b := 0; b < n2; b++ {
+			grid[a*n2+b] = tn.name.tokenSetSim(ctx, d1[a], d2[b])
+		}
 	})
+	tt := ctx.typeTable()
+	parallelRows(ctx, len(id1), func(i int) {
+		g1 := x1.Generic[i]
+		row := grid[id1[i]*n2:]
+		for j := range id2 {
+			typeSim := tt.CompatGeneric(g1, x2.Generic[j])
+			nameSim := row[id2[j]]
+			m.Set(i, j, (tn.typeWeight*typeSim+tn.nameWeight*nameSim)/total)
+		}
+	})
+	return m
+}
+
+// leafGrid computes the dense leaf×leaf similarity grid the
+// structural matchers fold over: only leaf paths are scored, over the
+// distinct names actually occurring at leaves — the inner-element
+// portion of the matrix is never needed there. Cells are clamped
+// exactly like matrix storage, so the grid is bit-identical to the
+// leaf cells of Match's full matrix.
+func (tn *TypeNameMatcher) leafGrid(ctx *Context, x1, x2 *analysis.SchemaIndex) []float64 {
+	nl2 := len(x2.Leaves)
+	out := make([]float64, len(x1.Leaves)*nl2)
+	total := tn.typeWeight + tn.nameWeight
+	if total == 0 {
+		return out
+	}
+	d1, id1 := tn.name.profiles(ctx, x1)
+	d2, id2 := tn.name.profiles(ctx, x2)
+	sub1, loc1 := subsetProfiles(d1, id1, x1.Leaves)
+	sub2, loc2 := subsetProfiles(d2, id2, x2.Leaves)
+	m2 := len(sub2)
+	grid := make([]float64, len(sub1)*m2)
+	parallelRows(ctx, len(sub1), func(a int) {
+		for b := 0; b < m2; b++ {
+			grid[a*m2+b] = tn.name.tokenSetSim(ctx, sub1[a], sub2[b])
+		}
+	})
+	tt := ctx.typeTable()
+	parallelRows(ctx, len(x1.Leaves), func(a int) {
+		g1 := x1.Generic[x1.Leaves[a]]
+		row := grid[loc1[a]*m2:]
+		orow := out[a*nl2:]
+		for b, j := range x2.Leaves {
+			typeSim := tt.CompatGeneric(g1, x2.Generic[j])
+			nameSim := row[loc2[b]]
+			orow[b] = simcube.Clamp((tn.typeWeight*typeSim + tn.nameWeight*nameSim) / total)
+		}
+	})
+	return out
+}
+
+// subsetProfiles projects per-path distinct-name ids onto a path
+// subset: the distinct profiles occurring there plus, per subset
+// position, its local profile id.
+func subsetProfiles(dist []*strutil.NameProfile, id []int, paths []int) (sub []*strutil.NameProfile, loc []int) {
+	local := make([]int, len(dist))
+	for i := range local {
+		local[i] = -1
+	}
+	loc = make([]int, len(paths))
+	for k, p := range paths {
+		g := id[p]
+		if local[g] < 0 {
+			local[g] = len(sub)
+			sub = append(sub, dist[g])
+		}
+		loc[k] = local[g]
+	}
+	return sub, loc
 }
 
 // PairSim computes the weighted type/name similarity for one element
-// pair; exposed for use as the leaf matcher of Children and Leaves.
+// pair directly, without consulting a schema index; it remains the
+// reference implementation the index-driven Match must agree with.
 func (tn *TypeNameMatcher) PairSim(ctx *Context, p1, p2 schema.Path) float64 {
 	total := tn.typeWeight + tn.nameWeight
 	if total == 0 {

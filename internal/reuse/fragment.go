@@ -54,9 +54,10 @@ func suffixKey(path string, n int) string {
 
 // Match implements match.Matcher: correspondences of every stored
 // mapping not involving s1 or s2 directly are transferred by fragment
-// suffix. The maximal transferred similarity per pair wins.
-func (fm *FragmentMatcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	rows, cols := match.Keys(s1), match.Keys(s2)
+// suffix. The maximal transferred similarity per pair wins. Element
+// keys come from the schemas' shared analysis indexes.
+func (fm *FragmentMatcher) Match(ctx *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	rows, cols := ctx.Index(s1).Keys, ctx.Index(s2).Keys
 	out := simcube.NewMatrix(rows, cols)
 
 	// Fragment index for the current task's paths.

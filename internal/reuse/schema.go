@@ -68,8 +68,12 @@ func (sm *SchemaMatcher) Compositions(s1Name, s2Name string) []*simcube.Mapping 
 // over all intermediate schemas. Directly stored S1↔S2 results are
 // deliberately not consulted — the matcher predicts matches from
 // *other* tasks' results, which is what the evaluation measures.
-func (sm *SchemaMatcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
-	rows, cols := match.Keys(s1), match.Keys(s2)
+// Element keys and path resolution come from the schemas' shared
+// analysis indexes instead of re-deriving path strings and key maps
+// per call.
+func (sm *SchemaMatcher) Match(ctx *match.Context, s1, s2 *schema.Schema) *simcube.Matrix {
+	x1, x2 := ctx.Index(s1), ctx.Index(s2)
+	rows, cols := x1.Keys, x2.Keys
 	comps := sm.Compositions(s1.Name, s2.Name)
 	if len(comps) == 0 {
 		return simcube.NewMatrix(rows, cols)
@@ -78,7 +82,7 @@ func (sm *SchemaMatcher) Match(_ *match.Context, s1, s2 *schema.Schema) *simcube
 	for i, comp := range comps {
 		layer := cube.NewLayer(sm.name + "#" + string(rune('0'+i%10)))
 		for _, c := range comp.Correspondences() {
-			i1, j1 := layer.RowIndex(c.From), layer.ColIndex(c.To)
+			i1, j1 := x1.PathIndex(c.From), x2.PathIndex(c.To)
 			if i1 >= 0 && j1 >= 0 {
 				layer.Set(i1, j1, c.Sim)
 			}

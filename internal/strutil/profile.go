@@ -2,6 +2,35 @@ package strutil
 
 import "sort"
 
+// IDSim pairs an interned term id with a similarity value. It is the
+// unit of the precomputed dictionary hit-sets carried by annotated
+// token profiles: the terminological neighbours of a token, sorted by
+// id so that a pairwise lookup is a binary search instead of a map
+// walk. strutil only defines the shape; package dict produces the
+// values and package analysis installs them.
+type IDSim struct {
+	ID  int32
+	Sim float64
+}
+
+// LookupIDSim returns the similarity recorded for id in a hit-set
+// sorted by ID, or 0.
+func LookupIDSim(rel []IDSim, id int32) float64 {
+	lo, hi := 0, len(rel)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rel[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(rel) && rel[lo].ID == id {
+		return rel[lo].Sim
+	}
+	return 0
+}
+
 // TokenProfile precomputes, for one name token, every artifact the
 // simple string similarities consume: the normalized form, sorted
 // n-gram multisets for the profiled gram widths, and the Soundex code.
@@ -19,6 +48,26 @@ type TokenProfile struct {
 	// letter).
 	Code string
 
+	// DictSrc tags the dictionary the fields below were computed
+	// against (pointer identity); consumers must verify it matches
+	// their own dictionary before trusting the hit-sets and fall back
+	// to a direct lookup otherwise. Nil when unannotated.
+	DictSrc any
+	// DictID is the interned dictionary id of Token (-1 when the term
+	// has no recorded relationship).
+	DictID int32
+	// DictRel lists the terminological neighbours of Token as (id,
+	// similarity) pairs sorted by id.
+	DictRel []IDSim
+
+	// TaxSrc tags the taxonomy TaxChain was computed against, like
+	// DictSrc. Nil when unannotated.
+	TaxSrc any
+	// TaxChain is the token's is-a chain in the taxonomy as interned
+	// concept ids, the token itself first (depth = slice position).
+	// Nil when the token is not a taxonomy concept.
+	TaxChain []int32
+
 	gramNs []int
 	grams  [][]string // sorted n-gram multisets, parallel to gramNs
 }
@@ -26,7 +75,7 @@ type TokenProfile struct {
 // NewTokenProfile analyzes one token, precomputing grams for the given
 // widths (other widths are computed on demand by Grams).
 func NewTokenProfile(tok string, gramNs ...int) *TokenProfile {
-	p := &TokenProfile{Token: tok, Norm: normalize(tok)}
+	p := &TokenProfile{Token: tok, Norm: normalize(tok), DictID: -1}
 	p.Code = soundexNorm(p.Norm)
 	if len(gramNs) > 0 {
 		p.gramNs = gramNs
@@ -121,4 +170,13 @@ func NewNameProfile(name string, expand func(string) []string, gramNs ...int) *N
 		p.Profiles[i] = NewTokenProfile(tok, gramNs...)
 	}
 	return p
+}
+
+// Annotate applies fn to every token profile of the name; package
+// analysis uses it to install the per-token dictionary and taxonomy
+// hit-sets.
+func (p *NameProfile) Annotate(fn func(*TokenProfile)) {
+	for _, tp := range p.Profiles {
+		fn(tp)
+	}
 }
