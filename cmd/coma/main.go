@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	coma "repro"
@@ -82,25 +81,7 @@ func runInteractive(p1, p2 string) error {
 	return interactiveSession(s1, s2, nil, os.Stdin, os.Stdout)
 }
 
-func loadSchema(path string) (*coma.Schema, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".sql", ".ddl":
-		return coma.LoadSQL(name, string(data))
-	case ".xsd", ".xml":
-		return coma.LoadXSD(name, data)
-	case ".json":
-		return coma.LoadJSONSchema(name, data)
-	case ".dtd":
-		return coma.LoadDTD(name, data)
-	default:
-		return nil, fmt.Errorf("unknown schema format %q (want .sql, .xsd, .json or .dtd)", filepath.Ext(path))
-	}
-}
+func loadSchema(path string) (*coma.Schema, error) { return coma.LoadFile(path) }
 
 func run(p1, p2, matchers, agg, dir string, maxN int, delta, thr float64,
 	dictFile, repoPath, storeTag, reuseTag, format string, quiet bool, workers int) error {

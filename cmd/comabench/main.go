@@ -41,10 +41,11 @@ func main() {
 		perfOut  = flag.String("perf-out", "", "write the perf experiment's JSON report to this file (default stdout)")
 		check    = flag.String("check", "", "perf only: compare against this committed BENCH_pr<N>.json (or bare report) and fail on regressions")
 		checkTol = flag.Float64("check-tol", 0.25, "perf only: relative ns/op regression tolerated by -check")
+		checkTry = flag.Int("check-retries", 1, "perf only: total measurement attempts before a failed -check is reported (re-runs absorb transient runner noise)")
 	)
 	flag.Parse()
 	if *exp == "perf" {
-		if err := expPerf(*perfOut, *check, *checkTol); err != nil {
+		if err := expPerf(*perfOut, *check, *checkTol, *checkTry); err != nil {
 			fmt.Fprintln(os.Stderr, "comabench:", err)
 			os.Exit(1)
 		}

@@ -35,14 +35,54 @@ type perfMeasure struct {
 
 // expPerf measures the matcher-engine hot paths: the default
 // five-matcher Match operation sequential vs. parallel vs. through a
-// reusable Engine (amortized schema analysis), the individual hybrid
-// matchers on the largest workload task, the schema analysis pass
-// itself, a dictionary/taxonomy-heavy Name variant, and a single
-// NameSim evaluation. With a non-empty checkPath the current numbers
-// are additionally compared against the committed snapshot and an
-// error is returned when any shared benchmark regressed by more than
-// tol (the CI regression gate).
-func expPerf(outPath, checkPath string, tol float64) error {
+// reusable Engine (amortized schema analysis), the batch scheduler
+// against the equivalent Engine.Match loop on a 16-candidate
+// repository workload, the individual hybrid matchers on the largest
+// workload task, the schema analysis pass itself, a
+// dictionary/taxonomy-heavy Name variant, and a single NameSim
+// evaluation. With a non-empty checkPath the current numbers are
+// additionally compared against the committed snapshot and an error is
+// returned when any shared benchmark regressed by more than tol (the
+// CI regression gate); a failed check re-measures everything up to
+// retries times before giving up, absorbing transient runner noise.
+func expPerf(outPath, checkPath string, tol float64, retries int) error {
+	if retries < 1 {
+		retries = 1
+	}
+	for attempt := 1; ; attempt++ {
+		report := measurePerf()
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		// The file snapshot is refreshed every attempt (the last
+		// measurement is the one worth inspecting); stdout gets the
+		// report exactly once, on the final attempt, so piped output
+		// stays a single JSON document.
+		if outPath != "" {
+			if err := os.WriteFile(outPath, out, 0o644); err != nil {
+				return err
+			}
+		}
+		var checkErr error
+		if checkPath != "" {
+			checkErr = checkRegressions(report, checkPath, tol)
+		}
+		if checkErr == nil || attempt >= retries {
+			if outPath == "" {
+				if _, err := os.Stdout.Write(out); err != nil {
+					return err
+				}
+			}
+			return checkErr
+		}
+		fmt.Fprintf(os.Stderr, "# check attempt %d/%d failed, re-measuring: %v\n", attempt, retries, checkErr)
+	}
+}
+
+// measurePerf runs every perf scenario once and collects the report.
+func measurePerf() perfReport {
 	big := workload.Tasks()[9] // 4<->5, the largest problem size
 	small := workload.Tasks()[0]
 	report := perfReport{
@@ -99,6 +139,57 @@ func expPerf(outPath, checkPath string, tol float64) error {
 		for i := 0; i < b.N; i++ {
 			if _, err := engine.Match(big.S1, big.S2); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+	// The repository-server batch workload: one incoming schema matched
+	// against a 16-schema candidate store. The loop baseline drives the
+	// same reusable engine pair by pair (analysis already amortized, but
+	// per-call matrix allocations and per-match worker fan-out remain);
+	// the batch form schedules all pairs over one worker budget and
+	// recycles matrices through pooled arenas. 4x16 replays four
+	// different incoming schemas against the same store — the serving
+	// steady state, where the engine's candidate analyses stay hot
+	// across batches (arena pools and the column cache are per-batch).
+	batch := workload.Candidates(20)
+	incs, bcands := batch[:4], batch[4:]
+	add("MatchAll/engine-vs-loop", func(b *testing.B) {
+		engine, err := coma.NewEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, c := range bcands {
+				if _, err := engine.Match(incs[0], c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	add("MatchAll/1x16", func(b *testing.B) {
+		engine, err := coma.NewEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.MatchAll(incs[0], bcands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("MatchAll/4x16", func(b *testing.B) {
+		engine, err := coma.NewEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, inc := range incs {
+				if _, err := engine.MatchAll(inc, bcands); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})
@@ -183,22 +274,20 @@ func expPerf(outPath, checkPath string, tol float64) error {
 		}
 	})
 
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
+	// Summarize the batch scheduler against its loop equivalent on the
+	// 16-candidate workload — the acceptance comparison of the batch
+	// API (lower ns/op and allocs/op than the loop).
+	byName := make(map[string]perfMeasure, len(report.Benchmarks))
+	for _, b := range report.Benchmarks {
+		byName[b.Name] = b
 	}
-	out = append(out, '\n')
-	if outPath == "" {
-		if _, err := os.Stdout.Write(out); err != nil {
-			return err
+	if loop, ok := byName["MatchAll/engine-vs-loop"]; ok {
+		if bat, ok := byName["MatchAll/1x16"]; ok && bat.NsPerOp > 0 && bat.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "# MatchAll batch vs loop (16 candidates): %.2fx time, %.2fx allocs\n",
+				loop.NsPerOp/bat.NsPerOp, float64(loop.AllocsPerOp)/float64(bat.AllocsPerOp))
 		}
-	} else if err := os.WriteFile(outPath, out, 0o644); err != nil {
-		return err
 	}
-	if checkPath != "" {
-		return checkRegressions(report, checkPath, tol)
-	}
-	return nil
+	return report
 }
 
 // benchSnapshot is the shape of a committed benchmark file: either a

@@ -7,7 +7,14 @@
 //	comarepo -repo coma.repo show -schema PO1
 //	comarepo -repo coma.repo mappings -tag manual
 //	comarepo -repo coma.repo dump -tag manual -from PO1 -to PO2
+//	comarepo -repo coma.repo match -in incoming.xsd -topk 3
 //	comarepo -repo coma.repo compact
+//
+// The match command is the repository server's batch operation: it
+// imports the schema at -in (.sql, .xsd/.xml, .json or .dtd) and runs
+// one Engine.MatchAll batch against every stored schema, printing the
+// candidates ranked by combined schema similarity together with the
+// best candidate's correspondences.
 package main
 
 import (
@@ -25,19 +32,36 @@ func main() {
 		tag      = flag.String("tag", "manual", "mapping tag for 'mappings'/'dump'")
 		from     = flag.String("from", "", "mapping source schema for 'dump'")
 		to       = flag.String("to", "", "mapping target schema for 'dump'")
+		in       = flag.String("in", "", "incoming schema file for 'match' (.sql .xsd .xml .json .dtd)")
+		topK     = flag.Int("topk", 0, "match: keep only the K best candidates (0 = all)")
+		workers  = flag.Int("workers", 0, "match: worker bound of the batch (0 = all CPUs)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: comarepo [flags] stats|schemas|show|mappings|dump|compact")
+	usage := func() {
+		fmt.Fprintln(os.Stderr, "usage: comarepo [flags] stats|schemas|show|mappings|dump|match|compact [flags]")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *repoPath, *schemaN, *tag, *from, *to); err != nil {
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+	// The standard flag package stops at the first non-flag argument,
+	// so flags may also follow the subcommand (as the usage examples
+	// above do: `show -schema PO1`, `match -in incoming.xsd`). Parse
+	// the remainder with the same flag set.
+	if rest := flag.Args()[1:]; len(rest) > 0 {
+		flag.CommandLine.Parse(rest) // ExitOnError: exits on bad flags
+		if flag.NArg() != 0 {
+			usage()
+		}
+	}
+	if err := run(cmd, *repoPath, *schemaN, *tag, *from, *to, *in, *topK, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "comarepo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, repoPath, schemaName, tag, from, to string) error {
+func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers int) error {
 	repo, err := coma.OpenRepository(repoPath)
 	if err != nil {
 		return err
@@ -79,6 +103,11 @@ func run(cmd, repoPath, schemaName, tag, from, to string) error {
 		for _, c := range m.Correspondences() {
 			fmt.Printf("%-45s %-45s %.3f\n", c.From, c.To, c.Sim)
 		}
+	case "match":
+		if in == "" {
+			return fmt.Errorf("match requires -in")
+		}
+		return runMatch(repo, in, topK, workers)
 	case "compact":
 		before := repo.Stats().LogBytes
 		if err := repo.Compact(); err != nil {
@@ -87,6 +116,42 @@ func run(cmd, repoPath, schemaName, tag, from, to string) error {
 		fmt.Printf("compacted: %d -> %d bytes\n", before, repo.Stats().LogBytes)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// runMatch imports the incoming schema and batch-matches it against
+// every stored schema.
+func runMatch(repo *coma.Repository, in string, topK, workers int) error {
+	incoming, err := coma.LoadFile(in)
+	if err != nil {
+		return err
+	}
+	engine, err := coma.NewEngine(coma.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	var opts []coma.MatchAllOption
+	if topK > 0 {
+		opts = append(opts, coma.TopK(topK))
+	}
+	matches, err := repo.MatchIncoming(engine, incoming, opts...)
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		fmt.Printf("no stored candidates for %s\n", incoming.Name)
+		return nil
+	}
+	fmt.Printf("incoming %s vs %d stored schemas:\n", incoming.Name, len(matches))
+	for rank, m := range matches {
+		fmt.Printf("%2d. %-20s sim %.3f  %4d correspondences\n",
+			rank+1, m.Schema.Name, m.Result.SchemaSim, m.Result.Mapping.Len())
+	}
+	best := matches[0]
+	fmt.Printf("\nbest candidate %s:\n", best.Schema.Name)
+	for _, c := range best.Result.Mapping.Correspondences() {
+		fmt.Printf("  %-45s %-45s %.3f\n", c.From, c.To, c.Sim)
 	}
 	return nil
 }

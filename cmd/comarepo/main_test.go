@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -33,33 +34,67 @@ func seedRepo(t *testing.T) string {
 func TestCommands(t *testing.T) {
 	path := seedRepo(t)
 	for _, cmd := range []string{"stats", "schemas", "mappings", "compact"} {
-		if err := run(cmd, path, "", "manual", "", ""); err != nil {
+		if err := run(cmd, path, "", "manual", "", "", "", 0, 0); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
 	}
-	if err := run("show", path, "PO1", "manual", "", ""); err != nil {
+	if err := run("show", path, "PO1", "manual", "", "", "", 0, 0); err != nil {
 		t.Errorf("show: %v", err)
 	}
-	if err := run("dump", path, "", "manual", "PO1", "PO2"); err != nil {
+	if err := run("dump", path, "", "manual", "PO1", "PO2", "", 0, 0); err != nil {
 		t.Errorf("dump: %v", err)
+	}
+}
+
+func TestMatchCommand(t *testing.T) {
+	path := seedRepo(t)
+	// A second stored schema so the batch ranks more than one candidate.
+	repo, err := coma.OpenRepository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := coma.LoadSQL("PO2", "CREATE TABLE U (a INT, c VARCHAR(10));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutSchema(s2); err != nil {
+		t.Fatal(err)
+	}
+	repo.Close()
+
+	in := filepath.Join(t.TempDir(), "incoming.sql")
+	if err := os.WriteFile(in, []byte("CREATE TABLE V (a INT, b VARCHAR(10));"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("match", path, "", "manual", "", "", in, 0, 1); err != nil {
+		t.Errorf("match: %v", err)
+	}
+	if err := run("match", path, "", "manual", "", "", in, 1, 0); err != nil {
+		t.Errorf("match -topk 1: %v", err)
 	}
 }
 
 func TestCommandErrors(t *testing.T) {
 	path := seedRepo(t)
-	if err := run("bogus", path, "", "", "", ""); err == nil {
+	if err := run("bogus", path, "", "", "", "", "", 0, 0); err == nil {
 		t.Error("unknown command should fail")
 	}
-	if err := run("show", path, "", "", "", ""); err == nil {
+	if err := run("show", path, "", "", "", "", "", 0, 0); err == nil {
 		t.Error("show without -schema should fail")
 	}
-	if err := run("show", path, "Missing", "", "", ""); err == nil {
+	if err := run("show", path, "Missing", "", "", "", "", 0, 0); err == nil {
 		t.Error("show of missing schema should fail")
 	}
-	if err := run("dump", path, "", "manual", "", ""); err == nil {
+	if err := run("dump", path, "", "manual", "", "", "", 0, 0); err == nil {
 		t.Error("dump without endpoints should fail")
 	}
-	if err := run("dump", path, "", "manual", "A", "B"); err == nil {
+	if err := run("dump", path, "", "manual", "A", "B", "", 0, 0); err == nil {
 		t.Error("dump of missing mapping should fail")
+	}
+	if err := run("match", path, "", "manual", "", "", "", 0, 0); err == nil {
+		t.Error("match without -in should fail")
+	}
+	if err := run("match", path, "", "manual", "", "", filepath.Join(t.TempDir(), "nope.txt"), 0, 0); err == nil {
+		t.Error("match of missing file should fail")
 	}
 }

@@ -32,12 +32,19 @@
 // matchers read. An Engine caches these analyses across Match calls,
 // so matching one schema against many others — the paper's reuse
 // scenario — pays its analysis exactly once; see NewEngine and
-// Engine.Analyze.
+// Engine.Analyze. For the repository-server shape of that scenario —
+// one incoming schema against many stored candidates — Engine.MatchAll
+// schedules the whole batch over one worker budget and recycles the
+// per-pair matrices through pooled arenas; Repository.MatchIncoming
+// runs it against every schema of a repository.
 package coma
 
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/combine"
 	"repro/internal/core"
@@ -123,6 +130,30 @@ func LoadJSONSchema(name string, src []byte) (*Schema, error) {
 // leaves).
 func LoadDTD(name string, src []byte) (*Schema, error) {
 	return importer.ParseDTD(name, src)
+}
+
+// LoadFile imports a schema file, choosing the importer by extension —
+// .sql/.ddl (CREATE TABLE statements), .xsd/.xml (XML schema), .json
+// (JSON Schema), .dtd — and naming the schema after the file's base
+// name. It is the loader shared by the command-line tools.
+func LoadFile(path string) (*Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".sql", ".ddl":
+		return LoadSQL(name, string(data))
+	case ".xsd", ".xml":
+		return LoadXSD(name, data)
+	case ".json":
+		return LoadJSONSchema(name, data)
+	case ".dtd":
+		return LoadDTD(name, data)
+	default:
+		return nil, fmt.Errorf("coma: unknown schema format %q (want .sql, .ddl, .xsd, .xml, .json or .dtd)", filepath.Ext(path))
+	}
 }
 
 // Instances holds sample data values per schema element path, feeding
@@ -303,6 +334,68 @@ func (e *Engine) Match(s1, s2 *Schema) (*Result, error) {
 		Feedback: e.o.feedback,
 		Workers:  e.o.workers,
 	})
+}
+
+// matchAllOptions collects the per-batch knobs of MatchAll.
+type matchAllOptions struct {
+	topK      int
+	keepCubes bool
+}
+
+// MatchAllOption adjusts one MatchAll batch.
+type MatchAllOption func(*matchAllOptions) error
+
+// TopK retains only the n best candidates of a MatchAll batch, ranked
+// by combined schema similarity; the other slots of the result slice
+// are nil and retain no matrices or mappings. It is the serving-side
+// tail cutter: a repository front-end answering "which stored schemas
+// resemble this one?" keeps the shortlist, not all k full results.
+func TopK(n int) MatchAllOption {
+	return func(o *matchAllOptions) error {
+		if n <= 0 {
+			return fmt.Errorf("coma: non-positive TopK %d", n)
+		}
+		o.topK = n
+		return nil
+	}
+}
+
+// KeepCubes makes MatchAll retain each result's similarity cube (for
+// repository persistence or later re-combination). By default the
+// batch recycles cube layers once the mapping is extracted and returns
+// results with a nil Cube.
+func KeepCubes() MatchAllOption {
+	return func(o *matchAllOptions) error {
+		o.keepCubes = true
+		return nil
+	}
+}
+
+// MatchAll matches one incoming schema against many candidates in a
+// single scheduled batch — the repository-server workload. It returns
+// one Result per candidate, in candidate order, each bit-identical to
+// the corresponding Engine.Match result (except that Result.Cube is
+// nil unless KeepCubes is given, and TopK-pruned slots are nil).
+//
+// The batch form beats the equivalent Match loop on both wall-clock
+// and allocations: the incoming schema is analyzed once, all pairs
+// share one worker budget of the engine's WithWorkers bound (many
+// small pairs saturate it as well as one big pair), and the per-pair
+// matrices and similarity grids are recycled through a size-bucketed
+// arena instead of being reallocated per call.
+func (e *Engine) MatchAll(incoming *Schema, candidates []*Schema, opts ...MatchAllOption) ([]*Result, error) {
+	var o matchAllOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	return core.MatchAll(e.o.ctx, incoming, candidates, core.Config{
+		Matchers: e.o.matchers,
+		Strategy: e.o.strategy,
+		Feedback: e.o.feedback,
+		Workers:  e.o.workers,
+	}, core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
 }
 
 // Session is an interactive match session carrying user feedback

@@ -2,6 +2,10 @@
 // purchase-order schema PO1 against the XML schema PO2 of Figure 1 —
 // with the default match operation, and print the similarity-cube
 // extract of Table 1 along the way.
+//
+// The top-level README.md walks through this example and the rest of
+// the public API (Engine, the batched Engine.MatchAll, repositories,
+// the cmd tools).
 package main
 
 import (

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// BatchOptions tune one MatchAll batch beyond the per-iteration Config.
+type BatchOptions struct {
+	// TopK, when positive, retains only the TopK best results by
+	// combined schema similarity (candidate order breaking ties);
+	// pruned slots of the result slice are nil. Every pair is still
+	// matched — the ranking needs its score — but pruned pairs retain
+	// no matrices or mappings.
+	TopK int
+	// KeepCubes retains each result's similarity cube. By default the
+	// scheduler recycles cube layers through the batch arena at
+	// cube→mapping extraction and returns results with a nil Cube.
+	KeepCubes bool
+}
+
+// MatchAll matches one incoming schema against many candidate schemas
+// in a single scheduled batch — the repository-server workload, where
+// a new schema is compared against every stored one. It returns one
+// Result per candidate, in candidate order, each bit-identical to what
+// Match(ctx, incoming, candidates[i], cfg) produces (TopK-pruned slots
+// are nil, and Cube is nil unless BatchOptions.KeepCubes).
+//
+// Compared to a loop of Match calls, the batch form:
+//
+//   - analyzes the incoming schema exactly once up front (candidates
+//     hit the context's analyzer cache as usual);
+//   - schedules all pairs over one shared worker budget of
+//     Config.Workers slots: pair-level workers claim candidates from a
+//     shared queue, and the row-parallel fills inside each matcher
+//     steal whatever budget the other pairs leave idle — so many small
+//     pairs saturate the budget as well as one big pair does, without
+//     the per-call goroutine fan-out of independent Match calls;
+//   - recycles the hot allocations (cube layers, token and leaf grids)
+//     through one size-bucketed arena, so the batch pays each matrix
+//     size class once instead of once per pair. Released storage never
+//     reaches the caller: results hold only arena-free memory;
+//   - memoizes scored distinct-name similarity columns across pairs:
+//     the incoming side is fixed, so a candidate name recurring across
+//     the repository is scored against the incoming names once per
+//     batch instead of once per pair (bit-identical — the scores are
+//     pure functions of the name pair and the fixed sources).
+func MatchAll(ctx *match.Context, incoming *schema.Schema, candidates []*schema.Schema, cfg Config, opt BatchOptions) ([]*Result, error) {
+	if len(cfg.Matchers) == 0 {
+		return nil, fmt.Errorf("core: no matchers configured")
+	}
+	if err := incoming.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+	}
+	for i, c := range candidates {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: candidate %d (%s): %w", i, c.Name, err)
+		}
+	}
+	results := make([]*Result, len(candidates))
+	if len(candidates) == 0 {
+		return results, nil
+	}
+	if cfg.Workers != 0 {
+		ctx = ctx.WithWorkers(cfg.Workers)
+	}
+	// One analysis of the incoming schema serves every pair; building
+	// it before the fan-out also warms the analyzer cache for matchers
+	// that re-resolve it.
+	idx1 := ctx.Index(incoming)
+	arena := simcube.NewArena()
+	// One column cache for the whole batch: the incoming side of every
+	// pair is the same schema, so candidate names recurring across the
+	// repository (shared vocabularies, schema families) are scored
+	// against the incoming names once.
+	cache := match.NewBatchCache()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	// Pair-level scheduling over one global budget: each pair worker
+	// owns one budget slot and claims candidates from a shared
+	// counter; the matchers inside a pair run sequentially on that
+	// slot, their row-parallel fills opportunistically taking any
+	// slots the other pair workers do not occupy.
+	bctx := ctx.WithWorkerBudget()
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(candidates) || failed() {
+				return
+			}
+			res, err := matchPair(bctx, idx1, incoming, candidates[i], cfg, arena, cache, opt.KeepCubes)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[i] = res
+		}
+	}
+	pairWorkers := match.ResolveWorkers(bctx.Workers)
+	if pairWorkers > len(candidates) {
+		pairWorkers = len(candidates)
+	}
+	if pairWorkers <= 1 {
+		bctx.AcquireWorker()
+		work()
+		bctx.ReleaseWorker()
+	} else {
+		var wg sync.WaitGroup
+		for w := 1; w < pairWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bctx.AcquireWorker()
+				defer bctx.ReleaseWorker()
+				work()
+			}()
+		}
+		bctx.AcquireWorker()
+		work()
+		bctx.ReleaseWorker()
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if opt.TopK > 0 && opt.TopK < len(results) {
+		pruneToTopK(results, opt.TopK)
+	}
+	return results, nil
+}
+
+// matchPair runs one pair of the batch: matcher execution over the
+// shared incoming index and the pair's candidate index, combination,
+// and — unless the cube is kept — recycling of the cube layers into
+// the batch arena at cube→mapping extraction. Aggregated matrices and
+// mappings are always arena-free, so a returned Result never aliases
+// pooled storage.
+func matchPair(ctx *match.Context, idx1 *analysis.SchemaIndex, s1, s2 *schema.Schema, cfg Config, arena *simcube.Arena, cache *match.BatchCache, keepCube bool) (*Result, error) {
+	idx2 := ctx.Index(s2)
+	pctx := ctx.WithIndexes(idx1, idx2).WithArena(arena).WithBatchCache(cache)
+	cube := simcube.NewCube(idx1.Keys, idx2.Keys)
+	for _, m := range cfg.Matchers {
+		if err := cube.AddLayer(m.Name(), m.Match(pctx, s1, s2)); err != nil {
+			cube.ReleaseTo(arena)
+			return nil, err
+		}
+	}
+	res, err := CombineCube(cube, s1, s2, cfg.Strategy, cfg.Feedback)
+	if err != nil {
+		cube.ReleaseTo(arena)
+		return nil, err
+	}
+	if !keepCube {
+		cube.ReleaseTo(arena)
+		res.Cube = nil
+	}
+	return res, nil
+}
+
+// pruneToTopK nils out every result not among the k best by combined
+// schema similarity; ties break toward the earlier candidate, so the
+// retained set is deterministic.
+func pruneToTopK(results []*Result, k int) {
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return results[order[a]].SchemaSim > results[order[b]].SchemaSim
+	})
+	for _, i := range order[k:] {
+		results[i] = nil
+	}
+}

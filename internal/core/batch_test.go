@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+// TestMatchAllAgainstLoop verifies the batch scheduler against the
+// single-pair engine on every knob combination: results arrive in
+// candidate order and are bit-identical to a loop of Match calls.
+func TestMatchAllAgainstLoop(t *testing.T) {
+	cands := workload.Candidates(7)
+	incoming, cands := cands[0], cands[1:]
+	cfg := DefaultConfig()
+
+	loopCtx := match.NewContext()
+	var want []*Result
+	for _, c := range cands {
+		res, err := Match(loopCtx, incoming, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	for _, workers := range []int{1, 4} {
+		ctx := match.NewContext()
+		batchCfg := cfg
+		batchCfg.Workers = workers
+		got, err := MatchAll(ctx, incoming, cands, batchCfg, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(cands) {
+			t.Fatalf("workers=%d: %d results for %d candidates", workers, len(got), len(cands))
+		}
+		for i, res := range got {
+			if res.Cube != nil {
+				t.Errorf("workers=%d: candidate %d kept its cube without KeepCubes", workers, i)
+			}
+			assertSameResult(t, res, want[i])
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.SchemaSim != want.SchemaSim {
+		t.Errorf("schema sim %v, want %v", got.SchemaSim, want.SchemaSim)
+	}
+	if got.Matrix.Rows() != want.Matrix.Rows() || got.Matrix.Cols() != want.Matrix.Cols() {
+		t.Fatalf("matrix %dx%d, want %dx%d",
+			got.Matrix.Rows(), got.Matrix.Cols(), want.Matrix.Rows(), want.Matrix.Cols())
+	}
+	for i := 0; i < got.Matrix.Rows(); i++ {
+		for j := 0; j < got.Matrix.Cols(); j++ {
+			if got.Matrix.Get(i, j) != want.Matrix.Get(i, j) {
+				t.Fatalf("matrix cell (%d,%d) = %v, want %v", i, j, got.Matrix.Get(i, j), want.Matrix.Get(i, j))
+			}
+		}
+	}
+	gc, wc := got.Mapping.Correspondences(), want.Mapping.Correspondences()
+	if len(gc) != len(wc) {
+		t.Fatalf("%d correspondences, want %d", len(gc), len(wc))
+	}
+	for i := range gc {
+		if gc[i] != wc[i] {
+			t.Errorf("correspondence %d = %v, want %v", i, gc[i], wc[i])
+		}
+	}
+}
+
+// TestMatchAllKeepCubes checks that KeepCubes returns full cubes whose
+// layers match the single-pair engine's.
+func TestMatchAllKeepCubes(t *testing.T) {
+	cands := workload.Candidates(3)
+	incoming, cands := cands[0], cands[1:]
+	cfg := DefaultConfig()
+	got, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{KeepCubes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopCtx := match.NewContext()
+	for i, res := range got {
+		if res.Cube == nil {
+			t.Fatalf("candidate %d: cube dropped despite KeepCubes", i)
+		}
+		want, err := Match(loopCtx, incoming, cands[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cube.Layers() != want.Cube.Layers() {
+			t.Fatalf("candidate %d: %d layers, want %d", i, res.Cube.Layers(), want.Cube.Layers())
+		}
+		for l := 0; l < res.Cube.Layers(); l++ {
+			g, w := res.Cube.LayerAt(l), want.Cube.LayerAt(l)
+			for r := 0; r < g.Rows(); r++ {
+				for c := 0; c < g.Cols(); c++ {
+					if g.Get(r, c) != w.Get(r, c) {
+						t.Fatalf("candidate %d layer %d cell (%d,%d) = %v, want %v",
+							i, l, r, c, g.Get(r, c), w.Get(r, c))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatchAllTopK checks the pruning semantics: the slice stays in
+// candidate order, exactly k slots survive, and the survivors are the
+// k best schema similarities.
+func TestMatchAllTopK(t *testing.T) {
+	cands := workload.Candidates(5)
+	incoming, cands := cands[0], cands[1:]
+	cfg := DefaultConfig()
+	full, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	pruned, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{TopK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != len(cands) {
+		t.Fatalf("TopK changed slice length: %d, want %d", len(pruned), len(cands))
+	}
+	var kept int
+	worstKept := 2.0
+	bestPruned := -1.0
+	for i, res := range pruned {
+		if res == nil {
+			if sim := full[i].SchemaSim; sim > bestPruned {
+				bestPruned = sim
+			}
+			continue
+		}
+		kept++
+		assertSameResult(t, res, full[i])
+		if res.SchemaSim < worstKept {
+			worstKept = res.SchemaSim
+		}
+	}
+	if kept != k {
+		t.Fatalf("kept %d results, want %d", kept, k)
+	}
+	if bestPruned > worstKept {
+		t.Errorf("pruned a schema sim %v better than kept %v", bestPruned, worstKept)
+	}
+
+	// TopK >= len keeps everything.
+	all, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{TopK: len(cands)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range all {
+		if res == nil {
+			t.Fatalf("TopK=len pruned candidate %d", i)
+		}
+	}
+}
+
+// TestMatchAllEdgeCases covers empty batches and configuration errors.
+func TestMatchAllEdgeCases(t *testing.T) {
+	cands := workload.Candidates(2)
+	incoming := cands[0]
+
+	res, err := MatchAll(match.NewContext(), incoming, nil, DefaultConfig(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+
+	if _, err := MatchAll(match.NewContext(), incoming, cands[1:], Config{}, BatchOptions{}); err == nil {
+		t.Error("no matchers should fail")
+	}
+
+	badCfg := DefaultConfig()
+	badCfg.Strategy.Agg = combine.AggSpec{Kind: combine.Weighted, Weights: []float64{1}} // 1 weight, 5 matchers
+	if _, err := MatchAll(match.NewContext(), incoming, cands[1:], badCfg, BatchOptions{}); err == nil {
+		t.Error("mismatched weighted aggregation should fail")
+	}
+}

@@ -63,6 +63,18 @@ type Context struct {
 	// extra workers only while slots remain, so concurrent matchers
 	// cannot multiply the bound.
 	sem chan struct{}
+	// arena, when set (WithArena), recycles the float64 backing
+	// storage of the matchers' matrices and similarity grids. The
+	// batch scheduler installs one arena per MatchAll call; without
+	// one every acquisition is a plain allocation.
+	arena *simcube.Arena
+	// batch, when set (WithBatchCache), memoizes distinct-name
+	// similarity columns across the pairs of one MatchAll batch: the
+	// incoming side of every pair is the same schema, so a candidate
+	// name seen again (same name in another candidate, or a later
+	// batch round) reuses its scored column instead of re-running the
+	// token-grid combination.
+	batch *BatchCache
 }
 
 // NewContext returns a context with the default dictionary, type
@@ -101,6 +113,134 @@ func (c *Context) WithIndexes(i1, i2 *analysis.SchemaIndex) *Context {
 	}
 	out.idx1, out.idx2 = i1, i2
 	return out
+}
+
+// WithArena returns a shallow copy of the context whose matrix and
+// grid acquisitions draw on the arena. Matchers release their
+// intermediate grids back to it at the end of every Match; output
+// matrices stay live until their owner (the batch scheduler) releases
+// the cube at mapping extraction. A nil arena restores plain
+// allocation.
+func (c *Context) WithArena(a *simcube.Arena) *Context {
+	out := &Context{}
+	if c != nil {
+		*out = *c
+	}
+	out.arena = a
+	return out
+}
+
+// Arena returns the installed recycling arena, nil when allocations
+// are unpooled. A nil arena is safe to use directly: simcube's
+// acquisition helpers fall back to plain allocation on it.
+func (c *Context) Arena() *simcube.Arena {
+	if c == nil {
+		return nil
+	}
+	return c.arena
+}
+
+// newMatrix acquires a zeroed matrix over the key sets, pooled when
+// the context carries an arena. Matchers build their output matrices
+// (the cube layers) through this helper so one batch recycles layer
+// storage across pairs.
+func (c *Context) newMatrix(rowKeys, colKeys []string) *simcube.Matrix {
+	return simcube.NewMatrixIn(c.Arena(), rowKeys, colKeys)
+}
+
+// acquireGrid returns a zeroed scratch grid of n floats, pooled when
+// the context carries an arena; release with releaseGrid once nothing
+// reads it anymore.
+func (c *Context) acquireGrid(n int) []float64 { return c.Arena().AcquireFloats(n) }
+
+// releaseGrid recycles a grid obtained from acquireGrid.
+func (c *Context) releaseGrid(g []float64) { c.Arena().ReleaseFloats(g) }
+
+// BatchCache memoizes scored distinct-name similarity columns across
+// the pairs of one batch match. All pairs of a batch share the same
+// incoming schema, matcher set and auxiliary sources, so the column of
+// similarities between every incoming distinct name and one candidate
+// name is a pure function of the candidate name alone — two candidates
+// (or two batch rounds) sharing a name share the column. Safe for
+// concurrent use; a column raced by two pairs is computed twice with
+// identical values and stored once.
+//
+// The cache must not outlive the batch's incoming schema, matcher
+// configuration or sources: the scheduler creates one per MatchAll
+// call and drops it with the batch.
+type BatchCache struct {
+	mu   sync.RWMutex
+	cols map[batchKey][]float64
+}
+
+// batchKey identifies one cached column: the scoring matcher identity
+// (a configuration value for library-built matchers, so the identical
+// Name matchers embedded in TypeName/Children/Leaves share columns; an
+// instance pointer for custom ones), the incoming row set the column
+// spans (full distinct names vs. the leaf-occurring subset), and the
+// candidate-side name.
+type batchKey struct {
+	owner any
+	set   int8
+	name  string
+}
+
+// Row-set discriminators for batchKey.set.
+const (
+	gridFull int8 = iota // columns over all incoming distinct names
+	gridLeaf             // columns over the leaf-occurring subset
+)
+
+// NewBatchCache returns an empty per-batch column cache.
+func NewBatchCache() *BatchCache {
+	return &BatchCache{cols: make(map[batchKey][]float64)}
+}
+
+// column returns the cached column for key, computing and storing it
+// on first use. compute must fill exactly n values; the returned slice
+// is shared and must not be modified.
+func (bc *BatchCache) column(owner any, set int8, name string, n int, compute func(col []float64)) []float64 {
+	key := batchKey{owner: owner, set: set, name: name}
+	bc.mu.RLock()
+	col := bc.cols[key]
+	bc.mu.RUnlock()
+	if col != nil {
+		return col
+	}
+	// Columns live across pairs, so they come from the garbage
+	// collector, never from a per-batch arena.
+	col = make([]float64, n)
+	compute(col)
+	bc.mu.Lock()
+	if prev := bc.cols[key]; prev != nil {
+		col = prev
+	} else {
+		bc.cols[key] = col
+	}
+	bc.mu.Unlock()
+	return col
+}
+
+// WithBatchCache returns a shallow copy of the context with a
+// per-batch column cache installed (nil uninstalls). The cache is only
+// valid while the incoming schema, matcher set and auxiliary sources
+// stay fixed — the MatchAll scheduler's contract.
+func (c *Context) WithBatchCache(bc *BatchCache) *Context {
+	out := &Context{}
+	if c != nil {
+		*out = *c
+	}
+	out.batch = bc
+	return out
+}
+
+// batchCache returns the installed per-batch cache, nil outside a
+// batch.
+func (c *Context) batchCache() *BatchCache {
+	if c == nil {
+		return nil
+	}
+	return c.batch
 }
 
 // Sources returns the analysis sources corresponding to the context's
@@ -288,7 +428,7 @@ func parallelRows(ctx *Context, n int, fn func(i int)) { ParallelRows(ctx, n, fn
 func matchPaths(ctx *Context, s1, s2 *schema.Schema, sim func(p1, p2 schema.Path) float64) *simcube.Matrix {
 	x1, x2 := ctx.Index(s1), ctx.Index(s2)
 	p1, p2 := x1.Paths, x2.Paths
-	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	m := ctx.newMatrix(x1.Keys, x2.Keys)
 	parallelRows(ctx, len(p1), func(i int) {
 		for j := range p2 {
 			m.Set(i, j, sim(p1[i], p2[j]))

@@ -34,19 +34,50 @@ type NameMatcher struct {
 	strategy    combine.Strategy
 	longName    bool
 	gramNs      []int
+	// sharedKey, when non-empty, marks a library-built configuration
+	// (NewName/NewNamePath) whose instances are interchangeable up to
+	// the combined-similarity knob: batch-cache columns are then keyed
+	// by configuration instead of instance, so the identically
+	// configured Name matchers embedded in TypeName, Children and
+	// Leaves share one set of columns per batch. Custom matchers (and
+	// custom constituents, whose behavior the name cannot identify)
+	// keep instance identity.
+	sharedKey string
+}
+
+// sharedOwner is the configuration-level batch-cache identity of
+// library-built Name matchers: the builder key plus the one knob that
+// can change after construction (SetCombSim).
+type sharedOwner struct {
+	key  string
+	comb combine.CombSim
+}
+
+// cacheOwner returns the batch-cache identity of the matcher: its
+// configuration for library-built instances, the instance itself
+// otherwise.
+func (nm *NameMatcher) cacheOwner() any {
+	if nm.sharedKey == "" {
+		return nm
+	}
+	return sharedOwner{key: nm.sharedKey, comb: nm.strategy.Comb}
 }
 
 // NewName returns the Name matcher with its Table 4 defaults:
 // constituent matchers {Trigram, Synonym} combined with
 // (Max, Both+Max1, Average).
 func NewName() *NameMatcher {
-	return newNameMatcher("Name", defaultTokenStrategy(), []*Simple{Trigram(), Synonym()}, false)
+	nm := newNameMatcher("Name", defaultTokenStrategy(), []*Simple{Trigram(), Synonym()}, false)
+	nm.sharedKey = "lib:Name"
+	return nm
 }
 
 // NewNamePath returns the NamePath matcher: Name applied to the long
 // name built by concatenating all names of the elements in a path.
 func NewNamePath() *NameMatcher {
-	return newNameMatcher("NamePath", defaultTokenStrategy(), []*Simple{Trigram(), Synonym()}, true)
+	nm := newNameMatcher("NamePath", defaultTokenStrategy(), []*Simple{Trigram(), Synonym()}, true)
+	nm.sharedKey = "lib:NamePath"
+	return nm
 }
 
 // NewCustomName builds a Name-style matcher from explicit constituent
@@ -114,21 +145,50 @@ func (nm *NameMatcher) profiles(ctx *Context, x *analysis.SchemaIndex) (dist []*
 	return rebuilt, id
 }
 
-// Match implements Matcher: score the distinct-name grid row-parallel
-// from the schemas' shared indexes, then project it onto the path
-// matrix.
+// scoreGrid fills grid (len(d1) × len(d2), row-major) with the
+// token-set similarity of every distinct-name pair. Outside a batch
+// the fill is row-parallel; inside a batch it runs column-parallel
+// through the batch cache, so a candidate name already scored against
+// this matcher's incoming row set (in an earlier pair or batch round)
+// reuses its column. set discriminates the incoming row set for the
+// cache key; the values are identical on every path — tokenSetSim is
+// a pure function of the profile pair.
+func (nm *NameMatcher) scoreGrid(ctx *Context, set int8, d1, d2 []*strutil.NameProfile, grid []float64) {
+	n2 := len(d2)
+	bc := ctx.batchCache()
+	if bc == nil {
+		parallelRows(ctx, len(d1), func(a int) {
+			for b := 0; b < n2; b++ {
+				grid[a*n2+b] = nm.tokenSetSim(ctx, d1[a], d2[b])
+			}
+		})
+		return
+	}
+	owner := nm.cacheOwner()
+	parallelRows(ctx, n2, func(b int) {
+		col := bc.column(owner, set, d2[b].Name, len(d1), func(col []float64) {
+			for a := range d1 {
+				col[a] = nm.tokenSetSim(ctx, d1[a], d2[b])
+			}
+		})
+		for a, v := range col {
+			grid[a*n2+b] = v
+		}
+	})
+}
+
+// Match implements Matcher: score the distinct-name grid from the
+// schemas' shared indexes (batch-cached, see scoreGrid), then project
+// it onto the path matrix.
 func (nm *NameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	x1, x2 := ctx.Index(s1), ctx.Index(s2)
 	d1, id1 := nm.profiles(ctx, x1)
 	d2, id2 := nm.profiles(ctx, x2)
 	n2 := len(d2)
-	grid := make([]float64, len(d1)*n2)
-	parallelRows(ctx, len(d1), func(a int) {
-		for b := 0; b < n2; b++ {
-			grid[a*n2+b] = nm.tokenSetSim(ctx, d1[a], d2[b])
-		}
-	})
-	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	grid := ctx.acquireGrid(len(d1) * n2)
+	defer ctx.releaseGrid(grid)
+	nm.scoreGrid(ctx, gridFull, d1, d2, grid)
+	m := ctx.newMatrix(x1.Keys, x2.Keys)
 	parallelRows(ctx, len(id1), func(i int) {
 		row := grid[id1[i]*n2:]
 		for j := range id2 {

@@ -206,7 +206,7 @@ func (DataTypeMatcher) Name() string { return "DataType" }
 func (DataTypeMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	tt := ctx.typeTable()
 	x1, x2 := ctx.Index(s1), ctx.Index(s2)
-	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	m := ctx.newMatrix(x1.Keys, x2.Keys)
 	parallelRows(ctx, len(x1.Generic), func(i int) {
 		g1 := x1.Generic[i]
 		for j, g2 := range x2.Generic {

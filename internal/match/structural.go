@@ -70,8 +70,9 @@ func (cm *ChildrenMatcher) SetCombSim(c combine.CombSim) {
 func (cm *ChildrenMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	x1, x2 := ctx.Index(s1), ctx.Index(s2)
 	leafSims := cm.leaf.leafGrid(ctx, x1, x2)
+	defer ctx.releaseGrid(leafSims)
 	nl2 := len(x2.Leaves)
-	out := simcube.NewMatrix(x1.Keys, x2.Keys)
+	out := ctx.newMatrix(x1.Keys, x2.Keys)
 	n1, n2 := len(x1.Paths), len(x2.Paths)
 	for i := n1 - 1; i >= 0; i-- {
 		for j := n2 - 1; j >= 0; j-- {
@@ -131,8 +132,9 @@ func (lm *LeavesMatcher) SetCombSim(c combine.CombSim) {
 func (lm *LeavesMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	x1, x2 := ctx.Index(s1), ctx.Index(s2)
 	leafSims := lm.leaf.leafGrid(ctx, x1, x2)
+	defer ctx.releaseGrid(leafSims)
 	nl2 := len(x2.Leaves)
-	out := simcube.NewMatrix(x1.Keys, x2.Keys)
+	out := ctx.newMatrix(x1.Keys, x2.Keys)
 	parallelRows(ctx, len(x1.Paths), func(i int) {
 		lo1, hi1 := x1.LeafSet(i)
 		for j := range x2.Paths {

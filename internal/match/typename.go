@@ -51,7 +51,7 @@ func (tn *TypeNameMatcher) SetCombSim(c combine.CombSim) { tn.name.SetCombSim(c)
 // per-pair evaluation.
 func (tn *TypeNameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.Matrix {
 	x1, x2 := ctx.Index(s1), ctx.Index(s2)
-	m := simcube.NewMatrix(x1.Keys, x2.Keys)
+	m := ctx.newMatrix(x1.Keys, x2.Keys)
 	total := tn.typeWeight + tn.nameWeight
 	if total == 0 {
 		return m
@@ -59,12 +59,9 @@ func (tn *TypeNameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.M
 	d1, id1 := tn.name.profiles(ctx, x1)
 	d2, id2 := tn.name.profiles(ctx, x2)
 	n2 := len(d2)
-	grid := make([]float64, len(d1)*n2)
-	parallelRows(ctx, len(d1), func(a int) {
-		for b := 0; b < n2; b++ {
-			grid[a*n2+b] = tn.name.tokenSetSim(ctx, d1[a], d2[b])
-		}
-	})
+	grid := ctx.acquireGrid(len(d1) * n2)
+	defer ctx.releaseGrid(grid)
+	tn.name.scoreGrid(ctx, gridFull, d1, d2, grid)
 	tt := ctx.typeTable()
 	parallelRows(ctx, len(id1), func(i int) {
 		g1 := x1.Generic[i]
@@ -83,10 +80,11 @@ func (tn *TypeNameMatcher) Match(ctx *Context, s1, s2 *schema.Schema) *simcube.M
 // distinct names actually occurring at leaves — the inner-element
 // portion of the matrix is never needed there. Cells are clamped
 // exactly like matrix storage, so the grid is bit-identical to the
-// leaf cells of Match's full matrix.
+// leaf cells of Match's full matrix. The returned grid is acquired
+// from the context's arena; the caller releases it after folding.
 func (tn *TypeNameMatcher) leafGrid(ctx *Context, x1, x2 *analysis.SchemaIndex) []float64 {
 	nl2 := len(x2.Leaves)
-	out := make([]float64, len(x1.Leaves)*nl2)
+	out := ctx.acquireGrid(len(x1.Leaves) * nl2)
 	total := tn.typeWeight + tn.nameWeight
 	if total == 0 {
 		return out
@@ -96,12 +94,9 @@ func (tn *TypeNameMatcher) leafGrid(ctx *Context, x1, x2 *analysis.SchemaIndex) 
 	sub1, loc1 := subsetProfiles(d1, id1, x1.Leaves)
 	sub2, loc2 := subsetProfiles(d2, id2, x2.Leaves)
 	m2 := len(sub2)
-	grid := make([]float64, len(sub1)*m2)
-	parallelRows(ctx, len(sub1), func(a int) {
-		for b := 0; b < m2; b++ {
-			grid[a*m2+b] = tn.name.tokenSetSim(ctx, sub1[a], sub2[b])
-		}
-	})
+	grid := ctx.acquireGrid(len(sub1) * m2)
+	defer ctx.releaseGrid(grid)
+	tn.name.scoreGrid(ctx, gridLeaf, sub1, sub2, grid)
 	tt := ctx.typeTable()
 	parallelRows(ctx, len(x1.Leaves), func(a int) {
 		g1 := x1.Generic[x1.Leaves[a]]

@@ -263,6 +263,19 @@ func (r *Repo) SchemaNames() []string {
 	return out
 }
 
+// Schemas returns the stored schemas, sorted by name — the candidate
+// set of a batch match against the whole repository.
+func (r *Repo) Schemas() []*schema.Schema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*schema.Schema, 0, len(r.schemas))
+	for _, s := range r.schemas {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // PutMapping stores a match result under a tag (e.g. "manual" for
 // user-confirmed results, "auto" for automatically derived ones). One
 // mapping is kept per (tag, from, to).

@@ -1,0 +1,125 @@
+package simcube
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena recycles the float64 backing storage of matrices, cube layers
+// and similarity grids across match operations. The batch scheduler
+// allocates one matrix per matcher per pair; with an arena those
+// allocations are paid once per size class and then reused for every
+// subsequent pair of the batch.
+//
+// Slices are pooled in power-of-two capacity buckets backed by
+// sync.Pool, so an Arena is safe for concurrent use and sheds its
+// contents under memory pressure. Release is strictly the caller's
+// assertion that no live data structure aliases the slice anymore:
+// releasing memory still referenced by a retained Matrix, Cube or grid
+// corrupts later matches. The engine therefore only releases
+// intermediates (token grids, leaf grids) and cube layers it drops at
+// cube→mapping extraction; everything handed back to callers is either
+// arena-free or still owned by them.
+//
+// A nil *Arena is valid and disables pooling: acquisitions fall back
+// to plain allocations and releases are no-ops, so arena-aware code
+// needs no call-site branching.
+type Arena struct {
+	// pools[b] holds released slices with capacity exactly 1<<b.
+	pools [maxBucket + 1]sync.Pool
+}
+
+// maxBucket bounds the pooled size classes: slices above 2^maxBucket
+// floats (32 MiB) are left to the garbage collector.
+const maxBucket = 22
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// bucketFor returns the bucket whose slices hold at least n floats, or
+// -1 when n is zero or too large to pool.
+func bucketFor(n int) int {
+	if n <= 0 || n > 1<<maxBucket {
+		return -1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// AcquireFloats returns a zeroed slice of n floats, reusing pooled
+// storage when a fitting slice was released earlier.
+func (a *Arena) AcquireFloats(n int) []float64 {
+	b := bucketFor(n)
+	if a == nil || b < 0 {
+		return make([]float64, n)
+	}
+	if v := a.pools[b].Get(); v != nil {
+		s := v.([]float64)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// ReleaseFloats returns a slice's backing storage to the arena. The
+// caller asserts nothing aliases the slice anymore. Slices whose
+// capacity is not an exact bucket size (not obtained from an arena)
+// are dropped for the garbage collector; a nil arena drops everything.
+func (a *Arena) ReleaseFloats(s []float64) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	b := bucketFor(cap(s))
+	if b < 0 || cap(s) != 1<<b {
+		return
+	}
+	a.pools[b].Put(s[:0])
+}
+
+// NewMatrixIn returns a zero-filled matrix over the given key sets
+// whose backing storage comes from the arena; apart from the storage's
+// provenance it is indistinguishable from NewMatrix. Release the
+// storage with ReleaseTo once nothing references the matrix anymore.
+// The key slices are captured, not copied.
+func NewMatrixIn(a *Arena, rowKeys, colKeys []string) *Matrix {
+	return &Matrix{
+		rowKeys: rowKeys,
+		colKeys: colKeys,
+		data:    a.AcquireFloats(len(rowKeys) * len(colKeys)),
+		arena:   a,
+	}
+}
+
+// Reset zeroes every cell, returning the matrix to its
+// freshly-constructed state so its storage can be refilled in place.
+func (m *Matrix) Reset() { clear(m.data) }
+
+// ReleaseTo hands the matrix's backing storage back to the arena it
+// was acquired from. A released matrix must not be used afterwards:
+// its data is gone (any access panics) so it can never silently alias
+// a pooled slice that a later match is filling. A matrix whose storage
+// did not come from a (the non-nil NewMatrix case — e.g. a matrix a
+// custom matcher builds and retains across calls) is left fully
+// intact: releases only ever reclaim storage this arena handed out.
+func (m *Matrix) ReleaseTo(a *Arena) {
+	if a == nil || m.arena != a {
+		return
+	}
+	a.ReleaseFloats(m.data)
+	m.data = nil
+	m.arena = nil
+}
+
+// ReleaseTo hands every arena-acquired layer's backing storage back to
+// the arena and empties the cube. It is the cube→mapping extraction
+// hook of the batch scheduler: once aggregation has folded the layers
+// into the result matrix, the layers are recycled for the next pair.
+// The cube must not be used afterwards; layers whose storage the arena
+// does not own (custom matchers returning externally built matrices)
+// stay intact for their owners.
+func (c *Cube) ReleaseTo(a *Arena) {
+	for _, l := range c.layers {
+		l.ReleaseTo(a)
+	}
+	c.names = nil
+	c.layers = nil
+}

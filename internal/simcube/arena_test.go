@@ -1,0 +1,117 @@
+package simcube
+
+import "testing"
+
+func TestArenaAcquireZeroedAfterDirtyRelease(t *testing.T) {
+	a := NewArena()
+	s := a.AcquireFloats(10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d, want 10", len(s))
+	}
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("fresh slice not zeroed at %d", i)
+		}
+		s[i] = float64(i + 1)
+	}
+	a.ReleaseFloats(s)
+	// A re-acquisition in the same bucket must come back zeroed even
+	// though the released slice was dirty.
+	r := a.AcquireFloats(12) // same bucket (16) as 10
+	if cap(r) != 16 {
+		t.Fatalf("cap = %d, want pooled bucket cap 16", cap(r))
+	}
+	for i := range r {
+		if r[i] != 0 {
+			t.Fatalf("reused slice not zeroed at %d: %v", i, r[i])
+		}
+	}
+}
+
+func TestArenaNilAndOddCapacities(t *testing.T) {
+	var a *Arena
+	s := a.AcquireFloats(5)
+	if len(s) != 5 {
+		t.Fatalf("nil arena acquire len = %d", len(s))
+	}
+	a.ReleaseFloats(s) // no-op, must not panic
+
+	b := NewArena()
+	b.ReleaseFloats(make([]float64, 7)) // non-bucket cap: dropped
+	b.ReleaseFloats(nil)                // no-op
+	if got := b.AcquireFloats(0); len(got) != 0 {
+		t.Fatalf("acquire(0) len = %d", len(got))
+	}
+}
+
+func TestMatrixInArenaMatchesNewMatrix(t *testing.T) {
+	a := NewArena()
+	rows, cols := []string{"r1", "r2", "r3"}, []string{"c1", "c2"}
+	m := NewMatrixIn(a, rows, cols)
+	ref := NewMatrix(rows, cols)
+	if m.Rows() != ref.Rows() || m.Cols() != ref.Cols() {
+		t.Fatalf("shape %dx%d, want %dx%d", m.Rows(), m.Cols(), ref.Rows(), ref.Cols())
+	}
+	m.Set(1, 1, 0.5)
+	if m.Get(1, 1) != 0.5 || m.GetKey("r2", "c2") != 0.5 {
+		t.Fatalf("set/get through pooled storage broken")
+	}
+	m.Reset()
+	if m.Get(1, 1) != 0 {
+		t.Fatal("Reset left a non-zero cell")
+	}
+	m.Set(0, 0, 1)
+	m.ReleaseTo(a)
+	// The released storage must be reused — and zeroed — by the next
+	// same-bucket matrix.
+	m2 := NewMatrixIn(a, rows, cols)
+	for i := 0; i < m2.Rows(); i++ {
+		for j := 0; j < m2.Cols(); j++ {
+			if m2.Get(i, j) != 0 {
+				t.Fatalf("recycled matrix dirty at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReleaseToForeignMatrixIsNoOp(t *testing.T) {
+	a, other := NewArena(), NewArena()
+	rows, cols := []string{"r"}, []string{"c"}
+
+	plain := NewMatrix(rows, cols)
+	plain.Set(0, 0, 0.5)
+	plain.ReleaseTo(a) // not arena storage: must stay intact
+	if plain.Get(0, 0) != 0.5 {
+		t.Fatal("ReleaseTo touched a plain NewMatrix")
+	}
+
+	pooled := NewMatrixIn(other, rows, cols)
+	pooled.Set(0, 0, 0.7)
+	pooled.ReleaseTo(a) // wrong arena: must stay intact
+	if pooled.Get(0, 0) != 0.7 {
+		t.Fatal("ReleaseTo freed another arena's storage")
+	}
+	pooled.ReleaseTo(other) // owning arena: storage reclaimed
+	if pooled.data != nil {
+		t.Fatal("owning-arena release left data live")
+	}
+}
+
+func TestCubeReleaseTo(t *testing.T) {
+	a := NewArena()
+	rows, cols := []string{"r"}, []string{"c"}
+	c := NewCube(rows, cols)
+	if err := c.AddLayer("L1", NewMatrixIn(a, rows, cols)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLayer("L2", NewMatrixIn(a, rows, cols)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Layers() != 2 {
+		t.Fatalf("layers = %d", c.Layers())
+	}
+	c.ReleaseTo(a)
+	if c.Layers() != 0 || len(c.Matchers()) != 0 {
+		t.Fatal("cube not emptied by ReleaseTo")
+	}
+}

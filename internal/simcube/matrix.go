@@ -24,6 +24,11 @@ type Matrix struct {
 	rowIdx  map[string]int
 	colIdx  map[string]int
 	data    []float64 // row-major
+	// arena records the pool the data slice was acquired from
+	// (NewMatrixIn); ReleaseTo frees only into the owning arena, so a
+	// matrix from any other source — including one a custom matcher
+	// retains across calls — passes through a release untouched.
+	arena *Arena
 }
 
 // NewMatrix returns a zero-filled matrix over the given key sets. The

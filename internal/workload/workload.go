@@ -219,6 +219,28 @@ func initWorkload() {
 	}
 }
 
+// Candidates returns n freshly built schemas for repository-scale
+// workloads (batch matching, throughput benchmarks): the five base
+// schemas cycled with distinct names ("CIDX", ..., "CIDX#2", ...).
+// Every schema is a new instance — none is shared with Schemas() or
+// with a previous Candidates call — so analyzer caches and matrix
+// arenas see n independent schemas, exactly like a repository holding
+// n stored schemas from the same domain.
+func Candidates(n int) []*schema.Schema {
+	builders := []func() *schema.Schema{
+		buildCIDX, buildExcel, buildNoris, buildParagon, buildApertum,
+	}
+	out := make([]*schema.Schema, n)
+	for i := range out {
+		s := builders[i%len(builders)]()
+		if round := i / len(builders); round > 0 {
+			s.Name = fmt.Sprintf("%s#%d", s.Name, round+1)
+		}
+		out[i] = s
+	}
+	return out
+}
+
 // SchemaSimilarity computes the Dice schema similarity the paper
 // reports in Figure 8: the ratio between matched paths and all paths of
 // a task.

@@ -1,6 +1,9 @@
 package coma
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/repository"
 	"repro/internal/reuse"
 )
@@ -24,7 +27,7 @@ const (
 func OpenRepository(path string) (*Repository, error) {
 	r, err := repository.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("coma: open repository %s: %w", path, err)
 	}
 	return &Repository{Repo: r}, nil
 }
@@ -42,6 +45,49 @@ func (r *Repository) SchemaMatcher(tag string) Matcher {
 // mappings stored under tag.
 func (r *Repository) FragmentMatcher(tag string) Matcher {
 	return reuse.NewFragmentMatcher("Fragment", r.MappingStore(tag))
+}
+
+// IncomingMatch is one outcome of MatchIncoming: a stored schema and
+// the incoming schema's match result against it.
+type IncomingMatch struct {
+	// Schema is the stored candidate schema.
+	Schema *Schema
+	// Result is the batch match result for (incoming, Schema).
+	Result *Result
+}
+
+// MatchIncoming matches an incoming schema against every schema stored
+// in the repository in one Engine.MatchAll batch — the repository
+// server's core operation: a new schema arrives and the store answers
+// with the most similar known schemas and their mappings. Candidates
+// sharing the incoming schema's name are skipped. Outcomes are ordered
+// by descending combined schema similarity (name breaking ties); with
+// TopK(n) only the n best survive.
+func (r *Repository) MatchIncoming(e *Engine, incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, error) {
+	stored := r.Schemas()
+	candidates := stored[:0:0]
+	for _, s := range stored {
+		if s.Name != incoming.Name {
+			candidates = append(candidates, s)
+		}
+	}
+	results, err := e.MatchAll(incoming, candidates, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IncomingMatch, 0, len(results))
+	for i, res := range results {
+		if res != nil {
+			out = append(out, IncomingMatch{Schema: candidates[i], Result: res})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Result.SchemaSim != out[j].Result.SchemaSim {
+			return out[i].Result.SchemaSim > out[j].Result.SchemaSim
+		}
+		return out[i].Schema.Name < out[j].Schema.Name
+	})
+	return out, nil
 }
 
 // MatchCompose composes two match results sharing a schema into a new
