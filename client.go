@@ -1,0 +1,188 @@
+package coma
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/export"
+	"repro/internal/server"
+)
+
+// Wire types of the comaserve HTTP/JSON API, shared verbatim between
+// the server and this client.
+type (
+	// SchemaPayload names a schema over the wire: a stored schema by
+	// name, or an inline schema with format and source text.
+	SchemaPayload = server.SchemaPayload
+	// MatchRequest is the body of POST /match.
+	MatchRequest = server.MatchRequest
+	// MatchResponse answers POST /match: candidates ranked by combined
+	// schema similarity.
+	MatchResponse = server.MatchResponse
+	// MatchCandidate is one ranked outcome of a match request.
+	MatchCandidate = server.MatchCandidate
+	// SchemaInfo summarizes one stored schema.
+	SchemaInfo = server.SchemaInfo
+	// SchemaDetail is a stored schema's path enumeration.
+	SchemaDetail = server.SchemaDetail
+	// ServerHealth answers GET /healthz.
+	ServerHealth = server.Health
+)
+
+// Client is a thin client for a comaserve instance: schema import,
+// listing and the repository-scale batch match, over plain HTTP/JSON.
+// The zero value is not usable; construct with NewClient. Methods are
+// safe for concurrent use.
+type Client struct {
+	base string
+	// HTTPClient performs the requests; NewClient installs
+	// http.DefaultClient. Replace it before first use for custom
+	// timeouts or transports.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the comaserve instance at baseURL
+// (e.g. "http://localhost:8402").
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), HTTPClient: http.DefaultClient}
+}
+
+// do performs one JSON round-trip: method + path with an optional
+// request body, decoding a 2xx response into out (when non-nil) and
+// any other status into an error carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("coma: client: encode %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("coma: client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("coma: client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr server.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("coma: client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("coma: client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("coma: client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health checks the server's liveness and reports store size and shard
+// count.
+func (c *Client) Health(ctx context.Context) (ServerHealth, error) {
+	var h ServerHealth
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Schemas lists the stored schemas.
+func (c *Client) Schemas(ctx context.Context) ([]SchemaInfo, error) {
+	var resp server.SchemasResponse
+	if err := c.do(ctx, http.MethodGet, "/schemas", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Schemas, nil
+}
+
+// Schema fetches one stored schema's path enumeration.
+func (c *Client) Schema(ctx context.Context, name string) (SchemaDetail, error) {
+	var d SchemaDetail
+	err := c.do(ctx, http.MethodGet, "/schemas/"+url.PathEscape(name), nil, &d)
+	return d, err
+}
+
+// PutSchema imports a schema document into the server's repository
+// under the given name; format dispatches the importer like a file
+// extension (sql, ddl, xsd, xml, json, dtd).
+func (c *Client) PutSchema(ctx context.Context, name, format, source string) (SchemaInfo, error) {
+	var info SchemaInfo
+	err := c.do(ctx, http.MethodPut, "/schemas/"+url.PathEscape(name),
+		SchemaPayload{Name: name, Format: format, Source: source}, &info)
+	return info, err
+}
+
+// PutSchemaFile imports a schema file, naming the schema after the
+// file's base name and dispatching the importer on the extension —
+// the client-side twin of LoadFile.
+func (c *Client) PutSchemaFile(ctx context.Context, path string) (SchemaInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	ext := filepath.Ext(path)
+	name := strings.TrimSuffix(filepath.Base(path), ext)
+	return c.PutSchema(ctx, name, ext, string(data))
+}
+
+// PutSchemaGraph imports an in-memory schema graph, serialized over
+// the wire as an XSD document. The stored graph is equivalent, not
+// identical: leaves and shared fragments are preserved, inner elements
+// gain a type-name path level (see WriteSchemaXSD).
+func (c *Client) PutSchemaGraph(ctx context.Context, s *Schema) (SchemaInfo, error) {
+	var buf bytes.Buffer
+	if err := export.SchemaXSD(&buf, s); err != nil {
+		return SchemaInfo{}, err
+	}
+	return c.PutSchema(ctx, s.Name, "xsd", buf.String())
+}
+
+// DeleteSchema removes a stored schema.
+func (c *Client) DeleteSchema(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/schemas/"+url.PathEscape(name), nil, nil)
+}
+
+// Match performs one batch match request.
+func (c *Client) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
+	var resp MatchResponse
+	if err := c.do(ctx, http.MethodPost, "/match", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MatchStored matches a schema already stored on the server against
+// every other stored schema; topK > 0 keeps only the K best.
+func (c *Client) MatchStored(ctx context.Context, name string, topK int) (*MatchResponse, error) {
+	return c.Match(ctx, MatchRequest{Schema: SchemaPayload{Name: name}, TopK: topK})
+}
+
+// MatchGraph matches an in-memory schema graph against the server's
+// store, shipping it as an inline XSD document.
+func (c *Client) MatchGraph(ctx context.Context, s *Schema, topK int) (*MatchResponse, error) {
+	var buf bytes.Buffer
+	if err := export.SchemaXSD(&buf, s); err != nil {
+		return nil, err
+	}
+	return c.Match(ctx, MatchRequest{
+		Schema: SchemaPayload{Name: s.Name, Format: "xsd", Source: buf.String()},
+		TopK:   topK,
+	})
+}

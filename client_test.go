@@ -1,0 +1,252 @@
+package coma_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	coma "repro"
+	"repro/internal/workload"
+)
+
+const clientPO1DDL = `
+CREATE TABLE PO1.ShipTo (
+  poNo INT,
+  custNo INT REFERENCES PO1.Customer,
+  shipToStreet VARCHAR(200),
+  shipToCity VARCHAR(200),
+  shipToZip VARCHAR(20),
+  PRIMARY KEY (poNo)
+);
+CREATE TABLE PO1.Customer (
+  custNo INT,
+  custName VARCHAR(200),
+  custStreet VARCHAR(200),
+  custCity VARCHAR(200),
+  custZip VARCHAR(20),
+  PRIMARY KEY (custNo)
+);`
+
+const clientPO2XSD = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2">
+  <xsd:sequence>
+   <xsd:element name="DeliverTo" type="Address"/>
+   <xsd:element name="BillTo" type="Address"/>
+  </xsd:sequence>
+ </xsd:complexType>
+ <xsd:complexType name="Address">
+  <xsd:sequence>
+   <xsd:element name="Street" type="xsd:string"/>
+   <xsd:element name="City" type="xsd:string"/>
+   <xsd:element name="Zip" type="xsd:decimal"/>
+  </xsd:sequence>
+ </xsd:complexType>
+</xsd:schema>`
+
+// startShardedServer serves an n-shard repository over httptest and
+// returns a client on it.
+func startShardedServer(t *testing.T, n int, opts ...coma.Option) (*coma.Client, *coma.ShardedRepository) {
+	t.Helper()
+	repo, err := coma.OpenShardedRepository(filepath.Join(t.TempDir(), "served"), n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	ts := httptest.NewServer(repo.Handler())
+	t.Cleanup(ts.Close)
+	return coma.NewClient(ts.URL), repo
+}
+
+// TestClientEndToEndMatchEqualsLocal is the PR's acceptance test: a
+// match requested over HTTP — import PO2 into the served repository,
+// post PO1 inline — returns exactly the mapping and schema similarity
+// a local Engine.Match computes on the same pair.
+func TestClientEndToEndMatchEqualsLocal(t *testing.T) {
+	ctx := context.Background()
+	client, _ := startShardedServer(t, 4)
+
+	if _, err := client.PutSchema(ctx, "PO2", "xsd", clientPO2XSD); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Match(ctx, coma.MatchRequest{
+		Schema: coma.SchemaPayload{Name: "PO1", Format: "sql", Source: clientPO1DDL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Incoming != "PO1" || len(resp.Candidates) != 1 {
+		t.Fatalf("response: incoming %q, %d candidates", resp.Incoming, len(resp.Candidates))
+	}
+
+	// The local reference on the very same pair.
+	s1, err := coma.LoadSQL("PO1", clientPO1DDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := coma.LoadXSD("PO2", []byte(clientPO2XSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := coma.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Match(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := resp.Candidates[0]
+	if got.Schema != "PO2" {
+		t.Fatalf("candidate %q, want PO2", got.Schema)
+	}
+	if got.SchemaSim != want.SchemaSim {
+		t.Errorf("schema sim over HTTP %v, local %v", got.SchemaSim, want.SchemaSim)
+	}
+	wantCorrs := want.Mapping.Correspondences()
+	if len(got.Correspondences) != len(wantCorrs) {
+		t.Fatalf("%d correspondences over HTTP, local %d", len(got.Correspondences), len(wantCorrs))
+	}
+	for i, c := range got.Correspondences {
+		w := wantCorrs[i]
+		if c.From != w.From || c.To != w.To || c.Sim != w.Sim {
+			t.Errorf("correspondence %d = %+v, want %+v", i, c, w)
+		}
+	}
+}
+
+// TestClientSchemaRoundTrip drives the full client surface against a
+// live server: health, file import, graph import, listing, detail,
+// stored-name match, delete.
+func TestClientSchemaRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	client, _ := startShardedServer(t, 2)
+
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Shards != 2 || h.Schemas != 0 {
+		t.Errorf("health = %+v", h)
+	}
+
+	// Import from a file (extension dispatch), from source, and from an
+	// in-memory graph.
+	sqlPath := filepath.Join(t.TempDir(), "Orders.sql")
+	if err := os.WriteFile(sqlPath, []byte(clientPO1DDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := client.PutSchemaFile(ctx, sqlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "Orders" || info.Paths == 0 {
+		t.Errorf("PutSchemaFile = %+v", info)
+	}
+	if _, err := client.PutSchema(ctx, "PO2", "xsd", clientPO2XSD); err != nil {
+		t.Fatal(err)
+	}
+	graph := workload.Schemas()[0]
+	ginfo, err := client.PutSchemaGraph(ctx, graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire XSD round-trip is equivalence, not identity: the stored
+	// graph equals a local export→import of the same schema.
+	var wire bytes.Buffer
+	if err := coma.WriteSchemaXSD(&wire, graph); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := coma.LoadXSD(graph.Name, wire.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ginfo.Name != graph.Name || ginfo.Paths != len(rt.Paths()) {
+		t.Errorf("PutSchemaGraph = %+v, want %d paths (XSD wire round-trip)", ginfo, len(rt.Paths()))
+	}
+
+	schemas, err := client.Schemas(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 3 {
+		t.Fatalf("%d schemas stored", len(schemas))
+	}
+	detail, err := client.Schema(ctx, "Orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Paths) != info.Paths {
+		t.Errorf("detail paths %d, want %d", len(detail.Paths), info.Paths)
+	}
+
+	resp, err := client.MatchStored(ctx, "Orders", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 {
+		t.Fatalf("MatchStored topK 1: %d candidates", len(resp.Candidates))
+	}
+
+	if err := client.DeleteSchema(ctx, "Orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Schema(ctx, "Orders"); err == nil {
+		t.Error("deleted schema still served")
+	}
+	if err := client.DeleteSchema(ctx, "Orders"); err == nil {
+		t.Error("double delete succeeded")
+	}
+}
+
+// TestClientMatchGraphMatchesLocalBatch: MatchGraph against a server
+// holding the workload candidates equals the local sharded
+// MatchIncoming on the same store.
+func TestClientMatchGraphMatchesLocalBatch(t *testing.T) {
+	ctx := context.Background()
+	client, repo := startShardedServer(t, 4)
+	stored := workload.Candidates(7)[1:]
+	for _, s := range stored {
+		if _, err := client.PutSchemaGraph(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incoming := workload.Candidates(1)[0]
+	resp, err := client.MatchGraph(ctx, incoming, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != len(stored) {
+		t.Fatalf("%d candidates over HTTP, want %d", len(resp.Candidates), len(stored))
+	}
+
+	// Local reference: both sides of the HTTP match went through the
+	// XSD wire round-trip — the stored candidates when imported, the
+	// incoming schema when posted (leaf types normalize to XSD
+	// builtins). MatchIncoming over the same repository supplies the
+	// stored versions; round-trip the incoming schema the same way.
+	var buf bytes.Buffer
+	if err := coma.WriteSchemaXSD(&buf, incoming); err != nil {
+		t.Fatal(err)
+	}
+	wireIncoming, err := coma.LoadXSD(incoming.Name, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := repo.MatchIncoming(wireIncoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != len(resp.Candidates) {
+		t.Fatalf("local %d matches, HTTP %d", len(local), len(resp.Candidates))
+	}
+	for i, c := range resp.Candidates {
+		if c.Schema != local[i].Schema.Name || c.SchemaSim != local[i].Result.SchemaSim {
+			t.Errorf("rank %d: HTTP (%s, %v), local (%s, %v)",
+				i, c.Schema, c.SchemaSim, local[i].Schema.Name, local[i].Result.SchemaSim)
+		}
+	}
+}

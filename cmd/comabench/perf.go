@@ -1,16 +1,24 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	coma "repro"
 	"repro/internal/analysis"
 	"repro/internal/combine"
+	"repro/internal/export"
 	"repro/internal/match"
 	"repro/internal/reuse"
 	"repro/internal/workload"
@@ -193,6 +201,16 @@ func measurePerf() perfReport {
 			}
 		}
 	})
+	// The served workload: the same 16-candidate store behind the
+	// comaserve HTTP front-end, hammered by 4 concurrent clients with
+	// phase-shifted request streams (workload.Clients). ns/op is the
+	// per-request cost including HTTP transport, inline schema import
+	// and the TopK(3) batch match. 1x16 serves from a single shard;
+	// 4shard fans the same store out over four shards with per-shard
+	// engines under one worker budget — the acceptance comparison is
+	// that sharding costs nothing per request on this workload.
+	add("MatchServe/1x16", func(b *testing.B) { benchServe(b, 1) })
+	add("MatchServe/4shard", func(b *testing.B) { benchServe(b, 4) })
 	add("Analyze/schema", func(b *testing.B) {
 		ctx := match.NewContext()
 		b.ReportAllocs()
@@ -287,7 +305,90 @@ func measurePerf() perfReport {
 				loop.NsPerOp/bat.NsPerOp, float64(loop.AllocsPerOp)/float64(bat.AllocsPerOp))
 		}
 	}
+	// The sharding acceptance comparison: a 4-shard store must serve a
+	// request no slower than the single-shard path on this workload.
+	if one, ok := byName["MatchServe/1x16"]; ok && one.NsPerOp > 0 {
+		if four, ok := byName["MatchServe/4shard"]; ok {
+			fmt.Fprintf(os.Stderr, "# MatchServe 4-shard vs single-shard: %.2fx time per request\n",
+				four.NsPerOp/one.NsPerOp)
+		}
+	}
 	return report
+}
+
+// benchServe measures the served match path: a 16-candidate sharded
+// repository behind httptest, 4 concurrent coma.Client streams posting
+// inline schemas, TopK(3). The per-op unit is one HTTP match request.
+func benchServe(b *testing.B, shards int) {
+	dir, err := os.MkdirTemp("", "comaserve-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	repo, err := coma.OpenShardedRepository(filepath.Join(dir, "shards"), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	for _, s := range workload.Candidates(16) {
+		if err := repo.PutSchema(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(repo.Handler())
+	defer ts.Close()
+
+	// Pre-serialize every client's request stream: the benchmark
+	// measures serving, not XSD export.
+	const nClients = 4
+	streams := workload.Clients(nClients)
+	bodies := make([][]coma.MatchRequest, nClients)
+	for i, stream := range streams {
+		for _, s := range stream {
+			var buf bytes.Buffer
+			if err := export.SchemaXSD(&buf, s); err != nil {
+				b.Fatal(err)
+			}
+			bodies[i] = append(bodies[i], coma.MatchRequest{
+				Schema: coma.SchemaPayload{Name: s.Name, Format: "xsd", Source: buf.String()},
+				TopK:   3,
+			})
+		}
+	}
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := coma.NewClient(ts.URL)
+			// Per-client transport: DefaultTransport caps idle conns
+			// per host at 2, which would churn connections across the
+			// 4 concurrent streams and measure the pool, not the server.
+			client.HTTPClient = &http.Client{Transport: &http.Transport{}}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				req := bodies[c][i%len(bodies[c])]
+				resp, err := client.Match(ctx, req)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(resp.Candidates) != 3 {
+					b.Errorf("%d candidates, want 3", len(resp.Candidates))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
 }
 
 // benchSnapshot is the shape of a committed benchmark file: either a

@@ -1,0 +1,110 @@
+// Command comaserve runs the COMA repository as a network service: a
+// sharded schema store with per-shard match engines behind the
+// HTTP/JSON API of internal/server. It is the serving shape of the
+// paper's architecture — many clients import schemas into a shared
+// repository and ask which stored schemas an incoming one resembles.
+//
+// Usage:
+//
+//	comaserve -addr :8402 -repo ./coma.shards -shards 4
+//	comaserve -addr :8402 -repo ./coma.shards -shards 4 -workers 8
+//	comaserve -repo ./coma.shards -shards 4 schemas/*.xsd   # preload files
+//
+// Endpoints (see package repro/internal/server):
+//
+//	GET    /healthz          liveness + store size
+//	GET    /schemas          stored schemas
+//	PUT    /schemas/{name}   import an inline schema
+//	GET    /schemas/{name}   one schema's paths
+//	DELETE /schemas/{name}   remove a schema
+//	POST   /match            batch-match a schema against the store
+//
+// The -shards count is fixed when the repository directory is created;
+// reopening with a different count fails. -workers bounds both the
+// match scheduler's parallelism and the number of concurrently
+// executing match requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	coma "repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8402", "listen address")
+		repoDir = flag.String("repo", "coma.shards", "sharded repository directory")
+		shards  = flag.Int("shards", 4, "shard count (fixed when the repository is created)")
+		workers = flag.Int("workers", 0, "match worker bound and in-flight match limit (0 = all CPUs)")
+	)
+	flag.Parse()
+	if err := run(*addr, *repoDir, *shards, *workers, flag.Args(), nil); err != nil {
+		fmt.Fprintln(os.Stderr, "comaserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run opens the repository, optionally preloads schema files given as
+// positional arguments, and serves until SIGINT/SIGTERM. When ready is
+// non-nil it receives the bound listen address once the server accepts
+// connections (tests listen on ":0").
+func run(addr, repoDir string, shards, workers int, preload []string, ready chan<- string) error {
+	repo, err := coma.OpenShardedRepository(repoDir, shards, coma.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+
+	for _, path := range preload {
+		s, err := coma.LoadFile(path)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", path, err)
+		}
+		if err := repo.PutSchema(s); err != nil {
+			return fmt.Errorf("preload %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "comaserve: loaded %s (%d paths)\n", s.Name, len(s.Paths()))
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           repo.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st := repo.Stats()
+	fmt.Fprintf(os.Stderr, "comaserve: serving %d schemas in %d shards on %s\n",
+		st.Schemas, repo.NumShards(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		fmt.Fprintln(os.Stderr, "comaserve: shutting down")
+		return srv.Shutdown(shutdownCtx)
+	}
+}

@@ -135,25 +135,22 @@ func LoadDTD(name string, src []byte) (*Schema, error) {
 // LoadFile imports a schema file, choosing the importer by extension —
 // .sql/.ddl (CREATE TABLE statements), .xsd/.xml (XML schema), .json
 // (JSON Schema), .dtd — and naming the schema after the file's base
-// name. It is the loader shared by the command-line tools.
+// name. Files importing to an empty schema (no element paths — e.g. a
+// DDL file without CREATE TABLE statements) are rejected: an empty
+// schema can neither be matched nor stored as a match candidate. It is
+// the loader shared by the command-line tools and the server's inline
+// schema import.
 func LoadFile(path string) (*Schema, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".sql", ".ddl":
-		return LoadSQL(name, string(data))
-	case ".xsd", ".xml":
-		return LoadXSD(name, data)
-	case ".json":
-		return LoadJSONSchema(name, data)
-	case ".dtd":
-		return LoadDTD(name, data)
-	default:
-		return nil, fmt.Errorf("coma: unknown schema format %q (want .sql, .ddl, .xsd, .xml, .json or .dtd)", filepath.Ext(path))
+	s, err := importer.ParseAs(name, filepath.Ext(path), data)
+	if err != nil {
+		return nil, fmt.Errorf("coma: %s: %w", path, err)
 	}
+	return s, nil
 }
 
 // Instances holds sample data values per schema element path, feeding
@@ -439,3 +436,12 @@ func WriteMappingCSV(w io.Writer, m *Mapping) error { return export.MappingCSV(w
 
 // WriteSchemaDOT renders a schema graph in Graphviz DOT format.
 func WriteSchemaDOT(w io.Writer, s *Schema) error { return export.SchemaDOT(w, s) }
+
+// WriteSchemaXSD serializes a schema graph as an XML Schema document
+// that LoadXSD reads back to an equivalent graph: same leaf elements
+// and shared fragments, with inner elements gaining a generated
+// type-name path level (LoadXSD models named complex types as child
+// nodes, the paper's Figure 1b) and leaf types mapped onto XSD
+// builtins. It is the wire form Client.PutSchemaGraph and
+// Client.MatchGraph ship in-memory schemas as.
+func WriteSchemaXSD(w io.Writer, s *Schema) error { return export.SchemaXSD(w, s) }

@@ -1,0 +1,97 @@
+// Server example: the repository-server loop of the README in one
+// process — open a sharded repository, put the comaserve HTTP/JSON API
+// in front of it, and drive it with coma.Client: import two schemas,
+// then ask which stored schema an incoming purchase-order DDL
+// resembles. In production the server side is `comaserve -addr :8402
+// -repo ./coma.shards -shards 4` and clients connect over the network;
+// the API is the same.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	coma "repro"
+)
+
+const po1DDL = `
+CREATE TABLE PO1.ShipTo (
+  poNo INT,
+  shipToStreet VARCHAR(200),
+  shipToCity VARCHAR(200),
+  shipToZip VARCHAR(20),
+  PRIMARY KEY (poNo)
+);`
+
+const po2XSD = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PO2">
+  <xsd:sequence>
+   <xsd:element name="DeliverTo" type="Address"/>
+   <xsd:element name="BillTo" type="Address"/>
+  </xsd:sequence>
+ </xsd:complexType>
+ <xsd:complexType name="Address">
+  <xsd:sequence>
+   <xsd:element name="Street" type="xsd:string"/>
+   <xsd:element name="City" type="xsd:string"/>
+   <xsd:element name="Zip" type="xsd:decimal"/>
+  </xsd:sequence>
+ </xsd:complexType>
+</xsd:schema>`
+
+const invoiceDTD = `<!ELEMENT invoice (billTo, amount)>
+<!ELEMENT billTo (street, city, zip)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>`
+
+func main() {
+	ctx := context.Background()
+
+	// Server side: a 4-shard repository behind the HTTP API. comaserve
+	// does exactly this around a net.Listener.
+	dir, err := os.MkdirTemp("", "coma-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	repo, err := coma.OpenShardedRepository(filepath.Join(dir, "shards"), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+	ts := httptest.NewServer(repo.Handler())
+	defer ts.Close()
+
+	// Client side: import two schemas, then match an incoming one.
+	client := coma.NewClient(ts.URL)
+	if _, err := client.PutSchema(ctx, "PO2", "xsd", po2XSD); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.PutSchema(ctx, "Invoice", "dtd", invoiceDTD); err != nil {
+		log.Fatal(err)
+	}
+	h, err := client.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d schemas in %d shards\n\n", h.Schemas, h.Shards)
+
+	resp, err := client.Match(ctx, coma.MatchRequest{
+		Schema: coma.SchemaPayload{Name: "PO1", Format: "sql", Source: po1DDL},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, c := range resp.Candidates {
+		fmt.Printf("%d. %-10s schema sim %.3f\n", rank+1, c.Schema, c.SchemaSim)
+		for _, corr := range c.Correspondences {
+			fmt.Printf("   %-25s <-> %-25s %.3f\n", corr.From, corr.To, corr.Sim)
+		}
+	}
+}

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/match"
@@ -52,105 +49,20 @@ type BatchOptions struct {
 //     the repository is scored against the incoming names once per
 //     batch instead of once per pair (bit-identical — the scores are
 //     pure functions of the name pair and the fixed sources).
+//
+// MatchAll is the single-shard case of MatchSharded, which implements
+// the scheduling.
 func MatchAll(ctx *match.Context, incoming *schema.Schema, candidates []*schema.Schema, cfg Config, opt BatchOptions) ([]*Result, error) {
-	if len(cfg.Matchers) == 0 {
-		return nil, fmt.Errorf("core: no matchers configured")
+	if ctx == nil {
+		// Match accepts a nil context (throwaway per-request analyses);
+		// keep the batch path consistent with a zero-value one.
+		ctx = &match.Context{}
 	}
-	if err := incoming.Validate(); err != nil {
-		return nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+	results, err := MatchSharded(incoming, []Shard{{Ctx: ctx, Candidates: candidates}}, cfg, opt)
+	if err != nil {
+		return nil, err
 	}
-	for i, c := range candidates {
-		if err := c.Validate(); err != nil {
-			return nil, fmt.Errorf("core: candidate %d (%s): %w", i, c.Name, err)
-		}
-	}
-	results := make([]*Result, len(candidates))
-	if len(candidates) == 0 {
-		return results, nil
-	}
-	if cfg.Workers != 0 {
-		ctx = ctx.WithWorkers(cfg.Workers)
-	}
-	// One analysis of the incoming schema serves every pair; building
-	// it before the fan-out also warms the analyzer cache for matchers
-	// that re-resolve it.
-	idx1 := ctx.Index(incoming)
-	arena := simcube.NewArena()
-	// One column cache for the whole batch: the incoming side of every
-	// pair is the same schema, so candidate names recurring across the
-	// repository (shared vocabularies, schema families) are scored
-	// against the incoming names once.
-	cache := match.NewBatchCache()
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-
-	// Pair-level scheduling over one global budget: each pair worker
-	// owns one budget slot and claims candidates from a shared
-	// counter; the matchers inside a pair run sequentially on that
-	// slot, their row-parallel fills opportunistically taking any
-	// slots the other pair workers do not occupy.
-	bctx := ctx.WithWorkerBudget()
-	var next atomic.Int64
-	work := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(candidates) || failed() {
-				return
-			}
-			res, err := matchPair(bctx, idx1, incoming, candidates[i], cfg, arena, cache, opt.KeepCubes)
-			if err != nil {
-				fail(err)
-				return
-			}
-			results[i] = res
-		}
-	}
-	pairWorkers := match.ResolveWorkers(bctx.Workers)
-	if pairWorkers > len(candidates) {
-		pairWorkers = len(candidates)
-	}
-	if pairWorkers <= 1 {
-		bctx.AcquireWorker()
-		work()
-		bctx.ReleaseWorker()
-	} else {
-		var wg sync.WaitGroup
-		for w := 1; w < pairWorkers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				bctx.AcquireWorker()
-				defer bctx.ReleaseWorker()
-				work()
-			}()
-		}
-		bctx.AcquireWorker()
-		work()
-		bctx.ReleaseWorker()
-		wg.Wait()
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if opt.TopK > 0 && opt.TopK < len(results) {
-		pruneToTopK(results, opt.TopK)
-	}
-	return results, nil
+	return results[0], nil
 }
 
 // matchPair runs one pair of the batch: matcher execution over the

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// Shard is one unit of a sharded batch match: a candidate group with
+// the match context that analyzes it. Each shard's context carries its
+// own analyzer — the per-shard analysis cache of a sharded repository —
+// so shards stay independent: invalidating or mutating one shard's
+// schemas never touches another shard's cached indexes.
+type Shard struct {
+	// Ctx analyzes this shard's schemas (and its own copy of the
+	// incoming schema's index). Must be non-nil.
+	Ctx *match.Context
+	// Candidates are the shard's stored schemas to match against.
+	Candidates []*schema.Schema
+}
+
+// MatchSharded matches one incoming schema against per-shard candidate
+// groups in a single scheduled batch — the shard-aware entry point of
+// the repository server, and the scheduler MatchAll is the single-shard
+// case of. All (shard, candidate) pairs are scheduled over ONE worker
+// budget (shard count never multiplies parallelism), while every pair
+// is analyzed and matched through its own shard's context. A non-zero
+// cfg.Workers overrides the first shard context's worker bound for the
+// whole batch, exactly like Match/MatchAll; with cfg.Workers == 0 the
+// first shard's own bound governs. The result has one slice per shard,
+// index-aligned with the shard's candidates, each entry bit-identical
+// to Match(shard.Ctx, incoming, candidate, cfg) — scheduling, arenas
+// and column caches never change a score.
+//
+// Shards sharing the first shard's auxiliary sources (the sharded
+// repository's layout) share one incoming analysis and one column
+// cache; a shard with its own sources gets its own of both, since
+// cached name-similarity columns are only pure across contexts whose
+// dictionaries agree.
+//
+// BatchOptions.TopK applies per shard: each shard retains its TopK
+// best results (by combined schema similarity, earlier candidate on
+// ties), exactly as a per-shard MatchAll would. Callers merging shards
+// into a global shortlist cut the merged ranking to K again — the
+// global top K is a subset of the per-shard top Ks.
+func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt BatchOptions) ([][]*Result, error) {
+	if len(cfg.Matchers) == 0 {
+		return nil, fmt.Errorf("core: no matchers configured")
+	}
+	if err := incoming.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+	}
+	results := make([][]*Result, len(shards))
+	type pair struct{ shard, cand int }
+	var pairs []pair
+	for si, sh := range shards {
+		if sh.Ctx == nil {
+			return nil, fmt.Errorf("core: shard %d has no context", si)
+		}
+		for ci, c := range sh.Candidates {
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("core: shard %d candidate %d (%s): %w", si, ci, c.Name, err)
+			}
+			pairs = append(pairs, pair{si, ci})
+		}
+		results[si] = make([]*Result, len(sh.Candidates))
+	}
+	if len(pairs) == 0 {
+		return results, nil
+	}
+
+	// One budget for the whole fan-out, owned by a context derived from
+	// the first shard (cfg.Workers overriding its bound when non-zero);
+	// every shard's working context shares its semaphore.
+	budgetCtx := shards[0].Ctx
+	if cfg.Workers != 0 {
+		budgetCtx = budgetCtx.WithWorkers(cfg.Workers)
+	}
+	budgetOwner := budgetCtx.WithWorkerBudget()
+	// The arena spans shards unconditionally — pooled storage is
+	// score-neutral. The incoming index and the column cache are shared
+	// only between shards whose auxiliary sources are identical.
+	arena := simcube.NewArena()
+	bctxs := make([]*match.Context, len(shards))
+	idx1s := make([]*analysis.SchemaIndex, len(shards))
+	caches := make([]*match.BatchCache, len(shards))
+	for si, sh := range shards {
+		bctxs[si] = sh.Ctx.WithBudgetOf(budgetOwner)
+		if si > 0 && bctxs[si].Sources() == bctxs[0].Sources() {
+			idx1s[si] = idx1s[0]
+			caches[si] = caches[0]
+		} else {
+			idx1s[si] = bctxs[si].Index(incoming)
+			caches[si] = match.NewBatchCache()
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	// Pair-level scheduling over the global budget: each pair worker
+	// owns one budget slot and claims (shard, candidate) pairs from a
+	// shared counter; the matchers inside a pair run sequentially on
+	// that slot, their row-parallel fills opportunistically taking any
+	// slots the other pair workers do not occupy.
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(pairs) || failed() {
+				return
+			}
+			p := pairs[i]
+			res, err := matchPair(bctxs[p.shard], idx1s[p.shard], incoming,
+				shards[p.shard].Candidates[p.cand], cfg, arena, caches[p.shard], opt.KeepCubes)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[p.shard][p.cand] = res
+		}
+	}
+	pairWorkers := match.ResolveWorkers(budgetOwner.Workers)
+	if pairWorkers > len(pairs) {
+		pairWorkers = len(pairs)
+	}
+	if pairWorkers <= 1 {
+		budgetOwner.AcquireWorker()
+		work()
+		budgetOwner.ReleaseWorker()
+	} else {
+		var wg sync.WaitGroup
+		for w := 1; w < pairWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				budgetOwner.AcquireWorker()
+				defer budgetOwner.ReleaseWorker()
+				work()
+			}()
+		}
+		budgetOwner.AcquireWorker()
+		work()
+		budgetOwner.ReleaseWorker()
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if opt.TopK > 0 {
+		for _, shardResults := range results {
+			if opt.TopK < len(shardResults) {
+				pruneToTopK(shardResults, opt.TopK)
+			}
+		}
+	}
+	return results, nil
+}

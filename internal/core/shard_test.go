@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// shardsOf splits candidates into n round-robin groups, each with a
+// fresh context — the per-shard analyzer layout of a sharded store.
+func shardsOf(candidates []*schema.Schema, n int) []Shard {
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i].Ctx = match.NewContext()
+	}
+	for i, c := range candidates {
+		s := &shards[i%n]
+		s.Candidates = append(s.Candidates, c)
+	}
+	return shards
+}
+
+// TestMatchShardedGolden pins MatchSharded bit-identical to a direct
+// Match per pair, for several shard counts and worker bounds.
+func TestMatchShardedGolden(t *testing.T) {
+	all := workload.Candidates(9)
+	incoming, candidates := all[0], all[1:]
+	cfg := DefaultConfig()
+
+	ref := match.NewContext()
+	want := make([]*Result, len(candidates))
+	for i, c := range candidates {
+		var err error
+		want[i], err = Match(ref, incoming, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, nShards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 0} {
+			cfg := cfg
+			cfg.Workers = workers
+			shards := shardsOf(candidates, nShards)
+			got, err := MatchSharded(incoming, shards, cfg, BatchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for si, shardResults := range got {
+				for ci, res := range shardResults {
+					// Map the shard slot back to the original
+					// candidate index (round-robin layout).
+					orig := ci*nShards + si
+					w := want[orig]
+					if res.SchemaSim != w.SchemaSim {
+						t.Errorf("shards=%d workers=%d %s: sim %v, want %v",
+							nShards, workers, shards[si].Candidates[ci].Name, res.SchemaSim, w.SchemaSim)
+					}
+					gc, wc := res.Mapping.Correspondences(), w.Mapping.Correspondences()
+					if len(gc) != len(wc) {
+						t.Fatalf("shards=%d workers=%d %s: %d correspondences, want %d",
+							nShards, workers, shards[si].Candidates[ci].Name, len(gc), len(wc))
+					}
+					for k := range gc {
+						if gc[k] != wc[k] {
+							t.Errorf("shards=%d workers=%d %s: corr %d = %v, want %v",
+								nShards, workers, shards[si].Candidates[ci].Name, k, gc[k], wc[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatchShardedTopK prunes per shard: each shard keeps its K best,
+// identical to a per-shard MatchAll with the same option.
+func TestMatchShardedTopK(t *testing.T) {
+	all := workload.Candidates(9)
+	incoming, candidates := all[0], all[1:]
+	cfg := DefaultConfig()
+	shards := shardsOf(candidates, 2)
+	got, err := MatchSharded(incoming, shards, cfg, BatchOptions{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, shardResults := range got {
+		kept := 0
+		for _, res := range shardResults {
+			if res != nil {
+				kept++
+			}
+		}
+		if kept != 2 {
+			t.Errorf("shard %d kept %d results, want 2", si, kept)
+		}
+	}
+}
+
+// TestMatchShardedEdgeCases: empty shards, no candidates, nil context.
+func TestMatchShardedEdgeCases(t *testing.T) {
+	all := workload.Candidates(2)
+	incoming := all[0]
+	cfg := DefaultConfig()
+
+	res, err := MatchSharded(incoming, nil, cfg, BatchOptions{})
+	if err != nil || len(res) != 0 {
+		t.Errorf("no shards: res=%v err=%v", res, err)
+	}
+	res, err = MatchSharded(incoming, []Shard{{Ctx: match.NewContext()}}, cfg, BatchOptions{})
+	if err != nil || len(res) != 1 || len(res[0]) != 0 {
+		t.Errorf("empty shard: res=%v err=%v", res, err)
+	}
+	if _, err := MatchSharded(incoming, []Shard{{Candidates: all[1:]}}, cfg, BatchOptions{}); err == nil {
+		t.Error("nil shard context accepted")
+	}
+	if _, err := MatchSharded(incoming, nil, Config{}, BatchOptions{}); err == nil {
+		t.Error("empty matcher set accepted")
+	}
+}

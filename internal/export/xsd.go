@@ -9,10 +9,13 @@ import (
 )
 
 // SchemaXSD writes a schema graph as an XML Schema document that
-// importer.ParseXSD reads back to an equivalent graph (same paths,
-// same shared fragments). Inner nodes become named complex types —
-// shared fragments are emitted once and referenced from every use
-// site — and leaves become typed elements. Leaf types already carrying
+// importer.ParseXSD reads back to an equivalent graph: same leaf
+// elements, same shared fragments. Inner nodes become named complex
+// types — shared fragments are emitted once and referenced from every
+// use site — and leaves become typed elements. The re-import is not
+// path-identical: ParseXSD models a named complex type as a child node
+// of every element using it (the paper's Figure 1b), so inner elements
+// gain a generated type-name path level. Leaf types already carrying
 // an XSD namespace prefix are kept; other types map onto xsd builtins
 // via their lower-cased local name.
 func SchemaXSD(w io.Writer, s *schema.Schema) error {

@@ -1,0 +1,42 @@
+package importer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// ParseAs imports a schema document, dispatching on a format tag: sql,
+// ddl (CREATE TABLE statements), xsd, xml (XML schema), json (JSON
+// Schema) or dtd. The tag is case-insensitive and may carry a leading
+// dot, so file extensions pass through unchanged — it is the one
+// dispatcher behind coma.LoadFile and the server's inline schema
+// import. Documents importing to an empty schema (no element paths)
+// are rejected: an empty schema can neither be matched nor serve as a
+// match candidate.
+func ParseAs(name, format string, src []byte) (*schema.Schema, error) {
+	var (
+		s   *schema.Schema
+		err error
+	)
+	switch strings.ToLower(strings.TrimPrefix(format, ".")) {
+	case "sql", "ddl":
+		s, err = ParseSQL(name, string(src))
+	case "xsd", "xml":
+		s, err = ParseXSD(name, src)
+	case "json":
+		s, err = ParseJSONSchema(name, src)
+	case "dtd":
+		s, err = ParseDTD(name, src)
+	default:
+		return nil, fmt.Errorf("importer: unknown schema format %q (want sql, ddl, xsd, xml, json or dtd)", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Paths()) == 0 {
+		return nil, fmt.Errorf("importer: schema %q is empty (no element paths)", name)
+	}
+	return s, nil
+}

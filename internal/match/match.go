@@ -288,6 +288,17 @@ func (c *Context) WithWorkerBudget() *Context {
 	return out
 }
 
+// WithBudgetOf returns a copy of the context drawing on the same
+// worker budget (and bound) as owner, which must carry one installed
+// via WithWorkerBudget. The sharded batch scheduler uses it to run
+// per-shard contexts — each with its own analyzer cache — under one
+// global budget, so shard count never multiplies the parallelism.
+func (c *Context) WithBudgetOf(owner *Context) *Context {
+	out := c.WithWorkers(owner.Workers)
+	out.sem = owner.sem
+	return out
+}
+
 // AcquireWorker takes one slot of the shared worker budget, blocking
 // until one is free; a no-op without a budget.
 func (c *Context) AcquireWorker() {

@@ -215,16 +215,27 @@ func (r *Repo) Close() error {
 
 // PutSchema stores (or replaces) a schema by name.
 func (r *Repo) PutSchema(s *schema.Schema) error {
+	_, err := r.SwapSchema(s)
+	return err
+}
+
+// SwapSchema stores a schema and returns the instance it replaced (nil
+// when the name was new), atomically with respect to other schema
+// mutations — callers maintaining per-instance caches (the engines'
+// analysis caches) invalidate exactly the instance that left the
+// store.
+func (r *Repo) SwapSchema(s *schema.Schema) (prev *schema.Schema, err error) {
 	if err := s.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.appendRecord(kindSchema, encodeSchema(s)); err != nil {
-		return err
+		return nil, err
 	}
+	prev = r.schemas[s.Name]
 	r.schemas[s.Name] = s
-	return nil
+	return prev, nil
 }
 
 // GetSchema returns the stored schema with the given name.
@@ -237,18 +248,27 @@ func (r *Repo) GetSchema(name string) (*schema.Schema, bool) {
 
 // DeleteSchema removes a schema. Deleting a missing schema is a no-op.
 func (r *Repo) DeleteSchema(name string) error {
+	_, err := r.TakeSchema(name)
+	return err
+}
+
+// TakeSchema removes a schema and returns the removed instance (nil
+// when the name was absent), atomically with respect to other schema
+// mutations.
+func (r *Repo) TakeSchema(name string) (prev *schema.Schema, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.schemas[name]; !ok {
-		return nil
+	prev, ok := r.schemas[name]
+	if !ok {
+		return nil, nil
 	}
 	var e encoder
 	e.str(name)
 	if err := r.appendRecord(kindSchemaDel, e.buf); err != nil {
-		return err
+		return nil, err
 	}
 	delete(r.schemas, name)
-	return nil
+	return prev, nil
 }
 
 // SchemaNames lists stored schema names, sorted.

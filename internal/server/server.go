@@ -1,0 +1,286 @@
+// Package server puts a network front-end over a COMA repository: an
+// HTTP/JSON API exposing the repository-server operations the paper's
+// architecture implies (Do & Rahm, VLDB 2002, Section 3) — import a
+// schema into the store, list what is stored, and match an incoming
+// schema against every stored one in a single scheduled batch.
+//
+// Endpoints:
+//
+//	GET    /healthz          liveness + store size
+//	GET    /schemas          stored schema names and sizes
+//	PUT    /schemas/{name}   import an inline schema into the store
+//	GET    /schemas/{name}   one stored schema's path enumeration
+//	DELETE /schemas/{name}   remove a stored schema
+//	POST   /match            batch-match an inline or stored schema
+//
+// Match execution is the expensive operation, so the server bounds the
+// number of concurrently executing match requests with a semaphore
+// sized to the engine's worker count: excess requests queue (and abort
+// when the client goes away) instead of piling up unboundedly. Each
+// admitted match still spreads over its own worker budget, so the
+// worst-case CPU oversubscription is workers × workers, not
+// request-count × workers.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/repository"
+	"repro/internal/schema"
+)
+
+// Match is one ranked outcome of Backend.MatchIncoming.
+type Match struct {
+	// Schema is the stored candidate schema.
+	Schema *schema.Schema
+	// Result is the batch match result for (incoming, Schema).
+	Result *core.Result
+}
+
+// Backend is what the server serves: repository storage plus the batch
+// match operation. The single-store and sharded repositories both
+// provide it (through thin adapters in the public coma package), so
+// the backing layout is a deployment choice invisible to clients.
+type Backend interface {
+	// PutSchema stores (or replaces) a schema, reporting whether an
+	// earlier schema of the same name was replaced — atomically, so
+	// concurrent imports of one name agree on who created it.
+	PutSchema(s *schema.Schema) (replaced bool, err error)
+	GetSchema(name string) (*schema.Schema, bool)
+	// DeleteSchema removes a schema, reporting whether it existed.
+	DeleteSchema(name string) (existed bool, err error)
+	SchemaNames() []string
+	Stats() repository.Stats
+	// MatchIncoming batch-matches the incoming schema against every
+	// stored schema (excluding same-named ones), returning outcomes
+	// ordered by descending combined schema similarity; topK > 0 keeps
+	// only the K best.
+	MatchIncoming(incoming *schema.Schema, topK int) ([]Match, error)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Backend is the served repository. Required.
+	Backend Backend
+	// Workers bounds the concurrently executing match requests: the
+	// semaphore holds match.ResolveWorkers(Workers) slots (<= 0 =
+	// NumCPU), mirroring the match engine's own worker knob. It is an
+	// admission bound, not a CPU bound — every admitted match runs its
+	// own Workers-slot budget.
+	Workers int
+	// Shards is reported by /healthz (1 for a single-store backend).
+	Shards int
+}
+
+// Server is the HTTP front-end. It implements http.Handler.
+type Server struct {
+	backend Backend
+	shards  int
+	mux     *http.ServeMux
+	// sem bounds concurrently executing match requests.
+	sem chan struct{}
+}
+
+// New builds a Server over the config's backend.
+func New(cfg Config) *Server {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	s := &Server{
+		backend: cfg.Backend,
+		shards:  shards,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, match.ResolveWorkers(cfg.Workers)),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /schemas", s.handleListSchemas)
+	s.mux.HandleFunc("PUT /schemas/{name}", s.handlePutSchema)
+	s.mux.HandleFunc("GET /schemas/{name}", s.handleGetSchema)
+	s.mux.HandleFunc("DELETE /schemas/{name}", s.handleDeleteSchema)
+	s.mux.HandleFunc("POST /match", s.handleMatch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// maxBodyBytes caps request bodies; schema documents are text and stay
+// far below this.
+const maxBodyBytes = 16 << 20
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing sensible to do with a mid-body write error
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a bounded JSON request body into v.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	// Trailing garbage after the document is a malformed request too.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:  "ok",
+		Schemas: s.backend.Stats().Schemas,
+		Shards:  s.shards,
+	})
+}
+
+func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
+	names := s.backend.SchemaNames()
+	out := SchemasResponse{Schemas: make([]SchemaInfo, 0, len(names))}
+	for _, n := range names {
+		info := SchemaInfo{Name: n}
+		if sc, ok := s.backend.GetSchema(n); ok {
+			info.Paths = len(sc.Paths())
+		}
+		out.Schemas = append(out.Schemas, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var p SchemaPayload
+	if err := readJSON(w, r, &p); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The URL is authoritative for the name; a payload name, when
+	// present, must agree — silently storing under a different key than
+	// the request line names would be a trap.
+	if p.Name != "" && p.Name != name {
+		writeError(w, http.StatusBadRequest,
+			"payload schema name %q contradicts URL name %q", p.Name, name)
+		return
+	}
+	p.Name = name
+	if !p.Inline() {
+		writeError(w, http.StatusBadRequest, "PUT /schemas/%s requires an inline schema (format + source)", name)
+		return
+	}
+	sc, err := ParseSchema(p)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	replaced, err := s.backend.PutSchema(sc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store schema %s: %v", name, err)
+		return
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SchemaInfo{Name: sc.Name, Paths: len(sc.Paths())})
+}
+
+func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sc, ok := s.backend.GetSchema(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "schema %q not found", name)
+		return
+	}
+	detail := SchemaDetail{Name: sc.Name}
+	for _, p := range sc.Paths() {
+		detail.Paths = append(detail.Paths, p.String())
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	existed, err := s.backend.DeleteSchema(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "delete schema %s: %v", name, err)
+		return
+	}
+	if !existed {
+		writeError(w, http.StatusNotFound, "schema %q not found", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.TopK < 0 {
+		writeError(w, http.StatusBadRequest, "negative topK %d", req.TopK)
+		return
+	}
+	var incoming *schema.Schema
+	if req.Schema.Inline() {
+		var err error
+		if incoming, err = ParseSchema(req.Schema); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	} else {
+		if req.Schema.Name == "" {
+			writeError(w, http.StatusBadRequest, "match request names no schema")
+			return
+		}
+		var ok bool
+		if incoming, ok = s.backend.GetSchema(req.Schema.Name); !ok {
+			writeError(w, http.StatusNotFound, "schema %q not found", req.Schema.Name)
+			return
+		}
+	}
+
+	// Bounded in-flight matching: wait for a slot, but give up when the
+	// client does — a queued request whose caller is gone would only
+	// burn the budget.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+		return
+	}
+
+	matches, err := s.backend.MatchIncoming(incoming, req.TopK)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "match %s: %v", incoming.Name, err)
+		return
+	}
+	resp := MatchResponse{Incoming: incoming.Name, Candidates: make([]MatchCandidate, 0, len(matches))}
+	for _, m := range matches {
+		resp.Candidates = append(resp.Candidates, MatchCandidate{
+			Schema:          m.Schema.Name,
+			SchemaSim:       m.Result.SchemaSim,
+			Correspondences: WireMapping(m.Result.Mapping),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/importer"
+	"repro/internal/schema"
+	"repro/internal/simcube"
+)
+
+// SchemaPayload names a schema over the wire: either a reference to a
+// stored schema (Name only) or an inline schema (Name plus Format and
+// Source), imported server-side with the same dispatch as
+// coma.LoadFile.
+type SchemaPayload struct {
+	// Name is the schema name — of a stored schema when Source is
+	// empty, of the inline schema otherwise.
+	Name string `json:"name"`
+	// Format selects the importer for Source: sql, ddl, xsd, xml, json
+	// or dtd (a leading dot is accepted, so file extensions pass
+	// through unchanged).
+	Format string `json:"format,omitempty"`
+	// Source is the schema document text; empty means Name references a
+	// stored schema.
+	Source string `json:"source,omitempty"`
+}
+
+// Inline reports whether the payload carries an inline schema source.
+func (p SchemaPayload) Inline() bool { return p.Source != "" }
+
+// MatchRequest is the body of POST /match: match the given schema —
+// inline or stored — against every schema in the repository.
+type MatchRequest struct {
+	Schema SchemaPayload `json:"schema"`
+	// TopK keeps only the K best candidates (0 = all).
+	TopK int `json:"topK,omitempty"`
+}
+
+// Correspondence is one element correspondence of a wire mapping.
+type Correspondence struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Sim  float64 `json:"sim"`
+}
+
+// MatchCandidate is one ranked outcome of a match request.
+type MatchCandidate struct {
+	// Schema is the stored candidate's name.
+	Schema string `json:"schema"`
+	// SchemaSim is the combined schema similarity of the pair.
+	SchemaSim float64 `json:"schemaSim"`
+	// Correspondences is the selected mapping, incoming-side first.
+	Correspondences []Correspondence `json:"correspondences"`
+}
+
+// MatchResponse is the body answering POST /match: stored candidates
+// ranked by descending combined schema similarity.
+type MatchResponse struct {
+	Incoming   string           `json:"incoming"`
+	Candidates []MatchCandidate `json:"candidates"`
+}
+
+// SchemaInfo summarizes one stored schema.
+type SchemaInfo struct {
+	Name  string `json:"name"`
+	Paths int    `json:"paths"`
+}
+
+// SchemasResponse is the body answering GET /schemas.
+type SchemasResponse struct {
+	Schemas []SchemaInfo `json:"schemas"`
+}
+
+// SchemaDetail is the body answering GET /schemas/{name}: the stored
+// schema's path enumeration, the element vocabulary matchers score.
+type SchemaDetail struct {
+	Name  string   `json:"name"`
+	Paths []string `json:"paths"`
+}
+
+// Health is the body answering GET /healthz.
+type Health struct {
+	Status  string `json:"status"`
+	Schemas int    `json:"schemas"`
+	Shards  int    `json:"shards"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ParseSchema imports an inline schema payload through the same
+// format dispatcher as coma.LoadFile (importer.ParseAs), which also
+// rejects schemas without any element path — an empty schema can
+// neither be matched nor serve as a match candidate.
+func ParseSchema(p SchemaPayload) (*schema.Schema, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("server: schema payload without a name")
+	}
+	if p.Format == "" {
+		return nil, fmt.Errorf("server: inline schema %q without a format", p.Name)
+	}
+	return importer.ParseAs(p.Name, p.Format, []byte(p.Source))
+}
+
+// WireMapping converts a mapping into its wire correspondences.
+func WireMapping(m *simcube.Mapping) []Correspondence {
+	cs := m.Correspondences()
+	out := make([]Correspondence, len(cs))
+	for i, c := range cs {
+		out[i] = Correspondence{From: c.From, To: c.To, Sim: c.Sim}
+	}
+	return out
+}

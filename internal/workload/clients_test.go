@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClientsStreams pins the request generator's contract: n streams,
+// one base-schema cycle each, phase-shifted starts, client-tagged
+// names disjoint from Candidates' names, fresh instances throughout.
+func TestClientsStreams(t *testing.T) {
+	clients := Clients(4)
+	if len(clients) != 4 {
+		t.Fatalf("%d streams, want 4", len(clients))
+	}
+	stored := make(map[string]bool)
+	for _, c := range Candidates(16) {
+		stored[c.Name] = true
+	}
+	seen := make(map[string]bool)
+	for i, stream := range clients {
+		if len(stream) != 5 {
+			t.Fatalf("client %d: %d schemas, want 5", i, len(stream))
+		}
+		for j, s := range stream {
+			if !strings.HasSuffix(s.Name, "@c0") && i == 0 {
+				t.Errorf("client 0 schema %q not tagged @c0", s.Name)
+			}
+			if stored[s.Name] {
+				t.Errorf("client schema %q collides with a stored candidate", s.Name)
+			}
+			if seen[s.Name] {
+				t.Errorf("duplicate client schema name %q", s.Name)
+			}
+			seen[s.Name] = true
+			if len(s.Paths()) == 0 {
+				t.Errorf("client %d schema %d is empty", i, j)
+			}
+		}
+	}
+	// Phase shift: concurrent clients start on different base schemas.
+	base := func(name string) string { return name[:strings.IndexByte(name, '@')] }
+	if base(clients[0][0].Name) == base(clients[1][0].Name) {
+		t.Errorf("clients 0 and 1 start on the same schema %q", clients[0][0].Name)
+	}
+	// Determinism: a second call produces the same names in the same
+	// order (fresh instances, identical streams).
+	again := Clients(4)
+	for i := range clients {
+		for j := range clients[i] {
+			if clients[i][j].Name != again[i][j].Name {
+				t.Fatalf("stream %d/%d differs across calls: %q vs %q",
+					i, j, clients[i][j].Name, again[i][j].Name)
+			}
+			if clients[i][j] == again[i][j] {
+				t.Fatalf("stream %d/%d shares an instance across calls", i, j)
+			}
+		}
+	}
+}

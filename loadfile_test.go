@@ -1,0 +1,104 @@
+package coma_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	coma "repro"
+)
+
+// TestLoadFileDispatch is the table-driven satellite for the shared
+// file loader: every supported extension dispatches to its importer
+// (case-insensitively), the schema is named after the base name, and
+// the error paths — unknown extension, unreadable file, empty schema —
+// fail with a diagnosable message.
+func TestLoadFileDispatch(t *testing.T) {
+	const (
+		sqlSrc = "CREATE TABLE S.T (a INT, b VARCHAR(10));"
+		xsdSrc = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="Root"><xsd:sequence>
+  <xsd:element name="a" type="xsd:string"/>
+ </xsd:sequence></xsd:complexType>
+</xsd:schema>`
+		jsonSrc = `{"properties": {"a": {"type": "string"}, "b": {"type": "integer"}}}`
+		dtdSrc  = `<!ELEMENT order (item)><!ELEMENT item (#PCDATA)>`
+	)
+
+	cases := []struct {
+		file      string
+		src       string
+		wantName  string
+		wantPaths int // 0 = only assert non-empty
+		wantErr   string
+	}{
+		// Extension dispatch.
+		{file: "po.sql", src: sqlSrc, wantName: "po", wantPaths: 3},
+		{file: "po.ddl", src: sqlSrc, wantName: "po", wantPaths: 3},
+		{file: "po.xsd", src: xsdSrc, wantName: "po", wantPaths: 1},
+		{file: "po.xml", src: xsdSrc, wantName: "po", wantPaths: 1},
+		{file: "po.json", src: jsonSrc, wantName: "po", wantPaths: 2},
+		{file: "po.dtd", src: dtdSrc, wantName: "po"},
+		// Extensions are case-insensitive; the name keeps its case and
+		// drops only the extension.
+		{file: "Orders.SQL", src: sqlSrc, wantName: "Orders", wantPaths: 3},
+		{file: "po.v2.sql", src: sqlSrc, wantName: "po.v2", wantPaths: 3},
+		// Error paths.
+		{file: "po.avro", src: "x", wantErr: "unknown schema format"},
+		{file: "po", src: sqlSrc, wantErr: "unknown schema format"},
+		{file: "empty.sql", src: "-- comments only, no tables", wantErr: "empty"},
+		{file: "empty.ddl", src: "", wantErr: "empty"},
+		{file: "broken.xsd", src: "not xml at all", wantErr: "xsd"},
+		{file: "broken.json", src: "{}", wantErr: "properties"},
+		{file: "broken.dtd", src: "", wantErr: "dtd"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), tc.file)
+			if err := os.WriteFile(path, []byte(tc.src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := coma.LoadFile(path)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("LoadFile succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name != tc.wantName {
+				t.Errorf("schema name %q, want %q", s.Name, tc.wantName)
+			}
+			if tc.wantPaths > 0 && len(s.Paths()) != tc.wantPaths {
+				t.Errorf("%d paths, want %d", len(s.Paths()), tc.wantPaths)
+			}
+			if len(s.Paths()) == 0 {
+				t.Error("loaded schema has no paths")
+			}
+		})
+	}
+}
+
+// TestLoadFileUnreadable covers the I/O error path: a missing file and
+// (where the platform supports it) a permission-denied file.
+func TestLoadFileUnreadable(t *testing.T) {
+	if _, err := coma.LoadFile(filepath.Join(t.TempDir(), "nope.sql")); err == nil {
+		t.Error("LoadFile of a missing file succeeded")
+	}
+	if runtime.GOOS != "windows" && os.Getuid() != 0 { // root reads anything
+		path := filepath.Join(t.TempDir(), "locked.sql")
+		if err := os.WriteFile(path, []byte("CREATE TABLE T (a INT);"), 0o000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := coma.LoadFile(path); err == nil {
+			t.Error("LoadFile of an unreadable file succeeded")
+		}
+	}
+}

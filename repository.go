@@ -15,6 +15,9 @@ type Repository struct {
 	*repository.Repo
 }
 
+// RepositoryStats summarizes repository contents and log sizes.
+type RepositoryStats = repository.Stats
+
 // Mapping tags conventionally used by the evaluation.
 const (
 	// TagManual marks manually confirmed match results.

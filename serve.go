@@ -1,0 +1,138 @@
+package coma
+
+import (
+	"net/http"
+
+	"repro/internal/schema"
+	"repro/internal/server"
+)
+
+// Handler returns an http.Handler exposing the repository over the
+// comaserve HTTP/JSON API (see package internal/server for the
+// endpoint contract): schema import and listing plus the batch match
+// of an incoming schema against every stored one, executed through e.
+// In-flight match requests are bounded by e's worker count.
+func (r *Repository) Handler(e *Engine) http.Handler {
+	return server.New(server.Config{
+		Backend: &singleBackend{repo: r, engine: e},
+		Workers: e.o.workers,
+		Shards:  1,
+	})
+}
+
+// Handler returns an http.Handler exposing the sharded repository over
+// the comaserve HTTP/JSON API. Matches fan out across the shards'
+// engines; in-flight match requests are bounded by the engines' worker
+// count.
+func (r *ShardedRepository) Handler() http.Handler {
+	return server.New(server.Config{
+		Backend: &shardedBackend{repo: r},
+		Workers: r.engines[0].o.workers,
+		Shards:  r.NumShards(),
+	})
+}
+
+// toServerMatches converts ranked repository outcomes to the server's
+// backend shape.
+func toServerMatches(ms []IncomingMatch) []server.Match {
+	out := make([]server.Match, len(ms))
+	for i, m := range ms {
+		out[i] = server.Match{Schema: m.Schema, Result: m.Result}
+	}
+	return out
+}
+
+// topKOpts builds the MatchAll options for a server-side topK.
+func topKOpts(topK int) []MatchAllOption {
+	if topK > 0 {
+		return []MatchAllOption{TopK(topK)}
+	}
+	return nil
+}
+
+// singleBackend adapts (Repository, Engine) to server.Backend.
+type singleBackend struct {
+	repo   *Repository
+	engine *Engine
+}
+
+func (b *singleBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server.Match, error) {
+	ms, err := b.repo.MatchIncoming(b.engine, incoming, topKOpts(topK)...)
+	if err != nil {
+		return nil, err
+	}
+	return toServerMatches(ms), nil
+}
+
+func (b *singleBackend) PutSchema(s *schema.Schema) (bool, error) {
+	// The analysis cache is keyed by schema identity; drop the replaced
+	// instance's entry so a long-running server doesn't accumulate dead
+	// analyses across re-imports. SwapSchema reports that instance
+	// atomically, so concurrent imports of one name each invalidate
+	// exactly the instance they displaced.
+	prev, err := b.repo.SwapSchema(s)
+	if err != nil {
+		return false, err
+	}
+	if prev != nil {
+		b.engine.Invalidate(prev)
+	}
+	return prev != nil, nil
+}
+
+func (b *singleBackend) DeleteSchema(name string) (bool, error) {
+	prev, err := b.repo.TakeSchema(name)
+	if err != nil {
+		return false, err
+	}
+	if prev != nil {
+		b.engine.Invalidate(prev)
+	}
+	return prev != nil, nil
+}
+
+func (b *singleBackend) GetSchema(name string) (*schema.Schema, bool) { return b.repo.GetSchema(name) }
+func (b *singleBackend) SchemaNames() []string                        { return b.repo.SchemaNames() }
+func (b *singleBackend) Stats() RepositoryStats                       { return b.repo.Stats() }
+
+// shardedBackend adapts ShardedRepository to server.Backend.
+type shardedBackend struct {
+	repo *ShardedRepository
+}
+
+func (b *shardedBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server.Match, error) {
+	ms, err := b.repo.MatchIncoming(incoming, topKOpts(topK)...)
+	if err != nil {
+		return nil, err
+	}
+	return toServerMatches(ms), nil
+}
+
+func (b *shardedBackend) PutSchema(s *schema.Schema) (bool, error) {
+	prev, err := b.repo.SwapSchema(s)
+	if err != nil {
+		return false, err
+	}
+	if prev != nil {
+		// Every engine, not just the owning shard's: a stored schema
+		// matched as the incoming side had its index cached by the
+		// fan-out's first shard, wherever the schema itself lives.
+		b.repo.invalidateInstance(prev)
+	}
+	return prev != nil, nil
+}
+
+func (b *shardedBackend) DeleteSchema(name string) (bool, error) {
+	prev, err := b.repo.TakeSchema(name)
+	if err != nil {
+		return false, err
+	}
+	if prev != nil {
+		b.repo.invalidateInstance(prev)
+	}
+	return prev != nil, nil
+}
+
+func (b *shardedBackend) GetSchema(name string) (*schema.Schema, bool) { return b.repo.GetSchema(name) }
+func (b *shardedBackend) SchemaNames() []string                        { return b.repo.SchemaNames() }
+func (b *shardedBackend) Stats() RepositoryStats                       { return b.repo.Stats() }

@@ -1,0 +1,136 @@
+package coma
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/repository"
+)
+
+// ShardedRepository is the scale-out form of Repository: schemas,
+// mappings and cubes are distributed over N independent shard logs
+// (hash of the schema name), and every shard carries its own match
+// Engine — its own per-schema analysis cache — so shards analyze,
+// cache and serve independently. MatchIncoming fans the batch match
+// scheduler out across shards under one shared worker budget and
+// merges the per-shard rankings.
+//
+// A ShardedRepository with one shard behaves exactly like a Repository
+// driven by a single Engine; golden tests pin the outputs bit-identical
+// across shard counts.
+type ShardedRepository struct {
+	*repository.Sharded
+	engines []*Engine
+}
+
+// OpenShardedRepository opens (creating if necessary) an n-shard
+// repository rooted at dir. The opts configure every shard's engine
+// identically (matchers, strategy, worker bound); each shard still
+// owns a separate analysis cache.
+func OpenShardedRepository(dir string, shards int, opts ...Option) (*ShardedRepository, error) {
+	store, err := repository.OpenSharded(dir, shards)
+	if err != nil {
+		return nil, fmt.Errorf("coma: open sharded repository %s: %w", dir, err)
+	}
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		if engines[i], err = NewEngine(opts...); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	// The auxiliary sources (dictionary, type table, taxonomy) are
+	// read-only shared vocabulary: point every shard at the first
+	// engine's instances — built from the same opts, so same content —
+	// which lets the batch fan-out analyze an incoming schema once for
+	// all shards. The analysis caches (one Analyzer per engine) stay
+	// per shard.
+	lead := engines[0].o.ctx
+	for _, e := range engines[1:] {
+		e.o.ctx.Dict = lead.Dict
+		e.o.ctx.Types = lead.Types
+		e.o.ctx.Taxonomy = lead.Taxonomy
+	}
+	return &ShardedRepository{Sharded: store, engines: engines}, nil
+}
+
+// ShardEngine returns the i-th shard's engine, e.g. to front-load
+// analysis (Engine.Analyze) of schemas known to live in that shard.
+func (r *ShardedRepository) ShardEngine(i int) *Engine { return r.engines[i] }
+
+// InvalidateAnalyses drops every shard engine's cached analyses — the
+// blunt consistency hammer after bulk schema mutation.
+func (r *ShardedRepository) InvalidateAnalyses() {
+	for _, e := range r.engines {
+		e.Invalidate(nil)
+	}
+}
+
+// invalidateInstance drops one schema instance's cached analysis from
+// every shard engine. A schema's index can live outside its own
+// shard's cache: MatchIncoming analyzes the incoming schema through
+// the fan-out's first shard, whichever shard stores it.
+func (r *ShardedRepository) invalidateInstance(s *Schema) {
+	for _, e := range r.engines {
+		e.Invalidate(s)
+	}
+}
+
+// MatchIncoming matches an incoming schema against every schema stored
+// in any shard — the sharded form of Repository.MatchIncoming, and the
+// network server's core operation. Each shard's candidates are
+// analyzed and matched through that shard's engine (per-shard analysis
+// caches stay warm across calls), all pairs share one worker budget,
+// and the per-shard rankings are merged by descending combined schema
+// similarity (name breaking ties). With TopK(n), each shard prunes to
+// its n best before the merged ranking is cut to n again — the global
+// shortlist is always a subset of the per-shard ones, so results are
+// bit-identical to the single-store path.
+func (r *ShardedRepository) MatchIncoming(incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, error) {
+	var o matchAllOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	shards := make([]core.Shard, len(r.engines))
+	for i, e := range r.engines {
+		stored := r.ShardSchemas(i)
+		candidates := stored[:0:0]
+		for _, s := range stored {
+			if s.Name != incoming.Name {
+				candidates = append(candidates, s)
+			}
+		}
+		shards[i] = core.Shard{Ctx: e.o.ctx, Candidates: candidates}
+	}
+	lead := r.engines[0].o
+	results, err := core.MatchSharded(incoming, shards, core.Config{
+		Matchers: lead.matchers,
+		Strategy: lead.strategy,
+		Feedback: lead.feedback,
+		Workers:  lead.workers,
+	}, core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
+	if err != nil {
+		return nil, err
+	}
+	var out []IncomingMatch
+	for si, shardResults := range results {
+		for ci, res := range shardResults {
+			if res != nil {
+				out = append(out, IncomingMatch{Schema: shards[si].Candidates[ci], Result: res})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Result.SchemaSim != out[j].Result.SchemaSim {
+			return out[i].Result.SchemaSim > out[j].Result.SchemaSim
+		}
+		return out[i].Schema.Name < out[j].Schema.Name
+	})
+	if o.topK > 0 && len(out) > o.topK {
+		out = out[:o.topK]
+	}
+	return out, nil
+}
