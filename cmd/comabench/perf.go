@@ -201,6 +201,39 @@ func measurePerf() perfReport {
 			}
 		}
 	})
+	// Repeated matching of one retained incoming schema against a
+	// stable candidate store — the cache-lifecycle acceptance
+	// comparison. Both variants pin the incoming analysis (Analyze), so
+	// the only difference is column lifetime: cold re-scores every
+	// distinct-name similarity column per batch (the per-batch cache of
+	// PR 3/4), warm-colcache persists the columns at engine scope and
+	// every round past the first runs on warm columns.
+	add("MatchRepeat/cold", func(b *testing.B) {
+		engine, err := coma.NewEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.Analyze(incs[0])
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.MatchAll(incs[0], bcands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("MatchRepeat/warm-colcache", func(b *testing.B) {
+		engine, err := coma.NewEngine(coma.WithPersistentColumnCache())
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.Analyze(incs[0])
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.MatchAll(incs[0], bcands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// The served workload: the same 16-candidate store behind the
 	// comaserve HTTP front-end, hammered by 4 concurrent clients with
 	// phase-shifted request streams (workload.Clients). ns/op is the
@@ -311,6 +344,14 @@ func measurePerf() perfReport {
 		if four, ok := byName["MatchServe/4shard"]; ok {
 			fmt.Fprintf(os.Stderr, "# MatchServe 4-shard vs single-shard: %.2fx time per request\n",
 				four.NsPerOp/one.NsPerOp)
+		}
+	}
+	// The cache-lifecycle acceptance comparison: warm engine-scoped
+	// columns must beat the per-batch cache on repeated batches.
+	if warm, ok := byName["MatchRepeat/warm-colcache"]; ok && warm.NsPerOp > 0 {
+		if cold, ok := byName["MatchRepeat/cold"]; ok {
+			fmt.Fprintf(os.Stderr, "# MatchRepeat warm colcache vs per-batch: %.2fx time, %.2fx allocs\n",
+				cold.NsPerOp/warm.NsPerOp, float64(cold.AllocsPerOp)/float64(warm.AllocsPerOp))
 		}
 	}
 	return report

@@ -23,6 +23,14 @@
 // reopening with a different count fails. -workers bounds both the
 // match scheduler's parallelism and the number of concurrently
 // executing match requests.
+//
+// Cache lifecycle: inline schemas posted to /match are analyzed per
+// request and their analyses evicted at batch end (stored schemas stay
+// pinned and warm), -analyzer-limit additionally bounds each engine's
+// analysis cache as a backstop (0 disables the bound), and the
+// engine-scoped persistent column cache — warm name-similarity columns
+// across repeated matches of a stored schema — is on by default
+// (-colcache=false restores per-batch column reuse).
 package main
 
 import (
@@ -42,13 +50,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8402", "listen address")
-		repoDir = flag.String("repo", "coma.shards", "sharded repository directory")
-		shards  = flag.Int("shards", 4, "shard count (fixed when the repository is created)")
-		workers = flag.Int("workers", 0, "match worker bound and in-flight match limit (0 = all CPUs)")
+		addr     = flag.String("addr", ":8402", "listen address")
+		repoDir  = flag.String("repo", "coma.shards", "sharded repository directory")
+		shards   = flag.Int("shards", 4, "shard count (fixed when the repository is created)")
+		workers  = flag.Int("workers", 0, "match worker bound and in-flight match limit (0 = all CPUs)")
+		anLimit  = flag.Int("analyzer-limit", 256, "per-engine bound on cached transient schema analyses (0 = unbounded)")
+		colcache = flag.Bool("colcache", true, "persist name-similarity columns across batches (engine-scoped column cache)")
 	)
 	flag.Parse()
-	if err := run(*addr, *repoDir, *shards, *workers, flag.Args(), nil); err != nil {
+	if err := run(*addr, *repoDir, *shards, *workers, *anLimit, *colcache, flag.Args(), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "comaserve:", err)
 		os.Exit(1)
 	}
@@ -58,8 +68,15 @@ func main() {
 // positional arguments, and serves until SIGINT/SIGTERM. When ready is
 // non-nil it receives the bound listen address once the server accepts
 // connections (tests listen on ":0").
-func run(addr, repoDir string, shards, workers int, preload []string, ready chan<- string) error {
-	repo, err := coma.OpenShardedRepository(repoDir, shards, coma.WithWorkers(workers))
+func run(addr, repoDir string, shards, workers, anLimit int, colcache bool, preload []string, ready chan<- string) error {
+	opts := []coma.Option{coma.WithWorkers(workers)}
+	if anLimit > 0 {
+		opts = append(opts, coma.WithAnalyzerLimit(anLimit))
+	}
+	if colcache {
+		opts = append(opts, coma.WithPersistentColumnCache())
+	}
+	repo, err := coma.OpenShardedRepository(repoDir, shards, opts...)
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/dict"
@@ -175,6 +176,11 @@ type Options struct {
 	ctx      *match.Context
 	feedback *Feedback
 	workers  int
+	// analyzerLimit > 0 bounds the engine's analysis cache (LRU over
+	// unpinned entries); persistCols installs the engine-scoped
+	// persistent column cache.
+	analyzerLimit int
+	persistCols   bool
 }
 
 // Option adjusts match options.
@@ -253,6 +259,38 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithAnalyzerLimit bounds the engine's per-schema analysis cache to n
+// entries: beyond it, the least recently used analyses of transient
+// (unpinned) schemas are evicted. Stored schemas — pinned by the
+// repository backends and by Engine.Analyze — are exempt. The limit is
+// a backstop against transient analyses escaping the batch scheduler's
+// end-of-batch eviction; comaserve enables it by default.
+func WithAnalyzerLimit(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return fmt.Errorf("coma: non-positive analyzer limit %d", n)
+		}
+		o.analyzerLimit = n
+		return nil
+	}
+}
+
+// WithPersistentColumnCache promotes the batch scheduler's per-batch
+// distinct-name column cache to engine scope: scored similarity
+// columns survive across MatchAll batches and repeated single Matches
+// whose incoming schema is retained (stored, or front-loaded with
+// Engine.Analyze), so repeated matching against a stable store stops
+// re-scoring name columns per batch. Results are bit-identical —
+// column values are pure functions of the name pair, the incoming
+// analysis and the auxiliary sources, and the cache self-invalidates
+// when any of them change. comaserve enables it by default.
+func WithPersistentColumnCache() Option {
+	return func(o *Options) error {
+		o.persistCols = true
+		return nil
+	}
+}
+
 func buildOptions(opts []Option) (*Options, error) {
 	o := &Options{
 		strategy: combine.Default(),
@@ -265,6 +303,12 @@ func buildOptions(opts []Option) (*Options, error) {
 	}
 	if o.matchers == nil {
 		o.matchers = core.DefaultConfig().Matchers
+	}
+	if o.analyzerLimit > 0 {
+		o.ctx.Analyzer = analysis.NewAnalyzerWithLimit(o.analyzerLimit)
+	}
+	if o.persistCols {
+		o.ctx.Columns = match.NewColumnCache(0)
 	}
 	return o, nil
 }
@@ -307,19 +351,65 @@ func NewEngine(opts ...Option) (*Engine, error) {
 
 // Analyze precomputes the engine's analysis index for a schema (path
 // enumerations, name profiles, dictionary hit-sets, type classes) so
-// that subsequent Match calls find it cached. Matching without calling
-// Analyze is fine — the first Match analyzes on demand; Analyze exists
-// to front-load the cost, e.g. when schemas are imported ahead of a
-// matching burst. Call Invalidate after structurally modifying a
-// schema.
-func (e *Engine) Analyze(s *Schema) { e.o.ctx.Index(s) }
+// that subsequent Match calls find it cached, and pins the schema as
+// retained: its analysis survives the batch scheduler's end-of-batch
+// eviction and any analyzer capacity bound until Release. Analyze is
+// for long-lived schemas (a store's members, a schema matched across
+// many bursts); do NOT call it per request on throwaway schemas —
+// every pin is exempt from WithAnalyzerLimit until Release, so
+// unreleased per-request pins re-create the leak the limit prevents.
+// Transient schemas need no front-loading: the first Match analyzes
+// on demand and the batch evicts at its end. Call Invalidate after
+// structurally modifying a schema.
+func (e *Engine) Analyze(s *Schema) {
+	e.Pin(s)
+	e.o.ctx.Index(s)
+}
+
+// Pin marks a schema as retained without analyzing it: its cached
+// analysis (once built) is kept across batches and exempt from the
+// analyzer capacity bound until Release. The repository backends pin
+// every stored schema, which is what distinguishes a stored incoming
+// schema (analysis stays warm) from a served inline one (analysis is
+// evicted at batch end). Pinning is idempotent: however many times a
+// schema was pinned, a single Release makes it transient again.
+func (e *Engine) Pin(s *Schema) {
+	if a := e.o.ctx.Analyzer; a != nil {
+		a.Pin(s)
+	}
+}
+
+// Release undoes Pin (or Analyze): the schema's analysis becomes
+// transient again — evicted at the end of the next batch that uses it
+// as the incoming side, and subject to the analyzer capacity bound.
+func (e *Engine) Release(s *Schema) {
+	if a := e.o.ctx.Analyzer; a != nil {
+		a.Release(s)
+	}
+}
 
 // Invalidate drops the engine's cached analysis of a schema (or of
-// all schemas when s is nil).
+// all schemas when s is nil), along with any persistent similarity
+// columns scored against that analysis. Pins survive: a pinned
+// schema's next analysis is retained again.
 func (e *Engine) Invalidate(s *Schema) {
 	if a := e.o.ctx.Analyzer; a != nil {
 		a.Invalidate(s)
 	}
+	if cc := e.o.ctx.Columns; cc != nil {
+		cc.Invalidate(s)
+	}
+}
+
+// CachedAnalyses returns the number of schema analyses the engine
+// currently caches. Serving tests assert with it that inline-schema
+// analyses die with their request: after any burst of inline matches,
+// the count stays at the number of stored (pinned) schemas.
+func (e *Engine) CachedAnalyses() int {
+	if a := e.o.ctx.Analyzer; a != nil {
+		return a.Len()
+	}
+	return 0
 }
 
 // Match performs one automatic match operation with the engine's

@@ -44,6 +44,7 @@ package analysis
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/schema"
@@ -157,12 +158,22 @@ type SchemaIndex struct {
 	// (new synonyms, remapped type names) invalidates the index even
 	// though the pointers still match.
 	dictVersion, taxVersion, typesVersion int64
+	// schemaVersion is the schema's mutation counter at build time;
+	// Valid compares it against Schema.Version so a structural edit
+	// followed by Schema.Invalidate is caught without re-enumerating
+	// paths (and even when the edit leaves the path count intact).
+	schemaVersion int64
 }
 
 // NewIndex analyzes a schema against the given sources. The schema's
 // path enumeration is captured as-is; see the package comment for the
 // lifecycle contract.
 func NewIndex(s *schema.Schema, src Sources) *SchemaIndex {
+	// Capture the mutation version BEFORE enumerating: an Invalidate
+	// landing between the two leaves the index stamped with the older
+	// version, so Valid errs toward a rebuild instead of accepting a
+	// half-mutated snapshot forever.
+	schemaVersion := s.Version()
 	paths := s.Paths()
 	n := len(paths)
 	x := &SchemaIndex{
@@ -182,6 +193,7 @@ func NewIndex(s *schema.Schema, src Sources) *SchemaIndex {
 	}
 
 	types := src.types()
+	x.schemaVersion = schemaVersion
 	x.dictVersion = src.Dict.Version()
 	x.taxVersion = src.Taxonomy.Version()
 	x.typesVersion = src.Types.Version()
@@ -310,22 +322,21 @@ func (x *SchemaIndex) LeafSet(i int) (lo, hi int) {
 }
 
 // Valid reports whether the index still describes the schema's
-// current path enumeration and was built against the given sources in
-// their current state (same instances, same mutation versions).
+// current structure (same mutation version — every structural edit
+// bumps it through Schema.Invalidate) and was built against the given
+// sources in their current state (same instances, same mutation
+// versions). The version comparisons are side-effect free: a stale
+// index is detected without re-enumerating the schema's paths.
 func (x *SchemaIndex) Valid(s *schema.Schema, src Sources) bool {
 	if x == nil || x.Schema != s || x.Src != src {
 		return false
 	}
-	if x.dictVersion != src.Dict.Version() ||
-		x.taxVersion != src.Taxonomy.Version() ||
-		x.typesVersion != src.Types.Version() {
+	if x.schemaVersion != s.Version() {
 		return false
 	}
-	ps := s.Paths()
-	if len(ps) != len(x.Paths) {
-		return false
-	}
-	return len(ps) == 0 || &ps[0] == &x.Paths[0]
+	return x.dictVersion == src.Dict.Version() &&
+		x.taxVersion == src.Taxonomy.Version() &&
+		x.typesVersion == src.Types.Version()
 }
 
 // Analyzer caches one SchemaIndex per schema so that the analysis
@@ -333,30 +344,71 @@ func (x *SchemaIndex) Valid(s *schema.Schema, src Sources) bool {
 // k matchers of one operation, across repeated Match calls on the
 // same schema (the repository/reuse scenario), and across the
 // evaluation harness's whole series grid. It is safe for concurrent
-// use; the zero value is not usable, construct with NewAnalyzer.
+// use; the zero value is not usable, construct with NewAnalyzer or
+// NewAnalyzerWithLimit.
+//
+// # Entry lifetime
+//
+// By default every analyzed schema stays cached until Invalidate — the
+// right policy for a fixed working set (a repository's stored schemas,
+// an evaluation grid), and a leak for request-scoped schemas: a server
+// matching inline uploads would retain one entry per request forever.
+// Two mechanisms bound the cache:
+//
+//   - Pin/Release mark long-lived instances (stored schemas). Evict —
+//     called by the batch scheduler for the incoming schema at batch
+//     end — drops an entry unless it is pinned, so request-scoped
+//     indexes die with their batch while stored ones stay warm.
+//   - NewAnalyzerWithLimit adds a capacity backstop: when the number of
+//     unpinned cached indexes exceeds the limit, the least recently
+//     used unpinned entries are evicted. Pinned entries are exempt and
+//     do not count toward the limit.
 type Analyzer struct {
 	mu      sync.Mutex
 	entries map[*schema.Schema]*analyzerEntry
+	// limit bounds the number of unpinned cached indexes (0 = no
+	// bound); pinned entries are exempt.
+	limit int
+	// seq is the LRU clock: every Index access stamps the entry.
+	seq int64
 }
 
 // analyzerEntry serializes builds per schema: concurrent Index calls
 // on different schemas analyze in parallel, while calls on the same
 // schema block on one build (which also guards the schema's lazy path
-// enumeration against concurrent first use).
+// enumeration against concurrent first use). The index pointer is
+// atomic so map-level operations (eviction scans, Len) read it without
+// taking the build lock.
 type analyzerEntry struct {
 	mu  sync.Mutex
-	idx *SchemaIndex
+	idx atomic.Pointer[SchemaIndex]
+	// pinned and lastUse are guarded by Analyzer.mu.
+	pinned  bool
+	lastUse int64
 }
 
-// NewAnalyzer returns an empty analysis cache.
+// NewAnalyzer returns an empty, unbounded analysis cache.
 func NewAnalyzer() *Analyzer {
 	return &Analyzer{entries: make(map[*schema.Schema]*analyzerEntry)}
 }
 
+// NewAnalyzerWithLimit returns an analysis cache that retains at most
+// limit unpinned indexes, evicting least-recently-used ones beyond
+// that; limit <= 0 means unbounded. Pinned entries are exempt from the
+// bound. The limit is a backstop for transient schemas that escape the
+// batch scheduler's end-of-batch eviction; size it at a multiple of
+// the expected concurrent transient set, not the stored working set.
+func NewAnalyzerWithLimit(limit int) *Analyzer {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Analyzer{entries: make(map[*schema.Schema]*analyzerEntry), limit: limit}
+}
+
 // Index returns the cached index for the schema, building it on first
-// use. A cached index whose path enumeration went stale (the schema
-// was modified and re-enumerated) or whose sources differ or were
-// mutated is rebuilt transparently.
+// use. A cached index that went stale — the schema was structurally
+// modified (and Invalidate'd), or the sources differ or were mutated —
+// is rebuilt transparently.
 func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 	a.mu.Lock()
 	e := a.entries[s]
@@ -364,24 +416,161 @@ func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 		e = &analyzerEntry{}
 		a.entries[s] = e
 	}
+	a.seq++
+	e.lastUse = a.seq
 	a.mu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.idx.Valid(s, src) {
-		e.idx = NewIndex(s, src)
+	idx := e.idx.Load()
+	rebuilt := false
+	// The build runs under a deferred unlock so a panicking NewIndex
+	// (pathological schema) cannot strand the per-schema build lock —
+	// a permanently held e.mu would deadlock every later Index call on
+	// this schema.
+	func() {
+		defer e.mu.Unlock()
+		if !idx.Valid(s, src) {
+			idx = NewIndex(s, src)
+			e.idx.Store(idx)
+			rebuilt = true
+		}
+	}()
+	if rebuilt {
+		a.enforceLimit()
 	}
-	return e.idx
+	return idx
+}
+
+// enforceLimit evicts least-recently-used unpinned indexes while more
+// than limit are cached.
+func (a *Analyzer) enforceLimit() {
+	if a.limit <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		over := -a.limit
+		var victim *schema.Schema
+		var victimUse int64
+		for s, e := range a.entries {
+			if e.pinned || e.idx.Load() == nil {
+				continue
+			}
+			over++
+			if victim == nil || e.lastUse < victimUse {
+				victim, victimUse = s, e.lastUse
+			}
+		}
+		if over <= 0 || victim == nil {
+			return
+		}
+		delete(a.entries, victim)
+	}
+}
+
+// Pin marks a schema as long-lived: its cached index survives Evict
+// and the capacity bound until Release. Pinning is idempotent — a
+// schema is pinned or not, and one Release unpins it regardless of
+// how many Pins preceded (so re-mounting a server handler or calling
+// Analyze repeatedly can never strand a deleted schema's entry behind
+// leftover pins). Pin does not build the index — pair with Index (or
+// the engine's Analyze) to front-load analysis.
+func (a *Analyzer) Pin(s *schema.Schema) {
+	if s == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entries[s]
+	if e == nil {
+		e = &analyzerEntry{}
+		a.entries[s] = e
+	}
+	e.pinned = true
+}
+
+// Release unpins a schema. The index (if any) stays cached but
+// becomes evictable again; a never-analyzed entry is dropped
+// entirely.
+func (a *Analyzer) Release(s *schema.Schema) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entries[s]
+	if e == nil {
+		return
+	}
+	e.pinned = false
+	if e.idx.Load() == nil {
+		delete(a.entries, s)
+	}
+}
+
+// Pinned reports whether the schema is currently pinned.
+func (a *Analyzer) Pinned(s *schema.Schema) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entries[s]
+	return e != nil && e.pinned
+}
+
+// Evict drops the cached index of a transient schema; pinned schemas
+// are left untouched. It reports whether an entry was dropped. The
+// batch schedulers call it for the incoming schema at batch end, so a
+// served inline schema's analysis dies with its request instead of
+// accumulating in every engine that touched it.
+func (a *Analyzer) Evict(s *schema.Schema) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entries[s]
+	if e == nil || e.pinned {
+		return false
+	}
+	delete(a.entries, s)
+	return true
 }
 
 // Invalidate drops the cached index of a schema (or all schemas when
 // s is nil); call it after structurally modifying a schema that may
-// be matched again.
+// be matched again. Pins survive: a pinned schema's entry stays (and
+// stays exempt from eviction), only its stale index is dropped.
 func (a *Analyzer) Invalidate(s *schema.Schema) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if s == nil {
-		clear(a.entries)
+		for k, e := range a.entries {
+			a.dropLocked(k, e)
+		}
+		return
+	}
+	if e := a.entries[s]; e != nil {
+		a.dropLocked(s, e)
+	}
+}
+
+// dropLocked removes one entry's index under a.mu: unpinned entries
+// are deleted; pinned ones are replaced by a fresh index-less entry
+// carrying the pin (replaced rather than mutated, so a build racing
+// on the old entry publishes into an orphan instead of resurrecting a
+// dropped index).
+func (a *Analyzer) dropLocked(s *schema.Schema, e *analyzerEntry) {
+	if e.pinned {
+		a.entries[s] = &analyzerEntry{pinned: true, lastUse: e.lastUse}
 		return
 	}
 	delete(a.entries, s)
+}
+
+// Len returns the number of cached indexes (entries that currently
+// hold a built index; bare pins do not count). Serving tests assert
+// with it that inline-schema analyses do not accumulate.
+func (a *Analyzer) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, e := range a.entries {
+		if e.idx.Load() != nil {
+			n++
+		}
+	}
+	return n
 }

@@ -90,6 +90,17 @@ func ExecuteMatchers(ctx *match.Context, s1, s2 *schema.Schema, matchers []match
 	// per-element artifact.
 	idx1, idx2 := ctx.Index(s1), ctx.Index(s2)
 	ctx = ctx.WithIndexes(idx1, idx2)
+	if ctx.Columns != nil && ctx.Pinned(s1) {
+		// Engine-scoped column reuse for the single-pair path: repeated
+		// matches of one retained incoming schema against changing
+		// partners share scored distinct-name columns exactly like the
+		// pairs of one batch do (same purity argument — the incoming
+		// index freezes names and source versions). Transient schemas
+		// are excluded for the same reason MatchSharded excludes them:
+		// persisting columns keyed by a short-lived index would retain
+		// dead indexes until LRU turnover.
+		ctx = ctx.WithBatchCache(ctx.Columns.ForIncoming(idx1))
+	}
 	cube := simcube.NewCube(idx1.Keys, idx2.Keys)
 	layers := make([]*simcube.Matrix, len(matchers))
 	if ctx != nil && ctx.Workers == 1 || len(matchers) == 1 {

@@ -96,9 +96,31 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 			caches[si] = caches[0]
 		} else {
 			idx1s[si] = bctxs[si].Index(incoming)
-			caches[si] = match.NewBatchCache()
+			// A retained incoming schema (pinned = stored) draws on the
+			// engine-scoped persistent column cache, so a later batch —
+			// or a repeated single match — with the same incoming finds
+			// its columns warm. A transient incoming keeps the per-batch
+			// cache: its index is evicted below, and persisting columns
+			// keyed by a dying index would just re-create the leak one
+			// layer up.
+			if cc := bctxs[si].Columns; cc != nil && bctxs[si].Pinned(incoming) {
+				caches[si] = cc.ForIncoming(idx1s[si])
+			} else {
+				caches[si] = match.NewBatchCache()
+			}
 		}
 	}
+	// Cache lifecycle: the incoming schema of a batch is usually
+	// request-scoped (a served inline schema); without eviction every
+	// batch leaks one analyzer entry per engine that analyzed it, at
+	// request rate in a long-running server. Stored schemas are pinned
+	// by their engines and keep their analyses warm. Runs on every
+	// exit path — an errored batch must not leak either.
+	defer func() {
+		for _, bctx := range bctxs {
+			bctx.EvictTransient(incoming)
+		}
+	}()
 
 	var (
 		mu       sync.Mutex

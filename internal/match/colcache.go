@@ -1,0 +1,140 @@
+package match
+
+import (
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/schema"
+)
+
+// DefaultColumnCacheIncoming is the default bound on the number of
+// distinct incoming-schema indexes a ColumnCache retains columns for.
+const DefaultColumnCacheIncoming = 8
+
+// maxPersistentColumnBytes bounds one incoming entry's column
+// storage: when the candidate name population churns without end
+// (stored schemas replaced at request rate), the entry flushes and
+// rebuilds instead of growing one column per name ever seen. The
+// bound is in bytes — a wide incoming schema holds proportionally
+// fewer columns — so eight retained entries cost at most ~64 MiB.
+// persistentColumnLimit converts it to a column-count limit for one
+// incoming index, keeping at least a useful floor for very wide
+// schemas (a stable store's distinct-name count stays far below any
+// of this, so it never flushes).
+const maxPersistentColumnBytes = 8 << 20
+
+func persistentColumnLimit(idx *analysis.SchemaIndex) int {
+	width := max(len(idx.Names), len(idx.LongNames), 1)
+	return max(maxPersistentColumnBytes/(8*width), 64)
+}
+
+// ColumnCache is the engine-scoped form of BatchCache: one column
+// cache per incoming-schema index, persistent across MatchAll batches
+// and repeated single Matches on the same engine. A cached column —
+// the similarity of one candidate name against every distinct
+// incoming name — is a pure function of (matcher configuration,
+// incoming index, candidate name, auxiliary sources); the incoming
+// index freezes the incoming names and the sources' versions, so
+// keying per index makes reuse across batches exactly as sound as the
+// per-batch cache's reuse across pairs. Repeated matching against a
+// stable store therefore stops re-scoring distinct-name columns per
+// batch: the second MatchIncoming with the same (retained) incoming
+// schema finds every column warm.
+//
+// Lifecycle: entries self-invalidate — an entry whose index no longer
+// describes its schema (structural edit + Invalidate) or whose sources
+// were mutated (dictionary/taxonomy/type-table version bump) is
+// dropped on the next access. Invalidate drops entries eagerly (the
+// engine forwards its own Invalidate calls, which the server's
+// PUT/DELETE handlers in turn drive), at most limit incoming indexes
+// are retained (least recently used first out), and each entry's
+// column storage is byte-capped (maxPersistentColumnBytes, epoch
+// flush) so endless candidate-name churn cannot grow an entry without
+// bound. Safe for concurrent use.
+type ColumnCache struct {
+	mu      sync.Mutex
+	limit   int
+	seq     int64
+	entries map[*analysis.SchemaIndex]*colEntry
+}
+
+type colEntry struct {
+	bc      *BatchCache
+	lastUse int64
+}
+
+// NewColumnCache returns an empty engine-scoped column cache retaining
+// columns for at most limit distinct incoming indexes (<= 0 selects
+// DefaultColumnCacheIncoming).
+func NewColumnCache(limit int) *ColumnCache {
+	if limit <= 0 {
+		limit = DefaultColumnCacheIncoming
+	}
+	return &ColumnCache{limit: limit, entries: make(map[*analysis.SchemaIndex]*colEntry)}
+}
+
+// ForIncoming returns the column cache bound to one incoming index,
+// creating it on first use. Stale entries (index no longer valid for
+// its schema and sources) are pruned on every call, and the least
+// recently used entries are evicted beyond the cache's limit.
+func (cc *ColumnCache) ForIncoming(idx *analysis.SchemaIndex) *BatchCache {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for k := range cc.entries {
+		if !k.Valid(k.Schema, k.Src) {
+			delete(cc.entries, k)
+		}
+	}
+	e := cc.entries[idx]
+	if e == nil {
+		e = &colEntry{bc: &BatchCache{
+			cols:  make(map[batchKey][]float64),
+			limit: persistentColumnLimit(idx),
+		}}
+		cc.entries[idx] = e
+		for len(cc.entries) > cc.limit {
+			var victim *analysis.SchemaIndex
+			var victimUse int64
+			for k, v := range cc.entries {
+				if k == idx {
+					continue
+				}
+				if victim == nil || v.lastUse < victimUse {
+					victim, victimUse = k, v.lastUse
+				}
+			}
+			if victim == nil {
+				break
+			}
+			delete(cc.entries, victim)
+		}
+	}
+	cc.seq++
+	e.lastUse = cc.seq
+	return e.bc
+}
+
+// Invalidate drops every entry whose incoming schema is s (all entries
+// when s is nil). The engine forwards its Invalidate here so columns
+// scored against a schema's old structure never survive the schema.
+func (cc *ColumnCache) Invalidate(s *schema.Schema) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if s == nil {
+		clear(cc.entries)
+		return
+	}
+	for k := range cc.entries {
+		if k.Schema == s {
+			delete(cc.entries, k)
+		}
+	}
+}
+
+// Len returns the number of incoming indexes currently holding cached
+// columns.
+func (cc *ColumnCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.entries)
+}

@@ -54,6 +54,12 @@ type Context struct {
 	// exactly once. A zero-value Context (nil Analyzer) builds a
 	// throwaway index per request instead.
 	Analyzer *analysis.Analyzer
+	// Columns, when set, is the engine-scoped persistent column cache:
+	// distinct-name similarity columns survive across batches and
+	// repeated single matches whose incoming schema's index is
+	// retained by the Analyzer. Nil (the default) keeps column reuse
+	// per batch only.
+	Columns *ColumnCache
 	// idx1, idx2 are the indexes of the current match's two schemas,
 	// installed by the engine (WithIndexes) so every matcher of one
 	// execution shares them without consulting the analyzer cache.
@@ -157,20 +163,31 @@ func (c *Context) acquireGrid(n int) []float64 { return c.Arena().AcquireFloats(
 func (c *Context) releaseGrid(g []float64) { c.Arena().ReleaseFloats(g) }
 
 // BatchCache memoizes scored distinct-name similarity columns across
-// the pairs of one batch match. All pairs of a batch share the same
-// incoming schema, matcher set and auxiliary sources, so the column of
+// the pairs sharing one incoming schema analysis. The column of
 // similarities between every incoming distinct name and one candidate
-// name is a pure function of the candidate name alone — two candidates
-// (or two batch rounds) sharing a name share the column. Safe for
-// concurrent use; a column raced by two pairs is computed twice with
-// identical values and stored once.
+// name is a pure function of (matcher configuration, incoming index,
+// candidate name, auxiliary sources) — two candidates (or two batch
+// rounds, or two batches over the same retained incoming index)
+// sharing a name share the column. Safe for concurrent use; a column
+// raced by two pairs is computed twice with identical values and
+// stored once.
 //
-// The cache must not outlive the batch's incoming schema, matcher
-// configuration or sources: the scheduler creates one per MatchAll
-// call and drops it with the batch.
+// The cache must not outlive its incoming schema analysis, matcher
+// configuration or sources. Two lifetimes satisfy that: the batch
+// scheduler creates one per MatchAll call for a transient incoming
+// schema and drops it with the batch, and ColumnCache keys one per
+// retained incoming index — whose immutability freezes the incoming
+// names and source versions — dropping it when the index goes stale.
 type BatchCache struct {
 	mu   sync.RWMutex
 	cols map[batchKey][]float64
+	// limit, when positive, flushes the whole column map when it grows
+	// past limit entries — the backstop that keeps a persistent
+	// (engine-scoped) cache bounded when the candidate name population
+	// churns without end (stored schemas replaced at request rate).
+	// Per-batch caches are naturally bounded by the batch and carry no
+	// limit.
+	limit int
 }
 
 // batchKey identifies one cached column: the scoring matcher identity
@@ -215,6 +232,11 @@ func (bc *BatchCache) column(owner any, set int8, name string, n int, compute fu
 	if prev := bc.cols[key]; prev != nil {
 		col = prev
 	} else {
+		if bc.limit > 0 && len(bc.cols) >= bc.limit {
+			// Epoch flush: cheaper and simpler than tracking per-column
+			// recency, and correct — every column is recomputable.
+			clear(bc.cols)
+		}
 		bc.cols[key] = col
 	}
 	bc.mu.Unlock()
@@ -241,6 +263,25 @@ func (c *Context) batchCache() *BatchCache {
 		return nil
 	}
 	return c.batch
+}
+
+// Pinned reports whether the schema is pinned in the context's
+// analyzer — the engine's marker for stored (long-lived) schemas. It
+// is how the batch scheduler distinguishes a retained incoming schema
+// (keep its analysis and persist its columns) from a request-scoped
+// one (evict at batch end).
+func (c *Context) Pinned(s *schema.Schema) bool {
+	return c != nil && c.Analyzer != nil && c.Analyzer.Pinned(s)
+}
+
+// EvictTransient drops the schema's cached analysis unless it is
+// pinned; a no-op without an analyzer. The batch schedulers call it
+// for the incoming schema at batch end so served inline schemas do
+// not leak one analyzer entry per request.
+func (c *Context) EvictTransient(s *schema.Schema) {
+	if c != nil && c.Analyzer != nil {
+		c.Analyzer.Evict(s)
+	}
 }
 
 // Sources returns the analysis sources corresponding to the context's

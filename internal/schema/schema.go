@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // LinkKind distinguishes the directed link types of the schema graph.
@@ -156,6 +157,16 @@ type Schema struct {
 
 	// paths caches the enumeration; invalidated by Invalidate.
 	paths []Path
+	// version counts Invalidate calls: every structural mutation is
+	// (per the Invalidate contract) followed by one, so consumers
+	// caching schema-derived state (analysis.SchemaIndex) compare the
+	// version they captured at build time against Version() instead of
+	// re-enumerating paths to detect staleness. Atomic because cache
+	// maintenance legally reads one schema's version while an
+	// unrelated schema is being matched (e.g. the engine-scoped column
+	// cache pruning stale entries) — mutating a schema during ITS own
+	// match remains forbidden.
+	version atomic.Int64
 }
 
 // New returns an empty schema whose root node carries the given name.
@@ -164,9 +175,20 @@ func New(name string) *Schema {
 	return &Schema{Name: name, Root: root}
 }
 
-// Invalidate discards cached derived state (path enumeration). Call it
-// after structurally modifying the graph.
-func (s *Schema) Invalidate() { s.paths = nil }
+// Invalidate discards cached derived state (path enumeration) and
+// bumps the schema's mutation version. Call it after structurally
+// modifying the graph — including in-place node edits (renames, type
+// changes) that leave the path count intact: the version bump is what
+// lets index caches detect such edits reliably.
+func (s *Schema) Invalidate() {
+	s.paths = nil
+	s.version.Add(1)
+}
+
+// Version returns the schema's mutation counter; it increases on every
+// Invalidate. A cached artifact built at version v is stale iff
+// Version() != v (assuming mutations honor the Invalidate contract).
+func (s *Schema) Version() int64 { return s.version.Load() }
 
 // Paths enumerates all element paths of the schema in depth-first,
 // insertion order: every sequence of nodes from the root following

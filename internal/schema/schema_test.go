@@ -243,3 +243,25 @@ func TestStringRendering(t *testing.T) {
 		t.Errorf("expected Address twice:\n%s", out)
 	}
 }
+
+// TestVersionBumpsOnInvalidate pins the mutation counter contract:
+// Version increases exactly on Invalidate (including via
+// SortChildren), so index caches can detect structural edits without
+// re-enumerating paths.
+func TestVersionBumpsOnInvalidate(t *testing.T) {
+	s := New("V")
+	s.Root.AddChild(NewNode("a"))
+	v0 := s.Version()
+	_ = s.Paths() // enumeration does not mutate the version
+	if s.Version() != v0 {
+		t.Error("Paths() must not bump the version")
+	}
+	s.Invalidate()
+	if s.Version() != v0+1 {
+		t.Errorf("Version after Invalidate = %d, want %d", s.Version(), v0+1)
+	}
+	s.SortChildren() // calls Invalidate internally
+	if s.Version() != v0+2 {
+		t.Errorf("Version after SortChildren = %d, want %d", s.Version(), v0+2)
+	}
+}

@@ -24,6 +24,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -75,6 +76,11 @@ type Config struct {
 	Workers int
 	// Shards is reported by /healthz (1 for a single-store backend).
 	Shards int
+	// MaxBodyBytes caps request bodies (PUT /schemas, POST /match);
+	// <= 0 selects DefaultMaxBodyBytes. An oversized upload is cut off
+	// at the cap and answered with a uniform JSON 413 instead of being
+	// buffered onto the heap.
+	MaxBodyBytes int64
 }
 
 // Server is the HTTP front-end. It implements http.Handler.
@@ -84,6 +90,8 @@ type Server struct {
 	mux     *http.ServeMux
 	// sem bounds concurrently executing match requests.
 	sem chan struct{}
+	// maxBody caps request bodies.
+	maxBody int64
 }
 
 // New builds a Server over the config's backend.
@@ -92,11 +100,16 @@ func New(cfg Config) *Server {
 	if shards <= 0 {
 		shards = 1
 	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	s := &Server{
 		backend: cfg.Backend,
 		shards:  shards,
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, match.ResolveWorkers(cfg.Workers)),
+		maxBody: maxBody,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /schemas", s.handleListSchemas)
@@ -110,9 +123,9 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// maxBodyBytes caps request bodies; schema documents are text and stay
-// far below this.
-const maxBodyBytes = 16 << 20
+// DefaultMaxBodyBytes is the default request body cap; schema
+// documents are text and stay far below this.
+const DefaultMaxBodyBytes = 16 << 20
 
 // writeJSON writes a JSON response with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -128,19 +141,32 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// readJSON decodes a bounded JSON request body into v.
-func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+// bodyError classifies a request body decode failure: 413 when the
+// body exceeded the server's cap (http.MaxBytesReader cuts the read
+// off before the oversized payload reaches the heap), 400 with the
+// given message otherwise.
+func bodyError(err error, format string, args ...any) (int, error) {
+	if maxErr := (*http.MaxBytesError)(nil); errors.As(err, &maxErr) {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+	}
+	return http.StatusBadRequest, fmt.Errorf(format, args...)
+}
+
+// readJSON decodes a bounded JSON request body into v, returning the
+// HTTP status the caller should answer a failure with.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("invalid JSON body: %w", err)
+		return bodyError(err, "invalid JSON body: %v", err)
 	}
 	// Trailing garbage after the document is a malformed request too.
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-		return fmt.Errorf("trailing data after JSON body")
+		return bodyError(err, "trailing data after JSON body")
 	}
-	return nil
+	return 0, nil
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -167,8 +193,8 @@ func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var p SchemaPayload
-	if err := readJSON(w, r, &p); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if status, err := s.readJSON(w, r, &p); err != nil {
+		writeError(w, status, "%v", err)
 		return
 	}
 	// The URL is authoritative for the name; a payload name, when
@@ -231,8 +257,8 @@ func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	var req MatchRequest
-	if err := readJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if status, err := s.readJSON(w, r, &req); err != nil {
+		writeError(w, status, "%v", err)
 		return
 	}
 	if req.TopK < 0 {

@@ -428,3 +428,61 @@ func TestServerChurn(t *testing.T) {
 		t.Errorf("schemas after churn = %d, want %d", h.Schemas, want)
 	}
 }
+
+// TestServerBodyTooLarge: an upload beyond the configured body cap is
+// answered with a uniform JSON 413 on both write endpoints instead of
+// being buffered onto the heap (satellite: request body bound).
+func TestServerBodyTooLarge(t *testing.T) {
+	b := newTestBackend(t)
+	ts := httptest.NewServer(server.New(server.Config{
+		Backend: b, Workers: 2, MaxBodyBytes: 2 << 10,
+	}))
+	t.Cleanup(ts.Close)
+
+	huge, err := json.Marshal(server.SchemaPayload{
+		Format: "sql",
+		Source: "CREATE TABLE T (a INT); -- " + strings.Repeat("x", 8<<10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(method, url string, body []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s %s: HTTP %d, want 413", method, url, resp.StatusCode)
+		}
+		var apiErr server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Errorf("%s %s: non-JSON 413 body: %v", method, url, err)
+		} else if apiErr.Error == "" {
+			t.Errorf("%s %s: empty error message", method, url)
+		}
+	}
+	check(http.MethodPut, ts.URL+"/schemas/Big", huge)
+
+	match, err := json.Marshal(server.MatchRequest{Schema: server.SchemaPayload{
+		Format: "sql",
+		Source: "CREATE TABLE T (a INT); -- " + strings.Repeat("y", 8<<10),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(http.MethodPost, ts.URL+"/match", match)
+
+	// A body under the cap still goes through the normal pipeline.
+	var info server.SchemaInfo
+	if code := doJSON(t, http.MethodPut, ts.URL+"/schemas/Small",
+		server.SchemaPayload{Format: "sql", Source: "CREATE TABLE PO.T (a INT);"}, &info); code != http.StatusCreated {
+		t.Errorf("small PUT under the cap: HTTP %d, want 201", code)
+	}
+}

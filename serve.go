@@ -11,8 +11,22 @@ import (
 // comaserve HTTP/JSON API (see package internal/server for the
 // endpoint contract): schema import and listing plus the batch match
 // of an incoming schema against every stored one, executed through e.
-// In-flight match requests are bounded by e's worker count.
+// In-flight match requests are bounded by e's worker count. Every
+// schema already stored is pinned in e's analysis cache — stored
+// analyses stay warm across requests, while inline incoming schemas'
+// analyses are evicted at batch end. Schemas added later through the
+// HTTP API are pinned by the backend; schemas slipped into the
+// repository directly (bypassing the handler) are served correctly
+// but stay unpinned — pin them via Engine.Pin if they will be matched
+// by name repeatedly. The mirror obligation holds for removal: a
+// schema deleted through the embedded repository API instead of HTTP
+// DELETE keeps its pin (and its cached analysis) until Engine.Release
+// — route store mutations through the served API, or pair direct ones
+// with Release+Invalidate.
 func (r *Repository) Handler(e *Engine) http.Handler {
+	for _, s := range r.Schemas() {
+		e.Pin(s)
+	}
 	return server.New(server.Config{
 		Backend: &singleBackend{repo: r, engine: e},
 		Workers: e.o.workers,
@@ -23,8 +37,17 @@ func (r *Repository) Handler(e *Engine) http.Handler {
 // Handler returns an http.Handler exposing the sharded repository over
 // the comaserve HTTP/JSON API. Matches fan out across the shards'
 // engines; in-flight match requests are bounded by the engines' worker
-// count.
+// count. Every stored schema is pinned in every shard engine's
+// analysis cache (a schema's analysis can live outside its own shard —
+// the fan-out analyzes the incoming side through the first shard), so
+// stored analyses stay warm while inline ones die with their request.
+// As with Repository.Handler, mutate the store through the served API:
+// direct repository adds stay unpinned, and direct deletes keep their
+// pin until released on every shard engine.
 func (r *ShardedRepository) Handler() http.Handler {
+	for _, s := range r.Schemas() {
+		r.pinInstance(s)
+	}
 	return server.New(server.Config{
 		Backend: &shardedBackend{repo: r},
 		Workers: r.engines[0].o.workers,
@@ -65,16 +88,23 @@ func (b *singleBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]serv
 }
 
 func (b *singleBackend) PutSchema(s *schema.Schema) (bool, error) {
-	// The analysis cache is keyed by schema identity; drop the replaced
-	// instance's entry so a long-running server doesn't accumulate dead
-	// analyses across re-imports. SwapSchema reports that instance
-	// atomically, so concurrent imports of one name each invalidate
-	// exactly the instance they displaced.
+	// Pin before storing: once SwapSchema publishes the instance, a
+	// concurrent match may already use it as the incoming side, and an
+	// unpinned stored schema would have its analysis evicted at that
+	// batch's end. The analysis cache is keyed by schema identity; the
+	// replaced instance's pin and entry are dropped so a long-running
+	// server doesn't accumulate dead analyses across re-imports.
+	// SwapSchema reports that instance atomically, so concurrent
+	// imports of one name each release exactly the instance they
+	// displaced.
+	b.engine.Pin(s)
 	prev, err := b.repo.SwapSchema(s)
 	if err != nil {
+		b.engine.Release(s)
 		return false, err
 	}
-	if prev != nil {
+	if prev != nil && prev != s {
+		b.engine.Release(prev)
 		b.engine.Invalidate(prev)
 	}
 	return prev != nil, nil
@@ -86,6 +116,7 @@ func (b *singleBackend) DeleteSchema(name string) (bool, error) {
 		return false, err
 	}
 	if prev != nil {
+		b.engine.Release(prev)
 		b.engine.Invalidate(prev)
 	}
 	return prev != nil, nil
@@ -109,14 +140,17 @@ func (b *shardedBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]ser
 }
 
 func (b *shardedBackend) PutSchema(s *schema.Schema) (bool, error) {
+	b.repo.pinInstance(s)
 	prev, err := b.repo.SwapSchema(s)
 	if err != nil {
+		b.repo.releaseInstance(s)
 		return false, err
 	}
-	if prev != nil {
+	if prev != nil && prev != s {
 		// Every engine, not just the owning shard's: a stored schema
 		// matched as the incoming side had its index cached by the
 		// fan-out's first shard, wherever the schema itself lives.
+		b.repo.releaseInstance(prev)
 		b.repo.invalidateInstance(prev)
 	}
 	return prev != nil, nil
@@ -128,6 +162,7 @@ func (b *shardedBackend) DeleteSchema(name string) (bool, error) {
 		return false, err
 	}
 	if prev != nil {
+		b.repo.releaseInstance(prev)
 		b.repo.invalidateInstance(prev)
 	}
 	return prev != nil, nil

@@ -77,6 +77,23 @@ func (r *ShardedRepository) invalidateInstance(s *Schema) {
 	}
 }
 
+// pinInstance marks one stored schema instance as retained in every
+// shard engine — for the same reason invalidateInstance spans all
+// engines: the instance's analysis may be cached outside its owning
+// shard when it travels as the incoming side of a fan-out.
+func (r *ShardedRepository) pinInstance(s *Schema) {
+	for _, e := range r.engines {
+		e.Pin(s)
+	}
+}
+
+// releaseInstance undoes pinInstance on every shard engine.
+func (r *ShardedRepository) releaseInstance(s *Schema) {
+	for _, e := range r.engines {
+		e.Release(s)
+	}
+}
+
 // MatchIncoming matches an incoming schema against every schema stored
 // in any shard — the sharded form of Repository.MatchIncoming, and the
 // network server's core operation. Each shard's candidates are
