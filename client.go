@@ -3,14 +3,19 @@ package coma
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/export"
 	"repro/internal/server"
@@ -35,6 +40,11 @@ type (
 	SchemaDetail = server.SchemaDetail
 	// ServerHealth answers GET /healthz.
 	ServerHealth = server.Health
+	// ServerReadiness answers GET /readyz.
+	ServerReadiness = server.Readiness
+	// ShardFailure reports one shard dropped from a partial match
+	// response (MatchResponse.FailedShards).
+	ShardFailure = server.ShardFailure
 )
 
 // Client is a thin client for a comaserve instance: schema import,
@@ -47,52 +57,203 @@ type Client struct {
 	// http.DefaultClient. Replace it before first use for custom
 	// timeouts or transports.
 	HTTPClient *http.Client
+	// retries is the attempt bound (1 = no retries); retryBase and
+	// retryMax shape the jittered exponential backoff between attempts.
+	retries   int
+	retryBase time.Duration
+	retryMax  time.Duration
+}
+
+// ClientOption adjusts a Client at construction.
+type ClientOption func(*Client)
+
+// WithRetry makes the client retry transient failures — transport
+// errors, 429, 502, 503 and 504 — up to attempts tries total, with
+// jittered exponential backoff (honoring Retry-After when the server
+// sends one, as comaserve's load shedding does). GET, PUT and DELETE
+// retry as-is (their server operations are idempotent); POST /match is
+// retried only because each retry carries the same generated
+// Idempotency-Key header — the match itself mutates nothing, and the
+// key lets any deduplicating intermediary (or a future server-side
+// dedup cache) recognize the retry. attempts < 2 leaves retries off.
+func WithRetry(attempts int) ClientOption {
+	return func(c *Client) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		c.retries = attempts
+	}
+}
+
+// WithRetryBackoff adjusts the retry backoff shape: base is the first
+// delay (doubled per attempt, jittered over its upper half), max caps
+// it. Non-positive values keep the defaults (100ms, 2s).
+func WithRetryBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if base > 0 {
+			c.retryBase = base
+		}
+		if max > 0 {
+			c.retryMax = max
+		}
+	}
 }
 
 // NewClient returns a client for the comaserve instance at baseURL
 // (e.g. "http://localhost:8402").
-func NewClient(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), HTTPClient: http.DefaultClient}
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		HTTPClient: http.DefaultClient,
+		retries:    1,
+		retryBase:  100 * time.Millisecond,
+		retryMax:   2 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// retryableStatus reports whether a response status signals a
+// transient condition worth retrying.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryDelay computes the jittered backoff before retry attempt n
+// (1-based): exponential from retryBase, capped at retryMax, jittered
+// over the upper half so synchronized clients spread out, and floored
+// by a server-provided Retry-After hint.
+func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
+	d := c.retryBase
+	for i := 1; i < attempt && d < c.retryMax; i++ {
+		d *= 2
+	}
+	if d > c.retryMax {
+		d = c.retryMax
+	}
+	if half := int64(d / 2); half > 0 {
+		d = d/2 + time.Duration(rand.Int64N(half+1))
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// newIdempotencyKey returns a fresh random key marking every attempt
+// of one logical POST as the same operation.
+func newIdempotencyKey() string {
+	var b [16]byte
+	crand.Read(b[:]) // never fails per crypto/rand contract
+	return hex.EncodeToString(b[:])
+}
+
+// retryAfter parses a Retry-After header in seconds form (the only
+// form comaserve emits); 0 when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // do performs one JSON round-trip: method + path with an optional
 // request body, decoding a 2xx response into out (when non-nil) and
-// any other status into an error carrying the server's message.
+// any other status into an error carrying the server's message. With
+// WithRetry, transient failures are retried with jittered backoff; the
+// request is rebuilt per attempt, and a POST carries one
+// Idempotency-Key across all its attempts.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("coma: client: encode %s %s: %w", method, path, err)
 		}
-		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return fmt.Errorf("coma: client: %w", err)
+	attempts := c.retries
+	if attempts < 1 {
+		attempts = 1
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	idemKey := ""
+	if method == http.MethodPost && attempts > 1 {
+		idemKey = newIdempotencyKey()
 	}
-	resp, err := c.HTTPClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("coma: client: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr server.ErrorResponse
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("coma: client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+	var lastErr error
+	var hint time.Duration
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.retryDelay(attempt, hint))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("coma: client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+			}
+			t.Stop()
 		}
-		return fmt.Errorf("coma: client: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out == nil {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("coma: client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		resp, err := c.HTTPClient.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("coma: client: %s %s: %w", method, path, err)
+			if ctx.Err() != nil {
+				// The request died with its context — retrying cannot
+				// succeed and would only mask the cancellation.
+				return lastErr
+			}
+			hint = 0
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			var apiErr server.ErrorResponse
+			if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr) == nil && apiErr.Error != "" {
+				lastErr = fmt.Errorf("coma: client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+			} else {
+				lastErr = fmt.Errorf("coma: client: %s %s: HTTP %d", method, path, resp.StatusCode)
+			}
+			hint = retryAfter(resp)
+			resp.Body.Close()
+			if retryableStatus(resp.StatusCode) {
+				continue
+			}
+			return lastErr
+		}
+		if out == nil {
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("coma: client: decode %s %s response: %w", method, path, err)
+		}
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("coma: client: decode %s %s response: %w", method, path, err)
-	}
-	return nil
+	return lastErr
 }
 
 // Health checks the server's liveness and reports store size and shard
@@ -101,6 +262,35 @@ func (c *Client) Health(ctx context.Context) (ServerHealth, error) {
 	var h ServerHealth
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
+}
+
+// Ready checks the server's readiness: whether it should receive new
+// traffic, with the admission queue's state. While the server drains
+// (graceful shutdown) the endpoint answers 503; Ready then returns the
+// decoded state alongside a non-nil error, so probes can report queue
+// depth while refusing traffic. Readiness is a point-in-time probe and
+// is never retried, regardless of WithRetry.
+func (c *Client) Ready(ctx context.Context) (ServerReadiness, error) {
+	var ready ServerReadiness
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return ready, fmt.Errorf("coma: client: %w", err)
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return ready, fmt.Errorf("coma: client: GET /readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return ready, fmt.Errorf("coma: client: GET /readyz: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		return ready, fmt.Errorf("coma: client: decode GET /readyz response: %w", err)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return ready, fmt.Errorf("coma: client: server not ready (%s)", ready.Status)
+	}
+	return ready, nil
 }
 
 // Schemas lists the stored schemas.

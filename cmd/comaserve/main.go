@@ -8,11 +8,13 @@
 //
 //	comaserve -addr :8402 -repo ./coma.shards -shards 4
 //	comaserve -addr :8402 -repo ./coma.shards -shards 4 -workers 8
+//	comaserve -repo ./coma.shards -shards 4 -match-timeout 30s -queue-limit 128
 //	comaserve -repo ./coma.shards -shards 4 schemas/*.xsd   # preload files
 //
 // Endpoints (see package repro/internal/server):
 //
 //	GET    /healthz          liveness + store size
+//	GET    /readyz           readiness + admission queue state
 //	GET    /schemas          stored schemas
 //	PUT    /schemas/{name}   import an inline schema
 //	GET    /schemas/{name}   one schema's paths
@@ -23,6 +25,15 @@
 // reopening with a different count fails. -workers bounds both the
 // match scheduler's parallelism and the number of concurrently
 // executing match requests.
+//
+// Robustness: -match-timeout bounds each admitted match request (0
+// disables the deadline; client disconnects always cancel the match
+// cooperatively), -queue-limit bounds how many match requests may wait
+// for an execution slot before the server sheds load with 429 +
+// Retry-After (0 = unbounded), and -queue-timeout bounds one request's
+// wait before it is answered 503. On SIGINT/SIGTERM the server drains:
+// /readyz flips to 503 so load balancers stop routing, new matches are
+// shed, and in-flight requests finish before the process exits.
 //
 // Cache lifecycle: inline schemas posted to /match are analyzed per
 // request and their analyses evicted at batch end (stored schemas stay
@@ -48,41 +59,87 @@ import (
 	coma "repro"
 )
 
+// serveConfig carries everything run needs; main fills it from flags,
+// tests construct it directly.
+type serveConfig struct {
+	addr     string
+	repoDir  string
+	shards   int
+	workers  int
+	anLimit  int
+	colcache bool
+	// matchTimeout bounds each admitted match (0 = no deadline).
+	matchTimeout time.Duration
+	// queueLimit bounds waiting match requests (0 = server default,
+	// negative = unbounded).
+	queueLimit int
+	// queueTimeout bounds one request's slot wait (0 = server default,
+	// negative = unbounded).
+	queueTimeout time.Duration
+	// preload lists schema files imported before serving.
+	preload []string
+	// ready, when non-nil, receives the bound listen address once the
+	// server accepts connections (tests listen on ":0").
+	ready chan<- string
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8402", "listen address")
-		repoDir  = flag.String("repo", "coma.shards", "sharded repository directory")
-		shards   = flag.Int("shards", 4, "shard count (fixed when the repository is created)")
-		workers  = flag.Int("workers", 0, "match worker bound and in-flight match limit (0 = all CPUs)")
-		anLimit  = flag.Int("analyzer-limit", 256, "per-engine bound on cached transient schema analyses (0 = unbounded)")
-		colcache = flag.Bool("colcache", true, "persist name-similarity columns across batches (engine-scoped column cache)")
+		addr         = flag.String("addr", ":8402", "listen address")
+		repoDir      = flag.String("repo", "coma.shards", "sharded repository directory")
+		shards       = flag.Int("shards", 4, "shard count (fixed when the repository is created)")
+		workers      = flag.Int("workers", 0, "match worker bound and in-flight match limit (0 = all CPUs)")
+		anLimit      = flag.Int("analyzer-limit", 256, "per-engine bound on cached transient schema analyses (0 = unbounded)")
+		colcache     = flag.Bool("colcache", true, "persist name-similarity columns across batches (engine-scoped column cache)")
+		matchTimeout = flag.Duration("match-timeout", 0, "per-request match deadline, e.g. 30s (0 = none; timed-out matches answer 504)")
+		queueLimit   = flag.Int("queue-limit", 64, "max match requests waiting for a slot before shedding with 429 (negative = unbounded)")
+		queueTimeout = flag.Duration("queue-timeout", 30*time.Second, "max wait for a match slot before answering 503 (negative = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*addr, *repoDir, *shards, *workers, *anLimit, *colcache, flag.Args(), nil); err != nil {
+	cfg := serveConfig{
+		addr:         *addr,
+		repoDir:      *repoDir,
+		shards:       *shards,
+		workers:      *workers,
+		anLimit:      *anLimit,
+		colcache:     *colcache,
+		matchTimeout: *matchTimeout,
+		queueLimit:   *queueLimit,
+		queueTimeout: *queueTimeout,
+		preload:      flag.Args(),
+	}
+	// The flag's zero means "unbounded" to operators; the server's zero
+	// selects its default, so map 0 → unbounded explicitly.
+	if cfg.queueLimit == 0 {
+		cfg.queueLimit = -1
+	}
+	if cfg.queueTimeout == 0 {
+		cfg.queueTimeout = -1
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "comaserve:", err)
 		os.Exit(1)
 	}
 }
 
-// run opens the repository, optionally preloads schema files given as
-// positional arguments, and serves until SIGINT/SIGTERM. When ready is
-// non-nil it receives the bound listen address once the server accepts
-// connections (tests listen on ":0").
-func run(addr, repoDir string, shards, workers, anLimit int, colcache bool, preload []string, ready chan<- string) error {
-	opts := []coma.Option{coma.WithWorkers(workers)}
-	if anLimit > 0 {
-		opts = append(opts, coma.WithAnalyzerLimit(anLimit))
+// run opens the repository, optionally preloads schema files, and
+// serves until SIGINT/SIGTERM, then drains (readiness flips to 503,
+// new matches are shed) and shuts down gracefully.
+func run(cfg serveConfig) error {
+	opts := []coma.Option{coma.WithWorkers(cfg.workers)}
+	if cfg.anLimit > 0 {
+		opts = append(opts, coma.WithAnalyzerLimit(cfg.anLimit))
 	}
-	if colcache {
+	if cfg.colcache {
 		opts = append(opts, coma.WithPersistentColumnCache())
 	}
-	repo, err := coma.OpenShardedRepository(repoDir, shards, opts...)
+	repo, err := coma.OpenShardedRepository(cfg.repoDir, cfg.shards, opts...)
 	if err != nil {
 		return err
 	}
 	defer repo.Close()
 
-	for _, path := range preload {
+	for _, path := range cfg.preload {
 		s, err := coma.LoadFile(path)
 		if err != nil {
 			return fmt.Errorf("preload %s: %w", path, err)
@@ -93,12 +150,17 @@ func run(addr, repoDir string, shards, workers, anLimit int, colcache bool, prel
 		fmt.Fprintf(os.Stderr, "comaserve: loaded %s (%d paths)\n", s.Name, len(s.Paths()))
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
+	handler := repo.Handler(
+		coma.WithMatchTimeout(cfg.matchTimeout),
+		coma.WithQueueLimit(cfg.queueLimit),
+		coma.WithQueueTimeout(cfg.queueTimeout),
+	)
 	srv := &http.Server{
-		Handler:           repo.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,8 +168,8 @@ func run(addr, repoDir string, shards, workers, anLimit int, colcache bool, prel
 	st := repo.Stats()
 	fmt.Fprintf(os.Stderr, "comaserve: serving %d schemas in %d shards on %s\n",
 		st.Schemas, repo.NumShards(), ln.Addr())
-	if ready != nil {
-		ready <- ln.Addr().String()
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr().String()
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -119,9 +181,13 @@ func run(addr, repoDir string, shards, workers, anLimit int, colcache bool, prel
 		return err
 	case <-ctx.Done():
 		stop()
+		// Drain first: /readyz answers 503 and new matches are shed, so
+		// load balancers stop routing while Shutdown waits for in-flight
+		// requests to finish.
+		handler.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		fmt.Fprintln(os.Stderr, "comaserve: shutting down")
+		fmt.Fprintln(os.Stderr, "comaserve: draining and shutting down")
 		return srv.Shutdown(shutdownCtx)
 	}
 }

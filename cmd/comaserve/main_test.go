@@ -26,7 +26,16 @@ func TestServeSmoke(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", filepath.Join(dir, "shards"), 2, 2, 256, true, []string{sqlPath}, ready)
+		done <- run(serveConfig{
+			addr:     "127.0.0.1:0",
+			repoDir:  filepath.Join(dir, "shards"),
+			shards:   2,
+			workers:  2,
+			anLimit:  256,
+			colcache: true,
+			preload:  []string{sqlPath},
+			ready:    ready,
+		})
 	}()
 	var addr string
 	select {
@@ -85,7 +94,7 @@ func TestServeBadRepo(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", file, 2, 1, 0, false, nil, nil); err == nil {
+	if err := run(serveConfig{addr: "127.0.0.1:0", repoDir: file, shards: 2, workers: 1}); err == nil {
 		t.Fatal("run over a file path succeeded")
 	}
 }
@@ -97,7 +106,14 @@ func TestServeBadPreload(t *testing.T) {
 	if err := os.WriteFile(bad, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", filepath.Join(dir, "shards"), 1, 1, 0, true, []string{bad}, nil); err == nil {
+	if err := run(serveConfig{
+		addr:     "127.0.0.1:0",
+		repoDir:  filepath.Join(dir, "shards"),
+		shards:   1,
+		workers:  1,
+		colcache: true,
+		preload:  []string{bad},
+	}); err == nil {
 		t.Fatal("run with an empty preload schema succeeded")
 	}
 }

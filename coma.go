@@ -40,6 +40,7 @@
 package coma
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -89,6 +90,9 @@ type (
 	Feedback = match.Feedback
 	// Dictionary is the synonym/abbreviation auxiliary source.
 	Dictionary = dict.Dictionary
+	// ShardError reports one shard's failure in a partial sharded
+	// match (see AllowPartial).
+	ShardError = core.ShardError
 )
 
 // Direction constants for Strategy.Dir.
@@ -415,18 +419,38 @@ func (e *Engine) CachedAnalyses() int {
 // Match performs one automatic match operation with the engine's
 // configuration, reusing cached schema analyses.
 func (e *Engine) Match(s1, s2 *Schema) (*Result, error) {
-	return core.Match(e.o.ctx, s1, s2, core.Config{
+	return core.Match(e.o.ctx, s1, s2, e.config())
+}
+
+// MatchContext is Match under a request context: once ctx is done, the
+// matcher execution stops cooperatively (row fills stop claiming rows
+// within one row per worker), pooled intermediates are recycled, and
+// the cancellation cause is returned instead of a result. A nil or
+// never-canceled ctx behaves exactly like Match — results are
+// bit-identical.
+func (e *Engine) MatchContext(ctx context.Context, s1, s2 *Schema) (*Result, error) {
+	mctx := e.o.ctx
+	if ctx != nil {
+		mctx = mctx.WithCancel(ctx)
+	}
+	return core.Match(mctx, s1, s2, e.config())
+}
+
+// config assembles the engine's per-iteration core configuration.
+func (e *Engine) config() core.Config {
+	return core.Config{
 		Matchers: e.o.matchers,
 		Strategy: e.o.strategy,
 		Feedback: e.o.feedback,
 		Workers:  e.o.workers,
-	})
+	}
 }
 
 // matchAllOptions collects the per-batch knobs of MatchAll.
 type matchAllOptions struct {
-	topK      int
-	keepCubes bool
+	topK         int
+	keepCubes    bool
+	allowPartial bool
 }
 
 // MatchAllOption adjusts one MatchAll batch.
@@ -458,6 +482,20 @@ func KeepCubes() MatchAllOption {
 	}
 }
 
+// AllowPartial opts a sharded match into graceful degradation: a shard
+// that fails (or is canceled on its own) is dropped from the merged
+// ranking and reported as a ShardError instead of failing the whole
+// request. Single-engine batches (Engine.MatchAll and
+// Repository.MatchIncoming run one shard) have nothing to degrade and
+// ignore the option; cancellation of the request context always aborts
+// the whole match.
+func AllowPartial() MatchAllOption {
+	return func(o *matchAllOptions) error {
+		o.allowPartial = true
+		return nil
+	}
+}
+
 // MatchAll matches one incoming schema against many candidates in a
 // single scheduled batch — the repository-server workload. It returns
 // one Result per candidate, in candidate order, each bit-identical to
@@ -471,18 +509,23 @@ func KeepCubes() MatchAllOption {
 // matrices and similarity grids are recycled through a size-bucketed
 // arena instead of being reallocated per call.
 func (e *Engine) MatchAll(incoming *Schema, candidates []*Schema, opts ...MatchAllOption) ([]*Result, error) {
+	return e.MatchAllContext(context.Background(), incoming, candidates, opts...)
+}
+
+// MatchAllContext is MatchAll under a request context: once ctx is
+// done, pair workers stop claiming candidates, running fills stop
+// claiming rows, pooled matrices are recycled and transient analyses
+// evicted, and the cancellation cause is returned. A never-canceled
+// ctx yields results bit-identical to MatchAll.
+func (e *Engine) MatchAllContext(ctx context.Context, incoming *Schema, candidates []*Schema, opts ...MatchAllOption) ([]*Result, error) {
 	var o matchAllOptions
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
 			return nil, err
 		}
 	}
-	return core.MatchAll(e.o.ctx, incoming, candidates, core.Config{
-		Matchers: e.o.matchers,
-		Strategy: e.o.strategy,
-		Feedback: e.o.feedback,
-		Workers:  e.o.workers,
-	}, core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
+	return core.MatchAll(ctx, e.o.ctx, incoming, candidates, e.config(),
+		core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
 }
 
 // Session is an interactive match session carrying user feedback

@@ -369,8 +369,21 @@ type Analyzer struct {
 	// limit bounds the number of unpinned cached indexes (0 = no
 	// bound); pinned entries are exempt.
 	limit int
-	// seq is the LRU clock: every Index access stamps the entry.
+	// seq is the LRU clock: every Index access stamps the entry. It
+	// doubles as the tombstone/batch-window clock — one monotonic
+	// counter orders accesses, batch starts and deletions alike.
 	seq int64
+	// active holds the start stamps of the batch windows currently
+	// open (BeginBatch); dead holds tombstones: schemas deleted while
+	// a window was open, stamped with the deletion time. While a
+	// schema is tombstoned, Index serves throwaway indexes instead of
+	// caching, so an in-flight batch that captured the schema before
+	// its DELETE cannot resurrect the entry by publishing after it.
+	// Tombstones are reclaimed at window close: once every window
+	// that predates a deletion has ended, no in-flight build can
+	// still hold the schema and the tombstone is dropped.
+	active map[int64]struct{}
+	dead   map[*schema.Schema]int64
 }
 
 // analyzerEntry serializes builds per schema: concurrent Index calls
@@ -389,7 +402,11 @@ type analyzerEntry struct {
 
 // NewAnalyzer returns an empty, unbounded analysis cache.
 func NewAnalyzer() *Analyzer {
-	return &Analyzer{entries: make(map[*schema.Schema]*analyzerEntry)}
+	return &Analyzer{
+		entries: make(map[*schema.Schema]*analyzerEntry),
+		active:  make(map[int64]struct{}),
+		dead:    make(map[*schema.Schema]int64),
+	}
 }
 
 // NewAnalyzerWithLimit returns an analysis cache that retains at most
@@ -402,7 +419,73 @@ func NewAnalyzerWithLimit(limit int) *Analyzer {
 	if limit < 0 {
 		limit = 0
 	}
-	return &Analyzer{entries: make(map[*schema.Schema]*analyzerEntry), limit: limit}
+	return &Analyzer{
+		entries: make(map[*schema.Schema]*analyzerEntry),
+		limit:   limit,
+		active:  make(map[int64]struct{}),
+		dead:    make(map[*schema.Schema]int64),
+	}
+}
+
+// BeginBatch opens a batch window and returns its closer (idempotent).
+// While any window is open, Evict and single-schema Invalidate
+// tombstone their target instead of merely dropping it: an in-flight
+// match that captured the schema before the deletion gets throwaway
+// indexes from then on and cannot re-publish the analysis into the
+// cache. Every match operation that may run concurrently with schema
+// deletion must bracket itself with BeginBatch/close; the batch
+// schedulers do so via match.Context.BeginAnalysis.
+func (a *Analyzer) BeginBatch() func() {
+	a.mu.Lock()
+	a.seq++
+	id := a.seq
+	a.active[id] = struct{}{}
+	a.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			delete(a.active, id)
+			a.pruneDeadLocked()
+		})
+	}
+}
+
+// killLocked tombstones a schema under a.mu when any batch window is
+// open; with no window open no in-flight build can exist and a plain
+// drop suffices.
+func (a *Analyzer) killLocked(s *schema.Schema) {
+	if len(a.active) == 0 {
+		return
+	}
+	a.seq++
+	a.dead[s] = a.seq
+}
+
+// pruneDeadLocked reclaims tombstones under a.mu: with no window open
+// all of them, otherwise those older than every open window (no
+// remaining window can predate the deletion, so no in-flight build can
+// still hold the schema).
+func (a *Analyzer) pruneDeadLocked() {
+	if len(a.dead) == 0 {
+		return
+	}
+	if len(a.active) == 0 {
+		clear(a.dead)
+		return
+	}
+	oldest := int64(0)
+	for id := range a.active {
+		if oldest == 0 || id < oldest {
+			oldest = id
+		}
+	}
+	for s, killed := range a.dead {
+		if killed < oldest {
+			delete(a.dead, s)
+		}
+	}
 }
 
 // Index returns the cached index for the schema, building it on first
@@ -411,6 +494,13 @@ func NewAnalyzerWithLimit(limit int) *Analyzer {
 // is rebuilt transparently.
 func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 	a.mu.Lock()
+	if _, killed := a.dead[s]; killed {
+		// The schema was deleted while a batch still in flight may
+		// reference it: serve a throwaway index so that match completes
+		// correctly without the cache resurrecting the deleted entry.
+		a.mu.Unlock()
+		return NewIndex(s, src)
+	}
 	e := a.entries[s]
 	if e == nil {
 		e = &analyzerEntry{}
@@ -481,6 +571,9 @@ func (a *Analyzer) Pin(s *schema.Schema) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Pinning re-adopts: a schema re-imported (or re-pinned) after a
+	// tombstoning delete is long-lived again and must cache normally.
+	delete(a.dead, s)
 	e := a.entries[s]
 	if e == nil {
 		e = &analyzerEntry{}
@@ -517,12 +610,19 @@ func (a *Analyzer) Pinned(s *schema.Schema) bool {
 // are left untouched. It reports whether an entry was dropped. The
 // batch schedulers call it for the incoming schema at batch end, so a
 // served inline schema's analysis dies with its request instead of
-// accumulating in every engine that touched it.
+// accumulating in every engine that touched it. While a batch window
+// is open (BeginBatch), the schema is additionally tombstoned — even
+// when no entry exists yet — so a concurrent batch's build publishing
+// after the eviction is dropped instead of resurrecting the entry.
 func (a *Analyzer) Evict(s *schema.Schema) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	e := a.entries[s]
-	if e == nil || e.pinned {
+	if e != nil && e.pinned {
+		return false
+	}
+	a.killLocked(s)
+	if e == nil {
 		return false
 	}
 	delete(a.entries, s)
@@ -533,6 +633,13 @@ func (a *Analyzer) Evict(s *schema.Schema) bool {
 // s is nil); call it after structurally modifying a schema that may
 // be matched again. Pins survive: a pinned schema's entry stays (and
 // stays exempt from eviction), only its stale index is dropped.
+//
+// Invalidating an unpinned schema while a batch window is open
+// additionally tombstones it (see BeginBatch) — the delete path
+// (Release then Invalidate) relies on this so an in-flight match
+// holding the deleted instance cannot re-publish its analysis. The
+// wholesale Invalidate(nil) never tombstones: it flushes for
+// consistency, and still-stored schemas must re-cache on next use.
 func (a *Analyzer) Invalidate(s *schema.Schema) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -542,7 +649,11 @@ func (a *Analyzer) Invalidate(s *schema.Schema) {
 		}
 		return
 	}
-	if e := a.entries[s]; e != nil {
+	e := a.entries[s]
+	if e == nil || !e.pinned {
+		a.killLocked(s)
+	}
+	if e != nil {
 		a.dropLocked(s, e)
 	}
 }

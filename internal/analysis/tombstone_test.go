@@ -1,0 +1,214 @@
+package analysis_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/workload"
+)
+
+// TestEvictTombstonesDuringBatch pins the deletion/batch race contract
+// deterministically: a schema evicted while a batch window is open is
+// tombstoned, so a later Index call from the in-flight batch gets a
+// throwaway index instead of re-publishing the entry; once every window
+// predating the deletion closes, the tombstone is reclaimed and the
+// schema caches normally again.
+func TestEvictTombstonesDuringBatch(t *testing.T) {
+	src := defaultSources()
+	s := workload.Candidates(1)[0]
+	a := analysis.NewAnalyzer()
+
+	// The served delete flow: the schema is cached (pinned, as a stored
+	// schema would be), a batch is in flight, and the DELETE lands.
+	a.Pin(s)
+	a.Index(s, src)
+	end := a.BeginBatch()
+	a.Release(s)
+	a.Invalidate(s)
+	if n := a.Len(); n != 0 {
+		t.Fatalf("after delete: %d cached analyses, want 0", n)
+	}
+	// The in-flight batch references the instance it captured before the
+	// delete; its analysis must not re-enter the cache.
+	idx := a.Index(s, src)
+	if idx == nil || idx.Schema != s {
+		t.Fatalf("throwaway index = %v", idx)
+	}
+	if n := a.Len(); n != 0 {
+		t.Errorf("in-flight Index after delete resurrected the entry (Len %d)", n)
+	}
+	if a.Index(s, src) == idx {
+		t.Error("tombstoned schema served a cached index")
+	}
+	end()
+	// Window closed: the tombstone is reclaimed, normal caching resumes
+	// (a re-imported instance would be re-pinned; identity is what
+	// matters here).
+	cached := a.Index(s, src)
+	if a.Index(s, src) != cached {
+		t.Error("after window close the schema no longer caches")
+	}
+	if n := a.Len(); n != 1 {
+		t.Errorf("after window close: Len %d, want 1", n)
+	}
+}
+
+// TestEvictWithoutEntryTombstones: the tombstone must be laid even when
+// no entry exists yet — the batch may not have analyzed the schema when
+// the delete lands, and the resurrection happens on its first Index.
+func TestEvictWithoutEntryTombstones(t *testing.T) {
+	src := defaultSources()
+	s := workload.Candidates(1)[0]
+	a := analysis.NewAnalyzer()
+
+	end := a.BeginBatch()
+	if a.Evict(s) {
+		t.Error("Evict of a never-analyzed schema reported an entry")
+	}
+	a.Index(s, src)
+	if n := a.Len(); n != 0 {
+		t.Errorf("Index after entry-less Evict cached (Len %d)", n)
+	}
+	end()
+}
+
+// TestTombstoneOutlivesOverlappingWindow: a tombstone is only reclaimed
+// once every window that predates the deletion has closed — a window
+// opened before the delete may still hold the instance even after some
+// other window ends.
+func TestTombstoneOutlivesOverlappingWindow(t *testing.T) {
+	src := defaultSources()
+	s := workload.Candidates(1)[0]
+	a := analysis.NewAnalyzer()
+
+	endA := a.BeginBatch()
+	endB := a.BeginBatch()
+	a.Evict(s) // deletion lands while A and B are both open
+	endB()
+	// A predates the deletion and is still open: the tombstone must hold.
+	a.Index(s, src)
+	if n := a.Len(); n != 0 {
+		t.Errorf("tombstone reclaimed while a predating window was open (Len %d)", n)
+	}
+	endA()
+	a.Index(s, src)
+	if n := a.Len(); n != 1 {
+		t.Errorf("tombstone not reclaimed after all windows closed (Len %d)", n)
+	}
+}
+
+// TestWindowAfterDeleteReclaims: a window opened after the deletion
+// cannot hold the dead instance, so closing the predating window
+// reclaims the tombstone even while the younger window is still open.
+func TestWindowAfterDeleteReclaims(t *testing.T) {
+	src := defaultSources()
+	s := workload.Candidates(1)[0]
+	a := analysis.NewAnalyzer()
+
+	endA := a.BeginBatch()
+	a.Evict(s)
+	endB := a.BeginBatch() // opened after the delete
+	endA()
+	a.Index(s, src)
+	if n := a.Len(); n != 1 {
+		t.Errorf("tombstone survived its last predating window (Len %d)", n)
+	}
+	endB()
+}
+
+// TestPinClearsTombstone: re-importing a deleted schema (Pin) re-adopts
+// it — the tombstone is cleared and the schema caches normally even
+// while the old batch window is still open.
+func TestPinClearsTombstone(t *testing.T) {
+	src := defaultSources()
+	s := workload.Candidates(1)[0]
+	a := analysis.NewAnalyzer()
+
+	end := a.BeginBatch()
+	a.Evict(s)
+	a.Pin(s)
+	idx := a.Index(s, src)
+	if a.Index(s, src) != idx {
+		t.Error("re-pinned schema does not cache")
+	}
+	if n := a.Len(); n != 1 {
+		t.Errorf("re-pinned schema: Len %d, want 1", n)
+	}
+	end()
+}
+
+// TestInvalidateAllNeverTombstones: the wholesale flush drops every
+// index but must not tombstone still-stored schemas — they re-cache on
+// next use even inside an open window.
+func TestInvalidateAllNeverTombstones(t *testing.T) {
+	src := defaultSources()
+	s := workload.Candidates(1)[0]
+	a := analysis.NewAnalyzer()
+
+	end := a.BeginBatch()
+	a.Index(s, src)
+	a.Invalidate(nil)
+	if n := a.Len(); n != 0 {
+		t.Fatalf("Invalidate(nil) left %d indexes", n)
+	}
+	a.Index(s, src)
+	if n := a.Len(); n != 1 {
+		t.Errorf("schema does not re-cache after wholesale flush (Len %d)", n)
+	}
+	end()
+}
+
+// TestAnalyzerDeleteRace is the -race regression for the PR 5 residual:
+// a DELETE (store removal, then Release + Invalidate) racing an
+// in-flight batch must never resurrect the deleted schema's analysis.
+// The batch follows the engine contract pinned by
+// Repository.MatchIncomingContext — open the analyzer window first,
+// check store membership inside it — so any delete the batch can still
+// observe tombstones against its window. Every round races one batch
+// against one delete over a fresh instance; without tombstones the
+// interleaving "delete completes, then the batch's Index publishes"
+// leaks one entry per round, which the final Len check catches.
+func TestAnalyzerDeleteRace(t *testing.T) {
+	src := defaultSources()
+	a := analysis.NewAnalyzer()
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		s := workload.Candidates(1)[0]
+		s.Name = fmt.Sprintf("race-%03d", round)
+		a.Pin(s)
+		a.Index(s, src)
+		var deleted atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			end := a.BeginBatch()
+			defer end()
+			if deleted.Load() { // store membership snapshot, inside the window
+				return
+			}
+			for i := 0; i < 4; i++ {
+				a.Index(s, src)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			deleted.Store(true) // the store's TakeSchema
+			a.Release(s)
+			a.Invalidate(s)
+		}()
+		wg.Wait()
+		if a.Pinned(s) {
+			t.Fatalf("round %d: schema still pinned after delete", round)
+		}
+	}
+	if n := a.Len(); n != 0 {
+		t.Errorf("deleted schemas leaked %d analyses", n)
+	}
+}

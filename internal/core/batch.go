@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/analysis"
@@ -21,6 +22,14 @@ type BatchOptions struct {
 	// scheduler recycles cube layers through the batch arena at
 	// cube→mapping extraction and returns results with a nil Cube.
 	KeepCubes bool
+	// AllowPartial degrades shard failure instead of aborting: a shard
+	// whose pair errors (or whose own cancellation source fires) is
+	// dropped from the results — nil slice — and reported as a
+	// ShardError, while the remaining shards complete normally.
+	// Cancellation of the batch's request context always aborts the
+	// whole batch regardless. Only meaningful for MatchSharded;
+	// MatchAll (single shard) ignores it.
+	AllowPartial bool
 }
 
 // MatchAll matches one incoming schema against many candidate schemas
@@ -51,14 +60,20 @@ type BatchOptions struct {
 //     pure functions of the name pair and the fixed sources).
 //
 // MatchAll is the single-shard case of MatchSharded, which implements
-// the scheduling.
-func MatchAll(ctx *match.Context, incoming *schema.Schema, candidates []*schema.Schema, cfg Config, opt BatchOptions) ([]*Result, error) {
-	if ctx == nil {
+// the scheduling. A done ctx (nil means context.Background) stops the
+// batch cooperatively — workers stop claiming pairs and rows, pooled
+// matrices are recycled, transient analyses are evicted — and the
+// cancellation cause is returned. With a single shard there is no
+// partial degradation: BatchOptions.AllowPartial is ignored and any
+// pair failure aborts the batch.
+func MatchAll(ctx context.Context, mctx *match.Context, incoming *schema.Schema, candidates []*schema.Schema, cfg Config, opt BatchOptions) ([]*Result, error) {
+	if mctx == nil {
 		// Match accepts a nil context (throwaway per-request analyses);
 		// keep the batch path consistent with a zero-value one.
-		ctx = &match.Context{}
+		mctx = &match.Context{}
 	}
-	results, err := MatchSharded(incoming, []Shard{{Ctx: ctx, Candidates: candidates}}, cfg, opt)
+	opt.AllowPartial = false
+	results, _, err := MatchSharded(ctx, incoming, []Shard{{Ctx: mctx, Candidates: candidates}}, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -72,11 +87,29 @@ func MatchAll(ctx *match.Context, incoming *schema.Schema, candidates []*schema.
 // mappings are always arena-free, so a returned Result never aliases
 // pooled storage.
 func matchPair(ctx *match.Context, idx1 *analysis.SchemaIndex, s1, s2 *schema.Schema, cfg Config, arena *simcube.Arena, cache *match.BatchCache, keepCube bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	idx2 := ctx.Index(s2)
 	pctx := ctx.WithIndexes(idx1, idx2).WithArena(arena).WithBatchCache(cache)
 	cube := simcube.NewCube(idx1.Keys, idx2.Keys)
 	for _, m := range cfg.Matchers {
-		if err := cube.AddLayer(m.Name(), m.Match(pctx, s1, s2)); err != nil {
+		// Cancellation is re-checked per matcher: a canceled context
+		// leaves the current fill within a row per worker (ParallelRows
+		// stops claiming), and the partial layer plus the cube's earlier
+		// layers are recycled before surfacing the cause.
+		if err := pctx.Err(); err != nil {
+			cube.ReleaseTo(arena)
+			return nil, err
+		}
+		layer := m.Match(pctx, s1, s2)
+		if err := pctx.Err(); err != nil {
+			layer.ReleaseTo(arena)
+			cube.ReleaseTo(arena)
+			return nil, err
+		}
+		if err := cube.AddLayer(m.Name(), layer); err != nil {
+			layer.ReleaseTo(arena)
 			cube.ReleaseTo(arena)
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/combine"
@@ -30,7 +31,7 @@ func TestMatchAllAgainstLoop(t *testing.T) {
 		ctx := match.NewContext()
 		batchCfg := cfg
 		batchCfg.Workers = workers
-		got, err := MatchAll(ctx, incoming, cands, batchCfg, BatchOptions{})
+		got, err := MatchAll(context.Background(), ctx, incoming, cands, batchCfg, BatchOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestMatchAllKeepCubes(t *testing.T) {
 	cands := workload.Candidates(3)
 	incoming, cands := cands[0], cands[1:]
 	cfg := DefaultConfig()
-	got, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{KeepCubes: true})
+	got, err := MatchAll(context.Background(), match.NewContext(), incoming, cands, cfg, BatchOptions{KeepCubes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,12 +117,12 @@ func TestMatchAllTopK(t *testing.T) {
 	cands := workload.Candidates(5)
 	incoming, cands := cands[0], cands[1:]
 	cfg := DefaultConfig()
-	full, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{})
+	full, err := MatchAll(context.Background(), match.NewContext(), incoming, cands, cfg, BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	const k = 2
-	pruned, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{TopK: k})
+	pruned, err := MatchAll(context.Background(), match.NewContext(), incoming, cands, cfg, BatchOptions{TopK: k})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestMatchAllTopK(t *testing.T) {
 	}
 
 	// TopK >= len keeps everything.
-	all, err := MatchAll(match.NewContext(), incoming, cands, cfg, BatchOptions{TopK: len(cands)})
+	all, err := MatchAll(context.Background(), match.NewContext(), incoming, cands, cfg, BatchOptions{TopK: len(cands)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestMatchAllEdgeCases(t *testing.T) {
 	cands := workload.Candidates(2)
 	incoming := cands[0]
 
-	res, err := MatchAll(match.NewContext(), incoming, nil, DefaultConfig(), BatchOptions{})
+	res, err := MatchAll(context.Background(), match.NewContext(), incoming, nil, DefaultConfig(), BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,13 +177,13 @@ func TestMatchAllEdgeCases(t *testing.T) {
 		t.Fatalf("empty batch returned %d results", len(res))
 	}
 
-	if _, err := MatchAll(match.NewContext(), incoming, cands[1:], Config{}, BatchOptions{}); err == nil {
+	if _, err := MatchAll(context.Background(), match.NewContext(), incoming, cands[1:], Config{}, BatchOptions{}); err == nil {
 		t.Error("no matchers should fail")
 	}
 
 	badCfg := DefaultConfig()
 	badCfg.Strategy.Agg = combine.AggSpec{Kind: combine.Weighted, Weights: []float64{1}} // 1 weight, 5 matchers
-	if _, err := MatchAll(match.NewContext(), incoming, cands[1:], badCfg, BatchOptions{}); err == nil {
+	if _, err := MatchAll(context.Background(), match.NewContext(), incoming, cands[1:], badCfg, BatchOptions{}); err == nil {
 		t.Error("mismatched weighted aggregation should fail")
 	}
 }

@@ -81,10 +81,23 @@ type Result struct {
 // execute concurrently — one goroutine per matcher — unless the
 // context's worker bound is 1. Layer order always follows the matchers
 // slice, and results are bit-identical to sequential execution.
+//
+// A context observing a cancellation source (match.Context.WithCancel)
+// stops cooperatively: the row-parallel fills stop claiming rows, the
+// partially filled layers are released back to the context's arena,
+// and the cancellation cause is returned instead of a cube.
 func ExecuteMatchers(ctx *match.Context, s1, s2 *schema.Schema, matchers []match.Matcher) (*simcube.Cube, error) {
 	if len(matchers) == 0 {
 		return nil, fmt.Errorf("core: no matchers configured")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Open an analyzer batch window for the duration of the execution:
+	// a schema deletion racing this match tombstones its entry, so the
+	// builds below cannot re-publish a deleted schema's analysis.
+	end := ctx.BeginAnalysis()
+	defer end()
 	// Analyze once, before any concurrent access: the indexes capture
 	// the schemas' lazily cached path enumerations and every derived
 	// per-element artifact.
@@ -105,6 +118,9 @@ func ExecuteMatchers(ctx *match.Context, s1, s2 *schema.Schema, matchers []match
 	layers := make([]*simcube.Matrix, len(matchers))
 	if ctx != nil && ctx.Workers == 1 || len(matchers) == 1 {
 		for i, m := range matchers {
+			if ctx.Err() != nil {
+				break
+			}
 			layers[i] = m.Match(ctx, s1, s2)
 		}
 	} else {
@@ -126,8 +142,25 @@ func ExecuteMatchers(ctx *match.Context, s1, s2 *schema.Schema, matchers []match
 		}
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		// Canceled mid-execution: the fills stopped claiming rows, so
+		// the layers are partial. Recycle them (and nothing else —
+		// analyses cached above stay subject to the normal eviction
+		// discipline) and surface the cause.
+		for _, l := range layers {
+			l.ReleaseTo(ctx.Arena())
+		}
+		return nil, err
+	}
 	for i, m := range matchers {
 		if err := cube.AddLayer(m.Name(), layers[i]); err != nil {
+			// A rejected layer (and every later one not yet adopted by
+			// the cube) is still owned here; recycle them with the cube
+			// so a faulty matcher cannot leak pooled storage.
+			for _, l := range layers[i:] {
+				l.ReleaseTo(ctx.Arena())
+			}
+			cube.ReleaseTo(ctx.Arena())
 			return nil, err
 		}
 	}

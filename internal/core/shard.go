@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +24,36 @@ type Shard struct {
 	Ctx *match.Context
 	// Candidates are the shard's stored schemas to match against.
 	Candidates []*schema.Schema
+}
+
+// ShardError records one shard's failure inside a partial batch: with
+// BatchOptions.AllowPartial, MatchSharded degrades a failed or
+// canceled shard to a missing result slice and reports the cause here
+// instead of failing the whole batch.
+type ShardError struct {
+	// Shard is the failed shard's index into the shards slice.
+	Shard int
+	// Err is the first failure observed on the shard.
+	Err error
+}
+
+func (e ShardError) Error() string { return fmt.Sprintf("core: shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e ShardError) Unwrap() error { return e.Err }
+
+// joinCancel merges the request context with a shard context's own
+// pre-installed cancellation source, so a pair stops when either
+// fires. With no shard-side source the request context is used as is.
+// The returned stop function detaches the propagation and releases the
+// merged context's resources; callers must invoke it.
+func joinCancel(req, own context.Context) (context.Context, func()) {
+	if own == nil {
+		return req, func() {}
+	}
+	merged, cancel := context.WithCancelCause(req)
+	stop := context.AfterFunc(own, func() { cancel(context.Cause(own)) })
+	return merged, func() { stop(); cancel(nil) }
 }
 
 // MatchSharded matches one incoming schema against per-shard candidate
@@ -48,30 +80,51 @@ type Shard struct {
 // ties), exactly as a per-shard MatchAll would. Callers merging shards
 // into a global shortlist cut the merged ranking to K again — the
 // global top K is a subset of the per-shard top Ks.
-func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt BatchOptions) ([][]*Result, error) {
+//
+// Cancellation: once ctx is done (nil means context.Background), the
+// workers stop claiming pairs, the row-parallel fills inside running
+// pairs stop claiming rows, every pooled matrix is recycled, transient
+// analyzer entries are evicted, and the cancellation cause is returned.
+// A shard context carrying its own cancellation source (installed via
+// match.Context.WithCancel before the call) stops just that shard's
+// pairs.
+//
+// Failure: by default the first pair error aborts the whole batch.
+// With BatchOptions.AllowPartial, a failing shard — a pair error or a
+// shard-local cancellation — is dropped instead: its result slice is
+// nil, the remaining shards complete normally, and the failures come
+// back as ShardErrors (ordered by shard index). Cancellation of ctx is
+// never degraded to a partial result.
+func MatchSharded(ctx context.Context, incoming *schema.Schema, shards []Shard, cfg Config, opt BatchOptions) ([][]*Result, []ShardError, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Matchers) == 0 {
-		return nil, fmt.Errorf("core: no matchers configured")
+		return nil, nil, fmt.Errorf("core: no matchers configured")
 	}
 	if err := incoming.Validate(); err != nil {
-		return nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+		return nil, nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+	}
+	if ctx.Err() != nil {
+		return nil, nil, context.Cause(ctx)
 	}
 	results := make([][]*Result, len(shards))
 	type pair struct{ shard, cand int }
 	var pairs []pair
 	for si, sh := range shards {
 		if sh.Ctx == nil {
-			return nil, fmt.Errorf("core: shard %d has no context", si)
+			return nil, nil, fmt.Errorf("core: shard %d has no context", si)
 		}
 		for ci, c := range sh.Candidates {
 			if err := c.Validate(); err != nil {
-				return nil, fmt.Errorf("core: shard %d candidate %d (%s): %w", si, ci, c.Name, err)
+				return nil, nil, fmt.Errorf("core: shard %d candidate %d (%s): %w", si, ci, c.Name, err)
 			}
 			pairs = append(pairs, pair{si, ci})
 		}
 		results[si] = make([]*Result, len(sh.Candidates))
 	}
 	if len(pairs) == 0 {
-		return results, nil
+		return results, nil, nil
 	}
 
 	// One budget for the whole fan-out, owned by a context derived from
@@ -91,6 +144,13 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 	caches := make([]*match.BatchCache, len(shards))
 	for si, sh := range shards {
 		bctxs[si] = sh.Ctx.WithBudgetOf(budgetOwner)
+		// Each shard observes the request context merged with whatever
+		// cancellation source its own context already carried, so both
+		// "the request died" and "this shard was canceled" stop its
+		// row fills and pair claims.
+		cctx, stopJoin := joinCancel(ctx, bctxs[si].Cancellation())
+		defer stopJoin()
+		bctxs[si] = bctxs[si].WithCancel(cctx)
 		if si > 0 && bctxs[si].Sources() == bctxs[0].Sources() {
 			idx1s[si] = idx1s[0]
 			caches[si] = caches[0]
@@ -110,12 +170,26 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 			}
 		}
 	}
+	// Analyzer batch windows: one per distinct analyzer, opened before
+	// (and so — defers run LIFO — closed after) the transient evictions
+	// below. While a window is open, a DELETE racing this batch
+	// tombstones its schema, so a pair still in flight cannot
+	// re-publish the deleted analysis; closing the window reclaims the
+	// tombstones once no concurrent batch predates them.
+	opened := make(map[*analysis.Analyzer]bool)
+	for _, bctx := range bctxs {
+		if a := bctx.Analyzer; a != nil && !opened[a] {
+			opened[a] = true
+			end := a.BeginBatch()
+			defer end()
+		}
+	}
 	// Cache lifecycle: the incoming schema of a batch is usually
 	// request-scoped (a served inline schema); without eviction every
 	// batch leaks one analyzer entry per engine that analyzed it, at
 	// request rate in a long-running server. Stored schemas are pinned
 	// by their engines and keep their analyses warm. Runs on every
-	// exit path — an errored batch must not leak either.
+	// exit path — an errored or canceled batch must not leak either.
 	defer func() {
 		for _, bctx := range bctxs {
 			bctx.EvictTransient(incoming)
@@ -123,8 +197,9 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 	}()
 
 	var (
-		mu       sync.Mutex
-		firstErr error
+		mu        sync.Mutex
+		firstErr  error
+		shardErrs []ShardError
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -138,6 +213,18 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 		defer mu.Unlock()
 		return firstErr != nil
 	}
+	// Per-shard failure latches for graceful degradation: a failed
+	// shard's remaining pairs are skipped, not matched into a result
+	// the caller will drop anyway.
+	shardDown := make([]atomic.Bool, len(shards))
+	failShard := func(si int, err error) {
+		if shardDown[si].Swap(true) {
+			return
+		}
+		mu.Lock()
+		shardErrs = append(shardErrs, ShardError{Shard: si, Err: err})
+		mu.Unlock()
+	}
 
 	// Pair-level scheduling over the global budget: each pair worker
 	// owns one budget slot and claims (shard, candidate) pairs from a
@@ -147,14 +234,24 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 	var next atomic.Int64
 	work := func() {
 		for {
+			if ctx.Err() != nil || failed() {
+				return
+			}
 			i := int(next.Add(1)) - 1
-			if i >= len(pairs) || failed() {
+			if i >= len(pairs) {
 				return
 			}
 			p := pairs[i]
+			if shardDown[p.shard].Load() {
+				continue
+			}
 			res, err := matchPair(bctxs[p.shard], idx1s[p.shard], incoming,
 				shards[p.shard].Candidates[p.cand], cfg, arena, caches[p.shard], opt.KeepCubes)
 			if err != nil {
+				if opt.AllowPartial && ctx.Err() == nil {
+					failShard(p.shard, err)
+					continue
+				}
 				fail(err)
 				return
 			}
@@ -185,9 +282,19 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 		budgetOwner.ReleaseWorker()
 		wg.Wait()
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if ctx.Err() != nil {
+		return nil, nil, context.Cause(ctx)
 	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	// Degraded shards surface as a nil result slice plus a ShardError;
+	// completed pairs of a failed shard are dropped with it — a shard
+	// either contributes its full (TopK-prunable) ranking or nothing.
+	for _, se := range shardErrs {
+		results[se.Shard] = nil
+	}
+	sort.Slice(shardErrs, func(a, b int) bool { return shardErrs[a].Shard < shardErrs[b].Shard })
 	if opt.TopK > 0 {
 		for _, shardResults := range results {
 			if opt.TopK < len(shardResults) {
@@ -195,5 +302,5 @@ func MatchSharded(incoming *schema.Schema, shards []Shard, cfg Config, opt Batch
 			}
 		}
 	}
-	return results, nil
+	return results, shardErrs, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/match"
@@ -44,7 +45,10 @@ func TestMatchShardedGolden(t *testing.T) {
 			cfg := cfg
 			cfg.Workers = workers
 			shards := shardsOf(candidates, nShards)
-			got, err := MatchSharded(incoming, shards, cfg, BatchOptions{})
+			got, shardErrs, err := MatchSharded(context.Background(), incoming, shards, cfg, BatchOptions{})
+			if len(shardErrs) != 0 {
+				t.Fatalf("unexpected shard errors: %v", shardErrs)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +86,7 @@ func TestMatchShardedTopK(t *testing.T) {
 	incoming, candidates := all[0], all[1:]
 	cfg := DefaultConfig()
 	shards := shardsOf(candidates, 2)
-	got, err := MatchSharded(incoming, shards, cfg, BatchOptions{TopK: 2})
+	got, _, err := MatchSharded(context.Background(), incoming, shards, cfg, BatchOptions{TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,18 +109,28 @@ func TestMatchShardedEdgeCases(t *testing.T) {
 	incoming := all[0]
 	cfg := DefaultConfig()
 
-	res, err := MatchSharded(incoming, nil, cfg, BatchOptions{})
+	res, _, err := MatchSharded(context.Background(), incoming, nil, cfg, BatchOptions{})
 	if err != nil || len(res) != 0 {
 		t.Errorf("no shards: res=%v err=%v", res, err)
 	}
-	res, err = MatchSharded(incoming, []Shard{{Ctx: match.NewContext()}}, cfg, BatchOptions{})
+	res, _, err = MatchSharded(context.Background(), incoming, []Shard{{Ctx: match.NewContext()}}, cfg, BatchOptions{})
 	if err != nil || len(res) != 1 || len(res[0]) != 0 {
 		t.Errorf("empty shard: res=%v err=%v", res, err)
 	}
-	if _, err := MatchSharded(incoming, []Shard{{Candidates: all[1:]}}, cfg, BatchOptions{}); err == nil {
+	if _, _, err := MatchSharded(context.Background(), incoming, []Shard{{Candidates: all[1:]}}, cfg, BatchOptions{}); err == nil {
 		t.Error("nil shard context accepted")
 	}
-	if _, err := MatchSharded(incoming, nil, Config{}, BatchOptions{}); err == nil {
+	if _, _, err := MatchSharded(context.Background(), incoming, nil, Config{}, BatchOptions{}); err == nil {
 		t.Error("empty matcher set accepted")
+	}
+	// A nil request context is accepted (treated as Background).
+	if _, _, err := MatchSharded(nil, incoming, nil, cfg, BatchOptions{}); err != nil {
+		t.Errorf("nil request context: %v", err)
+	}
+	// A pre-canceled request context fails fast with its cause.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := MatchSharded(cctx, incoming, shardsOf(all[1:], 1), cfg, BatchOptions{}); err == nil {
+		t.Error("pre-canceled context accepted")
 	}
 }

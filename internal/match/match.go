@@ -25,6 +25,7 @@
 package match
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,13 @@ type Context struct {
 	// batch round) reuses its scored column instead of re-running the
 	// token-grid combination.
 	batch *BatchCache
+	// cancel, when set (WithCancel), is the cancellation source the
+	// engine observes cooperatively: row-claim loops of parallel fills
+	// and the schedulers' pair-claim loops stop once it is canceled,
+	// so a dead request stops burning workers mid-matrix. done caches
+	// its Done channel for cheap non-blocking checks on hot paths.
+	cancel context.Context
+	done   <-chan struct{}
 }
 
 // NewContext returns a context with the default dictionary, type
@@ -265,6 +273,75 @@ func (c *Context) batchCache() *BatchCache {
 	return c.batch
 }
 
+// WithCancel returns a shallow copy of the context that observes the
+// given cancellation source: ParallelRows stops claiming rows and the
+// batch schedulers stop claiming pairs once ctx is canceled. A nil ctx
+// uninstalls cancellation. The Done channel is cached so hot-path
+// checks cost one non-blocking channel read.
+func (c *Context) WithCancel(ctx context.Context) *Context {
+	out := &Context{}
+	if c != nil {
+		*out = *c
+	}
+	out.cancel = ctx
+	out.done = nil
+	if ctx != nil {
+		out.done = ctx.Done()
+	}
+	return out
+}
+
+// Cancellation returns the installed cancellation source, nil when the
+// context does not observe one.
+func (c *Context) Cancellation() context.Context {
+	if c == nil {
+		return nil
+	}
+	return c.cancel
+}
+
+// Err reports why the context's cancellation source was canceled, nil
+// while it is still live (or when none is installed). The check is
+// non-blocking and allocation-free, so row loops can afford it per
+// claim.
+func (c *Context) Err() error {
+	if c == nil || c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return context.Cause(c.cancel)
+	default:
+		return nil
+	}
+}
+
+// stopped is Err without the cause lookup — the hot-path form.
+func (c *Context) stopped() bool {
+	if c == nil || c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// BeginAnalysis opens an analyzer batch window (Analyzer.BeginBatch)
+// for the duration of one match operation and returns its closer.
+// While any window is open, deletions tombstone their schema instead
+// of merely dropping it, so an in-flight build publishing after the
+// delete cannot resurrect the analysis. A no-op closure is returned
+// when the context carries no analyzer.
+func (c *Context) BeginAnalysis() func() {
+	if c == nil || c.Analyzer == nil {
+		return func() {}
+	}
+	return c.Analyzer.BeginBatch()
+}
+
 // Pinned reports whether the schema is pinned in the context's
 // analyzer — the engine's marker for stored (long-lived) schemas. It
 // is how the batch scheduler distinguishes a retained incoming schema
@@ -436,6 +513,12 @@ func Keys(s *schema.Schema) []string {
 // primitive of the engine: the matchers, the instance and flooding
 // extensions and the eval harness all draw their parallelism from it,
 // bounded by the one Workers knob.
+//
+// When the context observes a cancellation source (WithCancel), each
+// worker re-checks it before claiming the next row and stops claiming
+// once it fires — a canceled request abandons its matrix within one
+// row's worth of work per worker. Rows already claimed still complete,
+// so a finished ParallelRows call never leaves a row half-written.
 func ParallelRows(ctx *Context, n int, fn func(i int)) {
 	extra := ctx.workers() - 1
 	if extra > n-1 {
@@ -444,6 +527,9 @@ func ParallelRows(ctx *Context, n int, fn func(i int)) {
 	var next atomic.Int64
 	work := func() {
 		for {
+			if ctx.stopped() {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return

@@ -1,0 +1,335 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// blockingBackend holds every match until its gate opens, or until the
+// request context is done — the controllable slow backend behind the
+// admission-queue and deadline tests.
+type blockingBackend struct {
+	*testBackend
+	gate chan struct{}
+}
+
+func (b *blockingBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
+	select {
+	case <-b.gate:
+		return b.testBackend.MatchIncoming(ctx, incoming, topK, allowPartial)
+	case <-ctx.Done():
+		return nil, nil, context.Cause(ctx)
+	}
+}
+
+// newBlockingServer builds a server over a blocking backend holding
+// one stored schema, returning the httptest server, the backend, and
+// the stored schema's name (a resolvable match target).
+func newBlockingServer(t *testing.T, cfg server.Config) (*httptest.Server, *blockingBackend, string) {
+	t.Helper()
+	bb := &blockingBackend{testBackend: newTestBackend(t), gate: make(chan struct{})}
+	s := workload.Candidates(1)[0]
+	if _, err := bb.PutSchema(s); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = bb
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		// Unblock any request a failed test left parked in the backend.
+		select {
+		case <-bb.gate:
+		default:
+			close(bb.gate)
+		}
+	})
+	return ts, bb, s.Name
+}
+
+// postMatch posts a by-name match request under ctx and returns the
+// raw response for status and header assertions.
+func postMatch(ctx context.Context, url, name string) (*http.Response, error) {
+	buf, err := json.Marshal(server.MatchRequest{Schema: server.SchemaPayload{Name: name}})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/match", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return http.DefaultClient.Do(req)
+}
+
+// waitReady polls /readyz until cond holds, failing the test after 5s.
+func waitReady(t *testing.T, url string, cond func(server.Readiness) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var state server.Readiness
+		err = json.NewDecoder(resp.Body).Decode(&state)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cond(state) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readiness condition not reached; last state %+v", state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// errorBody decodes and closes an error response's JSON body.
+func errorBody(t *testing.T, resp *http.Response) server.ErrorResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var e server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return e
+}
+
+// TestServerQueueShedding: with one worker slot and a queue bound of
+// one, a third concurrent match is shed immediately with 429 and a
+// Retry-After hint, while the admitted requests complete once the
+// backend unblocks.
+func TestServerQueueShedding(t *testing.T) {
+	ts, bb, name := newBlockingServer(t, server.Config{Workers: 1, QueueLimit: 1, Shards: 1})
+	statuses := make(chan int, 2)
+	launch := func() {
+		go func() {
+			resp, err := postMatch(context.Background(), ts.URL, name)
+			if err != nil {
+				t.Error(err)
+				statuses <- -1
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+
+	launch() // takes the worker slot
+	waitReady(t, ts.URL, func(r server.Readiness) bool { return r.InFlight == 1 })
+	launch() // waits in the queue
+	waitReady(t, ts.URL, func(r server.Readiness) bool { return r.Queued == 1 })
+
+	resp, err := postMatch(context.Background(), ts.URL, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("third concurrent match: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response carries no Retry-After")
+	}
+	if e := errorBody(t, resp); e.Error == "" {
+		t.Error("shed response carries no JSON error")
+	}
+
+	close(bb.gate)
+	for i := 0; i < 2; i++ {
+		if code := <-statuses; code != http.StatusOK {
+			t.Errorf("admitted match %d finished with HTTP %d, want 200", i, code)
+		}
+	}
+}
+
+// TestServerQueueWaitTimeout: a request that cannot get a worker slot
+// within QueueTimeout is shed with 503 instead of waiting forever.
+func TestServerQueueWaitTimeout(t *testing.T) {
+	ts, bb, name := newBlockingServer(t, server.Config{
+		Workers: 1, QueueTimeout: 50 * time.Millisecond, Shards: 1,
+	})
+	first := make(chan int, 1)
+	go func() {
+		resp, err := postMatch(context.Background(), ts.URL, name)
+		if err != nil {
+			t.Error(err)
+			first <- -1
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	waitReady(t, ts.URL, func(r server.Readiness) bool { return r.InFlight == 1 })
+
+	resp, err := postMatch(context.Background(), ts.URL, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("queue-wait timeout: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-wait timeout carries no Retry-After")
+	}
+	errorBody(t, resp)
+
+	close(bb.gate)
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("in-flight match finished with HTTP %d, want 200", code)
+	}
+}
+
+// TestServerCanceledWhileQueued: a client abandoning its queued
+// request frees the queue slot without disturbing the in-flight match.
+func TestServerCanceledWhileQueued(t *testing.T) {
+	ts, bb, name := newBlockingServer(t, server.Config{Workers: 1, Shards: 1})
+	first := make(chan int, 1)
+	go func() {
+		resp, err := postMatch(context.Background(), ts.URL, name)
+		if err != nil {
+			t.Error(err)
+			first <- -1
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	waitReady(t, ts.URL, func(r server.Readiness) bool { return r.InFlight == 1 })
+
+	cctx, cancel := context.WithCancel(context.Background())
+	queuedErr := make(chan error, 1)
+	go func() {
+		resp, err := postMatch(cctx, ts.URL, name)
+		if err == nil {
+			resp.Body.Close()
+		}
+		queuedErr <- err
+	}()
+	waitReady(t, ts.URL, func(r server.Readiness) bool { return r.Queued == 1 })
+	cancel()
+	if err := <-queuedErr; err == nil {
+		t.Error("canceled queued request reported success")
+	}
+	waitReady(t, ts.URL, func(r server.Readiness) bool { return r.Queued == 0 && r.InFlight == 1 })
+
+	close(bb.gate)
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("in-flight match finished with HTTP %d, want 200", code)
+	}
+	resp, err := postMatch(context.Background(), ts.URL, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("match after queue churn: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerMatchDeadline: MatchTimeout bounds every match; a backend
+// that cannot finish in time yields 504 Gateway Timeout, and the
+// server keeps serving afterwards.
+func TestServerMatchDeadline(t *testing.T) {
+	ts, bb, name := newBlockingServer(t, server.Config{
+		Workers: 2, MatchTimeout: 40 * time.Millisecond, Shards: 1,
+	})
+	resp, err := postMatch(context.Background(), ts.URL, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("timed-out match: HTTP %d, want 504", resp.StatusCode)
+	}
+	if e := errorBody(t, resp); e.Error == "" {
+		t.Error("timed-out match carries no JSON error")
+	}
+
+	close(bb.gate) // the backend answers instantly from here on
+	resp, err = postMatch(context.Background(), ts.URL, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("match within deadline: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerFaultHook: the fault-injection hook fails exactly the
+// targeted operation with 500 and injects nothing once cleared.
+func TestServerFaultHook(t *testing.T) {
+	var failOp atomic.Value // operation name to fail; "" injects nothing
+	failOp.Store("")
+	b := newTestBackend(t)
+	ts := httptest.NewServer(server.New(server.Config{
+		Backend: b, Workers: 2, Shards: 1,
+		FaultHook: func(op string) error {
+			if failOp.Load() == op {
+				return errors.New("injected fault")
+			}
+			return nil
+		},
+	}))
+	t.Cleanup(ts.Close)
+	s := workload.Candidates(1)[0]
+	if _, err := b.PutSchema(s); err != nil {
+		t.Fatal(err)
+	}
+	putBody := server.SchemaPayload{Format: "xsd", Source: xsdOf(t, workload.Schemas()[0])}
+
+	cases := []struct {
+		op     string
+		invoke func() int
+	}{
+		{"match", func() int {
+			resp, err := postMatch(context.Background(), ts.URL, s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			return resp.StatusCode
+		}},
+		{"put", func() int {
+			var out server.SchemaInfo
+			return doJSON(t, http.MethodPut, ts.URL+"/schemas/Injected", putBody, &out)
+		}},
+		{"delete", func() int {
+			req, err := http.NewRequest(http.MethodDelete, ts.URL+"/schemas/Injected", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp.StatusCode
+		}},
+	}
+	// Each op fails only while targeted.
+	for _, c := range cases {
+		failOp.Store(c.op)
+		if code := c.invoke(); code != http.StatusInternalServerError {
+			t.Errorf("fault %q: HTTP %d, want 500", c.op, code)
+		}
+	}
+	failOp.Store("")
+	for _, c := range cases {
+		if code := c.invoke(); code >= 400 && code != http.StatusNotFound {
+			t.Errorf("cleared fault %q: HTTP %d, want success", c.op, code)
+		}
+	}
+}

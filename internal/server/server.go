@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	GET    /healthz          liveness + store size
+//	GET    /readyz           readiness + admission queue state
 //	GET    /schemas          stored schema names and sizes
 //	PUT    /schemas/{name}   import an inline schema into the store
 //	GET    /schemas/{name}   one stored schema's path enumeration
@@ -20,14 +21,28 @@
 // admitted match still spreads over its own worker budget, so the
 // worst-case CPU oversubscription is workers × workers, not
 // request-count × workers.
+//
+// The queue itself is bounded too (Config.QueueLimit): beyond it the
+// server sheds load with a JSON 429 carrying Retry-After, and a
+// request that waits longer than Config.QueueTimeout for a slot is
+// answered 503 — the two standard degradation modes of an overloaded
+// matcher, preferred over unbounded latency. An admitted match runs
+// under the request's context, bounded by Config.MatchTimeout when
+// set: a canceled or timed-out request stops the pipeline
+// cooperatively (pair and row claims stop, pooled matrices are
+// recycled, transient analyses evicted) instead of burning workers for
+// a caller that is gone.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/match"
@@ -60,8 +75,12 @@ type Backend interface {
 	// MatchIncoming batch-matches the incoming schema against every
 	// stored schema (excluding same-named ones), returning outcomes
 	// ordered by descending combined schema similarity; topK > 0 keeps
-	// only the K best.
-	MatchIncoming(incoming *schema.Schema, topK int) ([]Match, error)
+	// only the K best. A done ctx stops the match cooperatively and
+	// returns the cancellation cause. With allowPartial, a sharded
+	// backend degrades failed shards to ShardFailures instead of
+	// failing the whole match; single-store backends return no
+	// failures.
+	MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]Match, []ShardFailure, error)
 }
 
 // Config assembles a Server.
@@ -81,6 +100,25 @@ type Config struct {
 	// at the cap and answered with a uniform JSON 413 instead of being
 	// buffered onto the heap.
 	MaxBodyBytes int64
+	// MatchTimeout, when positive, bounds each admitted match request:
+	// the match runs under a deadline that far out and answers 504 on
+	// expiry, with the pipeline stopped cooperatively. 0 disables the
+	// per-request deadline (client disconnects still cancel).
+	MatchTimeout time.Duration
+	// QueueLimit bounds the admission queue: match requests beyond it
+	// are shed with a JSON 429 + Retry-After instead of waiting. 0
+	// selects DefaultQueueLimit; negative means unbounded.
+	QueueLimit int
+	// QueueTimeout bounds how long a match request may wait for an
+	// execution slot before it is answered 503. 0 selects
+	// DefaultQueueTimeout; negative disables the wait bound.
+	QueueTimeout time.Duration
+	// FaultHook, when set, is consulted at the start of every mutating
+	// or matching handler with the operation name ("match", "put",
+	// "delete"); a non-nil return is answered as a 500 without touching
+	// the backend. It exists for fault-injection tests and chaos
+	// probes; leave nil in production.
+	FaultHook func(op string) error
 }
 
 // Server is the HTTP front-end. It implements http.Handler.
@@ -92,6 +130,17 @@ type Server struct {
 	sem chan struct{}
 	// maxBody caps request bodies.
 	maxBody int64
+	// matchTimeout bounds each admitted match (0 = none).
+	matchTimeout time.Duration
+	// queueLimit bounds waiting match requests (0 = unbounded).
+	queueLimit int
+	// queueTimeout bounds the slot wait (0 = unbounded).
+	queueTimeout time.Duration
+	faultHook    func(op string) error
+	// queued/inflight feed /readyz; draining flips it to 503.
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
 }
 
 // New builds a Server over the config's backend.
@@ -104,14 +153,31 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	queueLimit := cfg.QueueLimit
+	if queueLimit == 0 {
+		queueLimit = DefaultQueueLimit
+	} else if queueLimit < 0 {
+		queueLimit = 0
+	}
+	queueTimeout := cfg.QueueTimeout
+	if queueTimeout == 0 {
+		queueTimeout = DefaultQueueTimeout
+	} else if queueTimeout < 0 {
+		queueTimeout = 0
+	}
 	s := &Server{
-		backend: cfg.Backend,
-		shards:  shards,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, match.ResolveWorkers(cfg.Workers)),
-		maxBody: maxBody,
+		backend:      cfg.Backend,
+		shards:       shards,
+		mux:          http.NewServeMux(),
+		sem:          make(chan struct{}, match.ResolveWorkers(cfg.Workers)),
+		maxBody:      maxBody,
+		matchTimeout: cfg.MatchTimeout,
+		queueLimit:   queueLimit,
+		queueTimeout: queueTimeout,
+		faultHook:    cfg.FaultHook,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /schemas", s.handleListSchemas)
 	s.mux.HandleFunc("PUT /schemas/{name}", s.handlePutSchema)
 	s.mux.HandleFunc("GET /schemas/{name}", s.handleGetSchema)
@@ -123,9 +189,30 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Drain flips the server into draining mode ahead of graceful
+// shutdown: /readyz answers 503 so load balancers stop routing, and
+// new match requests are shed with 503 + Retry-After, while requests
+// already queued or in flight complete normally (http.Server.Shutdown
+// waits for them). Draining is one-way; restart the process to serve
+// again.
+func (s *Server) Drain() { s.draining.Store(true) }
+
 // DefaultMaxBodyBytes is the default request body cap; schema
 // documents are text and stay far below this.
 const DefaultMaxBodyBytes = 16 << 20
+
+// DefaultQueueLimit is the default bound on match requests waiting for
+// an execution slot; more than this many waiters answer 429.
+const DefaultQueueLimit = 64
+
+// DefaultQueueTimeout is the default bound on one match request's wait
+// for an execution slot; longer waits answer 503.
+const DefaultQueueTimeout = 30 * time.Second
+
+// statusClientClosedRequest is the conventional (nginx) status for a
+// request aborted by its own client; it only ever reaches logs — the
+// client that would read it is gone.
+const statusClientClosedRequest = 499
 
 // writeJSON writes a JSON response with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -169,12 +256,38 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) (int, e
 	return 0, nil
 }
 
+// fault consults the injection hook; a non-nil error aborts the
+// handler with a 500 before the backend is touched.
+func (s *Server) fault(op string) error {
+	if s.faultHook == nil {
+		return nil
+	}
+	return s.faultHook(op)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
 		Status:  "ok",
 		Schemas: s.backend.Stats().Schemas,
 		Shards:  s.shards,
 	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := Readiness{
+		Status:     "ok",
+		Queued:     int(s.queued.Load()),
+		InFlight:   int(s.inflight.Load()),
+		Workers:    cap(s.sem),
+		QueueLimit: s.queueLimit,
+	}
+	if s.draining.Load() {
+		ready.Status = "draining"
+		ready.Draining = true
+		writeJSON(w, http.StatusServiceUnavailable, ready)
+		return
+	}
+	writeJSON(w, http.StatusOK, ready)
 }
 
 func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +305,10 @@ func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if err := s.fault("put"); err != nil {
+		writeError(w, http.StatusInternalServerError, "store schema %s: %v", name, err)
+		return
+	}
 	var p SchemaPayload
 	if status, err := s.readJSON(w, r, &p); err != nil {
 		writeError(w, status, "%v", err)
@@ -243,6 +360,10 @@ func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if err := s.fault("delete"); err != nil {
+		writeError(w, http.StatusInternalServerError, "delete schema %s: %v", name, err)
+		return
+	}
 	existed, err := s.backend.DeleteSchema(name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "delete schema %s: %v", name, err)
@@ -256,6 +377,15 @@ func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if err := s.fault("match"); err != nil {
+		writeError(w, http.StatusInternalServerError, "match: %v", err)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	var req MatchRequest
 	if status, err := s.readJSON(w, r, &req); err != nil {
 		writeError(w, status, "%v", err)
@@ -284,23 +414,73 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Bounded in-flight matching: wait for a slot, but give up when the
-	// client does — a queued request whose caller is gone would only
-	// burn the budget.
+	// Bounded admission: shed load once more requests wait for a slot
+	// than the queue bound allows — an over-full queue only converts
+	// overload into latency, and Retry-After tells well-behaved clients
+	// when to come back.
+	if n := s.queued.Add(1); s.queueLimit > 0 && n > int64(s.queueLimit) {
+		s.queued.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "match queue is full")
+		return
+	}
+	// Wait for an execution slot, bounded by the queue timeout, and
+	// give up when the client does — a queued request whose caller is
+	// gone would only burn the budget.
+	var queueDeadline <-chan time.Time
+	if s.queueTimeout > 0 {
+		t := time.NewTimer(s.queueTimeout)
+		defer t.Stop()
+		queueDeadline = t.C
+	}
 	select {
 	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
 		defer func() { <-s.sem }()
+	case <-queueDeadline:
+		s.queued.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"no match slot within %s", s.queueTimeout)
+		return
 	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+		s.queued.Add(-1)
+		writeError(w, statusClientClosedRequest, "request canceled while queued")
 		return
 	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 
-	matches, err := s.backend.MatchIncoming(incoming, req.TopK)
+	// The match runs under the request context — a disconnecting
+	// client cancels it — tightened by the per-request deadline when
+	// configured. The pipeline stops cooperatively either way: workers
+	// stop claiming pairs and rows, pooled matrices are recycled, and
+	// transient analyses are evicted.
+	mctx := r.Context()
+	if s.matchTimeout > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(mctx, s.matchTimeout)
+		defer cancel()
+	}
+	matches, failures, err := s.backend.MatchIncoming(mctx, incoming, req.TopK, req.AllowPartial)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "match %s: %v", incoming.Name, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout,
+				"match %s: deadline of %s exceeded", incoming.Name, s.matchTimeout)
+		case errors.Is(err, context.Canceled):
+			writeError(w, statusClientClosedRequest, "match %s: canceled", incoming.Name)
+		default:
+			writeError(w, http.StatusInternalServerError, "match %s: %v", incoming.Name, err)
+		}
 		return
 	}
-	resp := MatchResponse{Incoming: incoming.Name, Candidates: make([]MatchCandidate, 0, len(matches))}
+	resp := MatchResponse{
+		Incoming:     incoming.Name,
+		Candidates:   make([]MatchCandidate, 0, len(matches)),
+		Partial:      len(failures) > 0,
+		FailedShards: failures,
+	}
 	for _, m := range matches {
 		resp.Candidates = append(resp.Candidates, MatchCandidate{
 			Schema:          m.Schema.Name,

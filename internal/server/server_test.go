@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -51,7 +52,7 @@ func newTestBackend(t *testing.T) *testBackend {
 	return &testBackend{Repo: repo, ctx: match.NewContext(), cfg: core.DefaultConfig()}
 }
 
-func (b *testBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server.Match, error) {
+func (b *testBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
 	stored := b.Schemas()
 	candidates := stored[:0:0]
 	for _, s := range stored {
@@ -60,9 +61,9 @@ func (b *testBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server
 		}
 	}
 	opt := core.BatchOptions{TopK: topK}
-	results, err := core.MatchAll(b.ctx, incoming, candidates, b.cfg, opt)
+	results, err := core.MatchAll(ctx, b.ctx, incoming, candidates, b.cfg, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []server.Match
 	for i, res := range results {
@@ -76,7 +77,7 @@ func (b *testBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server
 		}
 		return out[i].Schema.Name < out[j].Schema.Name
 	})
-	return out, nil
+	return out, nil, nil
 }
 
 // newTestServer starts an httptest server over a fresh backend.

@@ -34,6 +34,10 @@ type MatchRequest struct {
 	Schema SchemaPayload `json:"schema"`
 	// TopK keeps only the K best candidates (0 = all).
 	TopK int `json:"topK,omitempty"`
+	// AllowPartial opts into graceful degradation on a sharded backend:
+	// a failed shard is dropped from the ranking and reported in
+	// MatchResponse.FailedShards instead of failing the request.
+	AllowPartial bool `json:"allowPartial,omitempty"`
 }
 
 // Correspondence is one element correspondence of a wire mapping.
@@ -53,11 +57,26 @@ type MatchCandidate struct {
 	Correspondences []Correspondence `json:"correspondences"`
 }
 
+// ShardFailure reports one shard dropped from a partial match result.
+type ShardFailure struct {
+	// Shard is the failed shard's index.
+	Shard int `json:"shard"`
+	// Error is the failure's message.
+	Error string `json:"error"`
+}
+
 // MatchResponse is the body answering POST /match: stored candidates
-// ranked by descending combined schema similarity.
+// ranked by descending combined schema similarity. With
+// MatchRequest.AllowPartial, a response missing failed shards'
+// candidates carries Partial = true and names the dropped shards.
 type MatchResponse struct {
 	Incoming   string           `json:"incoming"`
 	Candidates []MatchCandidate `json:"candidates"`
+	// Partial marks a degraded result: one or more shards failed and
+	// their candidates are absent from the ranking.
+	Partial bool `json:"partial,omitempty"`
+	// FailedShards lists the dropped shards, ordered by shard index.
+	FailedShards []ShardFailure `json:"failedShards,omitempty"`
 }
 
 // SchemaInfo summarizes one stored schema.
@@ -78,11 +97,31 @@ type SchemaDetail struct {
 	Paths []string `json:"paths"`
 }
 
-// Health is the body answering GET /healthz.
+// Health is the body answering GET /healthz — pure liveness plus
+// store shape; it stays 200 even while the server drains.
 type Health struct {
 	Status  string `json:"status"`
 	Schemas int    `json:"schemas"`
 	Shards  int    `json:"shards"`
+}
+
+// Readiness is the body answering GET /readyz — whether the server
+// should receive new traffic, with the admission queue's state. While
+// draining (graceful shutdown) the endpoint answers 503 so load
+// balancers stop routing before in-flight matches are killed.
+type Readiness struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Draining is true once graceful shutdown began.
+	Draining bool `json:"draining"`
+	// Queued is the number of match requests waiting for a slot.
+	Queued int `json:"queued"`
+	// InFlight is the number of match requests currently executing.
+	InFlight int `json:"inFlight"`
+	// Workers is the admission semaphore's size.
+	Workers int `json:"workers"`
+	// QueueLimit is the admission queue bound (0 = unbounded).
+	QueueLimit int `json:"queueLimit"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

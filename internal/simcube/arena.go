@@ -100,8 +100,9 @@ func (m *Matrix) Reset() { clear(m.data) }
 // did not come from a (the non-nil NewMatrix case — e.g. a matrix a
 // custom matcher builds and retains across calls) is left fully
 // intact: releases only ever reclaim storage this arena handed out.
+// A nil matrix is a no-op, so error paths release unconditionally.
 func (m *Matrix) ReleaseTo(a *Arena) {
-	if a == nil || m.arena != a {
+	if m == nil || a == nil || m.arena != a {
 		return
 	}
 	a.ReleaseFloats(m.data)

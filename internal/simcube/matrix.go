@@ -184,9 +184,16 @@ func (c *Cube) Matchers() []string { return c.names }
 // Layers returns the number of matcher layers.
 func (c *Cube) Layers() int { return len(c.layers) }
 
-// AddLayer appends a matcher's result matrix. The matrix must be over
-// the cube's key sets.
+// AddLayer appends a matcher's result matrix. The matrix must be
+// non-nil and over the cube's key sets; a nil matrix — a faulty or
+// fault-injected matcher that produced nothing — is rejected as an
+// error rather than a panic, so the schedulers' error paths (arena
+// release, transient eviction) handle matcher loss like any other
+// failure.
 func (c *Cube) AddLayer(matcher string, m *Matrix) error {
+	if m == nil {
+		return fmt.Errorf("simcube: layer %q is missing (matcher returned no matrix)", matcher)
+	}
 	if m.Rows() != len(c.rowKeys) || m.Cols() != len(c.colKeys) {
 		return fmt.Errorf("simcube: layer %q is %dx%d, cube is %dx%d",
 			matcher, m.Rows(), m.Cols(), len(c.rowKeys), len(c.colKeys))

@@ -1,6 +1,7 @@
 package coma
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,6 +68,23 @@ type IncomingMatch struct {
 // by descending combined schema similarity (name breaking ties); with
 // TopK(n) only the n best survive.
 func (r *Repository) MatchIncoming(e *Engine, incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, error) {
+	return r.MatchIncomingContext(context.Background(), e, incoming, opts...)
+}
+
+// MatchIncomingContext is MatchIncoming under a request context: a
+// done ctx stops the batch cooperatively (pair and row claims stop,
+// pooled matrices are recycled, transient analyses evicted) and
+// returns the cancellation cause. A never-canceled ctx yields results
+// bit-identical to MatchIncoming.
+func (r *Repository) MatchIncomingContext(ctx context.Context, e *Engine, incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, error) {
+	// The analyzer batch window opens BEFORE the store snapshot: a
+	// DELETE completing in the gap between snapshot and the scheduler's
+	// own window would lay no tombstone (no window open yet), and this
+	// batch could re-publish the deleted schema's analysis. With the
+	// window bracketing the snapshot, any delete that the snapshot can
+	// still reference tombstones against it.
+	end := e.o.ctx.BeginAnalysis()
+	defer end()
 	stored := r.Schemas()
 	candidates := stored[:0:0]
 	for _, s := range stored {
@@ -74,7 +92,7 @@ func (r *Repository) MatchIncoming(e *Engine, incoming *Schema, opts ...MatchAll
 			candidates = append(candidates, s)
 		}
 	}
-	results, err := e.MatchAll(incoming, candidates, opts...)
+	results, err := e.MatchAllContext(ctx, incoming, candidates, opts...)
 	if err != nil {
 		return nil, err
 	}

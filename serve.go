@@ -1,16 +1,78 @@
 package coma
 
 import (
-	"net/http"
+	"context"
+	"time"
 
 	"repro/internal/schema"
 	"repro/internal/server"
 )
 
-// Handler returns an http.Handler exposing the repository over the
+// ServeOption adjusts the HTTP front-end built by Repository.Handler
+// and ShardedRepository.Handler: per-request deadlines, admission
+// queue bounds, body caps and fault injection. The compute-side knobs
+// (matchers, workers, caches) stay on the engines' Options.
+type ServeOption func(*server.Config)
+
+// WithMatchTimeout bounds every admitted match request: requests
+// running longer answer 504 and the pipeline stops cooperatively.
+// d <= 0 disables the per-request deadline (client disconnects still
+// cancel).
+func WithMatchTimeout(d time.Duration) ServeOption {
+	return func(cfg *server.Config) {
+		if d <= 0 {
+			d = 0
+		}
+		cfg.MatchTimeout = d
+	}
+}
+
+// WithQueueLimit bounds the admission queue: match requests beyond n
+// waiters are shed with 429 + Retry-After. n <= 0 means unbounded;
+// the default is server.DefaultQueueLimit.
+func WithQueueLimit(n int) ServeOption {
+	return func(cfg *server.Config) {
+		if n <= 0 {
+			n = -1
+		}
+		cfg.QueueLimit = n
+	}
+}
+
+// WithQueueTimeout bounds how long a match request may wait for an
+// execution slot before answering 503. d <= 0 disables the bound; the
+// default is server.DefaultQueueTimeout.
+func WithQueueTimeout(d time.Duration) ServeOption {
+	return func(cfg *server.Config) {
+		if d <= 0 {
+			d = -1
+		}
+		cfg.QueueTimeout = d
+	}
+}
+
+// WithServeMaxBodyBytes caps request bodies (PUT /schemas,
+// POST /match); oversized uploads answer 413. n <= 0 keeps the
+// default.
+func WithServeMaxBodyBytes(n int64) ServeOption {
+	return func(cfg *server.Config) { cfg.MaxBodyBytes = n }
+}
+
+// WithFaultHook installs a fault-injection hook consulted at the start
+// of every match/put/delete handler with the operation name; a non-nil
+// return aborts the request with a 500 before the backend is touched.
+// For tests and chaos probes only.
+func WithFaultHook(hook func(op string) error) ServeOption {
+	return func(cfg *server.Config) { cfg.FaultHook = hook }
+}
+
+// Handler returns the HTTP front-end exposing the repository over the
 // comaserve HTTP/JSON API (see package internal/server for the
 // endpoint contract): schema import and listing plus the batch match
 // of an incoming schema against every stored one, executed through e.
+// The returned *server.Server implements http.Handler; keep a
+// reference to call Drain before graceful shutdown (flips /readyz to
+// 503 and sheds new matches while in-flight ones finish).
 // In-flight match requests are bounded by e's worker count. Every
 // schema already stored is pinned in e's analysis cache — stored
 // analyses stay warm across requests, while inline incoming schemas'
@@ -23,19 +85,23 @@ import (
 // DELETE keeps its pin (and its cached analysis) until Engine.Release
 // — route store mutations through the served API, or pair direct ones
 // with Release+Invalidate.
-func (r *Repository) Handler(e *Engine) http.Handler {
+func (r *Repository) Handler(e *Engine, opts ...ServeOption) *server.Server {
 	for _, s := range r.Schemas() {
 		e.Pin(s)
 	}
-	return server.New(server.Config{
+	cfg := server.Config{
 		Backend: &singleBackend{repo: r, engine: e},
 		Workers: e.o.workers,
 		Shards:  1,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return server.New(cfg)
 }
 
-// Handler returns an http.Handler exposing the sharded repository over
-// the comaserve HTTP/JSON API. Matches fan out across the shards'
+// Handler returns the HTTP front-end exposing the sharded repository
+// over the comaserve HTTP/JSON API. Matches fan out across the shards'
 // engines; in-flight match requests are bounded by the engines' worker
 // count. Every stored schema is pinned in every shard engine's
 // analysis cache (a schema's analysis can live outside its own shard —
@@ -43,16 +109,22 @@ func (r *Repository) Handler(e *Engine) http.Handler {
 // stored analyses stay warm while inline ones die with their request.
 // As with Repository.Handler, mutate the store through the served API:
 // direct repository adds stay unpinned, and direct deletes keep their
-// pin until released on every shard engine.
-func (r *ShardedRepository) Handler() http.Handler {
+// pin until released on every shard engine. Match requests carrying
+// allowPartial degrade a failed shard to a partial, annotated ranking
+// instead of a failed request.
+func (r *ShardedRepository) Handler(opts ...ServeOption) *server.Server {
 	for _, s := range r.Schemas() {
 		r.pinInstance(s)
 	}
-	return server.New(server.Config{
+	cfg := server.Config{
 		Backend: &shardedBackend{repo: r},
 		Workers: r.engines[0].o.workers,
 		Shards:  r.NumShards(),
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return server.New(cfg)
 }
 
 // toServerMatches converts ranked repository outcomes to the server's
@@ -61,6 +133,18 @@ func toServerMatches(ms []IncomingMatch) []server.Match {
 	out := make([]server.Match, len(ms))
 	for i, m := range ms {
 		out[i] = server.Match{Schema: m.Schema, Result: m.Result}
+	}
+	return out
+}
+
+// toServerFailures converts shard errors to their wire shape.
+func toServerFailures(errs []ShardError) []server.ShardFailure {
+	if len(errs) == 0 {
+		return nil
+	}
+	out := make([]server.ShardFailure, len(errs))
+	for i, se := range errs {
+		out[i] = server.ShardFailure{Shard: se.Shard, Error: se.Err.Error()}
 	}
 	return out
 }
@@ -79,12 +163,14 @@ type singleBackend struct {
 	engine *Engine
 }
 
-func (b *singleBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server.Match, error) {
-	ms, err := b.repo.MatchIncoming(b.engine, incoming, topKOpts(topK)...)
+func (b *singleBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
+	// A single store has no shard to degrade: allowPartial is accepted
+	// for wire compatibility and ignored.
+	ms, err := b.repo.MatchIncomingContext(ctx, b.engine, incoming, topKOpts(topK)...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return toServerMatches(ms), nil
+	return toServerMatches(ms), nil, nil
 }
 
 func (b *singleBackend) PutSchema(s *schema.Schema) (bool, error) {
@@ -131,12 +217,16 @@ type shardedBackend struct {
 	repo *ShardedRepository
 }
 
-func (b *shardedBackend) MatchIncoming(incoming *schema.Schema, topK int) ([]server.Match, error) {
-	ms, err := b.repo.MatchIncoming(incoming, topKOpts(topK)...)
-	if err != nil {
-		return nil, err
+func (b *shardedBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
+	opts := topKOpts(topK)
+	if allowPartial {
+		opts = append(opts, AllowPartial())
 	}
-	return toServerMatches(ms), nil
+	ms, shardErrs, err := b.repo.MatchIncomingContext(ctx, incoming, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toServerMatches(ms), toServerFailures(shardErrs), nil
 }
 
 func (b *shardedBackend) PutSchema(s *schema.Schema) (bool, error) {

@@ -1,6 +1,7 @@
 package coma
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -105,11 +106,34 @@ func (r *ShardedRepository) releaseInstance(s *Schema) {
 // shortlist is always a subset of the per-shard ones, so results are
 // bit-identical to the single-store path.
 func (r *ShardedRepository) MatchIncoming(incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, error) {
+	out, _, err := r.MatchIncomingContext(context.Background(), incoming, opts...)
+	return out, err
+}
+
+// MatchIncomingContext is MatchIncoming under a request context, with
+// graceful degradation: a done ctx stops the fan-out cooperatively and
+// returns the cancellation cause, while — with AllowPartial — a shard
+// that fails on its own is dropped from the merged ranking and
+// reported in the returned ShardErrors (ordered by shard index)
+// instead of failing the request. Without AllowPartial the ShardErrors
+// are always nil and any shard failure fails the whole match. A
+// never-canceled ctx without failures yields results bit-identical to
+// MatchIncoming.
+func (r *ShardedRepository) MatchIncomingContext(ctx context.Context, incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, []ShardError, error) {
 	var o matchAllOptions
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+	}
+	// Every engine's analyzer window opens BEFORE the shard snapshots
+	// (see Repository.MatchIncomingContext): a delete completing between
+	// snapshot and the scheduler's own windows must still tombstone, or
+	// this fan-out could re-publish the deleted schema's analysis into
+	// whichever engines analyze it.
+	for _, e := range r.engines {
+		end := e.o.ctx.BeginAnalysis()
+		defer end()
 	}
 	shards := make([]core.Shard, len(r.engines))
 	for i, e := range r.engines {
@@ -123,14 +147,14 @@ func (r *ShardedRepository) MatchIncoming(incoming *Schema, opts ...MatchAllOpti
 		shards[i] = core.Shard{Ctx: e.o.ctx, Candidates: candidates}
 	}
 	lead := r.engines[0].o
-	results, err := core.MatchSharded(incoming, shards, core.Config{
+	results, shardErrs, err := core.MatchSharded(ctx, incoming, shards, core.Config{
 		Matchers: lead.matchers,
 		Strategy: lead.strategy,
 		Feedback: lead.feedback,
 		Workers:  lead.workers,
-	}, core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
+	}, core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes, AllowPartial: o.allowPartial})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []IncomingMatch
 	for si, shardResults := range results {
@@ -149,5 +173,5 @@ func (r *ShardedRepository) MatchIncoming(incoming *Schema, opts ...MatchAllOpti
 	if o.topK > 0 && len(out) > o.topK {
 		out = out[:o.topK]
 	}
-	return out, nil
+	return out, shardErrs, nil
 }
