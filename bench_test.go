@@ -6,6 +6,7 @@
 package coma_test
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -315,4 +316,49 @@ func BenchmarkAblationTypeNameWeights(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPrunedMatchAll measures the candidate-pruned TopK
+// repository match against a 208-schema corpus slice (13 full
+// evolution families, so the probe's family exceeds the TopK), with
+// the exhaustive scan it is bit-identical to as the sub-benchmark
+// baseline — the bench-smoke form of the MatchServe/10k scenarios in
+// cmd/comabench.
+func BenchmarkPrunedMatchAll(b *testing.B) {
+	stored, incoming := workload.CorpusPair(208, 3)
+	repo, err := coma.OpenRepository(filepath.Join(b.TempDir(), "pruned.repo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	engine, err := coma.NewEngine(coma.WithCandidateIndex())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range stored {
+		if err := repo.PutSchema(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One warmup analyzes and indexes the stored schemas, so both
+	// sub-benchmarks measure the serving steady state.
+	if _, err := repo.MatchIncoming(engine, incoming, coma.TopK(10)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := repo.MatchIncoming(engine, incoming, coma.TopK(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := repo.MatchIncoming(engine, incoming, coma.TopK(10), coma.Exhaustive()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

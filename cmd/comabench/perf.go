@@ -244,6 +244,21 @@ func measurePerf() perfReport {
 	// that sharding costs nothing per request on this workload.
 	add("MatchServe/1x16", func(b *testing.B) { benchServe(b, 1) })
 	add("MatchServe/4shard", func(b *testing.B) { benchServe(b, 4) })
+	// The repository-scale serving workload: a 10,000-schema corpus
+	// (Zipf vocabulary, evolution families — workload.Corpus) behind the
+	// same front-end on a 4-shard candidate-indexed store, probed with
+	// TopK(10) match requests. Both scenarios share one fixture, so the
+	// measured gap is exactly what the candidate-pruning index saves:
+	// exhaustive scores all 10k stored schemas per request, pruned
+	// matches only the candidates whose bound survives the running
+	// TopK threshold. The acceptance comparison is pruned >= 5x faster.
+	if cs, err := newCorpusServe(10000, 4); err != nil {
+		fmt.Fprintf(os.Stderr, "# corpus serve fixture failed: %v\n", err)
+	} else {
+		add("MatchServe/10k-pruned", func(b *testing.B) { cs.bench(b, false) })
+		add("MatchServe/10k-exhaustive", func(b *testing.B) { cs.bench(b, true) })
+		cs.close()
+	}
 	add("Analyze/schema", func(b *testing.B) {
 		ctx := match.NewContext()
 		b.ReportAllocs()
@@ -346,6 +361,15 @@ func measurePerf() perfReport {
 				four.NsPerOp/one.NsPerOp)
 		}
 	}
+	// The candidate-pruning acceptance comparison: a pruned TopK match
+	// against the 10k-schema corpus must run at least 5x faster than
+	// the exhaustive scan it is bit-identical to.
+	if ex, ok := byName["MatchServe/10k-exhaustive"]; ok {
+		if pr, ok := byName["MatchServe/10k-pruned"]; ok && pr.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "# MatchServe 10k pruned vs exhaustive: %.1fx faster per request\n",
+				ex.NsPerOp/pr.NsPerOp)
+		}
+	}
 	// The cache-lifecycle acceptance comparison: warm engine-scoped
 	// columns must beat the per-batch cache on repeated batches.
 	if warm, ok := byName["MatchRepeat/warm-colcache"]; ok && warm.NsPerOp > 0 {
@@ -430,6 +454,84 @@ func benchServe(b *testing.B, shards int) {
 		}(c)
 	}
 	wg.Wait()
+}
+
+// corpusServe is the repository-scale serving fixture shared by the
+// MatchServe/10k-* scenarios: n corpus schemas stored on a sharded,
+// candidate-indexed repository behind httptest. One pruned warmup
+// request makes the per-shard engines analyze and index every stored
+// schema, so both scenarios measure the serving steady state.
+type corpusServe struct {
+	dir  string
+	repo *coma.ShardedRepository
+	ts   *httptest.Server
+	req  coma.MatchRequest
+}
+
+func newCorpusServe(n, shards int) (*corpusServe, error) {
+	dir, err := os.MkdirTemp("", "comaserve-corpus")
+	if err != nil {
+		return nil, err
+	}
+	cs := &corpusServe{dir: dir}
+	fail := func(err error) (*corpusServe, error) {
+		cs.close()
+		return nil, err
+	}
+	cs.repo, err = coma.OpenShardedRepository(filepath.Join(dir, "shards"), shards, coma.WithCandidateIndex())
+	if err != nil {
+		return fail(err)
+	}
+	stored, incoming := workload.CorpusPair(n, 2002)
+	for _, s := range stored {
+		if err := cs.repo.PutSchema(s); err != nil {
+			return fail(err)
+		}
+	}
+	cs.ts = httptest.NewServer(cs.repo.Handler())
+	var buf bytes.Buffer
+	if err := export.SchemaXSD(&buf, incoming); err != nil {
+		return fail(err)
+	}
+	cs.req = coma.MatchRequest{
+		Schema: coma.SchemaPayload{Name: incoming.Name, Format: "xsd", Source: buf.String()},
+		TopK:   10,
+	}
+	if _, err := coma.NewClient(cs.ts.URL).Match(context.Background(), cs.req); err != nil {
+		return fail(fmt.Errorf("warmup match: %w", err))
+	}
+	return cs, nil
+}
+
+// bench measures one served TopK(10) match request against the corpus,
+// pruned through the candidate index or exhaustive.
+func (cs *corpusServe) bench(b *testing.B, exhaustive bool) {
+	client := coma.NewClient(cs.ts.URL)
+	client.HTTPClient = &http.Client{Transport: &http.Transport{}}
+	req := cs.req
+	req.Exhaustive = exhaustive
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Match(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Candidates) != 10 {
+			b.Fatalf("%d candidates, want 10", len(resp.Candidates))
+		}
+	}
+}
+
+func (cs *corpusServe) close() {
+	if cs.ts != nil {
+		cs.ts.Close()
+	}
+	if cs.repo != nil {
+		cs.repo.Close()
+	}
+	os.RemoveAll(cs.dir)
 }
 
 // benchSnapshot is the shape of a committed benchmark file: either a

@@ -8,13 +8,18 @@
 //	comarepo -repo coma.repo mappings -tag manual
 //	comarepo -repo coma.repo dump -tag manual -from PO1 -to PO2
 //	comarepo -repo coma.repo match -in incoming.xsd -topk 3
+//	comarepo -repo coma.repo match -in incoming.xsd -topk 3 -max-candidates 50
+//	comarepo -repo coma.repo match -in incoming.xsd -topk 3 -exhaustive
 //	comarepo -repo coma.repo compact
 //
 // The match command is the repository server's batch operation: it
 // imports the schema at -in (.sql, .xsd/.xml, .json or .dtd) and runs
-// one Engine.MatchAll batch against every stored schema, printing the
-// candidates ranked by combined schema similarity together with the
-// best candidate's correspondences.
+// one batch against every stored schema, printing the candidates
+// ranked by combined schema similarity together with the best
+// candidate's correspondences. With -topk the batch runs through the
+// candidate-pruning index (the prune ratio is printed);
+// -max-candidates shortlists to the M best-bounded candidates, and
+// -exhaustive disables pruning entirely.
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 		in       = flag.String("in", "", "incoming schema file for 'match' (.sql .xsd .xml .json .dtd)")
 		topK     = flag.Int("topk", 0, "match: keep only the K best candidates (0 = all)")
 		workers  = flag.Int("workers", 0, "match: worker bound of the batch (0 = all CPUs)")
+		maxCand  = flag.Int("max-candidates", 0, "match: shortlist to the M best-bounded candidates (0 = no cap)")
+		exhaust  = flag.Bool("exhaustive", false, "match: disable candidate pruning, score every stored schema")
 	)
 	flag.Parse()
 	usage := func() {
@@ -55,13 +62,13 @@ func main() {
 			usage()
 		}
 	}
-	if err := run(cmd, *repoPath, *schemaN, *tag, *from, *to, *in, *topK, *workers); err != nil {
+	if err := run(cmd, *repoPath, *schemaN, *tag, *from, *to, *in, *topK, *workers, *maxCand, *exhaust); err != nil {
 		fmt.Fprintln(os.Stderr, "comarepo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers int) error {
+func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers, maxCand int, exhaustive bool) error {
 	repo, err := coma.OpenRepository(repoPath)
 	if err != nil {
 		return err
@@ -107,7 +114,7 @@ func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers int)
 		if in == "" {
 			return fmt.Errorf("match requires -in")
 		}
-		return runMatch(repo, in, topK, workers)
+		return runMatch(repo, in, topK, workers, maxCand, exhaustive)
 	case "compact":
 		before := repo.Stats().LogBytes
 		if err := repo.Compact(); err != nil {
@@ -121,13 +128,14 @@ func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers int)
 }
 
 // runMatch imports the incoming schema and batch-matches it against
-// every stored schema.
-func runMatch(repo *coma.Repository, in string, topK, workers int) error {
+// every stored schema, pruned through the candidate index unless
+// -exhaustive disables it.
+func runMatch(repo *coma.Repository, in string, topK, workers, maxCand int, exhaustive bool) error {
 	incoming, err := coma.LoadFile(in)
 	if err != nil {
 		return err
 	}
-	engine, err := coma.NewEngine(coma.WithWorkers(workers))
+	engine, err := coma.NewEngine(coma.WithWorkers(workers), coma.WithCandidateIndex())
 	if err != nil {
 		return err
 	}
@@ -135,9 +143,19 @@ func runMatch(repo *coma.Repository, in string, topK, workers int) error {
 	if topK > 0 {
 		opts = append(opts, coma.TopK(topK))
 	}
+	if maxCand > 0 {
+		opts = append(opts, coma.MaxCandidates(maxCand))
+	}
+	if exhaustive {
+		opts = append(opts, coma.Exhaustive())
+	}
 	matches, err := repo.MatchIncoming(engine, incoming, opts...)
 	if err != nil {
 		return err
+	}
+	if stats := repo.LastPruneStats(); stats.Candidates > 0 {
+		fmt.Printf("pruned: %d of %d candidates skipped (ratio %.2f)\n",
+			stats.Skipped, stats.Candidates, stats.Ratio())
 	}
 	if len(matches) == 0 {
 		fmt.Printf("no stored candidates for %s\n", incoming.Name)

@@ -34,14 +34,14 @@ func seedRepo(t *testing.T) string {
 func TestCommands(t *testing.T) {
 	path := seedRepo(t)
 	for _, cmd := range []string{"stats", "schemas", "mappings", "compact"} {
-		if err := run(cmd, path, "", "manual", "", "", "", 0, 0); err != nil {
+		if err := run(cmd, path, "", "manual", "", "", "", 0, 0, 0, false); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
 	}
-	if err := run("show", path, "PO1", "manual", "", "", "", 0, 0); err != nil {
+	if err := run("show", path, "PO1", "manual", "", "", "", 0, 0, 0, false); err != nil {
 		t.Errorf("show: %v", err)
 	}
-	if err := run("dump", path, "", "manual", "PO1", "PO2", "", 0, 0); err != nil {
+	if err := run("dump", path, "", "manual", "PO1", "PO2", "", 0, 0, 0, false); err != nil {
 		t.Errorf("dump: %v", err)
 	}
 }
@@ -66,35 +66,41 @@ func TestMatchCommand(t *testing.T) {
 	if err := os.WriteFile(in, []byte("CREATE TABLE V (a INT, b VARCHAR(10));"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("match", path, "", "manual", "", "", in, 0, 1); err != nil {
+	if err := run("match", path, "", "manual", "", "", in, 0, 1, 0, false); err != nil {
 		t.Errorf("match: %v", err)
 	}
-	if err := run("match", path, "", "manual", "", "", in, 1, 0); err != nil {
+	if err := run("match", path, "", "manual", "", "", in, 1, 0, 0, false); err != nil {
 		t.Errorf("match -topk 1: %v", err)
+	}
+	if err := run("match", path, "", "manual", "", "", in, 1, 0, 1, false); err != nil {
+		t.Errorf("match -topk 1 -max-candidates 1: %v", err)
+	}
+	if err := run("match", path, "", "manual", "", "", in, 1, 0, 0, true); err != nil {
+		t.Errorf("match -topk 1 -exhaustive: %v", err)
 	}
 }
 
 func TestCommandErrors(t *testing.T) {
 	path := seedRepo(t)
-	if err := run("bogus", path, "", "", "", "", "", 0, 0); err == nil {
+	if err := run("bogus", path, "", "", "", "", "", 0, 0, 0, false); err == nil {
 		t.Error("unknown command should fail")
 	}
-	if err := run("show", path, "", "", "", "", "", 0, 0); err == nil {
+	if err := run("show", path, "", "", "", "", "", 0, 0, 0, false); err == nil {
 		t.Error("show without -schema should fail")
 	}
-	if err := run("show", path, "Missing", "", "", "", "", 0, 0); err == nil {
+	if err := run("show", path, "Missing", "", "", "", "", 0, 0, 0, false); err == nil {
 		t.Error("show of missing schema should fail")
 	}
-	if err := run("dump", path, "", "manual", "", "", "", 0, 0); err == nil {
+	if err := run("dump", path, "", "manual", "", "", "", 0, 0, 0, false); err == nil {
 		t.Error("dump without endpoints should fail")
 	}
-	if err := run("dump", path, "", "manual", "A", "B", "", 0, 0); err == nil {
+	if err := run("dump", path, "", "manual", "A", "B", "", 0, 0, 0, false); err == nil {
 		t.Error("dump of missing mapping should fail")
 	}
-	if err := run("match", path, "", "manual", "", "", "", 0, 0); err == nil {
+	if err := run("match", path, "", "manual", "", "", "", 0, 0, 0, false); err == nil {
 		t.Error("match without -in should fail")
 	}
-	if err := run("match", path, "", "manual", "", "", filepath.Join(t.TempDir(), "nope.txt"), 0, 0); err == nil {
+	if err := run("match", path, "", "manual", "", "", filepath.Join(t.TempDir(), "nope.txt"), 0, 0, 0, false); err == nil {
 		t.Error("match of missing file should fail")
 	}
 }

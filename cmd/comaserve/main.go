@@ -42,6 +42,13 @@
 // engine-scoped persistent column cache — warm name-similarity columns
 // across repeated matches of a stored schema — is on by default
 // (-colcache=false restores per-batch column reuse).
+//
+// Repository-scale matching: -candidate-index (on by default)
+// maintains the candidate-pruning index over the stored schemas, so
+// TopK match requests skip candidates whose cheap similarity upper
+// bound cannot reach the TopK — same ranking, sublinear work. Clients
+// opt out per request with "exhaustive": true; /readyz reports the
+// index size and the last request's prune ratio.
 package main
 
 import (
@@ -66,8 +73,9 @@ type serveConfig struct {
 	repoDir  string
 	shards   int
 	workers  int
-	anLimit  int
-	colcache bool
+	anLimit   int
+	colcache  bool
+	candIndex bool
 	// matchTimeout bounds each admitted match (0 = no deadline).
 	matchTimeout time.Duration
 	// queueLimit bounds waiting match requests (0 = server default,
@@ -91,6 +99,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "match worker bound and in-flight match limit (0 = all CPUs)")
 		anLimit      = flag.Int("analyzer-limit", 256, "per-engine bound on cached transient schema analyses (0 = unbounded)")
 		colcache     = flag.Bool("colcache", true, "persist name-similarity columns across batches (engine-scoped column cache)")
+		candIndex    = flag.Bool("candidate-index", true, "maintain the candidate-pruning index (TopK matches skip hopeless candidates; clients opt out per request with \"exhaustive\")")
 		matchTimeout = flag.Duration("match-timeout", 0, "per-request match deadline, e.g. 30s (0 = none; timed-out matches answer 504)")
 		queueLimit   = flag.Int("queue-limit", 64, "max match requests waiting for a slot before shedding with 429 (negative = unbounded)")
 		queueTimeout = flag.Duration("queue-timeout", 30*time.Second, "max wait for a match slot before answering 503 (negative = unbounded)")
@@ -103,6 +112,7 @@ func main() {
 		workers:      *workers,
 		anLimit:      *anLimit,
 		colcache:     *colcache,
+		candIndex:    *candIndex,
 		matchTimeout: *matchTimeout,
 		queueLimit:   *queueLimit,
 		queueTimeout: *queueTimeout,
@@ -132,6 +142,9 @@ func run(cfg serveConfig) error {
 	}
 	if cfg.colcache {
 		opts = append(opts, coma.WithPersistentColumnCache())
+	}
+	if cfg.candIndex {
+		opts = append(opts, coma.WithCandidateIndex())
 	}
 	repo, err := coma.OpenShardedRepository(cfg.repoDir, cfg.shards, opts...)
 	if err != nil {

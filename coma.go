@@ -48,6 +48,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/candidates"
 	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/dict"
@@ -185,6 +186,9 @@ type Options struct {
 	// persistent column cache.
 	analyzerLimit int
 	persistCols   bool
+	// candIdx is the candidate-pruning inverted index installed by
+	// WithCandidateIndex (nil = exhaustive repository matching).
+	candIdx *candidates.Index
 }
 
 // Option adjusts match options.
@@ -451,6 +455,10 @@ type matchAllOptions struct {
 	topK         int
 	keepCubes    bool
 	allowPartial bool
+	// maxCandidates caps a pruned repository batch at the n best-bounded
+	// candidates; exhaustive bypasses the candidate index entirely.
+	maxCandidates int
+	exhaustive    bool
 }
 
 // MatchAllOption adjusts one MatchAll batch.

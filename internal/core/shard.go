@@ -56,6 +56,211 @@ func joinCancel(req, own context.Context) (context.Context, func()) {
 	return merged, func() { stop(); cancel(nil) }
 }
 
+// validateBatch checks the batch inputs and allocates the result
+// slices, one per shard, index-aligned with the shard's candidates.
+func validateBatch(incoming *schema.Schema, shards []Shard, cfg Config) ([][]*Result, error) {
+	if len(cfg.Matchers) == 0 {
+		return nil, fmt.Errorf("core: no matchers configured")
+	}
+	if err := incoming.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+	}
+	results := make([][]*Result, len(shards))
+	for si, sh := range shards {
+		if sh.Ctx == nil {
+			return nil, fmt.Errorf("core: shard %d has no context", si)
+		}
+		for ci, c := range sh.Candidates {
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("core: shard %d candidate %d (%s): %w", si, ci, c.Name, err)
+			}
+		}
+		results[si] = make([]*Result, len(sh.Candidates))
+	}
+	return results, nil
+}
+
+// batchEnv is the shared execution environment of a sharded batch: the
+// worker budget spanning all shards, the pooled matrix arena, and the
+// per-shard working contexts with their incoming indexes and column
+// caches. It is built by setupBatch and torn down by close; both the
+// exhaustive and the pruned scheduler run on it.
+type batchEnv struct {
+	budgetOwner *match.Context
+	arena       *simcube.Arena
+	bctxs       []*match.Context
+	idx1s       []*analysis.SchemaIndex
+	caches      []*match.BatchCache
+	// closers tear the environment down; close runs them in reverse
+	// registration order (transient evictions first, then analyzer
+	// windows, then cancellation joins), matching the LIFO defer order
+	// of the historical inline setup.
+	closers []func()
+}
+
+// close releases the environment; callers must invoke it on every exit
+// path (an errored or canceled batch must not leak either).
+func (env *batchEnv) close() {
+	for i := len(env.closers) - 1; i >= 0; i-- {
+		env.closers[i]()
+	}
+}
+
+// setupBatch assembles the execution environment for a sharded batch.
+func setupBatch(ctx context.Context, incoming *schema.Schema, shards []Shard, cfg Config) *batchEnv {
+	// One budget for the whole fan-out, owned by a context derived from
+	// the first shard (cfg.Workers overriding its bound when non-zero);
+	// every shard's working context shares its semaphore.
+	budgetCtx := shards[0].Ctx
+	if cfg.Workers != 0 {
+		budgetCtx = budgetCtx.WithWorkers(cfg.Workers)
+	}
+	env := &batchEnv{
+		budgetOwner: budgetCtx.WithWorkerBudget(),
+		// The arena spans shards unconditionally — pooled storage is
+		// score-neutral. The incoming index and the column cache are
+		// shared only between shards whose auxiliary sources are
+		// identical.
+		arena:  simcube.NewArena(),
+		bctxs:  make([]*match.Context, len(shards)),
+		idx1s:  make([]*analysis.SchemaIndex, len(shards)),
+		caches: make([]*match.BatchCache, len(shards)),
+	}
+	for si, sh := range shards {
+		env.bctxs[si] = sh.Ctx.WithBudgetOf(env.budgetOwner)
+		// Each shard observes the request context merged with whatever
+		// cancellation source its own context already carried, so both
+		// "the request died" and "this shard was canceled" stop its
+		// row fills and pair claims.
+		cctx, stopJoin := joinCancel(ctx, env.bctxs[si].Cancellation())
+		env.closers = append(env.closers, stopJoin)
+		env.bctxs[si] = env.bctxs[si].WithCancel(cctx)
+		if si > 0 && env.bctxs[si].Sources() == env.bctxs[0].Sources() {
+			env.idx1s[si] = env.idx1s[0]
+			env.caches[si] = env.caches[0]
+		} else {
+			env.idx1s[si] = env.bctxs[si].Index(incoming)
+			// A retained incoming schema (pinned = stored) draws on the
+			// engine-scoped persistent column cache, so a later batch —
+			// or a repeated single match — with the same incoming finds
+			// its columns warm. A transient incoming keeps the per-batch
+			// cache: its index is evicted below, and persisting columns
+			// keyed by a dying index would just re-create the leak one
+			// layer up.
+			if cc := env.bctxs[si].Columns; cc != nil && env.bctxs[si].Pinned(incoming) {
+				env.caches[si] = cc.ForIncoming(env.idx1s[si])
+			} else {
+				env.caches[si] = match.NewBatchCache()
+			}
+		}
+	}
+	// Analyzer batch windows: one per distinct analyzer, opened before
+	// (and so — closers run LIFO — closed after) the transient
+	// evictions below. While a window is open, a DELETE racing this
+	// batch tombstones its schema, so a pair still in flight cannot
+	// re-publish the deleted analysis; closing the window reclaims the
+	// tombstones once no concurrent batch predates them.
+	opened := make(map[*analysis.Analyzer]bool)
+	for _, bctx := range env.bctxs {
+		if a := bctx.Analyzer; a != nil && !opened[a] {
+			opened[a] = true
+			env.closers = append(env.closers, a.BeginBatch())
+		}
+	}
+	// Cache lifecycle: the incoming schema of a batch is usually
+	// request-scoped (a served inline schema); without eviction every
+	// batch leaks one analyzer entry per engine that analyzed it, at
+	// request rate in a long-running server. Stored schemas are pinned
+	// by their engines and keep their analyses warm.
+	env.closers = append(env.closers, func() {
+		for _, bctx := range env.bctxs {
+			bctx.EvictTransient(incoming)
+		}
+	})
+	return env
+}
+
+// batchErrs collects a batch's failures: the first fatal error, plus
+// per-shard failure latches for graceful degradation (a failed shard's
+// remaining pairs are skipped, not matched into a result the caller
+// will drop anyway).
+type batchErrs struct {
+	mu        sync.Mutex
+	firstErr  error
+	shardErrs []ShardError
+	shardDown []atomic.Bool
+}
+
+func newBatchErrs(shards int) *batchErrs {
+	return &batchErrs{shardDown: make([]atomic.Bool, shards)}
+}
+
+func (be *batchErrs) fail(err error) {
+	be.mu.Lock()
+	if be.firstErr == nil {
+		be.firstErr = err
+	}
+	be.mu.Unlock()
+}
+
+func (be *batchErrs) failed() bool {
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	return be.firstErr != nil
+}
+
+func (be *batchErrs) failShard(si int, err error) {
+	if be.shardDown[si].Swap(true) {
+		return
+	}
+	be.mu.Lock()
+	be.shardErrs = append(be.shardErrs, ShardError{Shard: si, Err: err})
+	be.mu.Unlock()
+}
+
+// finish returns the first fatal error, or the shard errors ordered by
+// shard index. Only call after all workers have returned.
+func (be *batchErrs) finish() (error, []ShardError) {
+	if be.firstErr != nil {
+		return be.firstErr, nil
+	}
+	sort.Slice(be.shardErrs, func(a, b int) bool { return be.shardErrs[a].Shard < be.shardErrs[b].Shard })
+	return nil, be.shardErrs
+}
+
+// runPairWorkers drives a work loop over the batch's worker budget:
+// each pair worker owns one budget slot and claims pairs from the
+// loop's shared counter, the main goroutine serving as one of the
+// workers. The matchers inside a pair run sequentially on that slot,
+// their row-parallel fills opportunistically taking any slots the
+// other pair workers do not occupy.
+func runPairWorkers(budgetOwner *match.Context, pairs int, work func()) {
+	pairWorkers := match.ResolveWorkers(budgetOwner.Workers)
+	if pairWorkers > pairs {
+		pairWorkers = pairs
+	}
+	if pairWorkers <= 1 {
+		budgetOwner.AcquireWorker()
+		work()
+		budgetOwner.ReleaseWorker()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < pairWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			budgetOwner.AcquireWorker()
+			defer budgetOwner.ReleaseWorker()
+			work()
+		}()
+	}
+	budgetOwner.AcquireWorker()
+	work()
+	budgetOwner.ReleaseWorker()
+	wg.Wait()
+}
+
 // MatchSharded matches one incoming schema against per-shard candidate
 // groups in a single scheduled batch — the shard-aware entry point of
 // the repository server, and the scheduler MatchAll is the single-shard
@@ -79,7 +284,9 @@ func joinCancel(req, own context.Context) (context.Context, func()) {
 // best results (by combined schema similarity, earlier candidate on
 // ties), exactly as a per-shard MatchAll would. Callers merging shards
 // into a global shortlist cut the merged ranking to K again — the
-// global top K is a subset of the per-shard top Ks.
+// global top K is a subset of the per-shard top Ks. When an admissible
+// per-candidate score bound is available, MatchShardedPruned reaches
+// the same TopK results without matching every pair.
 //
 // Cancellation: once ctx is done (nil means context.Background), the
 // workers stop claiming pairs, the row-parallel fills inside running
@@ -99,142 +306,34 @@ func MatchSharded(ctx context.Context, incoming *schema.Schema, shards []Shard, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(cfg.Matchers) == 0 {
-		return nil, nil, fmt.Errorf("core: no matchers configured")
-	}
-	if err := incoming.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("core: schema %s: %w", incoming.Name, err)
+	results, err := validateBatch(incoming, shards, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	if ctx.Err() != nil {
 		return nil, nil, context.Cause(ctx)
 	}
-	results := make([][]*Result, len(shards))
 	type pair struct{ shard, cand int }
 	var pairs []pair
 	for si, sh := range shards {
-		if sh.Ctx == nil {
-			return nil, nil, fmt.Errorf("core: shard %d has no context", si)
-		}
-		for ci, c := range sh.Candidates {
-			if err := c.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("core: shard %d candidate %d (%s): %w", si, ci, c.Name, err)
-			}
+		for ci := range sh.Candidates {
 			pairs = append(pairs, pair{si, ci})
 		}
-		results[si] = make([]*Result, len(sh.Candidates))
 	}
 	if len(pairs) == 0 {
 		return results, nil, nil
 	}
 
-	// One budget for the whole fan-out, owned by a context derived from
-	// the first shard (cfg.Workers overriding its bound when non-zero);
-	// every shard's working context shares its semaphore.
-	budgetCtx := shards[0].Ctx
-	if cfg.Workers != 0 {
-		budgetCtx = budgetCtx.WithWorkers(cfg.Workers)
-	}
-	budgetOwner := budgetCtx.WithWorkerBudget()
-	// The arena spans shards unconditionally — pooled storage is
-	// score-neutral. The incoming index and the column cache are shared
-	// only between shards whose auxiliary sources are identical.
-	arena := simcube.NewArena()
-	bctxs := make([]*match.Context, len(shards))
-	idx1s := make([]*analysis.SchemaIndex, len(shards))
-	caches := make([]*match.BatchCache, len(shards))
-	for si, sh := range shards {
-		bctxs[si] = sh.Ctx.WithBudgetOf(budgetOwner)
-		// Each shard observes the request context merged with whatever
-		// cancellation source its own context already carried, so both
-		// "the request died" and "this shard was canceled" stop its
-		// row fills and pair claims.
-		cctx, stopJoin := joinCancel(ctx, bctxs[si].Cancellation())
-		defer stopJoin()
-		bctxs[si] = bctxs[si].WithCancel(cctx)
-		if si > 0 && bctxs[si].Sources() == bctxs[0].Sources() {
-			idx1s[si] = idx1s[0]
-			caches[si] = caches[0]
-		} else {
-			idx1s[si] = bctxs[si].Index(incoming)
-			// A retained incoming schema (pinned = stored) draws on the
-			// engine-scoped persistent column cache, so a later batch —
-			// or a repeated single match — with the same incoming finds
-			// its columns warm. A transient incoming keeps the per-batch
-			// cache: its index is evicted below, and persisting columns
-			// keyed by a dying index would just re-create the leak one
-			// layer up.
-			if cc := bctxs[si].Columns; cc != nil && bctxs[si].Pinned(incoming) {
-				caches[si] = cc.ForIncoming(idx1s[si])
-			} else {
-				caches[si] = match.NewBatchCache()
-			}
-		}
-	}
-	// Analyzer batch windows: one per distinct analyzer, opened before
-	// (and so — defers run LIFO — closed after) the transient evictions
-	// below. While a window is open, a DELETE racing this batch
-	// tombstones its schema, so a pair still in flight cannot
-	// re-publish the deleted analysis; closing the window reclaims the
-	// tombstones once no concurrent batch predates them.
-	opened := make(map[*analysis.Analyzer]bool)
-	for _, bctx := range bctxs {
-		if a := bctx.Analyzer; a != nil && !opened[a] {
-			opened[a] = true
-			end := a.BeginBatch()
-			defer end()
-		}
-	}
-	// Cache lifecycle: the incoming schema of a batch is usually
-	// request-scoped (a served inline schema); without eviction every
-	// batch leaks one analyzer entry per engine that analyzed it, at
-	// request rate in a long-running server. Stored schemas are pinned
-	// by their engines and keep their analyses warm. Runs on every
-	// exit path — an errored or canceled batch must not leak either.
-	defer func() {
-		for _, bctx := range bctxs {
-			bctx.EvictTransient(incoming)
-		}
-	}()
+	env := setupBatch(ctx, incoming, shards, cfg)
+	defer env.close()
+	errs := newBatchErrs(len(shards))
 
-	var (
-		mu        sync.Mutex
-		firstErr  error
-		shardErrs []ShardError
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-	// Per-shard failure latches for graceful degradation: a failed
-	// shard's remaining pairs are skipped, not matched into a result
-	// the caller will drop anyway.
-	shardDown := make([]atomic.Bool, len(shards))
-	failShard := func(si int, err error) {
-		if shardDown[si].Swap(true) {
-			return
-		}
-		mu.Lock()
-		shardErrs = append(shardErrs, ShardError{Shard: si, Err: err})
-		mu.Unlock()
-	}
-
-	// Pair-level scheduling over the global budget: each pair worker
-	// owns one budget slot and claims (shard, candidate) pairs from a
-	// shared counter; the matchers inside a pair run sequentially on
-	// that slot, their row-parallel fills opportunistically taking any
-	// slots the other pair workers do not occupy.
+	// Pair-level scheduling over the global budget: workers claim
+	// (shard, candidate) pairs from a shared counter.
 	var next atomic.Int64
 	work := func() {
 		for {
-			if ctx.Err() != nil || failed() {
+			if ctx.Err() != nil || errs.failed() {
 				return
 			}
 			i := int(next.Add(1)) - 1
@@ -242,49 +341,27 @@ func MatchSharded(ctx context.Context, incoming *schema.Schema, shards []Shard, 
 				return
 			}
 			p := pairs[i]
-			if shardDown[p.shard].Load() {
+			if errs.shardDown[p.shard].Load() {
 				continue
 			}
-			res, err := matchPair(bctxs[p.shard], idx1s[p.shard], incoming,
-				shards[p.shard].Candidates[p.cand], cfg, arena, caches[p.shard], opt.KeepCubes)
+			res, err := matchPair(env.bctxs[p.shard], env.idx1s[p.shard], incoming,
+				shards[p.shard].Candidates[p.cand], cfg, env.arena, env.caches[p.shard], opt.KeepCubes)
 			if err != nil {
 				if opt.AllowPartial && ctx.Err() == nil {
-					failShard(p.shard, err)
+					errs.failShard(p.shard, err)
 					continue
 				}
-				fail(err)
+				errs.fail(err)
 				return
 			}
 			results[p.shard][p.cand] = res
 		}
 	}
-	pairWorkers := match.ResolveWorkers(budgetOwner.Workers)
-	if pairWorkers > len(pairs) {
-		pairWorkers = len(pairs)
-	}
-	if pairWorkers <= 1 {
-		budgetOwner.AcquireWorker()
-		work()
-		budgetOwner.ReleaseWorker()
-	} else {
-		var wg sync.WaitGroup
-		for w := 1; w < pairWorkers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				budgetOwner.AcquireWorker()
-				defer budgetOwner.ReleaseWorker()
-				work()
-			}()
-		}
-		budgetOwner.AcquireWorker()
-		work()
-		budgetOwner.ReleaseWorker()
-		wg.Wait()
-	}
+	runPairWorkers(env.budgetOwner, len(pairs), work)
 	if ctx.Err() != nil {
 		return nil, nil, context.Cause(ctx)
 	}
+	firstErr, shardErrs := errs.finish()
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
@@ -294,7 +371,6 @@ func MatchSharded(ctx context.Context, incoming *schema.Schema, shards []Shard, 
 	for _, se := range shardErrs {
 		results[se.Shard] = nil
 	}
-	sort.Slice(shardErrs, func(a, b int) bool { return shardErrs[a].Shard < shardErrs[b].Shard })
 	if opt.TopK > 0 {
 		for _, shardResults := range results {
 			if opt.TopK < len(shardResults) {

@@ -1,0 +1,117 @@
+package match
+
+import "repro/internal/combine"
+
+// This file is the introspection seam between the matcher library and
+// the candidate-pruning index (internal/candidates): the index can
+// compute a cheap upper bound on a matcher's contribution to SchemaSim
+// only when it knows exactly which algorithm a Matcher value runs.
+// BoundableLayers recognizes the library-built configurations — whose
+// behavior is pinned by construction (NewName/NewNamePath token
+// matchers and strategy, NewTypeName weights, NewChildren/NewLeaves
+// leaf matcher) — and refuses everything else, so a custom matcher can
+// never be silently bounded by a formula that does not dominate it.
+
+// BoundKind identifies which library matcher a BoundLayer bounds.
+type BoundKind uint8
+
+const (
+	// BoundName is the library Name matcher (NewName).
+	BoundName BoundKind = iota
+	// BoundNamePath is the library NamePath matcher (NewNamePath).
+	BoundNamePath
+	// BoundTypeName is the library TypeName matcher (NewTypeName /
+	// NewWeightedTypeName with non-negative weights).
+	BoundTypeName
+	// BoundChildren is the library Children matcher (NewChildren).
+	BoundChildren
+	// BoundLeaves is the library Leaves matcher (NewLeaves).
+	BoundLeaves
+)
+
+// BoundLayer describes one recognized matcher for upper-bound scoring.
+// For the type-weighted kinds (TypeName, Children, Leaves), WType and
+// WName are the matcher's weights normalized to sum 1; both zero means
+// the matcher's weight total was zero, which the matcher itself scores
+// as a constant-zero matrix.
+type BoundLayer struct {
+	Kind  BoundKind
+	WType float64
+	WName float64
+}
+
+// typeNameLayer recognizes a library-shaped TypeName matcher: the
+// embedded name matcher must be the library Name configuration with
+// the default combined-similarity knob, and the weights non-negative
+// (negative weights would break the monotonicity the bound relies on).
+func typeNameLayer(tm *TypeNameMatcher) (BoundLayer, bool) {
+	if tm.name == nil || tm.name.sharedKey != "lib:Name" ||
+		tm.name.strategy.Comb != combine.CombAverage {
+		return BoundLayer{}, false
+	}
+	if tm.typeWeight < 0 || tm.nameWeight < 0 {
+		return BoundLayer{}, false
+	}
+	l := BoundLayer{Kind: BoundTypeName}
+	if total := tm.typeWeight + tm.nameWeight; total > 0 {
+		l.WType = tm.typeWeight / total
+		l.WName = tm.nameWeight / total
+	}
+	return l, true
+}
+
+// BoundableLayers maps a matcher list onto upper-boundable layers, in
+// matcher order (the order matters to weighted aggregation). The
+// second return is false — and the caller must fall back to exhaustive
+// matching — as soon as any matcher is not a library-built
+// configuration the bound formulas provably dominate.
+func BoundableLayers(matchers []Matcher) ([]BoundLayer, bool) {
+	layers := make([]BoundLayer, 0, len(matchers))
+	for _, m := range matchers {
+		switch mm := m.(type) {
+		case *NameMatcher:
+			if mm.strategy.Comb != combine.CombAverage {
+				return nil, false
+			}
+			switch mm.sharedKey {
+			case "lib:Name":
+				layers = append(layers, BoundLayer{Kind: BoundName})
+			case "lib:NamePath":
+				layers = append(layers, BoundLayer{Kind: BoundNamePath})
+			default:
+				return nil, false
+			}
+		case *TypeNameMatcher:
+			l, ok := typeNameLayer(mm)
+			if !ok {
+				return nil, false
+			}
+			layers = append(layers, l)
+		case *ChildrenMatcher:
+			tm, ok := mm.leaf.(*TypeNameMatcher)
+			if !ok || mm.comb != combine.CombAverage {
+				return nil, false
+			}
+			l, ok := typeNameLayer(tm)
+			if !ok {
+				return nil, false
+			}
+			l.Kind = BoundChildren
+			layers = append(layers, l)
+		case *LeavesMatcher:
+			tm, ok := mm.leaf.(*TypeNameMatcher)
+			if !ok || mm.comb != combine.CombAverage {
+				return nil, false
+			}
+			l, ok := typeNameLayer(tm)
+			if !ok {
+				return nil, false
+			}
+			l.Kind = BoundLeaves
+			layers = append(layers, l)
+		default:
+			return nil, false
+		}
+	}
+	return layers, true
+}

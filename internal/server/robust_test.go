@@ -24,10 +24,10 @@ type blockingBackend struct {
 	gate chan struct{}
 }
 
-func (b *blockingBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
+func (b *blockingBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]server.Match, []server.ShardFailure, error) {
 	select {
 	case <-b.gate:
-		return b.testBackend.MatchIncoming(ctx, incoming, topK, allowPartial)
+		return b.testBackend.MatchIncoming(ctx, incoming, topK, allowPartial, exhaustive)
 	case <-ctx.Done():
 		return nil, nil, context.Cause(ctx)
 	}

@@ -79,8 +79,13 @@ type Backend interface {
 	// returns the cancellation cause. With allowPartial, a sharded
 	// backend degrades failed shards to ShardFailures instead of
 	// failing the whole match; single-store backends return no
-	// failures.
-	MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]Match, []ShardFailure, error)
+	// failures. With exhaustive, the backend bypasses its candidate-
+	// pruning index (if any) and runs the full pipeline on every
+	// candidate — results are bit-identical either way.
+	MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]Match, []ShardFailure, error)
+	// IndexStats reports the candidate-pruning index state for /readyz;
+	// ok is false when the backend matches exhaustively only.
+	IndexStats() (stats IndexReadiness, ok bool)
 }
 
 // Config assembles a Server.
@@ -281,6 +286,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		Workers:    cap(s.sem),
 		QueueLimit: s.queueLimit,
 	}
+	if st, ok := s.backend.IndexStats(); ok {
+		ready.CandidateIndex = &st
+	}
 	if s.draining.Load() {
 		ready.Status = "draining"
 		ready.Draining = true
@@ -462,7 +470,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		mctx, cancel = context.WithTimeout(mctx, s.matchTimeout)
 		defer cancel()
 	}
-	matches, failures, err := s.backend.MatchIncoming(mctx, incoming, req.TopK, req.AllowPartial)
+	matches, failures, err := s.backend.MatchIncoming(mctx, incoming, req.TopK, req.AllowPartial, req.Exhaustive)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):

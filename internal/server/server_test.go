@@ -52,7 +52,13 @@ func newTestBackend(t *testing.T) *testBackend {
 	return &testBackend{Repo: repo, ctx: match.NewContext(), cfg: core.DefaultConfig()}
 }
 
-func (b *testBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
+// IndexStats reports no candidate index: the test backend always
+// matches exhaustively.
+func (b *testBackend) IndexStats() (server.IndexReadiness, bool) {
+	return server.IndexReadiness{}, false
+}
+
+func (b *testBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]server.Match, []server.ShardFailure, error) {
 	stored := b.Schemas()
 	candidates := stored[:0:0]
 	for _, s := range stored {

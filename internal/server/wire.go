@@ -38,6 +38,11 @@ type MatchRequest struct {
 	// a failed shard is dropped from the ranking and reported in
 	// MatchResponse.FailedShards instead of failing the request.
 	AllowPartial bool `json:"allowPartial,omitempty"`
+	// Exhaustive forces the full pipeline on every stored schema,
+	// bypassing the backend's candidate-pruning index. Pruned results
+	// are bit-identical to exhaustive ones, so the switch exists for
+	// verification and baseline benchmarking, not correctness.
+	Exhaustive bool `json:"exhaustive,omitempty"`
 }
 
 // Correspondence is one element correspondence of a wire mapping.
@@ -122,6 +127,20 @@ type Readiness struct {
 	Workers int `json:"workers"`
 	// QueueLimit is the admission queue bound (0 = unbounded).
 	QueueLimit int `json:"queueLimit"`
+	// CandidateIndex reports the candidate-pruning index state; absent
+	// when the backend matches exhaustively only.
+	CandidateIndex *IndexReadiness `json:"candidateIndex,omitempty"`
+}
+
+// IndexReadiness is the candidate-pruning index block of /readyz.
+type IndexReadiness struct {
+	// Schemas is the number of schemas indexed, summed over segments.
+	Schemas int `json:"schemas"`
+	// Postings is the total posting-list entry count over segments.
+	Postings int `json:"postings"`
+	// LastPruneRatio is the fraction of candidates skipped by the most
+	// recent pruned match batch (0 until one runs).
+	LastPruneRatio float64 `json:"lastPruneRatio"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+)
+
+// This file generates repository-scale corpora for the candidate-
+// pruning benchmarks and tests. Candidates() cycles five hand-built
+// schemas, which is right for cache benchmarks but wrong for pruning
+// ones: with only five distinct shapes, every stored schema is either
+// a perfect twin of the probe or unrelated, and a prune ratio measured
+// on it says nothing about a real store. Corpus() instead emulates how
+// real schema repositories look: a Zipf-distributed shared vocabulary
+// (a few head tokens — order, date, amount — appear in a large
+// fraction of schemas, a long tail appears in a handful), and
+// evolution families — blocks of schemas that are successive revisions
+// of one base, sharing most of their element names. The probe's family
+// fills the TopK with high scores early; the shared head tokens give
+// everything else nonzero-but-small bounds, which is exactly the
+// regime safe pruning has to earn its keep in.
+
+const (
+	// corpusFamilySize is the number of schemas per evolution family.
+	// It deliberately exceeds the TopK the pruning tests and benchmarks
+	// use: with fewer same-family candidates than K, the K-th best real
+	// score is a junk-level one and NO admissible bound — this index's
+	// or any other — could prune against it.
+	corpusFamilySize = 16
+	// corpusVocabSize is the shared (Zipf-ranked) token vocabulary size.
+	corpusVocabSize = 512
+)
+
+type corpusLeaf struct {
+	name string
+	typ  string
+}
+
+type corpusSection struct {
+	name   string
+	leaves []corpusLeaf
+}
+
+// corpusSpec is one evolution family's mutable blueprint.
+type corpusSpec struct {
+	root     string
+	sections []corpusSection
+}
+
+// corpusGen carries the deterministic generation state: one rand
+// stream drives everything, so a (n, seed) pair always yields the
+// same corpus.
+type corpusGen struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	vocab []string
+}
+
+func newCorpusGen(seed int64) *corpusGen {
+	g := &corpusGen{rng: rand.New(rand.NewSource(seed))}
+	g.vocab = make([]string, 0, corpusVocabSize)
+	seen := make(map[string]bool, corpusVocabSize)
+	for len(g.vocab) < corpusVocabSize {
+		t := g.token()
+		if !seen[t] {
+			seen[t] = true
+			g.vocab = append(g.vocab, t)
+		}
+	}
+	g.zipf = rand.NewZipf(g.rng, 1.2, 2, uint64(corpusVocabSize-1))
+	return g
+}
+
+// token builds one specific (long-tail) name token: 5-8 random
+// lowercase letters. Letter-random tokens keep trigram collisions
+// between unrelated tokens rare, the way real-world field
+// vocabularies do; tokens concatenated from a small syllable set would
+// share trigrams with most of the corpus and drown every
+// gram-channel signal in noise.
+func (g *corpusGen) token() string {
+	b := make([]byte, 5+g.rng.Intn(4))
+	for i := range b {
+		b[i] = byte('a' + g.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// shared draws one Zipf-ranked token from the shared vocabulary.
+func (g *corpusGen) shared() string { return g.vocab[g.zipf.Uint64()] }
+
+// title upper-cases a token's first byte for camelCase concatenation.
+func title(t string) string { return string(t[0]-'a'+'A') + t[1:] }
+
+// leafName builds a three-token camelCase leaf name carrying at most
+// one shared-vocabulary token — enough head-token overlap for postings
+// to hit across unrelated schemas, little enough that the hits stay
+// individually weak (mostly-shared names would make every stored
+// schema bound-close to every probe and starve the pruner).
+func (g *corpusGen) leafName() string {
+	if g.rng.Float64() < 0.35 {
+		return g.token() + title(g.token()) + title(g.shared())
+	}
+	return g.token() + title(g.token()) + title(g.token())
+}
+
+var corpusTypes = []string{str, str, str, dec, intg, date}
+
+// family generates a fresh evolution family's base blueprint.
+func (g *corpusGen) family() *corpusSpec {
+	spec := &corpusSpec{root: g.token() + title(g.token())}
+	nsec := 3 + g.rng.Intn(3)
+	for i := 0; i < nsec; i++ {
+		sec := corpusSection{name: g.token() + title(g.shared())}
+		nleaf := 4 + g.rng.Intn(5)
+		for j := 0; j < nleaf; j++ {
+			sec.leaves = append(sec.leaves, corpusLeaf{
+				name: g.leafName(),
+				typ:  corpusTypes[g.rng.Intn(len(corpusTypes))],
+			})
+		}
+		spec.sections = append(spec.sections, sec)
+	}
+	return spec
+}
+
+// evolve mutates the blueprint in place into its next revision:
+// roughly 15% of the leaves are renamed (and may change type), the
+// way fields drift between versions of one interface.
+func (g *corpusGen) evolve(spec *corpusSpec) {
+	for si := range spec.sections {
+		for li := range spec.sections[si].leaves {
+			if g.rng.Float64() < 0.15 {
+				spec.sections[si].leaves[li] = corpusLeaf{
+					name: g.leafName(),
+					typ:  corpusTypes[g.rng.Intn(len(corpusTypes))],
+				}
+			}
+		}
+	}
+}
+
+// build materializes the blueprint under the given schema name.
+func (spec *corpusSpec) build(name string) *schema.Schema {
+	secs := make([]E, len(spec.sections))
+	for i, sec := range spec.sections {
+		kids := make([]E, len(sec.leaves))
+		for j, l := range sec.leaves {
+			kids[j] = E{N: l.name, T: l.typ}
+		}
+		secs[i] = E{N: sec.name, Kids: kids}
+	}
+	return Build(name, []E{{N: spec.root, Kids: secs}})
+}
+
+// Corpus returns n deterministic repository-scale schemas: evolution
+// families of corpusFamilySize successive revisions, named
+// "corp-<family>-<revision>", over a Zipf-distributed shared token
+// vocabulary. Equal (n, seed) pairs yield identical corpora, and a
+// shorter corpus is always a prefix of a longer one with the same
+// seed.
+func Corpus(n int, seed int64) []*schema.Schema {
+	stored, _ := CorpusPair(n, seed)
+	return stored
+}
+
+// CorpusPair returns a deterministic corpus of n stored schemas plus
+// one incoming probe: one more revision of the corpus's last evolution
+// family, under a name ("corp-<family>-<revision>") no stored schema
+// carries. The probe's stored siblings rank high — they are revisions
+// of the same base — so a TopK match against the corpus saturates its
+// threshold early, the regime the candidate pruner is built for.
+func CorpusPair(n int, seed int64) (stored []*schema.Schema, incoming *schema.Schema) {
+	g := newCorpusGen(seed)
+	stored = make([]*schema.Schema, n)
+	var spec *corpusSpec
+	fam := -1
+	for i := 0; i < n; i++ {
+		if i%corpusFamilySize == 0 {
+			spec = g.family()
+			fam++
+		} else {
+			g.evolve(spec)
+		}
+		stored[i] = spec.build(fmt.Sprintf("corp-%d-%d", fam, i%corpusFamilySize))
+	}
+	if n == 0 {
+		spec, fam = g.family(), 0
+		incoming = spec.build("corp-0-0")
+		return nil, incoming
+	}
+	g.evolve(spec)
+	incoming = spec.build(fmt.Sprintf("corp-%d-%d", fam, corpusFamilySize+(n-1)%corpusFamilySize))
+	return stored, incoming
+}

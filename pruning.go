@@ -1,0 +1,224 @@
+package coma
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/schema"
+)
+
+// This file wires the candidate-pruning index (internal/candidates)
+// into the repository match paths. With WithCandidateIndex, every
+// engine maintains an inverted index over its stored schemas' analysis
+// artifacts (name tokens, dictionary term ids, generic type classes);
+// Repository.MatchIncoming and ShardedRepository.MatchIncoming score
+// each stored candidate with a cheap admissible upper bound on its
+// combined schema similarity and hand the bounds to the pruned batch
+// scheduler (core.MatchShardedPruned), which skips every candidate
+// whose bound cannot reach the running k-th best real score. Results
+// are bit-identical to the exhaustive scan; only the amount of work
+// changes. The index falls back to the exhaustive scan whenever the
+// bound would not be provably admissible (custom matchers, feedback,
+// non-library strategies) or no TopK is requested.
+
+// PruneStats reports how much work candidate pruning saved in the last
+// MatchIncoming batch: total candidates, pairs fully matched, pairs
+// skipped (bound below the running k-th best score, or cut by
+// MaxCandidates).
+type PruneStats = core.PruneStats
+
+// CandidateIndexStats summarizes a candidate index segment: indexed
+// schema count and total posting-list entries.
+type CandidateIndexStats = candidates.Stats
+
+// WithCandidateIndex equips the engine with a candidate-pruning index:
+// an inverted index over the stored schemas' name tokens, dictionary
+// term ids and generic type classes, maintained incrementally as the
+// repository backends store and delete schemas (never rebuilt from
+// scratch) and filled lazily for schemas stored before the option took
+// effect. Repository.MatchIncoming and its sharded form then prune
+// TopK batches through it — skipping every candidate whose upper bound
+// cannot reach the running k-th best real score — with results
+// bit-identical to the exhaustive scan. Matches that cannot be safely
+// bounded (custom matchers, feedback, no TopK, Exhaustive) run
+// exhaustively as before.
+func WithCandidateIndex() Option {
+	return func(o *Options) error {
+		o.candIdx = candidates.NewIndex()
+		return nil
+	}
+}
+
+// MaxCandidates caps a pruned MatchIncoming batch at the n candidates
+// with the highest upper bounds; the rest are excluded without being
+// matched. Unlike plain bound pruning this is a heuristic cut — an
+// excluded candidate could in principle outrank a retained one — so
+// results may deviate from the exhaustive scan. It is the latency
+// ceiling for very large stores; leave it unset for bit-identical
+// results. Ignored when the batch runs exhaustively.
+func MaxCandidates(n int) MatchAllOption {
+	return func(o *matchAllOptions) error {
+		if n <= 0 {
+			return fmt.Errorf("coma: non-positive MaxCandidates %d", n)
+		}
+		o.maxCandidates = n
+		return nil
+	}
+}
+
+// Exhaustive forces a MatchIncoming batch to run the full pipeline on
+// every candidate, bypassing the candidate-pruning index. Results are
+// bit-identical either way (pruning is safe); the switch exists for
+// verification, benchmarking the unpruned baseline, and batches that
+// must populate per-candidate results beyond the TopK.
+func Exhaustive() MatchAllOption {
+	return func(o *matchAllOptions) error {
+		o.exhaustive = true
+		return nil
+	}
+}
+
+// pruneSpec decides whether a batch with these options can be pruned
+// through the engine's candidate index: the index must exist, the
+// batch must want a TopK (without one there is no k-th score to prune
+// against) and not demand exhaustiveness, and the engine's matcher and
+// strategy configuration must be one the bound formulas provably
+// dominate (candidates.NewSpec returns nil otherwise).
+func (e *Engine) pruneSpec(o *matchAllOptions) *candidates.Spec {
+	if e.o.candIdx == nil || o.exhaustive || o.topK <= 0 {
+		return nil
+	}
+	return candidates.NewSpec(e.o.matchers, e.o.strategy, e.o.feedback)
+}
+
+// candidateBounds computes one admissible upper bound per candidate
+// from the engine's index, opportunistically (re)indexing stale or
+// not-yet-indexed candidates first — analyses come from the engine's
+// cache, so a freshly indexed candidate pays nothing the full match
+// would not have paid anyway.
+func (e *Engine) candidateBounds(ctx context.Context, spec *candidates.Spec, incoming *Schema, cands []*Schema) ([]float64, error) {
+	idx := e.o.candIdx
+	mctx := e.o.ctx
+	for _, s := range idx.Stale(cands, mctx.Sources()) {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		idx.Add(s, mctx.Index(s))
+	}
+	probe := candidates.NewProbe(spec, mctx.Index(incoming))
+	return idx.Bounds(probe, cands), nil
+}
+
+// limitBounds applies MaxCandidates across shards: every bound outside
+// the m highest (ties breaking toward the earlier shard, then the
+// earlier candidate, so the cut is deterministic) becomes -Inf — the
+// scheduler's "exclude outright" sentinel. m <= 0 means no cap.
+func limitBounds(boundsByShard [][]float64, m int) {
+	if m <= 0 {
+		return
+	}
+	total := 0
+	for _, bs := range boundsByShard {
+		total += len(bs)
+	}
+	if total <= m {
+		return
+	}
+	type ref struct {
+		si, ci int
+		b      float64
+	}
+	refs := make([]ref, 0, total)
+	for si, bs := range boundsByShard {
+		for ci, b := range bs {
+			refs = append(refs, ref{si, ci, b})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].b != refs[b].b {
+			return refs[a].b > refs[b].b
+		}
+		if refs[a].si != refs[b].si {
+			return refs[a].si < refs[b].si
+		}
+		return refs[a].ci < refs[b].ci
+	})
+	for _, r := range refs[m:] {
+		boundsByShard[r.si][r.ci] = math.Inf(-1)
+	}
+}
+
+// matchCandidates runs one repository batch, pruned when the engine
+// and options allow it. The returned stats are non-nil exactly when
+// the pruned scheduler ran.
+func (e *Engine) matchCandidates(ctx context.Context, incoming *Schema, cands []*Schema, o *matchAllOptions) ([]*Result, *PruneStats, error) {
+	if spec := e.pruneSpec(o); spec != nil {
+		bounds, err := e.candidateBounds(ctx, spec, incoming, cands)
+		if err != nil {
+			return nil, nil, err
+		}
+		limitBounds([][]float64{bounds}, o.maxCandidates)
+		results, stats, err := core.MatchAllPruned(ctx, e.o.ctx, incoming, cands, bounds, e.config(),
+			core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
+		if err != nil {
+			return nil, nil, err
+		}
+		return results, &stats, nil
+	}
+	results, err := core.MatchAll(ctx, e.o.ctx, incoming, cands, e.config(),
+		core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes})
+	return results, nil, err
+}
+
+// indexStored adds one stored schema to the engine's candidate index
+// (replacing a previous entry for the same instance). No-op without
+// WithCandidateIndex. The caller is expected to have pinned the schema
+// — the repository backends do — so the analysis built here stays
+// cached for the matches that follow.
+func (e *Engine) indexStored(s *schema.Schema) {
+	if e.o.candIdx != nil {
+		e.o.candIdx.Add(s, e.o.ctx.Index(s))
+	}
+}
+
+// unindexStored removes one schema instance from the engine's
+// candidate index. No-op without WithCandidateIndex or for instances
+// never indexed.
+func (e *Engine) unindexStored(s *schema.Schema) {
+	if e.o.candIdx != nil {
+		e.o.candIdx.Remove(s)
+	}
+}
+
+// CandidateIndexStats reports the engine's candidate index segment
+// size; ok is false without WithCandidateIndex.
+func (e *Engine) CandidateIndexStats() (st CandidateIndexStats, ok bool) {
+	if e.o.candIdx == nil {
+		return CandidateIndexStats{}, false
+	}
+	return e.o.candIdx.Stats(), true
+}
+
+// LastPruneStats returns the prune statistics of the most recent
+// MatchIncoming batch that ran through the candidate-pruning index
+// (zero value if none did — engine without WithCandidateIndex,
+// exhaustive batches, unboundable configurations).
+func (r *Repository) LastPruneStats() PruneStats {
+	if ps := r.lastPrune.Load(); ps != nil {
+		return *ps
+	}
+	return PruneStats{}
+}
+
+// LastPruneStats is Repository.LastPruneStats for the sharded store:
+// the merged statistics of the most recent pruned fan-out.
+func (r *ShardedRepository) LastPruneStats() PruneStats {
+	if ps := r.lastPrune.Load(); ps != nil {
+		return *ps
+	}
+	return PruneStats{}
+}

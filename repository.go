@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/repository"
 	"repro/internal/reuse"
@@ -14,6 +15,9 @@ import (
 // embedded log-structured engine in internal/repository.
 type Repository struct {
 	*repository.Repo
+	// lastPrune records the most recent pruned MatchIncoming batch's
+	// statistics (see LastPruneStats).
+	lastPrune atomic.Pointer[PruneStats]
 }
 
 // RepositoryStats summarizes repository contents and log sizes.
@@ -77,6 +81,15 @@ func (r *Repository) MatchIncoming(e *Engine, incoming *Schema, opts ...MatchAll
 // returns the cancellation cause. A never-canceled ctx yields results
 // bit-identical to MatchIncoming.
 func (r *Repository) MatchIncomingContext(ctx context.Context, e *Engine, incoming *Schema, opts ...MatchAllOption) ([]IncomingMatch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var o matchAllOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
 	// The analyzer batch window opens BEFORE the store snapshot: a
 	// DELETE completing in the gap between snapshot and the scheduler's
 	// own window would lay no tombstone (no window open yet), and this
@@ -92,9 +105,12 @@ func (r *Repository) MatchIncomingContext(ctx context.Context, e *Engine, incomi
 			candidates = append(candidates, s)
 		}
 	}
-	results, err := e.MatchAllContext(ctx, incoming, candidates, opts...)
+	results, stats, err := e.matchCandidates(ctx, incoming, candidates, &o)
 	if err != nil {
 		return nil, err
+	}
+	if stats != nil {
+		r.lastPrune.Store(stats)
 	}
 	out := make([]IncomingMatch, 0, len(results))
 	for i, res := range results {

@@ -149,12 +149,17 @@ func toServerFailures(errs []ShardError) []server.ShardFailure {
 	return out
 }
 
-// topKOpts builds the MatchAll options for a server-side topK.
-func topKOpts(topK int) []MatchAllOption {
+// topKOpts builds the MatchAll options for a server-side topK and
+// exhaustive switch.
+func topKOpts(topK int, exhaustive bool) []MatchAllOption {
+	var opts []MatchAllOption
 	if topK > 0 {
-		return []MatchAllOption{TopK(topK)}
+		opts = append(opts, TopK(topK))
 	}
-	return nil
+	if exhaustive {
+		opts = append(opts, Exhaustive())
+	}
+	return opts
 }
 
 // singleBackend adapts (Repository, Engine) to server.Backend.
@@ -163,10 +168,10 @@ type singleBackend struct {
 	engine *Engine
 }
 
-func (b *singleBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
+func (b *singleBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]server.Match, []server.ShardFailure, error) {
 	// A single store has no shard to degrade: allowPartial is accepted
 	// for wire compatibility and ignored.
-	ms, err := b.repo.MatchIncomingContext(ctx, b.engine, incoming, topKOpts(topK)...)
+	ms, err := b.repo.MatchIncomingContext(ctx, b.engine, incoming, topKOpts(topK, exhaustive)...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -189,7 +194,13 @@ func (b *singleBackend) PutSchema(s *schema.Schema) (bool, error) {
 		b.engine.Release(s)
 		return false, err
 	}
+	// Incremental candidate-index maintenance rides the same pin
+	// lifecycle: the new instance is indexed (its analysis stays warm —
+	// it was just pinned), the displaced one unindexed, so the index is
+	// never rebuilt from scratch on mutation.
+	b.engine.indexStored(s)
 	if prev != nil && prev != s {
+		b.engine.unindexStored(prev)
 		b.engine.Release(prev)
 		b.engine.Invalidate(prev)
 	}
@@ -202,6 +213,7 @@ func (b *singleBackend) DeleteSchema(name string) (bool, error) {
 		return false, err
 	}
 	if prev != nil {
+		b.engine.unindexStored(prev)
 		b.engine.Release(prev)
 		b.engine.Invalidate(prev)
 	}
@@ -212,13 +224,25 @@ func (b *singleBackend) GetSchema(name string) (*schema.Schema, bool) { return b
 func (b *singleBackend) SchemaNames() []string                        { return b.repo.SchemaNames() }
 func (b *singleBackend) Stats() RepositoryStats                       { return b.repo.Stats() }
 
+func (b *singleBackend) IndexStats() (server.IndexReadiness, bool) {
+	st, ok := b.engine.CandidateIndexStats()
+	if !ok {
+		return server.IndexReadiness{}, false
+	}
+	return server.IndexReadiness{
+		Schemas:        st.Schemas,
+		Postings:       st.Postings,
+		LastPruneRatio: b.repo.LastPruneStats().Ratio(),
+	}, true
+}
+
 // shardedBackend adapts ShardedRepository to server.Backend.
 type shardedBackend struct {
 	repo *ShardedRepository
 }
 
-func (b *shardedBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial bool) ([]server.Match, []server.ShardFailure, error) {
-	opts := topKOpts(topK)
+func (b *shardedBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]server.Match, []server.ShardFailure, error) {
+	opts := topKOpts(topK, exhaustive)
 	if allowPartial {
 		opts = append(opts, AllowPartial())
 	}
@@ -236,10 +260,15 @@ func (b *shardedBackend) PutSchema(s *schema.Schema) (bool, error) {
 		b.repo.releaseInstance(s)
 		return false, err
 	}
+	// Candidate-index maintenance is incremental: the new instance goes
+	// into its owning shard's segment, the displaced one leaves every
+	// segment — no segment is ever rebuilt on mutation.
+	b.repo.indexInstance(s)
 	if prev != nil && prev != s {
 		// Every engine, not just the owning shard's: a stored schema
 		// matched as the incoming side had its index cached by the
 		// fan-out's first shard, wherever the schema itself lives.
+		b.repo.unindexInstance(prev)
 		b.repo.releaseInstance(prev)
 		b.repo.invalidateInstance(prev)
 	}
@@ -252,6 +281,7 @@ func (b *shardedBackend) DeleteSchema(name string) (bool, error) {
 		return false, err
 	}
 	if prev != nil {
+		b.repo.unindexInstance(prev)
 		b.repo.releaseInstance(prev)
 		b.repo.invalidateInstance(prev)
 	}
@@ -261,3 +291,20 @@ func (b *shardedBackend) DeleteSchema(name string) (bool, error) {
 func (b *shardedBackend) GetSchema(name string) (*schema.Schema, bool) { return b.repo.GetSchema(name) }
 func (b *shardedBackend) SchemaNames() []string                        { return b.repo.SchemaNames() }
 func (b *shardedBackend) Stats() RepositoryStats                       { return b.repo.Stats() }
+
+func (b *shardedBackend) IndexStats() (server.IndexReadiness, bool) {
+	var out server.IndexReadiness
+	any := false
+	for _, e := range b.repo.engines {
+		if st, ok := e.CandidateIndexStats(); ok {
+			any = true
+			out.Schemas += st.Schemas
+			out.Postings += st.Postings
+		}
+	}
+	if !any {
+		return server.IndexReadiness{}, false
+	}
+	out.LastPruneRatio = b.repo.LastPruneStats().Ratio()
+	return out, true
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/candidates"
 	"repro/internal/core"
 	"repro/internal/repository"
 )
@@ -23,6 +25,9 @@ import (
 type ShardedRepository struct {
 	*repository.Sharded
 	engines []*Engine
+	// lastPrune records the most recent pruned fan-out's merged
+	// statistics (see LastPruneStats).
+	lastPrune atomic.Pointer[PruneStats]
 }
 
 // OpenShardedRepository opens (creating if necessary) an n-shard
@@ -95,6 +100,22 @@ func (r *ShardedRepository) releaseInstance(s *Schema) {
 	}
 }
 
+// indexInstance adds one stored schema to its owning shard engine's
+// candidate index segment. Unlike analyses, a candidate's postings are
+// only ever consulted through its own shard (the fan-out hands each
+// shard engine its own candidates), so one segment suffices.
+func (r *ShardedRepository) indexInstance(s *Schema) {
+	r.engines[r.ShardFor(s.Name)].indexStored(s)
+}
+
+// unindexInstance removes one schema instance from every shard
+// engine's segment; removal is a no-op on segments that never held it.
+func (r *ShardedRepository) unindexInstance(s *Schema) {
+	for _, e := range r.engines {
+		e.unindexStored(s)
+	}
+}
+
 // MatchIncoming matches an incoming schema against every schema stored
 // in any shard — the sharded form of Repository.MatchIncoming, and the
 // network server's core operation. Each shard's candidates are
@@ -146,13 +167,52 @@ func (r *ShardedRepository) MatchIncomingContext(ctx context.Context, incoming *
 		}
 		shards[i] = core.Shard{Ctx: e.o.ctx, Candidates: candidates}
 	}
-	lead := r.engines[0].o
-	results, shardErrs, err := core.MatchSharded(ctx, incoming, shards, core.Config{
+	leadEngine := r.engines[0]
+	lead := leadEngine.o
+	cfg := core.Config{
 		Matchers: lead.matchers,
 		Strategy: lead.strategy,
 		Feedback: lead.feedback,
 		Workers:  lead.workers,
-	}, core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes, AllowPartial: o.allowPartial})
+	}
+	bopt := core.BatchOptions{TopK: o.topK, KeepCubes: o.keepCubes, AllowPartial: o.allowPartial}
+	var results [][]*Result
+	var shardErrs []ShardError
+	var err error
+	if spec := leadEngine.pruneSpec(&o); spec != nil {
+		// Pruned fan-out: every shard engine owns an index segment over
+		// its own candidates (built and maintained through that engine's
+		// analysis cache, exactly like the full pipeline's per-shard
+		// analyses), while the probe is built once from the lead engine's
+		// analysis of the incoming schema — the shards share the lead's
+		// auxiliary sources, so one probe serves every segment.
+		bshards := make([]core.BoundedShard, len(shards))
+		boundsByShard := make([][]float64, len(shards))
+		probe := candidates.NewProbe(spec, lead.ctx.Index(incoming))
+		for i, e := range r.engines {
+			idx := e.o.candIdx
+			for _, s := range idx.Stale(shards[i].Candidates, e.o.ctx.Sources()) {
+				if ctx != nil && ctx.Err() != nil {
+					return nil, nil, context.Cause(ctx)
+				}
+				idx.Add(s, e.o.ctx.Index(s))
+			}
+			boundsByShard[i] = idx.Bounds(probe, shards[i].Candidates)
+		}
+		// MaxCandidates cuts globally across the segments: the merged
+		// ranking is what the cap is about, not any one shard's.
+		limitBounds(boundsByShard, o.maxCandidates)
+		for i := range shards {
+			bshards[i] = core.BoundedShard{Shard: shards[i], Bounds: boundsByShard[i]}
+		}
+		var stats core.PruneStats
+		results, stats, shardErrs, err = core.MatchShardedPruned(ctx, incoming, bshards, cfg, bopt)
+		if err == nil {
+			r.lastPrune.Store(&stats)
+		}
+	} else {
+		results, shardErrs, err = core.MatchSharded(ctx, incoming, shards, cfg, bopt)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
