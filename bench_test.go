@@ -362,3 +362,33 @@ func BenchmarkPrunedMatchAll(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPutSchema measures the repository import path under the two
+// serving durability policies: per-append fsync versus group commit.
+// The gap is the price of SyncAlways's zero-loss guarantee.
+func BenchmarkPutSchema(b *testing.B) {
+	stored, _ := workload.CorpusPair(8, 3)
+	s := stored[0]
+	for _, bc := range []struct {
+		name   string
+		policy coma.SyncPolicy
+	}{
+		{"sync-always", coma.SyncAlways()},
+		{"sync-interval", coma.SyncInterval(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			repo, err := coma.OpenRepository(filepath.Join(b.TempDir(), "put.repo"),
+				coma.WithSyncPolicy(bc.policy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer repo.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := repo.PutSchema(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

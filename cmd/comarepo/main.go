@@ -11,6 +11,16 @@
 //	comarepo -repo coma.repo match -in incoming.xsd -topk 3 -max-candidates 50
 //	comarepo -repo coma.repo match -in incoming.xsd -topk 3 -exhaustive
 //	comarepo -repo coma.repo compact
+//	comarepo -repo coma.repo fsck
+//	comarepo -repo /srv/coma.shards fsck -repair
+//
+// The fsck command verifies the log(s) at -repo offline — frame CRCs,
+// sequence continuity, payload decodability, checkpoint snapshots —
+// without modifying anything, printing one report per log. It exits
+// non-zero when any log needs repair; -repair salvage-rewrites the
+// damaged logs (keeping every intact record) and then re-verifies.
+// -repo may be a single repository file or a sharded repository
+// directory.
 //
 // The match command is the repository server's batch operation: it
 // imports the schema at -in (.sql, .xsd/.xml, .json or .dtd) and runs
@@ -42,10 +52,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "match: worker bound of the batch (0 = all CPUs)")
 		maxCand  = flag.Int("max-candidates", 0, "match: shortlist to the M best-bounded candidates (0 = no cap)")
 		exhaust  = flag.Bool("exhaustive", false, "match: disable candidate pruning, score every stored schema")
+		repair   = flag.Bool("repair", false, "fsck: salvage-rewrite damaged logs")
 	)
 	flag.Parse()
 	usage := func() {
-		fmt.Fprintln(os.Stderr, "usage: comarepo [flags] stats|schemas|show|mappings|dump|match|compact [flags]")
+		fmt.Fprintln(os.Stderr, "usage: comarepo [flags] stats|schemas|show|mappings|dump|match|compact|fsck [flags]")
 		os.Exit(2)
 	}
 	if flag.NArg() < 1 {
@@ -62,13 +73,18 @@ func main() {
 			usage()
 		}
 	}
-	if err := run(cmd, *repoPath, *schemaN, *tag, *from, *to, *in, *topK, *workers, *maxCand, *exhaust); err != nil {
+	if err := run(cmd, *repoPath, *schemaN, *tag, *from, *to, *in, *topK, *workers, *maxCand, *exhaust, *repair); err != nil {
 		fmt.Fprintln(os.Stderr, "comarepo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers, maxCand int, exhaustive bool) error {
+func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers, maxCand int, exhaustive, repair bool) error {
+	// fsck runs before the repository is opened: opening replays (and
+	// would silently repair) the log, while fsck must observe it as-is.
+	if cmd == "fsck" {
+		return runFsck(repoPath, repair)
+	}
 	repo, err := coma.OpenRepository(repoPath)
 	if err != nil {
 		return err
@@ -124,6 +140,50 @@ func run(cmd, repoPath, schemaName, tag, from, to, in string, topK, workers, max
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
+}
+
+// runFsck verifies the repository at path (a log file or a sharded
+// directory) without opening it; with repair it salvage-rewrites
+// damaged logs and re-verifies.
+func runFsck(path string, repair bool) error {
+	reports, err := coma.VerifyStore(path)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, v := range reports {
+		fmt.Println(v)
+		if !v.OK() {
+			bad++
+		}
+	}
+	if bad == 0 {
+		fmt.Printf("fsck: %d log(s) ok\n", len(reports))
+		return nil
+	}
+	if !repair {
+		return fmt.Errorf("%d of %d log(s) need repair (rerun with -repair)", bad, len(reports))
+	}
+	reps, err := coma.RepairStore(path)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		if !rep.Clean() {
+			fmt.Println("repaired:", rep)
+		}
+	}
+	after, err := coma.VerifyStore(path)
+	if err != nil {
+		return err
+	}
+	for _, v := range after {
+		if !v.OK() {
+			return fmt.Errorf("still damaged after repair: %s", v)
+		}
+	}
+	fmt.Printf("fsck: %d log(s) ok after repair\n", len(after))
 	return nil
 }
 

@@ -34,14 +34,14 @@ func seedRepo(t *testing.T) string {
 func TestCommands(t *testing.T) {
 	path := seedRepo(t)
 	for _, cmd := range []string{"stats", "schemas", "mappings", "compact"} {
-		if err := run(cmd, path, "", "manual", "", "", "", 0, 0, 0, false); err != nil {
+		if err := run(cmd, path, "", "manual", "", "", "", 0, 0, 0, false, false); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
 	}
-	if err := run("show", path, "PO1", "manual", "", "", "", 0, 0, 0, false); err != nil {
+	if err := run("show", path, "PO1", "manual", "", "", "", 0, 0, 0, false, false); err != nil {
 		t.Errorf("show: %v", err)
 	}
-	if err := run("dump", path, "", "manual", "PO1", "PO2", "", 0, 0, 0, false); err != nil {
+	if err := run("dump", path, "", "manual", "PO1", "PO2", "", 0, 0, 0, false, false); err != nil {
 		t.Errorf("dump: %v", err)
 	}
 }
@@ -66,41 +66,104 @@ func TestMatchCommand(t *testing.T) {
 	if err := os.WriteFile(in, []byte("CREATE TABLE V (a INT, b VARCHAR(10));"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("match", path, "", "manual", "", "", in, 0, 1, 0, false); err != nil {
+	if err := run("match", path, "", "manual", "", "", in, 0, 1, 0, false, false); err != nil {
 		t.Errorf("match: %v", err)
 	}
-	if err := run("match", path, "", "manual", "", "", in, 1, 0, 0, false); err != nil {
+	if err := run("match", path, "", "manual", "", "", in, 1, 0, 0, false, false); err != nil {
 		t.Errorf("match -topk 1: %v", err)
 	}
-	if err := run("match", path, "", "manual", "", "", in, 1, 0, 1, false); err != nil {
+	if err := run("match", path, "", "manual", "", "", in, 1, 0, 1, false, false); err != nil {
 		t.Errorf("match -topk 1 -max-candidates 1: %v", err)
 	}
-	if err := run("match", path, "", "manual", "", "", in, 1, 0, 0, true); err != nil {
+	if err := run("match", path, "", "manual", "", "", in, 1, 0, 0, true, false); err != nil {
 		t.Errorf("match -topk 1 -exhaustive: %v", err)
+	}
+}
+
+func fsck(path string, repair bool) error {
+	return run("fsck", path, "", "manual", "", "", "", 0, 0, 0, false, repair)
+}
+
+func TestFsckClean(t *testing.T) {
+	path := seedRepo(t)
+	if err := fsck(path, false); err != nil {
+		t.Errorf("fsck of clean repo: %v", err)
+	}
+}
+
+func TestFsckRepair(t *testing.T) {
+	path := seedRepo(t)
+	// Flip a byte inside the first record's payload: fsck must report
+	// the damage without touching the file, and -repair must salvage.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[40] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsck(path, false); err == nil {
+		t.Fatal("fsck of damaged repo should fail without -repair")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(data) {
+		t.Fatal("fsck without -repair modified the file")
+	}
+	if err := fsck(path, true); err != nil {
+		t.Fatalf("fsck -repair: %v", err)
+	}
+	if err := fsck(path, false); err != nil {
+		t.Errorf("fsck after repair: %v", err)
+	}
+}
+
+func TestFsckShardedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shards")
+	repo, err := coma.OpenShardedRepository(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := coma.LoadSQL("PO1", "CREATE TABLE T (a INT);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.PutSchema(s); err != nil {
+		t.Fatal(err)
+	}
+	repo.Close()
+	if err := fsck(dir, false); err != nil {
+		t.Errorf("fsck of sharded dir: %v", err)
+	}
+	if err := fsck(filepath.Join(t.TempDir(), "nope"), false); err == nil {
+		t.Error("fsck of missing path should fail")
 	}
 }
 
 func TestCommandErrors(t *testing.T) {
 	path := seedRepo(t)
-	if err := run("bogus", path, "", "", "", "", "", 0, 0, 0, false); err == nil {
+	if err := run("bogus", path, "", "", "", "", "", 0, 0, 0, false, false); err == nil {
 		t.Error("unknown command should fail")
 	}
-	if err := run("show", path, "", "", "", "", "", 0, 0, 0, false); err == nil {
+	if err := run("show", path, "", "", "", "", "", 0, 0, 0, false, false); err == nil {
 		t.Error("show without -schema should fail")
 	}
-	if err := run("show", path, "Missing", "", "", "", "", 0, 0, 0, false); err == nil {
+	if err := run("show", path, "Missing", "", "", "", "", 0, 0, 0, false, false); err == nil {
 		t.Error("show of missing schema should fail")
 	}
-	if err := run("dump", path, "", "manual", "", "", "", 0, 0, 0, false); err == nil {
+	if err := run("dump", path, "", "manual", "", "", "", 0, 0, 0, false, false); err == nil {
 		t.Error("dump without endpoints should fail")
 	}
-	if err := run("dump", path, "", "manual", "A", "B", "", 0, 0, 0, false); err == nil {
+	if err := run("dump", path, "", "manual", "A", "B", "", 0, 0, 0, false, false); err == nil {
 		t.Error("dump of missing mapping should fail")
 	}
-	if err := run("match", path, "", "manual", "", "", "", 0, 0, 0, false); err == nil {
+	if err := run("match", path, "", "manual", "", "", "", 0, 0, 0, false, false); err == nil {
 		t.Error("match without -in should fail")
 	}
-	if err := run("match", path, "", "manual", "", "", filepath.Join(t.TempDir(), "nope.txt"), 0, 0, 0, false); err == nil {
+	if err := run("match", path, "", "manual", "", "", filepath.Join(t.TempDir(), "nope.txt"), 0, 0, 0, false, false); err == nil {
 		t.Error("match of missing file should fail")
 	}
 }

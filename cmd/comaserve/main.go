@@ -43,6 +43,16 @@
 // across repeated matches of a stored schema — is on by default
 // (-colcache=false restores per-batch column reuse).
 //
+// Durability: -sync selects the shard logs' fsync cadence — "always"
+// (default; an acknowledged PUT survives any crash), a group-commit
+// interval like "50ms" (higher import throughput; a crash loses at
+// most the last interval), or "none" (tests). -checkpoint compacts
+// each shard log into a snapshot on a period so restart replays stay
+// short; a final checkpoint always runs during graceful shutdown.
+// Startup logs any shard whose log needed recovery (salvage, torn-tail
+// truncation, v1 upgrade), and /readyz reports per-shard recovery
+// state.
+//
 // Repository-scale matching: -candidate-index (on by default)
 // maintains the candidate-pruning index over the stored schemas, so
 // TopK match requests skip candidates whose cheap similarity upper
@@ -84,6 +94,13 @@ type serveConfig struct {
 	// queueTimeout bounds one request's slot wait (0 = server default,
 	// negative = unbounded).
 	queueTimeout time.Duration
+	// sync is the shard logs' durability policy in flag form ("always",
+	// "none", "interval" or a duration; "" = always).
+	sync string
+	// checkpoint > 0 compacts each shard log into a snapshot on this
+	// period (and once more on shutdown); 0 disables periodic
+	// checkpoints.
+	checkpoint time.Duration
 	// preload lists schema files imported before serving.
 	preload []string
 	// ready, when non-nil, receives the bound listen address once the
@@ -103,6 +120,8 @@ func main() {
 		matchTimeout = flag.Duration("match-timeout", 0, "per-request match deadline, e.g. 30s (0 = none; timed-out matches answer 504)")
 		queueLimit   = flag.Int("queue-limit", 64, "max match requests waiting for a slot before shedding with 429 (negative = unbounded)")
 		queueTimeout = flag.Duration("queue-timeout", 30*time.Second, "max wait for a match slot before answering 503 (negative = unbounded)")
+		syncPolicy   = flag.String("sync", "always", "log durability: always (fsync per write), none, or a group-commit interval like 50ms")
+		checkpoint   = flag.Duration("checkpoint", 0, "period between shard-log checkpoint snapshots (0 = only on shutdown drain)")
 	)
 	flag.Parse()
 	cfg := serveConfig{
@@ -116,6 +135,8 @@ func main() {
 		matchTimeout: *matchTimeout,
 		queueLimit:   *queueLimit,
 		queueTimeout: *queueTimeout,
+		sync:         *syncPolicy,
+		checkpoint:   *checkpoint,
 		preload:      flag.Args(),
 	}
 	// The flag's zero means "unbounded" to operators; the server's zero
@@ -136,7 +157,11 @@ func main() {
 // serves until SIGINT/SIGTERM, then drains (readiness flips to 503,
 // new matches are shed) and shuts down gracefully.
 func run(cfg serveConfig) error {
-	opts := []coma.Option{coma.WithWorkers(cfg.workers)}
+	policy, err := coma.ParseSyncPolicy(cfg.sync)
+	if err != nil {
+		return err
+	}
+	opts := []coma.Option{coma.WithWorkers(cfg.workers), coma.WithSyncPolicy(policy)}
 	if cfg.anLimit > 0 {
 		opts = append(opts, coma.WithAnalyzerLimit(cfg.anLimit))
 	}
@@ -151,6 +176,11 @@ func run(cfg serveConfig) error {
 		return err
 	}
 	defer repo.Close()
+	for i, rep := range repo.Reports() {
+		if !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "comaserve: shard %d recovery: %s\n", i, rep)
+		}
+	}
 
 	for _, path := range cfg.preload {
 		s, err := coma.LoadFile(path)
@@ -186,6 +216,25 @@ func run(cfg serveConfig) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	// Periodic checkpoints bound restart replay: each compacts the live
+	// state into a snapshot and truncates the logs, so reopening replays
+	// the snapshot plus at most one period of log suffix.
+	if cfg.checkpoint > 0 {
+		go func() {
+			t := time.NewTicker(cfg.checkpoint)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := repo.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "comaserve: checkpoint:", err)
+					}
+				}
+			}
+		}()
+	}
 	select {
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -201,6 +250,12 @@ func run(cfg serveConfig) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		fmt.Fprintln(os.Stderr, "comaserve: draining and shutting down")
-		return srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(shutdownCtx)
+		// With the store quiesced, checkpoint so the next boot replays a
+		// snapshot instead of the whole log.
+		if cerr := repo.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
 	}
 }

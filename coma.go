@@ -57,6 +57,7 @@ import (
 	"repro/internal/importer"
 	"repro/internal/instance"
 	"repro/internal/match"
+	"repro/internal/repository"
 	"repro/internal/schema"
 	"repro/internal/simcube"
 )
@@ -189,6 +190,9 @@ type Options struct {
 	// candIdx is the candidate-pruning inverted index installed by
 	// WithCandidateIndex (nil = exhaustive repository matching).
 	candIdx *candidates.Index
+	// syncPolicy selects repository log durability (fsync cadence);
+	// the zero value is SyncAlways.
+	syncPolicy repository.SyncPolicy
 }
 
 // Option adjusts match options.

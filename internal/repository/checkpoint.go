@@ -1,0 +1,127 @@
+package repository
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint file: a compacted snapshot of live state plus the
+// sequence watermark it covers, so restart replays snapshot + log
+// suffix instead of the full history. Layout:
+//
+//	[12B checkpoint magic][8B LE watermark][v2 record frames...]
+//
+// The frames carry local sequences 1..n (the snapshot is a fold, its
+// records have no log positions); the watermark says "this is the
+// state through log sequence W". The write protocol makes the
+// snapshot durable (fsync file, rename, fsync directory) before the
+// log is truncated, so a crash at any point leaves either the old
+// (log-only) or the new (checkpoint + suffix) recovery path intact.
+var ckptMagic = []byte("COMA.ckpt\x001\n")
+
+// ckptSuffix names a repository's checkpoint file next to its log.
+const ckptSuffix = ".ckpt"
+
+func ckptPath(logPath string) string { return logPath + ckptSuffix }
+
+// Checkpoint durably writes a compacted snapshot of the current state
+// and truncates the log to its header, bounding restart replay work.
+// The sequence counter keeps running, so records appended afterwards
+// sort strictly after the watermark.
+func (r *Repo) Checkpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return os.ErrClosed
+	}
+	if r.broken != nil {
+		return r.broken
+	}
+	tmpPath := r.path + ckptSuffix + ".tmp"
+	tmp, err := r.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	defer r.fs.Remove(tmpPath) // no-op after successful rename
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, r.lastSeq)
+	var localSeq uint64
+	for _, rec := range r.liveRecords() {
+		localSeq++
+		buf = appendFrame(buf, localSeq, rec.kind, rec.payload)
+	}
+	err = func() error {
+		if _, err := tmp.Write(buf); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	if err := r.fs.Rename(tmpPath, ckptPath(r.path)); err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	if err := r.fs.SyncDir(filepath.Dir(r.path)); err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	// The snapshot is durable; the log prefix it covers is now
+	// redundant. Truncate the log to its header. A crash before this
+	// point replays checkpoint + full log, skipping sequences at or
+	// below the watermark.
+	if err := r.f.Truncate(int64(len(fileMagicV2))); err != nil {
+		return fmt.Errorf("repository: checkpoint %s: truncate log: %w", r.path, err)
+	}
+	if _, err := r.f.Seek(int64(len(fileMagicV2)), io.SeekStart); err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	r.size = int64(len(fileMagicV2))
+	r.dirty = false
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint next to logPath. exists is false
+// when there is none; damaged marks a checkpoint whose header or
+// frames are corrupt (intact frames are still delivered best-effort,
+// but an unreadable header discards the whole snapshot).
+func loadCheckpoint(fs FS, logPath string, emit func(kind byte, payload []byte) error) (watermark uint64, exists, damaged bool, err error) {
+	f, err := fs.OpenFile(ckptPath(logPath), os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, false, nil
+		}
+		return 0, false, false, err
+	}
+	buf, err := readAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, true, true, err
+	}
+	hdr := len(ckptMagic) + 8
+	if len(buf) < hdr || !bytes.Equal(buf[:len(ckptMagic)], ckptMagic) {
+		// Header unreadable: no trustworthy watermark, ignore the file.
+		return 0, true, true, nil
+	}
+	watermark = binary.LittleEndian.Uint64(buf[len(ckptMagic):hdr])
+	out, err := scanLog(buf[hdr:], int64(hdr), func(_ uint64, kind byte, payload []byte) error {
+		return emit(kind, payload)
+	})
+	if err != nil {
+		return watermark, true, true, err
+	}
+	damaged = len(out.skipped) > 0 || out.truncated > 0
+	return watermark, true, damaged, nil
+}

@@ -1,0 +1,176 @@
+package repository
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the slice of *os.File the log layer uses. Abstracting it (and
+// FS below) lets tests interpose FaultFS to inject storage faults at
+// exact byte offsets — the simulation-style fault campaigns that prove
+// recovery instead of assuming it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem surface the repository needs: open, atomic
+// replace, delete, and directory fsync (required for rename durability
+// on POSIX systems).
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS is the default FS backing repositories opened without WithFS.
+var OSFS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// FaultKind selects what happens at the armed byte offset.
+type FaultKind int
+
+const (
+	// FaultFail makes the write that reaches the armed offset fail
+	// outright: no byte of it is written.
+	FaultFail FaultKind = iota
+	// FaultShortWrite writes the bytes up to the armed offset, then
+	// fails — a torn write, the classic crash-mid-append shape.
+	FaultShortWrite
+	// FaultBitFlip inverts the byte at the armed offset and lets the
+	// write succeed — silent media corruption the CRC must catch.
+	FaultBitFlip
+)
+
+// ErrInjectedFault is the error injected writes fail with.
+var ErrInjectedFault = fmt.Errorf("repository: injected storage fault")
+
+// FaultFS wraps an FS and injects one fault at the Nth byte written
+// (counted across all files opened through it, from the moment Arm is
+// called). It implements FS; pass it to Open via WithFS.
+type FaultFS struct {
+	// Inner is the wrapped filesystem; nil means OSFS.
+	Inner FS
+
+	mu      sync.Mutex
+	armed   bool
+	kind    FaultKind
+	at      int64 // byte offset (within writes since Arm) where the fault hits
+	written int64 // bytes written since Arm
+	fired   bool
+}
+
+// NewFaultFS wraps inner (nil = the real filesystem).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS
+	}
+	return &FaultFS{Inner: inner}
+}
+
+// Arm schedules one fault of the given kind at the n-th byte written
+// from now (0 = the very next byte). Re-arming resets the byte counter
+// and the fired flag.
+func (f *FaultFS) Arm(kind FaultKind, n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed, f.kind, f.at, f.written, f.fired = true, kind, n, 0, false
+}
+
+// Disarm cancels a pending fault.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = false
+}
+
+// Fired reports whether the armed fault has been injected.
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// BytesWritten returns the bytes written through f since the last Arm.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, File: inner}, nil
+}
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.Inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Remove(name string) error             { return f.Inner.Remove(name) }
+func (f *FaultFS) SyncDir(dir string) error             { return f.Inner.SyncDir(dir) }
+
+// faultFile routes writes through the FaultFS byte counter.
+type faultFile struct {
+	fs *FaultFS
+	File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if !f.armed || f.fired || f.written+int64(len(p)) <= f.at {
+		f.written += int64(len(p))
+		f.mu.Unlock()
+		return ff.File.Write(p)
+	}
+	// The armed offset lands inside this write.
+	f.fired = true
+	kind, local := f.kind, f.at-f.written
+	switch kind {
+	case FaultFail:
+		f.mu.Unlock()
+		return 0, ErrInjectedFault
+	case FaultShortWrite:
+		f.written += local
+		f.mu.Unlock()
+		n, err := ff.File.Write(p[:local])
+		if err == nil {
+			err = ErrInjectedFault
+		}
+		return n, err
+	default: // FaultBitFlip
+		f.written += int64(len(p))
+		f.mu.Unlock()
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[local] ^= 0xFF
+		return ff.File.Write(q)
+	}
+}

@@ -1,0 +1,100 @@
+package repository
+
+import (
+	"fmt"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage — the durability/throughput dial of the log:
+//
+//   - SyncAlways: every append fsyncs before it returns. An
+//     acknowledged write survives any crash. This is the default and
+//     the only policy under which acknowledgement implies durability.
+//   - SyncInterval(d): appends return after the OS write; a background
+//     syncer fsyncs the log at most every d, batching all appends since
+//     the previous fsync under one disk flush (group commit). The
+//     crash window is d: acknowledged writes from the last unflushed
+//     interval can be lost on power failure or kernel crash (a plain
+//     process crash loses nothing — the OS still holds the pages).
+//   - SyncNone: never fsync except on Close, Checkpoint and Compact.
+//     For tests and bulk loads that re-run on loss.
+//
+// Whatever the policy, the log never lies about order: a record is
+// written in full before the next one starts, so recovery always
+// yields a prefix of the acknowledged history (plus salvaged suffix
+// records when the damage is in the middle).
+type SyncPolicy struct {
+	mode     syncMode
+	interval time.Duration
+}
+
+type syncMode uint8
+
+const (
+	syncAlways syncMode = iota
+	syncInterval
+	syncNone
+)
+
+// SyncAlways fsyncs every append before acknowledging it.
+func SyncAlways() SyncPolicy { return SyncPolicy{mode: syncAlways} }
+
+// SyncInterval groups appends under one fsync at most every d; d <= 0
+// selects DefaultSyncInterval.
+func SyncInterval(d time.Duration) SyncPolicy {
+	if d <= 0 {
+		d = DefaultSyncInterval
+	}
+	return SyncPolicy{mode: syncInterval, interval: d}
+}
+
+// SyncNone never fsyncs on append (only on Close, Checkpoint and
+// Compact). For tests.
+func SyncNone() SyncPolicy { return SyncPolicy{mode: syncNone} }
+
+// DefaultSyncInterval is the group-commit interval selected by
+// SyncInterval(0).
+const DefaultSyncInterval = 50 * time.Millisecond
+
+// Interval returns the group-commit interval (zero unless the policy
+// is SyncInterval).
+func (p SyncPolicy) Interval() time.Duration {
+	if p.mode != syncInterval {
+		return 0
+	}
+	return p.interval
+}
+
+// String renders the policy in the form ParseSyncPolicy reads.
+func (p SyncPolicy) String() string {
+	switch p.mode {
+	case syncInterval:
+		return p.interval.String()
+	case syncNone:
+		return "none"
+	default:
+		return "always"
+	}
+}
+
+// ParseSyncPolicy reads a policy from its flag form: "always", "none",
+// or a group-commit interval such as "100ms".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways(), nil
+	case "none":
+		return SyncNone(), nil
+	case "interval":
+		return SyncInterval(0), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return SyncPolicy{}, fmt.Errorf("repository: sync policy %q is not always, none or a duration", s)
+	}
+	if d <= 0 {
+		return SyncNone(), nil
+	}
+	return SyncInterval(d), nil
+}

@@ -7,23 +7,30 @@
 //
 // Storage layout: a single append-only record log. Every record is
 //
-//	[4-byte little-endian payload length][1-byte kind][payload][4-byte CRC32]
+//	[4B record magic][8B LE sequence][4B LE payload len][1B kind][payload][4B CRC32]
 //
-// where the CRC covers kind+payload. Writes are append-only; updates
-// supersede earlier records for the same key and deletes append
-// tombstones. Open replays the log into in-memory indexes, truncating a
-// torn tail write (crash recovery). Compact rewrites the log with only
-// live records.
+// where the CRC covers sequence+len+kind+payload. Writes are
+// append-only; updates supersede earlier records for the same key and
+// deletes append tombstones. Open replays the log into in-memory
+// indexes. Recovery is salvage-grade: a torn tail is truncated, and
+// mid-log damage is scanned past to the next valid record boundary
+// (the per-record magic + monotonic sequence make boundaries
+// recognizable), so one corrupt record costs one record. Every open
+// produces a RecoveryReport. A checkpoint file next to the log
+// (Checkpoint) bounds replay to snapshot + log suffix. Compact
+// rewrites the log with only live records. SyncPolicy picks the
+// fsync cadence: per-append, group commit, or none.
 package repository
 
 import (
-	"encoding/binary"
+	"bytes"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/schema"
 	"repro/internal/simcube"
@@ -39,13 +46,23 @@ const (
 	kindCubeDel
 )
 
-var fileMagic = []byte("COMA.repo\x001\n")
-
 // Repo is the embedded repository. It is safe for concurrent use.
 type Repo struct {
-	mu   sync.RWMutex
-	path string
-	f    *os.File
+	mu     sync.RWMutex
+	path   string
+	fs     FS
+	f      File
+	policy SyncPolicy
+
+	size    int64  // end-of-log offset: where the next append lands
+	lastSeq uint64 // highest sequence ever written (survives compaction)
+	dirty   bool   // appended but not yet fsynced (interval/none policies)
+	broken  error  // sticky: a failed append could not be rolled back
+
+	report *RecoveryReport // what Open found; immutable afterwards
+
+	syncStop chan struct{} // group-commit syncer lifecycle
+	syncDone chan struct{}
 
 	schemas  map[string]*schema.Schema
 	mappings map[string]*taggedMapping // key: tag|from|to
@@ -57,76 +74,195 @@ type taggedMapping struct {
 	m   *simcube.Mapping
 }
 
+// openConfig collects Open's options.
+type openConfig struct {
+	fs     FS
+	policy SyncPolicy
+}
+
+// OpenOption configures Open and OpenSharded.
+type OpenOption func(*openConfig)
+
+// WithSyncPolicy selects the fsync cadence for appends (default
+// SyncAlways).
+func WithSyncPolicy(p SyncPolicy) OpenOption {
+	return func(c *openConfig) { c.policy = p }
+}
+
+// WithFS substitutes the filesystem — the fault-injection seam
+// (FaultFS) and any future storage backend.
+func WithFS(fs FS) OpenOption {
+	return func(c *openConfig) {
+		if fs != nil {
+			c.fs = fs
+		}
+	}
+}
+
 // Open opens (creating if needed) the repository log at path and
-// replays it. A torn final record — e.g. after a crash mid-write — is
-// discarded by truncating the file to the last intact record.
-func Open(path string) (*Repo, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// replays it — from a checkpoint snapshot plus log suffix when one
+// exists. Damage is recovered, not fatal: a torn final record is
+// truncated, mid-log corruption is scanned past record by record, a
+// version-1 log is upgraded in place. The only hard failure is a file
+// that holds no recognizable repository data at all. The recovery
+// outcome is available as RecoveryReport.
+func Open(path string, opts ...OpenOption) (*Repo, error) {
+	cfg := openConfig{fs: OSFS, policy: SyncAlways()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f, err := cfg.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("repository: open %s: %w", path, err)
 	}
 	r := &Repo{
 		path:     path,
+		fs:       cfg.fs,
 		f:        f,
+		policy:   cfg.policy,
 		schemas:  make(map[string]*schema.Schema),
 		mappings: make(map[string]*taggedMapping),
 		cubes:    make(map[string]*simcube.Cube),
 	}
 	if err := r.replay(); err != nil {
-		f.Close()
+		r.f.Close()
 		return nil, err
 	}
+	r.startSyncer()
 	return r, nil
 }
 
 // replay loads the log into memory and positions the write offset.
 func (r *Repo) replay() error {
-	info, err := r.f.Stat()
+	rep := &RecoveryReport{Path: r.path}
+	r.report = rep
+	buf, err := readAll(r.f)
+	if err != nil {
+		return fmt.Errorf("repository: read %s: %w", r.path, err)
+	}
+	if len(buf) == 0 {
+		if _, err := r.f.Write(fileMagicV2); err != nil {
+			return err
+		}
+		if err := r.f.Sync(); err != nil {
+			return err
+		}
+		r.size = int64(len(fileMagicV2))
+		return nil
+	}
+	switch {
+	case bytes.HasPrefix(buf, fileMagicV2):
+		return r.replayV2(buf, len(fileMagicV2), rep)
+	case bytes.HasPrefix(buf, fileMagicV1):
+		return r.replayV1(buf, rep)
+	case len(buf) < len(fileMagicV2) &&
+		(bytes.HasPrefix(fileMagicV2, buf) || bytes.HasPrefix(fileMagicV1, buf)):
+		// Torn creation: the crash hit before the header finished.
+		// The store was empty; start it over.
+		rep.TruncatedBytes = int64(len(buf))
+		rep.Salvaged = true
+		return r.rewriteLocked()
+	default:
+		// Damaged header — or a foreign file. Trust it only if it
+		// holds at least one valid record frame; scanning from offset
+		// zero folds the broken header into the first skipped range.
+		return r.replayV2(buf, 0, rep)
+	}
+}
+
+// replayV2 replays a version-2 log body starting at offset start
+// (len(fileMagicV2) normally, 0 when the header itself is damaged and
+// salvage must scan the whole file).
+func (r *Repo) replayV2(buf []byte, start int, rep *RecoveryReport) error {
+	type rec struct {
+		seq     uint64
+		kind    byte
+		payload []byte
+	}
+	var recs []rec
+	scan, err := scanLog(buf[start:], int64(start), func(seq uint64, kind byte, payload []byte) error {
+		recs = append(recs, rec{seq, kind, payload})
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	if info.Size() == 0 {
-		_, err := r.f.Write(fileMagic)
-		return err
-	}
-	head := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(r.f, head); err != nil || string(head) != string(fileMagic) {
-		return fmt.Errorf("repository: %s is not a repository file", r.path)
-	}
-	offset := int64(len(fileMagic))
-	hdr := make([]byte, 5)
-	for {
-		if _, err := io.ReadFull(r.f, hdr); err != nil {
-			break // clean EOF or torn header: stop
-		}
-		payloadLen := binary.LittleEndian.Uint32(hdr)
-		if payloadLen > 1<<30 {
-			break // corrupt length
-		}
-		kind := hdr[4]
-		body := make([]byte, int(payloadLen)+4)
-		if _, err := io.ReadFull(r.f, body); err != nil {
-			break // torn record
-		}
-		payload := body[:payloadLen]
-		want := binary.LittleEndian.Uint32(body[payloadLen:])
-		crc := crc32.NewIEEE()
-		crc.Write([]byte{kind})
-		crc.Write(payload)
-		if crc.Sum32() != want {
-			break // corrupt record
-		}
+	ckptApply := func(kind byte, payload []byte) error {
 		if err := r.apply(kind, payload); err != nil {
 			return err
 		}
-		offset += int64(5) + int64(payloadLen) + 4
+		rep.Recovered++
+		return nil
 	}
-	// Truncate any torn tail and position for appends.
-	if err := r.f.Truncate(offset); err != nil {
+	watermark, ckptExists, ckptDamaged, err := loadCheckpoint(r.fs, r.path, ckptApply)
+	if err != nil {
+		return fmt.Errorf("repository: checkpoint of %s: %w", r.path, err)
+	}
+	headerDamaged := start == 0
+	if headerDamaged && len(recs) == 0 && !ckptExists {
+		return fmt.Errorf("repository: %s is not a repository file", r.path)
+	}
+	rep.CheckpointUsed = ckptExists && !(ckptDamaged && watermark == 0)
+	rep.CheckpointDamaged = ckptDamaged
+	for _, rc := range recs {
+		if rc.seq <= watermark {
+			continue // already folded into the checkpoint state
+		}
+		if err := r.apply(rc.kind, rc.payload); err != nil {
+			return err
+		}
+		rep.Recovered++
+	}
+	rep.SkippedRanges = scan.skipped
+	for _, br := range scan.skipped {
+		rep.SkippedBytes += br.Len
+	}
+	rep.TruncatedBytes = scan.truncated
+	r.lastSeq = scan.lastSeq
+	if watermark > r.lastSeq {
+		r.lastSeq = watermark
+	}
+	if len(scan.skipped) > 0 || headerDamaged || ckptDamaged {
+		// Mid-log or header damage (or a corrupt snapshot): rewrite
+		// the log from the salvaged state so the file on disk is
+		// whole again.
+		rep.Salvaged = true
+		return r.rewriteLocked()
+	}
+	if scan.truncated > 0 {
+		// Torn tail only: chop it off in place.
+		if err := r.f.Truncate(scan.end); err != nil {
+			return err
+		}
+		if err := r.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if _, err := r.f.Seek(scan.end, io.SeekStart); err != nil {
 		return err
 	}
-	_, err = r.f.Seek(offset, io.SeekStart)
-	return err
+	r.size = scan.end
+	return nil
+}
+
+// replayV1 replays a version-1 log (the pre-salvage frame format:
+// [4B len][1B kind][payload][4B CRC], no per-record magic or
+// sequence) with its original stop-at-first-damage semantics, then
+// rewrites it as version 2.
+func (r *Repo) replayV1(buf []byte, rep *RecoveryReport) error {
+	off, err := legacyScan(buf, func(kind byte, payload []byte) error {
+		if err := r.apply(kind, payload); err != nil {
+			return err
+		}
+		rep.Recovered++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.TruncatedBytes = int64(len(buf) - off)
+	rep.UpgradedV1 = true
+	return r.rewriteLocked()
 }
 
 // apply folds one log record into the in-memory state.
@@ -177,38 +313,212 @@ func (r *Repo) apply(kind byte, payload []byte) error {
 	return nil
 }
 
-// appendRecord writes one record and syncs the log.
+// appendRecord writes one record as a single buffer and applies the
+// sync policy. On any write or sync failure the log is wound back to
+// the last good record boundary, so a failed append can never leave
+// torn bytes that poison later appends; if even the rollback fails,
+// the repo turns sticky-broken and refuses further writes.
 func (r *Repo) appendRecord(kind byte, payload []byte) error {
-	hdr := make([]byte, 5)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
-	hdr[4] = kind
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{kind})
-	crc.Write(payload)
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
-	if _, err := r.f.Write(hdr); err != nil {
+	if r.broken != nil {
+		return r.broken
+	}
+	if r.f == nil {
+		return os.ErrClosed
+	}
+	seq := r.lastSeq + 1
+	frame := appendFrame(make([]byte, 0, recHdrSize+len(payload)+recTailSize), seq, kind, payload)
+	err := func() error {
+		if _, err := r.f.Write(frame); err != nil {
+			return err
+		}
+		if r.policy.mode == syncAlways {
+			return r.f.Sync()
+		}
+		r.dirty = true
+		return nil
+	}()
+	if err != nil {
+		if terr := r.f.Truncate(r.size); terr != nil {
+			r.broken = fmt.Errorf("repository: %s unusable: append failed (%v), rollback failed (%v)", r.path, err, terr)
+			return r.broken
+		}
+		if _, serr := r.f.Seek(r.size, io.SeekStart); serr != nil {
+			r.broken = fmt.Errorf("repository: %s unusable: append failed (%v), re-seek failed (%v)", r.path, err, serr)
+			return r.broken
+		}
 		return err
 	}
-	if _, err := r.f.Write(payload); err != nil {
-		return err
-	}
-	if _, err := r.f.Write(tail[:]); err != nil {
-		return err
-	}
-	return r.f.Sync()
+	r.size += int64(len(frame))
+	r.lastSeq = seq
+	return nil
 }
+
+// liveRecord is one record of the current folded state, as rewritten
+// by Compact, Checkpoint and salvage.
+type liveRecord struct {
+	kind    byte
+	payload []byte
+}
+
+// liveRecords encodes the live state in deterministic order: schemas,
+// mappings, cubes, each sorted by key.
+func (r *Repo) liveRecords() []liveRecord {
+	out := make([]liveRecord, 0, len(r.schemas)+len(r.mappings)+len(r.cubes))
+	names := make([]string, 0, len(r.schemas))
+	for n := range r.schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, liveRecord{kindSchema, encodeSchema(r.schemas[n])})
+	}
+	keys := make([]string, 0, len(r.mappings))
+	for k := range r.mappings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tm := r.mappings[k]
+		out = append(out, liveRecord{kindMapping, encodeMapping(tm.tag, tm.m)})
+	}
+	ckeys := make([]string, 0, len(r.cubes))
+	for k := range r.cubes {
+		ckeys = append(ckeys, k)
+	}
+	sort.Strings(ckeys)
+	for _, k := range ckeys {
+		out = append(out, liveRecord{kindCube, encodeCube(k, r.cubes[k])})
+	}
+	return out
+}
+
+// rewriteLocked atomically replaces the log with the live state:
+// write a fresh log to a temp file, fsync it, drop any checkpoint
+// (the new log is self-contained; a stale snapshot surviving beside
+// it could resurrect deleted keys), rename over the log, fsync the
+// directory. Sequences are renumbered continuing after lastSeq, so
+// ordering stays globally monotonic. Callers hold the write lock (or
+// are inside Open).
+func (r *Repo) rewriteLocked() error {
+	tmpPath := r.path + ".compact"
+	tmp, err := r.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	keepTmp := false
+	defer func() {
+		if !keepTmp {
+			tmp.Close()
+			r.fs.Remove(tmpPath)
+		}
+	}()
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, fileMagicV2...)
+	seq := r.lastSeq
+	for _, rec := range r.liveRecords() {
+		seq++
+		buf = appendFrame(buf, seq, rec.kind, rec.payload)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := r.fs.Remove(ckptPath(r.path)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	dir := filepath.Dir(r.path)
+	if err := r.fs.SyncDir(dir); err != nil {
+		return err
+	}
+	if err := r.fs.Rename(tmpPath, r.path); err != nil {
+		return err
+	}
+	if err := r.fs.SyncDir(dir); err != nil {
+		return err
+	}
+	keepTmp = true
+	if r.f != nil {
+		r.f.Close()
+	}
+	r.f = tmp // the renamed file: same handle, now at r.path
+	r.size = int64(len(buf))
+	r.lastSeq = seq
+	r.dirty = false
+	return nil
+}
+
+// startSyncer launches the group-commit goroutine for SyncInterval
+// policies: one fsync per tick covers every append since the last.
+func (r *Repo) startSyncer() {
+	d := r.policy.Interval()
+	if d <= 0 {
+		return
+	}
+	r.syncStop = make(chan struct{})
+	r.syncDone = make(chan struct{})
+	stop, done := r.syncStop, r.syncDone
+	go func() {
+		defer close(done)
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Sync()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Sync flushes unfsynced appends to stable storage — the group-commit
+// flush point, also callable explicitly for a durability barrier.
+func (r *Repo) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil || !r.dirty || r.broken != nil {
+		return nil
+	}
+	if err := r.f.Sync(); err != nil {
+		return err
+	}
+	r.dirty = false
+	return nil
+}
+
+// RecoveryReport returns what Open found while replaying the log. The
+// report is immutable after Open.
+func (r *Repo) RecoveryReport() *RecoveryReport { return r.report }
 
 func mappingKey(tag, from, to string) string { return tag + "|" + from + "|" + to }
 
-// Close releases the underlying file.
+// Close stops the group-commit syncer, flushes unfsynced appends, and
+// releases the underlying file.
 func (r *Repo) Close() error {
+	r.mu.Lock()
+	stop, done := r.syncStop, r.syncDone
+	r.syncStop, r.syncDone = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.f == nil {
 		return nil
 	}
-	err := r.f.Close()
+	var err error
+	if r.dirty && r.broken == nil {
+		err = r.f.Sync()
+		r.dirty = false
+	}
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
 	r.f = nil
 	return err
 }
@@ -392,75 +702,27 @@ type Stats struct {
 func (r *Repo) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	st := Stats{Schemas: len(r.schemas), Mappings: len(r.mappings), Cubes: len(r.cubes)}
-	if info, err := r.f.Stat(); err == nil {
-		st.LogBytes = info.Size()
+	return Stats{
+		Schemas:  len(r.schemas),
+		Mappings: len(r.mappings),
+		Cubes:    len(r.cubes),
+		LogBytes: r.size,
 	}
-	return st
 }
 
-// Compact rewrites the log keeping only live records, atomically
-// replacing the old file.
+// Compact rewrites the log keeping only live records, atomically and
+// durably replacing the old file (temp file fsynced before the
+// rename, parent directory fsynced after).
 func (r *Repo) Compact() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	tmpPath := r.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
+	if r.f == nil {
+		return os.ErrClosed
 	}
-	defer os.Remove(tmpPath) // no-op after successful rename
-	old := r.f
-	r.f = tmp
-	writeAll := func() error {
-		if _, err := tmp.Write(fileMagic); err != nil {
-			return err
-		}
-		names := make([]string, 0, len(r.schemas))
-		for n := range r.schemas {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			if err := r.appendRecord(kindSchema, encodeSchema(r.schemas[n])); err != nil {
-				return err
-			}
-		}
-		keys := make([]string, 0, len(r.mappings))
-		for k := range r.mappings {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			tm := r.mappings[k]
-			if err := r.appendRecord(kindMapping, encodeMapping(tm.tag, tm.m)); err != nil {
-				return err
-			}
-		}
-		ckeys := make([]string, 0, len(r.cubes))
-		for k := range r.cubes {
-			ckeys = append(ckeys, k)
-		}
-		sort.Strings(ckeys)
-		for _, k := range ckeys {
-			if err := r.appendRecord(kindCube, encodeCube(k, r.cubes[k])); err != nil {
-				return err
-			}
-		}
-		return nil
+	if r.broken != nil {
+		return r.broken
 	}
-	if err := writeAll(); err != nil {
-		r.f = old
-		tmp.Close()
-		return err
-	}
-	if err := os.Rename(tmpPath, r.path); err != nil {
-		r.f = old
-		tmp.Close()
-		return err
-	}
-	old.Close()
-	return nil
+	return r.rewriteLocked()
 }
 
 // TagStore adapts one tag's mappings to the reuse.Store interface.

@@ -248,13 +248,14 @@ func TestCorruptPayloadDetected(t *testing.T) {
 	r.PutSchema(sampleSchema("B"))
 	r.Close()
 
-	// Flip a byte in the middle of the log: CRC check must stop replay
-	// at the corrupted record.
+	// Flip a byte in the middle of the first record: the CRC check must
+	// reject it, and salvage must carry on to the next record boundary
+	// — one corrupt record costs one record, not the rest of the log.
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(fileMagic)+20] ^= 0xFF
+	data[len(fileMagicV2)+recHdrSize+3] ^= 0xFF
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -265,6 +266,13 @@ func TestCorruptPayloadDetected(t *testing.T) {
 	defer r2.Close()
 	if _, ok := r2.GetSchema("A"); ok {
 		t.Error("corrupted record should not be applied")
+	}
+	if _, ok := r2.GetSchema("B"); !ok {
+		t.Error("record after the corruption should be salvaged")
+	}
+	rep := r2.RecoveryReport()
+	if rep.Clean() || !rep.Salvaged || len(rep.SkippedRanges) != 1 || rep.Recovered != 1 {
+		t.Errorf("unexpected recovery report: %+v", rep)
 	}
 }
 
@@ -379,7 +387,7 @@ func TestStats(t *testing.T) {
 	}
 	r.PutSchema(sampleSchema("A"))
 	st = r.Stats()
-	if st.Schemas != 1 || st.LogBytes <= int64(len(fileMagic)) {
+	if st.Schemas != 1 || st.LogBytes <= int64(len(fileMagicV2)) {
 		t.Errorf("Stats = %+v", st)
 	}
 }

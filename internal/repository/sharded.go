@@ -38,6 +38,8 @@ type Store interface {
 
 	Stats() Stats
 	Compact() error
+	Checkpoint() error
+	Sync() error
 	Close() error
 }
 
@@ -72,7 +74,7 @@ const shardPattern = "shard-%03d.repo"
 // existing one must contain exactly n shard files — the shard count is
 // part of the on-disk layout, since records are routed by hash modulo
 // n and re-sharding requires a rewrite.
-func OpenSharded(dir string, n int) (*Sharded, error) {
+func OpenSharded(dir string, n int, opts ...OpenOption) (*Sharded, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("repository: non-positive shard count %d", n)
 	}
@@ -89,7 +91,7 @@ func OpenSharded(dir string, n int) (*Sharded, error) {
 	}
 	s := &Sharded{dir: dir, shards: make([]*Repo, n)}
 	for i := range s.shards {
-		r, err := Open(filepath.Join(dir, fmt.Sprintf(shardPattern, i)))
+		r, err := Open(filepath.Join(dir, fmt.Sprintf(shardPattern, i)), opts...)
 		if err != nil {
 			for _, open := range s.shards[:i] {
 				open.Close()
@@ -231,6 +233,37 @@ func (s *Sharded) Compact() error {
 		}
 	}
 	return nil
+}
+
+// Checkpoint snapshots every shard, bounding each shard's restart
+// replay to snapshot + log suffix.
+func (s *Sharded) Checkpoint() error {
+	for i, r := range s.shards {
+		if err := r.Checkpoint(); err != nil {
+			return fmt.Errorf("repository: checkpoint shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes unfsynced appends on every shard — the explicit
+// durability barrier under group-commit policies.
+func (s *Sharded) Sync() error {
+	for i, r := range s.shards {
+		if err := r.Sync(); err != nil {
+			return fmt.Errorf("repository: sync shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Reports returns each shard's recovery report, indexed by shard.
+func (s *Sharded) Reports() []*RecoveryReport {
+	out := make([]*RecoveryReport, len(s.shards))
+	for i, r := range s.shards {
+		out[i] = r.RecoveryReport()
+	}
+	return out
 }
 
 // Close releases every shard, returning the first error.

@@ -1,0 +1,233 @@
+package repository
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// VerifyReport is the result of an offline integrity check of one log
+// file: the RecoveryReport a real open would produce, plus checks an
+// open does not need — payload decodability and sequence continuity.
+type VerifyReport struct {
+	RecoveryReport
+	// Records counts valid frames in the log itself (including any a
+	// checkpoint supersedes); CheckpointRecords counts frames in the
+	// snapshot.
+	Records           int `json:"records"`
+	CheckpointRecords int `json:"checkpointRecords,omitempty"`
+	// DecodeErrors counts CRC-valid records whose payload fails to
+	// decode (an encoder bug or version skew, not media damage).
+	DecodeErrors int `json:"decodeErrors,omitempty"`
+	// SeqGaps counts adjacent valid records whose sequences are not
+	// consecutive — records vanished without visible damage.
+	SeqGaps int `json:"seqGaps,omitempty"`
+}
+
+// OK reports a fully healthy log: nothing damaged, nothing skipped,
+// every payload decodable, sequences contiguous, current format.
+func (v *VerifyReport) OK() bool {
+	return v.Clean() && v.DecodeErrors == 0 && v.SeqGaps == 0
+}
+
+// String renders the verify result in fsck-output form.
+func (v *VerifyReport) String() string {
+	s := v.RecoveryReport.String()
+	if v.DecodeErrors > 0 {
+		s += fmt.Sprintf(", %d undecodable payloads", v.DecodeErrors)
+	}
+	if v.SeqGaps > 0 {
+		s += fmt.Sprintf(", %d sequence gaps", v.SeqGaps)
+	}
+	return s
+}
+
+// decodeCheck decodes one payload without applying it.
+func decodeCheck(kind byte, payload []byte) error {
+	switch kind {
+	case kindSchema:
+		_, err := decodeSchema(payload)
+		return err
+	case kindMapping:
+		_, _, err := decodeMapping(payload)
+		return err
+	case kindCube:
+		_, _, err := decodeCube(payload)
+		return err
+	case kindSchemaDel, kindMappingDel, kindCubeDel:
+		d := decoder{buf: payload}
+		d.str()
+		return d.err
+	default:
+		return fmt.Errorf("repository: unknown record kind %d", kind)
+	}
+}
+
+// Verify checks the log file at path without modifying it: frame CRCs,
+// sequence continuity, payload decodability, and the checkpoint
+// snapshot if one exists. It errors only when the file cannot be read
+// or holds no recognizable repository data; damage is reported, not
+// fatal.
+func Verify(path string) (*VerifyReport, error) {
+	f, err := OSFS.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+	}
+	buf, err := readAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+	}
+	v := &VerifyReport{RecoveryReport: RecoveryReport{Path: path}}
+	start := len(fileMagicV2)
+	switch {
+	case len(buf) == 0:
+		return v, nil
+	case bytes.HasPrefix(buf, fileMagicV2):
+		// An exactly-header file still falls through: a checkpoint may
+		// hold the whole store (the post-checkpoint steady state).
+	case bytes.HasPrefix(buf, fileMagicV1):
+		return verifyV1(buf, v)
+	case len(buf) < len(fileMagicV2) &&
+		(bytes.HasPrefix(fileMagicV2, buf) || bytes.HasPrefix(fileMagicV1, buf)):
+		v.TruncatedBytes = int64(len(buf))
+		return v, nil
+	default:
+		start = 0 // damaged header: scan the whole file
+	}
+	// Checkpoint first, mirroring what replay would trust.
+	watermark, ckptExists, ckptDamaged, err := loadCheckpoint(OSFS, path, func(kind byte, payload []byte) error {
+		v.CheckpointRecords++
+		if derr := decodeCheck(kind, payload); derr != nil {
+			v.DecodeErrors++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+	}
+	v.CheckpointUsed = ckptExists && !(ckptDamaged && watermark == 0)
+	v.CheckpointDamaged = ckptDamaged
+	v.Recovered = v.CheckpointRecords
+	var prevSeq uint64
+	scan, err := scanLog(buf[start:], int64(start), func(seq uint64, kind byte, payload []byte) error {
+		v.Records++
+		if prevSeq != 0 && seq != prevSeq+1 {
+			v.SeqGaps++
+		}
+		prevSeq = seq
+		if derr := decodeCheck(kind, payload); derr != nil {
+			v.DecodeErrors++
+		}
+		if seq > watermark {
+			v.Recovered++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if start == 0 && v.Records == 0 && !ckptExists {
+		return nil, fmt.Errorf("repository: %s is not a repository file", path)
+	}
+	v.SkippedRanges = scan.skipped
+	for _, br := range scan.skipped {
+		v.SkippedBytes += br.Len
+	}
+	v.TruncatedBytes = scan.truncated
+	if start == 0 {
+		v.Salvaged = true // a real open would salvage-rewrite
+	}
+	return v, nil
+}
+
+// verifyV1 checks a legacy version-1 log; it is never OK (an open
+// would upgrade it to version 2).
+func verifyV1(buf []byte, v *VerifyReport) (*VerifyReport, error) {
+	off, err := legacyScan(buf, func(kind byte, payload []byte) error {
+		v.Records++
+		v.Recovered++
+		if derr := decodeCheck(kind, payload); derr != nil {
+			v.DecodeErrors++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.TruncatedBytes = int64(len(buf) - off)
+	v.UpgradedV1 = true
+	return v, nil
+}
+
+// VerifyStore verifies a repository path: a single log file, or a
+// sharded repository directory (every shard-*.repo inside, sorted).
+func VerifyStore(path string) ([]*VerifyReport, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+	}
+	if !info.IsDir() {
+		v, err := Verify(path)
+		if err != nil {
+			return nil, err
+		}
+		return []*VerifyReport{v}, nil
+	}
+	shards, err := filepath.Glob(filepath.Join(path, "shard-*.repo"))
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("repository: %s holds no shard logs", path)
+	}
+	sort.Strings(shards)
+	out := make([]*VerifyReport, 0, len(shards))
+	for _, p := range shards {
+		v, err := Verify(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// RepairStore opens (salvaging as needed) and closes every log under
+// path — a single file or a sharded directory — returning what each
+// open recovered. Damaged logs come back rewritten and whole; intact
+// logs are untouched.
+func RepairStore(path string) ([]*RecoveryReport, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("repository: repair %s: %w", path, err)
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "shard-*.repo"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("repository: %s holds no shard logs", path)
+		}
+		sort.Strings(files)
+	}
+	out := make([]*RecoveryReport, 0, len(files))
+	for _, p := range files {
+		r, err := Open(p)
+		if err != nil {
+			return nil, err
+		}
+		rep := r.RecoveryReport()
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

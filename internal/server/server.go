@@ -86,6 +86,9 @@ type Backend interface {
 	// IndexStats reports the candidate-pruning index state for /readyz;
 	// ok is false when the backend matches exhaustively only.
 	IndexStats() (stats IndexReadiness, ok bool)
+	// Recovery reports each shard's startup log-replay outcome for
+	// /readyz; nil when the backend has no durable store.
+	Recovery() []RecoveryStatus
 }
 
 // Config assembles a Server.
@@ -289,6 +292,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.backend.IndexStats(); ok {
 		ready.CandidateIndex = &st
 	}
+	ready.Recovery = s.backend.Recovery()
 	if s.draining.Load() {
 		ready.Status = "draining"
 		ready.Draining = true

@@ -58,6 +58,8 @@ func (b *testBackend) IndexStats() (server.IndexReadiness, bool) {
 	return server.IndexReadiness{}, false
 }
 
+func (b *testBackend) Recovery() []server.RecoveryStatus { return nil }
+
 func (b *testBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]server.Match, []server.ShardFailure, error) {
 	stored := b.Schemas()
 	candidates := stored[:0:0]

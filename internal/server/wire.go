@@ -130,6 +130,34 @@ type Readiness struct {
 	// CandidateIndex reports the candidate-pruning index state; absent
 	// when the backend matches exhaustively only.
 	CandidateIndex *IndexReadiness `json:"candidateIndex,omitempty"`
+	// Recovery reports what each shard's log replay found at startup;
+	// absent when the backend has no durable store.
+	Recovery []RecoveryStatus `json:"recovery,omitempty"`
+}
+
+// RecoveryStatus is one shard's startup-recovery block of /readyz.
+type RecoveryStatus struct {
+	// Shard is the shard index (0 for a single-log repository).
+	Shard int `json:"shard"`
+	// Path is the shard's log file.
+	Path string `json:"path"`
+	// Recovered counts records replayed into the store.
+	Recovered int `json:"recovered"`
+	// SkippedBytes is the damaged mid-log byte count salvage skipped.
+	SkippedBytes int64 `json:"skippedBytes,omitempty"`
+	// TruncatedBytes is the torn tail discarded after the last valid
+	// record.
+	TruncatedBytes int64 `json:"truncatedBytes,omitempty"`
+	// Salvaged reports that damage forced a full salvage rewrite.
+	Salvaged bool `json:"salvaged,omitempty"`
+	// UpgradedV1 reports a legacy version-1 log was upgraded.
+	UpgradedV1 bool `json:"upgradedV1,omitempty"`
+	// CheckpointUsed reports replay started from a checkpoint snapshot.
+	CheckpointUsed bool `json:"checkpointUsed,omitempty"`
+	// CheckpointDamaged reports a corrupt checkpoint was salvaged.
+	CheckpointDamaged bool `json:"checkpointDamaged,omitempty"`
+	// Clean reports the log was fully intact.
+	Clean bool `json:"clean"`
 }
 
 // IndexReadiness is the candidate-pruning index block of /readyz.

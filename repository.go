@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/repository"
 	"repro/internal/reuse"
@@ -23,6 +24,53 @@ type Repository struct {
 // RepositoryStats summarizes repository contents and log sizes.
 type RepositoryStats = repository.Stats
 
+// SyncPolicy selects when repository log appends reach stable storage:
+// SyncAlways (fsync per append — the durable default), SyncInterval
+// (group commit on a timer; a crash loses at most the last interval)
+// or SyncNone (fsync only on close, checkpoint and compact).
+type SyncPolicy = repository.SyncPolicy
+
+// SyncAlways fsyncs after every append; an acknowledged write is never
+// lost.
+func SyncAlways() SyncPolicy { return repository.SyncAlways() }
+
+// SyncInterval groups commits: appends return after the OS write and a
+// background fsync runs every d (d <= 0 selects the default interval).
+func SyncInterval(d time.Duration) SyncPolicy { return repository.SyncInterval(d) }
+
+// SyncNone fsyncs only on Close, Checkpoint and Compact — for tests
+// and bulk loads that can be replayed.
+func SyncNone() SyncPolicy { return repository.SyncNone() }
+
+// ParseSyncPolicy parses a policy from flag form: "always", "none",
+// "interval", or a duration like "100ms".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return repository.ParseSyncPolicy(s) }
+
+// RecoveryReport describes what opening a repository log found and did
+// while replaying it (salvaged damage, torn tails, checkpoint use).
+type RecoveryReport = repository.RecoveryReport
+
+// VerifyReport is the result of an offline repository integrity check
+// (comarepo fsck).
+type VerifyReport = repository.VerifyReport
+
+// VerifyStore checks a repository path — a single log file or a
+// sharded repository directory — without modifying it.
+func VerifyStore(path string) ([]*VerifyReport, error) { return repository.VerifyStore(path) }
+
+// RepairStore opens (salvaging as needed) and closes every log under
+// path, returning what each open recovered.
+func RepairStore(path string) ([]*RecoveryReport, error) { return repository.RepairStore(path) }
+
+// WithSyncPolicy selects the repository log's durability policy; the
+// default is SyncAlways.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *Options) error {
+		o.syncPolicy = p
+		return nil
+	}
+}
+
 // Mapping tags conventionally used by the evaluation.
 const (
 	// TagManual marks manually confirmed match results.
@@ -31,9 +79,15 @@ const (
 	TagAuto = "auto"
 )
 
-// OpenRepository opens (creating if necessary) a repository file.
-func OpenRepository(path string) (*Repository, error) {
-	r, err := repository.Open(path)
+// OpenRepository opens (creating if necessary) a repository file. The
+// opts are read for storage settings (WithSyncPolicy); engine options
+// are accepted and ignored, so one option list can configure both.
+func OpenRepository(path string, opts ...Option) (*Repository, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := repository.Open(path, repository.WithSyncPolicy(o.syncPolicy))
 	if err != nil {
 		return nil, fmt.Errorf("coma: open repository %s: %w", path, err)
 	}

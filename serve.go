@@ -4,9 +4,27 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/repository"
 	"repro/internal/schema"
 	"repro/internal/server"
 )
+
+// recoveryStatus converts one shard's recovery report to its /readyz
+// wire form.
+func recoveryStatus(shard int, rep *repository.RecoveryReport) server.RecoveryStatus {
+	return server.RecoveryStatus{
+		Shard:             shard,
+		Path:              rep.Path,
+		Recovered:         rep.Recovered,
+		SkippedBytes:      rep.SkippedBytes,
+		TruncatedBytes:    rep.TruncatedBytes,
+		Salvaged:          rep.Salvaged,
+		UpgradedV1:        rep.UpgradedV1,
+		CheckpointUsed:    rep.CheckpointUsed,
+		CheckpointDamaged: rep.CheckpointDamaged,
+		Clean:             rep.Clean(),
+	}
+}
 
 // ServeOption adjusts the HTTP front-end built by Repository.Handler
 // and ShardedRepository.Handler: per-request deadlines, admission
@@ -224,6 +242,10 @@ func (b *singleBackend) GetSchema(name string) (*schema.Schema, bool) { return b
 func (b *singleBackend) SchemaNames() []string                        { return b.repo.SchemaNames() }
 func (b *singleBackend) Stats() RepositoryStats                       { return b.repo.Stats() }
 
+func (b *singleBackend) Recovery() []server.RecoveryStatus {
+	return []server.RecoveryStatus{recoveryStatus(0, b.repo.RecoveryReport())}
+}
+
 func (b *singleBackend) IndexStats() (server.IndexReadiness, bool) {
 	st, ok := b.engine.CandidateIndexStats()
 	if !ok {
@@ -291,6 +313,15 @@ func (b *shardedBackend) DeleteSchema(name string) (bool, error) {
 func (b *shardedBackend) GetSchema(name string) (*schema.Schema, bool) { return b.repo.GetSchema(name) }
 func (b *shardedBackend) SchemaNames() []string                        { return b.repo.SchemaNames() }
 func (b *shardedBackend) Stats() RepositoryStats                       { return b.repo.Stats() }
+
+func (b *shardedBackend) Recovery() []server.RecoveryStatus {
+	reps := b.repo.Reports()
+	out := make([]server.RecoveryStatus, len(reps))
+	for i, rep := range reps {
+		out[i] = recoveryStatus(i, rep)
+	}
+	return out
+}
 
 func (b *shardedBackend) IndexStats() (server.IndexReadiness, bool) {
 	var out server.IndexReadiness

@@ -35,7 +35,11 @@ type ShardedRepository struct {
 // identically (matchers, strategy, worker bound); each shard still
 // owns a separate analysis cache.
 func OpenShardedRepository(dir string, shards int, opts ...Option) (*ShardedRepository, error) {
-	store, err := repository.OpenSharded(dir, shards)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	store, err := repository.OpenSharded(dir, shards, repository.WithSyncPolicy(o.syncPolicy))
 	if err != nil {
 		return nil, fmt.Errorf("coma: open sharded repository %s: %w", dir, err)
 	}
