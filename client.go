@@ -155,17 +155,41 @@ func newIdempotencyKey() string {
 	return hex.EncodeToString(b[:])
 }
 
-// retryAfter parses a Retry-After header in seconds form (the only
-// form comaserve emits); 0 when absent or unparseable.
-func retryAfter(resp *http.Response) time.Duration {
+// retryAfter parses a Retry-After header in either RFC 9110 form —
+// delta-seconds ("3") or HTTP-date ("Tue, 29 Jul 2025 09:00:00 GMT",
+// or the obsolete RFC 850 and asctime shapes http.ParseTime accepts) —
+// returning 0 when absent or unparseable. comaserve emits
+// delta-seconds; proxies and other servers in front of it may rewrite
+// to the date form, which was previously ignored and silently fell
+// back to generic backoff. Either form is capped at the client's
+// retryMax so a miszoned clock (or hostile header) cannot park the
+// client for hours.
+func (c *Client) retryAfter(resp *http.Response) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs <= 0 {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	var d time.Duration
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(h); err == nil {
+		d = time.Until(when)
+		if d <= 0 {
+			return 0
+		}
+	} else {
+		return 0
+	}
+	if d > c.retryMax {
+		d = c.retryMax
+	}
+	return d
 }
 
 // do performs one JSON round-trip: method + path with an optional
@@ -235,7 +259,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			} else {
 				lastErr = fmt.Errorf("coma: client: %s %s: HTTP %d", method, path, resp.StatusCode)
 			}
-			hint = retryAfter(resp)
+			hint = c.retryAfter(resp)
 			resp.Body.Close()
 			if retryableStatus(resp.StatusCode) {
 				continue

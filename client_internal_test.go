@@ -1,0 +1,54 @@
+package coma
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// respWithRetryAfter builds a bare response carrying one Retry-After
+// header value.
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestClientRetryAfter: the backoff hint honors both RFC 9110 forms —
+// delta-seconds and HTTP-date — capped at the client's retryMax, and
+// degrades to zero (plain backoff) on absent, past, or garbage values.
+func TestClientRetryAfter(t *testing.T) {
+	c := NewClient("http://example.invalid", WithRetryBackoff(10*time.Millisecond, 3*time.Second))
+	now := time.Now()
+	cases := []struct {
+		name  string
+		value string
+		min   time.Duration
+		max   time.Duration
+	}{
+		{"delta seconds", "2", 2 * time.Second, 2 * time.Second},
+		{"delta capped at retryMax", "120", 3 * time.Second, 3 * time.Second},
+		{"zero delta", "0", 0, 0},
+		{"negative delta", "-3", 0, 0},
+		// An HTTP-date hint is measured against the wall clock, so allow
+		// the parse-to-check drift plus the header's 1s resolution.
+		{"http date", now.Add(2 * time.Second).UTC().Format(http.TimeFormat), 900 * time.Millisecond, 2 * time.Second},
+		{"http date capped at retryMax", now.Add(time.Hour).UTC().Format(http.TimeFormat), 3 * time.Second, 3 * time.Second},
+		{"http date in the past", now.Add(-time.Hour).UTC().Format(http.TimeFormat), 0, 0},
+		{"garbage", "soon", 0, 0},
+		{"absent", "", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := c.retryAfter(respWithRetryAfter(tc.value))
+			if got < tc.min || got > tc.max {
+				t.Errorf("retryAfter(%q) = %v, want in [%v, %v]", tc.value, got, tc.min, tc.max)
+			}
+		})
+	}
+	if got := c.retryAfter(nil); got != 0 {
+		t.Errorf("retryAfter(nil) = %v, want 0", got)
+	}
+}

@@ -217,6 +217,10 @@ func runMatch(repo *coma.Repository, in string, topK, workers, maxCand int, exha
 		fmt.Printf("pruned: %d of %d candidates skipped (ratio %.2f)\n",
 			stats.Skipped, stats.Candidates, stats.Ratio())
 	}
+	if tot := repo.PruneTotals(); tot.Batches > 0 {
+		fmt.Printf("pruned (cumulative): %d batches, %d of %d candidates skipped (ratio %.2f)\n",
+			tot.Batches, tot.Skipped, tot.Candidates, tot.Ratio())
+	}
 	if len(matches) == 0 {
 		fmt.Printf("no stored candidates for %s\n", incoming.Name)
 		return nil

@@ -15,6 +15,7 @@
 //
 //	GET    /healthz          liveness + store size
 //	GET    /readyz           readiness + admission queue state
+//	GET    /metrics          Prometheus text-format metrics
 //	GET    /schemas          stored schemas
 //	PUT    /schemas/{name}   import an inline schema
 //	GET    /schemas/{name}   one schema's paths
@@ -53,6 +54,18 @@
 // truncation, v1 upgrade), and /readyz reports per-shard recovery
 // state.
 //
+// Observability: GET /metrics serves the full instrument set in
+// Prometheus text format — per-endpoint request counts and latency
+// histograms, admission-queue depth/wait/shed counters, analyzer and
+// column cache hit/miss/eviction counters, cumulative candidate-prune
+// counters, and storage durability timings (append fsync, group-commit
+// flush, checkpoint duration, recovery outcomes). Metrics are on by
+// default (-metrics=false disables the registry and the endpoint);
+// -log-requests additionally emits one structured log line per request
+// to stderr. Load-shedding responses derive their Retry-After hint
+// from current queue occupancy and observed match time instead of a
+// fixed constant.
+//
 // Repository-scale matching: -candidate-index (on by default)
 // maintains the candidate-pruning index over the stored schemas, so
 // TopK match requests skip candidates whose cheap similarity upper
@@ -66,6 +79,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -101,6 +115,11 @@ type serveConfig struct {
 	// period (and once more on shutdown); 0 disables periodic
 	// checkpoints.
 	checkpoint time.Duration
+	// metrics serves GET /metrics and keeps the instrument registry
+	// (on by default).
+	metrics bool
+	// logRequests emits one structured log line per finished request.
+	logRequests bool
 	// preload lists schema files imported before serving.
 	preload []string
 	// ready, when non-nil, receives the bound listen address once the
@@ -122,6 +141,8 @@ func main() {
 		queueTimeout = flag.Duration("queue-timeout", 30*time.Second, "max wait for a match slot before answering 503 (negative = unbounded)")
 		syncPolicy   = flag.String("sync", "always", "log durability: always (fsync per write), none, or a group-commit interval like 50ms")
 		checkpoint   = flag.Duration("checkpoint", 0, "period between shard-log checkpoint snapshots (0 = only on shutdown drain)")
+		metricsOn    = flag.Bool("metrics", true, "serve Prometheus text-format metrics at GET /metrics")
+		logRequests  = flag.Bool("log-requests", false, "emit one structured log line per request to stderr")
 	)
 	flag.Parse()
 	cfg := serveConfig{
@@ -137,6 +158,8 @@ func main() {
 		queueTimeout: *queueTimeout,
 		sync:         *syncPolicy,
 		checkpoint:   *checkpoint,
+		metrics:      *metricsOn,
+		logRequests:  *logRequests,
 		preload:      flag.Args(),
 	}
 	// The flag's zero means "unbounded" to operators; the server's zero
@@ -197,11 +220,17 @@ func run(cfg serveConfig) error {
 	if err != nil {
 		return err
 	}
-	handler := repo.Handler(
+	serveOpts := []coma.ServeOption{
 		coma.WithMatchTimeout(cfg.matchTimeout),
 		coma.WithQueueLimit(cfg.queueLimit),
 		coma.WithQueueTimeout(cfg.queueTimeout),
-	)
+		coma.WithMetrics(cfg.metrics),
+	}
+	if cfg.logRequests {
+		serveOpts = append(serveOpts,
+			coma.WithRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
+	handler := repo.Handler(serveOpts...)
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,

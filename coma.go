@@ -424,6 +424,35 @@ func (e *Engine) CachedAnalyses() int {
 	return 0
 }
 
+// AnalyzerCacheStats is a snapshot of an engine's analysis cache:
+// cumulative hits, misses (index builds), evictions, invalidations,
+// tombstones and pins, plus current entry and pin counts.
+type AnalyzerCacheStats = analysis.AnalyzerStats
+
+// AnalyzerCacheStats returns the engine's analysis-cache counters
+// (zero value when the engine has no analyzer).
+func (e *Engine) AnalyzerCacheStats() AnalyzerCacheStats {
+	if a := e.o.ctx.Analyzer; a != nil {
+		return a.Stats()
+	}
+	return AnalyzerCacheStats{}
+}
+
+// ColumnCacheStats is a snapshot of an engine's persistent column
+// cache: cumulative column hits, misses and flushes, plus the number
+// of incoming indexes currently holding columns.
+type ColumnCacheStats = match.ColumnCacheStats
+
+// ColumnCacheStats returns the engine's persistent column-cache
+// counters; ok is false without WithPersistentColumnCache (per-batch
+// column reuse is untracked — it dies with each batch).
+func (e *Engine) ColumnCacheStats() (st ColumnCacheStats, ok bool) {
+	if cc := e.o.ctx.Columns; cc != nil {
+		return cc.Stats(), true
+	}
+	return ColumnCacheStats{}, false
+}
+
 // Match performs one automatic match operation with the engine's
 // configuration, reusing cached schema analyses.
 func (e *Engine) Match(s1, s2 *Schema) (*Result, error) {

@@ -384,6 +384,65 @@ type Analyzer struct {
 	// still hold the schema and the tombstone is dropped.
 	active map[int64]struct{}
 	dead   map[*schema.Schema]int64
+
+	// Lifecycle counters, cumulative since construction. Atomic (not
+	// guarded by mu) so Stats can be read from exposition paths without
+	// contending with builds; see AnalyzerStats for meanings.
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	tombstones    atomic.Uint64
+	pins          atomic.Uint64
+}
+
+// AnalyzerStats is a point-in-time snapshot of the cache's cumulative
+// lifecycle counters plus its current occupancy. Counters are
+// monotonic; Entries/Pinned are instantaneous.
+type AnalyzerStats struct {
+	// Hits counts Index calls served from a cached, still-valid index.
+	Hits uint64
+	// Misses counts index builds: first use, stale rebuilds, and
+	// throwaway builds for tombstoned schemas.
+	Misses uint64
+	// Evictions counts entries dropped by Evict or the LRU capacity
+	// backstop.
+	Evictions uint64
+	// Invalidations counts entries whose index was dropped by
+	// Invalidate (wholesale Invalidate(nil) counts each entry).
+	Invalidations uint64
+	// Tombstones counts deletions that laid a tombstone because a batch
+	// window was open (the delete/batch race being defused).
+	Tombstones uint64
+	// Pins counts Pin calls.
+	Pins uint64
+	// Entries is the number of currently cached built indexes (as Len).
+	Entries int
+	// Pinned is the number of currently pinned schemas.
+	Pinned int
+}
+
+// Stats returns the cache's cumulative counters and current occupancy.
+func (a *Analyzer) Stats() AnalyzerStats {
+	st := AnalyzerStats{
+		Hits:          a.hits.Load(),
+		Misses:        a.misses.Load(),
+		Evictions:     a.evictions.Load(),
+		Invalidations: a.invalidations.Load(),
+		Tombstones:    a.tombstones.Load(),
+		Pins:          a.pins.Load(),
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range a.entries {
+		if e.idx.Load() != nil {
+			st.Entries++
+		}
+		if e.pinned {
+			st.Pinned++
+		}
+	}
+	return st
 }
 
 // analyzerEntry serializes builds per schema: concurrent Index calls
@@ -461,6 +520,7 @@ func (a *Analyzer) killLocked(s *schema.Schema) {
 	}
 	a.seq++
 	a.dead[s] = a.seq
+	a.tombstones.Add(1)
 }
 
 // pruneDeadLocked reclaims tombstones under a.mu: with no window open
@@ -499,6 +559,7 @@ func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 		// reference it: serve a throwaway index so that match completes
 		// correctly without the cache resurrecting the deleted entry.
 		a.mu.Unlock()
+		a.misses.Add(1)
 		return NewIndex(s, src)
 	}
 	e := a.entries[s]
@@ -525,7 +586,10 @@ func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 		}
 	}()
 	if rebuilt {
+		a.misses.Add(1)
 		a.enforceLimit()
+	} else {
+		a.hits.Add(1)
 	}
 	return idx
 }
@@ -555,6 +619,7 @@ func (a *Analyzer) enforceLimit() {
 			return
 		}
 		delete(a.entries, victim)
+		a.evictions.Add(1)
 	}
 }
 
@@ -580,6 +645,7 @@ func (a *Analyzer) Pin(s *schema.Schema) {
 		a.entries[s] = e
 	}
 	e.pinned = true
+	a.pins.Add(1)
 }
 
 // Release unpins a schema. The index (if any) stays cached but
@@ -626,6 +692,7 @@ func (a *Analyzer) Evict(s *schema.Schema) bool {
 		return false
 	}
 	delete(a.entries, s)
+	a.evictions.Add(1)
 	return true
 }
 
@@ -664,6 +731,7 @@ func (a *Analyzer) Invalidate(s *schema.Schema) {
 // on the old entry publishes into an orphan instead of resurrecting a
 // dropped index).
 func (a *Analyzer) dropLocked(s *schema.Schema, e *analyzerEntry) {
+	a.invalidations.Add(1)
 	if e.pinned {
 		a.entries[s] = &analyzerEntry{pinned: true, lastUse: e.lastUse}
 		return

@@ -46,6 +46,64 @@ func (ps PruneStats) Ratio() float64 {
 	return float64(ps.Skipped) / float64(ps.Candidates)
 }
 
+// PruneCounters accumulates PruneStats across batches. Per-batch
+// snapshots are last-write-wins under concurrent matches (the /readyz
+// flapping bug); these cumulative counters are what time-series
+// monitoring and the serving readiness report aggregate from. Safe for
+// concurrent use; the zero value is ready.
+type PruneCounters struct {
+	batches    atomic.Uint64
+	candidates atomic.Uint64
+	matched    atomic.Uint64
+	skipped    atomic.Uint64
+}
+
+// Record folds one batch's stats into the totals. Nil-safe so
+// unmetered paths can call it unconditionally.
+func (pc *PruneCounters) Record(ps PruneStats) {
+	if pc == nil {
+		return
+	}
+	pc.batches.Add(1)
+	pc.candidates.Add(uint64(ps.Candidates))
+	pc.matched.Add(uint64(ps.Matched))
+	pc.skipped.Add(uint64(ps.Skipped))
+}
+
+// Totals returns the counters' current values.
+func (pc *PruneCounters) Totals() PruneTotals {
+	if pc == nil {
+		return PruneTotals{}
+	}
+	return PruneTotals{
+		Batches:    pc.batches.Load(),
+		Candidates: pc.candidates.Load(),
+		Matched:    pc.matched.Load(),
+		Skipped:    pc.skipped.Load(),
+	}
+}
+
+// PruneTotals is a snapshot of cumulative pruning work since the
+// counters were created.
+type PruneTotals struct {
+	// Batches is the number of pruned batch matches recorded.
+	Batches uint64
+	// Candidates is the total candidates considered across batches.
+	Candidates uint64
+	// Matched is the total pairs the full pipeline ran on.
+	Matched uint64
+	// Skipped is the total pairs pruned away.
+	Skipped uint64
+}
+
+// Ratio returns the cumulative skipped fraction in [0, 1].
+func (pt PruneTotals) Ratio() float64 {
+	if pt.Candidates == 0 {
+		return 0
+	}
+	return float64(pt.Skipped) / float64(pt.Candidates)
+}
+
 // thetaTracker maintains one shard's running k-th best real schema
 // similarity as a k-bounded min-heap. The current threshold is
 // mirrored into an atomic (-1 while fewer than k results exist, so

@@ -56,6 +56,40 @@ type ColumnCache struct {
 	limit   int
 	seq     int64
 	entries map[*analysis.SchemaIndex]*colEntry
+	// stats is shared by every BatchCache this cache hands out, so
+	// hits/misses aggregate across incoming indexes. Entry drops (stale
+	// prune, LRU eviction, Invalidate) count as flushes alongside the
+	// per-entry epoch flushes.
+	stats colCacheCounters
+}
+
+// ColumnCacheStats is a point-in-time snapshot of the persistent
+// column cache's cumulative traffic and current occupancy.
+type ColumnCacheStats struct {
+	// Hits counts columns served from cache across all retained
+	// incoming indexes.
+	Hits uint64
+	// Misses counts columns computed (first use or after a flush).
+	Misses uint64
+	// Flushes counts column-discarding events: per-entry epoch flushes,
+	// stale-index prunes, LRU evictions, and Invalidate drops.
+	Flushes uint64
+	// Entries is the number of incoming indexes currently holding
+	// columns (as Len).
+	Entries int
+}
+
+// Stats returns the cache's cumulative counters and current occupancy.
+func (cc *ColumnCache) Stats() ColumnCacheStats {
+	cc.mu.Lock()
+	n := len(cc.entries)
+	cc.mu.Unlock()
+	return ColumnCacheStats{
+		Hits:    cc.stats.hits.Load(),
+		Misses:  cc.stats.misses.Load(),
+		Flushes: cc.stats.flushes.Load(),
+		Entries: n,
+	}
 }
 
 type colEntry struct {
@@ -83,6 +117,7 @@ func (cc *ColumnCache) ForIncoming(idx *analysis.SchemaIndex) *BatchCache {
 	for k := range cc.entries {
 		if !k.Valid(k.Schema, k.Src) {
 			delete(cc.entries, k)
+			cc.stats.flush()
 		}
 	}
 	e := cc.entries[idx]
@@ -90,6 +125,7 @@ func (cc *ColumnCache) ForIncoming(idx *analysis.SchemaIndex) *BatchCache {
 		e = &colEntry{bc: &BatchCache{
 			cols:  make(map[batchKey][]float64),
 			limit: persistentColumnLimit(idx),
+			stats: &cc.stats,
 		}}
 		cc.entries[idx] = e
 		for len(cc.entries) > cc.limit {
@@ -107,6 +143,7 @@ func (cc *ColumnCache) ForIncoming(idx *analysis.SchemaIndex) *BatchCache {
 				break
 			}
 			delete(cc.entries, victim)
+			cc.stats.flush()
 		}
 	}
 	cc.seq++
@@ -121,12 +158,16 @@ func (cc *ColumnCache) Invalidate(s *schema.Schema) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if s == nil {
+		for range cc.entries {
+			cc.stats.flush()
+		}
 		clear(cc.entries)
 		return
 	}
 	for k := range cc.entries {
 		if k.Schema == s {
 			delete(cc.entries, k)
+			cc.stats.flush()
 		}
 	}
 }

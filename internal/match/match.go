@@ -196,6 +196,38 @@ type BatchCache struct {
 	// Per-batch caches are naturally bounded by the batch and carry no
 	// limit.
 	limit int
+	// stats, when non-nil, receives hit/miss/flush counts. Persistent
+	// caches share their owning ColumnCache's counters; per-batch caches
+	// leave it nil (nil-safe methods) so the transient path pays
+	// nothing.
+	stats *colCacheCounters
+}
+
+// colCacheCounters accumulates column-cache traffic across every
+// BatchCache one ColumnCache hands out. Atomic so the column fast path
+// stays lock-free.
+type colCacheCounters struct {
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	flushes atomic.Uint64
+}
+
+func (c *colCacheCounters) hit() {
+	if c != nil {
+		c.hits.Add(1)
+	}
+}
+
+func (c *colCacheCounters) miss() {
+	if c != nil {
+		c.misses.Add(1)
+	}
+}
+
+func (c *colCacheCounters) flush() {
+	if c != nil {
+		c.flushes.Add(1)
+	}
 }
 
 // batchKey identifies one cached column: the scoring matcher identity
@@ -230,10 +262,13 @@ func (bc *BatchCache) column(owner any, set int8, name string, n int, compute fu
 	col := bc.cols[key]
 	bc.mu.RUnlock()
 	if col != nil {
+		bc.stats.hit()
 		return col
 	}
 	// Columns live across pairs, so they come from the garbage
-	// collector, never from a per-batch arena.
+	// collector, never from a per-batch arena. A lost store race still
+	// computed the column, so it counts as a miss either way.
+	bc.stats.miss()
 	col = make([]float64, n)
 	compute(col)
 	bc.mu.Lock()
@@ -244,6 +279,7 @@ func (bc *BatchCache) column(owner any, set int8, name string, n int, compute fu
 			// Epoch flush: cheaper and simpler than tracking per-column
 			// recency, and correct — every column is recomputable.
 			clear(bc.cols)
+			bc.stats.flush()
 		}
 		bc.cols[key] = col
 	}

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// renderLabels builds the canonical `k="v",k2="v2"` label string for a
+// child. Label names come from registration and are trusted; values
+// are escaped per the Prometheus text format (backslash, quote,
+// newline). Extra values beyond the registered names are dropped,
+// missing ones render as empty.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		for _, r := range v {
+			switch r {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteRune(r)
+			}
+		}
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable decimal, with +Inf/-Inf/NaN literals.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// value reads a child's current scalar (counters and gauges only).
+func (c *child) value() float64 {
+	switch {
+	case c.counter != nil:
+		return float64(c.counter.Value())
+	case c.counterFunc != nil:
+		return c.counterFunc()
+	case c.gauge != nil:
+		return c.gauge.Value()
+	case c.gaugeFunc != nil:
+		return c.gaugeFunc()
+	}
+	return 0
+}
+
+// WriteText renders every registered family in Prometheus text format
+// (version 0.0.4): families sorted by name, children sorted by label
+// string, histograms expanded to cumulative _bucket/_sum/_count
+// series. Values are read live, so two calls around a workload show
+// its deltas.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strings.ReplaceAll(f.help, "\n", `\n`))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		switch f.kind {
+		case kindCounter:
+			bw.WriteString(" counter\n")
+		case kindGauge:
+			bw.WriteString(" gauge\n")
+		case kindHistogram:
+			bw.WriteString(" histogram\n")
+		}
+
+		for i, ch := range children {
+			labels := keys[i]
+			if f.kind == kindHistogram {
+				writeHistogram(bw, f.name, labels, ch.hist)
+				continue
+			}
+			bw.WriteString(f.name)
+			if labels != "" {
+				bw.WriteByte('{')
+				bw.WriteString(labels)
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(ch.value()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram child into the cumulative
+// bucket series plus _sum and _count. The le label is appended after
+// any vector labels, matching Prometheus conventions.
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram) {
+	writeBucket := func(le string, cum uint64) {
+		bw.WriteString(name)
+		bw.WriteString("_bucket{")
+		if labels != "" {
+			bw.WriteString(labels)
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		writeBucket(formatValue(upper), cum)
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	writeBucket("+Inf", cum)
+
+	suffix := func(s string) {
+		bw.WriteString(name)
+		bw.WriteString(s)
+		if labels != "" {
+			bw.WriteByte('{')
+			bw.WriteString(labels)
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+	}
+	suffix("_sum")
+	bw.WriteString(formatValue(h.Sum()))
+	bw.WriteByte('\n')
+	suffix("_count")
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// Sample is one exposed series value, as rendered by WriteText.
+// Histograms contribute their _sum and _count series (buckets are
+// omitted from snapshots — they matter for scraping, not for
+// programmatic assertions).
+type Sample struct {
+	// Name is the series name (including _sum/_count suffixes).
+	Name string
+	// Labels is the canonical `k="v"` label string ("" when unlabeled).
+	Labels string
+	// Value is the current value.
+	Value float64
+}
+
+// Snapshot returns the current value of every series for programmatic
+// inspection, sorted by name then label string.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, f := range fams {
+		f.mu.Lock()
+		for labels, ch := range f.children {
+			if f.kind == kindHistogram {
+				out = append(out,
+					Sample{Name: f.name + "_sum", Labels: labels, Value: ch.hist.Sum()},
+					Sample{Name: f.name + "_count", Labels: labels, Value: float64(ch.hist.Count())},
+				)
+				continue
+			}
+			out = append(out, Sample{Name: f.name, Labels: labels, Value: ch.value()})
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}

@@ -1,0 +1,346 @@
+// Package metrics is the observability core of the serving stack: a
+// dependency-free registry of counters, gauges and bounded histograms
+// with Prometheus text-format exposition (served by internal/server at
+// GET /metrics). Every instrument is lock-free on the hot path —
+// counters and gauges are single atomics, histograms one atomic per
+// bucket — so instrumenting the match pipeline, the caches and the
+// storage layer costs nanoseconds and stays race-clean under -race.
+//
+// Instruments are usable standalone (a Repo can own its fsync
+// histogram without knowing about any registry) and attached to a
+// Registry for exposition; the registry itself only synchronizes
+// registration and child-vector creation, never observation.
+//
+// All instrument methods are nil-receiver safe: a subsystem built
+// without metrics holds nil instruments and its observation calls
+// become no-ops, so instrumentation sites need no conditionals.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use; methods on a nil *Counter are no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a zeroed standalone counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; methods on a nil *Gauge are no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge returns a zeroed standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (CAS loop; safe under concurrent Add/Set).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DurationBuckets are the default latency buckets in seconds, spanning
+// 100µs (a warm cache hit, one fsync on fast storage) to 10s (a
+// repository-scale exhaustive batch).
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: observation counts per upper
+// bound plus a running sum. Buckets are cumulative only at exposition
+// time; observation touches exactly one bucket counter, the sum and
+// the total, all atomic. Methods on a nil *Histogram are no-ops.
+type Histogram struct {
+	// uppers are the inclusive upper bounds, ascending; an implicit
+	// +Inf bucket follows. Immutable after construction.
+	uppers []float64
+	// counts[i] counts observations in bucket i (NOT cumulative);
+	// counts[len(uppers)] is the +Inf overflow bucket.
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (nil or empty selects DurationBuckets).
+func NewHistogram(uppers []float64) *Histogram {
+	if len(uppers) == 0 {
+		uppers = DurationBuckets
+	}
+	return &Histogram{
+		uppers: uppers,
+		counts: make([]atomic.Uint64, len(uppers)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first upper bound >= v; the tail slot is
+	// the +Inf bucket.
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the mean observed value (0 before any observation).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// metricKind discriminates exposition families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one named metric with its children (one for a plain
+// instrument, one per label combination for a vector).
+type family struct {
+	name string
+	help string
+	kind metricKind
+	mu   sync.Mutex
+	// children maps rendered label strings (`a="b",c="d"` form, "" for
+	// unlabeled) to instruments; exactly one of the child fields is set
+	// per entry.
+	children map[string]*child
+	// labels are the vector's label names (nil for plain instruments).
+	labels []string
+}
+
+type child struct {
+	counter     *Counter
+	counterFunc func() float64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// Registry holds named metric families and renders them in Prometheus
+// text format. Registration is synchronized; observation goes straight
+// to the instruments. The zero value is not usable; construct with
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a family, panicking on a name collision — duplicate
+// registration is a programming error and silently merging two
+// definitions would corrupt the exposition.
+func (r *Registry) register(name, help string, kind metricKind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("metrics: duplicate registration of " + name)
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labels,
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := NewCounter()
+	r.AttachCounter(name, help, c)
+	return c
+}
+
+// AttachCounter registers an externally owned counter (e.g. a
+// subsystem's standalone instrument) under the given name.
+func (r *Registry) AttachCounter(name, help string, c *Counter) {
+	f := r.register(name, help, kindCounter, nil)
+	f.children[""] = &child{counter: c}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for subsystems that keep their own
+// atomic counters. fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil)
+	f.children[""] = &child{counterFunc: fn}
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := NewGauge()
+	f := r.register(name, help, kindGauge, nil)
+	f.children[""] = &child{gauge: g}
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil)
+	f.children[""] = &child{gaugeFunc: fn}
+}
+
+// Histogram registers and returns an unlabeled histogram over the
+// given upper bounds (nil selects DurationBuckets).
+func (r *Registry) Histogram(name, help string, uppers []float64) *Histogram {
+	h := NewHistogram(uppers)
+	r.AttachHistogram(name, help, h)
+	return h
+}
+
+// AttachHistogram registers an externally owned histogram.
+func (r *Registry) AttachHistogram(name, help string, h *Histogram) {
+	f := r.register(name, help, kindHistogram, nil)
+	f.children[""] = &child{hist: h}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels)}
+}
+
+// With returns the child counter for the given label values (created
+// on first use), which the caller may cache. Methods on a nil
+// *CounterVec return nil, keeping call sites no-op safe.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := renderLabels(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	ch := v.f.children[key]
+	if ch == nil {
+		ch = &child{counter: NewCounter()}
+		v.f.children[key] = ch
+	}
+	return ch.counter
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	f      *family
+	uppers []float64
+}
+
+// HistogramVec registers a labeled histogram family over the given
+// upper bounds (nil selects DurationBuckets).
+func (r *Registry) HistogramVec(name, help string, uppers []float64, labels ...string) *HistogramVec {
+	if len(uppers) == 0 {
+		uppers = DurationBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels), uppers: uppers}
+}
+
+// With returns the child histogram for the given label values (created
+// on first use). Methods on a nil *HistogramVec return nil.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := renderLabels(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	ch := v.f.children[key]
+	if ch == nil {
+		ch = &child{hist: NewHistogram(v.uppers)}
+		v.f.children[key] = ch
+	}
+	return ch.hist
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := NewGauge()
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	// Vec.With on nil returns a nil child, which is itself a no-op.
+	cv.With("a").Inc()
+	hv.With("a").Observe(1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 111.5 {
+		t.Fatalf("sum = %v, want 111.5", got)
+	}
+	// 0.5 and 1 land in le=1 (le is inclusive), 3 in le=5, 7 in le=10,
+	// 100 overflows to +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Mean(); got != 111.5/5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestWriteTextGolden pins the exposition format byte for byte: family
+// ordering, HELP/TYPE lines, label rendering and escaping, histogram
+// bucket cumulation, and value formatting. The /metrics endpoint's
+// output is this encoding, so a drift here is a scrape-breaking
+// change.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("test_requests_total", "Requests by endpoint.", "endpoint", "class")
+	reqs.With("match", "2xx").Add(7)
+	reqs.With("match", "5xx").Inc()
+	reqs.With(`we"ird\path`, "2xx").Inc()
+	r.Gauge("test_queue_depth", "Waiting requests.").Set(3)
+	r.GaugeFunc("test_entries", "Live entries.", func() float64 { return 42 })
+	r.CounterFunc("test_hits_total", "Cache hits.", func() float64 { return 9 })
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	// Exactly representable values so the _sum renders without float
+	// dust: 2*2^-7 + 0.5 + 2 = 2.515625.
+	h.Observe(0.0078125)
+	h.Observe(0.0078125)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP test_entries Live entries.\n" +
+		"# TYPE test_entries gauge\n" +
+		"test_entries 42\n" +
+		"# HELP test_hits_total Cache hits.\n" +
+		"# TYPE test_hits_total counter\n" +
+		"test_hits_total 9\n" +
+		"# HELP test_latency_seconds Request latency.\n" +
+		"# TYPE test_latency_seconds histogram\n" +
+		"test_latency_seconds_bucket{le=\"0.01\"} 2\n" +
+		"test_latency_seconds_bucket{le=\"0.1\"} 2\n" +
+		"test_latency_seconds_bucket{le=\"1\"} 3\n" +
+		"test_latency_seconds_bucket{le=\"+Inf\"} 4\n" +
+		"test_latency_seconds_sum 2.515625\n" +
+		"test_latency_seconds_count 4\n" +
+		"# HELP test_queue_depth Waiting requests.\n" +
+		"# TYPE test_queue_depth gauge\n" +
+		"test_queue_depth 3\n" +
+		"# HELP test_requests_total Requests by endpoint.\n" +
+		"# TYPE test_requests_total counter\n" +
+		"test_requests_total{endpoint=\"match\",class=\"2xx\"} 7\n" +
+		"test_requests_total{endpoint=\"match\",class=\"5xx\"} 1\n" +
+		"test_requests_total{endpoint=\"we\\\"ird\\\\path\",class=\"2xx\"} 1\n"
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drift:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.CounterVec("a_total", "", "k").With("v").Add(1)
+	h := r.Histogram("lat_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	s := r.Snapshot()
+	want := []Sample{
+		{Name: "a_total", Labels: `k="v"`, Value: 1},
+		{Name: "b_total", Labels: "", Value: 2},
+		{Name: "lat_seconds_count", Labels: "", Value: 2},
+		{Name: "lat_seconds_sum", Labels: "", Value: 3.5},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("snapshot has %d samples, want %d: %+v", len(s), len(want), s)
+	}
+	for i, w := range want {
+		if s[i] != w {
+			t.Fatalf("sample %d = %+v, want %+v", i, s[i], w)
+		}
+	}
+}
+
+// TestConcurrentObservation drives every instrument kind from many
+// goroutines (run under -race in CI) and checks the totals are exact —
+// the registry's core promise is race-clean lock-free observation.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5})
+	v := r.CounterVec("v_total", "", "who")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			who := string(rune('a' + w%2))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				v.With(who).Inc()
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := v.With("a").Value() + v.With("b").Value(); got != workers*per {
+		t.Fatalf("vec total = %d, want %d", got, workers*per)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Checkpoint file: a compacted snapshot of live state plus the
@@ -41,6 +42,7 @@ func (r *Repo) Checkpoint() error {
 	if r.broken != nil {
 		return r.broken
 	}
+	start := time.Now()
 	tmpPath := r.path + ckptSuffix + ".tmp"
 	tmp, err := r.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -88,6 +90,7 @@ func (r *Repo) Checkpoint() error {
 	}
 	r.size = int64(len(fileMagicV2))
 	r.dirty = false
+	r.metrics.observeCheckpoint(start)
 	return nil
 }
 

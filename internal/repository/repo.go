@@ -61,6 +61,10 @@ type Repo struct {
 
 	report *RecoveryReport // what Open found; immutable afterwards
 
+	// metrics receives durability timings and recovery outcomes; nil
+	// (the default) makes every observation a no-op.
+	metrics *StorageMetrics
+
 	syncStop chan struct{} // group-commit syncer lifecycle
 	syncDone chan struct{}
 
@@ -76,8 +80,9 @@ type taggedMapping struct {
 
 // openConfig collects Open's options.
 type openConfig struct {
-	fs     FS
-	policy SyncPolicy
+	fs      FS
+	policy  SyncPolicy
+	metrics *StorageMetrics
 }
 
 // OpenOption configures Open and OpenSharded.
@@ -120,6 +125,7 @@ func Open(path string, opts ...OpenOption) (*Repo, error) {
 		fs:       cfg.fs,
 		f:        f,
 		policy:   cfg.policy,
+		metrics:  cfg.metrics,
 		schemas:  make(map[string]*schema.Schema),
 		mappings: make(map[string]*taggedMapping),
 		cubes:    make(map[string]*simcube.Cube),
@@ -128,6 +134,7 @@ func Open(path string, opts ...OpenOption) (*Repo, error) {
 		r.f.Close()
 		return nil, err
 	}
+	r.metrics.recordOpen(r.report)
 	r.startSyncer()
 	return r, nil
 }
@@ -332,7 +339,12 @@ func (r *Repo) appendRecord(kind byte, payload []byte) error {
 			return err
 		}
 		if r.policy.mode == syncAlways {
-			return r.f.Sync()
+			start := time.Now()
+			if err := r.f.Sync(); err != nil {
+				return err
+			}
+			r.metrics.observeAppendFsync(start)
+			return nil
 		}
 		r.dirty = true
 		return nil
@@ -482,9 +494,11 @@ func (r *Repo) Sync() error {
 	if r.f == nil || !r.dirty || r.broken != nil {
 		return nil
 	}
+	start := time.Now()
 	if err := r.f.Sync(); err != nil {
 		return err
 	}
+	r.metrics.observeGroupCommit(start)
 	r.dirty = false
 	return nil
 }

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// MetricsSource is implemented by backends that have their own
+// counters to expose (cache stats, prune totals, storage timings). New
+// calls it once after building the server's registry, so the backend
+// registers whatever it has alongside the HTTP-layer metrics.
+type MetricsSource interface {
+	CollectMetrics(reg *metrics.Registry)
+}
+
+// initMetrics builds the server's registry and HTTP-layer instruments
+// (skipped entirely when cfg.DisableMetrics) and lets a MetricsSource
+// backend contribute its own.
+func (s *Server) initMetrics(cfg Config) {
+	if cfg.DisableMetrics {
+		return
+	}
+	reg := metrics.NewRegistry()
+	s.reg = reg
+	s.httpRequests = reg.CounterVec("coma_http_requests_total",
+		"HTTP requests by endpoint and status class.", "endpoint", "class")
+	s.httpSeconds = reg.HistogramVec("coma_http_request_seconds",
+		"HTTP request latency by endpoint.", nil, "endpoint")
+	s.matchExec = reg.Histogram("coma_match_exec_seconds",
+		"Admitted match execution time (slot acquired to result).", nil)
+	s.queueWait = reg.Histogram("coma_match_queue_wait_seconds",
+		"Time match requests spent waiting for an execution slot.", nil)
+	s.shed = reg.CounterVec("coma_match_shed_total",
+		"Match requests shed by the admission layer, by reason.", "reason")
+	reg.GaugeFunc("coma_match_queue_depth",
+		"Match requests currently waiting for an execution slot.",
+		func() float64 { return float64(s.queued.Load()) })
+	reg.GaugeFunc("coma_match_inflight",
+		"Match requests currently executing.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("coma_match_workers",
+		"Execution slots (the admission semaphore's capacity).",
+		func() float64 { return float64(cap(s.sem)) })
+	if src, ok := s.backend.(MetricsSource); ok {
+		src.CollectMetrics(reg)
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// endpointLabel classifies a request path into a bounded label set —
+// path values (schema names) must never become label values, or the
+// exposition grows one series per schema ever named.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/readyz":
+		return "readyz"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/match":
+		return "match"
+	case path == "/schemas":
+		return "schemas"
+	case strings.HasPrefix(path, "/schemas/"):
+		return "schema"
+	}
+	return "other"
+}
+
+// classLabel maps a status code to its class ("2xx".."5xx").
+func classLabel(status int) string {
+	if status < 100 || status > 599 {
+		return "5xx"
+	}
+	return strconv.Itoa(status/100) + "xx"
+}
+
+// statusRecorder captures the response status for the request metrics
+// and log. Handlers here only write JSON/text bodies, so the plain
+// ResponseWriter surface suffices.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// observeRequest records one finished request into the HTTP-layer
+// instruments and the request log.
+func (s *Server) observeRequest(r *http.Request, status int, elapsed time.Duration) {
+	endpoint := endpointLabel(r.URL.Path)
+	s.httpRequests.With(endpoint, classLabel(status)).Inc()
+	s.httpSeconds.With(endpoint).Observe(elapsed.Seconds())
+	if s.reqLog != nil {
+		s.reqLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
+// retryAfterSeconds derives the Retry-After hint the shed paths send:
+// the estimated time for the work ahead of a returning client to drain
+// — (queued + in-flight + 1) requests at the observed mean match
+// execution time, cap(sem) at a time — clamped to [1s, 60s]. With no
+// samples yet (or metrics disabled) the mean falls back to 1s, so the
+// hint still scales with occupancy. A draining server floors the hint
+// at 5s: it will never serve this process again, so fast retries are
+// pure waste, but its replacement should be up shortly.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.matchExec.Mean()
+	if mean <= 0 {
+		mean = 1
+	}
+	ahead := float64(s.queued.Load()+s.inflight.Load()) + 1
+	secs := int(math.Ceil(mean * ahead / float64(cap(s.sem))))
+	if s.draining.Load() && secs < 5 {
+		secs = 5
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// shedResponse answers a shed match request: Retry-After derived from
+// current occupancy, the shed reason counted, and the uniform JSON
+// error body.
+func (s *Server) shedResponse(w http.ResponseWriter, status int, reason, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.shed.With(reason).Inc()
+	writeError(w, status, format, args...)
+}
+
+// ServerMetrics is a point-in-time snapshot of every exposed series,
+// for embedded users and tests (scrapers use /metrics instead).
+type ServerMetrics struct {
+	// Samples holds one entry per series, sorted by name then labels;
+	// histograms contribute _sum and _count series.
+	Samples []metrics.Sample
+}
+
+// Value returns the named unlabeled series' value (0 when absent).
+func (m ServerMetrics) Value(name string) float64 {
+	return m.Labeled(name, "")
+}
+
+// Labeled returns the series with the exact canonical label string,
+// e.g. Labeled("coma_http_requests_total", `endpoint="match",class="2xx"`).
+func (m ServerMetrics) Labeled(name, labels string) float64 {
+	for _, s := range m.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// Sum returns the sum over every label combination of the named series.
+func (m ServerMetrics) Sum(name string) float64 {
+	var total float64
+	for _, s := range m.Samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Metrics snapshots the server's registry; ok is false when metrics
+// are disabled.
+func (s *Server) Metrics() (ServerMetrics, bool) {
+	if s.reg == nil {
+		return ServerMetrics{}, false
+	}
+	return ServerMetrics{Samples: s.reg.Snapshot()}, true
+}

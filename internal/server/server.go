@@ -8,6 +8,7 @@
 //
 //	GET    /healthz          liveness + store size
 //	GET    /readyz           readiness + admission queue state
+//	GET    /metrics          Prometheus text-format metrics
 //	GET    /schemas          stored schema names and sizes
 //	PUT    /schemas/{name}   import an inline schema into the store
 //	GET    /schemas/{name}   one stored schema's path enumeration
@@ -40,12 +41,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/match"
+	"repro/internal/metrics"
 	"repro/internal/repository"
 	"repro/internal/schema"
 )
@@ -127,6 +130,13 @@ type Config struct {
 	// the backend. It exists for fault-injection tests and chaos
 	// probes; leave nil in production.
 	FaultHook func(op string) error
+	// DisableMetrics turns the metrics registry and the GET /metrics
+	// endpoint off. Metrics are on by default: the instruments are
+	// lock-free atomics, so serving without them buys nothing.
+	DisableMetrics bool
+	// RequestLog, when set, receives one structured line per finished
+	// request (method, path, status, elapsed, remote).
+	RequestLog *slog.Logger
 }
 
 // Server is the HTTP front-end. It implements http.Handler.
@@ -149,6 +159,16 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	// reg and the instruments below are nil when metrics are disabled;
+	// every observation site is nil-safe, so no handler branches on it.
+	reg          *metrics.Registry
+	httpRequests *metrics.CounterVec
+	httpSeconds  *metrics.HistogramVec
+	matchExec    *metrics.Histogram
+	queueWait    *metrics.Histogram
+	shed         *metrics.CounterVec
+	reqLog       *slog.Logger
 }
 
 // New builds a Server over the config's backend.
@@ -183,6 +203,11 @@ func New(cfg Config) *Server {
 		queueLimit:   queueLimit,
 		queueTimeout: queueTimeout,
 		faultHook:    cfg.FaultHook,
+		reqLog:       cfg.RequestLog,
+	}
+	s.initMetrics(cfg)
+	if s.reg != nil {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -194,8 +219,25 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With metrics or request logging
+// on, every request is timed and its status captured; otherwise the
+// mux is hit directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil && s.reqLog == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(rec, r)
+	status := rec.status
+	if status == 0 {
+		// Nothing written: ServeMux answered with an implicit 200 (e.g.
+		// a handler that returned without writing) — record it as such.
+		status = http.StatusOK
+	}
+	s.observeRequest(r, status, time.Since(start))
+}
 
 // Drain flips the server into draining mode ahead of graceful
 // shutdown: /readyz answers 503 so load balancers stop routing, and
@@ -394,8 +436,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.shedResponse(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	var req MatchRequest
@@ -428,12 +469,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 	// Bounded admission: shed load once more requests wait for a slot
 	// than the queue bound allows — an over-full queue only converts
-	// overload into latency, and Retry-After tells well-behaved clients
-	// when to come back.
+	// overload into latency, and Retry-After (derived from occupancy
+	// and observed match time) tells well-behaved clients when to come
+	// back.
 	if n := s.queued.Add(1); s.queueLimit > 0 && n > int64(s.queueLimit) {
 		s.queued.Add(-1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "match queue is full")
+		s.shedResponse(w, http.StatusTooManyRequests, "queue_full", "match queue is full")
 		return
 	}
 	// Wait for an execution slot, bounded by the queue timeout, and
@@ -445,18 +486,20 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		defer t.Stop()
 		queueDeadline = t.C
 	}
+	waitStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 		s.queued.Add(-1)
+		s.queueWait.Observe(time.Since(waitStart).Seconds())
 		defer func() { <-s.sem }()
 	case <-queueDeadline:
 		s.queued.Add(-1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable,
+		s.shedResponse(w, http.StatusServiceUnavailable, "queue_timeout",
 			"no match slot within %s", s.queueTimeout)
 		return
 	case <-r.Context().Done():
 		s.queued.Add(-1)
+		s.shed.With("client_closed").Inc()
 		writeError(w, statusClientClosedRequest, "request canceled while queued")
 		return
 	}
@@ -474,7 +517,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		mctx, cancel = context.WithTimeout(mctx, s.matchTimeout)
 		defer cancel()
 	}
+	execStart := time.Now()
 	matches, failures, err := s.backend.MatchIncoming(mctx, incoming, req.TopK, req.AllowPartial, req.Exhaustive)
+	s.matchExec.Observe(time.Since(execStart).Seconds())
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):

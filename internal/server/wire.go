@@ -167,8 +167,20 @@ type IndexReadiness struct {
 	// Postings is the total posting-list entry count over segments.
 	Postings int `json:"postings"`
 	// LastPruneRatio is the fraction of candidates skipped by the most
-	// recent pruned match batch (0 until one runs).
+	// recent pruned match batch (0 until one runs). Last-write-wins
+	// under concurrent matches — kept for compatibility; read the
+	// cumulative fields below for stable signals.
 	LastPruneRatio float64 `json:"lastPruneRatio"`
+	// PrunedTotal is the cumulative number of candidates skipped by
+	// pruning across all batches since startup.
+	PrunedTotal uint64 `json:"prunedTotal"`
+	// ConsideredTotal is the cumulative number of candidates considered
+	// by pruned batches since startup; PrunedTotal/ConsideredTotal is
+	// the load-stable prune ratio.
+	ConsideredTotal uint64 `json:"consideredTotal"`
+	// PruneRatio is the cumulative prune ratio (0 until a pruned batch
+	// runs).
+	PruneRatio float64 `json:"pruneRatio"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

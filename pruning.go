@@ -31,6 +31,13 @@ import (
 // MaxCandidates).
 type PruneStats = core.PruneStats
 
+// PruneTotals is the cumulative form of PruneStats: candidates
+// considered, matched and skipped summed over every pruned batch since
+// the repository opened. Unlike the last-batch snapshot it is
+// monotonic under concurrent matches, so it is what /readyz and
+// /metrics report.
+type PruneTotals = core.PruneTotals
+
 // CandidateIndexStats summarizes a candidate index segment: indexed
 // schema count and total posting-list entries.
 type CandidateIndexStats = candidates.Stats
@@ -222,3 +229,11 @@ func (r *ShardedRepository) LastPruneStats() PruneStats {
 	}
 	return PruneStats{}
 }
+
+// PruneTotals returns the cumulative pruning counters across every
+// pruned MatchIncoming batch since the repository opened.
+func (r *Repository) PruneTotals() PruneTotals { return r.pruneTotals.Totals() }
+
+// PruneTotals returns the cumulative pruning counters across every
+// pruned fan-out since the sharded repository opened.
+func (r *ShardedRepository) PruneTotals() PruneTotals { return r.pruneTotals.Totals() }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/repository"
 	"repro/internal/reuse"
 )
@@ -19,6 +20,12 @@ type Repository struct {
 	// lastPrune records the most recent pruned MatchIncoming batch's
 	// statistics (see LastPruneStats).
 	lastPrune atomic.Pointer[PruneStats]
+	// pruneTotals accumulates every pruned batch's statistics — the
+	// monotonic counters behind PruneTotals and the served metrics.
+	pruneTotals core.PruneCounters
+	// storage carries the store's durability instruments (fsync,
+	// group-commit, checkpoint timings and recovery outcomes).
+	storage *repository.StorageMetrics
 }
 
 // RepositoryStats summarizes repository contents and log sizes.
@@ -87,11 +94,14 @@ func OpenRepository(path string, opts ...Option) (*Repository, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := repository.Open(path, repository.WithSyncPolicy(o.syncPolicy))
+	storage := repository.NewStorageMetrics()
+	r, err := repository.Open(path,
+		repository.WithSyncPolicy(o.syncPolicy),
+		repository.WithMetrics(storage))
 	if err != nil {
 		return nil, fmt.Errorf("coma: open repository %s: %w", path, err)
 	}
-	return &Repository{Repo: r}, nil
+	return &Repository{Repo: r, storage: storage}, nil
 }
 
 // SchemaMatcher returns a reuse-oriented Schema matcher reading the
@@ -165,6 +175,7 @@ func (r *Repository) MatchIncomingContext(ctx context.Context, e *Engine, incomi
 	}
 	if stats != nil {
 		r.lastPrune.Store(stats)
+		r.pruneTotals.Record(*stats)
 	}
 	out := make([]IncomingMatch, 0, len(results))
 	for i, res := range results {

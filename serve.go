@@ -2,8 +2,10 @@ package coma
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/repository"
 	"repro/internal/schema"
 	"repro/internal/server"
@@ -83,6 +85,26 @@ func WithServeMaxBodyBytes(n int64) ServeOption {
 func WithFaultHook(hook func(op string) error) ServeOption {
 	return func(cfg *server.Config) { cfg.FaultHook = hook }
 }
+
+// WithMetrics turns the served metrics registry and the GET /metrics
+// endpoint on or off. Metrics are on by default — every instrument is
+// a lock-free atomic — so this option exists to disable them
+// (WithMetrics(false)) in embedded deployments that scrape nothing.
+func WithMetrics(enabled bool) ServeOption {
+	return func(cfg *server.Config) { cfg.DisableMetrics = !enabled }
+}
+
+// WithRequestLog attaches a structured request logger: one slog record
+// per finished request with method, path, status, elapsed time and
+// remote address. nil disables request logging (the default).
+func WithRequestLog(l *slog.Logger) ServeOption {
+	return func(cfg *server.Config) { cfg.RequestLog = l }
+}
+
+// ServerMetrics is a point-in-time snapshot of every series the
+// handler exposes at /metrics, for embedded users and tests; obtain it
+// with (*server.Server).Metrics on the value Handler returns.
+type ServerMetrics = server.ServerMetrics
 
 // Handler returns the HTTP front-end exposing the repository over the
 // comaserve HTTP/JSON API (see package internal/server for the
@@ -251,11 +273,23 @@ func (b *singleBackend) IndexStats() (server.IndexReadiness, bool) {
 	if !ok {
 		return server.IndexReadiness{}, false
 	}
-	return server.IndexReadiness{
+	out := server.IndexReadiness{
 		Schemas:        st.Schemas,
 		Postings:       st.Postings,
 		LastPruneRatio: b.repo.LastPruneStats().Ratio(),
-	}, true
+	}
+	fillPruneTotals(&out, b.repo.PruneTotals())
+	return out, true
+}
+
+func (b *singleBackend) CollectMetrics(reg *metrics.Registry) {
+	registerCacheMetrics(reg,
+		func() AnalyzerCacheStats { return b.engine.AnalyzerCacheStats() },
+		func() (ColumnCacheStats, bool) { return b.engine.ColumnCacheStats() })
+	registerPruneMetrics(reg, b.repo.PruneTotals)
+	reg.GaugeFunc("coma_schemas", "Schemas currently stored.",
+		func() float64 { return float64(b.repo.Stats().Schemas) })
+	b.repo.storage.Register(reg)
 }
 
 // shardedBackend adapts ShardedRepository to server.Backend.
@@ -337,5 +371,122 @@ func (b *shardedBackend) IndexStats() (server.IndexReadiness, bool) {
 		return server.IndexReadiness{}, false
 	}
 	out.LastPruneRatio = b.repo.LastPruneStats().Ratio()
+	fillPruneTotals(&out, b.repo.PruneTotals())
 	return out, true
+}
+
+func (b *shardedBackend) CollectMetrics(reg *metrics.Registry) {
+	registerCacheMetrics(reg,
+		func() AnalyzerCacheStats {
+			var sum AnalyzerCacheStats
+			for _, e := range b.repo.engines {
+				st := e.AnalyzerCacheStats()
+				sum.Hits += st.Hits
+				sum.Misses += st.Misses
+				sum.Evictions += st.Evictions
+				sum.Invalidations += st.Invalidations
+				sum.Tombstones += st.Tombstones
+				sum.Pins += st.Pins
+				sum.Entries += st.Entries
+				sum.Pinned += st.Pinned
+			}
+			return sum
+		},
+		func() (ColumnCacheStats, bool) {
+			var sum ColumnCacheStats
+			any := false
+			for _, e := range b.repo.engines {
+				st, ok := e.ColumnCacheStats()
+				if !ok {
+					continue
+				}
+				any = true
+				sum.Hits += st.Hits
+				sum.Misses += st.Misses
+				sum.Flushes += st.Flushes
+				sum.Entries += st.Entries
+			}
+			return sum, any
+		})
+	registerPruneMetrics(reg, b.repo.PruneTotals)
+	reg.GaugeFunc("coma_schemas", "Schemas currently stored.",
+		func() float64 { return float64(b.repo.Stats().Schemas) })
+	b.repo.storage.Register(reg)
+}
+
+// fillPruneTotals copies the cumulative prune counters into the
+// /readyz candidate-index block — the load-stable complement to the
+// last-write-wins LastPruneRatio snapshot.
+func fillPruneTotals(out *server.IndexReadiness, pt PruneTotals) {
+	out.PrunedTotal = pt.Skipped
+	out.ConsideredTotal = pt.Candidates
+	out.PruneRatio = pt.Ratio()
+}
+
+// registerCacheMetrics exposes one backend's engine cache counters.
+// The closures aggregate across shard engines at exposition time, so
+// the series always reflect the whole store.
+func registerCacheMetrics(reg *metrics.Registry, an func() AnalyzerCacheStats, col func() (ColumnCacheStats, bool)) {
+	counter := func(name, help string, read func() uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(read()) })
+	}
+	counter("coma_analyzer_cache_hits_total",
+		"Analyzer cache hits (Index calls served from a cached, valid index).",
+		func() uint64 { return an().Hits })
+	counter("coma_analyzer_cache_misses_total",
+		"Analyzer cache misses (index builds: first use, stale rebuilds, tombstoned throwaways).",
+		func() uint64 { return an().Misses })
+	counter("coma_analyzer_cache_evictions_total",
+		"Analyzer cache entries dropped by batch-end eviction or the LRU backstop.",
+		func() uint64 { return an().Evictions })
+	counter("coma_analyzer_cache_invalidations_total",
+		"Analyzer cache entries whose index was dropped by invalidation.",
+		func() uint64 { return an().Invalidations })
+	counter("coma_analyzer_cache_tombstones_total",
+		"Deletions tombstoned because a batch window was open (delete/batch races defused).",
+		func() uint64 { return an().Tombstones })
+	counter("coma_analyzer_cache_pins_total",
+		"Pin calls marking schemas long-lived.",
+		func() uint64 { return an().Pins })
+	reg.GaugeFunc("coma_analyzer_cache_entries",
+		"Schema analyses currently cached.",
+		func() float64 { return float64(an().Entries) })
+	reg.GaugeFunc("coma_analyzer_cache_pinned",
+		"Schemas currently pinned in the analyzer cache.",
+		func() float64 { return float64(an().Pinned) })
+	if _, ok := col(); !ok {
+		return
+	}
+	counter("coma_column_cache_hits_total",
+		"Persistent column-cache hits (name-similarity columns served warm).",
+		func() uint64 { st, _ := col(); return st.Hits })
+	counter("coma_column_cache_misses_total",
+		"Persistent column-cache misses (columns computed).",
+		func() uint64 { st, _ := col(); return st.Misses })
+	counter("coma_column_cache_flushes_total",
+		"Column-discarding events: epoch flushes, stale prunes, LRU evictions, invalidations.",
+		func() uint64 { st, _ := col(); return st.Flushes })
+	reg.GaugeFunc("coma_column_cache_entries",
+		"Incoming-schema indexes currently holding cached columns.",
+		func() float64 { st, _ := col(); return float64(st.Entries) })
+}
+
+// registerPruneMetrics exposes the cumulative candidate-pruning
+// counters.
+func registerPruneMetrics(reg *metrics.Registry, totals func() PruneTotals) {
+	counter := func(name, help string, read func(PruneTotals) uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(read(totals())) })
+	}
+	counter("coma_prune_batches_total",
+		"Pruned match batches recorded.",
+		func(pt PruneTotals) uint64 { return pt.Batches })
+	counter("coma_prune_candidates_total",
+		"Candidates considered by pruned batches.",
+		func(pt PruneTotals) uint64 { return pt.Candidates })
+	counter("coma_prune_matched_total",
+		"Pairs the full match pipeline ran on in pruned batches.",
+		func(pt PruneTotals) uint64 { return pt.Matched })
+	counter("coma_prune_skipped_total",
+		"Pairs pruned away (bound below the running TopK threshold, or MaxCandidates cut).",
+		func(pt PruneTotals) uint64 { return pt.Skipped })
 }

@@ -28,6 +28,12 @@ type ShardedRepository struct {
 	// lastPrune records the most recent pruned fan-out's merged
 	// statistics (see LastPruneStats).
 	lastPrune atomic.Pointer[PruneStats]
+	// pruneTotals accumulates every pruned fan-out's statistics — the
+	// monotonic counters behind PruneTotals and the served metrics.
+	pruneTotals core.PruneCounters
+	// storage aggregates every shard's durability instruments (one
+	// StorageMetrics shared across shard logs).
+	storage *repository.StorageMetrics
 }
 
 // OpenShardedRepository opens (creating if necessary) an n-shard
@@ -39,7 +45,10 @@ func OpenShardedRepository(dir string, shards int, opts ...Option) (*ShardedRepo
 	if err != nil {
 		return nil, err
 	}
-	store, err := repository.OpenSharded(dir, shards, repository.WithSyncPolicy(o.syncPolicy))
+	storage := repository.NewStorageMetrics()
+	store, err := repository.OpenSharded(dir, shards,
+		repository.WithSyncPolicy(o.syncPolicy),
+		repository.WithMetrics(storage))
 	if err != nil {
 		return nil, fmt.Errorf("coma: open sharded repository %s: %w", dir, err)
 	}
@@ -62,7 +71,7 @@ func OpenShardedRepository(dir string, shards int, opts ...Option) (*ShardedRepo
 		e.o.ctx.Types = lead.Types
 		e.o.ctx.Taxonomy = lead.Taxonomy
 	}
-	return &ShardedRepository{Sharded: store, engines: engines}, nil
+	return &ShardedRepository{Sharded: store, engines: engines, storage: storage}, nil
 }
 
 // ShardEngine returns the i-th shard's engine, e.g. to front-load
@@ -213,6 +222,7 @@ func (r *ShardedRepository) MatchIncomingContext(ctx context.Context, incoming *
 		results, stats, shardErrs, err = core.MatchShardedPruned(ctx, incoming, bshards, cfg, bopt)
 		if err == nil {
 			r.lastPrune.Store(&stats)
+			r.pruneTotals.Record(stats)
 		}
 	} else {
 		results, shardErrs, err = core.MatchSharded(ctx, incoming, shards, cfg, bopt)
