@@ -21,7 +21,9 @@ import (
 	"repro/internal/combine"
 	"repro/internal/export"
 	"repro/internal/match"
+	"repro/internal/repository"
 	"repro/internal/reuse"
+	"repro/internal/schema"
 	"repro/internal/workload"
 )
 
@@ -290,6 +292,35 @@ func measurePerf() perfReport {
 	}
 	addPut("sync-always", coma.SyncAlways())
 	addPut("sync-interval", coma.SyncInterval(0))
+	// The warm-restart scenarios: one op is a full serving restart —
+	// open the checkpointed 2-shard store, serve the first TopK(10)
+	// match, close. Both stores hold the same 96-schema corpus compacted
+	// into their page files; the cold one has no warm sidecar, so every
+	// open re-analyzes the store to serve the first match, while the
+	// warm one seeds its analyzer caches, column caches and candidate
+	// index from the sidecar the checkpoint wrote. The acceptance
+	// comparison is restart-warm beating restart-cold to the first
+	// served match.
+	if rf, err := newRestartFixture(96, 2); err != nil {
+		fmt.Fprintf(os.Stderr, "# restart fixture failed: %v\n", err)
+	} else {
+		add("MatchServe/restart-cold", func(b *testing.B) { rf.bench(b, rf.coldDir) })
+		add("MatchServe/restart-warm", func(b *testing.B) { rf.bench(b, rf.warmDir) })
+		rf.close()
+	}
+	// The page-scan scenarios: one op streams every schema record of a
+	// checkpointed 256-schema store through Repo.Iter. resident runs on
+	// the default pool (every page cached after the warm-up scan);
+	// evicting squeezes the same page file through a two-page pool, so
+	// every scan re-reads and evicts clock-wise — the price of serving
+	// a store larger than its buffer pool.
+	if pf, err := newPageScanFixture(256); err != nil {
+		fmt.Fprintf(os.Stderr, "# page scan fixture failed: %v\n", err)
+	} else {
+		add("PageScan/resident", func(b *testing.B) { pf.bench(b, 0) })
+		add("PageScan/evicting", func(b *testing.B) { pf.bench(b, 2) })
+		pf.close()
+	}
 	add("Analyze/schema", func(b *testing.B) {
 		ctx := match.NewContext()
 		b.ReportAllocs()
@@ -407,6 +438,23 @@ func measurePerf() perfReport {
 		if interval, ok := byName["PutSchema/sync-interval"]; ok && interval.NsPerOp > 0 {
 			fmt.Fprintf(os.Stderr, "# PutSchema group commit vs fsync-per-append: %.1fx faster per import\n",
 				always.NsPerOp/interval.NsPerOp)
+		}
+	}
+	// The warm-restart acceptance comparison: restoring analyses from
+	// the sidecar must reach the first served match faster than
+	// re-analyzing the store.
+	if cold, ok := byName["MatchServe/restart-cold"]; ok {
+		if warm, ok := byName["MatchServe/restart-warm"]; ok && warm.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "# MatchServe warm restart vs cold: %.1fx faster to first served match\n",
+				cold.NsPerOp/warm.NsPerOp)
+		}
+	}
+	// The buffer-pool comparison: how much a scan pays when the page
+	// file exceeds the pool and every page faults back in.
+	if ev, ok := byName["PageScan/evicting"]; ok {
+		if res, ok := byName["PageScan/resident"]; ok && res.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "# PageScan evicting vs resident: %.2fx time per scan\n",
+				ev.NsPerOp/res.NsPerOp)
 		}
 	}
 	// The cache-lifecycle acceptance comparison: warm engine-scoped
@@ -572,6 +620,171 @@ func (cs *corpusServe) close() {
 	}
 	os.RemoveAll(cs.dir)
 }
+
+// restartFixture is the warm-restart serving scene: two checkpointed
+// copies of the same corpus store — coldDir without a warm sidecar,
+// warmDir with one — probed by the same incoming schema.
+type restartFixture struct {
+	dir      string
+	coldDir  string
+	warmDir  string
+	shards   int
+	incoming *schema.Schema
+}
+
+// restartOpts configures the restart stores and every bench reopen:
+// candidate index and persistent column cache (the serving defaults
+// whose state the sidecar carries), no per-append fsync.
+func restartOpts() []coma.Option {
+	return []coma.Option{
+		coma.WithCandidateIndex(),
+		coma.WithPersistentColumnCache(),
+		coma.WithSyncPolicy(coma.SyncNone()),
+	}
+}
+
+func newRestartFixture(n, shards int) (*restartFixture, error) {
+	dir, err := os.MkdirTemp("", "comabench-restart")
+	if err != nil {
+		return nil, err
+	}
+	stored, incoming := workload.CorpusPair(n, 17)
+	rf := &restartFixture{
+		dir:      dir,
+		coldDir:  filepath.Join(dir, "cold"),
+		warmDir:  filepath.Join(dir, "warm"),
+		shards:   shards,
+		incoming: incoming,
+	}
+	build := func(repoDir string, warm bool) error {
+		repo, err := coma.OpenShardedRepository(repoDir, shards, restartOpts()...)
+		if err != nil {
+			return err
+		}
+		defer repo.Close()
+		for _, s := range stored {
+			if err := repo.PutSchema(s); err != nil {
+				return err
+			}
+		}
+		// One match analyzes and candidate-indexes every stored schema,
+		// so the warm store's checkpoint has warmth to persist.
+		if _, err := repo.MatchIncoming(incoming, coma.TopK(10)); err != nil {
+			return err
+		}
+		if warm {
+			return repo.Checkpoint() // pages + warm sidecar
+		}
+		return repo.Sharded.Checkpoint() // pages only
+	}
+	if err := build(rf.coldDir, false); err != nil {
+		rf.close()
+		return nil, err
+	}
+	if err := build(rf.warmDir, true); err != nil {
+		rf.close()
+		return nil, err
+	}
+	return rf, nil
+}
+
+// bench measures one restart-to-first-match cycle against dir.
+func (rf *restartFixture) bench(b *testing.B, dir string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		repo, err := coma.OpenShardedRepository(dir, rf.shards, restartOpts()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := repo.MatchIncoming(rf.incoming, coma.TopK(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 10 {
+			b.Fatalf("%d candidates, want 10", len(res))
+		}
+		if err := repo.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func (rf *restartFixture) close() { os.RemoveAll(rf.dir) }
+
+// pageScanFixture is a single checkpointed store whose schema records
+// live in its page file, scanned through buffer pools of different
+// sizes.
+type pageScanFixture struct {
+	dir  string
+	path string
+}
+
+func newPageScanFixture(n int) (*pageScanFixture, error) {
+	dir, err := os.MkdirTemp("", "comabench-pagescan")
+	if err != nil {
+		return nil, err
+	}
+	pf := &pageScanFixture{dir: dir, path: filepath.Join(dir, "scan.repo")}
+	stored, _ := workload.CorpusPair(n, 23)
+	repo, err := coma.OpenRepository(pf.path, coma.WithSyncPolicy(coma.SyncNone()))
+	if err != nil {
+		pf.close()
+		return nil, err
+	}
+	for _, s := range stored {
+		if err := repo.PutSchema(s); err != nil {
+			repo.Close()
+			pf.close()
+			return nil, err
+		}
+	}
+	if err := repo.Checkpoint(); err != nil {
+		repo.Close()
+		pf.close()
+		return nil, err
+	}
+	if err := repo.Close(); err != nil {
+		pf.close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// bench measures one full schema-record scan per op; pool bounds the
+// buffer pool in pages (0 = the storage default, which holds the whole
+// page file resident after the warm-up scan).
+func (pf *pageScanFixture) bench(b *testing.B, pool int) {
+	opts := []coma.Option{coma.WithSyncPolicy(coma.SyncNone())}
+	if pool > 0 {
+		opts = append(opts, coma.WithPageCache(pool))
+	}
+	repo, err := coma.OpenRepository(pf.path, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	scan := func() int64 {
+		var total int64
+		err := repo.Iter(repository.RecSchemas, func(_ string, payload []byte) error {
+			total += int64(len(payload))
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return total
+	}
+	if scan() == 0 {
+		b.Fatal("page scan fixture holds no schema records")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = scan()
+	}
+}
+
+func (pf *pageScanFixture) close() { os.RemoveAll(pf.dir) }
 
 // benchSnapshot is the shape of a committed benchmark file: either a
 // bare perfReport or a BENCH_pr<N>.json trajectory entry whose "after"

@@ -44,6 +44,17 @@
 // across repeated matches of a stored schema — is on by default
 // (-colcache=false restores per-batch column reuse).
 //
+// Paged storage and warm restarts: each checkpoint writes the shard
+// state into a slotted page file served through a capacity-bounded
+// buffer pool (-page-cache bounds it per shard, in pages) and saves a
+// warm-restart sidecar next to the logs — the stored schemas' analysis
+// artifacts and cached similarity columns. A restart replays the pages
+// plus the short log tail and seeds its caches from the sidecar, so
+// the first matches after a restart skip re-analyzing the store;
+// /readyz reports both the buffer pool and the warm-start outcome. The
+// sidecar is advisory: any mismatch (changed dictionary, replaced
+// schema, damage) falls back to cold analysis, never wrong answers.
+//
 // Durability: -sync selects the shard logs' fsync cadence — "always"
 // (default; an acknowledged PUT survives any crash), a group-commit
 // interval like "50ms" (higher import throughput; a crash loses at
@@ -100,6 +111,9 @@ type serveConfig struct {
 	anLimit   int
 	colcache  bool
 	candIndex bool
+	// pageCache bounds each shard's page buffer pool, in pages (0 =
+	// storage default).
+	pageCache int
 	// matchTimeout bounds each admitted match (0 = no deadline).
 	matchTimeout time.Duration
 	// queueLimit bounds waiting match requests (0 = server default,
@@ -136,6 +150,7 @@ func main() {
 		anLimit      = flag.Int("analyzer-limit", 256, "per-engine bound on cached transient schema analyses (0 = unbounded)")
 		colcache     = flag.Bool("colcache", true, "persist name-similarity columns across batches (engine-scoped column cache)")
 		candIndex    = flag.Bool("candidate-index", true, "maintain the candidate-pruning index (TopK matches skip hopeless candidates; clients opt out per request with \"exhaustive\")")
+		pageCache    = flag.Int("page-cache", 0, "page buffer pool bound per shard, in pages (0 = storage default)")
 		matchTimeout = flag.Duration("match-timeout", 0, "per-request match deadline, e.g. 30s (0 = none; timed-out matches answer 504)")
 		queueLimit   = flag.Int("queue-limit", 64, "max match requests waiting for a slot before shedding with 429 (negative = unbounded)")
 		queueTimeout = flag.Duration("queue-timeout", 30*time.Second, "max wait for a match slot before answering 503 (negative = unbounded)")
@@ -153,6 +168,7 @@ func main() {
 		anLimit:      *anLimit,
 		colcache:     *colcache,
 		candIndex:    *candIndex,
+		pageCache:    *pageCache,
 		matchTimeout: *matchTimeout,
 		queueLimit:   *queueLimit,
 		queueTimeout: *queueTimeout,
@@ -194,6 +210,9 @@ func run(cfg serveConfig) error {
 	if cfg.candIndex {
 		opts = append(opts, coma.WithCandidateIndex())
 	}
+	if cfg.pageCache > 0 {
+		opts = append(opts, coma.WithPageCache(cfg.pageCache))
+	}
 	repo, err := coma.OpenShardedRepository(cfg.repoDir, cfg.shards, opts...)
 	if err != nil {
 		return err
@@ -202,6 +221,16 @@ func run(cfg serveConfig) error {
 	for i, rep := range repo.Reports() {
 		if !rep.Clean() {
 			fmt.Fprintf(os.Stderr, "comaserve: shard %d recovery: %s\n", i, rep)
+		}
+	}
+	if ws := repo.WarmStart(); ws.Attempted {
+		if ws.Used {
+			fmt.Fprintf(os.Stderr,
+				"comaserve: warm start: restored %d schema analyses and %d similarity columns (%d entries discarded)\n",
+				ws.Restored, ws.Columns, ws.Discarded)
+		} else {
+			fmt.Fprintln(os.Stderr,
+				"comaserve: warm start: sidecar present but invalid (sources changed or damaged); starting cold")
 		}
 	}
 

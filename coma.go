@@ -193,6 +193,9 @@ type Options struct {
 	// syncPolicy selects repository log durability (fsync cadence);
 	// the zero value is SyncAlways.
 	syncPolicy repository.SyncPolicy
+	// pageCache bounds each repository's page buffer pool, in pages
+	// (0 = the storage engine's default).
+	pageCache int
 }
 
 // Option adjusts match options.

@@ -169,6 +169,56 @@ type SchemaIndex struct {
 // path enumeration is captured as-is; see the package comment for the
 // lifecycle contract.
 func NewIndex(s *schema.Schema, src Sources) *SchemaIndex {
+	return buildIndex(s, src, nil, nil)
+}
+
+// NewIndexReusing analyzes s like NewIndex but reuses the name
+// analysis of prev for element names it already profiled, provided
+// prev was built against the same sources in the same state (same
+// instances, same mutation versions). Structural arrays are always
+// rebuilt from the schema's current enumeration, so after a small
+// edit only the names the edit introduced are re-profiled — the
+// incremental path Analyzer.Index takes when rebuilding a stale
+// index. Profiles are immutable, so sharing them between the old and
+// new index is safe.
+func NewIndexReusing(s *schema.Schema, src Sources, prev *SchemaIndex) *SchemaIndex {
+	if prev == nil || prev.Src != src ||
+		prev.dictVersion != src.Dict.Version() ||
+		prev.taxVersion != src.Taxonomy.Version() ||
+		prev.typesVersion != src.Types.Version() {
+		return NewIndex(s, src)
+	}
+	names := make(map[string]int, len(prev.Names))
+	for i, np := range prev.Names {
+		names[np.Name] = i
+	}
+	longs := make(map[string]int, len(prev.LongNames))
+	for i, np := range prev.LongNames {
+		longs[np.Name] = i
+	}
+	return buildIndex(s, src,
+		func(name string) (*strutil.NameProfile, *strutil.TokenProfile) {
+			if i, ok := names[name]; ok {
+				return prev.Names[i], prev.RawNames[i]
+			}
+			return nil, nil
+		},
+		func(long string) *strutil.NameProfile {
+			if i, ok := longs[long]; ok {
+				return prev.LongNames[i]
+			}
+			return nil
+		})
+}
+
+// buildIndex is the shared index construction: structural arrays are
+// always derived from the schema, while distinct-name profiles come
+// from lookupName/lookupLong when they yield one (profile reuse,
+// warm-restart restore) and are computed fresh otherwise. nil lookups
+// compute everything.
+func buildIndex(s *schema.Schema, src Sources,
+	lookupName func(string) (*strutil.NameProfile, *strutil.TokenProfile),
+	lookupLong func(string) *strutil.NameProfile) *SchemaIndex {
 	// Capture the mutation version BEFORE enumerating: an Invalidate
 	// landing between the two leaves the index stamped with the older
 	// version, so Valid errs toward a rebuild instead of accepting a
@@ -253,10 +303,20 @@ func NewIndex(s *schema.Schema, src Sources) *SchemaIndex {
 		if !ok {
 			id = len(x.Names)
 			nameIDs[name] = id
-			np := strutil.NewNameProfile(name, src.expand, profiledGramNs...)
-			np.Annotate(annotate)
+			var np *strutil.NameProfile
+			var rp *strutil.TokenProfile
+			if lookupName != nil {
+				np, rp = lookupName(name)
+			}
+			if np == nil {
+				np = strutil.NewNameProfile(name, src.expand, profiledGramNs...)
+				np.Annotate(annotate)
+			}
+			if rp == nil {
+				rp = strutil.NewTokenProfile(name, profiledGramNs...)
+			}
 			x.Names = append(x.Names, np)
-			x.RawNames = append(x.RawNames, strutil.NewTokenProfile(name, profiledGramNs...))
+			x.RawNames = append(x.RawNames, rp)
 		}
 		x.NameID[i] = id
 
@@ -265,8 +325,14 @@ func NewIndex(s *schema.Schema, src Sources) *SchemaIndex {
 		if !ok {
 			lid = len(x.LongNames)
 			longIDs[long] = lid
-			lp := strutil.NewNameProfile(long, src.expand, profiledGramNs...)
-			lp.Annotate(annotate)
+			var lp *strutil.NameProfile
+			if lookupLong != nil {
+				lp = lookupLong(long)
+			}
+			if lp == nil {
+				lp = strutil.NewNameProfile(long, src.expand, profiledGramNs...)
+				lp.Annotate(annotate)
+			}
 			x.LongNames = append(x.LongNames, lp)
 		}
 		x.LongNameID[i] = lid
@@ -580,7 +646,9 @@ func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 	func() {
 		defer e.mu.Unlock()
 		if !idx.Valid(s, src) {
-			idx = NewIndex(s, src)
+			// A stale index still holds valid name profiles when only the
+			// schema changed; rebuild incrementally off it.
+			idx = NewIndexReusing(s, src, idx)
 			e.idx.Store(idx)
 			rebuilt = true
 		}
@@ -590,6 +658,46 @@ func (a *Analyzer) Index(s *schema.Schema, src Sources) *SchemaIndex {
 		a.enforceLimit()
 	} else {
 		a.hits.Add(1)
+	}
+	return idx
+}
+
+// Seed installs a pre-built index for its schema without counting
+// cache traffic — the warm-restart path, which restores analyses from
+// a persisted artifact instead of rebuilding them. An index that is
+// not valid for (s, its own sources) is ignored. Seeding re-adopts a
+// tombstoned schema, like Pin.
+func (a *Analyzer) Seed(s *schema.Schema, idx *SchemaIndex) {
+	if s == nil || idx == nil || !idx.Valid(s, idx.Src) {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.dead, s)
+	e := a.entries[s]
+	if e == nil {
+		e = &analyzerEntry{}
+		a.entries[s] = e
+	}
+	a.seq++
+	e.lastUse = a.seq
+	e.idx.Store(idx)
+}
+
+// Peek returns the cached index for s when one is present and still
+// valid, without building, blocking on a build, or counting cache
+// traffic — the checkpoint export path, which persists exactly the
+// analyses that are warm.
+func (a *Analyzer) Peek(s *schema.Schema) *SchemaIndex {
+	a.mu.Lock()
+	e := a.entries[s]
+	a.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	idx := e.idx.Load()
+	if idx == nil || !idx.Valid(s, idx.Src) {
+		return nil
 	}
 	return idx
 }

@@ -1,0 +1,211 @@
+package analysis_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/schema"
+	"repro/internal/strutil"
+	"repro/internal/workload"
+)
+
+// profileEqual compares two name profiles field by field, n-gram
+// multisets included (grams are unexported, so Grams() stands in).
+func profileEqual(t *testing.T, ctx string, a, b *strutil.NameProfile) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("%s: name %q != %q", ctx, a.Name, b.Name)
+	}
+	if !reflect.DeepEqual(a.Tokens, b.Tokens) {
+		t.Fatalf("%s (%q): tokens %v != %v", ctx, a.Name, a.Tokens, b.Tokens)
+	}
+	for i := range a.Profiles {
+		pa, pb := a.Profiles[i], b.Profiles[i]
+		if pa.Token != pb.Token || pa.Norm != pb.Norm || pa.Code != pb.Code {
+			t.Fatalf("%s (%q token %q): derived fields differ", ctx, a.Name, pa.Token)
+		}
+		if pa.DictSrc != pb.DictSrc || pa.DictID != pb.DictID || !reflect.DeepEqual(pa.DictRel, pb.DictRel) {
+			t.Fatalf("%s (%q token %q): dictionary annotations differ: %v/%v vs %v/%v",
+				ctx, a.Name, pa.Token, pa.DictID, pa.DictRel, pb.DictID, pb.DictRel)
+		}
+		if pa.TaxSrc != pb.TaxSrc || !reflect.DeepEqual(pa.TaxChain, pb.TaxChain) {
+			t.Fatalf("%s (%q token %q): taxonomy annotations differ", ctx, a.Name, pa.Token)
+		}
+		for _, n := range []int{2, 3} {
+			if !reflect.DeepEqual(pa.Grams(n), pb.Grams(n)) {
+				t.Fatalf("%s (%q token %q): %d-grams differ", ctx, a.Name, pa.Token, n)
+			}
+		}
+	}
+}
+
+func indexEqual(t *testing.T, ctx string, a, b *analysis.SchemaIndex) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Keys, b.Keys) || !reflect.DeepEqual(a.Parent, b.Parent) ||
+		!reflect.DeepEqual(a.Children, b.Children) || !reflect.DeepEqual(a.Leaves, b.Leaves) ||
+		!reflect.DeepEqual(a.Generic, b.Generic) || !reflect.DeepEqual(a.NameID, b.NameID) ||
+		!reflect.DeepEqual(a.LongNameID, b.LongNameID) {
+		t.Fatalf("%s: structural arrays differ", ctx)
+	}
+	if len(a.Names) != len(b.Names) || len(a.LongNames) != len(b.LongNames) {
+		t.Fatalf("%s: %d/%d names vs %d/%d", ctx, len(a.Names), len(a.LongNames), len(b.Names), len(b.LongNames))
+	}
+	for i := range a.Names {
+		profileEqual(t, ctx+": names", a.Names[i], b.Names[i])
+		profileEqual(t, ctx+": raw names",
+			&strutil.NameProfile{Name: a.RawNames[i].Token, Tokens: []string{a.RawNames[i].Token}, Profiles: []*strutil.TokenProfile{a.RawNames[i]}},
+			&strutil.NameProfile{Name: b.RawNames[i].Token, Tokens: []string{b.RawNames[i].Token}, Profiles: []*strutil.TokenProfile{b.RawNames[i]}})
+	}
+	for i := range a.LongNames {
+		profileEqual(t, ctx+": long names", a.LongNames[i], b.LongNames[i])
+	}
+}
+
+// TestArtifactRoundTripBitIdentical: restoring an exported index
+// yields exactly the index a fresh analysis would build — the
+// warm-restart equivalence the match layer's bit-identity rests on.
+func TestArtifactRoundTripBitIdentical(t *testing.T) {
+	src := defaultSources()
+	rng := rand.New(rand.NewSource(11))
+	schemas := append([]*schema.Schema{}, workload.Schemas()...)
+	for i := 0; i < 10; i++ {
+		schemas = append(schemas, randomSchema(rng, fmt.Sprintf("A%d", i)))
+	}
+	for _, s := range schemas {
+		fresh := analysis.NewIndex(s, src)
+		data := analysis.ExportIndex(fresh)
+		restored, err := analysis.RestoreIndex(s, src, data)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", s.Name, err)
+		}
+		if !restored.Valid(s, src) {
+			t.Fatalf("%s: restored index not valid", s.Name)
+		}
+		indexEqual(t, s.Name, fresh, restored)
+	}
+}
+
+// TestArtifactPartialCoverage: an artifact exported for an older
+// schema revision restores correctly — uncovered names are analyzed
+// fresh, covered ones come from the artifact.
+func TestArtifactPartialCoverage(t *testing.T) {
+	src := defaultSources()
+	s := randomSchema(rand.New(rand.NewSource(3)), "P")
+	data := analysis.ExportIndex(analysis.NewIndex(s, src))
+	extra := schema.NewNode("freshlyAddedCity")
+	extra.TypeName = "VARCHAR(10)"
+	s.Root.AddChild(extra)
+	s.Invalidate()
+	restored, err := analysis.RestoreIndex(s, src, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexEqual(t, "partial", analysis.NewIndex(s, src), restored)
+}
+
+func TestArtifactCorrupt(t *testing.T) {
+	src := defaultSources()
+	s := workload.Schemas()[0]
+	data := analysis.ExportIndex(analysis.NewIndex(s, src))
+	if _, err := analysis.RestoreIndex(s, src, data[:len(data)/2]); err == nil {
+		t.Error("truncated artifact restored without error")
+	}
+	if _, err := analysis.RestoreIndex(s, src, append([]byte{}, 0xFF)); err == nil {
+		t.Error("bad version restored without error")
+	}
+	if _, err := analysis.RestoreIndex(s, src, append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("trailing bytes restored without error")
+	}
+}
+
+// TestNewIndexReusing: a rebuild after a structural edit reuses the
+// unchanged names' profiles by pointer and only analyzes new names;
+// a source mutation disables reuse entirely.
+func TestNewIndexReusing(t *testing.T) {
+	src := defaultSources()
+	s := schema.New("R")
+	top := schema.NewNode("ShipTo")
+	for _, c := range []string{"custNo", "city", "zip"} {
+		leaf := schema.NewNode(c)
+		leaf.TypeName = "VARCHAR(10)"
+		top.AddChild(leaf)
+	}
+	s.Root.AddChild(top)
+	prev := analysis.NewIndex(s, src)
+
+	extra := schema.NewNode("street")
+	extra.TypeName = "VARCHAR(20)"
+	top.AddChild(extra)
+	s.Invalidate()
+	next := analysis.NewIndexReusing(s, src, prev)
+	if !next.Valid(s, src) {
+		t.Fatal("incrementally rebuilt index not valid")
+	}
+	indexEqual(t, "reuse", analysis.NewIndex(s, src), next)
+	reused := 0
+	prevByName := map[string]*strutil.NameProfile{}
+	for _, np := range prev.Names {
+		prevByName[np.Name] = np
+	}
+	for _, np := range next.Names {
+		if prevByName[np.Name] == np {
+			reused++
+		}
+	}
+	if reused != len(prev.Names) {
+		t.Errorf("reused %d of %d unchanged profiles", reused, len(prev.Names))
+	}
+	if len(next.Names) != len(prev.Names)+1 {
+		t.Errorf("next has %d names, want %d", len(next.Names), len(prev.Names)+1)
+	}
+
+	// A mutated dictionary poisons every prior annotation: no reuse.
+	src.Dict.AddSynonym("street", "road")
+	s.Invalidate()
+	cold := analysis.NewIndexReusing(s, src, next)
+	for _, np := range cold.Names {
+		for _, old := range next.Names {
+			if np == old {
+				t.Fatalf("profile %q reused across a dictionary mutation", np.Name)
+			}
+		}
+	}
+}
+
+// TestAnalyzerSeedPeek: Seed installs a restored index without
+// counting traffic, Peek reads without building, and the next Index
+// call is a hit — the "warm restart skips re-analysis" contract.
+func TestAnalyzerSeedPeek(t *testing.T) {
+	src := defaultSources()
+	s := workload.Schemas()[0]
+	a := analysis.NewAnalyzer()
+	if a.Peek(s) != nil {
+		t.Fatal("Peek invented an index")
+	}
+	idx := analysis.NewIndex(s, src)
+	a.Seed(s, idx)
+	if st := a.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Seed counted traffic: %+v", st)
+	}
+	if a.Peek(s) != idx {
+		t.Fatal("Peek did not return the seeded index")
+	}
+	if a.Index(s, src) != idx {
+		t.Fatal("Index rebuilt despite a seeded index")
+	}
+	if st := a.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("seeded Index call not a pure hit: %+v", st)
+	}
+	// A stale seed is rejected, not trusted.
+	s2 := randomSchema(rand.New(rand.NewSource(5)), "SeedStale")
+	idx2 := analysis.NewIndex(s2, src)
+	s2.Root.AddChild(schema.NewNode("late"))
+	s2.Invalidate()
+	a.Seed(s2, idx2)
+	if a.Peek(s2) != nil {
+		t.Fatal("stale index seeded into the cache")
+	}
+}

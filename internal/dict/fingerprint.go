@@ -1,0 +1,124 @@
+package dict
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Fingerprints are stable content hashes of the auxiliary sources,
+// used by warm-restart artifacts to decide whether analysis computed
+// against a source in a previous process is still valid: unlike
+// Version (an in-process mutation counter that restarts from zero),
+// equal fingerprints across processes mean equal lookup behavior.
+// FNV-1a over a canonical (sorted) rendering of the content; a nil
+// source fingerprints to 0.
+
+type fnvWriter struct{ h uint64 }
+
+func newFnvWriter() *fnvWriter { return &fnvWriter{h: 14695981039346656037} }
+
+func (w *fnvWriter) str(s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	w.bytes(n[:])
+	for i := 0; i < len(s); i++ {
+		w.h = (w.h ^ uint64(s[i])) * 1099511628211
+	}
+}
+
+func (w *fnvWriter) bytes(b []byte) {
+	for _, c := range b {
+		w.h = (w.h ^ uint64(c)) * 1099511628211
+	}
+}
+
+func (w *fnvWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *fnvWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+// Fingerprint hashes the dictionary's relationships and abbreviation
+// expansions. A nil dictionary is 0.
+func (d *Dictionary) Fingerprint() uint64 {
+	if d == nil {
+		return 0
+	}
+	w := newFnvWriter()
+	terms := make([]string, 0, len(d.rel))
+	for t := range d.rel {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		w.str(t)
+		others := make([]string, 0, len(d.rel[t]))
+		for o := range d.rel[t] {
+			others = append(others, o)
+		}
+		sort.Strings(others)
+		for _, o := range others {
+			w.str(o)
+			w.f64(d.rel[t][o])
+		}
+	}
+	abbrs := make([]string, 0, len(d.abbrev))
+	for a := range d.abbrev {
+		abbrs = append(abbrs, a)
+	}
+	sort.Strings(abbrs)
+	for _, a := range abbrs {
+		w.str(a)
+		for _, e := range d.abbrev[a] {
+			w.str(e)
+		}
+	}
+	return w.h
+}
+
+// Fingerprint hashes the taxonomy's is-a edges and decay factor. A
+// nil taxonomy is 0.
+func (t *Taxonomy) Fingerprint() uint64 {
+	if t == nil {
+		return 0
+	}
+	w := newFnvWriter()
+	w.f64(t.decay)
+	terms := make([]string, 0, len(t.terms))
+	for term := range t.terms {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		w.str(term)
+		w.str(t.parent[term])
+	}
+	return w.h
+}
+
+// Fingerprint hashes the table's compatibility matrix and concrete
+// name mapping. A nil table is 0.
+func (t *TypeTable) Fingerprint() uint64 {
+	if t == nil {
+		return 0
+	}
+	w := newFnvWriter()
+	for a := GenericType(0); a < genTypeCount; a++ {
+		for b := GenericType(0); b < genTypeCount; b++ {
+			w.f64(t.compat[a][b])
+		}
+	}
+	names := make([]string, 0, len(t.names))
+	for n := range t.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w.str(n)
+		w.u64(uint64(t.names[n]))
+	}
+	return w.h
+}

@@ -1,0 +1,75 @@
+package dict
+
+import "testing"
+
+func TestDictionaryFingerprint(t *testing.T) {
+	if (*Dictionary)(nil).Fingerprint() != 0 {
+		t.Error("nil dictionary fingerprint != 0")
+	}
+	a, b := NewDictionary(), NewDictionary()
+	// Same content, different insertion order.
+	a.AddSynonym("ship", "deliver")
+	a.AddAbbreviation("po", "purchase", "order")
+	a.AddHypernym("address", "city")
+	b.AddHypernym("address", "city")
+	b.AddAbbreviation("po", "purchase", "order")
+	b.AddSynonym("deliver", "ship")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal-content dictionaries fingerprint differently")
+	}
+	if Default().Fingerprint() != Default().Fingerprint() {
+		t.Error("two Default() dictionaries fingerprint differently")
+	}
+	before := a.Fingerprint()
+	a.AddSynonym("bill", "invoice")
+	if a.Fingerprint() == before {
+		t.Error("mutation left the fingerprint unchanged")
+	}
+	if a.Fingerprint() == 0 || NewDictionary().Fingerprint() == 0 {
+		// An empty dictionary is not nil: it must not collide with the
+		// nil sentinel (a restart with a dictionary configured vs none).
+		t.Error("non-nil dictionary fingerprints to the nil sentinel 0")
+	}
+}
+
+func TestTaxonomyFingerprint(t *testing.T) {
+	if (*Taxonomy)(nil).Fingerprint() != 0 {
+		t.Error("nil taxonomy fingerprint != 0")
+	}
+	a, b := NewTaxonomy(), NewTaxonomy()
+	a.AddIsA("city", "place")
+	a.AddIsA("town", "place")
+	b.AddIsA("town", "place")
+	b.AddIsA("city", "place")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal-content taxonomies fingerprint differently")
+	}
+	before := a.Fingerprint()
+	a.SetDecay(0.5)
+	if a.Fingerprint() == before {
+		t.Error("decay change left the fingerprint unchanged")
+	}
+	if DefaultTaxonomy().Fingerprint() != DefaultTaxonomy().Fingerprint() {
+		t.Error("two DefaultTaxonomy() instances fingerprint differently")
+	}
+}
+
+func TestTypeTableFingerprint(t *testing.T) {
+	if (*TypeTable)(nil).Fingerprint() != 0 {
+		t.Error("nil type table fingerprint != 0")
+	}
+	if NewTypeTable().Fingerprint() != NewTypeTable().Fingerprint() {
+		t.Error("two fresh type tables fingerprint differently")
+	}
+	tt := NewTypeTable()
+	before := tt.Fingerprint()
+	tt.MapName("DOUBLOON", GenDecimal)
+	if tt.Fingerprint() == before {
+		t.Error("MapName left the fingerprint unchanged")
+	}
+	before = tt.Fingerprint()
+	tt.SetCompat(GenString, GenDecimal, 0.3)
+	if tt.Fingerprint() == before {
+		t.Error("SetCompat left the fingerprint unchanged")
+	}
+}

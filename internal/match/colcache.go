@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/combine"
 	"repro/internal/schema"
 )
 
@@ -149,6 +150,80 @@ func (cc *ColumnCache) ForIncoming(idx *analysis.SchemaIndex) *BatchCache {
 	cc.seq++
 	e.lastUse = cc.seq
 	return e.bc
+}
+
+// ColumnArtifact is one persistable cached column: the similarity of
+// one candidate name against every distinct incoming name, scored by
+// a configuration-identified (library-built) matcher. OwnerKey and
+// Comb reconstruct the matcher's cache identity in a new process —
+// instance-owned columns have no cross-process identity and are never
+// exported.
+type ColumnArtifact struct {
+	// OwnerKey is the library matcher's shared builder key.
+	OwnerKey string
+	// Comb is the matcher's set-combination knob, part of its identity.
+	Comb combine.CombSim
+	// Set discriminates the incoming row set the column spans.
+	Set int8
+	// Name is the candidate-side name the column scores.
+	Name string
+	// Col holds one similarity per incoming distinct name (Set order).
+	Col []float64
+}
+
+// Export snapshots the persistable columns cached for one incoming
+// index: those owned by configuration-identified matchers, whose
+// identity survives a process restart. Returns nil when the index
+// holds no cached columns.
+func (cc *ColumnCache) Export(idx *analysis.SchemaIndex) []ColumnArtifact {
+	cc.mu.Lock()
+	e := cc.entries[idx]
+	cc.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	e.bc.mu.RLock()
+	defer e.bc.mu.RUnlock()
+	out := make([]ColumnArtifact, 0, len(e.bc.cols))
+	for k, col := range e.bc.cols {
+		so, ok := k.owner.(sharedOwner)
+		if !ok {
+			continue
+		}
+		out = append(out, ColumnArtifact{
+			OwnerKey: so.key, Comb: so.comb, Set: k.set, Name: k.name, Col: col,
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Seed installs previously exported columns for one incoming index —
+// the warm-restart path. The caller vouches that the artifacts were
+// exported for an identical index against sources with equal content;
+// existing columns are never overwritten, and the entry's byte bound
+// applies.
+func (cc *ColumnCache) Seed(idx *analysis.SchemaIndex, arts []ColumnArtifact) {
+	if idx == nil || len(arts) == 0 {
+		return
+	}
+	bc := cc.ForIncoming(idx)
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	for _, a := range arts {
+		if len(a.Col) == 0 {
+			continue
+		}
+		if bc.limit > 0 && len(bc.cols) >= bc.limit {
+			break
+		}
+		key := batchKey{owner: sharedOwner{key: a.OwnerKey, comb: a.Comb}, set: a.Set, name: a.Name}
+		if _, ok := bc.cols[key]; !ok {
+			bc.cols[key] = a.Col
+		}
+	}
 }
 
 // Invalidate drops every entry whose incoming schema is s (all entries

@@ -126,3 +126,52 @@ func TestPersistentBatchCacheFlush(t *testing.T) {
 		t.Errorf("post-flush column = %v, want 3", got)
 	}
 }
+
+// TestColumnCacheExportSeed: configuration-owned columns survive an
+// export/seed cycle (the warm-restart path) and serve as hits in the
+// new cache; instance-owned columns are never exported.
+func TestColumnCacheExportSeed(t *testing.T) {
+	ctx := NewContext()
+	src := ctx.Sources()
+	idx := analysis.NewIndex(colTestSchema("Inc"), src)
+
+	cc := NewColumnCache(0)
+	bc := cc.ForIncoming(idx)
+	owner := sharedOwner{key: "name", comb: 0}
+	want := []float64{0.25, 0.75}
+	bc.column(owner, gridFull, "candA", len(want), func(col []float64) { copy(col, want) })
+	bc.column(owner, gridLeaf, "candB", 1, func(col []float64) { col[0] = 0.5 })
+	instanceOwned := &struct{ tag string }{"private"}
+	bc.column(instanceOwned, gridFull, "candC", 1, func(col []float64) { col[0] = 1 })
+
+	arts := cc.Export(idx)
+	if len(arts) != 2 {
+		t.Fatalf("exported %d artifacts, want 2 (instance-owned skipped)", len(arts))
+	}
+	if cc.Export(analysis.NewIndex(colTestSchema("Other"), src)) != nil {
+		t.Fatal("exported columns for an index that holds none")
+	}
+
+	cc2 := NewColumnCache(0)
+	cc2.Seed(idx, arts)
+	bc2 := cc2.ForIncoming(idx)
+	col := bc2.column(owner, gridFull, "candA", len(want), func([]float64) {
+		t.Fatal("seeded column recomputed")
+	})
+	for i, v := range want {
+		if col[i] != v {
+			t.Fatalf("seeded col[%d] = %v, want %v", i, col[i], v)
+		}
+	}
+	if st := cc2.Stats(); st.Hits != 1 {
+		t.Fatalf("seeded read not a hit: %+v", st)
+	}
+	// Seeding never overwrites a live column.
+	cc2.Seed(idx, []ColumnArtifact{{OwnerKey: "name", Comb: 0, Set: gridFull, Name: "candA", Col: []float64{9, 9}}})
+	col = bc2.column(owner, gridFull, "candA", len(want), func([]float64) {
+		t.Fatal("seeded column recomputed")
+	})
+	if col[0] != want[0] {
+		t.Fatal("Seed overwrote an existing column")
+	}
+}

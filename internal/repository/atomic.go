@@ -1,0 +1,81 @@
+package repository
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic durably replaces path with data using the
+// crash-ordered protocol every repository rewrite shares: write a temp
+// file next to the target, fsync it, run the prepare hook (the window
+// for dropping files the new one supersedes — a stale checkpoint or
+// page file surviving beside a self-contained log could resurrect
+// deleted keys), rename over the target, fsync the parent directory.
+// A crash at any point leaves either the old file or the new one
+// intact, never a torn mixture.
+//
+// With keepOpen the still-open handle of the renamed file is returned
+// (positioned at its end) so the caller can keep appending to it —
+// Compact's rewrite does, the log handle it installs is the file it
+// just wrote. Without keepOpen the handle is closed and the returned
+// File is nil.
+func writeFileAtomic(fsys FS, path string, data []byte, prepare func() error, keepOpen bool) (File, error) {
+	tmpPath := path + ".tmp"
+	tmp, err := fsys.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	keepTmp := false
+	defer func() {
+		if !keepTmp {
+			tmp.Close()
+			fsys.Remove(tmpPath)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return nil, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	if prepare != nil {
+		if err := prepare(); err != nil {
+			return nil, err
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	if err := fsys.Rename(tmpPath, path); err != nil {
+		return nil, err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	keepTmp = true
+	if keepOpen {
+		return tmp, nil
+	}
+	return nil, tmp.Close()
+}
+
+// AtomicWriteFile durably writes data to path with the shared
+// tmp+fsync+rename+dirsync protocol. It is the write primitive for
+// sidecar snapshots kept next to a repository (the warm-restart
+// analysis artifacts); fsys nil selects the real filesystem.
+func AtomicWriteFile(fsys FS, path string, data []byte) error {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	_, err := writeFileAtomic(fsys, path, data, nil, false)
+	return err
+}
+
+// removeIfExists deletes path, tolerating its absence.
+func removeIfExists(fsys FS, path string) error {
+	if err := fsys.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

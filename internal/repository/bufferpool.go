@@ -1,0 +1,186 @@
+package repository
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageCachePages is the buffer pool's default capacity, in
+// pages per shard (256 × 16 KiB = 4 MiB).
+const DefaultPageCachePages = 256
+
+// PageCacheStats is a point-in-time snapshot of one buffer pool (or,
+// for a sharded store, the sum over its shards' pools). Hits, Misses
+// and Evictions are cumulative; Capacity, Resident and Pinned are
+// instantaneous.
+type PageCacheStats struct {
+	// Capacity is the configured frame bound, in pages.
+	Capacity int
+	// Resident is the number of pages currently cached.
+	Resident int
+	// Pinned is the number of pages currently pinned by in-flight
+	// reads.
+	Pinned int
+	// Hits counts pin requests served from a resident frame.
+	Hits uint64
+	// Misses counts pin requests that had to read the page file.
+	Misses uint64
+	// Evictions counts frames dropped by the clock sweep to admit a
+	// missed page.
+	Evictions uint64
+}
+
+// pageFrame is one cached page. pins and ref are guarded by the pool
+// mutex; buf is immutable once fetched (pages are written only by
+// checkpoint, which swaps the whole pool).
+type pageFrame struct {
+	no   uint32
+	buf  []byte
+	pins int
+	ref  bool // clock reference bit: touched since the hand last passed
+}
+
+// bufferPool caches page-file pages in a bounded set of frames with
+// pin/unpin semantics and clock (second-chance) eviction. A pinned
+// frame is never evicted; when every frame is pinned the pool admits
+// the new page anyway (temporarily exceeding capacity) rather than
+// deadlocking the read — the bound is a target, honored again as soon
+// as pins drain.
+type bufferPool struct {
+	mu     sync.Mutex
+	cap    int
+	frames map[uint32]*pageFrame
+	clock  []*pageFrame
+	hand   int
+	fetch  func(no uint32) ([]byte, error)
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	pinned    atomic.Int64
+
+	// metrics mirrors the counters into the storage instrument set;
+	// nil-safe.
+	metrics *StorageMetrics
+}
+
+// newBufferPool builds a pool of at most capacity frames over fetch
+// (capacity <= 0 selects DefaultPageCachePages).
+func newBufferPool(capacity int, fetch func(no uint32) ([]byte, error), m *StorageMetrics) *bufferPool {
+	if capacity <= 0 {
+		capacity = DefaultPageCachePages
+	}
+	return &bufferPool{
+		cap:     capacity,
+		frames:  make(map[uint32]*pageFrame, capacity),
+		fetch:   fetch,
+		metrics: m,
+	}
+}
+
+// pin returns the frame holding page no, fetching it on a miss, and
+// holds it resident until the matching unpin.
+func (bp *bufferPool) pin(no uint32) (*pageFrame, error) {
+	bp.mu.Lock()
+	if fr, ok := bp.frames[no]; ok {
+		fr.pins++
+		fr.ref = true
+		bp.mu.Unlock()
+		bp.hits.Add(1)
+		bp.pinned.Add(1)
+		bp.metrics.observePageHit()
+		bp.metrics.observePagePinned(1)
+		return fr, nil
+	}
+	// Miss: evict down to capacity, then fetch under the lock — the
+	// page file is a single seek+read handle, so pool misses serialize
+	// on it anyway.
+	for len(bp.frames) >= bp.cap {
+		if !bp.evictOneLocked() {
+			break // every frame pinned: admit over capacity
+		}
+	}
+	buf, err := bp.fetch(no)
+	if err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	fr := &pageFrame{no: no, buf: buf, pins: 1, ref: true}
+	bp.frames[no] = fr
+	bp.clock = append(bp.clock, fr)
+	bp.mu.Unlock()
+	bp.misses.Add(1)
+	bp.pinned.Add(1)
+	bp.metrics.observePageMiss()
+	bp.metrics.observePagePinned(1)
+	return fr, nil
+}
+
+// unpin releases one pin on the frame.
+func (bp *bufferPool) unpin(fr *pageFrame) {
+	bp.mu.Lock()
+	fr.pins--
+	bp.mu.Unlock()
+	bp.pinned.Add(-1)
+	bp.metrics.observePagePinned(-1)
+}
+
+// evictOneLocked runs the clock hand until it finds an unpinned frame
+// whose reference bit is clear (clearing set bits as it passes),
+// evicts it, and reports success. It fails only when every frame is
+// pinned.
+func (bp *bufferPool) evictOneLocked() bool {
+	if len(bp.clock) == 0 {
+		return false
+	}
+	// Two full sweeps suffice: the first clears reference bits, the
+	// second must find a victim unless everything is pinned.
+	for sweep := 0; sweep < 2*len(bp.clock); sweep++ {
+		if bp.hand >= len(bp.clock) {
+			bp.hand = 0
+		}
+		fr := bp.clock[bp.hand]
+		if fr.pins > 0 {
+			bp.hand++
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			bp.hand++
+			continue
+		}
+		delete(bp.frames, fr.no)
+		bp.clock = append(bp.clock[:bp.hand], bp.clock[bp.hand+1:]...)
+		bp.evictions.Add(1)
+		bp.metrics.observePageEviction()
+		return true
+	}
+	return false
+}
+
+// stats snapshots the pool.
+func (bp *bufferPool) stats() PageCacheStats {
+	bp.mu.Lock()
+	resident := len(bp.frames)
+	bp.mu.Unlock()
+	return PageCacheStats{
+		Capacity:  bp.cap,
+		Resident:  resident,
+		Pinned:    int(bp.pinned.Load()),
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+	}
+}
+
+// Add accumulates two snapshots — the sharded store's per-shard sum.
+func (s PageCacheStats) Add(o PageCacheStats) PageCacheStats {
+	return PageCacheStats{
+		Capacity:  s.Capacity + o.Capacity,
+		Resident:  s.Resident + o.Resident,
+		Pinned:    s.Pinned + o.Pinned,
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}

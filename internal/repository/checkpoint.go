@@ -6,33 +6,41 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
+
+	"repro/internal/schema"
 )
 
-// Checkpoint file: a compacted snapshot of live state plus the
-// sequence watermark it covers, so restart replays snapshot + log
-// suffix instead of the full history. Layout:
+// Legacy checkpoint file (pre-page-file stores): a flat snapshot of
+// live state plus the sequence watermark it covers. Layout:
 //
 //	[12B checkpoint magic][8B LE watermark][v2 record frames...]
 //
 // The frames carry local sequences 1..n (the snapshot is a fold, its
 // records have no log positions); the watermark says "this is the
-// state through log sequence W". The write protocol makes the
-// snapshot durable (fsync file, rename, fsync directory) before the
-// log is truncated, so a crash at any point leaves either the old
-// (log-only) or the new (checkpoint + suffix) recovery path intact.
+// state through log sequence W". Checkpoint now writes the slotted
+// page file instead (pagefile.go) — this format is read-only
+// compatibility for stores written before the paged design, upgraded
+// to a page file on their next Checkpoint.
 var ckptMagic = []byte("COMA.ckpt\x001\n")
 
-// ckptSuffix names a repository's checkpoint file next to its log.
+// ckptSuffix names a repository's legacy checkpoint file next to its
+// log.
 const ckptSuffix = ".ckpt"
 
 func ckptPath(logPath string) string { return logPath + ckptSuffix }
 
-// Checkpoint durably writes a compacted snapshot of the current state
-// and truncates the log to its header, bounding restart replay work.
-// The sequence counter keeps running, so records appended afterwards
-// sort strictly after the watermark.
+// Checkpoint durably snapshots the current state into the slotted
+// page file and truncates the log to its header, bounding restart
+// replay to the tail. The write is crash-ordered: the page file lands
+// via tmp+fsync+rename before any legacy checkpoint is dropped or the
+// log truncated, so a crash at any point leaves a consistent
+// (snapshot, log-suffix) pair. Afterwards the store serves reads from
+// the new page file through the buffer pool; mapping and cube values
+// held resident for the log tail are released to it, schemas keep
+// their identity-stable decoded instances. The sequence counter keeps
+// running, so records appended afterwards sort strictly after the
+// watermark.
 func (r *Repo) Checkpoint() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -43,41 +51,45 @@ func (r *Repo) Checkpoint() error {
 		return r.broken
 	}
 	start := time.Now()
-	tmpPath := r.path + ckptSuffix + ".tmp"
-	tmp, err := r.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	recs := r.liveRecordsLocked()
+	pageRecs := make([]pageRecord, len(recs))
+	for i, rec := range recs {
+		pageRecs[i] = pageRecord{kind: rec.kind, key: rec.key, payload: rec.payload}
+	}
+	img, locs, err := buildPageFile(r.pageSize, r.lastSeq, pageRecs)
 	if err != nil {
 		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
 	}
-	defer r.fs.Remove(tmpPath) // no-op after successful rename
-	buf := make([]byte, 0, 1<<16)
-	buf = append(buf, ckptMagic...)
-	buf = binary.LittleEndian.AppendUint64(buf, r.lastSeq)
-	var localSeq uint64
-	for _, rec := range r.liveRecords() {
-		localSeq++
-		buf = appendFrame(buf, localSeq, rec.kind, rec.payload)
+	if _, err := writeFileAtomic(r.fs, pagePath(r.path), img, nil, false); err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
 	}
-	err = func() error {
-		if _, err := tmp.Write(buf); err != nil {
-			return err
+	pf, exists, damaged, err := openPageFile(r.fs, r.path)
+	if err != nil {
+		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
+	}
+	if !exists || damaged {
+		return fmt.Errorf("repository: checkpoint %s: page file unreadable after write", r.path)
+	}
+	old := r.pf
+	r.pf = pf
+	r.pool = newBufferPool(r.pageCache, pf.readPage, r.metrics)
+	old.Close()
+	for i, rec := range recs {
+		rec.e.paged = true
+		rec.e.loc = locs[i]
+		// Schemas stay resident (identity-stable instances); mapping
+		// and cube payloads now stream from the page file on demand.
+		if _, isSchema := rec.e.val.(*schema.Schema); !isSchema {
+			rec.e.val = nil
 		}
-		return tmp.Sync()
-	}()
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
 	}
-	if err != nil {
-		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
-	}
-	if err := r.fs.Rename(tmpPath, ckptPath(r.path)); err != nil {
-		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
-	}
-	if err := r.fs.SyncDir(filepath.Dir(r.path)); err != nil {
-		return fmt.Errorf("repository: checkpoint %s: %w", r.path, err)
-	}
+	// The page file supersedes any legacy flat checkpoint. Open
+	// prefers the page file, so a surviving .ckpt is inert; removal is
+	// best-effort hygiene.
+	removeIfExists(r.fs, ckptPath(r.path))
 	// The snapshot is durable; the log prefix it covers is now
 	// redundant. Truncate the log to its header. A crash before this
-	// point replays checkpoint + full log, skipping sequences at or
+	// point replays page file + full log, skipping sequences at or
 	// below the watermark.
 	if err := r.f.Truncate(int64(len(fileMagicV2))); err != nil {
 		return fmt.Errorf("repository: checkpoint %s: truncate log: %w", r.path, err)
@@ -94,8 +106,8 @@ func (r *Repo) Checkpoint() error {
 	return nil
 }
 
-// loadCheckpoint reads a checkpoint next to logPath. exists is false
-// when there is none; damaged marks a checkpoint whose header or
+// loadCheckpoint reads a legacy checkpoint next to logPath. exists is
+// false when there is none; damaged marks a checkpoint whose header or
 // frames are corrupt (intact frames are still delivered best-effort,
 // but an unreadable header discards the whole snapshot).
 func loadCheckpoint(fs FS, logPath string, emit func(kind byte, payload []byte) error) (watermark uint64, exists, damaged bool, err error) {

@@ -2,6 +2,7 @@ package repository
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -490,29 +491,29 @@ func TestCheckpointCrashBeforeLogTruncate(t *testing.T) {
 	}
 }
 
-// TestCheckpointDamagedFrame: corruption inside a snapshot frame
-// loses that record, keeps the rest, flags the report, and the
-// salvage rewrite removes the damaged snapshot.
+// TestCheckpointDamagedFrame: corruption inside a legacy flat
+// checkpoint's frame loses that record, keeps the rest, flags the
+// report, and the salvage rewrite removes the damaged snapshot. The
+// legacy file is crafted by hand — current Checkpoints write the page
+// file instead, but stores written before the paged design still open
+// through this path.
 func TestCheckpointDamagedFrame(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ckpt.repo")
-	r, err := Open(path)
-	if err != nil {
+	// On-disk state an old version would have left: a checkpoint with
+	// schemas A and B through watermark 2, and a log tail holding C.
+	ckpt := append([]byte{}, ckptMagic...)
+	ckpt = binary.LittleEndian.AppendUint64(ckpt, 2)
+	ckpt = appendFrame(ckpt, 1, kindSchema, encodeSchema(sampleSchema("A")))
+	ckpt = appendFrame(ckpt, 2, kindSchema, encodeSchema(sampleSchema("B")))
+	log := append([]byte{}, fileMagicV2...)
+	log = appendFrame(log, 3, kindSchema, encodeSchema(sampleSchema("C")))
+	if err := os.WriteFile(path, log, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	r.PutSchema(sampleSchema("A"))
-	r.PutSchema(sampleSchema("B"))
-	if err := r.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-	r.PutSchema(sampleSchema("C"))
-	r.Close()
 
 	cp := ckptPath(path)
-	data, err := os.ReadFile(cp)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := ckpt
 	// First frame starts after magic + watermark; hit its payload.
 	data[len(ckptMagic)+8+recHdrSize+2] ^= 0xFF
 	if err := os.WriteFile(cp, data, 0o644); err != nil {

@@ -27,6 +27,14 @@ type StorageMetrics struct {
 	// or upgraded a v1 log.
 	OpensClean     *metrics.Counter
 	OpensRecovered *metrics.Counter
+	// PageHits/PageMisses/PageEvictions count buffer-pool traffic: pin
+	// requests served from a resident frame, pins that read the page
+	// file, and frames evicted by the clock sweep. PagePinned gauges
+	// the pages currently pinned by in-flight reads.
+	PageHits      *metrics.Counter
+	PageMisses    *metrics.Counter
+	PageEvictions *metrics.Counter
+	PagePinned    *metrics.Gauge
 }
 
 // NewStorageMetrics returns a StorageMetrics with every instrument
@@ -38,6 +46,10 @@ func NewStorageMetrics() *StorageMetrics {
 		Checkpoint:     metrics.NewHistogram(nil),
 		OpensClean:     metrics.NewCounter(),
 		OpensRecovered: metrics.NewCounter(),
+		PageHits:       metrics.NewCounter(),
+		PageMisses:     metrics.NewCounter(),
+		PageEvictions:  metrics.NewCounter(),
+		PagePinned:     metrics.NewGauge(),
 	}
 }
 
@@ -59,6 +71,15 @@ func (m *StorageMetrics) Register(reg *metrics.Registry) {
 	reg.CounterFunc("coma_storage_opens_recovered_total",
 		"Repository opens whose log needed recovery (salvage, torn-tail truncation, v1 upgrade).",
 		func() float64 { return float64(m.OpensRecovered.Value()) })
+	reg.AttachCounter("coma_pagecache_hits_total",
+		"Buffer-pool pin requests served from a resident page frame.", m.PageHits)
+	reg.AttachCounter("coma_pagecache_misses_total",
+		"Buffer-pool pin requests that had to read the page file.", m.PageMisses)
+	reg.AttachCounter("coma_pagecache_evictions_total",
+		"Page frames evicted by the buffer pool's clock sweep.", m.PageEvictions)
+	reg.GaugeFunc("coma_pagecache_pinned_pages",
+		"Pages currently pinned by in-flight reads, summed over shards.",
+		func() float64 { return float64(m.PagePinned.Value()) })
 }
 
 // The observe* methods are nil-receiver safe so the storage paths call
@@ -83,6 +104,34 @@ func (m *StorageMetrics) observeCheckpoint(start time.Time) {
 		return
 	}
 	m.Checkpoint.Observe(time.Since(start).Seconds())
+}
+
+func (m *StorageMetrics) observePageHit() {
+	if m == nil {
+		return
+	}
+	m.PageHits.Inc()
+}
+
+func (m *StorageMetrics) observePageMiss() {
+	if m == nil {
+		return
+	}
+	m.PageMisses.Inc()
+}
+
+func (m *StorageMetrics) observePageEviction() {
+	if m == nil {
+		return
+	}
+	m.PageEvictions.Inc()
+}
+
+func (m *StorageMetrics) observePagePinned(d float64) {
+	if m == nil {
+		return
+	}
+	m.PagePinned.Add(d)
 }
 
 // recordOpen counts one Open outcome.

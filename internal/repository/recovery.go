@@ -61,7 +61,7 @@ func parseFrame(buf []byte, off int, prevSeq uint64) (seq uint64, kind byte, pay
 	seq = binary.LittleEndian.Uint64(buf[off+4 : off+12])
 	plen := binary.LittleEndian.Uint32(buf[off+12 : off+16])
 	kind = buf[off+16]
-	if plen > maxPayloadLen || kind < kindSchema || kind > kindCubeDel || seq <= prevSeq {
+	if plen > maxPayloadLen || kind < kindSchema || kind > kindRewrite || seq <= prevSeq {
 		return 0, 0, nil, 0, false
 	}
 	size = recHdrSize + int(plen) + recTailSize
@@ -112,19 +112,28 @@ type RecoveryReport struct {
 	// CheckpointDamaged reports that a checkpoint file existed but was
 	// corrupt; its intact records were salvaged best-effort.
 	CheckpointDamaged bool `json:"checkpointDamaged,omitempty"`
+	// PageFileUsed reports that the snapshot was a slotted page file
+	// and the store serves paged reads through the buffer pool.
+	PageFileUsed bool `json:"pageFileUsed,omitempty"`
+	// PagesDamaged counts snapshot pages whose checksum or structure
+	// failed; their records were lost and the store salvage-rewritten.
+	PagesDamaged int `json:"pagesDamaged,omitempty"`
 }
 
 // Clean reports whether the open found the log fully intact.
 func (rep *RecoveryReport) Clean() bool {
 	return len(rep.SkippedRanges) == 0 && rep.TruncatedBytes == 0 &&
-		!rep.Salvaged && !rep.UpgradedV1 && !rep.CheckpointDamaged
+		!rep.Salvaged && !rep.UpgradedV1 && !rep.CheckpointDamaged &&
+		rep.PagesDamaged == 0
 }
 
 // String renders the report in log-line form.
 func (rep *RecoveryReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d records", rep.Path, rep.Recovered)
-	if rep.CheckpointUsed {
+	if rep.PageFileUsed {
+		b.WriteString(" (from page file)")
+	} else if rep.CheckpointUsed {
 		b.WriteString(" (from checkpoint)")
 	}
 	if rep.Clean() {
@@ -139,6 +148,9 @@ func (rep *RecoveryReport) String() string {
 	}
 	if rep.CheckpointDamaged {
 		b.WriteString(", checkpoint damaged")
+	}
+	if rep.PagesDamaged > 0 {
+		fmt.Fprintf(&b, ", %d damaged pages dropped", rep.PagesDamaged)
 	}
 	if rep.UpgradedV1 {
 		b.WriteString(", upgraded v1 log")

@@ -5,30 +5,35 @@
 // paper backs this with an external DBMS; this package provides an
 // embedded, stdlib-only equivalent exercising the same code paths.
 //
-// Storage layout: a single append-only record log. Every record is
+// Storage layout: an append-only record log (the write-ahead tail)
+// plus, once the store has been checkpointed, a slotted page file
+// holding the snapshotted state. Every log record is
 //
 //	[4B record magic][8B LE sequence][4B LE payload len][1B kind][payload][4B CRC32]
 //
 // where the CRC covers sequence+len+kind+payload. Writes are
 // append-only; updates supersede earlier records for the same key and
-// deletes append tombstones. Open replays the log into in-memory
-// indexes. Recovery is salvage-grade: a torn tail is truncated, and
-// mid-log damage is scanned past to the next valid record boundary
-// (the per-record magic + monotonic sequence make boundaries
-// recognizable), so one corrupt record costs one record. Every open
-// produces a RecoveryReport. A checkpoint file next to the log
-// (Checkpoint) bounds replay to snapshot + log suffix. Compact
-// rewrites the log with only live records. SyncPolicy picks the
-// fsync cadence: per-append, group commit, or none.
+// deletes append tombstones. Open replays the page file into a key
+// directory (keys and page locations only — payloads stay on disk and
+// stream through a capacity-bounded buffer pool on demand) and then
+// the log suffix past the snapshot watermark, so the store serves
+// repositories larger than memory and restart cost is bounded by the
+// tail, not the history. Recovery is salvage-grade: a torn tail is
+// truncated, mid-log damage is scanned past to the next valid record
+// boundary, and a damaged page costs that page's records, not the
+// snapshot. Every open produces a RecoveryReport. Compact rewrites the
+// log with only live records. SyncPolicy picks the fsync cadence:
+// per-append, group commit, or none.
 package repository
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,7 +49,42 @@ const (
 	kindMappingDel
 	kindCube
 	kindCubeDel
+	// kindRewrite marks a log produced by a full rewrite (Compact or
+	// salvage): the log is self-contained, and any snapshot file whose
+	// watermark is below the marker's sequence predates the rewrite and
+	// must be ignored. The marker lets rewrites rename the new log into
+	// place *before* dropping superseded snapshots — a crash between
+	// the two steps leaves a stale snapshot that open detects and
+	// discards, instead of a removed snapshot whose state the tail-only
+	// old log no longer held. The payload is the superseded snapshot
+	// watermark (8B LE), for fsck forensics.
+	kindRewrite
 )
+
+// RecordKind selects one of the repository's keyed record spaces for
+// the raw-payload access paths (Get, Iter).
+type RecordKind int
+
+const (
+	// RecSchemas are schema records keyed by schema name.
+	RecSchemas RecordKind = iota
+	// RecMappings are mapping records keyed by "tag|from|to".
+	RecMappings
+	// RecCubes are similarity-cube records keyed by cube key.
+	RecCubes
+)
+
+// entry is one live record in the key directory. val holds the decoded
+// record when resident; paged entries know their page-file location
+// and decode on demand. Schemas cache their decoded value once read
+// (pointer identity is load-bearing for the analysis caches above);
+// mappings and cubes decode per access while paged, keeping memory
+// bounded by the buffer pool rather than the corpus.
+type entry struct {
+	val   any
+	paged bool
+	loc   recLoc
+}
 
 // Repo is the embedded repository. It is safe for concurrent use.
 type Repo struct {
@@ -65,12 +105,20 @@ type Repo struct {
 	// (the default) makes every observation a no-op.
 	metrics *StorageMetrics
 
+	// pf is the open page file (nil before the first checkpoint);
+	// pool is its buffer pool. Both are swapped wholesale by
+	// Checkpoint under the write lock.
+	pf        *pageFile
+	pool      *bufferPool
+	pageCache int // pool capacity in pages (normalized positive)
+	pageSize  int // page size for checkpoints (normalized)
+
 	syncStop chan struct{} // group-commit syncer lifecycle
 	syncDone chan struct{}
 
-	schemas  map[string]*schema.Schema
-	mappings map[string]*taggedMapping // key: tag|from|to
-	cubes    map[string]*simcube.Cube
+	schemas  map[string]*entry // key: schema name
+	mappings map[string]*entry // key: tag|from|to
+	cubes    map[string]*entry // key: cube key
 }
 
 type taggedMapping struct {
@@ -80,9 +128,11 @@ type taggedMapping struct {
 
 // openConfig collects Open's options.
 type openConfig struct {
-	fs      FS
-	policy  SyncPolicy
-	metrics *StorageMetrics
+	fs        FS
+	policy    SyncPolicy
+	metrics   *StorageMetrics
+	pageCache int
+	pageSize  int
 }
 
 // OpenOption configures Open and OpenSharded.
@@ -104,33 +154,58 @@ func WithFS(fs FS) OpenOption {
 	}
 }
 
+// WithPageCache bounds the buffer pool at n pages per repository
+// (per shard, under OpenSharded). Non-positive selects
+// DefaultPageCachePages.
+func WithPageCache(n int) OpenOption {
+	return func(c *openConfig) { c.pageCache = n }
+}
+
+// WithPageSize sets the page size future checkpoints write, in bytes
+// (default DefaultPageSize). Small sizes force eviction and overflow
+// chains in tests; the size of an existing page file is read from its
+// header, so mixed sizes across restarts are fine.
+func WithPageSize(n int) OpenOption {
+	return func(c *openConfig) { c.pageSize = n }
+}
+
 // Open opens (creating if needed) the repository log at path and
-// replays it — from a checkpoint snapshot plus log suffix when one
+// replays it — from a page-file snapshot plus log suffix when one
 // exists. Damage is recovered, not fatal: a torn final record is
 // truncated, mid-log corruption is scanned past record by record, a
-// version-1 log is upgraded in place. The only hard failure is a file
-// that holds no recognizable repository data at all. The recovery
-// outcome is available as RecoveryReport.
+// damaged page costs its records only, a version-1 log is upgraded in
+// place. The only hard failure is a file that holds no recognizable
+// repository data at all. The recovery outcome is available as
+// RecoveryReport.
 func Open(path string, opts ...OpenOption) (*Repo, error) {
 	cfg := openConfig{fs: OSFS, policy: SyncAlways()}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.pageCache <= 0 {
+		cfg.pageCache = DefaultPageCachePages
+	}
+	if cfg.pageSize <= 0 {
+		cfg.pageSize = DefaultPageSize
 	}
 	f, err := cfg.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("repository: open %s: %w", path, err)
 	}
 	r := &Repo{
-		path:     path,
-		fs:       cfg.fs,
-		f:        f,
-		policy:   cfg.policy,
-		metrics:  cfg.metrics,
-		schemas:  make(map[string]*schema.Schema),
-		mappings: make(map[string]*taggedMapping),
-		cubes:    make(map[string]*simcube.Cube),
+		path:      path,
+		fs:        cfg.fs,
+		f:         f,
+		policy:    cfg.policy,
+		metrics:   cfg.metrics,
+		pageCache: cfg.pageCache,
+		pageSize:  cfg.pageSize,
+		schemas:   make(map[string]*entry),
+		mappings:  make(map[string]*entry),
+		cubes:     make(map[string]*entry),
 	}
 	if err := r.replay(); err != nil {
+		r.pf.Close()
 		r.f.Close()
 		return nil, err
 	}
@@ -187,33 +262,88 @@ func (r *Repo) replayV2(buf []byte, start int, rep *RecoveryReport) error {
 		payload []byte
 	}
 	var recs []rec
+	var markerSeq uint64 // highest rewrite-marker sequence in the log
 	scan, err := scanLog(buf[start:], int64(start), func(seq uint64, kind byte, payload []byte) error {
+		if kind == kindRewrite && seq > markerSeq {
+			markerSeq = seq
+		}
 		recs = append(recs, rec{seq, kind, payload})
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	ckptApply := func(kind byte, payload []byte) error {
-		if err := r.apply(kind, payload); err != nil {
-			return err
-		}
-		rep.Recovered++
-		return nil
-	}
-	watermark, ckptExists, ckptDamaged, err := loadCheckpoint(r.fs, r.path, ckptApply)
-	if err != nil {
-		return fmt.Errorf("repository: checkpoint of %s: %w", r.path, err)
-	}
 	headerDamaged := start == 0
-	if headerDamaged && len(recs) == 0 && !ckptExists {
+
+	// Snapshot, page-file form first. A rewrite marker above the
+	// snapshot's watermark means the log superseded it (the rewrite
+	// crashed before removing the file): ignore and drop it.
+	pf, pfExists, pfDamaged, err := openPageFile(r.fs, r.path)
+	if err != nil {
+		return fmt.Errorf("repository: page file of %s: %w", r.path, err)
+	}
+	if pf != nil && markerSeq > pf.watermark {
+		pf.Close()
+		removeIfExists(r.fs, pagePath(r.path))
+		pf, pfExists, pfDamaged = nil, false, false
+	}
+
+	var watermark uint64
+	var ckptExists bool
+	if pf != nil {
+		r.pf = pf
+		r.pool = newBufferPool(r.pageCache, pf.readPage, r.metrics)
+		damaged, err := pf.scanPages(func(kind byte, key string, loc recLoc) {
+			e := &entry{paged: true, loc: loc}
+			switch kind {
+			case kindSchema:
+				r.schemas[key] = e
+			case kindMapping:
+				r.mappings[key] = e
+			case kindCube:
+				r.cubes[key] = e
+			}
+			rep.Recovered++
+		})
+		if err != nil {
+			return fmt.Errorf("repository: page file of %s: %w", r.path, err)
+		}
+		watermark = pf.watermark
+		rep.CheckpointUsed = true
+		rep.PageFileUsed = true
+		rep.PagesDamaged = len(damaged)
+	} else {
+		if pfDamaged {
+			// Unreadable page-file header: no trustworthy snapshot.
+			// Whatever the log still holds is salvaged below.
+			rep.CheckpointDamaged = true
+		}
+		// Legacy flat checkpoint (pre-page-file stores). A rewrite
+		// marker in the log supersedes it the same way.
+		if markerSeq > 0 {
+			removeIfExists(r.fs, ckptPath(r.path))
+		} else {
+			var ckptDamaged bool
+			watermark, ckptExists, ckptDamaged, err = loadCheckpoint(r.fs, r.path, func(kind byte, payload []byte) error {
+				if err := r.apply(kind, payload); err != nil {
+					return err
+				}
+				rep.Recovered++
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("repository: checkpoint of %s: %w", r.path, err)
+			}
+			rep.CheckpointUsed = ckptExists && !(ckptDamaged && watermark == 0)
+			rep.CheckpointDamaged = rep.CheckpointDamaged || ckptDamaged
+		}
+	}
+	if headerDamaged && len(recs) == 0 && !ckptExists && !pfExists {
 		return fmt.Errorf("repository: %s is not a repository file", r.path)
 	}
-	rep.CheckpointUsed = ckptExists && !(ckptDamaged && watermark == 0)
-	rep.CheckpointDamaged = ckptDamaged
 	for _, rc := range recs {
 		if rc.seq <= watermark {
-			continue // already folded into the checkpoint state
+			continue // already folded into the snapshot state
 		}
 		if err := r.apply(rc.kind, rc.payload); err != nil {
 			return err
@@ -229,10 +359,10 @@ func (r *Repo) replayV2(buf []byte, start int, rep *RecoveryReport) error {
 	if watermark > r.lastSeq {
 		r.lastSeq = watermark
 	}
-	if len(scan.skipped) > 0 || headerDamaged || ckptDamaged {
-		// Mid-log or header damage (or a corrupt snapshot): rewrite
-		// the log from the salvaged state so the file on disk is
-		// whole again.
+	if len(scan.skipped) > 0 || headerDamaged || rep.CheckpointDamaged || rep.PagesDamaged > 0 {
+		// Mid-log or header damage, a corrupt snapshot, or damaged
+		// pages: rewrite the log from the salvaged state so the files
+		// on disk are whole again.
 		rep.Salvaged = true
 		return r.rewriteLocked()
 	}
@@ -272,7 +402,9 @@ func (r *Repo) replayV1(buf []byte, rep *RecoveryReport) error {
 	return r.rewriteLocked()
 }
 
-// apply folds one log record into the in-memory state.
+// apply folds one log record into the in-memory state. Log-replayed
+// records decode eagerly — the tail is bounded by checkpoint cadence,
+// and decoding validates what the log claims.
 func (r *Repo) apply(kind byte, payload []byte) error {
 	switch kind {
 	case kindSchema:
@@ -280,7 +412,7 @@ func (r *Repo) apply(kind byte, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		r.schemas[s.Name] = s
+		r.schemas[s.Name] = &entry{val: s}
 	case kindSchemaDel:
 		d := decoder{buf: payload}
 		name := d.str()
@@ -293,7 +425,7 @@ func (r *Repo) apply(kind byte, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		r.mappings[mappingKey(tag, m.FromSchema, m.ToSchema)] = &taggedMapping{tag: tag, m: m}
+		r.mappings[mappingKey(tag, m.FromSchema, m.ToSchema)] = &entry{val: &taggedMapping{tag: tag, m: m}}
 	case kindMappingDel:
 		d := decoder{buf: payload}
 		key := d.str()
@@ -306,7 +438,7 @@ func (r *Repo) apply(kind byte, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		r.cubes[key] = c
+		r.cubes[key] = &entry{val: c}
 	case kindCubeDel:
 		d := decoder{buf: payload}
 		key := d.str()
@@ -314,10 +446,122 @@ func (r *Repo) apply(kind byte, payload []byte) error {
 			return d.err
 		}
 		delete(r.cubes, key)
+	case kindRewrite:
+		// Rewrite marker: no state, consumed by replayV2's snapshot
+		// staleness check.
 	default:
 		return fmt.Errorf("repository: unknown record kind %d", kind)
 	}
 	return nil
+}
+
+// recordMap maps a RecordKind to its directory and log record kind.
+func (r *Repo) recordMap(k RecordKind) (map[string]*entry, byte) {
+	switch k {
+	case RecSchemas:
+		return r.schemas, kindSchema
+	case RecMappings:
+		return r.mappings, kindMapping
+	case RecCubes:
+		return r.cubes, kindCube
+	}
+	return nil, 0
+}
+
+// payloadLocked returns the encoded payload of one live entry: a
+// resident value re-encodes (deterministically — byte-identical to
+// what was stored), a paged entry streams from the page file through
+// the buffer pool. Callers hold r.mu (read or write).
+func (r *Repo) payloadLocked(kind byte, key string, e *entry) ([]byte, error) {
+	if e.val != nil {
+		switch kind {
+		case kindSchema:
+			return encodeSchema(e.val.(*schema.Schema)), nil
+		case kindMapping:
+			tm := e.val.(*taggedMapping)
+			return encodeMapping(tm.tag, tm.m), nil
+		case kindCube:
+			return encodeCube(key, e.val.(*simcube.Cube)), nil
+		}
+	}
+	if e.paged && r.pf != nil {
+		_, _, payload, err := r.pf.record(r.pool, e.loc)
+		return payload, err
+	}
+	return nil, fmt.Errorf("repository: %s: no payload for %q", r.path, key)
+}
+
+// Get returns the encoded payload stored under key in the given record
+// space — the raw-bytes read path (warm-restart fingerprints, fsck).
+// Paged payloads stream through the buffer pool without decoding.
+func (r *Repo) Get(k RecordKind, key string) ([]byte, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, kind := r.recordMap(k)
+	if m == nil {
+		return nil, false
+	}
+	e, ok := m[key]
+	if !ok {
+		return nil, false
+	}
+	payload, err := r.payloadLocked(kind, key, e)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Iter streams every record of the given space to fn in sorted key
+// order, one payload at a time — the scan primitive that replaces
+// whole-store materialization. The key snapshot is taken up front;
+// records deleted mid-iteration are skipped, payloads are read (and
+// paged entries pinned) one at a time, so a scan never holds more than
+// one record resident.
+func (r *Repo) Iter(k RecordKind, fn func(key string, payload []byte) error) error {
+	r.mu.RLock()
+	m, kind := r.recordMap(k)
+	if m == nil {
+		r.mu.RUnlock()
+		return fmt.Errorf("repository: unknown record space %d", k)
+	}
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	r.mu.RUnlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		r.mu.RLock()
+		e, ok := m[key]
+		var payload []byte
+		var err error
+		if ok {
+			payload, err = r.payloadLocked(kind, key, e)
+		}
+		r.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(key, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PageCacheStats snapshots the buffer pool (zero Resident before the
+// first checkpoint creates a page file).
+func (r *Repo) PageCacheStats() PageCacheStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.pool == nil {
+		return PageCacheStats{Capacity: r.pageCache}
+	}
+	return r.pool.stats()
 }
 
 // appendRecord writes one record as a single buffer and applies the
@@ -366,99 +610,134 @@ func (r *Repo) appendRecord(kind byte, payload []byte) error {
 }
 
 // liveRecord is one record of the current folded state, as rewritten
-// by Compact, Checkpoint and salvage.
+// by Compact, Checkpoint and salvage, with the entry it came from.
 type liveRecord struct {
 	kind    byte
+	key     string
 	payload []byte
+	e       *entry
 }
 
-// liveRecords encodes the live state in deterministic order: schemas,
-// mappings, cubes, each sorted by key.
-func (r *Repo) liveRecords() []liveRecord {
+// liveRecordsLocked materializes the live state in deterministic
+// order: schemas, mappings, cubes, each sorted by key. Paged payloads
+// are read through the buffer pool; a paged record whose payload can
+// no longer be read (a damaged overflow chain) is dropped from the
+// directory — salvage-grade, one unreadable record costs one record.
+func (r *Repo) liveRecordsLocked() []liveRecord {
 	out := make([]liveRecord, 0, len(r.schemas)+len(r.mappings)+len(r.cubes))
-	names := make([]string, 0, len(r.schemas))
-	for n := range r.schemas {
-		names = append(names, n)
+	collect := func(kind byte, m map[string]*entry) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := m[k]
+			payload, err := r.payloadLocked(kind, k, e)
+			if err != nil {
+				delete(m, k)
+				continue
+			}
+			out = append(out, liveRecord{kind: kind, key: k, payload: payload, e: e})
+		}
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		out = append(out, liveRecord{kindSchema, encodeSchema(r.schemas[n])})
-	}
-	keys := make([]string, 0, len(r.mappings))
-	for k := range r.mappings {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		tm := r.mappings[k]
-		out = append(out, liveRecord{kindMapping, encodeMapping(tm.tag, tm.m)})
-	}
-	ckeys := make([]string, 0, len(r.cubes))
-	for k := range r.cubes {
-		ckeys = append(ckeys, k)
-	}
-	sort.Strings(ckeys)
-	for _, k := range ckeys {
-		out = append(out, liveRecord{kindCube, encodeCube(k, r.cubes[k])})
-	}
+	collect(kindSchema, r.schemas)
+	collect(kindMapping, r.mappings)
+	collect(kindCube, r.cubes)
 	return out
 }
 
-// rewriteLocked atomically replaces the log with the live state:
-// write a fresh log to a temp file, fsync it, drop any checkpoint
-// (the new log is self-contained; a stale snapshot surviving beside
-// it could resurrect deleted keys), rename over the log, fsync the
-// directory. Sequences are renumbered continuing after lastSeq, so
-// ordering stays globally monotonic. Callers hold the write lock (or
-// are inside Open).
+// rewriteLocked atomically replaces the log with the live state: a
+// fresh self-contained log, led by a rewrite marker, is written to a
+// temp file, fsynced, renamed over the log, and only then are the
+// snapshot files it supersedes removed. A crash before the rename
+// keeps the old state; a crash after it leaves a stale snapshot that
+// the marker causes open to discard — no ordering loses data.
+// Sequences are renumbered continuing after lastSeq, so ordering stays
+// globally monotonic. Callers hold the write lock (or are inside
+// Open).
 func (r *Repo) rewriteLocked() error {
-	tmpPath := r.path + ".compact"
-	tmp, err := r.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	keepTmp := false
-	defer func() {
-		if !keepTmp {
-			tmp.Close()
-			r.fs.Remove(tmpPath)
-		}
-	}()
+	recs := r.liveRecordsLocked()
 	buf := make([]byte, 0, 1<<16)
 	buf = append(buf, fileMagicV2...)
 	seq := r.lastSeq
-	for _, rec := range r.liveRecords() {
+	seq++
+	var wm [8]byte
+	if r.pf != nil {
+		binary.LittleEndian.PutUint64(wm[:], r.pf.watermark)
+	}
+	buf = appendFrame(buf, seq, kindRewrite, wm[:])
+	for _, rec := range recs {
 		seq++
 		buf = appendFrame(buf, seq, rec.kind, rec.payload)
 	}
-	if _, err := tmp.Write(buf); err != nil {
+	f, err := writeFileAtomic(r.fs, r.path, buf, nil, true)
+	if err != nil {
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if err := r.fs.Remove(ckptPath(r.path)); err != nil && !os.IsNotExist(err) {
-		return err
-	}
-	dir := filepath.Dir(r.path)
-	if err := r.fs.SyncDir(dir); err != nil {
-		return err
-	}
-	if err := r.fs.Rename(tmpPath, r.path); err != nil {
-		return err
-	}
-	if err := r.fs.SyncDir(dir); err != nil {
-		return err
-	}
-	keepTmp = true
 	if r.f != nil {
 		r.f.Close()
 	}
-	r.f = tmp // the renamed file: same handle, now at r.path
+	r.f = f // the renamed file: same handle, now at r.path
 	r.size = int64(len(buf))
 	r.lastSeq = seq
 	r.dirty = false
+	// The log is self-contained and durable; the snapshot files are
+	// superseded. Removal failures are tolerable — the marker makes
+	// open ignore whatever survives.
+	if r.pf != nil {
+		r.pf.Close()
+		r.pf = nil
+		r.pool = nil
+	}
+	removeIfExists(r.fs, pagePath(r.path))
+	removeIfExists(r.fs, ckptPath(r.path))
+	// Re-materialize: every entry is log-resident now.
+	for _, rec := range recs {
+		e := rec.e
+		if e.val == nil {
+			var derr error
+			switch rec.kind {
+			case kindSchema:
+				e.val, derr = decodeSchema(rec.payload)
+			case kindMapping:
+				var tag string
+				var m *simcube.Mapping
+				tag, m, derr = decodeMapping(rec.payload)
+				if derr == nil {
+					e.val = &taggedMapping{tag: tag, m: m}
+				}
+			case kindCube:
+				var c *simcube.Cube
+				_, c, derr = decodeCube(rec.payload)
+				if derr == nil {
+					e.val = c
+				}
+			}
+			if derr != nil {
+				if m, _ := r.recordMapForKind(rec.kind); m != nil {
+					delete(m, rec.key)
+				}
+				continue
+			}
+		}
+		e.paged = false
+		e.loc = recLoc{}
+	}
 	return nil
+}
+
+// recordMapForKind maps a log record kind back to its directory.
+func (r *Repo) recordMapForKind(kind byte) (map[string]*entry, RecordKind) {
+	switch kind {
+	case kindSchema:
+		return r.schemas, RecSchemas
+	case kindMapping:
+		return r.mappings, RecMappings
+	case kindCube:
+		return r.cubes, RecCubes
+	}
+	return nil, 0
 }
 
 // startSyncer launches the group-commit goroutine for SyncInterval
@@ -503,6 +782,10 @@ func (r *Repo) Sync() error {
 	return nil
 }
 
+// Path returns the log file path the repository was opened at — the
+// anchor for sidecar files (warm-restart snapshots) kept next to it.
+func (r *Repo) Path() string { return r.path }
+
 // RecoveryReport returns what Open found while replaying the log. The
 // report is immutable after Open.
 func (r *Repo) RecoveryReport() *RecoveryReport { return r.report }
@@ -510,7 +793,7 @@ func (r *Repo) RecoveryReport() *RecoveryReport { return r.report }
 func mappingKey(tag, from, to string) string { return tag + "|" + from + "|" + to }
 
 // Close stops the group-commit syncer, flushes unfsynced appends, and
-// releases the underlying file.
+// releases the underlying files.
 func (r *Repo) Close() error {
 	r.mu.Lock()
 	stop, done := r.syncStop, r.syncDone
@@ -534,6 +817,11 @@ func (r *Repo) Close() error {
 		err = cerr
 	}
 	r.f = nil
+	if cerr := r.pf.Close(); err == nil {
+		err = cerr
+	}
+	r.pf = nil
+	r.pool = nil
 	return err
 }
 
@@ -541,6 +829,30 @@ func (r *Repo) Close() error {
 func (r *Repo) PutSchema(s *schema.Schema) error {
 	_, err := r.SwapSchema(s)
 	return err
+}
+
+// getSchemaLocked returns the decoded schema for name, decoding and
+// caching a paged entry's value (the decoded instance must be stable:
+// pointer identity keys the analysis caches above). Callers hold the
+// write lock.
+func (r *Repo) getSchemaLocked(name string) (*schema.Schema, error) {
+	e, ok := r.schemas[name]
+	if !ok {
+		return nil, nil
+	}
+	if s, ok := e.val.(*schema.Schema); ok {
+		return s, nil
+	}
+	payload, err := r.payloadLocked(kindSchema, name, e)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeSchema(payload)
+	if err != nil {
+		return nil, err
+	}
+	e.val = s
+	return s, nil
 }
 
 // SwapSchema stores a schema and returns the instance it replaced (nil
@@ -554,20 +866,39 @@ func (r *Repo) SwapSchema(s *schema.Schema) (prev *schema.Schema, err error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Decode the outgoing instance before overwriting so replacement
+	// is reported even when the old record was paged and never read.
+	// An unreadable old record does not block the write.
+	prev, _ = r.getSchemaLocked(s.Name)
 	if err := r.appendRecord(kindSchema, encodeSchema(s)); err != nil {
 		return nil, err
 	}
-	prev = r.schemas[s.Name]
-	r.schemas[s.Name] = s
+	r.schemas[s.Name] = &entry{val: s}
 	return prev, nil
 }
 
-// GetSchema returns the stored schema with the given name.
+// GetSchema returns the stored schema with the given name. A paged
+// schema is decoded on first access and stays resident afterwards —
+// the decoded instance is identity-stable across calls.
 func (r *Repo) GetSchema(name string) (*schema.Schema, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s, ok := r.schemas[name]
-	return s, ok
+	e, ok := r.schemas[name]
+	if !ok {
+		r.mu.RUnlock()
+		return nil, false
+	}
+	if s, ok := e.val.(*schema.Schema); ok {
+		r.mu.RUnlock()
+		return s, true
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, err := r.getSchemaLocked(name)
+	if err != nil || s == nil {
+		return nil, false
+	}
+	return s, true
 }
 
 // DeleteSchema removes a schema. Deleting a missing schema is a no-op.
@@ -578,13 +909,17 @@ func (r *Repo) DeleteSchema(name string) error {
 
 // TakeSchema removes a schema and returns the removed instance (nil
 // when the name was absent), atomically with respect to other schema
-// mutations.
+// mutations. A paged record is decoded before deletion so existence is
+// always reported by a non-nil prev.
 func (r *Repo) TakeSchema(name string) (prev *schema.Schema, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	prev, ok := r.schemas[name]
-	if !ok {
+	if _, ok := r.schemas[name]; !ok {
 		return nil, nil
+	}
+	prev, err = r.getSchemaLocked(name)
+	if err != nil {
+		return nil, err
 	}
 	var e encoder
 	e.str(name)
@@ -595,7 +930,8 @@ func (r *Repo) TakeSchema(name string) (prev *schema.Schema, err error) {
 	return prev, nil
 }
 
-// SchemaNames lists stored schema names, sorted.
+// SchemaNames lists stored schema names, sorted — straight off the key
+// directory, no payloads touched.
 func (r *Repo) SchemaNames() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -608,16 +944,49 @@ func (r *Repo) SchemaNames() []string {
 }
 
 // Schemas returns the stored schemas, sorted by name — the candidate
-// set of a batch match against the whole repository.
+// set of a batch match against the whole repository. Paged schemas
+// stream through the buffer pool one at a time and stay resident once
+// decoded.
 func (r *Repo) Schemas() []*schema.Schema {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*schema.Schema, 0, len(r.schemas))
-	for _, s := range r.schemas {
-		out = append(out, s)
+	names := r.SchemaNames()
+	out := make([]*schema.Schema, 0, len(names))
+	for _, n := range names {
+		if s, ok := r.GetSchema(n); ok {
+			out = append(out, s)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// mappingAt decodes the mapping entry under key (per access while
+// paged — mappings are not pinned resident). Callers hold r.mu.
+func (r *Repo) mappingAt(key string, e *entry) (*taggedMapping, error) {
+	if tm, ok := e.val.(*taggedMapping); ok {
+		return tm, nil
+	}
+	payload, err := r.payloadLocked(kindMapping, key, e)
+	if err != nil {
+		return nil, err
+	}
+	tag, m, err := decodeMapping(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &taggedMapping{tag: tag, m: m}, nil
+}
+
+// cubeAt decodes the cube entry under key (per access while paged).
+// Callers hold r.mu.
+func (r *Repo) cubeAt(key string, e *entry) (*simcube.Cube, error) {
+	if c, ok := e.val.(*simcube.Cube); ok {
+		return c, nil
+	}
+	payload, err := r.payloadLocked(kindCube, key, e)
+	if err != nil {
+		return nil, err
+	}
+	_, c, err := decodeCube(payload)
+	return c, err
 }
 
 // PutMapping stores a match result under a tag (e.g. "manual" for
@@ -629,7 +998,7 @@ func (r *Repo) PutMapping(tag string, m *simcube.Mapping) error {
 	if err := r.appendRecord(kindMapping, encodeMapping(tag, m)); err != nil {
 		return err
 	}
-	r.mappings[mappingKey(tag, m.FromSchema, m.ToSchema)] = &taggedMapping{tag: tag, m: m}
+	r.mappings[mappingKey(tag, m.FromSchema, m.ToSchema)] = &entry{val: &taggedMapping{tag: tag, m: m}}
 	return nil
 }
 
@@ -638,11 +1007,17 @@ func (r *Repo) PutMapping(tag string, m *simcube.Mapping) error {
 func (r *Repo) GetMapping(tag, from, to string) (*simcube.Mapping, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if tm, ok := r.mappings[mappingKey(tag, from, to)]; ok {
-		return tm.m, true
+	key := mappingKey(tag, from, to)
+	if e, ok := r.mappings[key]; ok {
+		if tm, err := r.mappingAt(key, e); err == nil {
+			return tm.m, true
+		}
 	}
-	if tm, ok := r.mappings[mappingKey(tag, to, from)]; ok {
-		return tm.m.Invert(), true
+	key = mappingKey(tag, to, from)
+	if e, ok := r.mappings[key]; ok {
+		if tm, err := r.mappingAt(key, e); err == nil {
+			return tm.m.Invert(), true
+		}
 	}
 	return nil, false
 }
@@ -676,7 +1051,7 @@ func (r *Repo) PutCube(key string, c *simcube.Cube) error {
 	if err := r.appendRecord(kindCube, encodeCube(key, c)); err != nil {
 		return err
 	}
-	r.cubes[key] = c
+	r.cubes[key] = &entry{val: c}
 	return nil
 }
 
@@ -684,8 +1059,15 @@ func (r *Repo) PutCube(key string, c *simcube.Cube) error {
 func (r *Repo) GetCube(key string) (*simcube.Cube, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	c, ok := r.cubes[key]
-	return c, ok
+	e, ok := r.cubes[key]
+	if !ok {
+		return nil, false
+	}
+	c, err := r.cubeAt(key, e)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
 }
 
 // DeleteCube removes the cube stored under key.
@@ -704,29 +1086,36 @@ func (r *Repo) DeleteCube(key string) error {
 	return nil
 }
 
-// Stats summarizes repository contents and log size.
+// Stats summarizes repository contents and on-disk footprint.
 type Stats struct {
 	Schemas  int
 	Mappings int
 	Cubes    int
 	LogBytes int64
+	// PageBytes is the page-file size (0 before the first checkpoint).
+	PageBytes int64
 }
 
 // Stats returns current repository statistics.
 func (r *Repo) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Schemas:  len(r.schemas),
 		Mappings: len(r.mappings),
 		Cubes:    len(r.cubes),
 		LogBytes: r.size,
 	}
+	if r.pf != nil {
+		st.PageBytes = pageFileHdrSize + int64(r.pf.pageCount)*int64(r.pf.pageSize)
+	}
+	return st
 }
 
 // Compact rewrites the log keeping only live records, atomically and
-// durably replacing the old file (temp file fsynced before the
-// rename, parent directory fsynced after).
+// durably replacing the old file. Any snapshot files are folded in and
+// dropped; the store returns to pure-log form until the next
+// Checkpoint.
 func (r *Repo) Compact() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -739,10 +1128,26 @@ func (r *Repo) Compact() error {
 	return r.rewriteLocked()
 }
 
-// TagStore adapts one tag's mappings to the reuse.Store interface.
+// TagStore adapts one tag's mappings to the reuse.Store interface. It
+// reads the key directory ("tag|from|to") wherever the keys alone
+// suffice, touching payloads only for mappings it returns.
 type TagStore struct {
 	repo *Repo
 	tag  string
+}
+
+// tagKeyParts splits a mapping key into (tag, from, to); ok is false
+// when the key does not carry the store's tag.
+func (t *TagStore) tagKeyParts(key string) (from, to string, ok bool) {
+	rest, found := strings.CutPrefix(key, t.tag+"|")
+	if !found {
+		return "", "", false
+	}
+	from, to, found = strings.Cut(rest, "|")
+	if !found {
+		return "", "", false
+	}
+	return from, to, true
 }
 
 // SchemaNames implements reuse.Store.
@@ -750,12 +1155,11 @@ func (t *TagStore) SchemaNames() []string {
 	t.repo.mu.RLock()
 	defer t.repo.mu.RUnlock()
 	seen := make(map[string]bool)
-	for _, tm := range t.repo.mappings {
-		if tm.tag != t.tag {
-			continue
+	for k := range t.repo.mappings {
+		if from, to, ok := t.tagKeyParts(k); ok {
+			seen[from] = true
+			seen[to] = true
 		}
-		seen[tm.m.FromSchema] = true
-		seen[tm.m.ToSchema] = true
 	}
 	out := make([]string, 0, len(seen))
 	for n := range seen {
@@ -765,39 +1169,46 @@ func (t *TagStore) SchemaNames() []string {
 	return out
 }
 
-// MappingsBetween implements reuse.Store.
+// MappingsBetween implements reuse.Store: the stored orientation
+// first, then the inverse — both direct key lookups.
 func (t *TagStore) MappingsBetween(from, to string) []*simcube.Mapping {
 	t.repo.mu.RLock()
 	defer t.repo.mu.RUnlock()
 	var out []*simcube.Mapping
-	for _, tm := range t.repo.mappings {
-		if tm.tag != t.tag {
-			continue
-		}
-		switch {
-		case tm.m.FromSchema == from && tm.m.ToSchema == to:
+	key := mappingKey(t.tag, from, to)
+	if e, ok := t.repo.mappings[key]; ok {
+		if tm, err := t.repo.mappingAt(key, e); err == nil {
 			out = append(out, tm.m)
-		case tm.m.FromSchema == to && tm.m.ToSchema == from:
-			out = append(out, tm.m.Invert())
+		}
+	}
+	if from != to {
+		key = mappingKey(t.tag, to, from)
+		if e, ok := t.repo.mappings[key]; ok {
+			if tm, err := t.repo.mappingAt(key, e); err == nil {
+				out = append(out, tm.m.Invert())
+			}
 		}
 	}
 	return out
 }
 
-// AllMappings implements reuse.Store.
+// AllMappings implements reuse.Store, decoding only this tag's
+// payloads in sorted key order.
 func (t *TagStore) AllMappings() []*simcube.Mapping {
 	t.repo.mu.RLock()
 	defer t.repo.mu.RUnlock()
-	var out []*simcube.Mapping
 	keys := make([]string, 0, len(t.repo.mappings))
-	for k, tm := range t.repo.mappings {
-		if tm.tag == t.tag {
+	for k := range t.repo.mappings {
+		if _, _, ok := t.tagKeyParts(k); ok {
 			keys = append(keys, k)
 		}
 	}
 	sort.Strings(keys)
+	var out []*simcube.Mapping
 	for _, k := range keys {
-		out = append(out, t.repo.mappings[k].m)
+		if tm, err := t.repo.mappingAt(k, t.repo.mappings[k]); err == nil {
+			out = append(out, tm.m)
+		}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/schema"
 	"repro/internal/simcube"
@@ -35,6 +36,16 @@ type Store interface {
 	PutCube(key string, c *simcube.Cube) error
 	GetCube(key string) (*simcube.Cube, bool)
 	DeleteCube(key string) error
+
+	// Get and Iter are the raw-payload paths: encoded record bytes
+	// without decoding, streamed through the buffer pool when paged.
+	// Iter visits keys sorted per shard (globally sorted on a
+	// single-log store).
+	Get(k RecordKind, key string) ([]byte, bool)
+	Iter(k RecordKind, fn func(key string, payload []byte) error) error
+	// PageCacheStats snapshots the buffer pool(s) — summed across
+	// shards on a sharded store.
+	PageCacheStats() PageCacheStats
 
 	Stats() Stats
 	Compact() error
@@ -105,6 +116,10 @@ func OpenSharded(dir string, n int, opts ...OpenOption) (*Sharded, error) {
 
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Dir returns the repository directory the shard logs live in — the
+// anchor for sidecar files (warm-restart snapshots) kept next to them.
+func (s *Sharded) Dir() string { return s.dir }
 
 // ShardFor returns the index of the shard holding the given schema
 // name (FNV-1a modulo shard count).
@@ -212,6 +227,45 @@ func (s *Sharded) GetCube(key string) (*simcube.Cube, bool) { return s.cubeShard
 // DeleteCube removes the cube stored under key.
 func (s *Sharded) DeleteCube(key string) error { return s.cubeShard(key).DeleteCube(key) }
 
+// recordShard routes a record-space key to its shard: schemas by
+// name, mappings by the FromSchema inside the "tag|from|to" key,
+// cubes by the full key — the same routing the typed paths use.
+func (s *Sharded) recordShard(k RecordKind, key string) *Repo {
+	if k == RecMappings {
+		parts := strings.SplitN(key, "|", 3)
+		if len(parts) == 3 {
+			return s.schemaShard(parts[1])
+		}
+	}
+	return s.schemaShard(key)
+}
+
+// Get returns the encoded payload stored under key, routed to the
+// key's shard.
+func (s *Sharded) Get(k RecordKind, key string) ([]byte, bool) {
+	return s.recordShard(k, key).Get(k, key)
+}
+
+// Iter streams every record of the given space across shards, keys
+// sorted within each shard.
+func (s *Sharded) Iter(k RecordKind, fn func(key string, payload []byte) error) error {
+	for i, r := range s.shards {
+		if err := r.Iter(k, fn); err != nil {
+			return fmt.Errorf("repository: iterate shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PageCacheStats sums the per-shard buffer-pool snapshots.
+func (s *Sharded) PageCacheStats() PageCacheStats {
+	var st PageCacheStats
+	for _, r := range s.shards {
+		st = st.Add(r.PageCacheStats())
+	}
+	return st
+}
+
 // Stats sums the per-shard statistics.
 func (s *Sharded) Stats() Stats {
 	var st Stats
@@ -221,6 +275,7 @@ func (s *Sharded) Stats() Stats {
 		st.Mappings += rs.Mappings
 		st.Cubes += rs.Cubes
 		st.LogBytes += rs.LogBytes
+		st.PageBytes += rs.PageBytes
 	}
 	return st
 }

@@ -14,19 +14,22 @@ import (
 type VerifyReport struct {
 	RecoveryReport
 	// Records counts valid frames in the log itself (including any a
-	// checkpoint supersedes); CheckpointRecords counts frames in the
-	// snapshot.
+	// snapshot supersedes); CheckpointRecords counts frames in a legacy
+	// flat checkpoint; PageRecords counts records in the page file.
 	Records           int `json:"records"`
 	CheckpointRecords int `json:"checkpointRecords,omitempty"`
+	PageRecords       int `json:"pageRecords,omitempty"`
 	// DecodeErrors counts CRC-valid records whose payload fails to
 	// decode (an encoder bug or version skew, not media damage).
 	DecodeErrors int `json:"decodeErrors,omitempty"`
 	// SeqGaps counts adjacent valid records whose sequences are not
-	// consecutive — records vanished without visible damage.
+	// consecutive — records vanished without visible damage. A log
+	// tail that does not continue the page-file watermark counts as a
+	// gap.
 	SeqGaps int `json:"seqGaps,omitempty"`
 }
 
-// OK reports a fully healthy log: nothing damaged, nothing skipped,
+// OK reports a fully healthy store: nothing damaged, nothing skipped,
 // every payload decodable, sequences contiguous, current format.
 func (v *VerifyReport) OK() bool {
 	return v.Clean() && v.DecodeErrors == 0 && v.SeqGaps == 0
@@ -35,6 +38,9 @@ func (v *VerifyReport) OK() bool {
 // String renders the verify result in fsck-output form.
 func (v *VerifyReport) String() string {
 	s := v.RecoveryReport.String()
+	if v.PageRecords > 0 {
+		s += fmt.Sprintf(", %d paged records", v.PageRecords)
+	}
 	if v.DecodeErrors > 0 {
 		s += fmt.Sprintf(", %d undecodable payloads", v.DecodeErrors)
 	}
@@ -60,15 +66,71 @@ func decodeCheck(kind byte, payload []byte) error {
 		d := decoder{buf: payload}
 		d.str()
 		return d.err
+	case kindRewrite:
+		if len(payload) != 8 {
+			return fmt.Errorf("repository: rewrite marker payload is %d bytes, want 8", len(payload))
+		}
+		return nil
 	default:
 		return fmt.Errorf("repository: unknown record kind %d", kind)
 	}
 }
 
-// Verify checks the log file at path without modifying it: frame CRCs,
-// sequence continuity, payload decodability, and the checkpoint
-// snapshot if one exists. It errors only when the file cannot be read
-// or holds no recognizable repository data; damage is reported, not
+// verifyPageFile checks the page file next to path, if any: header,
+// per-page checksums, and every record payload (overflow chains
+// followed). markerSeq is the log's highest rewrite-marker sequence —
+// a marker above the snapshot watermark means the log superseded the
+// file and an open would ignore it, so verify does too.
+func verifyPageFile(path string, markerSeq uint64, v *VerifyReport) (watermark uint64, exists, usable bool, err error) {
+	pf, exists, damaged, err := openPageFile(OSFS, path)
+	if err != nil {
+		return 0, false, false, err
+	}
+	if !exists {
+		return 0, false, false, nil
+	}
+	if damaged {
+		v.CheckpointDamaged = true
+		return 0, true, false, nil
+	}
+	defer pf.Close()
+	if markerSeq > pf.watermark {
+		// Stale snapshot a crashed rewrite left behind; open discards
+		// it. Not an integrity failure of the current state.
+		return 0, false, false, nil
+	}
+	v.PageFileUsed = true
+	v.CheckpointUsed = true
+	pool := newBufferPool(64, pf.readPage, nil)
+	var locs []recLoc
+	pageDamaged, err := pf.scanPages(func(kind byte, key string, loc recLoc) {
+		locs = append(locs, loc)
+	})
+	if err != nil {
+		return pf.watermark, true, true, err
+	}
+	v.PagesDamaged = len(pageDamaged)
+	for _, loc := range locs {
+		kind, _, payload, err := pf.record(pool, loc)
+		if err != nil {
+			// An unreadable payload behind a valid directory entry is a
+			// damaged overflow chain.
+			v.PagesDamaged++
+			continue
+		}
+		v.PageRecords++
+		if derr := decodeCheck(kind, payload); derr != nil {
+			v.DecodeErrors++
+		}
+	}
+	return pf.watermark, true, true, nil
+}
+
+// Verify checks the repository files at path without modifying them:
+// log frame CRCs, sequence continuity, payload decodability, the page
+// file's per-page checksums and records, and its watermark continuity
+// with the log tail. It errors only when the file cannot be read or
+// holds no recognizable repository data; damage is reported, not
 // fatal.
 func Verify(path string) (*VerifyReport, error) {
 	f, err := OSFS.OpenFile(path, os.O_RDONLY, 0)
@@ -88,7 +150,7 @@ func Verify(path string) (*VerifyReport, error) {
 	case len(buf) == 0:
 		return v, nil
 	case bytes.HasPrefix(buf, fileMagicV2):
-		// An exactly-header file still falls through: a checkpoint may
+		// An exactly-header file still falls through: a snapshot may
 		// hold the whole store (the post-checkpoint steady state).
 	case bytes.HasPrefix(buf, fileMagicV1):
 		return verifyV1(buf, v)
@@ -99,39 +161,69 @@ func Verify(path string) (*VerifyReport, error) {
 	default:
 		start = 0 // damaged header: scan the whole file
 	}
-	// Checkpoint first, mirroring what replay would trust.
-	watermark, ckptExists, ckptDamaged, err := loadCheckpoint(OSFS, path, func(kind byte, payload []byte) error {
-		v.CheckpointRecords++
-		if derr := decodeCheck(kind, payload); derr != nil {
-			v.DecodeErrors++
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+	// First log pass: collect frames, find rewrite markers (they
+	// decide which snapshot an open would trust).
+	type frame struct {
+		seq     uint64
+		kind    byte
+		payload []byte
 	}
-	v.CheckpointUsed = ckptExists && !(ckptDamaged && watermark == 0)
-	v.CheckpointDamaged = ckptDamaged
-	v.Recovered = v.CheckpointRecords
-	var prevSeq uint64
+	var frames []frame
+	var markerSeq uint64
 	scan, err := scanLog(buf[start:], int64(start), func(seq uint64, kind byte, payload []byte) error {
-		v.Records++
-		if prevSeq != 0 && seq != prevSeq+1 {
-			v.SeqGaps++
+		if kind == kindRewrite && seq > markerSeq {
+			markerSeq = seq
 		}
-		prevSeq = seq
-		if derr := decodeCheck(kind, payload); derr != nil {
-			v.DecodeErrors++
-		}
-		if seq > watermark {
-			v.Recovered++
-		}
+		frames = append(frames, frame{seq, kind, payload})
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if start == 0 && v.Records == 0 && !ckptExists {
+	// Snapshot: page file first, legacy flat checkpoint as fallback —
+	// mirroring what replay would trust.
+	watermark, pfExists, pfUsable, err := verifyPageFile(path, markerSeq, v)
+	if err != nil {
+		return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+	}
+	if !pfUsable && markerSeq == 0 {
+		var ckptExists, ckptDamaged bool
+		watermark, ckptExists, ckptDamaged, err = loadCheckpoint(OSFS, path, func(kind byte, payload []byte) error {
+			v.CheckpointRecords++
+			if derr := decodeCheck(kind, payload); derr != nil {
+				v.DecodeErrors++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("repository: verify %s: %w", path, err)
+		}
+		v.CheckpointUsed = v.CheckpointUsed || (ckptExists && !(ckptDamaged && watermark == 0))
+		v.CheckpointDamaged = v.CheckpointDamaged || ckptDamaged
+		pfExists = pfExists || ckptExists
+	}
+	v.Recovered = v.CheckpointRecords + v.PageRecords
+	var prevSeq uint64
+	for _, fr := range frames {
+		v.Records++
+		if prevSeq != 0 && fr.seq != prevSeq+1 {
+			v.SeqGaps++
+		}
+		prevSeq = fr.seq
+		if derr := decodeCheck(fr.kind, fr.payload); derr != nil {
+			v.DecodeErrors++
+		}
+		if fr.seq > watermark {
+			v.Recovered++
+		}
+	}
+	// Watermark continuity: a healthy tail continues the snapshot at
+	// watermark+1 (a rewritten log restarts above it instead and is
+	// exempt — its first frame is the marker).
+	if pfUsable && len(frames) > 0 && markerSeq == 0 && frames[0].seq > watermark+1 {
+		v.SeqGaps++
+	}
+	if start == 0 && v.Records == 0 && !pfExists {
 		return nil, fmt.Errorf("repository: %s is not a repository file", path)
 	}
 	v.SkippedRanges = scan.skipped
@@ -199,8 +291,10 @@ func VerifyStore(path string) ([]*VerifyReport, error) {
 
 // RepairStore opens (salvaging as needed) and closes every log under
 // path — a single file or a sharded directory — returning what each
-// open recovered. Damaged logs come back rewritten and whole; intact
-// logs are untouched.
+// open recovered. Damaged logs and page files come back rewritten and
+// whole: records on damaged pages are dropped and the surviving state
+// folded into a fresh self-contained log, exactly as a serving open
+// would recover.
 func RepairStore(path string) ([]*RecoveryReport, error) {
 	info, err := os.Stat(path)
 	if err != nil {

@@ -92,6 +92,12 @@ type Backend interface {
 	// Recovery reports each shard's startup log-replay outcome for
 	// /readyz; nil when the backend has no durable store.
 	Recovery() []RecoveryStatus
+	// PageCache reports the repository page buffer pool's state for
+	// /readyz; ok is false when the backend has no paged store.
+	PageCache() (status PageCacheStatus, ok bool)
+	// WarmStart reports the startup warm-restore outcome for /readyz;
+	// ok is false when the backend never restores warm state.
+	WarmStart() (status WarmStartStatus, ok bool)
 }
 
 // Config assembles a Server.
@@ -335,6 +341,12 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		ready.CandidateIndex = &st
 	}
 	ready.Recovery = s.backend.Recovery()
+	if pc, ok := s.backend.PageCache(); ok {
+		ready.PageCache = &pc
+	}
+	if ws, ok := s.backend.WarmStart(); ok {
+		ready.WarmStart = &ws
+	}
 	if s.draining.Load() {
 		ready.Status = "draining"
 		ready.Draining = true

@@ -60,6 +60,21 @@ func (b *testBackend) IndexStats() (server.IndexReadiness, bool) {
 
 func (b *testBackend) Recovery() []server.RecoveryStatus { return nil }
 
+// PageCache surfaces the backing Repo's buffer pool so /readyz tests
+// can see paged-store state through the second implementation too.
+func (b *testBackend) PageCache() (server.PageCacheStatus, bool) {
+	st := b.Repo.PageCacheStats()
+	return server.PageCacheStatus{
+		Capacity: st.Capacity, Resident: st.Resident, Pinned: st.Pinned,
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+	}, true
+}
+
+// WarmStart reports no warm restore: the test backend opens cold.
+func (b *testBackend) WarmStart() (server.WarmStartStatus, bool) {
+	return server.WarmStartStatus{}, false
+}
+
 func (b *testBackend) MatchIncoming(ctx context.Context, incoming *schema.Schema, topK int, allowPartial, exhaustive bool) ([]server.Match, []server.ShardFailure, error) {
 	stored := b.Schemas()
 	candidates := stored[:0:0]

@@ -133,6 +133,46 @@ type Readiness struct {
 	// Recovery reports what each shard's log replay found at startup;
 	// absent when the backend has no durable store.
 	Recovery []RecoveryStatus `json:"recovery,omitempty"`
+	// PageCache reports the repository buffer pool's state (summed
+	// across shards); absent when the backend has no paged store.
+	PageCache *PageCacheStatus `json:"pageCache,omitempty"`
+	// WarmStart reports the startup warm-restore outcome; absent when
+	// the backend never restores warm state.
+	WarmStart *WarmStartStatus `json:"warmStart,omitempty"`
+}
+
+// PageCacheStatus is the page buffer pool block of /readyz: capacity
+// and residency plus cumulative traffic, summed across shards.
+type PageCacheStatus struct {
+	// Capacity is the pool bound in pages (summed over shard pools).
+	Capacity int `json:"capacity"`
+	// Resident is the number of pages currently cached.
+	Resident int `json:"resident"`
+	// Pinned is the number of pages currently pinned by readers.
+	Pinned int `json:"pinned"`
+	// Hits counts page requests served from the pool.
+	Hits uint64 `json:"hits"`
+	// Misses counts page requests that read from disk.
+	Misses uint64 `json:"misses"`
+	// Evictions counts pages evicted to admit others.
+	Evictions uint64 `json:"evictions"`
+}
+
+// WarmStartStatus is the warm-restart block of /readyz: whether the
+// last open found and used a warm sidecar, and how much state it
+// seeded.
+type WarmStartStatus struct {
+	// Attempted reports a sidecar file was present at open.
+	Attempted bool `json:"attempted"`
+	// Used reports the sidecar passed validation (CRC and
+	// auxiliary-source fingerprints) and restoring ran.
+	Used bool `json:"used"`
+	// RestoredSchemas counts schema analyses seeded warm.
+	RestoredSchemas int `json:"restoredSchemas"`
+	// DiscardedSchemas counts sidecar entries rejected individually.
+	DiscardedSchemas int `json:"discardedSchemas"`
+	// Columns counts persistent similarity columns seeded.
+	Columns int `json:"columns"`
 }
 
 // RecoveryStatus is one shard's startup-recovery block of /readyz.

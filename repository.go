@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,10 @@ type Repository struct {
 	// storage carries the store's durability instruments (fsync,
 	// group-commit, checkpoint timings and recovery outcomes).
 	storage *repository.StorageMetrics
+	// warmOnce gates the one startup warm restore; warm holds its
+	// outcome (see RestoreWarm / WarmStart).
+	warmOnce sync.Once
+	warm     atomic.Pointer[WarmStats]
 }
 
 // RepositoryStats summarizes repository contents and log sizes.
@@ -78,6 +83,24 @@ func WithSyncPolicy(p SyncPolicy) Option {
 	}
 }
 
+// WithPageCache bounds the repository's page buffer pool at n pages
+// (per shard for a sharded store). Checkpointed records are served
+// from fixed-size pages through this pool, so n × page size is the
+// resident memory ceiling for cold record access; a store larger than
+// the pool still serves every record correctly, evicting pages
+// clock-wise. 0 or less selects the storage engine's default.
+func WithPageCache(n int) Option {
+	return func(o *Options) error {
+		o.pageCache = n
+		return nil
+	}
+}
+
+// PageCacheStats is a snapshot of a repository's page buffer pool
+// (summed across shards for a sharded store): capacity and residency
+// plus cumulative hit/miss/eviction counters.
+type PageCacheStats = repository.PageCacheStats
+
 // Mapping tags conventionally used by the evaluation.
 const (
 	// TagManual marks manually confirmed match results.
@@ -95,9 +118,14 @@ func OpenRepository(path string, opts ...Option) (*Repository, error) {
 		return nil, err
 	}
 	storage := repository.NewStorageMetrics()
-	r, err := repository.Open(path,
+	ropts := []repository.OpenOption{
 		repository.WithSyncPolicy(o.syncPolicy),
-		repository.WithMetrics(storage))
+		repository.WithMetrics(storage),
+	}
+	if o.pageCache > 0 {
+		ropts = append(ropts, repository.WithPageCache(o.pageCache))
+	}
+	r, err := repository.Open(path, ropts...)
 	if err != nil {
 		return nil, fmt.Errorf("coma: open repository %s: %w", path, err)
 	}

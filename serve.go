@@ -129,6 +129,9 @@ func (r *Repository) Handler(e *Engine, opts ...ServeOption) *server.Server {
 	for _, s := range r.Schemas() {
 		e.Pin(s)
 	}
+	// Seed the engine from the warm sidecar, if one survives
+	// validation; a no-op when absent or when RestoreWarm already ran.
+	r.RestoreWarm(e)
 	cfg := server.Config{
 		Backend: &singleBackend{repo: r, engine: e},
 		Workers: e.o.workers,
@@ -165,6 +168,31 @@ func (r *ShardedRepository) Handler(opts ...ServeOption) *server.Server {
 		opt(&cfg)
 	}
 	return server.New(cfg)
+}
+
+// pageCacheStatus converts a buffer-pool snapshot to its /readyz wire
+// form.
+func pageCacheStatus(st PageCacheStats) server.PageCacheStatus {
+	return server.PageCacheStatus{
+		Capacity:  st.Capacity,
+		Resident:  st.Resident,
+		Pinned:    st.Pinned,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+	}
+}
+
+// warmStartStatus converts a warm-restore outcome to its /readyz wire
+// form.
+func warmStartStatus(ws WarmStats) server.WarmStartStatus {
+	return server.WarmStartStatus{
+		Attempted:        ws.Attempted,
+		Used:             ws.Used,
+		RestoredSchemas:  ws.Restored,
+		DiscardedSchemas: ws.Discarded,
+		Columns:          ws.Columns,
+	}
 }
 
 // toServerMatches converts ranked repository outcomes to the server's
@@ -268,6 +296,14 @@ func (b *singleBackend) Recovery() []server.RecoveryStatus {
 	return []server.RecoveryStatus{recoveryStatus(0, b.repo.RecoveryReport())}
 }
 
+func (b *singleBackend) PageCache() (server.PageCacheStatus, bool) {
+	return pageCacheStatus(b.repo.PageCacheStats()), true
+}
+
+func (b *singleBackend) WarmStart() (server.WarmStartStatus, bool) {
+	return warmStartStatus(b.repo.WarmStart()), true
+}
+
 func (b *singleBackend) IndexStats() (server.IndexReadiness, bool) {
 	st, ok := b.engine.CandidateIndexStats()
 	if !ok {
@@ -287,6 +323,8 @@ func (b *singleBackend) CollectMetrics(reg *metrics.Registry) {
 		func() AnalyzerCacheStats { return b.engine.AnalyzerCacheStats() },
 		func() (ColumnCacheStats, bool) { return b.engine.ColumnCacheStats() })
 	registerPruneMetrics(reg, b.repo.PruneTotals)
+	registerPageCacheMetrics(reg, b.repo.PageCacheStats)
+	registerWarmMetrics(reg, b.repo.WarmStart)
 	reg.GaugeFunc("coma_schemas", "Schemas currently stored.",
 		func() float64 { return float64(b.repo.Stats().Schemas) })
 	b.repo.storage.Register(reg)
@@ -357,6 +395,14 @@ func (b *shardedBackend) Recovery() []server.RecoveryStatus {
 	return out
 }
 
+func (b *shardedBackend) PageCache() (server.PageCacheStatus, bool) {
+	return pageCacheStatus(b.repo.PageCacheStats()), true
+}
+
+func (b *shardedBackend) WarmStart() (server.WarmStartStatus, bool) {
+	return warmStartStatus(b.repo.WarmStart()), true
+}
+
 func (b *shardedBackend) IndexStats() (server.IndexReadiness, bool) {
 	var out server.IndexReadiness
 	any := false
@@ -409,6 +455,8 @@ func (b *shardedBackend) CollectMetrics(reg *metrics.Registry) {
 			return sum, any
 		})
 	registerPruneMetrics(reg, b.repo.PruneTotals)
+	registerPageCacheMetrics(reg, b.repo.PageCacheStats)
+	registerWarmMetrics(reg, b.repo.WarmStart)
 	reg.GaugeFunc("coma_schemas", "Schemas currently stored.",
 		func() float64 { return float64(b.repo.Stats().Schemas) })
 	b.repo.storage.Register(reg)
@@ -469,6 +517,41 @@ func registerCacheMetrics(reg *metrics.Registry, an func() AnalyzerCacheStats, c
 	reg.GaugeFunc("coma_column_cache_entries",
 		"Incoming-schema indexes currently holding cached columns.",
 		func() float64 { st, _ := col(); return float64(st.Entries) })
+}
+
+// registerPageCacheMetrics exposes the buffer pool's occupancy gauges
+// (summed across shard pools at exposition time). The traffic counters
+// — coma_pagecache_{hits,misses,evictions}_total and the pinned gauge
+// — come from repository.StorageMetrics.Register, which the backends
+// also attach.
+func registerPageCacheMetrics(reg *metrics.Registry, stats func() PageCacheStats) {
+	reg.GaugeFunc("coma_pagecache_capacity_pages",
+		"Buffer pool capacity in pages, summed across shards.",
+		func() float64 { return float64(stats().Capacity) })
+	reg.GaugeFunc("coma_pagecache_resident_pages",
+		"Pages currently resident in the buffer pool.",
+		func() float64 { return float64(stats().Resident) })
+}
+
+// registerWarmMetrics exposes the startup warm-restore outcome.
+func registerWarmMetrics(reg *metrics.Registry, warm func() WarmStats) {
+	reg.GaugeFunc("coma_warm_start_used",
+		"1 when the last open restored from a valid warm sidecar, else 0.",
+		func() float64 {
+			if warm().Used {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("coma_warm_restored_schemas",
+		"Schema analyses seeded warm by the last open.",
+		func() float64 { return float64(warm().Restored) })
+	reg.GaugeFunc("coma_warm_discarded_schemas",
+		"Warm sidecar entries rejected individually by the last open.",
+		func() float64 { return float64(warm().Discarded) })
+	reg.GaugeFunc("coma_warm_restored_columns",
+		"Persistent similarity columns seeded warm by the last open.",
+		func() float64 { return float64(warm().Columns) })
 }
 
 // registerPruneMetrics exposes the cumulative candidate-pruning

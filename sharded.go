@@ -34,6 +34,8 @@ type ShardedRepository struct {
 	// storage aggregates every shard's durability instruments (one
 	// StorageMetrics shared across shard logs).
 	storage *repository.StorageMetrics
+	// warm holds the startup warm-restore outcome (see WarmStart).
+	warm atomic.Pointer[WarmStats]
 }
 
 // OpenShardedRepository opens (creating if necessary) an n-shard
@@ -46,9 +48,14 @@ func OpenShardedRepository(dir string, shards int, opts ...Option) (*ShardedRepo
 		return nil, err
 	}
 	storage := repository.NewStorageMetrics()
-	store, err := repository.OpenSharded(dir, shards,
+	ropts := []repository.OpenOption{
 		repository.WithSyncPolicy(o.syncPolicy),
-		repository.WithMetrics(storage))
+		repository.WithMetrics(storage),
+	}
+	if o.pageCache > 0 {
+		ropts = append(ropts, repository.WithPageCache(o.pageCache))
+	}
+	store, err := repository.OpenSharded(dir, shards, ropts...)
 	if err != nil {
 		return nil, fmt.Errorf("coma: open sharded repository %s: %w", dir, err)
 	}
@@ -71,7 +78,12 @@ func OpenShardedRepository(dir string, shards int, opts ...Option) (*ShardedRepo
 		e.o.ctx.Types = lead.Types
 		e.o.ctx.Taxonomy = lead.Taxonomy
 	}
-	return &ShardedRepository{Sharded: store, engines: engines, storage: storage}, nil
+	r := &ShardedRepository{Sharded: store, engines: engines, storage: storage}
+	// With the engines sharing sources, the warm sidecar (if any) can
+	// seed their caches: restored analyses and columns make the first
+	// post-restart matches hit instead of re-analyzing the store.
+	r.restoreWarmAtOpen()
+	return r, nil
 }
 
 // ShardEngine returns the i-th shard's engine, e.g. to front-load

@@ -1,0 +1,455 @@
+package coma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/combine"
+	"repro/internal/match"
+	"repro/internal/repository"
+	"repro/internal/schema"
+)
+
+// Warm-restart sidecars persist the expensive in-memory state a
+// repository server rebuilds on every boot: the stored schemas'
+// analysis indexes (internal/analysis artifacts) and the persistent
+// column cache's configuration-identified similarity columns. The
+// sidecar is written next to the repository after every checkpoint and
+// read once at open; a restored process seeds its analyzer caches,
+// column caches and candidate-pruning index from it instead of
+// re-analyzing the store.
+//
+// The sidecar is pure warmth, never truth: every layer that consumes a
+// restored artifact validates it first, and a failed validation falls
+// back to the cold path the artifact would have skipped.
+//
+//   - The whole file is discarded unless its magic, version and body
+//     CRC check out and the auxiliary-source fingerprints (dictionary,
+//     taxonomy, type table — dict.Fingerprint) equal the opening
+//     process's. A restart with different synonym files must re-derive
+//     every annotation.
+//   - Each schema entry is discarded unless the CRC of the schema's
+//     stored record payload still matches: an entry exported before a
+//     schema was replaced warms nobody.
+//   - analysis.RestoreIndex rejects malformed artifacts and analyzes
+//     names the artifact does not cover fresh, so a stale-but-accepted
+//     artifact can cost warmth, never correctness.
+//
+// Layout: magic, then a CRC32 (IEEE, little-endian) of the body, then
+// the body — three source fingerprints, and per schema its name, the
+// stored record payload's CRC32, the analysis artifact and the
+// exported similarity columns.
+
+// warmMagic identifies warm sidecar files; the trailing byte is the
+// format version.
+const warmMagic = "COMA.warm\x001\n"
+
+// warmSuffix names the sidecar of a single-file repository
+// ("<log>.warm"); sharded repositories use warmSnapName in their
+// directory.
+const warmSuffix = ".warm"
+
+// warmSnapName is the sidecar file of a sharded repository directory.
+const warmSnapName = "warm.snap"
+
+// maxWarmSlice bounds decoded counts so a corrupt length cannot drive
+// an allocation by itself.
+const maxWarmSlice = 1 << 24
+
+// WarmStats reports what a warm restore found and did; /readyz and
+// comaserve's startup log surface it.
+type WarmStats struct {
+	// Attempted reports a sidecar file was present and read.
+	Attempted bool
+	// Used reports the sidecar passed whole-file validation (magic,
+	// CRC, source fingerprints) and per-schema restoring ran.
+	Used bool
+	// Restored counts schemas whose analysis was seeded warm.
+	Restored int
+	// Discarded counts schema entries rejected individually (stored
+	// payload CRC mismatch, schema gone, malformed artifact).
+	Discarded int
+	// Columns counts persistent similarity columns seeded.
+	Columns int
+}
+
+// warmStore is the slice of the repository API the warm sidecar needs;
+// *repository.Repo and *repository.Sharded both provide it.
+type warmStore interface {
+	Get(k repository.RecordKind, key string) ([]byte, bool)
+	GetSchema(name string) (*schema.Schema, bool)
+	SchemaNames() []string
+}
+
+// warmEntry is one schema's persisted warmth.
+type warmEntry struct {
+	name     string
+	crc      uint32 // CRC32 of the schema's stored record payload
+	artifact []byte // analysis.ExportIndex
+	cols     []match.ColumnArtifact
+}
+
+// sourceFingerprints snapshots the auxiliary sources' content
+// fingerprints in sidecar order (dictionary, taxonomy, type table).
+func sourceFingerprints(src analysis.Sources) [3]uint64 {
+	return [3]uint64{src.Dict.Fingerprint(), src.Taxonomy.Fingerprint(), src.Types.Fingerprint()}
+}
+
+type warmEnc struct{ buf []byte }
+
+func (e *warmEnc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *warmEnc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *warmEnc) u32(v uint32)     { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *warmEnc) u64(v uint64)     { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *warmEnc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func encodeWarm(fps [3]uint64, entries []warmEntry) []byte {
+	body := &warmEnc{buf: make([]byte, 0, 1024)}
+	for _, fp := range fps {
+		body.u64(fp)
+	}
+	body.uvarint(uint64(len(entries)))
+	for _, ent := range entries {
+		body.str(ent.name)
+		body.u32(ent.crc)
+		body.uvarint(uint64(len(ent.artifact)))
+		body.buf = append(body.buf, ent.artifact...)
+		body.uvarint(uint64(len(ent.cols)))
+		for _, c := range ent.cols {
+			body.str(c.OwnerKey)
+			body.varint(int64(c.Comb))
+			body.varint(int64(c.Set))
+			body.str(c.Name)
+			body.uvarint(uint64(len(c.Col)))
+			for _, v := range c.Col {
+				body.u64(math.Float64bits(v))
+			}
+		}
+	}
+	out := &warmEnc{buf: make([]byte, 0, len(warmMagic)+4+len(body.buf))}
+	out.buf = append(out.buf, warmMagic...)
+	out.u32(crc32.ChecksumIEEE(body.buf))
+	out.buf = append(out.buf, body.buf...)
+	return out.buf
+}
+
+type warmDec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *warmDec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("coma: warm sidecar: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *warmDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *warmDec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *warmDec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail("uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *warmDec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *warmDec) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *warmDec) str() string { return string(d.bytes(d.uvarint())) }
+
+// decodeWarm parses a sidecar file: magic, body CRC, fingerprints and
+// schema entries. Any mismatch or truncation is an error — the caller
+// discards the whole sidecar.
+func decodeWarm(data []byte) (fps [3]uint64, entries []warmEntry, err error) {
+	if len(data) < len(warmMagic)+4 || string(data[:len(warmMagic)]) != warmMagic {
+		return fps, nil, fmt.Errorf("coma: warm sidecar: bad magic")
+	}
+	body := data[len(warmMagic)+4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(warmMagic):]) {
+		return fps, nil, fmt.Errorf("coma: warm sidecar: body CRC mismatch")
+	}
+	d := &warmDec{buf: body}
+	for i := range fps {
+		fps[i] = d.u64()
+	}
+	n := d.uvarint()
+	if n > maxWarmSlice {
+		d.fail("entry count")
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var ent warmEntry
+		ent.name = d.str()
+		ent.crc = d.u32()
+		ent.artifact = d.bytes(d.uvarint())
+		nCols := d.uvarint()
+		if nCols > maxWarmSlice {
+			d.fail("column count")
+			break
+		}
+		for c := uint64(0); c < nCols && d.err == nil; c++ {
+			col := match.ColumnArtifact{
+				OwnerKey: d.str(),
+				Comb:     combine.CombSim(d.varint()),
+				Set:      int8(d.varint()),
+				Name:     d.str(),
+			}
+			nVals := d.uvarint()
+			if nVals > maxWarmSlice {
+				d.fail("value count")
+				break
+			}
+			col.Col = make([]float64, 0, nVals)
+			for v := uint64(0); v < nVals && d.err == nil; v++ {
+				col.Col = append(col.Col, math.Float64frombits(d.u64()))
+			}
+			ent.cols = append(ent.cols, col)
+		}
+		entries = append(entries, ent)
+	}
+	if d.err != nil {
+		return fps, nil, d.err
+	}
+	if d.off != len(body) {
+		return fps, nil, fmt.Errorf("coma: warm sidecar: %d trailing bytes", len(body)-d.off)
+	}
+	return fps, entries, nil
+}
+
+// collectWarm snapshots every stored schema whose analysis one of the
+// engines currently caches: its analysis artifact, the CRC of its
+// stored record payload (the restore-side staleness gate) and the
+// persistent columns cached against its index. Schemas nobody analyzed
+// yet are skipped — they would warm nothing.
+func collectWarm(store warmStore, engines []*Engine) []warmEntry {
+	var out []warmEntry
+	for _, name := range store.SchemaNames() {
+		s, ok := store.GetSchema(name)
+		if !ok {
+			continue
+		}
+		var idx *analysis.SchemaIndex
+		var cols []match.ColumnArtifact
+		for _, e := range engines {
+			a := e.o.ctx.Analyzer
+			if a == nil {
+				continue
+			}
+			if idx = a.Peek(s); idx != nil {
+				if cc := e.o.ctx.Columns; cc != nil {
+					cols = cc.Export(idx)
+				}
+				break
+			}
+		}
+		if idx == nil {
+			continue
+		}
+		payload, ok := store.Get(repository.RecSchemas, name)
+		if !ok {
+			continue
+		}
+		out = append(out, warmEntry{
+			name:     name,
+			crc:      crc32.ChecksumIEEE(payload),
+			artifact: analysis.ExportIndex(idx),
+			cols:     cols,
+		})
+	}
+	return out
+}
+
+// writeWarm collects and atomically writes the sidecar; fsys nil
+// selects the real filesystem (tests inject a FaultFS).
+func writeWarm(fsys repository.FS, path string, store warmStore, engines []*Engine) error {
+	data := encodeWarm(sourceFingerprints(engines[0].o.ctx.Sources()), collectWarm(store, engines))
+	return repository.AtomicWriteFile(fsys, path, data)
+}
+
+// restoreWarm reads a sidecar and seeds the engines: each surviving
+// schema's index goes into every engine's analyzer (a stored schema's
+// analysis can be consulted by any engine — it travels as the incoming
+// side of fan-outs), its columns into every engine's persistent column
+// cache, and the index into the owning engine's candidate-pruning
+// segment. owner maps a schema name to its owning engine's slot.
+func restoreWarm(path string, store warmStore, engines []*Engine, owner func(name string) int) WarmStats {
+	var ws WarmStats
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ws
+	}
+	ws.Attempted = true
+	fps, entries, err := decodeWarm(data)
+	if err != nil {
+		return ws
+	}
+	src := engines[0].o.ctx.Sources()
+	if fps != sourceFingerprints(src) {
+		return ws
+	}
+	ws.Used = true
+	for _, ent := range entries {
+		payload, ok := store.Get(repository.RecSchemas, ent.name)
+		if !ok || crc32.ChecksumIEEE(payload) != ent.crc {
+			ws.Discarded++
+			continue
+		}
+		s, ok := store.GetSchema(ent.name)
+		if !ok {
+			ws.Discarded++
+			continue
+		}
+		idx, err := analysis.RestoreIndex(s, src, ent.artifact)
+		if err != nil {
+			ws.Discarded++
+			continue
+		}
+		for _, e := range engines {
+			if a := e.o.ctx.Analyzer; a != nil {
+				a.Seed(s, idx)
+			}
+			if cc := e.o.ctx.Columns; cc != nil {
+				cc.Seed(idx, ent.cols)
+			}
+		}
+		if oe := engines[owner(ent.name)]; oe.o.candIdx != nil {
+			oe.o.candIdx.Add(s, idx)
+		}
+		ws.Restored++
+		ws.Columns += len(ent.cols)
+	}
+	return ws
+}
+
+// warmPath returns the single-store repository's sidecar path.
+func (r *Repository) warmPath() string { return r.Repo.Path() + warmSuffix }
+
+// SaveWarm writes the repository's warm-restart sidecar: the analysis
+// artifacts and persistent similarity columns the engine currently
+// caches for the stored schemas. Call it after Checkpoint (the sharded
+// store's Checkpoint does so itself) so the next open finds both the
+// paged snapshot and the warmth to serve it with.
+func (r *Repository) SaveWarm(e *Engine) error {
+	return writeWarm(nil, r.warmPath(), r.Repo, []*Engine{e})
+}
+
+// RestoreWarm seeds the engine from the repository's warm sidecar, if
+// one is present and valid — Repository.Handler calls it, so served
+// single-store repositories restart warm automatically. Only the first
+// call restores; later calls return the recorded outcome.
+func (r *Repository) RestoreWarm(e *Engine) WarmStats {
+	r.warmOnce.Do(func() {
+		ws := restoreWarm(r.warmPath(), r.Repo, []*Engine{e}, func(string) int { return 0 })
+		r.warm.Store(&ws)
+	})
+	return r.WarmStart()
+}
+
+// WarmStart reports the outcome of the repository's startup warm
+// restore (zero value before RestoreWarm ran).
+func (r *Repository) WarmStart() WarmStats {
+	if ws := r.warm.Load(); ws != nil {
+		return *ws
+	}
+	return WarmStats{}
+}
+
+// warmPath returns the sharded repository's sidecar path.
+func (r *ShardedRepository) warmPath() string {
+	return filepath.Join(r.Sharded.Dir(), warmSnapName)
+}
+
+// SaveWarm writes the sharded repository's warm-restart sidecar from
+// the shard engines' caches; Checkpoint calls it automatically.
+func (r *ShardedRepository) SaveWarm() error {
+	return writeWarm(nil, r.warmPath(), r.Sharded, r.engines)
+}
+
+// Checkpoint compacts every shard log into its paged snapshot and then
+// writes the warm-restart sidecar, so a following open both replays
+// almost nothing and skips re-analyzing the store. A sidecar write
+// failure is reported but does not undo the checkpoint.
+func (r *ShardedRepository) Checkpoint() error {
+	if err := r.Sharded.Checkpoint(); err != nil {
+		return err
+	}
+	return r.SaveWarm()
+}
+
+// restoreWarmAtOpen runs the startup warm restore;
+// OpenShardedRepository calls it once the engines are wired.
+func (r *ShardedRepository) restoreWarmAtOpen() {
+	ws := restoreWarm(r.warmPath(), r.Sharded, r.engines, r.ShardFor)
+	r.warm.Store(&ws)
+}
+
+// WarmStart reports the outcome of the sharded repository's startup
+// warm restore.
+func (r *ShardedRepository) WarmStart() WarmStats {
+	if ws := r.warm.Load(); ws != nil {
+		return *ws
+	}
+	return WarmStats{}
+}
